@@ -1,0 +1,62 @@
+//! µ1: hint-store operations — the paper measured 4.3 µs per in-memory
+//! hint lookup on a 200 MHz Ultra-2; modern hardware should be far faster.
+
+use bh_cache::HintCache;
+use bh_simcore::ByteSize;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hint_cache");
+
+    group.bench_function("lookup_hit_100MB", |b| {
+        let mut store = HintCache::with_capacity(ByteSize::from_mb(100));
+        for k in 1..=1_000_000u64 {
+            store.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k);
+        }
+        let mut i = 1u64;
+        b.iter(|| {
+            i = i.wrapping_add(1) % 1_000_000 + 1;
+            black_box(store.lookup(black_box(i.wrapping_mul(0x9E3779B97F4A7C15))))
+        });
+    });
+
+    group.bench_function("lookup_miss_100MB", |b| {
+        let mut store = HintCache::with_capacity(ByteSize::from_mb(100));
+        for k in 1..=1_000_000u64 {
+            store.insert(k.wrapping_mul(0x9E3779B97F4A7C15), k);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.lookup(black_box(i | 1)))
+        });
+    });
+
+    group.bench_function("insert_bounded", |b| {
+        let mut store = HintCache::with_capacity(ByteSize::from_mb(10));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store.insert(black_box(i | 1), black_box(i));
+        });
+    });
+
+    group.bench_function("insert_unbounded", |b| {
+        b.iter_batched(
+            HintCache::unbounded,
+            |mut store| {
+                for k in 1..=1_000u64 {
+                    store.insert(black_box(k), k);
+                }
+                store
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Data-cache (LRU) operations at simulation-realistic sizes.
+
+use bh_cache::LruCache;
+use bh_simcore::ByteSize;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru");
+
+    group.bench_function("get_hit", |b| {
+        let mut cache = LruCache::unbounded();
+        for k in 0..100_000u64 {
+            cache.insert(k, ByteSize::from_kb(10), 0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 100_000;
+            black_box(cache.get(black_box(i), 0))
+        });
+    });
+
+    group.bench_function("insert_with_eviction", |b| {
+        let mut cache = LruCache::new(ByteSize::from_mb(10)); // ~1000 × 10KB
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.insert(black_box(i), ByteSize::from_kb(10), 0))
+        });
+    });
+
+    group.bench_function("classified_access", |b| {
+        let mut cache = bh_cache::ClassifyingCache::new(ByteSize::from_mb(10));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.access(black_box(i % 2000), ByteSize::from_kb(10), 0, true))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! MD5 throughput and the URL-key path used for every object identifier.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("md5");
+
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| black_box(bh_md5::md5(black_box(&data))));
+        });
+    }
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("url_key", |b| {
+        b.iter(|| black_box(bh_md5::url_key(black_box("http://www.example.com/a/b/c.html"))));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

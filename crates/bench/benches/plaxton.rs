@@ -1,0 +1,48 @@
+//! Plaxton metadata-hierarchy operations: root resolution and routing.
+
+use bh_plaxton::{NodeSpec, PlaxtonTree};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn tree(n: usize, bits: u32) -> PlaxtonTree {
+    let nodes: Vec<NodeSpec> = (0..n)
+        .map(|i| {
+            NodeSpec::from_address(
+                &format!("10.2.{}.{}:3128", i / 16, i % 16),
+                ((i % 8) as f64, (i / 8) as f64),
+            )
+        })
+        .collect();
+    PlaxtonTree::build(nodes, bits).expect("build")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plaxton");
+
+    for (n, bits) in [(64usize, 2u32), (256, 4)] {
+        let t = tree(n, bits);
+        let mut i = 0u64;
+        group.bench_function(format!("root_of_n{n}_b{bits}"), |b| {
+            b.iter(|| {
+                i += 1;
+                black_box(t.root_of(black_box(i.wrapping_mul(0x9E3779B97F4A7C15))))
+            });
+        });
+        let mut j = 0u64;
+        group.bench_function(format!("route_n{n}_b{bits}"), |b| {
+            b.iter(|| {
+                j += 1;
+                black_box(t.route(0, black_box(j.wrapping_mul(0x9E3779B97F4A7C15))))
+            });
+        });
+    }
+
+    group.bench_function("build_64_nodes", |b| {
+        b.iter(|| black_box(tree(64, 2)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end simulator throughput: requests/second through each strategy
+//! (the quantity that bounds full-scale experiment runtime).
+
+use bh_core::sim::{SimConfig, Simulator};
+use bh_core::strategies::StrategyKind;
+use bh_netmodel::{CostModel, TestbedModel};
+use bh_trace::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let spec = WorkloadSpec::small().with_requests(20_000);
+    let tb = TestbedModel::new();
+
+    for kind in [
+        StrategyKind::DataHierarchy,
+        StrategyKind::CentralDirectory,
+        StrategyKind::HintHierarchy,
+    ] {
+        group.throughput(Throughput::Elements(spec.requests));
+        group.bench_function(format!("{kind}"), |b| {
+            b.iter(|| {
+                let models: Vec<&dyn CostModel> = vec![&tb];
+                let sim = Simulator::new(SimConfig::infinite(&spec));
+                black_box(sim.run(&spec, 9, kind, &models))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Runs the complete experiment suite (every table and figure) by invoking
+//! the sibling experiment binaries in sequence with shared flags.
+//!
+//! ```text
+//! cargo run --release -p bh-bench --bin all -- --scale 0.05
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+
+    let experiments = [
+        "fig1", "table3", "table4", "fig2", "fig3", "fig5", "fig6", "table5", "fig8", "fig10",
+        "fig11", "ablations",
+    ];
+    let mut failures = Vec::new();
+    for name in experiments {
+        let bin = dir.join(name);
+        eprintln!("\n>>> running {name}\n");
+        let status = Command::new(&bin)
+            .args(&passthrough)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("\nall experiments completed; JSON artifacts in target/experiments/");
+    } else {
+        eprintln!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` §3). They share a tiny CLI:
+//!
+//! ```text
+//! --scale <f>    workload scale factor in (0,1]; default per binary
+//! --seed <n>     PRNG seed (default 42)
+//! --trace <t>    dec | berkeley | prodigy | all (default all or dec)
+//! --out <dir>    JSON output directory (default target/experiments)
+//! ```
+//!
+//! Output goes to stdout in the paper's row/series format and, as JSON,
+//! to `<out>/<experiment>.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bh_trace::WorkloadSpec;
+use std::path::PathBuf;
+
+/// Parsed harness CLI arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Workload scale factor.
+    pub scale: f64,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Trace selector (`dec`/`berkeley`/`prodigy`/`all`).
+    pub trace: String,
+    /// Output directory for JSON artifacts.
+    pub out: PathBuf,
+}
+
+impl Args {
+    /// Parses `std::env::args`, with `default_scale` as the scale default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse(default_scale: f64) -> Args {
+        let mut args = Args {
+            scale: default_scale,
+            seed: 42,
+            trace: "all".to_string(),
+            out: PathBuf::from("target/experiments"),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |what: &str| {
+                it.next().unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    args.scale = value("number").parse().expect("--scale takes a float");
+                    assert!(
+                        args.scale > 0.0 && args.scale <= 1.0,
+                        "--scale must be in (0,1]"
+                    );
+                }
+                "--seed" => args.seed = value("number").parse().expect("--seed takes an integer"),
+                "--trace" => args.trace = value("name").to_lowercase(),
+                "--out" => args.out = PathBuf::from(value("path")),
+                "--help" | "-h" => {
+                    println!(
+                        "usage: [--scale f] [--seed n] [--trace dec|berkeley|prodigy|all] [--out dir]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        args
+    }
+
+    /// The workload specs selected by `--trace`, scaled by `--scale`.
+    pub fn specs(&self) -> Vec<WorkloadSpec> {
+        let all = [WorkloadSpec::dec(), WorkloadSpec::berkeley(), WorkloadSpec::prodigy()];
+        all.into_iter()
+            .filter(|s| {
+                self.trace == "all" || s.name.to_string().to_lowercase() == self.trace
+            })
+            .map(|s| s.scaled(self.scale))
+            .collect()
+    }
+
+    /// Just the DEC spec (several figures are DEC-only in the paper).
+    pub fn dec_spec(&self) -> WorkloadSpec {
+        WorkloadSpec::dec().scaled(self.scale)
+    }
+
+    /// Writes `value` as pretty JSON to `<out>/<name>.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O or serialization failure (harness binaries want loud
+    /// failures).
+    pub fn write_json<T: serde::Serialize>(&self, name: &str, value: &T) {
+        std::fs::create_dir_all(&self.out).expect("create output directory");
+        let path = self.out.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(value).expect("serialize");
+        std::fs::write(&path, json).expect("write JSON artifact");
+        eprintln!("[wrote {}]", path.display());
+    }
+}
+
+/// Maps `f` over `items` on up to `max_threads` OS threads (scoped, so `f`
+/// may borrow), preserving order. Experiment sweeps are embarrassingly
+/// parallel — each point is an independent simulation.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 || max_threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let work: std::sync::Mutex<Vec<(usize, T)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().rev().collect());
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..max_threads.min(n) {
+            scope.spawn(|_| loop {
+                let next = work.lock().expect("work lock").pop();
+                let Some((idx, item)) = next else { break };
+                let result = f(item);
+                **slot_refs[idx].lock().expect("slot lock") = Some(result);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    drop(slot_refs);
+    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+}
+
+/// Prints a banner naming the experiment and its provenance in the paper.
+pub fn banner(experiment: &str, caption: &str, args: &Args) {
+    println!("================================================================");
+    println!("{experiment} — {caption}");
+    println!(
+        "workload scale {:.3} (full-scale axis labels), seed {}",
+        args.scale, args.seed
+    );
+    println!("================================================================");
+}
+
+/// Formats a ratio as the paper prints speedups.
+pub fn fmt_speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_filter_by_trace() {
+        let mut args = Args {
+            scale: 0.01,
+            seed: 1,
+            trace: "dec".into(),
+            out: PathBuf::from("/tmp/x"),
+        };
+        assert_eq!(args.specs().len(), 1);
+        assert_eq!(args.specs()[0].name.to_string(), "DEC");
+        args.trace = "all".into();
+        assert_eq!(args.specs().len(), 3);
+        args.trace = "berkeley".into();
+        assert_eq!(args.specs()[0].name.to_string(), "Berkeley");
+    }
+
+    #[test]
+    fn specs_are_scaled() {
+        let args =
+            Args { scale: 0.1, seed: 1, trace: "dec".into(), out: PathBuf::from("/tmp/x") };
+        assert_eq!(args.specs()[0].requests, 2_210_000);
+    }
+
+    #[test]
+    fn fmt_speedup_two_decimals() {
+        assert_eq!(fmt_speedup(1.274), "1.27x");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_results() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 16] {
+            let par = parallel_map(items.clone(), threads, |x| x * x);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        assert_eq!(parallel_map(Vec::<u64>::new(), 4, |x| x), Vec::<u64>::new());
+    }
+}

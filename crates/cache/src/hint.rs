@@ -1,0 +1,452 @@
+//! The location-hint store (§3.2.1).
+//!
+//! A hint is an `(object, location)` pair naming the node that caches the
+//! nearest known copy of an object. The paper's key implementation insight
+//! is to store hints as **small, fixed-sized records** — an 8-byte hash of
+//! the URL plus an 8-byte machine identifier, 16 bytes total — in a simple
+//! array managed as a **4-way set-associative cache** indexed by the URL
+//! hash. At that size a hint is ~3 orders of magnitude smaller than the
+//! average 10 KB object, so a cache that dedicates 10% of its space to
+//! hints can index ~two orders of magnitude more data than it stores.
+//!
+//! [`HintCache`] reproduces exactly that structure (bounded, set
+//! associative, with within-set LRU), plus an unbounded variant for the
+//! "infinite hint cache" end of Figure 5.
+
+use bh_simcore::ByteSize;
+use std::collections::HashMap;
+
+/// Size of one hint record on disk/in memory: 8-byte key + 8-byte location.
+pub const HINT_RECORD_BYTES: u64 = 16;
+
+/// Associativity of the bounded store (the paper uses 4).
+pub const DEFAULT_WAYS: usize = 4;
+
+/// One hint record. `key == 0` marks an invalid (empty) slot, mirroring the
+/// prototype's special hash value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HintRecord {
+    /// 64-bit URL-hash key (0 = empty slot).
+    pub key: u64,
+    /// Opaque 64-bit machine identifier (IP + port in the prototype, node
+    /// index in the simulator).
+    pub location: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Store {
+    /// `sets × ways` flat array, stored as parallel zeroed `Vec<u64>`s so
+    /// the allocation is lazily paged (a 500 MB store costs address space,
+    /// not resident memory, until sets are touched) — and a slot's key and
+    /// location sit in adjacent words, preserving the 16-byte record
+    /// layout of §3.2.1.
+    SetAssoc { keys: Vec<u64>, locs: Vec<u64>, sets: usize, ways: usize },
+    Unbounded(HashMap<u64, u64>),
+}
+
+/// The hint store. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct HintCache {
+    store: Store,
+    len: usize,
+    /// Lookups that found a record.
+    hits: u64,
+    /// Lookups that found nothing.
+    misses: u64,
+    /// Insertions that displaced a valid record (set overflow).
+    displacements: u64,
+}
+
+impl HintCache {
+    /// Creates a bounded, 4-way set-associative store occupying at most
+    /// `capacity` bytes at [`HINT_RECORD_BYTES`] per record.
+    ///
+    /// A capacity of [`ByteSize::MAX`] creates an unbounded store. Small
+    /// capacities are rounded up to one full set.
+    pub fn with_capacity(capacity: ByteSize) -> Self {
+        Self::with_capacity_and_ways(capacity, DEFAULT_WAYS)
+    }
+
+    /// Creates a bounded store with explicit associativity (for the
+    /// associativity ablation; the paper's choice is 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0`.
+    pub fn with_capacity_and_ways(capacity: ByteSize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        if capacity.is_unlimited() {
+            return Self::unbounded();
+        }
+        let entries = (capacity.as_bytes() / HINT_RECORD_BYTES).max(ways as u64) as usize;
+        let sets = (entries / ways).max(1);
+        HintCache {
+            store: Store::SetAssoc {
+                keys: vec![0u64; sets * ways],
+                locs: vec![0u64; sets * ways],
+                sets,
+                ways,
+            },
+            len: 0,
+            hits: 0,
+            misses: 0,
+            displacements: 0,
+        }
+    }
+
+    /// Creates an unbounded store (perfect hint index).
+    pub fn unbounded() -> Self {
+        HintCache {
+            store: Store::Unbounded(HashMap::new()),
+            len: 0,
+            hits: 0,
+            misses: 0,
+            displacements: 0,
+        }
+    }
+
+    /// Number of records currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of records (`None` if unbounded).
+    pub fn capacity_records(&self) -> Option<usize> {
+        match &self.store {
+            Store::SetAssoc { sets, ways, .. } => Some(sets * ways),
+            Store::Unbounded(_) => None,
+        }
+    }
+
+    /// Bytes this store occupies at 16 bytes/record (the *array* size for
+    /// the bounded store, the live-record footprint for the unbounded one).
+    pub fn footprint(&self) -> ByteSize {
+        let records = match &self.store {
+            Store::SetAssoc { sets, ways, .. } => (sets * ways) as u64,
+            Store::Unbounded(m) => m.len() as u64,
+        };
+        ByteSize::from_bytes(records * HINT_RECORD_BYTES)
+    }
+
+    /// Lookups that found a record so far.
+    pub fn hit_count(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing so far.
+    pub fn miss_count(&self) -> u64 {
+        self.misses
+    }
+
+    /// Insertions that displaced a valid record so far.
+    pub fn displacement_count(&self) -> u64 {
+        self.displacements
+    }
+
+    fn set_range(sets: usize, ways: usize, key: u64) -> std::ops::Range<usize> {
+        let set = (key % sets as u64) as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Looks up the location hint for `key`, promoting it within its set.
+    ///
+    /// Keys of 0 are reserved for empty slots and always miss.
+    pub fn lookup(&mut self, key: u64) -> Option<u64> {
+        if key == 0 {
+            self.misses += 1;
+            return None;
+        }
+        let found = match &mut self.store {
+            Store::SetAssoc { keys, locs, sets, ways } => {
+                let range = Self::set_range(*sets, *ways, key);
+                let kset = &mut keys[range.clone()];
+                match kset.iter().position(|&k| k == key) {
+                    Some(pos) => {
+                        let lset = &mut locs[range];
+                        let loc = lset[pos];
+                        // Within-set move-to-front: cheap LRU over 4 slots.
+                        kset.copy_within(0..pos, 1);
+                        kset[0] = key;
+                        lset.copy_within(0..pos, 1);
+                        lset[0] = loc;
+                        Some(loc)
+                    }
+                    None => None,
+                }
+            }
+            Store::Unbounded(m) => m.get(&key).copied(),
+        };
+        match found {
+            Some(loc) => {
+                self.hits += 1;
+                Some(loc)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up without promoting or counting.
+    pub fn peek(&self, key: u64) -> Option<u64> {
+        if key == 0 {
+            return None;
+        }
+        match &self.store {
+            Store::SetAssoc { keys, locs, sets, ways } => {
+                let range = Self::set_range(*sets, *ways, key);
+                keys[range.clone()]
+                    .iter()
+                    .position(|&k| k == key)
+                    .map(|pos| locs[range][pos])
+            }
+            Store::Unbounded(m) => m.get(&key).copied(),
+        }
+    }
+
+    /// Inserts or updates the hint for `key`. In the bounded store the
+    /// record lands at the front of its set, displacing the set's LRU
+    /// record if the set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == 0` (reserved for empty slots).
+    pub fn insert(&mut self, key: u64, location: u64) {
+        assert_ne!(key, 0, "hint key 0 is reserved");
+        match &mut self.store {
+            Store::SetAssoc { keys, locs, sets, ways } => {
+                let range = Self::set_range(*sets, *ways, key);
+                let kset = &mut keys[range.clone()];
+                let front = |kset: &mut [u64], lset: &mut [u64], pos: usize| {
+                    kset.copy_within(0..pos, 1);
+                    lset.copy_within(0..pos, 1);
+                    kset[0] = key;
+                    lset[0] = location;
+                };
+                if let Some(pos) = kset.iter().position(|&k| k == key) {
+                    front(kset, &mut locs[range], pos);
+                    return;
+                }
+                if let Some(pos) = kset.iter().position(|&k| k == 0) {
+                    front(kset, &mut locs[range], pos);
+                    self.len += 1;
+                    return;
+                }
+                // Set full: displace the LRU (last) record.
+                let w = kset.len();
+                front(kset, &mut locs[range], w - 1);
+                self.displacements += 1;
+            }
+            Store::Unbounded(m) => {
+                if m.insert(key, location).is_none() {
+                    self.len += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes the hint for `key`; returns the stored location if present.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        if key == 0 {
+            return None;
+        }
+        match &mut self.store {
+            Store::SetAssoc { keys, locs, sets, ways } => {
+                let range = Self::set_range(*sets, *ways, key);
+                let kset = &mut keys[range.clone()];
+                let pos = kset.iter().position(|&k| k == key)?;
+                let lset = &mut locs[range];
+                let loc = lset[pos];
+                // Compact the set: shift the remainder left, clear the last.
+                kset.copy_within(pos + 1.., pos);
+                lset.copy_within(pos + 1.., pos);
+                let w = kset.len();
+                kset[w - 1] = 0;
+                lset[w - 1] = 0;
+                self.len -= 1;
+                Some(loc)
+            }
+            Store::Unbounded(m) => {
+                let removed = m.remove(&key);
+                if removed.is_some() {
+                    self.len -= 1;
+                }
+                removed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_size_is_sixteen_bytes() {
+        assert_eq!(HINT_RECORD_BYTES, 16);
+        assert_eq!(std::mem::size_of::<HintRecord>() as u64, HINT_RECORD_BYTES);
+    }
+
+    #[test]
+    fn capacity_math() {
+        // 1 MB of hints = 65536 records, as the paper's sizing arithmetic has it.
+        let h = HintCache::with_capacity(ByteSize::from_mb(1));
+        assert_eq!(h.capacity_records(), Some(65_536));
+        assert_eq!(h.footprint(), ByteSize::from_mb(1));
+        assert!(HintCache::unbounded().capacity_records().is_none());
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut h = HintCache::with_capacity(ByteSize::from_kb(1));
+        assert_eq!(h.lookup(5), None);
+        h.insert(5, 100);
+        assert_eq!(h.lookup(5), Some(100));
+        assert_eq!(h.len(), 1);
+        h.insert(5, 200); // update in place
+        assert_eq!(h.lookup(5), Some(200));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.remove(5), Some(200));
+        assert_eq!(h.remove(5), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn set_overflow_displaces_lru() {
+        // One set of 4 ways: capacity 64 bytes.
+        let mut h = HintCache::with_capacity(ByteSize::from_bytes(64));
+        assert_eq!(h.capacity_records(), Some(4));
+        // All keys land in the single set.
+        for k in 1..=4u64 {
+            h.insert(k, k * 10);
+        }
+        assert_eq!(h.len(), 4);
+        // Touch key 1 so it is MRU; key 2 becomes LRU.
+        assert_eq!(h.lookup(1), Some(10));
+        h.insert(5, 50);
+        assert_eq!(h.displacement_count(), 1);
+        assert_eq!(h.peek(2), None, "LRU record displaced");
+        assert_eq!(h.peek(1), Some(10));
+        assert_eq!(h.peek(5), Some(50));
+    }
+
+    #[test]
+    fn hot_keys_survive_with_associativity() {
+        // The paper keeps "a modest amount of associativity to guard against
+        // several hot URLs landing in the same hash bucket".
+        let mut h = HintCache::with_capacity(ByteSize::from_bytes(64)); // 1 set × 4 ways
+        h.insert(1, 11);
+        h.insert(2, 22);
+        for cold in 100..120u64 {
+            h.insert(cold, cold);
+            // Keep the two hot keys touched.
+            assert_eq!(h.lookup(1), Some(11));
+            assert_eq!(h.lookup(2), Some(22));
+        }
+        assert_eq!(h.peek(1), Some(11));
+        assert_eq!(h.peek(2), Some(22));
+    }
+
+    #[test]
+    fn zero_key_reserved() {
+        let mut h = HintCache::with_capacity(ByteSize::from_kb(1));
+        assert_eq!(h.lookup(0), None);
+        assert_eq!(h.remove(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn zero_key_insert_panics() {
+        HintCache::with_capacity(ByteSize::from_kb(1)).insert(0, 1);
+    }
+
+    #[test]
+    fn unbounded_stores_everything() {
+        let mut h = HintCache::unbounded();
+        for k in 1..=100_000u64 {
+            h.insert(k, k);
+        }
+        assert_eq!(h.len(), 100_000);
+        for k in 1..=100_000u64 {
+            assert_eq!(h.peek(k), Some(k));
+        }
+        assert_eq!(h.displacement_count(), 0);
+    }
+
+    #[test]
+    fn stats_counters() {
+        let mut h = HintCache::with_capacity(ByteSize::from_kb(1));
+        h.insert(3, 30);
+        h.lookup(3);
+        h.lookup(4);
+        assert_eq!(h.hit_count(), 1);
+        assert_eq!(h.miss_count(), 1);
+    }
+
+    #[test]
+    fn remove_compacts_set() {
+        let mut h = HintCache::with_capacity(ByteSize::from_bytes(64));
+        for k in 1..=4u64 {
+            h.insert(k, k);
+        }
+        h.remove(4); // was at front (MRU)
+        h.insert(9, 9);
+        assert_eq!(h.len(), 4);
+        for k in [1u64, 2, 3, 9] {
+            assert_eq!(h.peek(k), Some(k), "key {k} must survive");
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The bounded store is a lossy map: every lookup that returns a
+            /// value returns the *most recently inserted* value for that key.
+            #[test]
+            fn never_returns_stale_locations(
+                ops in proptest::collection::vec((1u64..100, 0u64..1000), 1..400)
+            ) {
+                let mut h = HintCache::with_capacity(ByteSize::from_bytes(256));
+                let mut truth: HashMap<u64, u64> = HashMap::new();
+                for (key, loc) in ops {
+                    h.insert(key, loc);
+                    truth.insert(key, loc);
+                    if let Some(found) = h.peek(key) {
+                        prop_assert_eq!(found, truth[&key]);
+                    } else {
+                        prop_assert!(false, "just-inserted key must be present");
+                    }
+                }
+                // Anything still present must agree with the truth map.
+                for k in 1u64..100 {
+                    if let Some(found) = h.peek(k) {
+                        prop_assert_eq!(Some(found), truth.get(&k).copied());
+                    }
+                }
+            }
+
+            /// len() never exceeds capacity and matches live slots.
+            #[test]
+            fn len_bounded(ops in proptest::collection::vec((1u64..50, 0u64..10), 1..200),
+                           ways in 1usize..8) {
+                let mut h = HintCache::with_capacity_and_ways(ByteSize::from_bytes(320), ways);
+                let cap = h.capacity_records().unwrap();
+                for (key, loc) in ops {
+                    h.insert(key, loc);
+                    prop_assert!(h.len() <= cap);
+                }
+            }
+        }
+    }
+}

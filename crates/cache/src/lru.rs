@@ -1,0 +1,479 @@
+//! Byte-capacity LRU data cache with versioned entries.
+//!
+//! Entries are keyed by a 64-bit object identifier and carry the object's
+//! size and version. Capacity is in bytes ([`bh_simcore::ByteSize::MAX`]
+//! means unlimited, the paper's "infinite disk" configuration). The
+//! recency list is an intrusive doubly-linked list over a slab, so every
+//! operation is O(1) amortized.
+
+use bh_simcore::ByteSize;
+use std::collections::HashMap;
+
+/// An entry evicted to make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Object key.
+    pub key: u64,
+    /// Object size.
+    pub size: ByteSize,
+    /// Version that was stored.
+    pub version: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    size: u64,
+    version: u32,
+    prev: u32,
+    next: u32,
+}
+
+/// A byte-capacity LRU cache of versioned objects.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: ByteSize,
+    used: u64,
+    map: HashMap<u64, u32>,
+    slab: Vec<Node>,
+    free: Vec<u32>,
+    /// Most recently used. NIL when empty.
+    head: u32,
+    /// Least recently used. NIL when empty.
+    tail: u32,
+}
+
+impl LruCache {
+    /// Creates a cache with the given byte capacity
+    /// ([`ByteSize::MAX`] = unlimited).
+    pub fn new(capacity: ByteSize) -> Self {
+        LruCache {
+            capacity,
+            used: 0,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Creates an unlimited-capacity cache.
+    pub fn unbounded() -> Self {
+        Self::new(ByteSize::MAX)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> ByteSize {
+        ByteSize::from_bytes(self.used)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.slab[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.slab[idx as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = idx;
+        } else {
+            self.tail = idx;
+        }
+        self.head = idx;
+    }
+
+    fn attach_back(&mut self, idx: u32) {
+        let old_tail = self.tail;
+        {
+            let n = &mut self.slab[idx as usize];
+            n.next = NIL;
+            n.prev = old_tail;
+        }
+        if old_tail != NIL {
+            self.slab[old_tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+    }
+
+    fn remove_idx(&mut self, idx: u32) -> Evicted {
+        self.detach(idx);
+        let n = self.slab[idx as usize];
+        self.map.remove(&n.key);
+        self.used -= n.size;
+        self.free.push(idx);
+        Evicted { key: n.key, size: ByteSize::from_bytes(n.size), version: n.version }
+    }
+
+    /// Looks up `key`, requiring at least `min_version`.
+    ///
+    /// * Fresh entry → promoted to most-recently-used, `Some((size, version))`.
+    /// * Stale entry (stored version < `min_version`) → **invalidated**
+    ///   (removed) and `None` is returned: this is how strong consistency
+    ///   turns an update into a communication miss.
+    /// * Absent → `None`.
+    pub fn get(&mut self, key: u64, min_version: u32) -> Option<(ByteSize, u32)> {
+        let idx = *self.map.get(&key)?;
+        let (size, version) = {
+            let n = &self.slab[idx as usize];
+            (n.size, n.version)
+        };
+        if version < min_version {
+            self.remove_idx(idx);
+            return None;
+        }
+        self.detach(idx);
+        self.attach_front(idx);
+        Some((ByteSize::from_bytes(size), version))
+    }
+
+    /// Looks up without promoting or invalidating.
+    pub fn peek(&self, key: u64) -> Option<(ByteSize, u32)> {
+        let idx = *self.map.get(&key)?;
+        let n = &self.slab[idx as usize];
+        Some((ByteSize::from_bytes(n.size), n.version))
+    }
+
+    /// Whether `key` is present with version at least `min_version`.
+    pub fn contains_fresh(&self, key: u64, min_version: u32) -> bool {
+        self.peek(key).is_some_and(|(_, v)| v >= min_version)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting LRU entries as needed.
+    /// Returns the evicted entries (oldest first).
+    ///
+    /// Objects larger than the whole capacity are not cached (the returned
+    /// vector is empty and the object is simply not stored), mirroring
+    /// proxies' max-object-size policies.
+    pub fn insert(&mut self, key: u64, size: ByteSize, version: u32) -> Vec<Evicted> {
+        let mut evicted = Vec::new();
+        let size_b = size.as_bytes();
+        if !self.capacity.is_unlimited() && size_b > self.capacity.as_bytes() {
+            return evicted;
+        }
+        // Refresh in place if already present.
+        if let Some(&idx) = self.map.get(&key) {
+            let old = self.slab[idx as usize].size;
+            self.used = self.used - old + size_b;
+            {
+                let n = &mut self.slab[idx as usize];
+                n.size = size_b;
+                n.version = n.version.max(version);
+            }
+            self.detach(idx);
+            self.attach_front(idx);
+        } else {
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.slab[i as usize] =
+                        Node { key, size: size_b, version, prev: NIL, next: NIL };
+                    i
+                }
+                None => {
+                    let i = u32::try_from(self.slab.len()).expect("cache entries fit in u32");
+                    self.slab.push(Node { key, size: size_b, version, prev: NIL, next: NIL });
+                    i
+                }
+            };
+            self.map.insert(key, idx);
+            self.used += size_b;
+            self.attach_front(idx);
+        }
+        // Evict from the cold end until within capacity.
+        if !self.capacity.is_unlimited() {
+            while self.used > self.capacity.as_bytes() {
+                let tail = self.tail;
+                debug_assert_ne!(tail, NIL, "over capacity with empty list");
+                if self.slab[tail as usize].key == key {
+                    // The new entry itself is the only one left; keep it.
+                    break;
+                }
+                evicted.push(self.remove_idx(tail));
+            }
+        }
+        evicted
+    }
+
+    /// Removes `key` (e.g. on invalidation). Returns the removed entry.
+    pub fn remove(&mut self, key: u64) -> Option<Evicted> {
+        let idx = *self.map.get(&key)?;
+        Some(self.remove_idx(idx))
+    }
+
+    /// Moves `key` to the cold (LRU) end without removing it — the update
+    /// push algorithm's "aging": objects updated many times without being
+    /// read drift out of the cache (§4.1.2).
+    pub fn demote(&mut self, key: u64) -> bool {
+        let Some(&idx) = self.map.get(&key) else {
+            return false;
+        };
+        self.detach(idx);
+        self.attach_back(idx);
+        true
+    }
+
+    /// The least-recently-used key, if any.
+    pub fn lru_key(&self) -> Option<u64> {
+        (self.tail != NIL).then(|| self.slab[self.tail as usize].key)
+    }
+
+    /// Iterates over keys from most- to least-recently used.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { cache: self, cur: self.head }
+    }
+}
+
+/// Iterator over `(key, size, version)` in recency order.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    cache: &'a LruCache,
+    cur: u32,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = (u64, ByteSize, u32);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let n = &self.cache.slab[self.cur as usize];
+        self.cur = n.next;
+        Some((n.key, ByteSize::from_bytes(n.size), n.version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb(n: u64) -> ByteSize {
+        ByteSize::from_kb(n)
+    }
+
+    #[test]
+    fn insert_get_basic() {
+        let mut c = LruCache::new(kb(100));
+        assert!(c.is_empty());
+        assert!(c.insert(1, kb(10), 0).is_empty());
+        assert_eq!(c.get(1, 0), Some((kb(10), 0)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), kb(10));
+        assert_eq!(c.get(2, 0), None);
+    }
+
+    #[test]
+    fn evicts_lru_order() {
+        let mut c = LruCache::new(kb(30));
+        c.insert(1, kb(10), 0);
+        c.insert(2, kb(10), 0);
+        c.insert(3, kb(10), 0);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.get(1, 0).is_some());
+        let ev = c.insert(4, kb(10), 0);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].key, 2);
+        assert!(c.get(2, 0).is_none());
+        assert!(c.get(1, 0).is_some());
+    }
+
+    #[test]
+    fn eviction_can_cascade() {
+        let mut c = LruCache::new(kb(30));
+        c.insert(1, kb(10), 0);
+        c.insert(2, kb(10), 0);
+        c.insert(3, kb(10), 0);
+        let ev = c.insert(4, kb(25), 0);
+        assert_eq!(ev.iter().map(|e| e.key).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(c.len(), 1);
+        assert!(c.used_bytes() <= kb(30));
+    }
+
+    #[test]
+    fn stale_version_invalidates_on_get() {
+        let mut c = LruCache::new(kb(100));
+        c.insert(1, kb(10), 1);
+        assert_eq!(c.get(1, 1), Some((kb(10), 1)));
+        assert_eq!(c.get(1, 2), None, "stale copy must not be served");
+        assert!(c.peek(1).is_none(), "stale copy must be removed");
+        assert_eq!(c.used_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn contains_fresh_does_not_mutate() {
+        let mut c = LruCache::new(kb(100));
+        c.insert(1, kb(10), 1);
+        assert!(c.contains_fresh(1, 1));
+        assert!(!c.contains_fresh(1, 5));
+        assert!(c.peek(1).is_some(), "contains_fresh must not invalidate");
+    }
+
+    #[test]
+    fn refresh_updates_size_and_version() {
+        let mut c = LruCache::new(kb(100));
+        c.insert(1, kb(10), 1);
+        c.insert(1, kb(20), 3);
+        assert_eq!(c.get(1, 3), Some((kb(20), 3)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), kb(20));
+    }
+
+    #[test]
+    fn refresh_never_downgrades_version() {
+        let mut c = LruCache::new(kb(100));
+        c.insert(1, kb(10), 5);
+        c.insert(1, kb(10), 2);
+        assert_eq!(c.peek(1), Some((kb(10), 5)));
+    }
+
+    #[test]
+    fn oversized_object_not_cached() {
+        let mut c = LruCache::new(kb(10));
+        c.insert(7, kb(11), 0);
+        assert!(c.peek(7).is_none());
+        assert_eq!(c.used_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn exactly_capacity_object_is_cached_alone() {
+        let mut c = LruCache::new(kb(10));
+        c.insert(1, kb(4), 0);
+        let ev = c.insert(2, kb(10), 0);
+        assert_eq!(ev.len(), 1);
+        assert!(c.peek(2).is_some());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_reuse_slot() {
+        let mut c = LruCache::new(kb(100));
+        c.insert(1, kb(10), 0);
+        c.insert(2, kb(10), 0);
+        let removed = c.remove(1).expect("present");
+        assert_eq!(removed.key, 1);
+        assert_eq!(c.remove(1), None);
+        c.insert(3, kb(10), 0);
+        assert_eq!(c.len(), 2);
+        let keys: Vec<u64> = c.iter().map(|(k, _, _)| k).collect();
+        assert_eq!(keys, vec![3, 2]);
+    }
+
+    #[test]
+    fn demote_moves_to_cold_end() {
+        let mut c = LruCache::new(kb(30));
+        c.insert(1, kb(10), 0);
+        c.insert(2, kb(10), 0);
+        c.insert(3, kb(10), 0);
+        assert!(c.demote(3));
+        assert_eq!(c.lru_key(), Some(3));
+        let ev = c.insert(4, kb(10), 0);
+        assert_eq!(ev[0].key, 3, "demoted entry evicted first");
+        assert!(!c.demote(99));
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut c = LruCache::unbounded();
+        for i in 0..10_000u64 {
+            assert!(c.insert(i, kb(100), 0).is_empty());
+        }
+        assert_eq!(c.len(), 10_000);
+    }
+
+    #[test]
+    fn iter_in_recency_order() {
+        let mut c = LruCache::new(kb(100));
+        for i in 1..=4u64 {
+            c.insert(i, kb(1), 0);
+        }
+        c.get(2, 0);
+        let keys: Vec<u64> = c.iter().map(|(k, _, _)| k).collect();
+        assert_eq!(keys, vec![2, 4, 3, 1]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert(u64, u64, u32),
+            Get(u64, u32),
+            Remove(u64),
+            Demote(u64),
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0u64..50, 1u64..20_000, 0u32..4).prop_map(|(k, s, v)| Op::Insert(k, s, v)),
+                (0u64..50, 0u32..4).prop_map(|(k, v)| Op::Get(k, v)),
+                (0u64..50).prop_map(Op::Remove),
+                (0u64..50).prop_map(Op::Demote),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Capacity, byte accounting, and map/list consistency hold
+            /// under arbitrary operation sequences.
+            #[test]
+            fn invariants_hold(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+                let cap = ByteSize::from_bytes(50_000);
+                let mut c = LruCache::new(cap);
+                for op in ops {
+                    match op {
+                        Op::Insert(k, s, v) => { c.insert(k, ByteSize::from_bytes(s), v); }
+                        Op::Get(k, v) => { c.get(k, v); }
+                        Op::Remove(k) => { c.remove(k); }
+                        Op::Demote(k) => { c.demote(k); }
+                    }
+                    // Never over capacity.
+                    prop_assert!(c.used_bytes() <= cap);
+                    // Byte accounting matches the entries.
+                    let sum: u64 = c.iter().map(|(_, s, _)| s.as_bytes()).sum();
+                    prop_assert_eq!(sum, c.used_bytes().as_bytes());
+                    // List length matches map length.
+                    prop_assert_eq!(c.iter().count(), c.len());
+                }
+            }
+        }
+    }
+}

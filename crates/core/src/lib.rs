@@ -1,0 +1,59 @@
+//! The Beyond Hierarchies distributed-cache strategy simulator — the
+//! paper's primary contribution, reproduced end to end.
+//!
+//! This crate ties the substrates together into trace-driven simulations of
+//! four families of cache organizations:
+//!
+//! * [`strategies::DataHierarchy`] — the traditional Harvest/Squid-style
+//!   three-level data-cache hierarchy (the paper's baseline);
+//! * [`strategies::CentralDirectory`] — a CRISP-style centralized location
+//!   directory with direct cache-to-cache transfers;
+//! * [`strategies::HintHierarchy`] — the paper's architecture: data stays at
+//!   the leaves, a metadata hierarchy propagates compact location hints,
+//!   requests consult the *local* hint cache and go directly to the nearest
+//!   copy (or straight to the server — misses are never slowed down);
+//! * [`push`] — push-caching layered on the hint architecture: update push,
+//!   hierarchical push-on-miss (push-1 / push-half / push-all), and the
+//!   ideal-push upper bound.
+//!
+//! [`sim::Simulator`] drives any strategy over a workload and prices each
+//! request outcome under one or more [`bh_netmodel::CostModel`]s
+//! simultaneously (the outcome stream is model-independent; only the
+//! pricing differs, exactly as in the paper's Figure 8). The
+//! [`experiments`] module packages every table and figure of the paper's
+//! evaluation as a reproducible function.
+//!
+//! # Examples
+//!
+//! ```
+//! use bh_core::sim::{SimConfig, Simulator};
+//! use bh_core::strategies::StrategyKind;
+//! use bh_netmodel::{CostModel, TestbedModel};
+//! use bh_trace::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::small().with_requests(5_000);
+//! let config = SimConfig::infinite(&spec);
+//! let testbed = TestbedModel::new();
+//! let models: Vec<&dyn CostModel> = vec![&testbed];
+//! let report = Simulator::new(config).run(&spec, 42, StrategyKind::HintHierarchy, &models);
+//! assert!(report.metrics.cacheable > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metadata;
+pub mod metrics;
+pub mod outcome;
+pub mod push;
+pub mod sim;
+pub mod space;
+pub mod strategies;
+pub mod topology;
+
+pub use metrics::Metrics;
+pub use outcome::AccessPath;
+pub use sim::{SimConfig, SimReport, Simulator};
+pub use space::SpaceConfig;
+pub use topology::Topology;

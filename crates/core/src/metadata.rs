@@ -1,0 +1,188 @@
+//! The self-configuring metadata hierarchy in the simulator (§3.1.3).
+//!
+//! The main strategy simulator models hint propagation abstractly (each
+//! observer learns its nearest copy after a delay). This module realizes
+//! the *mechanism* under it: the virtual metadata trees embedded across the
+//! L1 nodes with the Plaxton algorithm. It routes each hint update from
+//! the node where the copy status changed toward the object's root,
+//! counting per-node message load, so the paper's three §3.1.3 claims are
+//! measurable:
+//!
+//! * **load distribution** — each node roots ≈1/n of the objects;
+//! * **locality** — low-level hops are short;
+//! * **fault tolerance** — node departures disturb few table entries and
+//!   routing still converges.
+
+use crate::topology::Topology;
+use bh_plaxton::{NodeSpec, PlaxtonTree};
+use serde::{Deserialize, Serialize};
+
+/// The embedded metadata hierarchy over a topology's L1 nodes.
+#[derive(Debug)]
+pub struct MetadataHierarchy {
+    tree: PlaxtonTree,
+    /// Messages handled per tree node (update forwarding load).
+    load: Vec<u64>,
+    /// Total hop count across all routed updates.
+    total_hops: u64,
+    /// Updates routed.
+    updates: u64,
+}
+
+impl MetadataHierarchy {
+    /// Embeds virtual trees over the topology's L1 nodes. Node positions
+    /// cluster by L2 group (nodes sharing an L2 are near each other), so
+    /// the embedding sees the same locality structure the cost model prices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no L1 nodes (cannot happen for validated
+    /// workload specs).
+    pub fn new(topo: &Topology, arity_bits: u32) -> Self {
+        let specs: Vec<NodeSpec> = (0..topo.l1_count())
+            .map(|i| {
+                let group = topo.l2_of(i);
+                let within = i % topo.l1s_per_l2();
+                NodeSpec::from_address(
+                    &format!("10.{}.{}.1:3128", group, within),
+                    // Groups 10 units apart; members 1 unit apart.
+                    (group as f64 * 10.0 + within as f64, group as f64 * 10.0),
+                )
+            })
+            .collect();
+        let tree = PlaxtonTree::build(specs, arity_bits).expect("valid node set");
+        let n = tree.len();
+        MetadataHierarchy { tree, load: vec![0; n], total_hops: 0, updates: 0 }
+    }
+
+    /// Routes one hint update from `from_l1` toward the root for
+    /// `object_key`, accumulating per-node load. Returns the hop count
+    /// (path length − 1).
+    pub fn route_update(&mut self, from_l1: u32, object_key: u64) -> usize {
+        let path = self.tree.route(from_l1 as usize, object_key);
+        for &node in &path {
+            if node >= self.load.len() {
+                self.load.resize(node + 1, 0);
+            }
+            self.load[node] += 1;
+        }
+        self.updates += 1;
+        let hops = path.len().saturating_sub(1);
+        self.total_hops += hops as u64;
+        hops
+    }
+
+    /// The root node for an object (where its hint state aggregates).
+    pub fn root_of(&self, object_key: u64) -> usize {
+        self.tree.root_of(object_key)
+    }
+
+    /// Removes a node (failure / departure); returns repaired table entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`bh_plaxton::PlaxtonError`] for unknown/dead nodes.
+    pub fn remove_node(&mut self, node: usize) -> Result<usize, bh_plaxton::PlaxtonError> {
+        self.tree.remove_node(node)
+    }
+
+    /// Summary statistics of the routing load observed so far.
+    pub fn stats(&self) -> MetadataStats {
+        let handled: u64 = self.load.iter().sum();
+        let busiest = self.load.iter().copied().max().unwrap_or(0);
+        let n = self.load.len().max(1) as f64;
+        MetadataStats {
+            updates: self.updates,
+            mean_hops: if self.updates == 0 {
+                0.0
+            } else {
+                self.total_hops as f64 / self.updates as f64
+            },
+            busiest_node_share: if handled == 0 { 0.0 } else { busiest as f64 / handled as f64 },
+            load_imbalance: if handled == 0 {
+                0.0
+            } else {
+                busiest as f64 / (handled as f64 / n)
+            },
+        }
+    }
+}
+
+/// Routing-load summary for the metadata hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetadataStats {
+    /// Updates routed.
+    pub updates: u64,
+    /// Mean hops per update.
+    pub mean_hops: f64,
+    /// Fraction of all messages handled by the busiest node.
+    pub busiest_node_share: f64,
+    /// Busiest node's load relative to the mean (1.0 = perfectly even).
+    pub load_imbalance: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_trace::WorkloadSpec;
+
+    fn topo() -> Topology {
+        Topology::from_spec(&WorkloadSpec::dec()) // 64 L1s
+    }
+
+    #[test]
+    fn routes_bounded_and_counted() {
+        let mut md = MetadataHierarchy::new(&topo(), 2);
+        for obj in 0..500u64 {
+            let key = bh_md5::md5(obj.to_le_bytes()).low64();
+            let hops = md.route_update((obj % 64) as u32, key);
+            assert!(hops <= 16, "route too long: {hops}");
+        }
+        let s = md.stats();
+        assert_eq!(s.updates, 500);
+        assert!(s.mean_hops >= 1.0, "updates from non-root nodes must hop");
+    }
+
+    #[test]
+    fn no_single_node_hotspot() {
+        // §3.1.3 "Load distribution": different objects use different
+        // virtual trees, so no node sees a constant fraction of all updates
+        // the way a centralized directory would (100%).
+        let mut md = MetadataHierarchy::new(&topo(), 2);
+        let mut rng = bh_simcore::rng::Xoshiro256::seed_from_u64(5);
+        for obj in 0..4_000u64 {
+            let key = bh_md5::md5(obj.to_le_bytes()).low64();
+            md.route_update(rng.below(64) as u32, key);
+        }
+        let s = md.stats();
+        assert!(
+            s.busiest_node_share < 0.30,
+            "busiest node handles {:.2} of traffic — hotspot",
+            s.busiest_node_share
+        );
+    }
+
+    #[test]
+    fn survives_node_departures() {
+        let mut md = MetadataHierarchy::new(&topo(), 2);
+        let changed = md.remove_node(7).expect("remove");
+        assert!(changed > 0, "departure should repair some entries");
+        // Routing still works from every surviving node.
+        for obj in 0..100u64 {
+            let key = bh_md5::md5(obj.to_le_bytes()).low64();
+            let from = if obj % 64 == 7 { 8 } else { obj % 64 };
+            md.route_update(from as u32, key);
+        }
+        assert!(md.stats().updates == 100);
+    }
+
+    #[test]
+    fn roots_deterministic() {
+        let a = MetadataHierarchy::new(&topo(), 2);
+        let b = MetadataHierarchy::new(&topo(), 2);
+        for obj in 0..200u64 {
+            let key = bh_md5::md5(obj.to_le_bytes()).low64();
+            assert_eq!(a.root_of(key), b.root_of(key));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Simulation metrics: everything the paper's evaluation section reports.
+
+use crate::outcome::AccessPath;
+use bh_netmodel::{Level, RemoteDistance};
+use bh_simcore::stats::OnlineStats;
+use bh_simcore::{ByteSize, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Counters and response-time accumulators for one simulation run.
+///
+/// Response times are accumulated per cost model (the same outcome stream
+/// is priced under several models at once, as in Figure 8's Testbed / Min /
+/// Max groups).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Total requests seen after warm-up (all classes).
+    pub requests: u64,
+    /// Cacheable requests measured.
+    pub cacheable: u64,
+    /// Uncachable requests (excluded from response-time stats, §2.2.2).
+    pub uncachable: u64,
+    /// Error requests (likewise excluded).
+    pub errors: u64,
+    /// Requests skipped during warm-up.
+    pub warmup_skipped: u64,
+
+    /// Hits in the client's own L1.
+    pub l1_hits: u64,
+    /// Data-hierarchy hits at L2.
+    pub l2_hits: u64,
+    /// Data-hierarchy hits at L3.
+    pub l3_hits: u64,
+    /// Hint/directory remote hits from a same-L2 peer.
+    pub remote_hits_l2: u64,
+    /// Hint/directory remote hits from an L3-distance peer.
+    pub remote_hits_l3: u64,
+    /// Requests that ended at the origin server.
+    pub server_fetches: u64,
+    /// Server fetches preceded by a wasted probe (false-positive hints).
+    pub false_positives: u64,
+    /// Server fetches where a fresh copy existed somewhere but the local
+    /// hint cache did not know it (false negatives).
+    pub false_negatives: u64,
+    /// Remote fetches that went to a farther copy than the nearest one
+    /// available (suboptimal positives — stale hints, §3.1.1).
+    pub suboptimal_positives: u64,
+
+    /// Bytes served from any cache.
+    pub hit_bytes: u64,
+    /// Bytes served from the client's own L1.
+    pub l1_hit_bytes: u64,
+    /// Bytes served from data-hierarchy L2 caches.
+    pub l2_hit_bytes: u64,
+    /// Bytes served from data-hierarchy L3 caches.
+    pub l3_hit_bytes: u64,
+    /// Bytes served by peer caches via hints/directory.
+    pub remote_hit_bytes: u64,
+    /// Total bytes of measured cacheable requests.
+    pub total_bytes: u64,
+
+    /// Hint updates arriving at the metadata root (Table 5, hierarchy row).
+    pub root_updates: u64,
+    /// Total copy add/drop events (what a centralized directory would
+    /// receive — Table 5, centralized row).
+    pub directory_updates: u64,
+
+    /// Push-caching: copies pushed.
+    pub pushes: u64,
+    /// Push-caching: bytes pushed.
+    pub pushed_bytes: u64,
+    /// Push-caching: pushed copies later used by a local hit.
+    pub pushed_used: u64,
+    /// Push-caching: bytes of pushed copies later used.
+    pub pushed_used_bytes: u64,
+    /// Bytes fetched on demand (from peers or the server).
+    pub demand_bytes: u64,
+
+    /// Measured window (for per-second rates).
+    pub window_start: SimTime,
+    /// End of the measured window.
+    pub window_end: SimTime,
+
+    /// Per-model mean response time over measured cacheable requests.
+    pub response: Vec<(String, OnlineStats)>,
+}
+
+impl Metrics {
+    /// Creates empty metrics with one response accumulator per model name.
+    pub fn new(model_names: &[&str]) -> Self {
+        Metrics {
+            response: model_names.iter().map(|n| (n.to_string(), OnlineStats::new())).collect(),
+            window_start: SimTime::MAX,
+            ..Metrics::default()
+        }
+    }
+
+    /// Records a priced, measured cacheable request.
+    pub fn record(&mut self, path: AccessPath, size: ByteSize, at: SimTime) {
+        self.requests += 1;
+        self.cacheable += 1;
+        self.total_bytes += size.as_bytes();
+        if self.window_start == SimTime::MAX {
+            self.window_start = at;
+        }
+        self.window_end = at;
+        match path {
+            AccessPath::L1Hit | AccessPath::HierarchyHit(Level::L1) => {
+                self.l1_hits += 1;
+                self.l1_hit_bytes += size.as_bytes();
+            }
+            AccessPath::HierarchyHit(Level::L2) => {
+                self.l2_hits += 1;
+                self.l2_hit_bytes += size.as_bytes();
+            }
+            AccessPath::HierarchyHit(Level::L3) => {
+                self.l3_hits += 1;
+                self.l3_hit_bytes += size.as_bytes();
+            }
+            AccessPath::HierarchyMiss => self.server_fetches += 1,
+            AccessPath::RemoteHit { distance } | AccessPath::DirectoryRemoteHit { distance } => {
+                self.remote_hit_bytes += size.as_bytes();
+                match distance {
+                    RemoteDistance::SameL2 => self.remote_hits_l2 += 1,
+                    RemoteDistance::SameL3 => self.remote_hits_l3 += 1,
+                }
+            }
+            AccessPath::ServerFetch { false_positive } => {
+                self.server_fetches += 1;
+                if false_positive.is_some() {
+                    self.false_positives += 1;
+                }
+            }
+            AccessPath::DirectoryServerFetch => self.server_fetches += 1,
+        }
+        if path.is_hit() {
+            self.hit_bytes += size.as_bytes();
+        }
+    }
+
+    /// Adds the priced response time for model slot `model_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model_idx` is out of range.
+    pub fn record_response(&mut self, model_idx: usize, millis: f64) {
+        self.response[model_idx].1.record(millis);
+    }
+
+    /// Total cache hits (any level, any peer).
+    pub fn hits(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.l3_hits + self.remote_hits_l2 + self.remote_hits_l3
+    }
+
+    /// Request hit ratio over measured cacheable requests.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.cacheable == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.cacheable as f64
+        }
+    }
+
+    /// Byte hit ratio over measured cacheable requests.
+    pub fn byte_hit_ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.hit_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Mean response time in ms under the model named `name`.
+    pub fn mean_response_ms(&self, name: &str) -> Option<f64> {
+        self.response.iter().find(|(n, _)| n == name).map(|(_, s)| s.mean())
+    }
+
+    /// Push efficiency: fraction of pushed bytes later used (Figure 11a).
+    pub fn push_efficiency(&self) -> f64 {
+        if self.pushed_bytes == 0 {
+            0.0
+        } else {
+            self.pushed_used_bytes as f64 / self.pushed_bytes as f64
+        }
+    }
+
+    /// The measured window length in seconds (0 if fewer than two records).
+    pub fn window_secs(&self) -> f64 {
+        if self.window_start == SimTime::MAX {
+            0.0
+        } else {
+            self.window_end.saturating_since(self.window_start).as_secs_f64()
+        }
+    }
+
+    /// Push bandwidth in KB/s over the measured window (Figure 11b).
+    pub fn push_bandwidth_kbps(&self) -> f64 {
+        let w = self.window_secs();
+        if w == 0.0 {
+            0.0
+        } else {
+            self.pushed_bytes as f64 / 1024.0 / w
+        }
+    }
+
+    /// Demand-fetch bandwidth in KB/s over the measured window (Figure 11b).
+    pub fn demand_bandwidth_kbps(&self) -> f64 {
+        let w = self.window_secs();
+        if w == 0.0 {
+            0.0
+        } else {
+            self.demand_bytes as f64 / 1024.0 / w
+        }
+    }
+
+    /// Root hint-update load in updates/s (Table 5).
+    pub fn root_update_rate(&self) -> f64 {
+        let w = self.window_secs();
+        if w == 0.0 {
+            0.0
+        } else {
+            self.root_updates as f64 / w
+        }
+    }
+
+    /// Centralized-directory update load in updates/s (Table 5).
+    pub fn directory_update_rate(&self) -> f64 {
+        let w = self.window_secs();
+        if w == 0.0 {
+            0.0
+        } else {
+            self.directory_updates as f64 / w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb(n: u64) -> ByteSize {
+        ByteSize::from_kb(n)
+    }
+
+    #[test]
+    fn record_classifies_paths() {
+        let mut m = Metrics::new(&["Testbed"]);
+        let t = SimTime::from_secs(1);
+        m.record(AccessPath::L1Hit, kb(10), t);
+        m.record(AccessPath::HierarchyHit(Level::L2), kb(10), t);
+        m.record(AccessPath::HierarchyHit(Level::L3), kb(10), t);
+        m.record(AccessPath::HierarchyMiss, kb(10), t);
+        m.record(AccessPath::RemoteHit { distance: RemoteDistance::SameL2 }, kb(10), t);
+        m.record(AccessPath::RemoteHit { distance: RemoteDistance::SameL3 }, kb(10), t);
+        m.record(
+            AccessPath::ServerFetch { false_positive: Some(RemoteDistance::SameL2) },
+            kb(10),
+            t,
+        );
+        assert_eq!(m.l1_hits, 1);
+        assert_eq!(m.l2_hits, 1);
+        assert_eq!(m.l3_hits, 1);
+        assert_eq!(m.remote_hits_l2, 1);
+        assert_eq!(m.remote_hits_l3, 1);
+        assert_eq!(m.server_fetches, 2);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.hits(), 5);
+        assert!((m.hit_ratio() - 5.0 / 7.0).abs() < 1e-12);
+        assert!((m.byte_hit_ratio() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_accumulators_per_model() {
+        let mut m = Metrics::new(&["Min", "Max"]);
+        m.record_response(0, 100.0);
+        m.record_response(1, 500.0);
+        m.record_response(0, 200.0);
+        assert_eq!(m.mean_response_ms("Min"), Some(150.0));
+        assert_eq!(m.mean_response_ms("Max"), Some(500.0));
+        assert_eq!(m.mean_response_ms("Nope"), None);
+    }
+
+    #[test]
+    fn push_efficiency_and_bandwidth() {
+        let mut m = Metrics::new(&[]);
+        m.record(AccessPath::L1Hit, kb(1), SimTime::from_secs(0));
+        m.record(AccessPath::L1Hit, kb(1), SimTime::from_secs(100));
+        m.pushed_bytes = 300 * 1024;
+        m.pushed_used_bytes = 100 * 1024;
+        m.demand_bytes = 600 * 1024;
+        assert!((m.push_efficiency() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.push_bandwidth_kbps() - 3.0).abs() < 1e-9);
+        assert!((m.demand_bandwidth_kbps() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new(&["X"]);
+        assert_eq!(m.hit_ratio(), 0.0);
+        assert_eq!(m.byte_hit_ratio(), 0.0);
+        assert_eq!(m.window_secs(), 0.0);
+        assert_eq!(m.push_efficiency(), 0.0);
+        assert_eq!(m.root_update_rate(), 0.0);
+    }
+
+    #[test]
+    fn update_rates_use_window() {
+        let mut m = Metrics::new(&[]);
+        m.record(AccessPath::L1Hit, kb(1), SimTime::from_secs(0));
+        m.record(AccessPath::L1Hit, kb(1), SimTime::from_secs(10));
+        m.root_updates = 19;
+        m.directory_updates = 57;
+        assert!((m.root_update_rate() - 1.9).abs() < 1e-9);
+        assert!((m.directory_update_rate() - 5.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Request outcomes — the model-independent description of the path a
+//! request took, priced later by a [`bh_netmodel::CostModel`].
+
+use bh_netmodel::{CostModel, Level, RemoteDistance};
+use bh_simcore::{ByteSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The path one request took through the cache system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPath {
+    /// Hit in the client's own L1 proxy.
+    L1Hit,
+    /// Hit at a higher level of a *data* hierarchy, reached (and answered)
+    /// through every level in between.
+    HierarchyHit(Level),
+    /// Full data-hierarchy traversal ending at the origin server.
+    HierarchyMiss,
+    /// Hint architecture: local hints named a peer with a copy; direct
+    /// cache-to-cache fetch from `distance`.
+    RemoteHit {
+        /// How far the supplying peer is.
+        distance: RemoteDistance,
+    },
+    /// Hint architecture: request went straight to the origin server.
+    /// `false_positive` carries the distance of a peer that was probed
+    /// in vain first (the hint was wrong).
+    ServerFetch {
+        /// A wasted probe preceding the server fetch, if any.
+        false_positive: Option<RemoteDistance>,
+    },
+    /// Directory architecture: lookup round trip, then a remote fetch.
+    DirectoryRemoteHit {
+        /// How far the supplying peer is.
+        distance: RemoteDistance,
+    },
+    /// Directory architecture: lookup round trip, then the origin server.
+    DirectoryServerFetch,
+}
+
+impl AccessPath {
+    /// Whether the request was served from some cache.
+    pub fn is_hit(self) -> bool {
+        matches!(
+            self,
+            AccessPath::L1Hit
+                | AccessPath::HierarchyHit(_)
+                | AccessPath::RemoteHit { .. }
+                | AccessPath::DirectoryRemoteHit { .. }
+        )
+    }
+
+    /// Whether the request was served from the client's own L1.
+    pub fn is_local_hit(self) -> bool {
+        matches!(self, AccessPath::L1Hit)
+    }
+
+    /// Prices this path under `model` for an object of `size`.
+    pub fn price(self, model: &dyn CostModel, size: ByteSize) -> SimDuration {
+        match self {
+            AccessPath::L1Hit => model.hierarchy_hit(Level::L1, size),
+            AccessPath::HierarchyHit(level) => model.hierarchy_hit(level, size),
+            AccessPath::HierarchyMiss => model.hierarchy_miss(size),
+            AccessPath::RemoteHit { distance } => model.remote_fetch(distance, size),
+            AccessPath::ServerFetch { false_positive } => {
+                let mut t = model.server_fetch(size);
+                if let Some(d) = false_positive {
+                    t += model.false_positive_penalty(d);
+                }
+                t
+            }
+            AccessPath::DirectoryRemoteHit { distance } => {
+                model.directory_lookup() + model.remote_fetch(distance, size)
+            }
+            AccessPath::DirectoryServerFetch => model.directory_lookup() + model.server_fetch(size),
+        }
+    }
+
+    /// The ideal-push transformation (§4.1.1's best case): every hit to a
+    /// distant cache becomes a local L1 hit; misses are unchanged.
+    pub fn idealized(self) -> AccessPath {
+        match self {
+            AccessPath::HierarchyHit(_)
+            | AccessPath::RemoteHit { .. }
+            | AccessPath::DirectoryRemoteHit { .. } => AccessPath::L1Hit,
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_netmodel::RousskovModel;
+
+    const SZ: ByteSize = ByteSize::from_kb(8);
+
+    #[test]
+    fn hit_predicates() {
+        assert!(AccessPath::L1Hit.is_hit());
+        assert!(AccessPath::L1Hit.is_local_hit());
+        assert!(AccessPath::HierarchyHit(Level::L3).is_hit());
+        assert!(!AccessPath::HierarchyMiss.is_hit());
+        assert!(AccessPath::RemoteHit { distance: RemoteDistance::SameL2 }.is_hit());
+        assert!(!AccessPath::ServerFetch { false_positive: None }.is_hit());
+        assert!(!AccessPath::DirectoryServerFetch.is_hit());
+    }
+
+    #[test]
+    fn pricing_matches_model() {
+        let m = RousskovModel::min();
+        assert_eq!(AccessPath::L1Hit.price(&m, SZ).as_millis_f64(), 163.0);
+        assert_eq!(
+            AccessPath::HierarchyHit(Level::L2).price(&m, SZ).as_millis_f64(),
+            271.0
+        );
+        assert_eq!(AccessPath::HierarchyMiss.price(&m, SZ).as_millis_f64(), 981.0);
+        assert_eq!(
+            AccessPath::RemoteHit { distance: RemoteDistance::SameL3 }
+                .price(&m, SZ)
+                .as_millis_f64(),
+            411.0
+        );
+        assert_eq!(
+            AccessPath::ServerFetch { false_positive: None }.price(&m, SZ).as_millis_f64(),
+            641.0
+        );
+    }
+
+    #[test]
+    fn false_positive_costs_extra() {
+        let m = RousskovModel::min();
+        let clean = AccessPath::ServerFetch { false_positive: None }.price(&m, SZ);
+        let probed = AccessPath::ServerFetch { false_positive: Some(RemoteDistance::SameL2) }
+            .price(&m, SZ);
+        assert!(probed > clean);
+    }
+
+    #[test]
+    fn directory_pays_lookup() {
+        let m = RousskovModel::min();
+        let plain = AccessPath::RemoteHit { distance: RemoteDistance::SameL2 }.price(&m, SZ);
+        let dir = AccessPath::DirectoryRemoteHit { distance: RemoteDistance::SameL2 }.price(&m, SZ);
+        assert!(dir > plain);
+    }
+
+    #[test]
+    fn idealized_promotes_distant_hits_only() {
+        assert_eq!(AccessPath::HierarchyHit(Level::L3).idealized(), AccessPath::L1Hit);
+        assert_eq!(
+            AccessPath::RemoteHit { distance: RemoteDistance::SameL3 }.idealized(),
+            AccessPath::L1Hit
+        );
+        assert_eq!(AccessPath::HierarchyMiss.idealized(), AccessPath::HierarchyMiss);
+        assert_eq!(
+            AccessPath::ServerFetch { false_positive: None }.idealized(),
+            AccessPath::ServerFetch { false_positive: None }
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Push-caching policies (§4).
+//!
+//! Push algorithms replicate data *before* it is requested, to convert hits
+//! on distant caches into hits on nearby ones. The paper examines:
+//!
+//! * **update push** (§4.1.2) — when a communication miss re-fetches a
+//!   modified object, push the new version to every cache that held the old
+//!   version (they are the best predictor of future interest); pushed
+//!   copies are *aged* (inserted at the cold end of the LRU) so repeatedly
+//!   updated but unread objects drift out;
+//! * **hierarchical push on miss** (§4.1.3) — when a cache fetches from a
+//!   cousin whose least common ancestor is at level *k*, push the object to
+//!   a configurable number of nodes in each level-(k−1) subtree under that
+//!   ancestor (`push-1` / `push-half` / `push-all`);
+//! * **ideal push** (§4.1.1) — the upper bound: every L2/L3-distance hit
+//!   becomes an L1 hit, misses are unchanged, pushed copies consume no
+//!   space. Implemented as an outcome transformation
+//!   ([`crate::AccessPath::idealized`]).
+
+use serde::{Deserialize, Serialize};
+
+/// How many nodes per eligible subtree a hierarchical push targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PushFraction {
+    /// One random node per eligible subtree (`push-1`).
+    One,
+    /// Half the nodes in each eligible subtree (`push-half`).
+    Half,
+    /// Every node in each eligible subtree (`push-all`).
+    All,
+}
+
+impl PushFraction {
+    /// Number of targets for a subtree of `subtree_size` nodes
+    /// (always at least one for non-empty subtrees).
+    pub fn targets(self, subtree_size: usize) -> usize {
+        if subtree_size == 0 {
+            return 0;
+        }
+        match self {
+            PushFraction::One => 1,
+            PushFraction::Half => subtree_size.div_ceil(2),
+            PushFraction::All => subtree_size,
+        }
+    }
+}
+
+impl std::fmt::Display for PushFraction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PushFraction::One => "push-1",
+            PushFraction::Half => "push-half",
+            PushFraction::All => "push-all",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The push policy a hint hierarchy runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PushPolicy {
+    /// Demand replication only.
+    #[default]
+    None,
+    /// Update push (§4.1.2).
+    Update,
+    /// Hierarchical push on miss (§4.1.3).
+    Hierarchical(PushFraction),
+}
+
+impl std::fmt::Display for PushPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushPolicy::None => f.write_str("no-push"),
+            PushPolicy::Update => f.write_str("update-push"),
+            PushPolicy::Hierarchical(fr) => write!(f, "{fr}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_targets() {
+        assert_eq!(PushFraction::One.targets(8), 1);
+        assert_eq!(PushFraction::Half.targets(8), 4);
+        assert_eq!(PushFraction::Half.targets(7), 4);
+        assert_eq!(PushFraction::All.targets(8), 8);
+        // Single-node subtrees: every variant pushes to that node (the k=2
+        // case of Figure 9, where level-1 subtrees are single caches).
+        for f in [PushFraction::One, PushFraction::Half, PushFraction::All] {
+            assert_eq!(f.targets(1), 1);
+            assert_eq!(f.targets(0), 0);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PushPolicy::None.to_string(), "no-push");
+        assert_eq!(PushPolicy::Update.to_string(), "update-push");
+        assert_eq!(PushPolicy::Hierarchical(PushFraction::Half).to_string(), "push-half");
+    }
+}

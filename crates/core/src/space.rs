@@ -1,0 +1,111 @@
+//! Space configurations for the two evaluation regimes of Figure 8.
+
+use bh_simcore::ByteSize;
+use bh_trace::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// Disk-space allocation across the cache system.
+///
+/// The paper evaluates two regimes:
+///
+/// * **infinite** — every node has unlimited disk (Figure 8a);
+/// * **space-constrained** — each node of the traditional data hierarchy
+///   gets 5 GB for objects, while each hint-system L1 gets 4.5 GB for data
+///   plus 500 MB for hints at every L1/L2/L3 node — *deliberately giving
+///   the standard hierarchy more space* (Figure 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceConfig {
+    /// Per-L1 data-cache capacity for hierarchy/directory strategies.
+    pub hierarchy_node_capacity: ByteSize,
+    /// Per-L1 data-cache capacity for the hint strategy.
+    pub hint_node_capacity: ByteSize,
+    /// Per-node hint-store capacity ([`ByteSize::MAX`] = unbounded).
+    pub hint_store_capacity: ByteSize,
+}
+
+impl SpaceConfig {
+    /// Every cache infinite, hint stores unbounded (Figure 8a).
+    pub fn infinite() -> Self {
+        SpaceConfig {
+            hierarchy_node_capacity: ByteSize::MAX,
+            hint_node_capacity: ByteSize::MAX,
+            hint_store_capacity: ByteSize::MAX,
+        }
+    }
+
+    /// The paper's space-constrained arrangement (Figure 8b): 5 GB per
+    /// hierarchy node; 4.5 GB data + 500 MB hints per hint-system node.
+    pub fn constrained() -> Self {
+        SpaceConfig {
+            hierarchy_node_capacity: ByteSize::from_gb(5),
+            hint_node_capacity: ByteSize::from_mb(4608), // 4.5 GiB
+            hint_store_capacity: ByteSize::from_mb(512), // the paper's "500 MB"
+        }
+    }
+
+    /// A constrained configuration scaled to a reduced workload, keeping
+    /// capacity proportional to the traffic so eviction pressure (and thus
+    /// capacity-miss behaviour) matches a full-scale run.
+    pub fn constrained_scaled(spec: &WorkloadSpec) -> Self {
+        let full = WorkloadSpec::dec().requests as f64;
+        let factor = (spec.requests as f64 / full).min(1.0);
+        let scale = |b: ByteSize| {
+            ByteSize::from_bytes(((b.as_bytes() as f64 * factor) as u64).max(1 << 20))
+        };
+        let c = Self::constrained();
+        SpaceConfig {
+            hierarchy_node_capacity: scale(c.hierarchy_node_capacity),
+            hint_node_capacity: scale(c.hint_node_capacity),
+            hint_store_capacity: scale(c.hint_store_capacity),
+        }
+    }
+
+    /// Whether any component is bounded.
+    pub fn is_constrained(&self) -> bool {
+        !self.hierarchy_node_capacity.is_unlimited()
+            || !self.hint_node_capacity.is_unlimited()
+            || !self.hint_store_capacity.is_unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_is_unbounded() {
+        let s = SpaceConfig::infinite();
+        assert!(!s.is_constrained());
+        assert!(s.hierarchy_node_capacity.is_unlimited());
+    }
+
+    #[test]
+    fn constrained_matches_paper_figures() {
+        let s = SpaceConfig::constrained();
+        assert!(s.is_constrained());
+        assert_eq!(s.hierarchy_node_capacity, ByteSize::from_gb(5));
+        // 4.5 GB + 0.5 GB = the hierarchy's 5 GB: the hint system never gets
+        // more total space than the baseline.
+        assert_eq!(
+            s.hint_node_capacity + s.hint_store_capacity,
+            ByteSize::from_gb(5)
+        );
+    }
+
+    #[test]
+    fn scaled_config_shrinks_with_workload() {
+        let tenth = WorkloadSpec::dec().scaled(0.1);
+        let s = SpaceConfig::constrained_scaled(&tenth);
+        let full = SpaceConfig::constrained();
+        assert!(s.hierarchy_node_capacity < full.hierarchy_node_capacity);
+        let ratio = s.hierarchy_node_capacity.as_bytes() as f64
+            / full.hierarchy_node_capacity.as_bytes() as f64;
+        assert!((ratio - 0.1).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaled_config_never_exceeds_full() {
+        let s = SpaceConfig::constrained_scaled(&WorkloadSpec::dec());
+        assert_eq!(s.hierarchy_node_capacity, SpaceConfig::constrained().hierarchy_node_capacity);
+    }
+}

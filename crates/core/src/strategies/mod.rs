@@ -1,0 +1,206 @@
+//! The cache-organization strategies under evaluation.
+
+mod client_hints;
+mod directory;
+mod hierarchy;
+mod hint;
+mod multicast;
+
+pub use client_hints::{ClientHintConfig, ClientHints};
+pub use directory::CentralDirectory;
+pub use hierarchy::DataHierarchy;
+pub use hint::{HintConfig, HintHierarchy};
+pub use multicast::{IcpMulticast, MULTICAST_SCOPE};
+
+use crate::metrics::Metrics;
+use crate::outcome::AccessPath;
+use crate::push::{PushFraction, PushPolicy};
+use crate::space::SpaceConfig;
+use crate::topology::{NodeIdx, Topology};
+use bh_simcore::{ByteSize, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One cacheable request, as a strategy sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestCtx {
+    /// Arrival time.
+    pub time: SimTime,
+    /// The requesting client (client-level hint stores key on this).
+    pub client: bh_trace::ClientId,
+    /// The L1 node serving the requesting client.
+    pub l1: NodeIdx,
+    /// The object's 64-bit key ([`bh_trace::ObjectId::key`]).
+    pub key: u64,
+    /// Object size.
+    pub size: ByteSize,
+    /// Current object version (bumps invalidate cached copies).
+    pub version: u32,
+}
+
+/// A cache-organization strategy: consumes cacheable requests, evolves its
+/// cache state, and reports the access path each request took.
+pub trait Strategy {
+    /// Handles one cacheable request.
+    fn on_request(&mut self, ctx: &RequestCtx) -> AccessPath;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Copies strategy-internal counters (hint-update load, push
+    /// accounting, …) into the metrics at the end of a run.
+    fn finalize(&mut self, metrics: &mut Metrics) {
+        let _ = metrics;
+    }
+}
+
+/// Selects and parameterizes a strategy (the rows of Figures 8 and 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Traditional three-level data hierarchy (Harvest/Squid baseline).
+    DataHierarchy,
+    /// CRISP-style centralized directory with cache-to-cache transfers.
+    CentralDirectory,
+    /// The paper's hint hierarchy, demand replication only.
+    HintHierarchy,
+    /// Hint hierarchy + update push.
+    HintUpdatePush,
+    /// Hint hierarchy + hierarchical push on miss.
+    HintHierarchicalPush(PushFraction),
+    /// Hint hierarchy priced under the ideal-push upper bound
+    /// ([`AccessPath::idealized`]).
+    HintIdealPush,
+    /// ICP-style multicast queries to the L2 neighborhood (related-work
+    /// baseline; §3.1.1's contrast case).
+    IcpMulticast,
+}
+
+impl StrategyKind {
+    /// All kinds compared in Figure 10, in the paper's bar order.
+    pub const FIGURE10: [StrategyKind; 7] = [
+        StrategyKind::DataHierarchy,
+        StrategyKind::HintHierarchy,
+        StrategyKind::HintUpdatePush,
+        StrategyKind::HintHierarchicalPush(PushFraction::One),
+        StrategyKind::HintHierarchicalPush(PushFraction::Half),
+        StrategyKind::HintHierarchicalPush(PushFraction::All),
+        StrategyKind::HintIdealPush,
+    ];
+
+    /// Whether outcomes should be transformed by [`AccessPath::idealized`].
+    pub fn idealized(self) -> bool {
+        matches!(self, StrategyKind::HintIdealPush)
+    }
+
+    /// Human-readable label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::DataHierarchy => "Hierarchy",
+            StrategyKind::CentralDirectory => "Directory",
+            StrategyKind::HintHierarchy => "Hints",
+            StrategyKind::IcpMulticast => "ICP",
+            StrategyKind::HintUpdatePush => "Update Push",
+            StrategyKind::HintHierarchicalPush(PushFraction::One) => "Push-1",
+            StrategyKind::HintHierarchicalPush(PushFraction::Half) => "Push-half",
+            StrategyKind::HintHierarchicalPush(PushFraction::All) => "Push-all",
+            StrategyKind::HintIdealPush => "Push-ideal",
+        }
+    }
+
+    /// Builds the strategy for `topo` under `space`, deterministic in `seed`.
+    pub fn build(
+        self,
+        topo: Topology,
+        space: &SpaceConfig,
+        hint_delay: SimDuration,
+        seed: u64,
+    ) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::DataHierarchy => {
+                Box::new(DataHierarchy::new(topo, space.hierarchy_node_capacity))
+            }
+            StrategyKind::CentralDirectory => {
+                Box::new(CentralDirectory::new(topo, space.hierarchy_node_capacity))
+            }
+            StrategyKind::IcpMulticast => {
+                Box::new(IcpMulticast::new(topo, space.hierarchy_node_capacity))
+            }
+            StrategyKind::HintHierarchy | StrategyKind::HintIdealPush => Box::new(
+                HintHierarchy::new(
+                    topo,
+                    HintConfig {
+                        data_capacity: space.hint_node_capacity,
+                        store_capacity: space.hint_store_capacity,
+                        delay: hint_delay,
+                        push: PushPolicy::None,
+                    },
+                    seed,
+                ),
+            ),
+            StrategyKind::HintUpdatePush => Box::new(HintHierarchy::new(
+                topo,
+                HintConfig {
+                    data_capacity: space.hint_node_capacity,
+                    store_capacity: space.hint_store_capacity,
+                    delay: hint_delay,
+                    push: PushPolicy::Update,
+                },
+                seed,
+            )),
+            StrategyKind::HintHierarchicalPush(fr) => Box::new(HintHierarchy::new(
+                topo,
+                HintConfig {
+                    data_capacity: space.hint_node_capacity,
+                    store_capacity: space.hint_store_capacity,
+                    delay: hint_delay,
+                    push: PushPolicy::Hierarchical(fr),
+                },
+                seed,
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_trace::WorkloadSpec;
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for k in StrategyKind::FIGURE10 {
+            assert!(seen.insert(k.label()), "duplicate label {}", k.label());
+        }
+    }
+
+    #[test]
+    fn only_ideal_is_idealized() {
+        assert!(StrategyKind::HintIdealPush.idealized());
+        assert!(!StrategyKind::HintHierarchy.idealized());
+        assert!(!StrategyKind::DataHierarchy.idealized());
+    }
+
+    #[test]
+    fn build_constructs_every_kind() {
+        let topo = Topology::from_spec(&WorkloadSpec::small());
+        let space = SpaceConfig::infinite();
+        for kind in [
+            StrategyKind::DataHierarchy,
+            StrategyKind::CentralDirectory,
+            StrategyKind::IcpMulticast,
+            StrategyKind::HintHierarchy,
+            StrategyKind::HintUpdatePush,
+            StrategyKind::HintHierarchicalPush(PushFraction::Half),
+            StrategyKind::HintIdealPush,
+        ] {
+            let s = kind.build(topo.clone(), &space, SimDuration::ZERO, 1);
+            assert!(!s.name().is_empty());
+        }
+    }
+}

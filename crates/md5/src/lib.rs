@@ -1,0 +1,392 @@
+//! From-scratch MD5 (RFC 1321) message digest.
+//!
+//! The Beyond Hierarchies design derives identifiers from MD5 signatures:
+//! node IDs are the MD5 of the node's IP address, object IDs are the MD5 of
+//! the object's URL, and hint records store 8-byte (64-bit) prefixes of those
+//! digests (paper §3.1.3, §3.2.1). This crate provides exactly that: a small,
+//! dependency-free MD5 with helpers for the 64-bit key used throughout the
+//! repository.
+//!
+//! MD5 is used here purely as a well-distributed deterministic hash, never
+//! for security.
+//!
+//! # Examples
+//!
+//! ```
+//! use bh_md5::{md5, Digest};
+//!
+//! let d: Digest = md5(b"abc");
+//! assert_eq!(d.to_hex(), "900150983cd24fb0d6963f7d28e17f72");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A 128-bit MD5 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Digest(pub [u8; 16]);
+
+impl Digest {
+    /// Renders the digest as the conventional 32-character lowercase hex string.
+    ///
+    /// ```
+    /// assert_eq!(bh_md5::md5(b"").to_hex(), "d41d8cd98f00b204e9800998ecf8427e");
+    /// ```
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in &self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+        }
+        s
+    }
+
+    /// Returns the low-order 64 bits of the digest (the first 8 bytes in
+    /// digest order), interpreted little-endian.
+    ///
+    /// This is the "8-byte object identifier (part of the MD5 signature of
+    /// the object's URL)" that hint records carry on the wire (§3.2).
+    pub fn low64(&self) -> u64 {
+        u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Returns the high-order 64 bits of the digest (bytes 8..16),
+    /// interpreted little-endian.
+    pub fn high64(&self) -> u64 {
+        u64::from_le_bytes(self.0[8..].try_into().expect("8 bytes"))
+    }
+
+    /// Returns the raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<Digest> for [u8; 16] {
+    fn from(d: Digest) -> Self {
+        d.0
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Streaming MD5 context.
+///
+/// Feed data incrementally with [`Context::consume`] and finish with
+/// [`Context::finalize`].
+///
+/// ```
+/// use bh_md5::Context;
+///
+/// let mut ctx = Context::new();
+/// ctx.consume(b"hello ");
+/// ctx.consume(b"world");
+/// assert_eq!(ctx.finalize(), bh_md5::md5(b"hello world"));
+/// ```
+#[derive(Clone)]
+pub struct Context {
+    state: [u32; 4],
+    /// Total message length in bytes (mod 2^64).
+    length: u64,
+    buffer: [u8; 64],
+    buffered: usize,
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("length", &self.length)
+            .field("buffered", &self.buffered)
+            .finish()
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-round shift amounts, from RFC 1321.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, // round 1
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, // round 2
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, // round 3
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, // round 4
+];
+
+/// Sine-derived constants `K[i] = floor(2^32 * abs(sin(i + 1)))`, from RFC 1321.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+impl Context {
+    /// Creates a fresh context with the RFC 1321 initial state.
+    pub fn new() -> Self {
+        Context {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            length: 0,
+            buffer: [0u8; 64],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs `data` into the digest state.
+    pub fn consume(&mut self, data: impl AsRef<[u8]>) {
+        let mut data = data.as_ref();
+        self.length = self.length.wrapping_add(data.len() as u64);
+
+        // Top up a partially filled buffer first.
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffered = 0;
+            } else {
+                // Buffer still partial ⇒ the input was fully absorbed; do
+                // not fall through (the remainder path would clobber
+                // `buffered`).
+                debug_assert!(data.is_empty());
+                return;
+            }
+        }
+
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            self.process_block(block.try_into().expect("64-byte chunk"));
+        }
+        let rest = chunks.remainder();
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
+    }
+
+    /// Completes the digest, applying RFC 1321 padding.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.length.wrapping_mul(8);
+        // Padding: a single 0x80 byte, zeros to 56 mod 64, then the 64-bit
+        // little-endian bit length.
+        self.consume([0x80u8]);
+        while self.buffered != 56 {
+            self.consume([0u8]);
+        }
+        // Consuming the length also bumps self.length, but we captured
+        // bit_len before padding so the encoded value is correct.
+        self.consume(bit_len.to_le_bytes());
+        debug_assert_eq!(self.buffered, 0);
+
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        Digest(out)
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// Computes the MD5 digest of `data` in one shot.
+///
+/// ```
+/// assert_eq!(
+///     bh_md5::md5(b"The quick brown fox jumps over the lazy dog").to_hex(),
+///     "9e107d9d372bb6826bd81d3542a419d6",
+/// );
+/// ```
+pub fn md5(data: impl AsRef<[u8]>) -> Digest {
+    let mut ctx = Context::new();
+    ctx.consume(data);
+    ctx.finalize()
+}
+
+/// Convenience: the 64-bit key for a URL, as used by hint records (§3.2.1).
+///
+/// Two distinct URLs may collide in 64 bits; the system tolerates this as a
+/// false positive (the remote cache replies with an error and the request is
+/// treated as a miss), exactly as the paper describes.
+///
+/// ```
+/// let k = bh_md5::url_key("http://example.com/index.html");
+/// assert_ne!(k, bh_md5::url_key("http://example.com/other.html"));
+/// ```
+pub fn url_key(url: &str) -> u64 {
+    md5(url.as_bytes()).low64()
+}
+
+/// Convenience: the 64-bit node identifier for an address string
+/// (e.g. `"128.83.120.10:3128"`), per §3.1.3's MD5-of-IP node IDs.
+pub fn node_key(addr: &str) -> u64 {
+    md5(addr.as_bytes()).low64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(md5(input.as_bytes()).to_hex(), *expected, "md5({input:?})");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_at_block_boundaries() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 55, 56, 63, 64, 65, 128, 999, 1000] {
+            let mut ctx = Context::new();
+            ctx.consume(&data[..split]);
+            ctx.consume(&data[split..]);
+            assert_eq!(ctx.finalize(), md5(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn incremental_byte_at_a_time() {
+        let data = b"an arbitrary message that spans multiple MD5 blocks when repeated \
+                     enough times to exceed sixty-four bytes in total length";
+        let mut ctx = Context::new();
+        for b in data.iter() {
+            ctx.consume([*b]);
+        }
+        assert_eq!(ctx.finalize(), md5(data));
+    }
+
+    #[test]
+    fn low64_and_high64_cover_digest() {
+        let d = md5(b"abc");
+        let lo = d.low64().to_le_bytes();
+        let hi = d.high64().to_le_bytes();
+        assert_eq!(&d.0[..8], &lo);
+        assert_eq!(&d.0[8..], &hi);
+    }
+
+    #[test]
+    fn display_matches_hex() {
+        let d = md5(b"x");
+        assert_eq!(format!("{d}"), d.to_hex());
+        assert!(format!("{d:?}").contains(&d.to_hex()));
+    }
+
+    #[test]
+    fn url_keys_well_distributed_in_low_bits() {
+        // Sanity: low bits of URL keys should spread across buckets; with 4096
+        // URLs into 64 buckets, no bucket should be wildly over-occupied.
+        let mut buckets = [0u32; 64];
+        for i in 0..4096 {
+            let k = url_key(&format!("http://server{}.example.com/path/{}.html", i % 97, i));
+            buckets[(k % 64) as usize] += 1;
+        }
+        let max = *buckets.iter().max().expect("nonempty");
+        let min = *buckets.iter().min().expect("nonempty");
+        assert!(max < 2 * 4096 / 64, "max bucket {max} too hot");
+        assert!(min > 0, "empty bucket");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Splitting the input arbitrarily never changes the digest.
+            #[test]
+            fn split_invariance(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                split in 0usize..2048) {
+                let split = split.min(data.len());
+                let mut ctx = Context::new();
+                ctx.consume(&data[..split]);
+                ctx.consume(&data[split..]);
+                prop_assert_eq!(ctx.finalize(), md5(&data));
+            }
+
+            /// Distinct short inputs virtually never collide in 128 bits.
+            #[test]
+            fn distinct_inputs_distinct_digests(a in ".{0,64}", b in ".{0,64}") {
+                prop_assume!(a != b);
+                prop_assert_ne!(md5(a.as_bytes()), md5(b.as_bytes()));
+            }
+
+            /// Hex round-trip has fixed length and charset.
+            #[test]
+            fn hex_is_canonical(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let h = md5(&data).to_hex();
+                prop_assert_eq!(h.len(), 32);
+                prop_assert!(h.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+            }
+        }
+    }
+}

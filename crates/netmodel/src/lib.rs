@@ -1,0 +1,44 @@
+//! Internet access-cost models for the Beyond Hierarchies simulator.
+//!
+//! The paper parameterizes its simulations with measured access times from
+//! two sources, and so do we:
+//!
+//! * [`TestbedModel`] — the wide-area testbed of §2.1.1 (Figure 1): a
+//!   store-and-forward hierarchy where every proxy hop adds connection
+//!   setup, proxy processing, and a full object transfer, so cost grows
+//!   with both hop count and object size;
+//! * [`RousskovModel`] — Rousskov's measurements of deployed Squid caches
+//!   (§2.1.2, Table 3): per-level client-connect / disk / proxy-reply
+//!   component times, in *Min* (lightly loaded) and *Max* (peak 20-minute
+//!   median) variants, with the paper's exact derivation of hierarchical,
+//!   client-direct, and via-L1 totals.
+//!
+//! Both implement [`CostModel`], the single interface the strategy
+//! simulator prices request outcomes against.
+//!
+//! # Examples
+//!
+//! ```
+//! use bh_netmodel::{CostModel, Level, RousskovModel, TestbedModel};
+//! use bh_simcore::ByteSize;
+//!
+//! let testbed = TestbedModel::new();
+//! let size = ByteSize::from_kb(8);
+//! // Store-and-forward makes deep hits much slower than local ones.
+//! assert!(testbed.hierarchy_hit(Level::L3, size) > testbed.hierarchy_hit(Level::L1, size));
+//!
+//! let rousskov = RousskovModel::min();
+//! // Table 3, "Total Hierarchical" leaf row: 163 ms.
+//! assert_eq!(rousskov.hierarchy_hit(Level::L1, size).as_millis_f64(), 163.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod rousskov;
+pub mod testbed;
+
+pub use model::{CostModel, Level, RemoteDistance};
+pub use rousskov::{LevelComponents, RousskovModel};
+pub use testbed::{TestbedModel, TestbedParams};

@@ -1,0 +1,130 @@
+//! The cost-model interface the strategy simulator prices requests against.
+
+use bh_simcore::{ByteSize, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// A level of the three-level default hierarchy (§2.2.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Level {
+    /// Leaf proxy shared by 256 clients.
+    L1,
+    /// Intermediate proxy shared by 8 L1s (2048 clients).
+    L2,
+    /// Root proxy shared by everyone.
+    L3,
+}
+
+impl Level {
+    /// All levels, leaf to root.
+    pub const ALL: [Level; 3] = [Level::L1, Level::L2, Level::L3];
+
+    /// 1-based depth (L1 → 1).
+    pub fn depth(self) -> usize {
+        match self {
+            Level::L1 => 1,
+            Level::L2 => 2,
+            Level::L3 => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Level::L1 => "L1",
+            Level::L2 => "L2",
+            Level::L3 => "L3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How far away a remote *peer* cache is, measured by the least common
+/// ancestor in the hierarchy: a cousin under the same L2 is "as far away as
+/// an L2 cache"; one only reachable under the L3 root is "as far away as an
+/// L3 cache" (the paper's §4 phrasing).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum RemoteDistance {
+    /// Remote cache shares our L2 parent.
+    SameL2,
+    /// Remote cache only shares the L3 root.
+    SameL3,
+}
+
+impl std::fmt::Display for RemoteDistance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RemoteDistance::SameL2 => "L2-distance",
+            RemoteDistance::SameL3 => "L3-distance",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Prices every access path a strategy can take.
+///
+/// All paths start at the client. "Via L1" paths (the default hint
+/// configuration, Figure 4-a) include the client's hop to its L1 proxy; the
+/// "from client" variants model the alternate configuration (Figure 4-b)
+/// where the client consults its own hint cache and skips the L1 proxy.
+pub trait CostModel: Send + Sync {
+    /// Fetch through the data hierarchy with a hit at `level`
+    /// (request and data traverse every level up to `level`).
+    fn hierarchy_hit(&self, level: Level, size: ByteSize) -> SimDuration;
+
+    /// Fetch through the whole data hierarchy, missing everywhere, served by
+    /// the origin server through the hierarchy.
+    fn hierarchy_miss(&self, size: ByteSize) -> SimDuration;
+
+    /// Client → own L1 → remote peer cache at `distance`; data comes
+    /// straight back (one cache-to-cache hop, §3).
+    fn remote_fetch(&self, distance: RemoteDistance, size: ByteSize) -> SimDuration;
+
+    /// Client → own L1 → origin server directly (hint miss detected
+    /// locally; "do not slow down misses").
+    fn server_fetch(&self, size: ByteSize) -> SimDuration;
+
+    /// Wasted round trip for a false-positive hint: the remote cache at
+    /// `distance` replies with an error and no data; the requester then
+    /// proceeds to the server separately.
+    fn false_positive_penalty(&self, distance: RemoteDistance) -> SimDuration;
+
+    /// Round trip to query a far-away centralized directory (the CRISP-like
+    /// baseline keeps its directory at L3-root distance).
+    fn directory_lookup(&self) -> SimDuration;
+
+    /// Remote fetch in the alternate, client-level hint configuration
+    /// (Figure 4-b): the L1 hop is skipped. Defaults to the via-L1 price
+    /// minus nothing — models without a separable L1 leg may override.
+    fn remote_fetch_from_client(&self, distance: RemoteDistance, size: ByteSize) -> SimDuration {
+        self.remote_fetch(distance, size)
+    }
+
+    /// Server fetch in the alternate, client-level hint configuration.
+    fn server_fetch_from_client(&self, size: ByteSize) -> SimDuration {
+        self.server_fetch(size)
+    }
+
+    /// Short human-readable name ("Testbed", "Min", "Max").
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_depths_ordered() {
+        assert_eq!(Level::L1.depth(), 1);
+        assert_eq!(Level::L2.depth(), 2);
+        assert_eq!(Level::L3.depth(), 3);
+        assert!(Level::L1 < Level::L2 && Level::L2 < Level::L3);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Level::L2.to_string(), "L2");
+        assert_eq!(RemoteDistance::SameL2.to_string(), "L2-distance");
+        assert_eq!(RemoteDistance::SameL3.to_string(), "L3-distance");
+    }
+}

@@ -1,0 +1,60 @@
+//! Standalone cache-node daemon: the paper's hint-augmented proxy.
+//!
+//! ```text
+//! bh-cache-node --origin 127.0.0.1:8800 \
+//!     [--bind 127.0.0.1:8801] \
+//!     [--neighbor addr:port]... \
+//!     [--data-mb 64] [--hint-mb 4] [--flush-secs 60]
+//! ```
+
+use bh_proto::node::{CacheNode, NodeConfig};
+use bh_simcore::ByteSize;
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    let mut bind = "127.0.0.1:8801".to_string();
+    let mut origin: Option<String> = None;
+    let mut neighbors = Vec::new();
+    let mut data_mb = 64u64;
+    let mut hint_mb = 4u64;
+    let mut flush_secs = 60u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| panic!("{flag} takes a value"));
+        match flag.as_str() {
+            "--bind" => bind = value(),
+            "--origin" => origin = Some(value()),
+            "--neighbor" => neighbors.push(value().parse().expect("neighbor addr:port")),
+            "--data-mb" => data_mb = value().parse().expect("--data-mb takes MB"),
+            "--hint-mb" => hint_mb = value().parse().expect("--hint-mb takes MB"),
+            "--flush-secs" => flush_secs = value().parse().expect("--flush-secs takes seconds"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: bh-cache-node --origin addr:port [--bind addr:port] \
+                     [--neighbor addr:port]... [--data-mb N] [--hint-mb N] [--flush-secs N]"
+                );
+                return Ok(());
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let origin = origin.expect("--origin is required").parse().expect("origin addr:port");
+
+    let mut config = NodeConfig::new(bind, origin)
+        .with_neighbors(neighbors)
+        .with_data_capacity(ByteSize::from_mb(data_mb))
+        .with_flush_max(Duration::from_secs(flush_secs.max(1)));
+    config.hint_capacity = ByteSize::from_mb(hint_mb);
+
+    let node = CacheNode::spawn(config)?;
+    println!(
+        "cache node listening on {} (machine id {:#018x})",
+        node.addr(),
+        node.machine_id().0
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        eprintln!("[cache {}] {:?}", node.addr(), node.stats());
+    }
+}

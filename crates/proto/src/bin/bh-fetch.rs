@@ -1,0 +1,36 @@
+//! CLI client: fetch URLs through a cache node and report the data path.
+//!
+//! ```text
+//! bh-fetch --node 127.0.0.1:8801 http://example.test/a http://example.test/b
+//! ```
+
+use bh_proto::client::Connection;
+
+fn main() -> std::io::Result<()> {
+    let mut node: Option<String> = None;
+    let mut urls = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--node" => node = Some(args.next().expect("--node takes addr:port")),
+            "--help" | "-h" => {
+                println!("usage: bh-fetch --node addr:port URL [URL...]");
+                return Ok(());
+            }
+            url => urls.push(url.to_string()),
+        }
+    }
+    let node = node.expect("--node is required").parse().expect("node addr:port");
+    assert!(!urls.is_empty(), "at least one URL required");
+
+    let mut conn = Connection::open(node)?;
+    for url in &urls {
+        match conn.fetch(url) {
+            Ok((source, body)) => {
+                println!("{url}: {} bytes via {source:?}", body.len());
+            }
+            Err(e) => println!("{url}: ERROR {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Standalone origin server daemon.
+//!
+//! ```text
+//! bh-origin [--bind 127.0.0.1:8800]
+//! ```
+
+use bh_proto::origin::OriginServer;
+
+fn main() -> std::io::Result<()> {
+    let mut bind = "127.0.0.1:8800".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--bind" => bind = args.next().expect("--bind takes an address"),
+            "--help" | "-h" => {
+                println!("usage: bh-origin [--bind addr:port]");
+                return Ok(());
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let server = OriginServer::spawn(&bind[..])?;
+    println!("origin server listening on {}", server.addr());
+    println!("unknown URLs are served with deterministic synthetic bodies;");
+    println!("install explicit content with the OriginPut control message.");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        eprintln!("[origin] served {} requests", server.request_count());
+    }
+}

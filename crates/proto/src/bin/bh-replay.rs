@@ -1,0 +1,60 @@
+//! Replay a synthetic workload (or a previously archived trace) against a
+//! live cache cluster.
+//!
+//! ```text
+//! bh-replay --node 127.0.0.1:8801 --node 127.0.0.1:8802 \
+//!     [--requests 10000] [--seed 42] [--trace dec|berkeley|prodigy|small]
+//! ```
+
+use bh_proto::replay::{replay, ReplayConfig};
+use bh_trace::{TraceGenerator, WorkloadSpec};
+
+fn main() -> std::io::Result<()> {
+    let mut nodes = Vec::new();
+    let mut requests = 10_000u64;
+    let mut seed = 42u64;
+    let mut trace = "small".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| panic!("{flag} takes a value"));
+        match flag.as_str() {
+            "--node" => nodes.push(value().parse().expect("node addr:port")),
+            "--requests" => requests = value().parse().expect("--requests takes a count"),
+            "--seed" => seed = value().parse().expect("--seed takes an integer"),
+            "--trace" => trace = value().to_lowercase(),
+            "--help" | "-h" => {
+                println!("usage: bh-replay --node addr:port [--node ...] [--requests N] [--seed N] [--trace name]");
+                return Ok(());
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(!nodes.is_empty(), "--node is required");
+
+    let spec = match trace.as_str() {
+        "dec" => WorkloadSpec::dec(),
+        "berkeley" => WorkloadSpec::berkeley(),
+        "prodigy" => WorkloadSpec::prodigy(),
+        _ => WorkloadSpec::small(),
+    }
+    .with_requests(requests);
+
+    eprintln!("replaying {} requests of the {} workload against {} node(s)...", requests, spec.name, nodes.len());
+    let mut config = ReplayConfig::flat_out(nodes);
+    config.clients_per_l1 = spec.clients_per_l1;
+    config.dynamic_client_ids = spec.dynamic_client_ids;
+    let started = std::time::Instant::now();
+    let report = replay(&config, TraceGenerator::new(&spec, seed))?;
+    let secs = started.elapsed().as_secs_f64();
+
+    println!("requests       {}", report.requests);
+    println!("local hits     {} ({:.1}%)", report.local_hits, 100.0 * report.local_hits as f64 / report.requests.max(1) as f64);
+    println!("peer hits      {} ({:.1}%)", report.peer_hits, 100.0 * report.peer_hits as f64 / report.requests.max(1) as f64);
+    println!("origin fetches {}", report.origin_fetches);
+    println!("errors         {}", report.errors);
+    println!("bytes          {}", report.bytes);
+    println!("hit ratio      {:.3}", report.hit_ratio());
+    println!("throughput     {:.0} req/s", report.requests as f64 / secs.max(1e-9));
+    Ok(())
+}

@@ -1,0 +1,651 @@
+//! The cache-node daemon: a Squid-like proxy with the paper's hint module.
+//!
+//! Each node serves `Get` requests from clients: local cache first, then a
+//! **local** hint lookup naming the nearest peer copy, then a direct
+//! peer-to-peer transfer, and finally the origin server (misses never take
+//! extra hops — a failed hint costs exactly one wasted probe). Nodes
+//! advertise copy arrivals/departures as 20-byte hint updates, batched and
+//! flushed to their neighbor set on a randomized period (§3.2's
+//! Floyd–Jacobson desynchronization).
+
+use crate::wire::{
+    read_message, write_message, HintAction, HintUpdate, MachineId, Message, ServedBy, Status,
+};
+use bh_cache::{HintCache, LruCache};
+use bh_simcore::ByteSize;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for a [`CacheNode`].
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Address to bind (port 0 for ephemeral).
+    pub bind: String,
+    /// The origin server to fall back to.
+    pub origin: SocketAddr,
+    /// Neighbor caches that receive this node's hint-update batches
+    /// (flat/mesh propagation).
+    pub neighbors: Vec<SocketAddr>,
+    /// Metadata parent (§3.1.2): updates that change this node's knowledge
+    /// climb to the parent, *filtered* — an Add is forwarded only when it
+    /// is the first copy this subtree has heard of, a Remove only when no
+    /// alternative location remains.
+    pub parent: Option<SocketAddr>,
+    /// Metadata children: state-changing updates learned from above (or
+    /// from one child) propagate down so every subtree eventually knows its
+    /// nearest copy.
+    pub children: Vec<SocketAddr>,
+    /// Data-cache capacity.
+    pub data_capacity: ByteSize,
+    /// Hint-store capacity (16-byte records, 4-way sets).
+    pub hint_capacity: ByteSize,
+    /// Upper bound of the randomized update-flush period. The paper uses
+    /// 60 s; tests use milliseconds.
+    pub flush_max: Duration,
+    /// I/O timeout for peer and origin connections.
+    pub io_timeout: Duration,
+}
+
+impl NodeConfig {
+    /// A config with the paper's defaults, ephemeral port, no neighbors.
+    pub fn new(bind: impl Into<String>, origin: SocketAddr) -> Self {
+        NodeConfig {
+            bind: bind.into(),
+            origin,
+            neighbors: Vec::new(),
+            parent: None,
+            children: Vec::new(),
+            data_capacity: ByteSize::from_mb(64),
+            hint_capacity: ByteSize::from_mb(4),
+            flush_max: Duration::from_secs(60),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the neighbor list.
+    pub fn with_neighbors(mut self, neighbors: Vec<SocketAddr>) -> Self {
+        self.neighbors = neighbors;
+        self
+    }
+
+    /// Sets the metadata parent (hierarchical propagation, §3.1.2).
+    pub fn with_parent(mut self, parent: SocketAddr) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// Sets the metadata children.
+    pub fn with_children(mut self, children: Vec<SocketAddr>) -> Self {
+        self.children = children;
+        self
+    }
+
+    /// Sets the flush period bound.
+    pub fn with_flush_max(mut self, d: Duration) -> Self {
+        self.flush_max = d;
+        self
+    }
+
+    /// Sets the data capacity.
+    pub fn with_data_capacity(mut self, c: ByteSize) -> Self {
+        self.data_capacity = c;
+        self
+    }
+}
+
+/// Counters exposed by a node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Requests served from the local cache.
+    pub local_hits: u64,
+    /// Requests served by a direct peer transfer.
+    pub peer_hits: u64,
+    /// Requests served by the origin.
+    pub origin_fetches: u64,
+    /// Peer probes that came back `NotFound` (false-positive hints).
+    pub false_positives: u64,
+    /// Hint updates sent (records, not batches).
+    pub updates_sent: u64,
+    /// Hint updates received and applied.
+    pub updates_received: u64,
+    /// Objects pushed to this node by peers.
+    pub pushes_received: u64,
+    /// Received updates that were *not* forwarded up/down because they did
+    /// not change this node's knowledge (the §3.1.2 filtering).
+    pub updates_filtered: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    local_hits: AtomicU64,
+    peer_hits: AtomicU64,
+    origin_fetches: AtomicU64,
+    false_positives: AtomicU64,
+    updates_sent: AtomicU64,
+    updates_received: AtomicU64,
+    pushes_received: AtomicU64,
+    updates_filtered: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> NodeStats {
+        NodeStats {
+            local_hits: self.local_hits.load(Ordering::Relaxed),
+            peer_hits: self.peer_hits.load(Ordering::Relaxed),
+            origin_fetches: self.origin_fetches.load(Ordering::Relaxed),
+            false_positives: self.false_positives.load(Ordering::Relaxed),
+            updates_sent: self.updates_sent.load(Ordering::Relaxed),
+            updates_received: self.updates_received.load(Ordering::Relaxed),
+            pushes_received: self.pushes_received.load(Ordering::Relaxed),
+            updates_filtered: self.updates_filtered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Store {
+    /// Metadata LRU (sizes/versions) driving eviction.
+    meta: LruCache,
+    /// Object bodies, keyed like `meta`.
+    bodies: HashMap<u64, Bytes>,
+    /// The hint module's record store.
+    hints: HintCache,
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: NodeConfig,
+    machine: MachineId,
+    store: Mutex<Store>,
+    pending: Mutex<Vec<HintUpdate>>,
+    neighbors: Mutex<Vec<SocketAddr>>,
+    stats: AtomicStats,
+    shutdown: AtomicBool,
+}
+
+/// Handle to a running cache node; dropping it shuts the node down.
+#[derive(Debug)]
+pub struct CacheNode {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CacheNode {
+    /// Binds, spawns the accept loop and the update flusher.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors; fails for IPv6 binds (machine IDs are the
+    /// paper's 8-byte IPv4+port records).
+    pub fn spawn(config: NodeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let machine = MachineId::from_addr(addr)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "IPv4 bind required"))?;
+        let inner = Arc::new(Inner {
+            machine,
+            store: Mutex::new(Store {
+                meta: LruCache::new(config.data_capacity),
+                bodies: HashMap::new(),
+                hints: HintCache::with_capacity(config.hint_capacity),
+            }),
+            pending: Mutex::new(Vec::new()),
+            neighbors: Mutex::new(config.neighbors.clone()),
+            stats: AtomicStats::default(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let mut threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cache-accept-{addr}"))
+                    .spawn(move || accept_loop(listener, inner))
+                    .expect("spawn accept thread"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cache-flush-{addr}"))
+                    .spawn(move || flush_loop(inner))
+                    .expect("spawn flush thread"),
+            );
+        }
+        Ok(CacheNode { addr, inner, threads })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This node's 8-byte machine identifier.
+    pub fn machine_id(&self) -> MachineId {
+        self.inner.machine
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> NodeStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Number of objects currently cached.
+    pub fn cached_objects(&self) -> usize {
+        self.inner.store.lock().meta.len()
+    }
+
+    /// The hint module's **find nearest** command: the location of the
+    /// nearest known copy of the object with `key`, if any.
+    pub fn find_nearest(&self, key: u64) -> Option<MachineId> {
+        self.inner.store.lock().hints.lookup(key).map(MachineId)
+    }
+
+    /// The hint module's **invalidate** command: drops the local copy of
+    /// `url` and advertises the non-presence.
+    pub fn invalidate(&self, url: &str) {
+        let key = bh_md5::url_key(url);
+        let mut store = self.inner.store.lock();
+        if store.meta.remove(key).is_some() {
+            store.bodies.remove(&key);
+            drop(store);
+            queue_update(&self.inner, HintAction::Remove, key);
+        }
+    }
+
+    /// Replaces the neighbor set at runtime (nodes joining or leaving the
+    /// collective — the paper's self-configuring hierarchy reassigns
+    /// neighbors the same way).
+    pub fn set_neighbors(&self, neighbors: Vec<SocketAddr>) {
+        *self.inner.neighbors.lock() = neighbors;
+    }
+
+    /// Flushes pending hint updates to all neighbors immediately (tests use
+    /// this instead of waiting out the randomized timer).
+    pub fn flush_updates_now(&self) {
+        flush_once(&self.inner);
+    }
+
+    /// Stops the node and joins its threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CacheNode {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn queue_update(inner: &Inner, action: HintAction, key: u64) {
+    inner.pending.lock().push(HintUpdate { action, object: key, machine: inner.machine });
+}
+
+/// Stores a body locally (inform), returning the hint updates implied by
+/// any evictions plus the arrival itself.
+fn store_body(inner: &Inner, key: u64, version: u32, body: Bytes) {
+    let mut store = inner.store.lock();
+    let size = ByteSize::from_bytes(body.len() as u64);
+    let evicted = store.meta.insert(key, size, version);
+    let mut departed = Vec::with_capacity(evicted.len());
+    for e in evicted {
+        store.bodies.remove(&e.key);
+        departed.push(e.key);
+    }
+    let stored = store.meta.peek(key).is_some();
+    if stored {
+        store.bodies.insert(key, body);
+    }
+    drop(store);
+    for gone in departed {
+        queue_update(inner, HintAction::Remove, gone);
+    }
+    if stored {
+        queue_update(inner, HintAction::Add, key);
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("cache-conn".to_string())
+            .spawn(move || {
+                let _ = serve_connection(stream, inner);
+            })
+            .expect("spawn connection thread");
+    }
+}
+
+fn flush_loop(inner: Arc<Inner>) {
+    // Randomized period: uniform in [0, flush_max), re-drawn every round
+    // (Floyd–Jacobson desynchronization). Sleep in short slices so shutdown
+    // joins promptly even with long periods.
+    let mut seed = inner.machine.0 | 1;
+    'outer: while !inner.shutdown.load(Ordering::SeqCst) {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let max_ms = inner.config.flush_max.as_millis().max(1) as u64;
+        let mut remaining = seed % max_ms;
+        while remaining > 0 {
+            let slice = remaining.min(20);
+            std::thread::sleep(Duration::from_millis(slice));
+            remaining -= slice;
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break 'outer;
+            }
+        }
+        flush_once(&inner);
+    }
+}
+
+fn flush_once(inner: &Inner) {
+    let batch: Vec<HintUpdate> = std::mem::take(&mut *inner.pending.lock());
+    if batch.is_empty() {
+        return;
+    }
+    let msg = Message::UpdateBatch(batch.clone());
+    let mut targets: Vec<SocketAddr> = inner.neighbors.lock().clone();
+    if let Some(p) = inner.config.parent {
+        targets.push(p);
+    }
+    targets.extend(inner.config.children.iter().copied());
+    for neighbor in targets {
+        if let Ok(mut s) = TcpStream::connect_timeout(&neighbor, inner.config.io_timeout) {
+            let _ = s.set_write_timeout(Some(inner.config.io_timeout));
+            let _ = s.set_read_timeout(Some(inner.config.io_timeout));
+            if write_message(&mut s, &msg).is_ok() {
+                let _ = read_message(&mut s); // Ack
+                inner.stats.updates_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn fetch_from(
+    inner: &Inner,
+    addr: SocketAddr,
+    msg: &Message,
+) -> io::Result<(Status, u32, Bytes)> {
+    let mut s = TcpStream::connect_timeout(&addr, inner.config.io_timeout)?;
+    s.set_nodelay(true)?;
+    s.set_read_timeout(Some(inner.config.io_timeout))?;
+    s.set_write_timeout(Some(inner.config.io_timeout))?;
+    write_message(&mut s, msg)?;
+    match read_message(&mut s)? {
+        Message::GetReply { status, version, body, .. } => Ok((status, version, body)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected reply {other:?}"),
+        )),
+    }
+}
+
+fn handle_get(inner: &Inner, url: &str) -> Message {
+    let key = bh_md5::url_key(url);
+
+    // 1. Local cache.
+    {
+        let mut store = inner.store.lock();
+        if store.meta.get(key, 0).is_some() {
+            if let Some(body) = store.bodies.get(&key).cloned() {
+                let version = store.meta.peek(key).map(|(_, v)| v).unwrap_or(0);
+                inner.stats.local_hits.fetch_add(1, Ordering::Relaxed);
+                return Message::GetReply {
+                    status: Status::Ok,
+                    version,
+                    served_by: ServedBy::Local,
+                    body,
+                };
+            }
+        }
+    }
+
+    // 2. Local hint store → direct peer fetch.
+    let hint = {
+        let mut store = inner.store.lock();
+        store.hints.lookup(key).map(MachineId)
+    };
+    if let Some(peer) = hint {
+        if peer != inner.machine {
+            match fetch_from(inner, peer.to_addr(), &Message::PeerGet { url: url.to_string() }) {
+                Ok((Status::Ok, version, body)) => {
+                    inner.stats.peer_hits.fetch_add(1, Ordering::Relaxed);
+                    store_body(inner, key, version, body.clone());
+                    return Message::GetReply {
+                        status: Status::Ok,
+                        version,
+                        served_by: ServedBy::Peer(peer),
+                        body,
+                    };
+                }
+                Ok((Status::NotFound, ..)) | Ok((Status::Error, ..)) | Err(_) => {
+                    // False positive (or dead peer): drop the hint, go to
+                    // the origin. No second hint lookup (§3.1.1).
+                    inner.stats.false_positives.fetch_add(1, Ordering::Relaxed);
+                    inner.store.lock().hints.remove(key);
+                }
+            }
+        }
+    }
+
+    // 3. Origin server.
+    match fetch_from(inner, inner.config.origin, &Message::Get { url: url.to_string() }) {
+        Ok((Status::Ok, version, body)) => {
+            inner.stats.origin_fetches.fetch_add(1, Ordering::Relaxed);
+            store_body(inner, key, version, body.clone());
+            Message::GetReply { status: Status::Ok, version, served_by: ServedBy::Origin, body }
+        }
+        _ => Message::GetReply {
+            status: Status::Error,
+            version: 0,
+            served_by: ServedBy::Origin,
+            body: Bytes::new(),
+        },
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, inner: Arc<Inner>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    loop {
+        let msg = match read_message(&mut stream) {
+            Ok(m) => m,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Message::Get { url } => {
+                let reply = handle_get(&inner, &url);
+                write_message(&mut stream, &reply)?;
+            }
+            Message::PeerGet { url } => {
+                // Serve only from the local cache; never forward.
+                let key = bh_md5::url_key(&url);
+                let reply = {
+                    let mut store = inner.store.lock();
+                    if store.meta.get(key, 0).is_some() {
+                        let version = store.meta.peek(key).map(|(_, v)| v).unwrap_or(0);
+                        match store.bodies.get(&key).cloned() {
+                            Some(body) => Message::GetReply {
+                                status: Status::Ok,
+                                version,
+                                served_by: ServedBy::Local,
+                                body,
+                            },
+                            None => Message::GetReply {
+                                status: Status::NotFound,
+                                version: 0,
+                                served_by: ServedBy::Local,
+                                body: Bytes::new(),
+                            },
+                        }
+                    } else {
+                        Message::GetReply {
+                            status: Status::NotFound,
+                            version: 0,
+                            served_by: ServedBy::Local,
+                            body: Bytes::new(),
+                        }
+                    }
+                };
+                write_message(&mut stream, &reply)?;
+            }
+            Message::UpdateBatch(updates) => {
+                let hierarchical = inner.config.parent.is_some() || !inner.config.children.is_empty();
+                let mut propagate: Vec<HintUpdate> = Vec::new();
+                {
+                    let mut store = inner.store.lock();
+                    for u in &updates {
+                        if u.machine == inner.machine {
+                            continue;
+                        }
+                        match u.action {
+                            HintAction::Add => {
+                                // §3.1.2 filtering: forward only the first
+                                // copy this subtree learns of.
+                                let first = store.hints.peek(u.object).is_none();
+                                store.hints.insert(u.object, u.machine.0);
+                                if first {
+                                    propagate.push(*u);
+                                } else {
+                                    inner.stats.updates_filtered.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            HintAction::Remove => {
+                                // Only drop (and advertise) if the hint
+                                // named the departing machine.
+                                if store.hints.peek(u.object) == Some(u.machine.0) {
+                                    store.hints.remove(u.object);
+                                    propagate.push(*u);
+                                } else {
+                                    inner.stats.updates_filtered.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                }
+                inner.stats.updates_received.fetch_add(updates.len() as u64, Ordering::Relaxed);
+                if hierarchical && !propagate.is_empty() {
+                    // Knowledge changed: climb/descend the metadata tree.
+                    // Loop-safe because re-applying the same update is a
+                    // no-op (filtered) everywhere it has already landed.
+                    inner.pending.lock().extend(propagate);
+                }
+                write_message(&mut stream, &Message::Ack)?;
+            }
+            Message::Push { url, version, body } => {
+                let key = bh_md5::url_key(&url);
+                inner.stats.pushes_received.fetch_add(1, Ordering::Relaxed);
+                store_body(&inner, key, version, body);
+                // Aging (§4.1.2): pushed copies start at the cold end.
+                inner.store.lock().meta.demote(key);
+                write_message(&mut stream, &Message::Ack)?;
+            }
+            Message::FindNearest { key } => {
+                let location = inner.store.lock().hints.lookup(key).map(MachineId);
+                write_message(&mut stream, &Message::FindNearestReply { location })?;
+            }
+            other => {
+                let _ = other;
+                write_message(
+                    &mut stream,
+                    &Message::GetReply {
+                        status: Status::Error,
+                        version: 0,
+                        served_by: ServedBy::Local,
+                        body: Bytes::new(),
+                    },
+                )?;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::OriginServer;
+
+    fn cluster(n: usize) -> (OriginServer, Vec<CacheNode>) {
+        let origin = OriginServer::spawn("127.0.0.1:0").expect("origin");
+        let nodes: Vec<CacheNode> = (0..n)
+            .map(|_| {
+                CacheNode::spawn(
+                    NodeConfig::new("127.0.0.1:0", origin.addr())
+                        .with_flush_max(Duration::from_secs(3600)),
+                )
+                .expect("node")
+            })
+            .collect();
+        // Wire the full mesh now that every address is known.
+        let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr()).collect();
+        for (i, node) in nodes.iter().enumerate() {
+            node.set_neighbors(
+                addrs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| *a).collect(),
+            );
+        }
+        (origin, nodes)
+    }
+
+    #[test]
+    fn local_cache_serves_second_request() {
+        let origin = OriginServer::spawn("127.0.0.1:0").expect("origin");
+        let node = CacheNode::spawn(NodeConfig::new("127.0.0.1:0", origin.addr())).expect("node");
+        let (s1, b1) = crate::client::fetch(node.addr(), "http://t.test/x").expect("fetch");
+        let (s2, b2) = crate::client::fetch(node.addr(), "http://t.test/x").expect("fetch");
+        assert_eq!(s1, crate::client::Source::Origin);
+        assert_eq!(s2, crate::client::Source::Local);
+        assert_eq!(b1, b2);
+        assert_eq!(node.stats().local_hits, 1);
+        assert_eq!(node.stats().origin_fetches, 1);
+        assert_eq!(origin.request_count(), 1);
+    }
+
+    #[test]
+    fn find_nearest_reflects_updates() {
+        let (_origin, nodes) = cluster(2);
+        let url = "http://t.test/shared";
+        let key = bh_md5::url_key(url);
+        crate::client::fetch(nodes[0].addr(), url).expect("fetch");
+        nodes[0].flush_updates_now();
+        // Node 1's hint store should now name node 0.
+        let loc = nodes[1].find_nearest(key).expect("hint should arrive");
+        assert_eq!(loc, nodes[0].machine_id());
+    }
+
+    #[test]
+    fn invalidate_advertises_non_presence() {
+        let (_origin, nodes) = cluster(2);
+        let url = "http://t.test/gone";
+        let key = bh_md5::url_key(url);
+        crate::client::fetch(nodes[0].addr(), url).expect("fetch");
+        nodes[0].flush_updates_now();
+        assert!(nodes[1].find_nearest(key).is_some());
+        nodes[0].invalidate(url);
+        nodes[0].flush_updates_now();
+        assert_eq!(nodes[1].find_nearest(key), None);
+        assert_eq!(nodes[0].cached_objects(), 0);
+    }
+}

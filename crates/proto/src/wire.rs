@@ -1,0 +1,559 @@
+//! Wire format: length-prefixed frames and the 20-byte hint-update record.
+//!
+//! Frame layout: `u32 length (LE, payload bytes) | u8 message type |
+//! payload`. Strings are `u32 length | UTF-8 bytes`; binary bodies are
+//! `u32 length | bytes`.
+//!
+//! The hint-update record is exactly the paper's (§3.2): "each update
+//! consumes 20 bytes: a 4-byte action, an 8-byte object identifier (part
+//! of the MD5 signature of the object's URL), and an 8-byte machine
+//! identifier (an IP address and port number)."
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame payload (guards against corrupt length prefixes).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// A machine identifier: IPv4 address and port packed into 8 bytes
+/// (4 bytes address, 2 bytes port, 2 bytes zero), as the paper specifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MachineId(pub u64);
+
+impl MachineId {
+    /// Packs an IPv4 socket address.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for IPv6 addresses (the 1998-era record has no room).
+    pub fn from_addr(addr: std::net::SocketAddr) -> Option<Self> {
+        match addr {
+            std::net::SocketAddr::V4(v4) => {
+                let ip = u32::from_be_bytes(v4.ip().octets()) as u64;
+                Some(MachineId(ip << 32 | (v4.port() as u64) << 16))
+            }
+            std::net::SocketAddr::V6(_) => None,
+        }
+    }
+
+    /// Unpacks back into a socket address.
+    pub fn to_addr(self) -> std::net::SocketAddr {
+        let ip = std::net::Ipv4Addr::from(((self.0 >> 32) as u32).to_be_bytes());
+        let port = ((self.0 >> 16) & 0xFFFF) as u16;
+        std::net::SocketAddr::V4(std::net::SocketAddrV4::new(ip, port))
+    }
+}
+
+/// Hint-update action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintAction {
+    /// A node now stores a copy ("inform"/advertise).
+    Add,
+    /// A node no longer stores a copy ("invalidate"/advertise non-presence).
+    Remove,
+}
+
+/// One 20-byte hint-update record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HintUpdate {
+    /// What happened.
+    pub action: HintAction,
+    /// Low 64 bits of the MD5 of the object's URL.
+    pub object: u64,
+    /// Who it happened at.
+    pub machine: MachineId,
+}
+
+/// Size of an encoded [`HintUpdate`].
+pub const HINT_UPDATE_BYTES: usize = 20;
+
+impl HintUpdate {
+    /// Encodes into the fixed 20-byte layout.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(match self.action {
+            HintAction::Add => 1,
+            HintAction::Remove => 2,
+        });
+        buf.put_u64_le(self.object);
+        buf.put_u64_le(self.machine.0);
+    }
+
+    /// Decodes from the fixed layout.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffer is short or the action code is unknown.
+    pub fn decode(buf: &mut impl Buf) -> io::Result<Self> {
+        if buf.remaining() < HINT_UPDATE_BYTES {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short hint update"));
+        }
+        let action = match buf.get_u32_le() {
+            1 => HintAction::Add,
+            2 => HintAction::Remove,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown hint action {other}"),
+                ))
+            }
+        };
+        Ok(HintUpdate { action, object: buf.get_u64_le(), machine: MachineId(buf.get_u64_le()) })
+    }
+}
+
+/// Reply status for `Get`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Data follows.
+    Ok,
+    /// The asked node does not have the object (false-positive hint).
+    NotFound,
+    /// Server-side error.
+    Error,
+}
+
+/// Where a `Get` was ultimately served from (diagnostic, carried in the
+/// reply so clients and tests can observe the data path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The contacted node's own cache.
+    Local,
+    /// A peer cache (direct cache-to-cache transfer).
+    Peer(MachineId),
+    /// The origin server.
+    Origin,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Fetch an object through the cache.
+    Get {
+        /// Full URL (the request always carries it; hint keys may collide).
+        url: String,
+    },
+    /// Peer-to-peer fetch: only serve from the local cache, never forward
+    /// (a miss here is a false-positive hint at the requester).
+    PeerGet {
+        /// Full URL.
+        url: String,
+    },
+    /// Reply to `Get`/`PeerGet`.
+    GetReply {
+        /// Outcome.
+        status: Status,
+        /// Object version.
+        version: u32,
+        /// Where it came from.
+        served_by: ServedBy,
+        /// The body (empty unless `status == Ok`).
+        body: Bytes,
+    },
+    /// A batch of hint updates ("HTTP POST to route://updates" in the
+    /// prototype; a first-class frame here).
+    UpdateBatch(Vec<HintUpdate>),
+    /// Push a copy of an object to the receiving cache (§4).
+    Push {
+        /// Full URL.
+        url: String,
+        /// Object version.
+        version: u32,
+        /// The body.
+        body: Bytes,
+    },
+    /// Ask a node's hint store for the nearest copy ("find nearest").
+    FindNearest {
+        /// 64-bit object key.
+        key: u64,
+    },
+    /// Reply to `FindNearest`.
+    FindNearestReply {
+        /// The nearest known location, if any.
+        location: Option<MachineId>,
+    },
+    /// Origin-control: install an object at the origin server (tests drive
+    /// content and versions through this).
+    OriginPut {
+        /// Full URL.
+        url: String,
+        /// New version.
+        version: u32,
+        /// New body.
+        body: Bytes,
+    },
+    /// Acknowledgement for `UpdateBatch` / `Push` / `OriginPut`.
+    Ack,
+}
+
+const T_GET: u8 = 1;
+const T_PEER_GET: u8 = 2;
+const T_GET_REPLY: u8 = 3;
+const T_UPDATE_BATCH: u8 = 4;
+const T_PUSH: u8 = 5;
+const T_FIND_NEAREST: u8 = 6;
+const T_FIND_NEAREST_REPLY: u8 = 7;
+const T_ORIGIN_PUT: u8 = 8;
+const T_ACK: u8 = 9;
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut impl Buf) -> io::Result<String> {
+    if buf.remaining() < 4 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short string body"));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn get_bytes(buf: &mut impl Buf) -> io::Result<Bytes> {
+    if buf.remaining() < 4 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short bytes length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short bytes body"));
+    }
+    Ok(buf.copy_to_bytes(len))
+}
+
+impl Message {
+    /// Encodes the message into a framed byte buffer ready to write.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::new();
+        let ty = match self {
+            Message::Get { url } => {
+                put_string(&mut payload, url);
+                T_GET
+            }
+            Message::PeerGet { url } => {
+                put_string(&mut payload, url);
+                T_PEER_GET
+            }
+            Message::GetReply { status, version, served_by, body } => {
+                payload.put_u8(match status {
+                    Status::Ok => 0,
+                    Status::NotFound => 1,
+                    Status::Error => 2,
+                });
+                payload.put_u32_le(*version);
+                match served_by {
+                    ServedBy::Local => payload.put_u8(0),
+                    ServedBy::Peer(m) => {
+                        payload.put_u8(1);
+                        payload.put_u64_le(m.0);
+                    }
+                    ServedBy::Origin => payload.put_u8(2),
+                }
+                put_bytes(&mut payload, body);
+                T_GET_REPLY
+            }
+            Message::UpdateBatch(updates) => {
+                payload.put_u32_le(updates.len() as u32);
+                for u in updates {
+                    u.encode(&mut payload);
+                }
+                T_UPDATE_BATCH
+            }
+            Message::Push { url, version, body } => {
+                put_string(&mut payload, url);
+                payload.put_u32_le(*version);
+                put_bytes(&mut payload, body);
+                T_PUSH
+            }
+            Message::FindNearest { key } => {
+                payload.put_u64_le(*key);
+                T_FIND_NEAREST
+            }
+            Message::FindNearestReply { location } => {
+                match location {
+                    Some(m) => {
+                        payload.put_u8(1);
+                        payload.put_u64_le(m.0);
+                    }
+                    None => payload.put_u8(0),
+                }
+                T_FIND_NEAREST_REPLY
+            }
+            Message::OriginPut { url, version, body } => {
+                put_string(&mut payload, url);
+                payload.put_u32_le(*version);
+                put_bytes(&mut payload, body);
+                T_ORIGIN_PUT
+            }
+            Message::Ack => T_ACK,
+        };
+        let mut frame = BytesMut::with_capacity(payload.len() + 5);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u8(ty);
+        frame.put_slice(&payload);
+        frame.freeze()
+    }
+
+    /// Decodes one message from `(type, payload)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated payloads or unknown type/status codes.
+    pub fn decode(ty: u8, mut payload: Bytes) -> io::Result<Message> {
+        let buf = &mut payload;
+        let msg = match ty {
+            T_GET => Message::Get { url: get_string(buf)? },
+            T_PEER_GET => Message::PeerGet { url: get_string(buf)? },
+            T_GET_REPLY => {
+                if buf.remaining() < 6 {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short reply"));
+                }
+                let status = match buf.get_u8() {
+                    0 => Status::Ok,
+                    1 => Status::NotFound,
+                    2 => Status::Error,
+                    s => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unknown status {s}"),
+                        ))
+                    }
+                };
+                let version = buf.get_u32_le();
+                let served_by = match buf.get_u8() {
+                    0 => ServedBy::Local,
+                    1 => {
+                        if buf.remaining() < 8 {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "short peer id",
+                            ));
+                        }
+                        ServedBy::Peer(MachineId(buf.get_u64_le()))
+                    }
+                    2 => ServedBy::Origin,
+                    s => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unknown served-by {s}"),
+                        ))
+                    }
+                };
+                Message::GetReply { status, version, served_by, body: get_bytes(buf)? }
+            }
+            T_UPDATE_BATCH => {
+                if buf.remaining() < 4 {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short batch"));
+                }
+                let n = buf.get_u32_le() as usize;
+                if n > (MAX_FRAME as usize) / HINT_UPDATE_BYTES {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized batch"));
+                }
+                let mut updates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    updates.push(HintUpdate::decode(buf)?);
+                }
+                Message::UpdateBatch(updates)
+            }
+            T_PUSH => {
+                let url = get_string(buf)?;
+                if buf.remaining() < 4 {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short push"));
+                }
+                let version = buf.get_u32_le();
+                Message::Push { url, version, body: get_bytes(buf)? }
+            }
+            T_FIND_NEAREST => {
+                if buf.remaining() < 8 {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short find"));
+                }
+                Message::FindNearest { key: buf.get_u64_le() }
+            }
+            T_FIND_NEAREST_REPLY => {
+                if buf.remaining() < 1 {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short find reply"));
+                }
+                let location = match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        if buf.remaining() < 8 {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "short location",
+                            ));
+                        }
+                        Some(MachineId(buf.get_u64_le()))
+                    }
+                    s => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unknown option tag {s}"),
+                        ))
+                    }
+                };
+                Message::FindNearestReply { location }
+            }
+            T_ORIGIN_PUT => {
+                let url = get_string(buf)?;
+                if buf.remaining() < 4 {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short put"));
+                }
+                let version = buf.get_u32_le();
+                Message::OriginPut { url, version, body: get_bytes(buf)? }
+            }
+            T_ACK => Message::Ack,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown message type {other}"),
+                ))
+            }
+        };
+        Ok(msg)
+    }
+}
+
+/// Writes one framed message to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    w.write_all(&msg.encode())?;
+    w.flush()
+}
+
+/// Reads one framed message from `r`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, oversized frames, or malformed payloads.
+pub fn read_message<R: Read>(r: &mut R) -> io::Result<Message> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("frame too large: {len}")));
+    }
+    let ty = header[4];
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Message::decode(ty, Bytes::from(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) -> Message {
+        let framed = msg.encode();
+        let mut cursor = std::io::Cursor::new(framed.to_vec());
+        read_message(&mut cursor).expect("decode")
+    }
+
+    #[test]
+    fn hint_update_is_twenty_bytes() {
+        let mut buf = BytesMut::new();
+        HintUpdate {
+            action: HintAction::Add,
+            object: 0xDEADBEEF,
+            machine: MachineId(42),
+        }
+        .encode(&mut buf);
+        assert_eq!(buf.len(), HINT_UPDATE_BYTES);
+    }
+
+    #[test]
+    fn machine_id_round_trips_socket_addrs() {
+        let addr: std::net::SocketAddr = "192.168.1.10:3128".parse().expect("addr");
+        let id = MachineId::from_addr(addr).expect("v4");
+        assert_eq!(id.to_addr(), addr);
+        let v6: std::net::SocketAddr = "[::1]:80".parse().expect("addr");
+        assert_eq!(MachineId::from_addr(v6), None);
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        let messages = vec![
+            Message::Get { url: "http://x.test/a".into() },
+            Message::PeerGet { url: "http://x.test/ü".into() },
+            Message::GetReply {
+                status: Status::Ok,
+                version: 7,
+                served_by: ServedBy::Peer(MachineId(99)),
+                body: Bytes::from_static(b"hello"),
+            },
+            Message::GetReply {
+                status: Status::NotFound,
+                version: 0,
+                served_by: ServedBy::Local,
+                body: Bytes::new(),
+            },
+            Message::UpdateBatch(vec![
+                HintUpdate { action: HintAction::Add, object: 1, machine: MachineId(2) },
+                HintUpdate { action: HintAction::Remove, object: 3, machine: MachineId(4) },
+            ]),
+            Message::UpdateBatch(vec![]),
+            Message::Push { url: "http://x.test/p".into(), version: 3, body: Bytes::from_static(b"abc") },
+            Message::FindNearest { key: 0xABCD },
+            Message::FindNearestReply { location: Some(MachineId(5)) },
+            Message::FindNearestReply { location: None },
+            Message::OriginPut { url: "http://x.test/o".into(), version: 1, body: Bytes::from_static(b"v1") },
+            Message::Ack,
+        ];
+        for msg in messages {
+            assert_eq!(round_trip(msg.clone()), msg);
+        }
+    }
+
+    #[test]
+    fn update_batch_frame_size_matches_paper_arithmetic() {
+        // A batch of N updates costs 5 (frame) + 4 (count) + 20N bytes —
+        // the paper's "20 bytes per update".
+        let n = 100;
+        let batch = Message::UpdateBatch(
+            (0..n)
+                .map(|i| HintUpdate { action: HintAction::Add, object: i, machine: MachineId(i) })
+                .collect(),
+        );
+        assert_eq!(batch.encode().len(), 5 + 4 + 20 * n as usize);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        // Unknown type.
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(0);
+        frame.put_u8(200);
+        let mut cursor = std::io::Cursor::new(frame.to_vec());
+        assert!(read_message(&mut cursor).is_err());
+
+        // Oversized length prefix.
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(MAX_FRAME + 1);
+        frame.put_u8(T_ACK);
+        let mut cursor = std::io::Cursor::new(frame.to_vec());
+        assert!(read_message(&mut cursor).is_err());
+
+        // Truncated string.
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(100); // claims 100 bytes, has none
+        assert!(Message::decode(T_GET, payload.freeze()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_is_clean_eof() {
+        let framed = Message::Ack.encode();
+        let mut cursor = std::io::Cursor::new(framed[..3].to_vec());
+        let err = read_message(&mut cursor).expect_err("short read");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

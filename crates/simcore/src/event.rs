@@ -1,0 +1,217 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events scheduled at the same [`SimTime`] pop in insertion order (FIFO
+//! tie-breaking by a monotonically increasing sequence number), which makes
+//! simulation runs reproducible regardless of payload type or platform.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A min-heap of timestamped events with FIFO tie-breaking.
+///
+/// ```
+/// use bh_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "b");
+/// q.schedule(SimTime::from_secs(1), "a");
+/// q.schedule(SimTime::from_secs(2), "c");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (and, among
+        // equals, the first-scheduled) entry surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Schedules `event` to fire at time `at`.
+    ///
+    /// Scheduling in the past is allowed (the event fires at the next pop);
+    /// this matches trace-driven use where an update may be "already due".
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp (the clock never moves backwards).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = self.now.max(entry.at);
+        Some((entry.at, entry.event))
+    }
+
+    /// Pops the earliest event only if it is due at or before `deadline`.
+    ///
+    /// This is the primitive trace-driven simulators use: before handling a
+    /// trace record at time *t*, drain all simulator events scheduled `<= t`.
+    pub fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The queue's notion of "now": the timestamp of the latest popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for s in [5u64, 1, 4, 2, 3] {
+            q.schedule(SimTime::from_secs(s), s);
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "early");
+        q.schedule(SimTime::from_secs(10), "late");
+        assert_eq!(q.pop_due(SimTime::from_secs(5)).map(|(_, e)| e), Some("early"));
+        assert_eq!(q.pop_due(SimTime::from_secs(5)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clock_monotone_even_with_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "a");
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(10));
+        q.schedule(SimTime::from_secs(1), "stale");
+        q.pop();
+        // Clock does not move backwards.
+        assert_eq!(q.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn len_empty_clear() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO + SimDuration::from_secs(1), ());
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Popped timestamps are non-decreasing for arbitrary schedules.
+            #[test]
+            fn pop_order_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_micros(*t), i);
+                }
+                let mut last = SimTime::ZERO;
+                while let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= last);
+                    last = t;
+                }
+            }
+
+            /// Every scheduled event is eventually popped exactly once.
+            #[test]
+            fn conservation(times in proptest::collection::vec(0u64..1000, 0..100)) {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.schedule(SimTime::from_micros(*t), i);
+                }
+                let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+                seen.sort_unstable();
+                prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+            }
+        }
+    }
+}

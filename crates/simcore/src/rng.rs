@@ -1,0 +1,421 @@
+//! Seedable pseudo-random number generation and the distributions the
+//! workload models need.
+//!
+//! Simulation results must be reproducible bit-for-bit from a seed, so the
+//! substrate ships its own small generators ([`SplitMix64`] for seeding and
+//! stream-splitting, [`Xoshiro256`] for bulk generation) rather than relying
+//! on `rand`'s unspecified default engine. Both also implement
+//! [`rand::RngCore`] so they compose with the `rand` distribution adapters
+//! where convenient.
+//!
+//! The distribution helpers are exactly the ones web-workload modelling
+//! needs: Zipf-like object popularity, log-normal object sizes, and
+//! exponential inter-arrival / lifetime sampling.
+
+use rand::RngCore;
+
+/// SplitMix64: tiny, fast generator used to seed and split streams.
+///
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014); constants from the public-domain reference
+/// implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derives an independent child stream; deterministic in (seed, label).
+    pub fn split(&self, label: u64) -> SplitMix64 {
+        let mut base = *self;
+        let a = base.next_u64();
+        SplitMix64::new(a ^ label.wrapping_mul(0xA24BAED4963EE407))
+    }
+}
+
+/// xoshiro256** — the workhorse generator for bulk sampling.
+///
+/// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators" (2018), public-domain reference implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the generator via SplitMix64, per the authors' recommendation.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's nearly-divisionless bounded sampling with rejection for
+        // exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Exponential deviate with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // Inversion; guard against ln(0).
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+
+    /// Standard normal deviate (Box–Muller, single value).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal deviate with the given parameters of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+
+    /// Derives an independent child stream; deterministic in (state, label).
+    pub fn split(&mut self, label: u64) -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(self.next_u64() ^ label.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u32(&mut self) -> u32 {
+        (Xoshiro256::next_u64(self) >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&Xoshiro256::next_u64(self).to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = Xoshiro256::next_u64(self).to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (SplitMix64::next_u64(self) >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&SplitMix64::next_u64(self).to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = SplitMix64::next_u64(self).to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Zipf-like sampler over ranks `0..n` with exponent `alpha`.
+///
+/// Web object popularity is famously Zipf-like with `alpha ≈ 0.7–0.8`
+/// (Breslau et al.); the workload generators use this to reproduce the
+/// hit-rate-vs-sharing curves of the paper's Figure 3.
+///
+/// Sampling is exact inverse-CDF over a precomputed cumulative weight table
+/// (O(log n) per draw). The table is built once per workload; even the DEC
+/// trace's 4.15 M-URL universe costs ~33 MB transiently and a few tens of
+/// milliseconds to build.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `alpha`
+    /// (probability of rank *k* proportional to `1/(k+1)^alpha`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is not a sane Zipf exponent
+    /// (finite, in `[0, 5]`).
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            alpha.is_finite() && (0.0..=5.0).contains(&alpha),
+            "unreasonable Zipf alpha {alpha}"
+        );
+        let n = usize::try_from(n).expect("rank count fits in usize");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf, alpha }
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// The Zipf exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_reference_values() {
+        // First outputs for seed 1234567, from the public-domain reference.
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn xoshiro_streams_differ_by_seed() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut parent1 = Xoshiro256::seed_from_u64(7);
+        let mut parent2 = Xoshiro256::seed_from_u64(7);
+        let mut c1 = parent1.split(11);
+        let mut c2 = parent2.split(11);
+        for _ in 0..32 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        let mut c3 = parent1.split(12);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut r = Xoshiro256::seed_from_u64(4);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Xoshiro256::seed_from_u64(0).below(0);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = Xoshiro256::seed_from_u64(5);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn log_normal_median_close() {
+        let mut r = Xoshiro256::seed_from_u64(6);
+        let mut v: Vec<f64> = (0..50_001).map(|_| r.log_normal(2.0, 1.0)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = v[25_000];
+        let expected = (2.0f64).exp();
+        assert!((median / expected - 1.0).abs() < 0.05, "median {median} vs {expected}");
+    }
+
+    #[test]
+    fn zipf_rank0_most_popular() {
+        let z = Zipf::new(10_000, 0.8);
+        let mut r = Xoshiro256::seed_from_u64(9);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..200_000 {
+            *counts.entry(z.sample(&mut r)).or_insert(0u32) += 1;
+        }
+        let c0 = counts.get(&0).copied().unwrap_or(0);
+        let c10 = counts.get(&10).copied().unwrap_or(0);
+        let c1000 = counts.get(&1000).copied().unwrap_or(0);
+        assert!(c0 > c10 && c10 > c1000, "popularity must decay: {c0} {c10} {c1000}");
+    }
+
+    #[test]
+    fn zipf_respects_rank_bounds() {
+        for alpha in [0.0, 0.5, 0.75, 1.0, 1.5] {
+            let z = Zipf::new(100, alpha);
+            let mut r = Xoshiro256::seed_from_u64(10);
+            for _ in 0..10_000 {
+                assert!(z.sample(&mut r) < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_roughly_uniform() {
+        let z = Zipf::new(8, 0.0);
+        let mut r = Xoshiro256::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "alpha=0 bucket {c}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut r = Xoshiro256::seed_from_u64(12);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn below_always_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+                let mut r = Xoshiro256::seed_from_u64(seed);
+                for _ in 0..50 {
+                    prop_assert!(r.below(n) < n);
+                }
+            }
+
+            #[test]
+            fn zipf_in_range(seed in any::<u64>(), n in 1u64..100_000,
+                             alpha in 0.0f64..2.0) {
+                let z = Zipf::new(n, alpha);
+                let mut r = Xoshiro256::seed_from_u64(seed);
+                for _ in 0..20 {
+                    prop_assert!(z.sample(&mut r) < n);
+                }
+            }
+
+            #[test]
+            fn chance_extremes(seed in any::<u64>()) {
+                let mut r = Xoshiro256::seed_from_u64(seed);
+                prop_assert!(!r.chance(0.0));
+                prop_assert!(r.chance(1.0));
+            }
+        }
+    }
+}

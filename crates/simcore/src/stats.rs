@@ -1,0 +1,398 @@
+//! Summary statistics used by the metrics layer.
+//!
+//! [`OnlineStats`] accumulates count/mean/variance/min/max in O(1) space
+//! (Welford's algorithm); [`Histogram`] buckets values into fixed-width or
+//! logarithmic bins for the distribution plots; [`percentile`] computes exact
+//! order statistics from a sample vector.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming count / mean / variance / min / max accumulator.
+///
+/// ```
+/// use bh_simcore::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x` is NaN.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "refusing to record NaN");
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Exact percentile (nearest-rank) of a sample; `p` in `[0, 100]`.
+///
+/// Returns `None` on an empty sample.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(values: &mut [f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = ((p / 100.0) * (values.len() as f64 - 1.0)).round() as usize;
+    Some(values[rank.min(values.len() - 1)])
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let last = self.bins.len() - 1;
+            self.bins[idx.min(last)] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including out-of-range.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin {i} out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+/// A ratio tracker for hit rates and similar fractions.
+///
+/// ```
+/// use bh_simcore::stats::Ratio;
+///
+/// let mut hits = Ratio::new();
+/// hits.record(true);
+/// hits.record(false);
+/// hits.record(true);
+/// assert!((hits.value() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio.
+    pub fn new() -> Self {
+        Ratio::default()
+    }
+
+    /// Records one trial; `success` increments the numerator.
+    pub fn record(&mut self, success: bool) {
+        self.total += 1;
+        if success {
+            self.hits += 1;
+        }
+    }
+
+    /// Adds `n` to the numerator and denominator weightings directly.
+    pub fn add(&mut self, hits: u64, total: u64) {
+        self.hits += hits;
+        self.total += total;
+    }
+
+    /// Numerator.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The fraction (0.0 when no trials recorded).
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.variance(), 4.0);
+        assert_eq!(s.std_dev(), 2.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.record(1.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 1.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut v, 0.0), Some(1.0));
+        assert_eq!(percentile(&mut v, 50.0), Some(3.0));
+        assert_eq!(percentile(&mut v, 100.0), Some(5.0));
+        let mut empty: Vec<f64> = vec![];
+        assert_eq!(percentile(&mut empty, 50.0), None);
+    }
+
+    #[test]
+    fn histogram_bins_and_ranges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [-1.0, 0.0, 1.9, 2.0, 9.999, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn ratio_behaviour() {
+        let r = Ratio::new();
+        assert_eq!(r.value(), 0.0);
+        let mut r = Ratio::new();
+        r.add(3, 4);
+        assert_eq!(r.hits(), 3);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.value(), 0.75);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn mean_bounded_by_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..500)) {
+                let mut s = OnlineStats::new();
+                for &x in &xs {
+                    s.record(x);
+                }
+                prop_assert!(s.mean() >= s.min().unwrap() - 1e-9);
+                prop_assert!(s.mean() <= s.max().unwrap() + 1e-9);
+            }
+
+            #[test]
+            fn merge_commutes(xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                              ys in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+                let mk = |v: &[f64]| {
+                    let mut s = OnlineStats::new();
+                    for &x in v { s.record(x); }
+                    s
+                };
+                let mut ab = mk(&xs);
+                ab.merge(&mk(&ys));
+                let mut ba = mk(&ys);
+                ba.merge(&mk(&xs));
+                prop_assert_eq!(ab.count(), ba.count());
+                prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+                prop_assert!((ab.variance() - ba.variance()).abs() < 1e-6);
+            }
+
+            #[test]
+            fn histogram_conserves_count(xs in proptest::collection::vec(-10.0f64..20.0, 0..200)) {
+                let mut h = Histogram::new(0.0, 10.0, 7);
+                for &x in &xs {
+                    h.record(x);
+                }
+                prop_assert_eq!(h.total(), xs.len() as u64);
+            }
+        }
+    }
+}

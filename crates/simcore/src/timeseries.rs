@@ -1,0 +1,195 @@
+//! Windowed time-series statistics.
+//!
+//! Rousskov's measurements — the source of Table 3 — report the median of
+//! each metric over consecutive 20-minute windows, then take the min and
+//! max of those medians across the day. [`WindowedSeries`] reproduces that
+//! methodology for simulator output: feed timestamped samples, get
+//! per-window medians (or means/counts) back, and summarize with
+//! [`WindowedSeries::median_min_max`].
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Samples bucketed into fixed windows of simulated time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowedSeries {
+    window: SimDuration,
+    /// Per-window sample values (window index = time / window).
+    buckets: Vec<Vec<f64>>,
+}
+
+impl WindowedSeries {
+    /// Creates a series with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        WindowedSeries { window, buckets: Vec::new() }
+    }
+
+    /// The conventional 20-minute window (Rousskov's choice).
+    pub fn twenty_minutes() -> Self {
+        Self::new(SimDuration::from_mins(20))
+    }
+
+    /// Records a sample at `at`.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_micros() / self.window.as_micros()) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize_with(idx + 1, Vec::new);
+        }
+        self.buckets[idx].push(value);
+    }
+
+    /// Number of windows spanned so far (including empty ones).
+    pub fn windows(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The median of each non-empty window, in time order.
+    pub fn window_medians(&self) -> Vec<f64> {
+        self.buckets
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| {
+                let mut v = b.clone();
+                crate::stats::percentile(&mut v, 50.0).expect("non-empty window")
+            })
+            .collect()
+    }
+
+    /// The mean of each non-empty window, in time order.
+    pub fn window_means(&self) -> Vec<f64> {
+        self.buckets
+            .iter()
+            .filter(|b| !b.is_empty())
+            .map(|b| b.iter().sum::<f64>() / b.len() as f64)
+            .collect()
+    }
+
+    /// Per-window sample counts (including empty windows), useful as a
+    /// rate series when each sample is one event.
+    pub fn window_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.len() as u64).collect()
+    }
+
+    /// Events per second in each window.
+    pub fn window_rates(&self) -> Vec<f64> {
+        let secs = self.window.as_secs_f64();
+        self.window_counts().into_iter().map(|c| c as f64 / secs).collect()
+    }
+
+    /// Rousskov's summary: `(min, max)` of the per-window medians.
+    /// `None` if every window is empty.
+    pub fn median_min_max(&self) -> Option<(f64, f64)> {
+        let medians = self.window_medians();
+        if medians.is_empty() {
+            return None;
+        }
+        let min = medians.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = medians.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some((min, max))
+    }
+
+    /// Restricts the Rousskov summary to windows overlapping
+    /// `[from, until)` (the paper uses 8 AM–5 PM peak hours).
+    pub fn median_min_max_between(&self, from: SimTime, until: SimTime) -> Option<(f64, f64)> {
+        let first = (from.as_micros() / self.window.as_micros()) as usize;
+        let last = (until.as_micros().saturating_sub(1) / self.window.as_micros()) as usize;
+        let medians: Vec<f64> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| *i >= first && *i <= last && !b.is_empty())
+            .map(|(_, b)| {
+                let mut v = b.clone();
+                crate::stats::percentile(&mut v, 50.0).expect("non-empty window")
+            })
+            .collect();
+        if medians.is_empty() {
+            return None;
+        }
+        let min = medians.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = medians.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_window() {
+        let mut s = WindowedSeries::new(SimDuration::from_secs(60));
+        s.record(SimTime::from_secs(10), 1.0);
+        s.record(SimTime::from_secs(59), 3.0);
+        s.record(SimTime::from_secs(61), 10.0);
+        assert_eq!(s.windows(), 2);
+        assert_eq!(s.window_counts(), vec![2, 1]);
+        // Nearest-rank median of an even window takes the upper element.
+        assert_eq!(s.window_medians(), vec![3.0, 10.0]);
+        assert_eq!(s.window_means(), vec![2.0, 10.0]);
+    }
+
+    #[test]
+    fn rates_per_second() {
+        let mut s = WindowedSeries::new(SimDuration::from_secs(10));
+        for t in 0..30u64 {
+            s.record(SimTime::from_secs(t), 1.0);
+        }
+        assert_eq!(s.window_rates(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn rousskov_summary() {
+        let mut s = WindowedSeries::twenty_minutes();
+        // Three windows with medians 100, 500, 300.
+        for (w, m) in [(0u64, 100.0), (1, 500.0), (2, 300.0)] {
+            for d in [-5.0, 0.0, 5.0] {
+                s.record(SimTime::from_secs(w * 1200 + 60), m + d);
+            }
+        }
+        assert_eq!(s.median_min_max(), Some((100.0, 500.0)));
+    }
+
+    #[test]
+    fn peak_hours_restriction() {
+        let mut s = WindowedSeries::new(SimDuration::from_secs(100));
+        s.record(SimTime::from_secs(50), 1.0); // window 0
+        s.record(SimTime::from_secs(150), 9.0); // window 1
+        s.record(SimTime::from_secs(250), 5.0); // window 2
+        assert_eq!(
+            s.median_min_max_between(SimTime::from_secs(100), SimTime::from_secs(200)),
+            Some((9.0, 9.0))
+        );
+        assert_eq!(
+            s.median_min_max_between(SimTime::from_secs(300), SimTime::from_secs(400)),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = WindowedSeries::twenty_minutes();
+        assert_eq!(s.median_min_max(), None);
+        assert!(s.window_medians().is_empty());
+    }
+
+    #[test]
+    fn empty_windows_skipped_in_medians_but_counted_in_rates() {
+        let mut s = WindowedSeries::new(SimDuration::from_secs(10));
+        s.record(SimTime::from_secs(5), 2.0);
+        s.record(SimTime::from_secs(25), 4.0); // window 1 empty
+        assert_eq!(s.window_medians(), vec![2.0, 4.0]);
+        assert_eq!(s.window_counts(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = WindowedSeries::new(SimDuration::ZERO);
+    }
+}

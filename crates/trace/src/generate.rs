@@ -1,0 +1,590 @@
+//! Synthetic trace generation.
+//!
+//! The generator reproduces the *statistics* the simulator consumes rather
+//! than any particular byte stream: who references what, when, how large the
+//! object is, and when it was last modified. The reference process is a
+//! bounded-memory preferential-attachment ("Chinese restaurant"-style)
+//! process with a per-L1-group locality bias:
+//!
+//! 1. with probability `p_new`, the request references a brand-new URL
+//!    (globally compulsory — this pins the distinct/total ratio of Table 4);
+//! 2. otherwise, with probability `p_local`, it re-references an object drawn
+//!    uniformly from the client's L1 group's recent-access window;
+//! 3. otherwise it re-references an object drawn uniformly from the global
+//!    recent-access window.
+//!
+//! Drawing uniformly from *accesses* (not objects) is preferential
+//! attachment, which yields the Zipf-like popularity observed in web traces;
+//! the bounded windows add temporal locality; the group bias reproduces the
+//! L1 < L2 < L3 sharing gradient of Figure 3.
+
+use crate::record::{ClientId, ObjectId, RequestClass, TraceRecord};
+use crate::spec::WorkloadSpec;
+use bh_simcore::rng::{SplitMix64, Xoshiro256};
+use bh_simcore::{ByteSize, SimTime};
+
+/// Deterministic per-object attributes, derived from the object's key so
+/// they never need to be stored: every component that sees the object
+/// derives the same size, cacheability, and modification rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectAttrs {
+    /// Transfer size.
+    pub size: ByteSize,
+    /// Whether the object is dynamically generated (CGI): always uncachable.
+    pub cgi: bool,
+    /// Modifications per second (0.0 for immutable objects).
+    pub mod_rate_per_sec: f64,
+}
+
+impl ObjectAttrs {
+    /// Derives the attributes of `object` under `spec`.
+    pub fn derive(object: ObjectId, spec: &WorkloadSpec) -> Self {
+        let mut rng = SplitMix64::new(object.key() ^ 0xA076_1D64_78BD_642F);
+        let u_size = next_f64(&mut rng);
+        let u_size2 = next_f64(&mut rng);
+        let u_cgi = next_f64(&mut rng);
+        let u_mut = next_f64(&mut rng);
+        let u_rate = next_f64(&mut rng);
+
+        // Log-normal size via Box–Muller on two deterministic uniforms.
+        let z = (-2.0 * (1.0 - u_size).ln()).sqrt() * (std::f64::consts::TAU * u_size2).cos();
+        let mu = spec.median_object_bytes.ln();
+        let raw = (mu + spec.size_sigma * z).exp();
+        let size = raw.clamp(128.0, spec.max_object_bytes as f64) as u64;
+
+        let cgi = u_cgi < spec.p_cgi_object;
+        let mod_rate_per_sec = if u_mut < spec.p_mutable_object {
+            // Log-uniform spread of one decade around the mean interval.
+            let interval_hours = spec.mean_mod_interval_hours * 10f64.powf(u_rate * 2.0 - 1.0);
+            1.0 / (interval_hours * 3600.0)
+        } else {
+            0.0
+        };
+        ObjectAttrs { size: ByteSize::from_bytes(size), cgi, mod_rate_per_sec }
+    }
+
+    /// The object's version at simulated time `t` (number of modifications
+    /// since trace start). Monotone in `t`.
+    pub fn version_at(&self, t: SimTime) -> u32 {
+        (t.as_secs_f64() * self.mod_rate_per_sec) as u32
+    }
+}
+
+fn next_f64(rng: &mut SplitMix64) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Fixed-capacity ring of recent accesses (object ids), supporting uniform
+/// sampling over its current contents.
+#[derive(Debug, Clone)]
+struct HistoryRing {
+    buf: Vec<u64>,
+    cap: usize,
+    next: usize,
+}
+
+impl HistoryRing {
+    fn new(cap: usize) -> Self {
+        HistoryRing { buf: Vec::with_capacity(cap.min(1 << 20)), cap, next: 0 }
+    }
+
+    fn push(&mut self, id: u64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(id);
+        } else {
+            self.buf[self.next] = id;
+            self.next = (self.next + 1) % self.cap;
+        }
+    }
+
+    fn sample(&self, rng: &mut Xoshiro256) -> Option<u64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.buf[rng.below(self.buf.len() as u64) as usize])
+        }
+    }
+}
+
+/// Weighted client sampler (Zipf-skewed activity over a shuffled rank order).
+#[derive(Debug, Clone)]
+struct ClientSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ClientSampler {
+    fn new(clients: u32, alpha: f64, rng: &mut Xoshiro256) -> Self {
+        let n = clients as usize;
+        // Assign ranks randomly so client index does not correlate with
+        // activity (clients of one L1 group must not all be the hot ones).
+        let mut perm: Vec<u32> = (0..clients).collect();
+        for i in (1..n).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+        let mut weights = vec![0.0f64; n];
+        for (rank, &client) in perm.iter().enumerate() {
+            weights[client as usize] = ((rank + 1) as f64).powf(-alpha);
+        }
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        for c in &mut cumulative {
+            *c /= acc;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        ClientSampler { cumulative }
+    }
+
+    fn sample(&self, rng: &mut Xoshiro256) -> u32 {
+        let u = rng.next_f64();
+        self.cumulative.partition_point(|&c| c < u) as u32
+    }
+}
+
+/// Session seat for dynamic client-ID workloads (Prodigy): the seat is a
+/// phone line; each login gets a fresh [`ClientId`].
+#[derive(Debug, Clone, Copy)]
+struct Seat {
+    current_id: u32,
+    remaining: u32,
+}
+
+/// Streaming, deterministic trace generator.
+///
+/// See the [crate docs](crate) for the generative model. The iterator yields
+/// exactly `spec.requests` records in non-decreasing time order.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+    emitted: u64,
+    now: SimTime,
+    mean_ia_secs: f64,
+
+    rng_arrival: Xoshiro256,
+    rng_client: Xoshiro256,
+    rng_object: Xoshiro256,
+    rng_class: Xoshiro256,
+
+    clients: ClientSampler,
+    seats: Vec<Seat>,
+    /// Sessions minted so far (dynamic mode) — new IDs are
+    /// `session * groups + group` so the L1 group stays recoverable from the
+    /// ID (see [`WorkloadSpec::l1_group_of`]).
+    sessions: u32,
+    groups: u32,
+
+    global_history: HistoryRing,
+    group_histories: Vec<HistoryRing>,
+    next_object: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec`, deterministic in `(spec, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn new(spec: &WorkloadSpec, seed: u64) -> Self {
+        if let Err(msg) = spec.validate() {
+            panic!("invalid workload spec: {msg}");
+        }
+        let mut root = Xoshiro256::seed_from_u64(seed ^ 0x7459_4A93_12F1_77D3);
+        let rng_arrival = root.split(1);
+        let mut rng_client = root.split(2);
+        let rng_object = root.split(3);
+        let rng_class = root.split(4);
+
+        let groups = spec.l1_groups() as usize;
+        let seat_count = (spec.clients_per_l1 as usize) * groups;
+        let (clients, seats) = if spec.dynamic_client_ids {
+            let seats = (0..seat_count)
+                .map(|i| Seat { current_id: i as u32, remaining: 0 })
+                .collect::<Vec<_>>();
+            (ClientSampler::new(seat_count as u32, spec.client_activity_alpha, &mut rng_client), seats)
+        } else {
+            (ClientSampler::new(spec.clients, spec.client_activity_alpha, &mut rng_client), Vec::new())
+        };
+
+        TraceGenerator {
+            spec: spec.clone(),
+            emitted: 0,
+            now: SimTime::ZERO,
+            mean_ia_secs: spec.mean_interarrival_secs(),
+            rng_arrival,
+            rng_client,
+            rng_object,
+            rng_class,
+            clients,
+            seats,
+            sessions: 0,
+            groups: groups as u32,
+            global_history: HistoryRing::new(spec.history_window),
+            group_histories: (0..groups)
+                .map(|_| HistoryRing::new(spec.group_history_window))
+                .collect(),
+            next_object: 0,
+        }
+    }
+
+    /// The spec this generator was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of distinct objects created so far.
+    pub fn distinct_objects(&self) -> u64 {
+        self.next_object
+    }
+
+    /// Number of distinct client IDs handed out so far: the static
+    /// population for non-dynamic workloads, the session count for
+    /// Prodigy-style dynamic binding.
+    pub fn distinct_clients(&self) -> u32 {
+        if self.spec.dynamic_client_ids {
+            self.sessions
+        } else {
+            self.spec.clients
+        }
+    }
+
+    fn advance_clock(&mut self) {
+        // Non-homogeneous Poisson arrivals: scale the exponential gap by the
+        // diurnal rate at the current instant (peak mid-afternoon).
+        let a = self.spec.diurnal_amplitude;
+        let day_frac = (self.now.as_secs_f64() / 86_400.0).fract();
+        let rate_factor =
+            1.0 + a * (std::f64::consts::TAU * (day_frac - 0.625)).cos();
+        let dt = self.rng_arrival.exponential(self.mean_ia_secs) / rate_factor.max(1e-3);
+        self.now = self.now + bh_simcore::SimDuration::from_secs_f64(dt);
+    }
+
+    fn pick_client(&mut self) -> (ClientId, usize) {
+        if self.spec.dynamic_client_ids {
+            let seat_idx = self.clients.sample(&mut self.rng_client) as usize;
+            let mean = self.spec.mean_session_requests;
+            let group = seat_idx / self.spec.clients_per_l1 as usize;
+            let groups = self.groups;
+            let sessions = &mut self.sessions;
+            let remaining = (self.rng_client.exponential(mean).ceil() as u32).max(1);
+            let seat = &mut self.seats[seat_idx];
+            if seat.remaining == 0 {
+                // Encode the L1 group in the ID so it stays recoverable:
+                // id = session * groups + group.
+                seat.current_id = *sessions * groups + group as u32;
+                *sessions += 1;
+                seat.remaining = remaining;
+            }
+            seat.remaining -= 1;
+            (ClientId(seat.current_id), group)
+        } else {
+            let c = self.clients.sample(&mut self.rng_client);
+            let group = (c / self.spec.clients_per_l1) as usize;
+            (ClientId(c), group.min(self.group_histories.len() - 1))
+        }
+    }
+
+    fn pick_object(&mut self, group: usize) -> ObjectId {
+        let choice = if self.next_object == 0 || self.rng_object.chance(self.spec.p_new) {
+            None
+        } else if self.rng_object.chance(self.spec.p_local) {
+            self.group_histories[group]
+                .sample(&mut self.rng_object)
+                .or_else(|| self.global_history.sample(&mut self.rng_object))
+        } else {
+            self.global_history.sample(&mut self.rng_object)
+        };
+        let id = choice.unwrap_or_else(|| {
+            let id = self.next_object;
+            self.next_object += 1;
+            id
+        });
+        self.global_history.push(id);
+        self.group_histories[group].push(id);
+        ObjectId(id)
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.emitted >= self.spec.requests {
+            return None;
+        }
+        self.emitted += 1;
+        self.advance_clock();
+        let (client, group) = self.pick_client();
+        let object = self.pick_object(group);
+        let attrs = ObjectAttrs::derive(object, &self.spec);
+
+        let class = if self.rng_class.chance(self.spec.p_error) {
+            RequestClass::Error
+        } else if attrs.cgi || self.rng_class.chance(self.spec.p_uncachable_request) {
+            RequestClass::Uncachable
+        } else {
+            RequestClass::Cacheable
+        };
+
+        Some(TraceRecord {
+            time: self.now,
+            client,
+            object,
+            size: attrs.size,
+            version: attrs.version_at(self.now),
+            class,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.spec.requests - self.emitted) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceGenerator {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use std::collections::HashSet;
+
+    fn small() -> WorkloadSpec {
+        WorkloadSpec::small().with_requests(20_000)
+    }
+
+    #[test]
+    fn emits_exact_count_in_time_order() {
+        let gen = TraceGenerator::new(&small(), 1);
+        let mut last = SimTime::ZERO;
+        let mut n = 0u64;
+        for r in gen {
+            assert!(r.time >= last, "timestamps must be non-decreasing");
+            last = r.time;
+            n += 1;
+        }
+        assert_eq!(n, 20_000);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a: Vec<_> = TraceGenerator::new(&small(), 7).collect();
+        let b: Vec<_> = TraceGenerator::new(&small(), 7).collect();
+        let c: Vec<_> = TraceGenerator::new(&small(), 8).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distinct_ratio_tracks_p_new() {
+        let spec = small().with_requests(50_000).with_p_new(0.25);
+        let mut gen = TraceGenerator::new(&spec, 3);
+        let mut n = 0u64;
+        for _ in gen.by_ref() {
+            n += 1;
+        }
+        let ratio = gen.distinct_objects() as f64 / n as f64;
+        assert!((ratio - 0.25).abs() < 0.02, "distinct/total {ratio} should track p_new=0.25");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let spec = small().with_requests(50_000);
+        let mut counts = std::collections::HashMap::new();
+        for r in TraceGenerator::new(&spec, 4) {
+            *counts.entry(r.object).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Top 10% of objects should account for well over half the repeats
+        // under preferential attachment.
+        let top = freqs.iter().take(freqs.len() / 10).sum::<u64>();
+        let total: u64 = freqs.iter().sum();
+        assert!(
+            top as f64 / total as f64 > 0.4,
+            "top-decile share {} too flat",
+            top as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn object_attrs_are_deterministic_and_bounded() {
+        let spec = WorkloadSpec::dec();
+        for i in 0..5_000u64 {
+            let a = ObjectAttrs::derive(ObjectId(i), &spec);
+            let b = ObjectAttrs::derive(ObjectId(i), &spec);
+            assert_eq!(a, b);
+            assert!(a.size.as_bytes() >= 128);
+            assert!(a.size.as_bytes() <= spec.max_object_bytes);
+        }
+    }
+
+    #[test]
+    fn object_sizes_have_heavy_tail_and_sane_mean() {
+        let spec = WorkloadSpec::dec();
+        let sizes: Vec<u64> =
+            (0..200_000u64).map(|i| ObjectAttrs::derive(ObjectId(i), &spec).size.as_bytes()).collect();
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        // Literature (and the paper's §3.1.1) quotes ~10 KB average objects.
+        assert!((6_000.0..20_000.0).contains(&mean), "mean object size {mean}");
+        let max = *sizes.iter().max().expect("nonempty");
+        assert!(max > 500_000, "tail too light, max {max}");
+    }
+
+    #[test]
+    fn versions_monotone_in_time() {
+        let spec = WorkloadSpec::dec();
+        // Find a mutable object.
+        let obj = (0..10_000u64)
+            .map(ObjectId)
+            .find(|o| ObjectAttrs::derive(*o, &spec).mod_rate_per_sec > 0.0)
+            .expect("some object must be mutable");
+        let attrs = ObjectAttrs::derive(obj, &spec);
+        let mut last = 0;
+        for day in 0..30 {
+            let v = attrs.version_at(SimTime::from_secs(day * 86_400));
+            assert!(v >= last);
+            last = v;
+        }
+        assert!(last > 0, "a mutable object must change within 30 days");
+    }
+
+    #[test]
+    fn mutable_fraction_tracks_spec() {
+        let spec = WorkloadSpec::dec();
+        let n = 50_000u64;
+        let mutable = (0..n)
+            .filter(|&i| ObjectAttrs::derive(ObjectId(i), &spec).mod_rate_per_sec > 0.0)
+            .count() as f64;
+        let frac = mutable / n as f64;
+        assert!((frac - spec.p_mutable_object).abs() < 0.01, "mutable fraction {frac}");
+    }
+
+    #[test]
+    fn request_class_mix_reasonable() {
+        let spec = small().with_requests(50_000);
+        let mut errors = 0u64;
+        let mut uncachable = 0u64;
+        let mut total = 0u64;
+        for r in TraceGenerator::new(&spec, 5) {
+            total += 1;
+            match r.class {
+                RequestClass::Error => errors += 1,
+                RequestClass::Uncachable => uncachable += 1,
+                RequestClass::Cacheable => {}
+            }
+        }
+        let e = errors as f64 / total as f64;
+        let u = uncachable as f64 / total as f64;
+        assert!((e - spec.p_error).abs() < 0.01, "error rate {e}");
+        // Uncachable = request-level + CGI objects (weighted by popularity).
+        assert!(u > spec.p_uncachable_request * 0.5 && u < 0.3, "uncachable rate {u}");
+    }
+
+    #[test]
+    fn static_ids_stay_in_range() {
+        let spec = small();
+        let mut seen = HashSet::new();
+        for r in TraceGenerator::new(&spec, 6) {
+            assert!(r.client.0 < spec.clients);
+            seen.insert(r.client);
+        }
+        assert!(seen.len() > spec.clients as usize / 4, "most clients should appear");
+    }
+
+    #[test]
+    fn dynamic_ids_grow_over_trace() {
+        // Use a small seat pool so sessions visibly recycle seats: 1024
+        // seats, ~4000 sessions.
+        let mut spec = WorkloadSpec::prodigy().scaled(0.005);
+        spec.clients = 1024;
+        spec.mean_session_requests = 5.0;
+        let mut gen = TraceGenerator::new(&spec, 7);
+        let mut ids = HashSet::new();
+        for r in gen.by_ref() {
+            ids.insert(r.client.0);
+            // Group must be recoverable from the ID.
+            assert!(r.client.0 % spec.l1_groups() < spec.l1_groups());
+        }
+        let seats = spec.l1_groups() * spec.clients_per_l1;
+        assert!(
+            ids.len() as u32 > seats,
+            "dynamic binding should mint more IDs ({}) than seats ({seats})",
+            ids.len()
+        );
+        assert_eq!(gen.distinct_clients(), ids.len() as u32);
+    }
+
+    #[test]
+    fn group_locality_bias_observable() {
+        // With p_local = 0.9 the same object should recur within a group far
+        // more than across groups, compared to p_local = 0.0.
+        let cross_group_repeat_fraction = |p_local: f64| {
+            let spec = small().with_requests(30_000).with_p_local(p_local);
+            let mut first_group: std::collections::HashMap<ObjectId, usize> =
+                std::collections::HashMap::new();
+            let (mut same, mut cross) = (0u64, 0u64);
+            for r in TraceGenerator::new(&spec, 8) {
+                let group = (r.client.0 / spec.clients_per_l1) as usize;
+                match first_group.get(&r.object) {
+                    None => {
+                        first_group.insert(r.object, group);
+                    }
+                    Some(&g) if g == group => same += 1,
+                    Some(_) => cross += 1,
+                }
+            }
+            cross as f64 / (same + cross) as f64
+        };
+        let high_locality = cross_group_repeat_fraction(0.9);
+        let no_locality = cross_group_repeat_fraction(0.0);
+        assert!(
+            high_locality < no_locality,
+            "locality bias should reduce cross-group repeats: {high_locality} vs {no_locality}"
+        );
+    }
+
+    #[test]
+    fn size_hint_exact() {
+        let spec = small().with_requests(100);
+        let mut gen = TraceGenerator::new(&spec, 9);
+        assert_eq!(gen.len(), 100);
+        gen.next();
+        assert_eq!(gen.len(), 99);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn generator_invariants(seed in any::<u64>(),
+                                    p_new in 0.05f64..0.5,
+                                    p_local in 0.0f64..0.9) {
+                let spec = WorkloadSpec::small()
+                    .with_requests(2_000)
+                    .with_p_new(p_new)
+                    .with_p_local(p_local);
+                let mut last = SimTime::ZERO;
+                let mut count = 0u64;
+                for r in TraceGenerator::new(&spec, seed) {
+                    prop_assert!(r.time >= last);
+                    last = r.time;
+                    prop_assert!(r.size.as_bytes() >= 128);
+                    prop_assert!(r.client.0 < spec.clients);
+                    count += 1;
+                }
+                prop_assert_eq!(count, 2_000);
+            }
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Workload specifications and the three trace presets of Table 4.
+
+use serde::{Deserialize, Serialize};
+
+/// Which published trace a spec models.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TraceName {
+    /// Digital Equipment Corporation's proxy trace (Sep 1996): 16,660
+    /// clients, 22.1 M accesses, 4.15 M distinct URLs over 21 days.
+    Dec,
+    /// UC Berkeley Home-IP HTTP trace (Nov 1996): 8,372 clients, 8.8 M
+    /// accesses, 1.8 M distinct URLs over 19 days.
+    Berkeley,
+    /// Prodigy ISP dial-up trace (Jan 1998): 35,354 dynamically bound client
+    /// IDs, 4.2 M accesses, 1.2 M distinct URLs over 3 days.
+    Prodigy,
+    /// A custom synthetic workload.
+    Custom,
+}
+
+impl std::fmt::Display for TraceName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TraceName::Dec => "DEC",
+            TraceName::Berkeley => "Berkeley",
+            TraceName::Prodigy => "Prodigy",
+            TraceName::Custom => "Custom",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full parameterization of a synthetic workload.
+///
+/// Construct via the presets ([`WorkloadSpec::dec`] etc.) and adjust with the
+/// builder-style `with_*` methods; [`WorkloadSpec::scaled`] shrinks a preset
+/// proportionally (requests and duration together, so arrival *rate* and the
+/// sharing structure are preserved) for fast experiment runs.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which trace this models.
+    pub name: TraceName,
+    /// Total number of requests to generate.
+    pub requests: u64,
+    /// Number of distinct clients. For [`TraceName::Prodigy`]-style dynamic
+    /// binding this is the number of distinct IDs handed out over the trace;
+    /// the concurrent population is smaller.
+    pub clients: u32,
+    /// Trace duration in (simulated) days.
+    pub duration_days: f64,
+    /// Probability that a request references a never-before-seen URL.
+    /// This directly sets the trace's distinct/total ratio and therefore the
+    /// global compulsory miss rate (Table 4 / Figure 2).
+    pub p_new: f64,
+    /// Given a repeat reference, the probability it is drawn from the
+    /// client's own L1 group's recent history rather than the global history.
+    /// This controls how much of the achievable hit rate is already captured
+    /// at L1 versus only at L2/L3 (Figure 3).
+    pub p_local: f64,
+    /// Repeat references are drawn from a sliding window of this many recent
+    /// accesses (preferential attachment with bounded memory). Controls
+    /// temporal locality and therefore where capacity misses appear (Fig. 2).
+    pub history_window: usize,
+    /// Per-L1-group history window for local re-references.
+    pub group_history_window: usize,
+    /// Number of clients sharing one L1 proxy (the paper's default is 256).
+    pub clients_per_l1: u32,
+    /// Number of L1 proxies sharing one L2 proxy (the paper's default is 8).
+    pub l1s_per_l2: u32,
+    /// Fraction of requests that are uncachable for *request* reasons
+    /// (non-GET methods, cache-control).
+    pub p_uncachable_request: f64,
+    /// Fraction of objects that are uncachable for *object* reasons (CGI /
+    /// dynamically generated); every request to such an object is uncachable.
+    pub p_cgi_object: f64,
+    /// Fraction of requests that draw an error reply.
+    pub p_error: f64,
+    /// Fraction of objects that are mutable.
+    pub p_mutable_object: f64,
+    /// Mean time between modifications of a mutable object, in hours.
+    /// Individual objects get rates spread log-uniformly around this mean.
+    pub mean_mod_interval_hours: f64,
+    /// Median object size in bytes (log-normal).
+    pub median_object_bytes: f64,
+    /// Sigma of the underlying normal for object sizes. With the median
+    /// above, `exp(mu + sigma^2/2)` gives the ~10 KB mean the literature
+    /// reports.
+    pub size_sigma: f64,
+    /// Hard cap on object size in bytes (the tail is truncated, mirroring
+    /// proxies' refusal to cache very large objects).
+    pub max_object_bytes: u64,
+    /// Zipf exponent for per-client activity skew (0 = all clients equally
+    /// active).
+    pub client_activity_alpha: f64,
+    /// Amplitude of the diurnal arrival modulation in `[0, 1)`; 0 disables.
+    pub diurnal_amplitude: f64,
+    /// Whether client IDs are dynamically bound per session (Prodigy).
+    pub dynamic_client_ids: bool,
+    /// Mean session length in requests when `dynamic_client_ids` is set.
+    pub mean_session_requests: f64,
+}
+
+impl WorkloadSpec {
+    /// The DEC proxy workload (Table 4, row 1).
+    ///
+    /// 16,660 clients is within 2% of the paper's 64 × 256 = 16,384 default
+    /// topology; we generate exactly 64 L1 groups of 256.
+    pub fn dec() -> Self {
+        WorkloadSpec {
+            name: TraceName::Dec,
+            requests: 22_100_000,
+            clients: 16_384,
+            duration_days: 21.0,
+            p_new: 0.188, // 4.15M distinct / 22.1M accesses
+            p_local: 0.43,
+            history_window: 4_000_000,
+            group_history_window: 65_536,
+            clients_per_l1: 256,
+            l1s_per_l2: 8,
+            p_uncachable_request: 0.035,
+            p_cgi_object: 0.015,
+            p_error: 0.02,
+            p_mutable_object: 0.10,
+            mean_mod_interval_hours: 48.0,
+            median_object_bytes: 4096.0,
+            size_sigma: 1.35,
+            max_object_bytes: 8 * 1024 * 1024,
+            client_activity_alpha: 0.6,
+            diurnal_amplitude: 0.5,
+            dynamic_client_ids: false,
+            mean_session_requests: 0.0,
+        }
+    }
+
+    /// The Berkeley Home-IP workload (Table 4, row 2).
+    pub fn berkeley() -> Self {
+        WorkloadSpec {
+            name: TraceName::Berkeley,
+            requests: 8_800_000,
+            clients: 8_192,
+            duration_days: 19.0,
+            p_new: 0.205, // 1.8M / 8.8M
+            p_local: 0.33,
+            history_window: 2_000_000,
+            group_history_window: 65_536,
+            clients_per_l1: 256,
+            l1s_per_l2: 8,
+            p_uncachable_request: 0.08,
+            p_cgi_object: 0.03,
+            p_error: 0.03,
+            p_mutable_object: 0.14,
+            mean_mod_interval_hours: 36.0,
+            median_object_bytes: 4096.0,
+            size_sigma: 1.35,
+            max_object_bytes: 8 * 1024 * 1024,
+            client_activity_alpha: 0.7,
+            diurnal_amplitude: 0.5,
+            dynamic_client_ids: false,
+            mean_session_requests: 0.0,
+        }
+    }
+
+    /// The Prodigy dial-up ISP workload (Table 4, row 3): dynamic client IDs.
+    pub fn prodigy() -> Self {
+        WorkloadSpec {
+            name: TraceName::Prodigy,
+            requests: 4_200_000,
+            clients: 35_354,
+            duration_days: 3.0,
+            p_new: 0.286, // 1.2M / 4.2M
+            p_local: 0.30,
+            history_window: 1_000_000,
+            group_history_window: 65_536,
+            clients_per_l1: 256,
+            l1s_per_l2: 8,
+            p_uncachable_request: 0.10,
+            p_cgi_object: 0.04,
+            p_error: 0.035,
+            p_mutable_object: 0.16,
+            mean_mod_interval_hours: 24.0,
+            median_object_bytes: 4096.0,
+            size_sigma: 1.35,
+            max_object_bytes: 8 * 1024 * 1024,
+            client_activity_alpha: 0.7,
+            diurnal_amplitude: 0.4,
+            dynamic_client_ids: true,
+            mean_session_requests: 120.0,
+        }
+    }
+
+    /// A tiny custom workload, useful as a starting point for tests and
+    /// examples.
+    pub fn small() -> Self {
+        WorkloadSpec {
+            name: TraceName::Custom,
+            requests: 50_000,
+            clients: 1_024,
+            duration_days: 2.0,
+            p_new: 0.2,
+            p_local: 0.35,
+            history_window: 20_000,
+            group_history_window: 4_096,
+            clients_per_l1: 256,
+            l1s_per_l2: 2,
+            p_uncachable_request: 0.05,
+            p_cgi_object: 0.02,
+            p_error: 0.02,
+            p_mutable_object: 0.10,
+            mean_mod_interval_hours: 12.0,
+            median_object_bytes: 4096.0,
+            size_sigma: 1.35,
+            max_object_bytes: 8 * 1024 * 1024,
+            client_activity_alpha: 0.6,
+            diurnal_amplitude: 0.3,
+            dynamic_client_ids: false,
+            mean_session_requests: 0.0,
+        }
+    }
+
+    /// Scales requests and duration by `factor`, preserving the arrival rate,
+    /// the client population, and the topology. History windows scale too so
+    /// locality structure is comparable across scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0,1], got {factor}");
+        self.requests = ((self.requests as f64 * factor).round() as u64).max(1);
+        self.duration_days = (self.duration_days * factor).max(0.05);
+        self.history_window = ((self.history_window as f64 * factor) as usize).max(1024);
+        self.group_history_window =
+            ((self.group_history_window as f64 * factor) as usize).max(256);
+        self
+    }
+
+    /// Overrides the request count.
+    pub fn with_requests(mut self, requests: u64) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Overrides the PRNG-facing client population.
+    pub fn with_clients(mut self, clients: u32) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Overrides the probability of a first-reference (compulsory) access.
+    pub fn with_p_new(mut self, p: f64) -> Self {
+        self.p_new = p;
+        self
+    }
+
+    /// Overrides the local-affinity probability.
+    pub fn with_p_local(mut self, p: f64) -> Self {
+        self.p_local = p;
+        self
+    }
+
+    /// Number of L1 proxy groups implied by the client population.
+    pub fn l1_groups(&self) -> u32 {
+        self.clients.div_ceil(self.clients_per_l1)
+    }
+
+    /// The L1 proxy group serving a client.
+    ///
+    /// Static workloads assign clients to groups in blocks
+    /// (`id / clients_per_l1`); dynamic workloads encode the group in the
+    /// session ID (`id % groups`, see the generator).
+    pub fn l1_group_of(&self, client: crate::record::ClientId) -> u32 {
+        if self.dynamic_client_ids {
+            client.0 % self.l1_groups()
+        } else {
+            (client.0 / self.clients_per_l1).min(self.l1_groups() - 1)
+        }
+    }
+
+    /// Number of L2 proxies implied by the topology.
+    pub fn l2_groups(&self) -> u32 {
+        self.l1_groups().div_ceil(self.l1s_per_l2)
+    }
+
+    /// Total duration as a [`bh_simcore::SimDuration`].
+    pub fn duration(&self) -> bh_simcore::SimDuration {
+        bh_simcore::SimDuration::from_secs_f64(self.duration_days * 86_400.0)
+    }
+
+    /// Mean request inter-arrival time in seconds.
+    pub fn mean_interarrival_secs(&self) -> f64 {
+        self.duration_days * 86_400.0 / self.requests as f64
+    }
+
+    /// Validates internal consistency; called by the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.requests == 0 {
+            return Err("requests must be positive".into());
+        }
+        if self.clients == 0 {
+            return Err("clients must be positive".into());
+        }
+        if self.clients_per_l1 == 0 {
+            return Err("clients_per_l1 must be positive".into());
+        }
+        if self.l1s_per_l2 == 0 {
+            return Err("l1s_per_l2 must be positive".into());
+        }
+        if !(self.duration_days > 0.0) {
+            return Err("duration_days must be positive".into());
+        }
+        for (label, p) in [
+            ("p_new", self.p_new),
+            ("p_local", self.p_local),
+            ("p_uncachable_request", self.p_uncachable_request),
+            ("p_cgi_object", self.p_cgi_object),
+            ("p_error", self.p_error),
+            ("p_mutable_object", self.p_mutable_object),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{label} must be a probability, got {p}"));
+            }
+        }
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err(format!(
+                "diurnal_amplitude must be in [0,1), got {}",
+                self.diurnal_amplitude
+            ));
+        }
+        if self.history_window == 0 || self.group_history_window == 0 {
+            return Err("history windows must be positive".into());
+        }
+        if self.dynamic_client_ids && !(self.mean_session_requests >= 1.0) {
+            return Err("dynamic client ids require mean_session_requests >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table4() {
+        let dec = WorkloadSpec::dec();
+        assert_eq!(dec.requests, 22_100_000);
+        assert_eq!(dec.duration_days, 21.0);
+        assert_eq!(dec.l1_groups(), 64);
+        assert_eq!(dec.l2_groups(), 8);
+
+        let berkeley = WorkloadSpec::berkeley();
+        assert_eq!(berkeley.requests, 8_800_000);
+        assert_eq!(berkeley.l1_groups(), 32);
+
+        let prodigy = WorkloadSpec::prodigy();
+        assert_eq!(prodigy.requests, 4_200_000);
+        assert!(prodigy.dynamic_client_ids);
+        // distinct/total ratios from Table 4
+        assert!((dec.p_new - 4.15 / 22.1).abs() < 0.01);
+        assert!((berkeley.p_new - 1.8 / 8.8).abs() < 0.01);
+        assert!((prodigy.p_new - 1.2 / 4.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn presets_validate() {
+        for spec in [
+            WorkloadSpec::dec(),
+            WorkloadSpec::berkeley(),
+            WorkloadSpec::prodigy(),
+            WorkloadSpec::small(),
+        ] {
+            spec.validate().expect("preset must validate");
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_rate_and_topology() {
+        let full = WorkloadSpec::dec();
+        let tenth = WorkloadSpec::dec().scaled(0.1);
+        assert_eq!(tenth.requests, 2_210_000);
+        assert_eq!(tenth.clients, full.clients);
+        assert_eq!(tenth.l1_groups(), full.l1_groups());
+        let rate_full = full.requests as f64 / full.duration_days;
+        let rate_tenth = tenth.requests as f64 / tenth.duration_days;
+        assert!((rate_full / rate_tenth - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn zero_scale_rejected() {
+        let _ = WorkloadSpec::dec().scaled(0.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_probability() {
+        let mut s = WorkloadSpec::small();
+        s.p_new = 1.5;
+        let err = s.validate().expect_err("must fail");
+        assert!(err.contains("p_new"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_requests() {
+        let s = WorkloadSpec::small().with_requests(0);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn builders_override() {
+        let s = WorkloadSpec::small().with_p_new(0.5).with_p_local(0.9).with_clients(512);
+        assert_eq!(s.p_new, 0.5);
+        assert_eq!(s.p_local, 0.9);
+        assert_eq!(s.clients, 512);
+        assert_eq!(s.l1_groups(), 2);
+    }
+
+    #[test]
+    fn interarrival_consistent() {
+        let s = WorkloadSpec::small();
+        let expect = s.duration_days * 86_400.0 / s.requests as f64;
+        assert!((s.mean_interarrival_secs() - expect).abs() < 1e-12);
+    }
+}

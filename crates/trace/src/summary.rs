@@ -1,0 +1,125 @@
+//! Aggregate trace characteristics (the paper's Table 4).
+
+use crate::record::{RequestClass, TraceRecord};
+use bh_simcore::{ByteSize, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Summary statistics of a trace, mirroring Table 4 plus the request-class
+/// mix used by Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of requests.
+    pub accesses: u64,
+    /// Number of distinct client IDs observed.
+    pub clients: u64,
+    /// Number of distinct URLs observed.
+    pub distinct_urls: u64,
+    /// Trace duration (first to last record).
+    pub duration_days: f64,
+    /// Total bytes requested.
+    pub total_bytes: ByteSize,
+    /// Mean object size over requests.
+    pub mean_request_bytes: f64,
+    /// Fraction of requests that are uncachable.
+    pub uncachable_fraction: f64,
+    /// Fraction of requests that are errors.
+    pub error_fraction: f64,
+    /// Distinct/total ratio (the global compulsory-miss rate of an infinite
+    /// shared cache, before communication misses).
+    pub distinct_ratio: f64,
+}
+
+impl TraceSummary {
+    /// Computes the summary in one pass over the records.
+    pub fn compute(records: impl IntoIterator<Item = TraceRecord>) -> Self {
+        let mut accesses = 0u64;
+        let mut clients = HashSet::new();
+        let mut urls = HashSet::new();
+        let mut first: Option<SimTime> = None;
+        let mut last = SimTime::ZERO;
+        let mut total_bytes = 0u64;
+        let mut uncachable = 0u64;
+        let mut errors = 0u64;
+        for r in records {
+            accesses += 1;
+            clients.insert(r.client);
+            urls.insert(r.object);
+            first.get_or_insert(r.time);
+            last = last.max(r.time);
+            total_bytes += r.size.as_bytes();
+            match r.class {
+                RequestClass::Uncachable => uncachable += 1,
+                RequestClass::Error => errors += 1,
+                RequestClass::Cacheable => {}
+            }
+        }
+        let duration = last.saturating_since(first.unwrap_or(SimTime::ZERO));
+        let n = accesses.max(1) as f64;
+        TraceSummary {
+            accesses,
+            clients: clients.len() as u64,
+            distinct_urls: urls.len() as u64,
+            duration_days: duration.as_secs_f64() / 86_400.0,
+            total_bytes: ByteSize::from_bytes(total_bytes),
+            mean_request_bytes: total_bytes as f64 / n,
+            uncachable_fraction: uncachable as f64 / n,
+            error_fraction: errors as f64 / n,
+            distinct_ratio: urls.len() as f64 / n,
+        }
+    }
+
+    /// Renders a Table 4-style row: `clients, accesses, distinct URLs, days`.
+    pub fn table4_row(&self, name: &str) -> String {
+        format!(
+            "{:<10} {:>9} {:>12} {:>14} {:>7.1}",
+            name, self.clients, self.accesses, self.distinct_urls, self.duration_days
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::TraceGenerator;
+    use crate::spec::WorkloadSpec;
+
+    #[test]
+    fn summary_counts_match_generator() {
+        let spec = WorkloadSpec::small().with_requests(10_000);
+        let mut gen = TraceGenerator::new(&spec, 11);
+        let records: Vec<_> = gen.by_ref().collect();
+        let s = TraceSummary::compute(records.iter().copied());
+        assert_eq!(s.accesses, 10_000);
+        assert_eq!(s.distinct_urls, gen.distinct_objects());
+        assert!(s.clients <= spec.clients as u64);
+        assert!(s.duration_days > 0.0);
+        assert!((s.distinct_ratio - spec.p_new).abs() < 0.05);
+    }
+
+    #[test]
+    fn summary_of_empty_trace() {
+        let s = TraceSummary::compute(std::iter::empty());
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.distinct_urls, 0);
+        assert_eq!(s.total_bytes, ByteSize::ZERO);
+    }
+
+    #[test]
+    fn class_fractions_sum_below_one() {
+        let spec = WorkloadSpec::small().with_requests(5_000);
+        let s = TraceSummary::compute(TraceGenerator::new(&spec, 12));
+        assert!(s.uncachable_fraction + s.error_fraction < 0.5);
+        assert!(s.uncachable_fraction > 0.0);
+        assert!(s.error_fraction > 0.0);
+    }
+
+    #[test]
+    fn table4_row_contains_fields() {
+        let spec = WorkloadSpec::small().with_requests(1_000);
+        let s = TraceSummary::compute(TraceGenerator::new(&spec, 13));
+        let row = s.table4_row("Test");
+        assert!(row.contains("Test"));
+        assert!(row.contains("1000"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Trace transformations: the standard toolkit for slicing and reshaping
+//! request streams before simulation.
+//!
+//! All transforms are lazy iterator adapters so multi-gigabyte traces never
+//! materialize:
+//!
+//! * [`clients`] — keep only requests from a client subset (e.g. replay one
+//!   L1 group's traffic against a single prototype node);
+//! * [`sample_clients`] — deterministic 1-in-N *client* sampling, the
+//!   standard way to shrink a proxy trace without destroying per-client
+//!   locality (sampling requests instead would);
+//! * [`time_window`] — keep a `[from, until)` slice (e.g. peak hours);
+//! * [`cacheable_only`] — drop uncachable/error records (§2.2.2's rule);
+//! * [`renumber_objects`] — densify object IDs after filtering so
+//!   downstream tables stay small.
+
+use crate::record::{ObjectId, TraceRecord};
+use bh_simcore::SimTime;
+use std::collections::HashMap;
+
+/// Keeps only records whose client satisfies `keep`.
+pub fn clients<I>(records: I, keep: impl Fn(crate::record::ClientId) -> bool) -> impl Iterator<Item = TraceRecord>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    records.into_iter().filter(move |r| keep(r.client))
+}
+
+/// Deterministic 1-in-`n` client sampling: a client is kept iff a hash of
+/// its ID falls in the sampled residue. Preserves each kept client's full
+/// request stream (and therefore its locality), unlike request sampling.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sample_clients<I>(records: I, n: u32, salt: u64) -> impl Iterator<Item = TraceRecord>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    assert!(n > 0, "sampling modulus must be positive");
+    records.into_iter().filter(move |r| {
+        let mut h = bh_simcore::rng::SplitMix64::new(r.client.0 as u64 ^ salt);
+        h.next_u64() % n as u64 == 0
+    })
+}
+
+/// Keeps records with `from <= time < until`.
+pub fn time_window<I>(records: I, from: SimTime, until: SimTime) -> impl Iterator<Item = TraceRecord>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    records.into_iter().filter(move |r| r.time >= from && r.time < until)
+}
+
+/// Drops uncachable and error records (the paper excludes them from cache
+/// statistics, §2.2.2).
+pub fn cacheable_only<I>(records: I) -> impl Iterator<Item = TraceRecord>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    records.into_iter().filter(|r| r.is_cacheable())
+}
+
+/// Renumbers objects densely in order of first appearance. Useful after
+/// filtering, when the surviving stream references a sparse subset of the
+/// original ID space.
+pub fn renumber_objects<I>(records: I) -> impl Iterator<Item = TraceRecord>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let mut map: HashMap<ObjectId, u64> = HashMap::new();
+    records.into_iter().map(move |mut r| {
+        let next = map.len() as u64;
+        let id = *map.entry(r.object).or_insert(next);
+        r.object = ObjectId(id);
+        r
+    })
+}
+
+/// Shifts all timestamps so the first record lands at `SimTime::ZERO`
+/// (useful after [`time_window`]). Buffers nothing: the first record fixes
+/// the offset.
+pub fn rebase_time<I>(records: I) -> impl Iterator<Item = TraceRecord>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let mut offset: Option<SimTime> = None;
+    records.into_iter().map(move |mut r| {
+        let base = *offset.get_or_insert(r.time);
+        r.time = SimTime::from_micros(r.time.as_micros() - base.as_micros());
+        r
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::TraceGenerator;
+    use crate::record::{ClientId, RequestClass};
+    use crate::spec::WorkloadSpec;
+
+    fn records() -> Vec<TraceRecord> {
+        TraceGenerator::new(&WorkloadSpec::small().with_requests(5_000), 21).collect()
+    }
+
+    #[test]
+    fn clients_filter_keeps_only_matching() {
+        let out: Vec<_> = clients(records(), |c| c.0 < 100).collect();
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|r| r.client.0 < 100));
+    }
+
+    #[test]
+    fn sample_clients_is_deterministic_and_proportional() {
+        let all = records();
+        let a: Vec<_> = sample_clients(all.clone(), 4, 9).collect();
+        let b: Vec<_> = sample_clients(all.clone(), 4, 9).collect();
+        assert_eq!(a, b, "same salt, same sample");
+        let distinct_all: std::collections::HashSet<_> = all.iter().map(|r| r.client).collect();
+        let distinct_sample: std::collections::HashSet<_> = a.iter().map(|r| r.client).collect();
+        let frac = distinct_sample.len() as f64 / distinct_all.len() as f64;
+        assert!((0.15..0.40).contains(&frac), "sampled client fraction {frac}");
+        // Every kept client keeps its whole stream.
+        for c in &distinct_sample {
+            let orig = all.iter().filter(|r| r.client == *c).count();
+            let kept = a.iter().filter(|r| r.client == *c).count();
+            assert_eq!(orig, kept);
+        }
+    }
+
+    #[test]
+    fn different_salt_different_sample() {
+        let all = records();
+        let a: std::collections::HashSet<_> =
+            sample_clients(all.clone(), 4, 1).map(|r| r.client).collect();
+        let b: std::collections::HashSet<_> =
+            sample_clients(all, 4, 2).map(|r| r.client).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn time_window_and_rebase() {
+        let all = records();
+        let mid = all[all.len() / 2].time;
+        let end = all[all.len() - 1].time;
+        let sliced: Vec<_> = rebase_time(time_window(all, mid, end)).collect();
+        assert!(!sliced.is_empty());
+        assert_eq!(sliced[0].time, SimTime::ZERO);
+        // Order and relative spacing preserved.
+        for w in sliced.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn cacheable_only_drops_the_rest() {
+        let out: Vec<_> = cacheable_only(records()).collect();
+        assert!(out.iter().all(|r| r.class == RequestClass::Cacheable));
+        assert!(out.len() < 5_000, "some records must have been dropped");
+    }
+
+    #[test]
+    fn renumber_objects_densifies() {
+        let filtered: Vec<_> =
+            renumber_objects(clients(records(), |c: ClientId| c.0 % 7 == 0)).collect();
+        let distinct: std::collections::HashSet<_> =
+            filtered.iter().map(|r| r.object).collect();
+        let max_id = filtered.iter().map(|r| r.object.0).max().unwrap_or(0);
+        assert_eq!(max_id + 1, distinct.len() as u64, "IDs must be dense from 0");
+        // Repeat structure preserved: same object → same new ID.
+        let a = &filtered[0];
+        for r in &filtered {
+            if r.object == a.object {
+                assert_eq!(r.object.0, a.object.0);
+            }
+        }
+    }
+
+    #[test]
+    fn transforms_compose() {
+        let out: Vec<_> = renumber_objects(cacheable_only(sample_clients(records(), 2, 3)))
+            .collect();
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: simulate a small cooperative cache system and compare the
+//! paper's hint architecture against a traditional data hierarchy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use beyond_hierarchies::core::sim::{SimConfig, Simulator};
+use beyond_hierarchies::core::strategies::StrategyKind;
+use beyond_hierarchies::netmodel::{CostModel, RousskovModel, TestbedModel};
+use beyond_hierarchies::trace::WorkloadSpec;
+
+fn main() {
+    // A 1024-client workload: 4 L1 proxies of 256 clients, 2 L1s per L2.
+    let spec = WorkloadSpec::small().with_requests(100_000);
+    println!(
+        "workload: {} requests, {} clients, {} L1 proxies",
+        spec.requests,
+        spec.clients,
+        spec.l1_groups()
+    );
+
+    let testbed = TestbedModel::new();
+    let min = RousskovModel::min();
+    let max = RousskovModel::max();
+    let models: Vec<&dyn CostModel> = vec![&testbed, &min, &max];
+
+    let sim = Simulator::new(SimConfig::infinite(&spec));
+    println!("\n{:<12} {:>10} {:>8} {:>8} {:>9}", "strategy", "hit-rate", "Testbed", "Min", "Max");
+    let mut baseline: Option<Vec<f64>> = None;
+    for kind in [
+        StrategyKind::DataHierarchy,
+        StrategyKind::CentralDirectory,
+        StrategyKind::HintHierarchy,
+        StrategyKind::HintIdealPush,
+    ] {
+        let report = sim.run(&spec, 42, kind, &models);
+        let times: Vec<f64> = ["Testbed", "Min", "Max"]
+            .iter()
+            .map(|m| report.mean_response_ms(m).expect("model present"))
+            .collect();
+        println!(
+            "{:<12} {:>10.3} {:>7.0}ms {:>6.0}ms {:>7.0}ms",
+            kind.label(),
+            report.metrics.hit_ratio(),
+            times[0],
+            times[1],
+            times[2]
+        );
+        if kind == StrategyKind::DataHierarchy {
+            baseline = Some(times);
+        } else if let Some(base) = &baseline {
+            let speedups: Vec<String> =
+                base.iter().zip(&times).map(|(b, t)| format!("{:.2}x", b / t)).collect();
+            println!("{:<12} speedup vs hierarchy: {}", "", speedups.join(" / "));
+        }
+    }
+    println!("\nThe paper reports 1.27–2.43x overall; the shape — hints win on every");
+    println!("parameterization, ideal push bounds them — should match.");
+}

@@ -1,0 +1,54 @@
+//! Workload tooling: generate a synthetic trace, archive it in both
+//! supported formats (JSON lines and Squid-style access log), re-read it,
+//! and print a Table 4-style summary.
+//!
+//! ```text
+//! cargo run --release --example trace_tools
+//! ```
+
+use beyond_hierarchies::trace::logio;
+use beyond_hierarchies::trace::{TraceGenerator, TraceSummary, WorkloadSpec};
+
+fn main() -> std::io::Result<()> {
+    let spec = WorkloadSpec::berkeley().scaled(0.002);
+    println!(
+        "generating a Berkeley-style trace: {} requests, {} clients",
+        spec.requests, spec.clients
+    );
+    let records: Vec<_> = TraceGenerator::new(&spec, 2024).collect();
+
+    let dir = std::env::temp_dir().join("bh-trace-tools");
+    std::fs::create_dir_all(&dir)?;
+
+    // Archive as JSON lines (lossless).
+    let jsonl_path = dir.join("trace.jsonl");
+    logio::write_jsonl(std::fs::File::create(&jsonl_path)?, records.iter().copied())?;
+    println!("wrote {} ({} bytes)", jsonl_path.display(), std::fs::metadata(&jsonl_path)?.len());
+
+    // Archive as a Squid-style access log (interoperable).
+    let log_path = dir.join("access.log");
+    logio::write_squid_log(std::fs::File::create(&log_path)?, records.iter().copied())?;
+    println!("wrote {} ({} bytes)", log_path.display(), std::fs::metadata(&log_path)?.len());
+
+    // Round-trip both and summarize.
+    let from_jsonl = logio::read_jsonl(std::io::BufReader::new(std::fs::File::open(&jsonl_path)?))?;
+    assert_eq!(from_jsonl, records, "JSON lines round trip must be lossless");
+    let from_log = logio::read_squid_log(std::io::BufReader::new(std::fs::File::open(&log_path)?))?;
+
+    println!("\nTable 4-style summaries:");
+    println!("{:<12} {:>9} {:>12} {:>14} {:>7}", "Source", "Clients", "Accesses", "DistinctURLs", "Days");
+    for (name, recs) in [("generated", &records), ("squid-log", &from_log)] {
+        let s = TraceSummary::compute(recs.iter().copied());
+        println!("{}", s.table4_row(name));
+        if name == "generated" {
+            println!(
+                "{:<12} uncachable {:.1}%, errors {:.1}%, mean object {:.1} KB",
+                "",
+                s.uncachable_fraction * 100.0,
+                s.error_fraction * 100.0,
+                s.mean_request_bytes / 1024.0
+            );
+        }
+    }
+    Ok(())
+}

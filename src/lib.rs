@@ -1,0 +1,51 @@
+//! # Beyond Hierarchies — distributed caching without the data hierarchy
+//!
+//! A from-scratch Rust reproduction of *"Beyond Hierarchies: Design
+//! Considerations for Distributed Caching on the Internet"* (Renu Tewari,
+//! Michael Dahlin, Harrick M. Vin, Jonathan S. Kay — ICDCS 1999 / UT Austin
+//! TR98-04).
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on one crate:
+//!
+//! * [`md5`] — MD5 identifiers (RFC 1321, from scratch);
+//! * [`simcore`] — virtual time, events, PRNG, statistics;
+//! * [`trace`] — workload models for the DEC / Berkeley / Prodigy traces;
+//! * [`netmodel`] — the Testbed and Rousskov access-cost models;
+//! * [`cache`] — LRU data caches, the 16-byte-record hint store, miss
+//!   classification;
+//! * [`plaxton`] — the self-configuring metadata hierarchy;
+//! * [`core`] — the strategy simulator (hierarchy / directory / hints /
+//!   push caching) and every paper experiment;
+//! * [`proto`] — the runnable TCP prototype of the hint protocol.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use beyond_hierarchies::core::sim::{SimConfig, Simulator};
+//! use beyond_hierarchies::core::strategies::StrategyKind;
+//! use beyond_hierarchies::netmodel::{CostModel, TestbedModel};
+//! use beyond_hierarchies::trace::WorkloadSpec;
+//!
+//! let spec = WorkloadSpec::small().with_requests(2_000);
+//! let testbed = TestbedModel::new();
+//! let models: Vec<&dyn CostModel> = vec![&testbed];
+//! let sim = Simulator::new(SimConfig::infinite(&spec));
+//! let hierarchy = sim.run(&spec, 42, StrategyKind::DataHierarchy, &models);
+//! let hints = sim.run(&spec, 42, StrategyKind::HintHierarchy, &models);
+//! let speedup = hierarchy.mean_response_ms("Testbed").unwrap()
+//!     / hints.mean_response_ms("Testbed").unwrap();
+//! assert!(speedup > 1.0, "hints should beat the hierarchy");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bh_cache as cache;
+pub use bh_core as core;
+pub use bh_md5 as md5;
+pub use bh_netmodel as netmodel;
+pub use bh_plaxton as plaxton;
+pub use bh_proto as proto;
+pub use bh_simcore as simcore;
+pub use bh_trace as trace;

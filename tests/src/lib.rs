@@ -1,0 +1,3 @@
+//! Cross-crate integration tests for the Beyond Hierarchies reproduction.
+//!
+//! The actual tests live in `tests/`; this library is intentionally empty.

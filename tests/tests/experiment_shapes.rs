@@ -1,0 +1,173 @@
+//! Shape tests for the paper experiments at reduced scale: every curve and
+//! table the harness regenerates must bend the way the paper's does.
+
+use bh_core::experiments::{
+    hint_delay_sweep, hint_size_sweep, miss_breakdown, push_comparison, response_time_matrix,
+    update_load,
+};
+use bh_netmodel::{CostModel, RousskovModel, TestbedModel};
+use bh_trace::WorkloadSpec;
+
+const SEED: u64 = 77;
+
+fn dec() -> WorkloadSpec {
+    WorkloadSpec::dec().scaled(0.003)
+}
+
+#[test]
+fn fig2_compulsory_dominates_and_capacity_vanishes() {
+    let spec = dec();
+    let pts = miss_breakdown(&spec, SEED, &[0.05, f64::INFINITY], 0.1);
+    let rate = |p: &bh_core::experiments::MissBreakdownPoint, n: &str| {
+        p.read_rates.iter().find(|(k, _)| k == n).map(|(_, v)| *v).unwrap()
+    };
+    // Small cache: capacity misses present; infinite: none.
+    assert!(rate(&pts[0], "capacity") > 0.0, "tiny cache must show capacity misses");
+    assert_eq!(rate(&pts[1], "capacity"), 0.0);
+    // Compulsory misses dominate the non-hit classes at infinite size
+    // (paper: "Most of these misses are compulsory misses").
+    let compulsory = rate(&pts[1], "compulsory");
+    for class in ["communication", "error", "uncachable"] {
+        assert!(
+            compulsory > rate(&pts[1], class),
+            "compulsory ({compulsory:.3}) must dominate {class} ({:.3})",
+            rate(&pts[1], class)
+        );
+    }
+    // DEC's compulsory fraction ~19% (the distinct/total ratio).
+    assert!((0.10..0.30).contains(&compulsory), "compulsory {compulsory:.3}");
+}
+
+#[test]
+fn fig2_berkeley_prodigy_have_more_uncachable() {
+    let dec_pts = miss_breakdown(&dec(), SEED, &[f64::INFINITY], 0.1);
+    let pro_pts =
+        miss_breakdown(&WorkloadSpec::prodigy().scaled(0.01), SEED, &[f64::INFINITY], 0.1);
+    let rate = |p: &bh_core::experiments::MissBreakdownPoint, n: &str| {
+        p.read_rates.iter().find(|(k, _)| k == n).map(|(_, v)| *v).unwrap()
+    };
+    assert!(
+        rate(&pro_pts[0], "uncachable") > rate(&dec_pts[0], "uncachable"),
+        "Prodigy must show more uncachable traffic than DEC"
+    );
+}
+
+#[test]
+fn fig5_hit_rate_saturates_with_hint_store_size() {
+    let spec = dec();
+    let pts = hint_size_sweep(&spec, SEED, &[0.01, 0.5, f64::INFINITY]);
+    // Monotone non-decreasing (within noise) and the top two close together
+    // (saturation — paper: "a 100 MB hint cache can track almost all data").
+    assert!(pts[0].hit_ratio <= pts[1].hit_ratio + 0.01);
+    assert!(pts[1].hit_ratio <= pts[2].hit_ratio + 0.01);
+    assert!(
+        pts[2].hit_ratio - pts[0].hit_ratio > 0.02,
+        "a tiny store must actually cost hit rate: {:?}",
+        pts.iter().map(|p| p.hit_ratio).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fig6_delay_degrades_gracefully_then_hurts() {
+    let spec = dec();
+    let pts = hint_delay_sweep(&spec, SEED, &[0.0, 2.0, 2000.0]);
+    let fresh = pts[0].hit_ratio;
+    let couple_minutes = pts[1].hit_ratio;
+    let stale = pts[2].hit_ratio;
+    // Paper: "performance of hint caches will be good as long as updates
+    // can be propagated within a few minutes."
+    assert!(
+        fresh - couple_minutes < 0.05,
+        "2-minute delay should cost little: {fresh:.3} → {couple_minutes:.3}"
+    );
+    assert!(
+        fresh - stale > 0.02,
+        "a huge delay must cost hit rate: {fresh:.3} → {stale:.3}"
+    );
+    // Stale hints also surface as false positives.
+    assert!(pts[2].false_positive_rate >= pts[0].false_positive_rate);
+}
+
+#[test]
+fn table5_hierarchy_filters_updates_substantially() {
+    let r = update_load(&dec(), SEED);
+    let factor = r.centralized_rate / r.hierarchy_rate;
+    // Paper: 5.7 vs 1.9 (3.0x). Preferential-attachment workloads give a
+    // healthy copy-duplication factor; accept anything clearly > 1.5x.
+    assert!(
+        factor > 1.5,
+        "filtering factor {factor:.2} too small ({} vs {} upd/s)",
+        r.centralized_rate,
+        r.hierarchy_rate
+    );
+}
+
+#[test]
+fn fig8_speedups_in_band_on_both_space_regimes() {
+    let tb = TestbedModel::new();
+    let min = RousskovModel::min();
+    let max = RousskovModel::max();
+    let models: Vec<&dyn CostModel> = vec![&tb, &min, &max];
+    for constrained in [false, true] {
+        let r = response_time_matrix(&dec(), SEED, constrained, &models);
+        for model in ["Testbed", "Min", "Max"] {
+            let s = r.speedup(model).expect("cells");
+            assert!(
+                (1.05..4.0).contains(&s),
+                "speedup {s:.2} out of band (constrained={constrained}, {model})"
+            );
+        }
+        // Hints must also beat the central directory.
+        for model in ["Testbed", "Min", "Max"] {
+            let dir = r.cell("Directory", model).unwrap();
+            let hints = r.cell("Hints", model).unwrap();
+            assert!(hints < dir, "hints {hints:.0} vs directory {dir:.0} ({model})");
+        }
+    }
+}
+
+#[test]
+fn fig10_11_push_family_shapes() {
+    let tb = TestbedModel::new();
+    let models: Vec<&dyn CostModel> = vec![&tb];
+    let rows = push_comparison(&dec(), SEED, &models);
+    let get = |name: &str| rows.iter().find(|r| r.strategy == name).expect(name);
+    let ms = |name: &str| get(name).response_ms[0].1;
+
+    // Ordering: hierarchy slowest; ideal fastest; push-all between hints
+    // and ideal.
+    assert!(ms("Hierarchy") > ms("Hints"));
+    assert!(ms("Push-all") <= ms("Hints") + 1.0);
+    assert!(ms("Push-ideal") <= ms("Push-all") + 1.0);
+
+    // Efficiency: update push more efficient than push-all (paper: ~33% vs
+    // 4–13%); push-all pushes the most bytes.
+    let upd = get("Update Push");
+    let pall = get("Push-all");
+    if upd.push_bw_kbps > 0.0 {
+        assert!(
+            upd.efficiency >= pall.efficiency,
+            "update push ({:.3}) should be at least as efficient as push-all ({:.3})",
+            upd.efficiency,
+            pall.efficiency
+        );
+    }
+    let p1 = get("Push-1");
+    assert!(
+        pall.push_bw_kbps >= p1.push_bw_kbps,
+        "push-all bandwidth ({:.1}) must exceed push-1 ({:.1})",
+        pall.push_bw_kbps,
+        p1.push_bw_kbps
+    );
+    // Push trades bandwidth for latency: aggressive pushing must raise
+    // local-hit fraction.
+    assert!(pall.l1_hit_fraction > get("Hints").l1_hit_fraction);
+}
+
+#[test]
+fn experiments_are_deterministic_in_seed() {
+    let a = update_load(&dec(), 5);
+    let b = update_load(&dec(), 5);
+    assert_eq!(a.centralized_rate, b.centralized_rate);
+    assert_eq!(a.hierarchy_rate, b.hierarchy_rate);
+}

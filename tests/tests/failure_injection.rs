@@ -1,0 +1,128 @@
+//! Failure injection: the cache collective must degrade gracefully — a
+//! dead peer costs one wasted probe, never a failed request (the hint
+//! architecture's misses always have the origin as a fallback), and the
+//! Plaxton metadata hierarchy reconfigures around departed nodes.
+
+use bh_proto::node::{CacheNode, NodeConfig};
+use bh_proto::origin::OriginServer;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn mesh(n: usize) -> (OriginServer, Vec<CacheNode>) {
+    let origin = OriginServer::spawn("127.0.0.1:0").expect("origin");
+    let nodes: Vec<CacheNode> = (0..n)
+        .map(|_| {
+            let mut cfg = NodeConfig::new("127.0.0.1:0", origin.addr())
+                .with_flush_max(Duration::from_secs(3600));
+            cfg.io_timeout = Duration::from_millis(500);
+            CacheNode::spawn(cfg).expect("node")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|x| x.addr()).collect();
+    for (i, node) in nodes.iter().enumerate() {
+        node.set_neighbors(
+            addrs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| *a).collect(),
+        );
+    }
+    (origin, nodes)
+}
+
+#[test]
+fn dead_peer_costs_a_probe_not_a_failure() {
+    let (origin, mut nodes) = mesh(2);
+    let url = "http://t.test/dies";
+    bh_proto::fetch(nodes[1].addr(), url).expect("seed at node 1");
+    nodes[1].flush_updates_now();
+
+    // Node 1 dies; node 0 still holds a hint pointing at it.
+    let dead = nodes.remove(1);
+    dead.shutdown();
+
+    let (src, body) = bh_proto::fetch(nodes[0].addr(), url).expect("fetch survives");
+    assert_eq!(src, bh_proto::client::Source::Origin);
+    assert!(!body.is_empty());
+    assert_eq!(nodes[0].stats().false_positives, 1, "dead peer counted as a wasted probe");
+    assert_eq!(origin.request_count(), 2);
+
+    // The bad hint was dropped: no second probe.
+    nodes[0].invalidate(url);
+    bh_proto::fetch(nodes[0].addr(), url).expect("fetch again");
+    assert_eq!(nodes[0].stats().false_positives, 1);
+}
+
+#[test]
+fn origin_outage_yields_clean_errors_then_recovery() {
+    let origin = OriginServer::spawn("127.0.0.1:0").expect("origin");
+    let origin_addr = origin.addr();
+    let mut cfg = NodeConfig::new("127.0.0.1:0", origin_addr);
+    cfg.io_timeout = Duration::from_millis(300);
+    let node = CacheNode::spawn(cfg).expect("node");
+
+    // Cache something while the origin is alive.
+    bh_proto::fetch(node.addr(), "http://t.test/cached").expect("seed");
+
+    // Origin goes away.
+    origin.shutdown();
+
+    // Cached objects still served.
+    let (src, _) = bh_proto::fetch(node.addr(), "http://t.test/cached").expect("cached");
+    assert_eq!(src, bh_proto::client::Source::Local);
+    // Uncached objects fail cleanly (an error reply, not a hang or panic).
+    let err = bh_proto::fetch(node.addr(), "http://t.test/uncached");
+    assert!(err.is_err(), "origin down: uncached fetch must error");
+}
+
+#[test]
+fn flush_to_dead_neighbors_does_not_wedge_the_node() {
+    let (_origin, mut nodes) = mesh(3);
+    // Kill two neighbors; the survivor keeps serving and flushing.
+    nodes.remove(2).shutdown();
+    nodes.remove(1).shutdown();
+    for i in 0..5 {
+        bh_proto::fetch(nodes[0].addr(), &format!("http://t.test/after/{i}")).expect("fetch");
+        nodes[0].flush_updates_now(); // best-effort sends to dead peers
+    }
+    assert_eq!(nodes[0].stats().local_hits + nodes[0].stats().origin_fetches, 5);
+}
+
+#[test]
+fn plaxton_routes_survive_churn() {
+    use bh_plaxton::{NodeSpec, PlaxtonTree};
+    let nodes: Vec<NodeSpec> = (0..48)
+        .map(|i| {
+            NodeSpec::from_address(
+                &format!("172.16.{}.{}:3128", i / 8, i % 8),
+                ((i % 8) as f64, (i / 8) as f64),
+            )
+        })
+        .collect();
+    let mut tree = PlaxtonTree::build(nodes, 2).expect("build");
+    let mut rng_state = 99u64;
+    let mut removed = std::collections::HashSet::new();
+    // Remove a third of the nodes one at a time; after each departure,
+    // every object must still resolve to a single root from every survivor.
+    for round in 0..16 {
+        loop {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let victim = (rng_state >> 33) as usize % 48;
+            if removed.insert(victim) {
+                tree.remove_node(victim).expect("remove live node");
+                break;
+            }
+        }
+        for obj in 0..10u64 {
+            let key = bh_md5::md5((round * 100 + obj).to_le_bytes()).low64();
+            let root = tree.root_of(key);
+            assert!(!removed.contains(&root), "root must be alive");
+            for from in 0..48 {
+                if removed.contains(&from) {
+                    continue;
+                }
+                let path = tree.route(from, key);
+                assert_eq!(*path.last().unwrap(), root);
+                assert!(path.iter().all(|n| !removed.contains(n)), "path through dead node");
+            }
+        }
+    }
+    assert_eq!(tree.len(), 32);
+}
