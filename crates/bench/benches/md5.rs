@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
 
     group.throughput(Throughput::Elements(1));
     group.bench_function("url_key", |b| {
-        b.iter(|| black_box(bh_md5::url_key(black_box("http://www.example.com/a/b/c.html"))));
+        b.iter(|| {
+            black_box(bh_md5::url_key(black_box(
+                "http://www.example.com/a/b/c.html",
+            )))
+        });
     });
 
     group.finish();

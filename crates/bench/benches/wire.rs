@@ -9,7 +9,11 @@ fn batch(n: u64) -> Message {
     Message::UpdateBatch(
         (0..n)
             .map(|i| HintUpdate {
-                action: if i % 2 == 0 { HintAction::Add } else { HintAction::Remove },
+                action: if i % 2 == 0 {
+                    HintAction::Add
+                } else {
+                    HintAction::Remove
+                },
                 object: i.wrapping_mul(0x9E3779B97F4A7C15),
                 machine: MachineId(i),
             })

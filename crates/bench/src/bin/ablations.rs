@@ -18,13 +18,13 @@ use serde::Serialize;
 
 #[derive(Serialize)]
 struct Ablations {
-    associativity: Vec<(usize, f64)>,     // (ways, survival rate of hot keys)
-    plaxton: Vec<(u32, f64, f64)>,        // (arity bits, avg route len, root spread)
+    associativity: Vec<(usize, f64)>, // (ways, survival rate of hot keys)
+    plaxton: Vec<(u32, f64, f64)>,    // (arity bits, avg route len, root spread)
     placement_proxy_ms: Vec<(String, f64)>,
     placement_client_ms: Vec<(String, f64)>,
-    client_hint_crossover: Option<f64>,   // §3.3's ~50% claim
-    icp_vs_hints_ms: Vec<(String, f64)>,  // (strategy, Testbed mean ms)
-    replacement: Vec<(String, f64)>,      // (policy, request hit rate)
+    client_hint_crossover: Option<f64>,  // §3.3's ~50% claim
+    icp_vs_hints_ms: Vec<(String, f64)>, // (strategy, Testbed mean ms)
+    replacement: Vec<(String, f64)>,     // (policy, request hit rate)
 }
 
 /// Associativity ablation: a fixed-size store absorbs a Zipf update stream;
@@ -111,13 +111,20 @@ fn replacement_sweep(spec: &bh_trace::WorkloadSpec, seed: u64) -> Vec<(String, f
     }
     vec![
         ("LRU".to_string(), lru_hits as f64 / total.max(1) as f64),
-        ("GreedyDual-Size".to_string(), gds_hits as f64 / total.max(1) as f64),
+        (
+            "GreedyDual-Size".to_string(),
+            gds_hits as f64 / total.max(1) as f64,
+        ),
     ]
 }
 
 fn main() {
     let args = Args::parse(0.02);
-    banner("Ablations", "associativity, Plaxton arity, hint placement", &args);
+    banner(
+        "Ablations",
+        "associativity, Plaxton arity, hint placement",
+        &args,
+    );
 
     println!("\n1. Hint-store associativity (64 KB store, Zipf stream):");
     println!("{:>6} {:>14}", "ways", "probe hit rate");
@@ -127,7 +134,10 @@ fn main() {
     }
 
     println!("\n2. Plaxton tree arity (64 nodes):");
-    println!("{:>10} {:>14} {:>18}", "arity", "avg route len", "root coverage");
+    println!(
+        "{:>10} {:>14} {:>18}",
+        "arity", "avg route len", "root coverage"
+    );
     let plaxton = plaxton_sweep();
     for (bits, len, spread) in &plaxton {
         println!("{:>9}b {len:>14.2} {spread:>18.2}", 1u32 << bits);
@@ -139,25 +149,38 @@ fn main() {
     let min = RousskovModel::min();
     let models: Vec<&dyn CostModel> = vec![&tb, &min];
     let placement = hint_placement(&spec, args.seed, &models);
-    println!("{:<10} {:>12} {:>12} {:>9}", "Model", "proxy ms", "client ms", "gain");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "Model", "proxy ms", "client ms", "gain"
+    );
     for ((name, p), (_, c)) in placement.proxy_ms.iter().zip(&placement.client_ms) {
-        println!("{:<10} {:>12.0} {:>12.0} {:>8.1}%", name, p, c, (1.0 - c / p) * 100.0);
+        println!(
+            "{:<10} {:>12.0} {:>12.0} {:>8.1}%",
+            name,
+            p,
+            c,
+            (1.0 - c / p) * 100.0
+        );
     }
     println!("(paper §3.3: client hints improve response time by up to ~20% when client");
     println!(" hint caches match proxy hit rates)");
 
     println!("\n4. Client-hint false-negative sweep (§3.3's 50% claim):");
-    let tradeoff =
-        client_hint_tradeoff(&spec, args.seed, &[0.0, 0.25, 0.5, 0.75, 1.0], &models);
+    let tradeoff = client_hint_tradeoff(&spec, args.seed, &[0.0, 0.25, 0.5, 0.75, 1.0], &models);
     println!("{:>8} {:>12}", "fn-rate", "Testbed ms");
-    println!("{:>8} {:>12.0}   (proxy-level baseline)", "-", tradeoff.proxy_ms[0].1);
+    println!(
+        "{:>8} {:>12.0}   (proxy-level baseline)",
+        "-", tradeoff.proxy_ms[0].1
+    );
     for (fnr, ms) in &tradeoff.client_points {
         println!("{fnr:>8.2} {:>12.0}", ms[0].1);
     }
     let crossover = tradeoff.crossover_fn_rate("Testbed");
     println!(
         "client config wins up to fn-rate ≈ {} (paper: below ~50%)",
-        crossover.map(|c| format!("{c:.2}")).unwrap_or_else(|| "never".into())
+        crossover
+            .map(|c| format!("{c:.2}"))
+            .unwrap_or_else(|| "never".into())
     );
 
     println!("\n5. ICP multicast vs hints (related-work baseline):");
@@ -166,7 +189,12 @@ fn main() {
     for kind in [StrategyKind::IcpMulticast, StrategyKind::HintHierarchy] {
         let r = sim.run(&spec, args.seed, kind, &models);
         let ms = r.mean_response_ms("Testbed").unwrap_or(f64::NAN);
-        println!("  {:<8} {:>9.0} ms (hit rate {:.3})", kind.label(), ms, r.metrics.hit_ratio());
+        println!(
+            "  {:<8} {:>9.0} ms (hit rate {:.3})",
+            kind.label(),
+            ms,
+            r.metrics.hit_ratio()
+        );
         icp_rows.push((kind.label().to_string(), ms));
     }
     println!("  (ICP polls only the L2 neighborhood and pays a query wait on every miss)");

@@ -13,8 +13,18 @@ fn main() {
     let dir = exe.parent().expect("bin dir");
 
     let experiments = [
-        "fig1", "table3", "table4", "fig2", "fig3", "fig5", "fig6", "table5", "fig8", "fig10",
-        "fig11", "ablations",
+        "fig1",
+        "table3",
+        "table4",
+        "fig2",
+        "fig3",
+        "fig5",
+        "fig6",
+        "table5",
+        "fig8",
+        "fig10",
+        "fig11",
+        "ablations",
     ];
     let mut failures = Vec::new();
     for name in experiments {

@@ -40,8 +40,12 @@ fn main() {
                 hier_l3: m.hierarchy_hit(Level::L3, s).as_millis_f64(),
                 hier_srv: m.hierarchy_miss(s).as_millis_f64(),
                 direct_l1: m.hierarchy_hit(Level::L1, s).as_millis_f64(),
-                direct_l2: m.remote_fetch_from_client(RemoteDistance::SameL2, s).as_millis_f64(),
-                direct_l3: m.remote_fetch_from_client(RemoteDistance::SameL3, s).as_millis_f64(),
+                direct_l2: m
+                    .remote_fetch_from_client(RemoteDistance::SameL2, s)
+                    .as_millis_f64(),
+                direct_l3: m
+                    .remote_fetch_from_client(RemoteDistance::SameL3, s)
+                    .as_millis_f64(),
                 direct_srv: m.server_fetch_from_client(s).as_millis_f64(),
                 via_l1_l2: m.remote_fetch(RemoteDistance::SameL2, s).as_millis_f64(),
                 via_l1_l3: m.remote_fetch(RemoteDistance::SameL3, s).as_millis_f64(),
@@ -53,8 +57,18 @@ fn main() {
     println!("\n(a) through the hierarchy          (b) direct                     (c) via L1");
     println!(
         "{:>7} | {:>8} {:>8} {:>8} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
-        "size", "L1", "L1-L2", "L1-L2-L3", "..SRV", "CLN-L1", "CLN-L2", "CLN-L3", "CLN-SRV",
-        "L1-L2", "L1-L3", "L1-SRV"
+        "size",
+        "L1",
+        "L1-L2",
+        "L1-L2-L3",
+        "..SRV",
+        "CLN-L1",
+        "CLN-L2",
+        "CLN-L3",
+        "CLN-SRV",
+        "L1-L2",
+        "L1-L3",
+        "L1-SRV"
     );
     for r in &rows {
         println!(
@@ -68,7 +82,9 @@ fn main() {
     // The paper's §2.1.1 anchors.
     let s8 = ByteSize::from_kb(8);
     let hier3 = m.hierarchy_hit(Level::L3, s8).as_millis_f64();
-    let dir3 = m.remote_fetch_from_client(RemoteDistance::SameL3, s8).as_millis_f64();
+    let dir3 = m
+        .remote_fetch_from_client(RemoteDistance::SameL3, s8)
+        .as_millis_f64();
     println!(
         "\n8KB L3: hierarchy {hier3:.0} ms vs direct {dir3:.0} ms — diff {:.0} ms, speedup {:.2}x",
         hier3 - dir3,

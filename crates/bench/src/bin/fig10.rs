@@ -17,7 +17,11 @@ struct Fig10 {
 
 fn main() {
     let args = Args::parse(0.05);
-    banner("Figure 10", "response time for push algorithms (DEC, space-constrained)", &args);
+    banner(
+        "Figure 10",
+        "response time for push algorithms (DEC, space-constrained)",
+        &args,
+    );
     let spec = args.dec_spec();
 
     let tb = TestbedModel::new();
@@ -26,10 +30,17 @@ fn main() {
     let models: Vec<&dyn CostModel> = vec![&max, &min, &tb];
     let rows = push_comparison(&spec, args.seed, &models);
 
-    println!("\n{:<14} {:>9} {:>9} {:>9} {:>8}", "Strategy", "Max", "Min", "Testbed", "L1-hit%");
+    println!(
+        "\n{:<14} {:>9} {:>9} {:>9} {:>8}",
+        "Strategy", "Max", "Min", "Testbed", "L1-hit%"
+    );
     for r in &rows {
         let ms = |name: &str| {
-            r.response_ms.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(f64::NAN)
+            r.response_ms
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN)
         };
         println!(
             "{:<14} {:>9.0} {:>9.0} {:>9.0} {:>7.1}%",
@@ -49,7 +60,14 @@ fn main() {
             .unwrap_or(f64::NAN)
     };
     println!("\nSpeedups vs no-push hierarchy (Testbed):");
-    for label in ["Hints", "Update Push", "Push-1", "Push-half", "Push-all", "Push-ideal"] {
+    for label in [
+        "Hints",
+        "Update Push",
+        "Push-1",
+        "Push-half",
+        "Push-all",
+        "Push-ideal",
+    ] {
         println!(
             "  {:<12} {}",
             label,
@@ -57,6 +75,15 @@ fn main() {
         );
     }
     println!("\n(paper: ideal push 1.54–2.63x vs data hierarchy and 1.21–1.62x vs hints;");
-    println!(" hierarchical push 1.42–2.03x vs hierarchy, 1.12–1.25x vs hints; update push ≈ hints)");
-    args.write_json("fig10", &Fig10 { trace: spec.name.to_string(), scale: args.scale, rows });
+    println!(
+        " hierarchical push 1.42–2.03x vs hierarchy, 1.12–1.25x vs hints; update push ≈ hints)"
+    );
+    args.write_json(
+        "fig10",
+        &Fig10 {
+            trace: spec.name.to_string(),
+            scale: args.scale,
+            rows,
+        },
+    );
 }

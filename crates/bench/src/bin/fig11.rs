@@ -16,7 +16,11 @@ struct Fig11 {
 
 fn main() {
     let args = Args::parse(0.05);
-    banner("Figure 11", "push efficiency and bandwidth (DEC, space-constrained)", &args);
+    banner(
+        "Figure 11",
+        "push efficiency and bandwidth (DEC, space-constrained)",
+        &args,
+    );
     let spec = args.dec_spec();
 
     let tb = TestbedModel::new();
@@ -30,7 +34,10 @@ fn main() {
     }
 
     println!("\n(b) bandwidth (KB/s over the measured window)");
-    println!("{:<14} {:>10} {:>10} {:>10}", "Strategy", "pushed", "demand", "total");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "Strategy", "pushed", "demand", "total"
+    );
     for r in &rows {
         println!(
             "{:<14} {:>10.1} {:>10.1} {:>10.1}",
@@ -43,5 +50,12 @@ fn main() {
 
     println!("\n(paper: update push ≈1/3 of pushed bytes used; hierarchical push 4–13%");
     println!(" efficient and up to ~4x the demand bandwidth — latency bought with bandwidth)");
-    args.write_json("fig11", &Fig11 { trace: spec.name.to_string(), scale: args.scale, rows });
+    args.write_json(
+        "fig11",
+        &Fig11 {
+            trace: spec.name.to_string(),
+            scale: args.scale,
+            rows,
+        },
+    );
 }

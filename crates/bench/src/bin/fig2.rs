@@ -19,7 +19,11 @@ struct Fig2 {
 
 fn main() {
     let args = Args::parse(0.1);
-    banner("Figure 2", "miss-class breakdown vs global cache size", &args);
+    banner(
+        "Figure 2",
+        "miss-class breakdown vs global cache size",
+        &args,
+    );
 
     // Full-scale axis (GB), as in the paper's 0–35 GB sweep.
     let axis = [1.0, 2.0, 5.0, 10.0, 20.0, 35.0, f64::INFINITY];
@@ -41,15 +45,30 @@ fn main() {
         println!("\n--- {} (per-read rates) ---", spec.name);
         println!(
             "{:>8} {:>8} {:>11} {:>9} {:>14} {:>7} {:>11} {:>11}",
-            "GB", "hit", "compulsory", "capacity", "communication", "error", "uncachable", "total-miss"
+            "GB",
+            "hit",
+            "compulsory",
+            "capacity",
+            "communication",
+            "error",
+            "uncachable",
+            "total-miss"
         );
         for p in &points {
             let g = |name: &str| {
-                p.read_rates.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0)
+                p.read_rates
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0)
             };
             println!(
                 "{:>8} {:>8.3} {:>11.3} {:>9.3} {:>14.3} {:>7.3} {:>11.3} {:>11.3}",
-                if p.cache_gb.is_finite() { format!("{:.0}", p.cache_gb) } else { "inf".into() },
+                if p.cache_gb.is_finite() {
+                    format!("{:.0}", p.cache_gb)
+                } else {
+                    "inf".into()
+                },
                 g("hit"),
                 g("compulsory"),
                 g("capacity"),
@@ -59,7 +78,11 @@ fn main() {
                 p.total_miss_ratio
             );
         }
-        results.push(Fig2 { trace: spec.name.to_string(), scale: args.scale, points });
+        results.push(Fig2 {
+            trace: spec.name.to_string(),
+            scale: args.scale,
+            points,
+        });
     }
     println!("\n(paper: compulsory dominates; capacity misses minor for multi-GB caches;");
     println!(" DEC ≈19% compulsory; Berkeley/Prodigy have more uncachable + communication)");

@@ -7,7 +7,11 @@ use bh_core::experiments::{sharing, SharingResult};
 
 fn main() {
     let args = Args::parse(0.1);
-    banner("Figure 3", "hit rates vs sharing level (infinite caches)", &args);
+    banner(
+        "Figure 3",
+        "hit rates vs sharing level (infinite caches)",
+        &args,
+    );
 
     let mut results: Vec<SharingResult> = Vec::new();
     println!(

@@ -21,8 +21,10 @@ fn main() {
     let spec = args.dec_spec();
 
     let axis = [0.1, 1.0, 10.0, 50.0, 100.0, 500.0, f64::INFINITY];
-    let scaled: Vec<f64> =
-        axis.iter().map(|mb| if mb.is_finite() { mb * args.scale } else { *mb }).collect();
+    let scaled: Vec<f64> = axis
+        .iter()
+        .map(|mb| if mb.is_finite() { mb * args.scale } else { *mb })
+        .collect();
     // Each point is an independent simulation: run them in parallel.
     let mut points: Vec<HintSweepPoint> = bh_bench::parallel_map(scaled, 4, |mb| {
         hint_size_sweep(&spec, args.seed, &[mb]).remove(0)
@@ -31,16 +33,30 @@ fn main() {
         p.x = *label;
     }
 
-    println!("\n{:>10} {:>10} {:>13} {:>13}", "MB", "hit-rate", "remote-hits", "false-pos");
+    println!(
+        "\n{:>10} {:>10} {:>13} {:>13}",
+        "MB", "hit-rate", "remote-hits", "false-pos"
+    );
     for p in &points {
         println!(
             "{:>10} {:>10.3} {:>13.3} {:>13.4}",
-            if p.x.is_finite() { format!("{:.1}", p.x) } else { "inf".into() },
+            if p.x.is_finite() {
+                format!("{:.1}", p.x)
+            } else {
+                "inf".into()
+            },
             p.hit_ratio,
             p.remote_hit_fraction,
             p.false_positive_rate
         );
     }
     println!("\n(paper: <10 MB adds little reach; ~100 MB tracks almost all data in the system)");
-    args.write_json("fig5", &Fig5 { trace: spec.name.to_string(), scale: args.scale, points });
+    args.write_json(
+        "fig5",
+        &Fig5 {
+            trace: spec.name.to_string(),
+            scale: args.scale,
+            points,
+        },
+    );
 }

@@ -15,7 +15,11 @@ struct Fig6 {
 
 fn main() {
     let args = Args::parse(0.05);
-    banner("Figure 6", "hit rate vs hint propagation delay (minutes)", &args);
+    banner(
+        "Figure 6",
+        "hit rate vs hint propagation delay (minutes)",
+        &args,
+    );
     let spec = args.dec_spec();
 
     let delays = [0.0, 1.0, 5.0, 10.0, 60.0, 300.0, 1000.0];
@@ -24,7 +28,10 @@ fn main() {
         hint_delay_sweep(&spec, args.seed, &[mins]).remove(0)
     });
 
-    println!("\n{:>10} {:>10} {:>13} {:>13}", "minutes", "hit-rate", "remote-hits", "false-pos");
+    println!(
+        "\n{:>10} {:>10} {:>13} {:>13}",
+        "minutes", "hit-rate", "remote-hits", "false-pos"
+    );
     for p in &points {
         println!(
             "{:>10.0} {:>10.3} {:>13.3} {:>13.4}",
@@ -32,5 +39,12 @@ fn main() {
         );
     }
     println!("\n(paper: hit rate holds up to a few minutes of delay, then degrades)");
-    args.write_json("fig6", &Fig6 { trace: spec.name.to_string(), scale: args.scale, points });
+    args.write_json(
+        "fig6",
+        &Fig6 {
+            trace: spec.name.to_string(),
+            scale: args.scale,
+            points,
+        },
+    );
 }

@@ -16,24 +16,38 @@ struct Fig8 {
 
 fn main() {
     let args = Args::parse(0.1);
-    banner("Figure 8 / Table 6", "mean response time: Hierarchy vs Directory vs Hints", &args);
+    banner(
+        "Figure 8 / Table 6",
+        "mean response time: Hierarchy vs Directory vs Hints",
+        &args,
+    );
 
     let tb = TestbedModel::new();
     let min = RousskovModel::min();
     let max = RousskovModel::max();
     let models: Vec<&dyn CostModel> = vec![&max, &min, &tb]; // the paper's bar order
 
-    let mut out = Fig8 { results: Vec::new(), speedups: Vec::new() };
+    let mut out = Fig8 {
+        results: Vec::new(),
+        speedups: Vec::new(),
+    };
     for constrained in [false, true] {
         println!(
             "\n=== ({}) {} ===",
             if constrained { "b" } else { "a" },
-            if constrained { "space constrained" } else { "infinite disk" }
+            if constrained {
+                "space constrained"
+            } else {
+                "infinite disk"
+            }
         );
         for spec in args.specs() {
             let r = response_time_matrix(&spec, args.seed, constrained, &models);
             println!("\n--- {} ---", spec.name);
-            println!("{:<12} {:>10} {:>10} {:>10}", "Strategy", "Max", "Min", "Testbed");
+            println!(
+                "{:<12} {:>10} {:>10} {:>10}",
+                "Strategy", "Max", "Min", "Testbed"
+            );
             for strategy in ["Hierarchy", "Directory", "Hints"] {
                 println!(
                     "{:<12} {:>10.0} {:>10.0} {:>10.0}",
@@ -47,7 +61,8 @@ fn main() {
             for model in ["Max", "Min", "Testbed"] {
                 let s = r.speedup(model).unwrap_or(f64::NAN);
                 print!("{model}={} ", fmt_speedup(s));
-                out.speedups.push((spec.name.to_string(), constrained, model.to_string(), s));
+                out.speedups
+                    .push((spec.name.to_string(), constrained, model.to_string(), s));
             }
             println!();
             out.results.push(r);

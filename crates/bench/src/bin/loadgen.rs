@@ -1,0 +1,287 @@
+//! Trace-replay load generator for the live hint-protocol prototype.
+//!
+//! Spawns an origin plus an N-node full-mesh cache cluster on loopback and
+//! replays a synthetic `bh-trace` workload through it from M concurrent
+//! closed-loop clients (`bh_proto::replay::replay_concurrent`). Reports
+//! aggregate throughput, hit/probe/false-positive counts, and p50/p95/p99
+//! request latency, and writes the same JSON-artifact format as the other
+//! experiment binaries to `<out>/loadgen.json`.
+//!
+//! ```text
+//! loadgen [--nodes n] [--clients m] [--requests r]
+//!         [--mode sharded|legacy|both] [--seed n] [--out dir]
+//! ```
+//!
+//! `--mode both` (the default) runs the legacy thread-per-connection engine
+//! first and the sharded engine second on identical workloads, printing the
+//! throughput ratio — the before/after for the sharded-engine change.
+
+use bh_bench::Args;
+use bh_proto::node::{CacheNode, NodeConfig, ThreadingMode};
+use bh_proto::origin::OriginServer;
+use bh_proto::replay::{replay_concurrent, ReplayConfig};
+use bh_trace::{TraceGenerator, TraceRecord, WorkloadSpec};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Parsed loadgen CLI (a superset of the shared harness flags).
+struct LoadgenArgs {
+    nodes: usize,
+    clients: usize,
+    requests: u64,
+    mode: String,
+    shards: usize,
+    workers: usize,
+    p_new: f64,
+    seed: u64,
+    out: PathBuf,
+}
+
+impl LoadgenArgs {
+    fn parse() -> LoadgenArgs {
+        let mut args = LoadgenArgs {
+            nodes: 4,
+            clients: 16,
+            requests: 50_000,
+            mode: "both".to_string(),
+            shards: 1,
+            workers: 16,
+            p_new: 0.35,
+            seed: 42,
+            out: PathBuf::from("target/experiments"),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |what: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
+            };
+            match flag.as_str() {
+                "--nodes" => {
+                    args.nodes = value("count").parse().expect("--nodes takes an integer");
+                    assert!(args.nodes >= 1, "--nodes must be at least 1");
+                }
+                "--clients" => {
+                    args.clients = value("count").parse().expect("--clients takes an integer");
+                    assert!(args.clients >= 1, "--clients must be at least 1");
+                }
+                "--requests" => {
+                    args.requests = value("count").parse().expect("--requests takes an integer");
+                }
+                "--mode" => {
+                    args.mode = value("name").to_lowercase();
+                    assert!(
+                        matches!(args.mode.as_str(), "sharded" | "legacy" | "both"),
+                        "--mode must be sharded, legacy, or both"
+                    );
+                }
+                "--shards" => {
+                    args.shards = value("count").parse().expect("--shards takes an integer");
+                }
+                "--workers" => {
+                    args.workers = value("count").parse().expect("--workers takes an integer");
+                }
+                "--p-new" => {
+                    args.p_new = value("probability").parse().expect("--p-new takes a float");
+                    assert!(
+                        (0.0..=1.0).contains(&args.p_new),
+                        "--p-new must be in [0,1]"
+                    );
+                }
+                "--seed" => args.seed = value("number").parse().expect("--seed takes an integer"),
+                "--out" => args.out = PathBuf::from(value("path")),
+                "--help" | "-h" => {
+                    println!(
+                        "usage: loadgen [--nodes n] [--clients m] [--requests r] \
+                         [--mode sharded|legacy|both] [--shards s] [--workers w] \
+                         [--p-new f] [--seed n] [--out dir]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        args
+    }
+
+    /// The shared-harness view of these args, for `write_json`.
+    fn harness(&self) -> Args {
+        Args {
+            scale: 1.0,
+            seed: self.seed,
+            trace: "custom".to_string(),
+            out: self.out.clone(),
+        }
+    }
+}
+
+/// One measured replay run, serialized into the JSON artifact.
+#[derive(Debug, Serialize)]
+struct LoadgenRun {
+    mode: String,
+    nodes: usize,
+    client_threads: usize,
+    requests: u64,
+    errors: u64,
+    local_hits: u64,
+    peer_hits: u64,
+    origin_fetches: u64,
+    false_positives: u64,
+    hit_ratio: f64,
+    bytes: u64,
+    wall_seconds: f64,
+    requests_per_second: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// The full artifact: each run plus the sharded/legacy throughput ratio
+/// when both engines were measured.
+#[derive(Debug, Serialize)]
+struct LoadgenResult {
+    runs: Vec<LoadgenRun>,
+    speedup_sharded_over_legacy: Option<f64>,
+}
+
+fn run_mode(
+    mode: ThreadingMode,
+    args: &LoadgenArgs,
+    records: &[TraceRecord],
+    spec: &WorkloadSpec,
+) -> LoadgenRun {
+    let origin = OriginServer::spawn("127.0.0.1:0").expect("spawn origin");
+
+    let mut nodes = Vec::with_capacity(args.nodes);
+    for _ in 0..args.nodes {
+        let config = NodeConfig::new("127.0.0.1:0", origin.addr())
+            .with_mode(mode)
+            .with_shards(args.shards)
+            .with_workers(args.workers)
+            .with_flush_max(Duration::from_millis(25));
+        nodes.push(CacheNode::spawn(config).expect("spawn cache node"));
+    }
+    let addrs: Vec<_> = nodes.iter().map(CacheNode::addr).collect();
+    for node in &nodes {
+        node.set_neighbors(
+            addrs
+                .iter()
+                .copied()
+                .filter(|a| *a != node.addr())
+                .collect(),
+        );
+    }
+
+    let mut config = ReplayConfig::flat_out(addrs);
+    config.clients_per_l1 = spec.clients_per_l1;
+    config.dynamic_client_ids = spec.dynamic_client_ids;
+    let outcome = replay_concurrent(&config, records, args.clients).expect("concurrent replay");
+
+    let false_positives: u64 = nodes.iter().map(|n| n.stats().false_positives).sum();
+    let [p50, p95, p99] = [
+        outcome.latency.p50().unwrap_or(0.0),
+        outcome.latency.p95().unwrap_or(0.0),
+        outcome.latency.p99().unwrap_or(0.0),
+    ];
+    let run = LoadgenRun {
+        mode: format!("{mode:?}").to_lowercase(),
+        nodes: args.nodes,
+        client_threads: args.clients,
+        requests: outcome.report.requests,
+        errors: outcome.report.errors,
+        local_hits: outcome.report.local_hits,
+        peer_hits: outcome.report.peer_hits,
+        origin_fetches: outcome.report.origin_fetches,
+        false_positives,
+        hit_ratio: outcome.report.hit_ratio(),
+        bytes: outcome.report.bytes,
+        wall_seconds: outcome.wall_seconds,
+        requests_per_second: outcome.requests_per_second(),
+        p50_ms: p50 * 1e3,
+        p95_ms: p95 * 1e3,
+        p99_ms: p99 * 1e3,
+    };
+
+    for node in nodes {
+        node.shutdown();
+    }
+    origin.shutdown();
+    run
+}
+
+fn print_run(run: &LoadgenRun) {
+    println!(
+        "{:>8}  {:>9.0} req/s  {:>7} req  {:>6} local  {:>6} peer  {:>6} origin  \
+         {:>4} fp  {:>3} err  p50 {:>6.2} ms  p95 {:>6.2} ms  p99 {:>6.2} ms",
+        run.mode,
+        run.requests_per_second,
+        run.requests,
+        run.local_hits,
+        run.peer_hits,
+        run.origin_fetches,
+        run.false_positives,
+        run.errors,
+        run.p50_ms,
+        run.p95_ms,
+        run.p99_ms,
+    );
+}
+
+fn main() {
+    let args = LoadgenArgs::parse();
+    let harness = args.harness();
+    bh_bench::banner(
+        "loadgen",
+        "prototype under load: trace replay against a live loopback mesh",
+        &harness,
+    );
+    println!(
+        "{} nodes (full mesh), {} client threads, {} trace records, seed {}",
+        args.nodes, args.clients, args.requests, args.seed
+    );
+
+    // A compact, miss-heavy workload: enough first references to exercise the
+    // origin path and enough sharing to drive peer probes and hint batches.
+    // Uncachable/error records are skipped by the replayer, so oversample the
+    // trace to land at least `--requests` issued requests.
+    let spec = WorkloadSpec::small()
+        .with_requests((args.requests as f64 / 0.9).ceil() as u64)
+        .with_clients(args.nodes as u32 * 256)
+        .with_p_new(args.p_new);
+    let records: Vec<TraceRecord> = TraceGenerator::new(&spec, args.seed).collect();
+
+    let modes: &[ThreadingMode] = match args.mode.as_str() {
+        "sharded" => &[ThreadingMode::Sharded],
+        "legacy" => &[ThreadingMode::Legacy],
+        _ => &[ThreadingMode::Legacy, ThreadingMode::Sharded],
+    };
+
+    let mut runs = Vec::new();
+    for &mode in modes {
+        let run = run_mode(mode, &args, &records, &spec);
+        print_run(&run);
+        runs.push(run);
+    }
+
+    let speedup = (runs.len() == 2).then(|| {
+        let legacy = runs[0].requests_per_second;
+        let sharded = runs[1].requests_per_second;
+        if legacy > 0.0 {
+            sharded / legacy
+        } else {
+            0.0
+        }
+    });
+    if let Some(s) = speedup {
+        println!("sharded over legacy: {}", bh_bench::fmt_speedup(s));
+    }
+
+    harness.write_json(
+        "loadgen",
+        &LoadgenResult {
+            runs,
+            speedup_sharded_over_legacy: speedup,
+        },
+    );
+}

@@ -25,7 +25,11 @@ struct Table3Row {
 
 fn build(m: &RousskovModel) -> Table3 {
     let mut rows = Vec::new();
-    for (level, label) in [(Level::L1, "Leaf"), (Level::L2, "Intermediate"), (Level::L3, "Root")] {
+    for (level, label) in [
+        (Level::L1, "Leaf"),
+        (Level::L2, "Intermediate"),
+        (Level::L3, "Root"),
+    ] {
         let c = m.levels[level.depth() - 1];
         rows.push(Table3Row {
             level: label.to_string(),
@@ -46,7 +50,10 @@ fn build(m: &RousskovModel) -> Table3 {
         total_direct_ms: m.direct_miss_ms(),
         total_via_l1_ms: m.via_l1_miss_ms(),
     });
-    Table3 { variant: m.name().to_string(), rows }
+    Table3 {
+        variant: m.name().to_string(),
+        rows,
+    }
 }
 
 fn print(t: &Table3) {
@@ -72,12 +79,18 @@ fn print(t: &Table3) {
 
 fn main() {
     let args = Args::parse(1.0);
-    banner("Table 3", "Rousskov Squid measurements: components and derived totals (ms)", &args);
+    banner(
+        "Table 3",
+        "Rousskov Squid measurements: components and derived totals (ms)",
+        &args,
+    );
     let tables = vec![build(&RousskovModel::min()), build(&RousskovModel::max())];
     for t in &tables {
         print(t);
     }
     println!("\n(paper totals — Min: 163/271/531/981 hierarchical, 163/180/320/550 direct,");
-    println!(" 163/271/411/641 via-L1; Max: 352/2767/4667/7217, 352/2550/2850/3200, 352/2767/3067/3417)");
+    println!(
+        " 163/271/411/641 via-L1; Max: 352/2767/4667/7217, 352/2550/2850/3200, 352/2767/3067/3417)"
+    );
     args.write_json("table3", &tables);
 }

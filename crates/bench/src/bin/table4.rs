@@ -16,7 +16,11 @@ struct Table4Row {
 
 fn main() {
     let args = Args::parse(0.1);
-    banner("Table 4", "characteristics of trace workloads (scaled)", &args);
+    banner(
+        "Table 4",
+        "characteristics of trace workloads (scaled)",
+        &args,
+    );
 
     let paper: &[(&str, u64, f64, f64)] = &[
         ("DEC", 16_660, 22.1, 4.15),
@@ -34,9 +38,21 @@ fn main() {
         println!(
             "{}   ({} / {:.1}M / {:.2}M)",
             summary.table4_row(&spec.name.to_string()),
-            paper.iter().find(|(n, ..)| *n == spec.name.to_string()).map(|(_, c, ..)| *c).unwrap_or(0),
-            paper.iter().find(|(n, ..)| *n == spec.name.to_string()).map(|(_, _, a, _)| *a).unwrap_or(0.0),
-            paper.iter().find(|(n, ..)| *n == spec.name.to_string()).map(|(_, _, _, d)| *d).unwrap_or(0.0),
+            paper
+                .iter()
+                .find(|(n, ..)| *n == spec.name.to_string())
+                .map(|(_, c, ..)| *c)
+                .unwrap_or(0),
+            paper
+                .iter()
+                .find(|(n, ..)| *n == spec.name.to_string())
+                .map(|(_, _, a, _)| *a)
+                .unwrap_or(0.0),
+            paper
+                .iter()
+                .find(|(n, ..)| *n == spec.name.to_string())
+                .map(|(_, _, _, d)| *d)
+                .unwrap_or(0.0),
         );
         let (pc, pa, pd) = paper
             .iter()

@@ -16,13 +16,20 @@ struct Table5 {
 
 fn main() {
     let args = Args::parse(0.1);
-    banner("Table 5", "hint-update load at the root (updates/second)", &args);
+    banner(
+        "Table 5",
+        "hint-update load at the root (updates/second)",
+        &args,
+    );
     let spec = args.dec_spec();
     let result = update_load(&spec, args.seed);
     let factor = result.centralized_rate / result.hierarchy_rate.max(1e-9);
 
     println!("\n{:<26} {:>16}", "Organization", "updates/second");
-    println!("{:<26} {:>16.2}", "Centralized directory", result.centralized_rate);
+    println!(
+        "{:<26} {:>16.2}",
+        "Centralized directory", result.centralized_rate
+    );
     println!("{:<26} {:>16.2}", "Hierarchy", result.hierarchy_rate);
     println!("\nfiltering reduces root load by {factor:.2}x");
     println!("(paper: 5.7 vs 1.9 updates/second — a 3.0x reduction; rates scale with");
@@ -30,6 +37,11 @@ fn main() {
 
     args.write_json(
         "table5",
-        &Table5 { trace: spec.name.to_string(), scale: args.scale, result, filtering_factor: factor },
+        &Table5 {
+            trace: spec.name.to_string(),
+            scale: args.scale,
+            result,
+            filtering_factor: factor,
+        },
     );
 }

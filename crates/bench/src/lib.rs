@@ -48,7 +48,8 @@ impl Args {
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             let mut value = |what: &str| {
-                it.next().unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
             };
             match flag.as_str() {
                 "--scale" => {
@@ -75,11 +76,13 @@ impl Args {
 
     /// The workload specs selected by `--trace`, scaled by `--scale`.
     pub fn specs(&self) -> Vec<WorkloadSpec> {
-        let all = [WorkloadSpec::dec(), WorkloadSpec::berkeley(), WorkloadSpec::prodigy()];
+        let all = [
+            WorkloadSpec::dec(),
+            WorkloadSpec::berkeley(),
+            WorkloadSpec::prodigy(),
+        ];
         all.into_iter()
-            .filter(|s| {
-                self.trace == "all" || s.name.to_string().to_lowercase() == self.trace
-            })
+            .filter(|s| self.trace == "all" || s.name.to_string().to_lowercase() == self.trace)
             .map(|s| s.scaled(self.scale))
             .collect()
     }
@@ -138,7 +141,10 @@ where
     })
     .expect("worker thread panicked");
     drop(slot_refs);
-    slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
 }
 
 /// Prints a banner naming the experiment and its provenance in the paper.
@@ -179,8 +185,12 @@ mod tests {
 
     #[test]
     fn specs_are_scaled() {
-        let args =
-            Args { scale: 0.1, seed: 1, trace: "dec".into(), out: PathBuf::from("/tmp/x") };
+        let args = Args {
+            scale: 0.1,
+            seed: 1,
+            trace: "dec".into(),
+            out: PathBuf::from("/tmp/x"),
+        };
         assert_eq!(args.specs()[0].requests, 2_210_000);
     }
 

@@ -122,7 +122,13 @@ impl ClassifyingCache {
     ///
     /// `cacheable = false` marks uncachable requests; pass error requests as
     /// uncachable with [`ClassifyingCache::access_error`] instead.
-    pub fn access(&mut self, key: u64, size: ByteSize, version: u32, cacheable: bool) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        key: u64,
+        size: ByteSize,
+        version: u32,
+        cacheable: bool,
+    ) -> AccessOutcome {
         let class = self.classify(key, size, version, cacheable);
         *self.counts.entry(class).or_insert(0) += 1;
         *self.bytes.entry(class).or_insert(0) += size.as_bytes();
@@ -133,7 +139,10 @@ impl ClassifyingCache {
     pub fn access_error(&mut self, size: ByteSize) -> AccessOutcome {
         *self.counts.entry(MissClass::Error).or_insert(0) += 1;
         *self.bytes.entry(MissClass::Error).or_insert(0) += size.as_bytes();
-        AccessOutcome { class: MissClass::Error, bytes: size }
+        AccessOutcome {
+            class: MissClass::Error,
+            bytes: size,
+        }
     }
 
     fn classify(&mut self, key: u64, size: ByteSize, version: u32, cacheable: bool) -> MissClass {
@@ -316,9 +325,14 @@ mod tests {
     #[test]
     fn rates_sum_to_one() {
         let mut c = ClassifyingCache::new(kb(30));
-        for (k, v, cacheable) in
-            [(1, 0, true), (2, 0, true), (1, 0, true), (3, 1, true), (4, 0, false), (1, 1, true)]
-        {
+        for (k, v, cacheable) in [
+            (1, 0, true),
+            (2, 0, true),
+            (1, 0, true),
+            (3, 1, true),
+            (4, 0, false),
+            (1, 1, true),
+        ] {
             c.access(k, kb(10), v, cacheable);
         }
         c.access_error(kb(1));

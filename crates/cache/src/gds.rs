@@ -107,7 +107,9 @@ impl GdsCache {
 
     /// Looks up without refreshing or invalidating.
     pub fn peek(&self, key: u64) -> Option<(ByteSize, u32)> {
-        self.entries.get(&key).map(|e| (ByteSize::from_bytes(e.size), e.version))
+        self.entries
+            .get(&key)
+            .map(|e| (ByteSize::from_bytes(e.size), e.version))
     }
 
     /// Inserts (or refreshes) `key`; evicts minimum-credit entries as
@@ -123,22 +125,34 @@ impl GdsCache {
             self.used -= old.size;
         }
         let credit = self.credit_for(size_b);
-        self.entries
-            .insert(key, Entry { size: size_b, version, credit });
+        self.entries.insert(
+            key,
+            Entry {
+                size: size_b,
+                version,
+                credit,
+            },
+        );
         self.queue.insert((credit, key));
         self.used += size_b;
 
         if !self.capacity.is_unlimited() {
             while self.used > self.capacity.as_bytes() {
-                let &(victim_credit, victim) =
-                    self.queue.iter().next().expect("over capacity implies entries");
+                let &(victim_credit, victim) = self
+                    .queue
+                    .iter()
+                    .next()
+                    .expect("over capacity implies entries");
                 if victim == key && self.entries.len() == 1 {
                     break;
                 }
                 // Inflate L to the evicted credit — GreedyDual's aging.
                 self.inflation = victim_credit.0;
                 self.queue.remove(&(victim_credit, victim));
-                let e = self.entries.remove(&victim).expect("queued implies present");
+                let e = self
+                    .entries
+                    .remove(&victim)
+                    .expect("queued implies present");
                 self.used -= e.size;
                 if victim != key {
                     evicted.push(victim);

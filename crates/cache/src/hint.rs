@@ -40,7 +40,12 @@ enum Store {
     /// not resident memory, until sets are touched) — and a slot's key and
     /// location sit in adjacent words, preserving the 16-byte record
     /// layout of §3.2.1.
-    SetAssoc { keys: Vec<u64>, locs: Vec<u64>, sets: usize, ways: usize },
+    SetAssoc {
+        keys: Vec<u64>,
+        locs: Vec<u64>,
+        sets: usize,
+        ways: usize,
+    },
     Unbounded(HashMap<u64, u64>),
 }
 
@@ -162,7 +167,12 @@ impl HintCache {
             return None;
         }
         let found = match &mut self.store {
-            Store::SetAssoc { keys, locs, sets, ways } => {
+            Store::SetAssoc {
+                keys,
+                locs,
+                sets,
+                ways,
+            } => {
                 let range = Self::set_range(*sets, *ways, key);
                 let kset = &mut keys[range.clone()];
                 match kset.iter().position(|&k| k == key) {
@@ -199,7 +209,12 @@ impl HintCache {
             return None;
         }
         match &self.store {
-            Store::SetAssoc { keys, locs, sets, ways } => {
+            Store::SetAssoc {
+                keys,
+                locs,
+                sets,
+                ways,
+            } => {
                 let range = Self::set_range(*sets, *ways, key);
                 keys[range.clone()]
                     .iter()
@@ -220,7 +235,12 @@ impl HintCache {
     pub fn insert(&mut self, key: u64, location: u64) {
         assert_ne!(key, 0, "hint key 0 is reserved");
         match &mut self.store {
-            Store::SetAssoc { keys, locs, sets, ways } => {
+            Store::SetAssoc {
+                keys,
+                locs,
+                sets,
+                ways,
+            } => {
                 let range = Self::set_range(*sets, *ways, key);
                 let kset = &mut keys[range.clone()];
                 let front = |kset: &mut [u64], lset: &mut [u64], pos: usize| {
@@ -257,7 +277,12 @@ impl HintCache {
             return None;
         }
         match &mut self.store {
-            Store::SetAssoc { keys, locs, sets, ways } => {
+            Store::SetAssoc {
+                keys,
+                locs,
+                sets,
+                ways,
+            } => {
                 let range = Self::set_range(*sets, *ways, key);
                 let kset = &mut keys[range.clone()];
                 let pos = kset.iter().position(|&k| k == key)?;

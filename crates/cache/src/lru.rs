@@ -140,7 +140,11 @@ impl LruCache {
         self.map.remove(&n.key);
         self.used -= n.size;
         self.free.push(idx);
-        Evicted { key: n.key, size: ByteSize::from_bytes(n.size), version: n.version }
+        Evicted {
+            key: n.key,
+            size: ByteSize::from_bytes(n.size),
+            version: n.version,
+        }
     }
 
     /// Looks up `key`, requiring at least `min_version`.
@@ -203,13 +207,24 @@ impl LruCache {
         } else {
             let idx = match self.free.pop() {
                 Some(i) => {
-                    self.slab[i as usize] =
-                        Node { key, size: size_b, version, prev: NIL, next: NIL };
+                    self.slab[i as usize] = Node {
+                        key,
+                        size: size_b,
+                        version,
+                        prev: NIL,
+                        next: NIL,
+                    };
                     i
                 }
                 None => {
                     let i = u32::try_from(self.slab.len()).expect("cache entries fit in u32");
-                    self.slab.push(Node { key, size: size_b, version, prev: NIL, next: NIL });
+                    self.slab.push(Node {
+                        key,
+                        size: size_b,
+                        version,
+                        prev: NIL,
+                        next: NIL,
+                    });
                     i
                 }
             };
@@ -257,7 +272,10 @@ impl LruCache {
 
     /// Iterates over keys from most- to least-recently used.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { cache: self, cur: self.head }
+        Iter {
+            cache: self,
+            cur: self.head,
+        }
     }
 }
 

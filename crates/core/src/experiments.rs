@@ -141,7 +141,8 @@ fn run_hint_config(spec: &WorkloadSpec, seed: u64, config: HintConfig) -> Metric
     let mut strategy = HintHierarchy::new(topo, config, seed);
     let tb = bh_netmodel::TestbedModel::new();
     let models: Vec<&dyn CostModel> = vec![&tb];
-    sim.run_with(spec, seed, &mut strategy, &models, false).metrics
+    sim.run_with(spec, seed, &mut strategy, &models, false)
+        .metrics
 }
 
 /// Figure 5: hit rate vs hint-cache size (16-byte records, 4-way sets).
@@ -157,7 +158,10 @@ pub fn hint_size_sweep(spec: &WorkloadSpec, seed: u64, sizes_mb: &[f64]) -> Vec<
             let m = run_hint_config(
                 spec,
                 seed,
-                HintConfig { store_capacity: store, ..HintConfig::default() },
+                HintConfig {
+                    store_capacity: store,
+                    ..HintConfig::default()
+                },
             );
             sweep_point(mb, &m)
         })
@@ -257,7 +261,11 @@ pub fn response_time_matrix(
     constrained: bool,
     models: &[&dyn CostModel],
 ) -> ResponseTimeResult {
-    let config = if constrained { SimConfig::constrained(spec) } else { SimConfig::infinite(spec) };
+    let config = if constrained {
+        SimConfig::constrained(spec)
+    } else {
+        SimConfig::infinite(spec)
+    };
     let sim = Simulator::new(config);
     let mut cells = Vec::new();
     for kind in [
@@ -270,7 +278,11 @@ pub fn response_time_matrix(
             cells.push((kind.label().to_string(), name.clone(), stats.mean()));
         }
     }
-    ResponseTimeResult { workload: spec.name.to_string(), space_constrained: constrained, cells }
+    ResponseTimeResult {
+        workload: spec.name.to_string(),
+        space_constrained: constrained,
+        cells,
+    }
 }
 
 /// Figures 10 & 11: the push-algorithm comparison (response time,
@@ -292,7 +304,11 @@ pub struct PushComparisonRow {
 }
 
 /// Runs the Figure 10/11 experiment for one workload.
-pub fn push_comparison(spec: &WorkloadSpec, seed: u64, models: &[&dyn CostModel]) -> Vec<PushComparisonRow> {
+pub fn push_comparison(
+    spec: &WorkloadSpec,
+    seed: u64,
+    models: &[&dyn CostModel],
+) -> Vec<PushComparisonRow> {
     let sim = Simulator::new(SimConfig::constrained(spec));
     StrategyKind::FIGURE10
         .iter()
@@ -301,7 +317,11 @@ pub fn push_comparison(spec: &WorkloadSpec, seed: u64, models: &[&dyn CostModel]
             let m = &r.metrics;
             PushComparisonRow {
                 strategy: kind.label().to_string(),
-                response_ms: m.response.iter().map(|(n, s)| (n.clone(), s.mean())).collect(),
+                response_ms: m
+                    .response
+                    .iter()
+                    .map(|(n, s)| (n.clone(), s.mean()))
+                    .collect(),
                 efficiency: m.push_efficiency(),
                 push_bw_kbps: m.push_bandwidth_kbps(),
                 demand_bw_kbps: m.demand_bandwidth_kbps(),
@@ -326,16 +346,31 @@ pub struct HintPlacementResult {
 }
 
 /// Runs the proxy-vs-client hint placement comparison.
-pub fn hint_placement(spec: &WorkloadSpec, seed: u64, models: &[&dyn CostModel]) -> HintPlacementResult {
+pub fn hint_placement(
+    spec: &WorkloadSpec,
+    seed: u64,
+    models: &[&dyn CostModel],
+) -> HintPlacementResult {
     let sim = Simulator::new(SimConfig::infinite(spec));
     let proxy = sim.run(spec, seed, StrategyKind::HintHierarchy, models);
     // Same outcome stream, client-direct pricing.
     let client_models: Vec<ClientDirect<'_>> = models.iter().map(|m| ClientDirect(*m)).collect();
-    let client_refs: Vec<&dyn CostModel> = client_models.iter().map(|m| m as &dyn CostModel).collect();
+    let client_refs: Vec<&dyn CostModel> =
+        client_models.iter().map(|m| m as &dyn CostModel).collect();
     let client = sim.run(spec, seed, StrategyKind::HintHierarchy, &client_refs);
     HintPlacementResult {
-        proxy_ms: proxy.metrics.response.iter().map(|(n, s)| (n.clone(), s.mean())).collect(),
-        client_ms: client.metrics.response.iter().map(|(n, s)| (n.clone(), s.mean())).collect(),
+        proxy_ms: proxy
+            .metrics
+            .response
+            .iter()
+            .map(|(n, s)| (n.clone(), s.mean()))
+            .collect(),
+        client_ms: client
+            .metrics
+            .response
+            .iter()
+            .map(|(n, s)| (n.clone(), s.mean()))
+            .collect(),
     }
 }
 
@@ -398,7 +433,11 @@ impl ClientHintTradeoff {
         let proxy = self.proxy_ms.iter().find(|(n, _)| n == model)?.1;
         self.client_points
             .iter()
-            .filter(|(_, ms)| ms.iter().find(|(n, _)| n == model).is_some_and(|(_, v)| *v < proxy))
+            .filter(|(_, ms)| {
+                ms.iter()
+                    .find(|(n, _)| n == model)
+                    .is_some_and(|(_, v)| *v < proxy)
+            })
             .map(|(fnr, _)| *fnr)
             .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
@@ -423,14 +462,29 @@ pub fn client_hint_tradeoff(
             let topo = Topology::from_spec(spec);
             let mut strategy = ClientHints::new(
                 topo,
-                ClientHintConfig { false_negative_rate: fnr, ..ClientHintConfig::default() },
+                ClientHintConfig {
+                    false_negative_rate: fnr,
+                    ..ClientHintConfig::default()
+                },
             );
             let r = sim.run_with(spec, seed, &mut strategy, &client_refs, false);
-            (fnr, r.metrics.response.iter().map(|(n, s)| (n.clone(), s.mean())).collect())
+            (
+                fnr,
+                r.metrics
+                    .response
+                    .iter()
+                    .map(|(n, s)| (n.clone(), s.mean()))
+                    .collect(),
+            )
         })
         .collect();
     ClientHintTradeoff {
-        proxy_ms: proxy.metrics.response.iter().map(|(n, s)| (n.clone(), s.mean())).collect(),
+        proxy_ms: proxy
+            .metrics
+            .response
+            .iter()
+            .map(|(n, s)| (n.clone(), s.mean()))
+            .collect(),
         client_points,
     }
 }
@@ -453,7 +507,11 @@ mod tests {
             assert!((sum - 1.0).abs() < 1e-9, "read rates sum {sum}");
         }
         let cap = |p: &MissBreakdownPoint| {
-            p.read_rates.iter().find(|(n, _)| n == "capacity").map(|(_, v)| *v).unwrap()
+            p.read_rates
+                .iter()
+                .find(|(n, _)| n == "capacity")
+                .map(|(_, v)| *v)
+                .unwrap()
         };
         assert!(cap(&pts[0]) >= cap(&pts[1]));
         assert_eq!(cap(&pts[1]), 0.0, "infinite cache has no capacity misses");
@@ -465,7 +523,10 @@ mod tests {
         assert!(s.hit_ratio[0] <= s.hit_ratio[1]);
         assert!(s.hit_ratio[1] <= s.hit_ratio[2]);
         assert!(s.byte_hit_ratio[0] <= s.byte_hit_ratio[2]);
-        assert!(s.hit_ratio[2] > 0.2, "L3 should capture substantial sharing");
+        assert!(
+            s.hit_ratio[2] > 0.2,
+            "L3 should capture substantial sharing"
+        );
     }
 
     #[test]
@@ -534,8 +595,18 @@ mod tests {
         // hints must lose to it.
         let ms = |i: usize| r.client_points[i].1[0].1;
         let proxy = r.proxy_ms[0].1;
-        assert!(ms(0) < proxy, "fnr=0 client {:.0} vs proxy {:.0}", ms(0), proxy);
-        assert!(ms(4) > proxy, "fnr=1 client {:.0} vs proxy {:.0}", ms(4), proxy);
+        assert!(
+            ms(0) < proxy,
+            "fnr=0 client {:.0} vs proxy {:.0}",
+            ms(0),
+            proxy
+        );
+        assert!(
+            ms(4) > proxy,
+            "fnr=1 client {:.0} vs proxy {:.0}",
+            ms(4),
+            proxy
+        );
         // Response time must rise with the false-negative rate.
         assert!(ms(0) < ms(2) && ms(2) < ms(4));
         // Some operating point must favor the client configuration (the

@@ -52,7 +52,12 @@ impl MetadataHierarchy {
             .collect();
         let tree = PlaxtonTree::build(specs, arity_bits).expect("valid node set");
         let n = tree.len();
-        MetadataHierarchy { tree, load: vec![0; n], total_hops: 0, updates: 0 }
+        MetadataHierarchy {
+            tree,
+            load: vec![0; n],
+            total_hops: 0,
+            updates: 0,
+        }
     }
 
     /// Routes one hint update from `from_l1` toward the root for
@@ -98,7 +103,11 @@ impl MetadataHierarchy {
             } else {
                 self.total_hops as f64 / self.updates as f64
             },
-            busiest_node_share: if handled == 0 { 0.0 } else { busiest as f64 / handled as f64 },
+            busiest_node_share: if handled == 0 {
+                0.0
+            } else {
+                busiest as f64 / handled as f64
+            },
             load_imbalance: if handled == 0 {
                 0.0
             } else {

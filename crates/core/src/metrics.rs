@@ -88,7 +88,10 @@ impl Metrics {
     /// Creates empty metrics with one response accumulator per model name.
     pub fn new(model_names: &[&str]) -> Self {
         Metrics {
-            response: model_names.iter().map(|n| (n.to_string(), OnlineStats::new())).collect(),
+            response: model_names
+                .iter()
+                .map(|n| (n.to_string(), OnlineStats::new()))
+                .collect(),
             window_start: SimTime::MAX,
             ..Metrics::default()
         }
@@ -171,7 +174,10 @@ impl Metrics {
 
     /// Mean response time in ms under the model named `name`.
     pub fn mean_response_ms(&self, name: &str) -> Option<f64> {
-        self.response.iter().find(|(n, _)| n == name).map(|(_, s)| s.mean())
+        self.response
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.mean())
     }
 
     /// Push efficiency: fraction of pushed bytes later used (Figure 11a).
@@ -188,7 +194,9 @@ impl Metrics {
         if self.window_start == SimTime::MAX {
             0.0
         } else {
-            self.window_end.saturating_since(self.window_start).as_secs_f64()
+            self.window_end
+                .saturating_since(self.window_start)
+                .as_secs_f64()
         }
     }
 
@@ -249,10 +257,24 @@ mod tests {
         m.record(AccessPath::HierarchyHit(Level::L2), kb(10), t);
         m.record(AccessPath::HierarchyHit(Level::L3), kb(10), t);
         m.record(AccessPath::HierarchyMiss, kb(10), t);
-        m.record(AccessPath::RemoteHit { distance: RemoteDistance::SameL2 }, kb(10), t);
-        m.record(AccessPath::RemoteHit { distance: RemoteDistance::SameL3 }, kb(10), t);
         m.record(
-            AccessPath::ServerFetch { false_positive: Some(RemoteDistance::SameL2) },
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL2,
+            },
+            kb(10),
+            t,
+        );
+        m.record(
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL3,
+            },
+            kb(10),
+            t,
+        );
+        m.record(
+            AccessPath::ServerFetch {
+                false_positive: Some(RemoteDistance::SameL2),
+            },
             kb(10),
             t,
         );

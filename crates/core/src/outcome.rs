@@ -100,8 +100,14 @@ mod tests {
         assert!(AccessPath::L1Hit.is_local_hit());
         assert!(AccessPath::HierarchyHit(Level::L3).is_hit());
         assert!(!AccessPath::HierarchyMiss.is_hit());
-        assert!(AccessPath::RemoteHit { distance: RemoteDistance::SameL2 }.is_hit());
-        assert!(!AccessPath::ServerFetch { false_positive: None }.is_hit());
+        assert!(AccessPath::RemoteHit {
+            distance: RemoteDistance::SameL2
+        }
+        .is_hit());
+        assert!(!AccessPath::ServerFetch {
+            false_positive: None
+        }
+        .is_hit());
         assert!(!AccessPath::DirectoryServerFetch.is_hit());
     }
 
@@ -110,18 +116,29 @@ mod tests {
         let m = RousskovModel::min();
         assert_eq!(AccessPath::L1Hit.price(&m, SZ).as_millis_f64(), 163.0);
         assert_eq!(
-            AccessPath::HierarchyHit(Level::L2).price(&m, SZ).as_millis_f64(),
-            271.0
-        );
-        assert_eq!(AccessPath::HierarchyMiss.price(&m, SZ).as_millis_f64(), 981.0);
-        assert_eq!(
-            AccessPath::RemoteHit { distance: RemoteDistance::SameL3 }
+            AccessPath::HierarchyHit(Level::L2)
                 .price(&m, SZ)
                 .as_millis_f64(),
+            271.0
+        );
+        assert_eq!(
+            AccessPath::HierarchyMiss.price(&m, SZ).as_millis_f64(),
+            981.0
+        );
+        assert_eq!(
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL3
+            }
+            .price(&m, SZ)
+            .as_millis_f64(),
             411.0
         );
         assert_eq!(
-            AccessPath::ServerFetch { false_positive: None }.price(&m, SZ).as_millis_f64(),
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
+            .price(&m, SZ)
+            .as_millis_f64(),
             641.0
         );
     }
@@ -129,31 +146,56 @@ mod tests {
     #[test]
     fn false_positive_costs_extra() {
         let m = RousskovModel::min();
-        let clean = AccessPath::ServerFetch { false_positive: None }.price(&m, SZ);
-        let probed = AccessPath::ServerFetch { false_positive: Some(RemoteDistance::SameL2) }
-            .price(&m, SZ);
+        let clean = AccessPath::ServerFetch {
+            false_positive: None,
+        }
+        .price(&m, SZ);
+        let probed = AccessPath::ServerFetch {
+            false_positive: Some(RemoteDistance::SameL2),
+        }
+        .price(&m, SZ);
         assert!(probed > clean);
     }
 
     #[test]
     fn directory_pays_lookup() {
         let m = RousskovModel::min();
-        let plain = AccessPath::RemoteHit { distance: RemoteDistance::SameL2 }.price(&m, SZ);
-        let dir = AccessPath::DirectoryRemoteHit { distance: RemoteDistance::SameL2 }.price(&m, SZ);
+        let plain = AccessPath::RemoteHit {
+            distance: RemoteDistance::SameL2,
+        }
+        .price(&m, SZ);
+        let dir = AccessPath::DirectoryRemoteHit {
+            distance: RemoteDistance::SameL2,
+        }
+        .price(&m, SZ);
         assert!(dir > plain);
     }
 
     #[test]
     fn idealized_promotes_distant_hits_only() {
-        assert_eq!(AccessPath::HierarchyHit(Level::L3).idealized(), AccessPath::L1Hit);
         assert_eq!(
-            AccessPath::RemoteHit { distance: RemoteDistance::SameL3 }.idealized(),
+            AccessPath::HierarchyHit(Level::L3).idealized(),
             AccessPath::L1Hit
         );
-        assert_eq!(AccessPath::HierarchyMiss.idealized(), AccessPath::HierarchyMiss);
         assert_eq!(
-            AccessPath::ServerFetch { false_positive: None }.idealized(),
-            AccessPath::ServerFetch { false_positive: None }
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL3
+            }
+            .idealized(),
+            AccessPath::L1Hit
+        );
+        assert_eq!(
+            AccessPath::HierarchyMiss.idealized(),
+            AccessPath::HierarchyMiss
+        );
+        assert_eq!(
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
+            .idealized(),
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
         );
     }
 }

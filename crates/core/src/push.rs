@@ -100,6 +100,9 @@ mod tests {
     fn display_names() {
         assert_eq!(PushPolicy::None.to_string(), "no-push");
         assert_eq!(PushPolicy::Update.to_string(), "update-push");
-        assert_eq!(PushPolicy::Hierarchical(PushFraction::Half).to_string(), "push-half");
+        assert_eq!(
+            PushPolicy::Hierarchical(PushFraction::Half).to_string(),
+            "push-half"
+        );
     }
 }

@@ -115,9 +115,17 @@ impl Simulator {
         models: &[&dyn CostModel],
     ) -> SimReport {
         let topo = Topology::from_spec(spec);
-        let mut strategy = kind.build(topo.clone(), &self.config.space, self.config.hint_delay, seed);
+        let mut strategy = kind.build(
+            topo.clone(),
+            &self.config.space,
+            self.config.hint_delay,
+            seed,
+        );
         let report = self.run_with(spec, seed, strategy.as_mut(), models, kind.idealized());
-        SimReport { strategy: kind.label().to_string(), ..report }
+        SimReport {
+            strategy: kind.label().to_string(),
+            ..report
+        }
     }
 
     /// Runs a caller-constructed strategy (for custom configurations, e.g.
@@ -137,7 +145,16 @@ impl Simulator {
 
         for (i, record) in TraceGenerator::new(spec, seed).enumerate() {
             let measured = i as u64 >= warmup_until;
-            self.step(&topo, spec, strategy, &record, measured, models, idealize, &mut metrics);
+            self.step(
+                &topo,
+                spec,
+                strategy,
+                &record,
+                measured,
+                models,
+                idealize,
+                &mut metrics,
+            );
         }
         strategy.finalize(&mut metrics);
         SimReport {
@@ -206,7 +223,10 @@ pub fn run_matrix(
     models: &[&dyn CostModel],
 ) -> Vec<SimReport> {
     let sim = Simulator::new(config);
-    kinds.iter().map(|&k| sim.run(spec, seed, k, models)).collect()
+    kinds
+        .iter()
+        .map(|&k| sim.run(spec, seed, k, models))
+        .collect()
 }
 
 #[cfg(test)]
@@ -219,7 +239,11 @@ mod tests {
     }
 
     fn models() -> (TestbedModel, RousskovModel, RousskovModel) {
-        (TestbedModel::new(), RousskovModel::min(), RousskovModel::max())
+        (
+            TestbedModel::new(),
+            RousskovModel::min(),
+            RousskovModel::max(),
+        )
     }
 
     #[test]
@@ -274,7 +298,10 @@ mod tests {
         assert_eq!(ideal.metrics.hits(), hint.metrics.hits());
         assert_eq!(ideal.metrics.server_fetches, hint.metrics.server_fetches);
         assert!(ideal.metrics.l1_hits >= hint.metrics.l1_hits);
-        assert_eq!(ideal.metrics.remote_hits_l2 + ideal.metrics.remote_hits_l3, 0);
+        assert_eq!(
+            ideal.metrics.remote_hits_l2 + ideal.metrics.remote_hits_l3,
+            0
+        );
     }
 
     #[test]
@@ -367,13 +394,20 @@ mod tests {
         let r = sim.run(&spec(), 4, StrategyKind::HintHierarchy, &models);
         let mean = r.mean_response_ms("Testbed").unwrap();
         let cheapest = tb
-            .hierarchy_hit(bh_netmodel::Level::L1, bh_simcore::ByteSize::from_bytes(128))
+            .hierarchy_hit(
+                bh_netmodel::Level::L1,
+                bh_simcore::ByteSize::from_bytes(128),
+            )
             .as_millis_f64();
         let dearest = tb
             .server_fetch(bh_simcore::ByteSize::from_mb(8))
             .as_millis_f64()
-            + tb.false_positive_penalty(bh_netmodel::RemoteDistance::SameL3).as_millis_f64();
-        assert!(mean > cheapest && mean < dearest, "mean {mean} outside [{cheapest}, {dearest}]");
+            + tb.false_positive_penalty(bh_netmodel::RemoteDistance::SameL3)
+                .as_millis_f64();
+        assert!(
+            mean > cheapest && mean < dearest,
+            "mean {mean} outside [{cheapest}, {dearest}]"
+        );
     }
 
     #[test]
@@ -389,8 +423,7 @@ mod tests {
         );
         let mut tight_cfg = SimConfig::infinite(&spec);
         tight_cfg.space.hint_node_capacity = bh_simcore::ByteSize::from_mb(2);
-        let tight =
-            Simulator::new(tight_cfg).run(&spec, 5, StrategyKind::HintHierarchy, &models);
+        let tight = Simulator::new(tight_cfg).run(&spec, 5, StrategyKind::HintHierarchy, &models);
         assert!(tight.metrics.hit_ratio() <= inf.metrics.hit_ratio() + 1e-9);
     }
 }

@@ -106,6 +106,9 @@ mod tests {
     #[test]
     fn scaled_config_never_exceeds_full() {
         let s = SpaceConfig::constrained_scaled(&WorkloadSpec::dec());
-        assert_eq!(s.hierarchy_node_capacity, SpaceConfig::constrained().hierarchy_node_capacity);
+        assert_eq!(
+            s.hierarchy_node_capacity,
+            SpaceConfig::constrained().hierarchy_node_capacity
+        );
     }
 }

@@ -45,7 +45,10 @@ pub struct ClientHintConfig {
 
 impl Default for ClientHintConfig {
     fn default() -> Self {
-        ClientHintConfig { data_capacity: ByteSize::MAX, false_negative_rate: 0.0 }
+        ClientHintConfig {
+            data_capacity: ByteSize::MAX,
+            false_negative_rate: 0.0,
+        }
     }
 }
 
@@ -83,7 +86,9 @@ impl ClientHints {
             "false_negative_rate must be a probability"
         );
         ClientHints {
-            caches: (0..topo.l1_count()).map(|_| LruCache::new(config.data_capacity)).collect(),
+            caches: (0..topo.l1_count())
+                .map(|_| LruCache::new(config.data_capacity))
+                .collect(),
             objs: HashMap::new(),
             history: HashSet::new(),
             false_negatives: 0,
@@ -178,12 +183,16 @@ impl Strategy for ClientHints {
                 debug_assert!(got.is_some());
                 return AccessPath::L1Hit;
             }
-            AccessPath::RemoteHit { distance: self.topo.distance(ctx.l1, target) }
+            AccessPath::RemoteHit {
+                distance: self.topo.distance(ctx.l1, target),
+            }
         } else {
             if !holders.is_empty() {
                 self.false_negatives += 1;
             }
-            AccessPath::ServerFetch { false_positive: None }
+            AccessPath::ServerFetch {
+                false_positive: None,
+            }
         };
 
         // The fetched copy lands in the client's L1 (the client's fetch
@@ -229,15 +238,28 @@ mod tests {
     #[test]
     fn perfect_hints_behave_like_oracle() {
         let mut s = ClientHints::new(topo(), ClientHintConfig::default());
-        assert_eq!(s.on_request(&ctx(0, 1, 0)), AccessPath::ServerFetch { false_positive: None });
-        assert_eq!(s.on_request(&ctx(1, 1, 0)), AccessPath::L1Hit, "same L1 group");
+        assert_eq!(
+            s.on_request(&ctx(0, 1, 0)),
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
+        );
+        assert_eq!(
+            s.on_request(&ctx(1, 1, 0)),
+            AccessPath::L1Hit,
+            "same L1 group"
+        );
         assert_eq!(
             s.on_request(&ctx(256, 1, 0)),
-            AccessPath::RemoteHit { distance: RemoteDistance::SameL2 }
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL2
+            }
         );
         assert_eq!(
             s.on_request(&ctx(768, 1, 0)),
-            AccessPath::RemoteHit { distance: RemoteDistance::SameL3 }
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL3
+            }
         );
         assert_eq!(s.false_negatives(), 0);
     }
@@ -246,11 +268,19 @@ mod tests {
     fn total_false_negatives_send_everything_to_server() {
         let mut s = ClientHints::new(
             topo(),
-            ClientHintConfig { false_negative_rate: 1.0, ..ClientHintConfig::default() },
+            ClientHintConfig {
+                false_negative_rate: 1.0,
+                ..ClientHintConfig::default()
+            },
         );
         s.on_request(&ctx(0, 1, 0));
         // Copy exists at L1 0, but the client never knows.
-        assert_eq!(s.on_request(&ctx(1, 1, 0)), AccessPath::ServerFetch { false_positive: None });
+        assert_eq!(
+            s.on_request(&ctx(1, 1, 0)),
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
+        );
         assert_eq!(s.false_negatives(), 1);
     }
 
@@ -258,7 +288,10 @@ mod tests {
     fn false_negative_rate_is_respected_statistically() {
         let mut s = ClientHints::new(
             topo(),
-            ClientHintConfig { false_negative_rate: 0.3, ..ClientHintConfig::default() },
+            ClientHintConfig {
+                false_negative_rate: 0.3,
+                ..ClientHintConfig::default()
+            },
         );
         // Seed one object per key at L1 group 0, probe from group 1 clients.
         let mut fns = 0u64;
@@ -278,11 +311,18 @@ mod tests {
         let mut s = ClientHints::new(topo(), ClientHintConfig::default());
         s.on_request(&ctx(0, 1, 0));
         s.on_request(&ctx(300, 1, 0));
-        assert_eq!(s.on_request(&ctx(600, 1, 3)), AccessPath::ServerFetch { false_positive: None });
+        assert_eq!(
+            s.on_request(&ctx(600, 1, 3)),
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
+        );
         // Only the fetcher's L1 holds the new version now.
         assert_eq!(
             s.on_request(&ctx(0, 1, 3)),
-            AccessPath::RemoteHit { distance: RemoteDistance::SameL3 }
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL3
+            }
         );
     }
 
@@ -290,11 +330,19 @@ mod tests {
     fn own_history_is_always_known() {
         let mut s = ClientHints::new(
             topo(),
-            ClientHintConfig { false_negative_rate: 1.0, ..ClientHintConfig::default() },
+            ClientHintConfig {
+                false_negative_rate: 1.0,
+                ..ClientHintConfig::default()
+            },
         );
         s.on_request(&ctx(700, 9, 0)); // client 700 (group 2) fetches
-        // Another client never learns of it…
-        assert_eq!(s.on_request(&ctx(0, 9, 0)), AccessPath::ServerFetch { false_positive: None });
+                                       // Another client never learns of it…
+        assert_eq!(
+            s.on_request(&ctx(0, 9, 0)),
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
+        );
         // …but client 700 finds its own L1 copy through its own history.
         assert_eq!(s.on_request(&ctx(700, 9, 0)), AccessPath::L1Hit);
     }
@@ -304,7 +352,10 @@ mod tests {
         let run = || {
             let mut s = ClientHints::new(
                 topo(),
-                ClientHintConfig { false_negative_rate: 0.4, ..ClientHintConfig::default() },
+                ClientHintConfig {
+                    false_negative_rate: 0.4,
+                    ..ClientHintConfig::default()
+                },
             );
             let mut outcomes = Vec::new();
             for k in 0..500u64 {

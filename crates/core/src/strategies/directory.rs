@@ -34,7 +34,9 @@ impl CentralDirectory {
     /// Builds the system with `node_capacity` bytes per L1.
     pub fn new(topo: Topology, node_capacity: ByteSize) -> Self {
         CentralDirectory {
-            caches: (0..topo.l1_count()).map(|_| LruCache::new(node_capacity)).collect(),
+            caches: (0..topo.l1_count())
+                .map(|_| LruCache::new(node_capacity))
+                .collect(),
             directory: HashMap::new(),
             updates: 0,
             topo,
@@ -86,7 +88,13 @@ impl Strategy for CentralDirectory {
             }
             Some(_) => Vec::new(),
             None => {
-                self.directory.insert(ctx.key, DirEntry { version: ctx.version, holders: Vec::new() });
+                self.directory.insert(
+                    ctx.key,
+                    DirEntry {
+                        version: ctx.version,
+                        holders: Vec::new(),
+                    },
+                );
                 Vec::new()
             }
         };
@@ -95,7 +103,10 @@ impl Strategy for CentralDirectory {
             self.updates += 1;
         }
 
-        if self.caches[node as usize].get(ctx.key, ctx.version).is_some() {
+        if self.caches[node as usize]
+            .get(ctx.key, ctx.version)
+            .is_some()
+        {
             return AccessPath::L1Hit;
         }
         // The local copy may have just been invalidated by the get().
@@ -107,12 +118,20 @@ impl Strategy for CentralDirectory {
         let holders = self
             .directory
             .get(&ctx.key)
-            .map(|e| e.holders.iter().copied().filter(|&h| h != node).collect::<Vec<_>>())
+            .map(|e| {
+                e.holders
+                    .iter()
+                    .copied()
+                    .filter(|&h| h != node)
+                    .collect::<Vec<_>>()
+            })
             .unwrap_or_default();
         let outcome = match self.topo.nearest_holder(node, holders) {
             Some(peer) => {
                 debug_assert!(self.caches[peer as usize].contains_fresh(ctx.key, ctx.version));
-                AccessPath::DirectoryRemoteHit { distance: self.topo.distance(node, peer) }
+                AccessPath::DirectoryRemoteHit {
+                    distance: self.topo.distance(node, peer),
+                }
             }
             None => AccessPath::DirectoryServerFetch,
         };
@@ -154,16 +173,23 @@ mod tests {
     #[test]
     fn miss_then_remote_hits() {
         let mut d = system();
-        assert_eq!(d.on_request(&ctx(0, 9, 0)), AccessPath::DirectoryServerFetch);
+        assert_eq!(
+            d.on_request(&ctx(0, 9, 0)),
+            AccessPath::DirectoryServerFetch
+        );
         assert_eq!(d.on_request(&ctx(0, 9, 0)), AccessPath::L1Hit);
         assert_eq!(
             d.on_request(&ctx(1, 9, 0)),
-            AccessPath::DirectoryRemoteHit { distance: RemoteDistance::SameL2 }
+            AccessPath::DirectoryRemoteHit {
+                distance: RemoteDistance::SameL2
+            }
         );
         // Holders are nodes 0 and 1 (L2 group 0); node 3 is in group 1.
         assert_eq!(
             d.on_request(&ctx(3, 9, 0)),
-            AccessPath::DirectoryRemoteHit { distance: RemoteDistance::SameL3 }
+            AccessPath::DirectoryRemoteHit {
+                distance: RemoteDistance::SameL3
+            }
         );
     }
 
@@ -172,10 +198,12 @@ mod tests {
         let mut d = system();
         d.on_request(&ctx(0, 5, 0)); // server fetch, node 0 holds
         d.on_request(&ctx(3, 5, 0)); // L3-distance remote hit, node 3 holds
-        // Node 2 shares L2 with node 3 → SameL2 now available.
+                                     // Node 2 shares L2 with node 3 → SameL2 now available.
         assert_eq!(
             d.on_request(&ctx(2, 5, 0)),
-            AccessPath::DirectoryRemoteHit { distance: RemoteDistance::SameL2 }
+            AccessPath::DirectoryRemoteHit {
+                distance: RemoteDistance::SameL2
+            }
         );
     }
 
@@ -184,8 +212,14 @@ mod tests {
         let mut d = system();
         d.on_request(&ctx(0, 5, 0));
         let before = d.update_count();
-        assert_eq!(d.on_request(&ctx(1, 5, 2)), AccessPath::DirectoryServerFetch);
-        assert!(d.update_count() > before, "invalidation must notify the directory");
+        assert_eq!(
+            d.on_request(&ctx(1, 5, 2)),
+            AccessPath::DirectoryServerFetch
+        );
+        assert!(
+            d.update_count() > before,
+            "invalidation must notify the directory"
+        );
     }
 
     #[test]

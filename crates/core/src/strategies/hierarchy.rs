@@ -28,8 +28,12 @@ impl DataHierarchy {
     /// (the paper's space-constrained runs give each node 5 GB).
     pub fn new(topo: Topology, node_capacity: ByteSize) -> Self {
         DataHierarchy {
-            l1: (0..topo.l1_count()).map(|_| LruCache::new(node_capacity)).collect(),
-            l2: (0..topo.l2_count()).map(|_| LruCache::new(node_capacity)).collect(),
+            l1: (0..topo.l1_count())
+                .map(|_| LruCache::new(node_capacity))
+                .collect(),
+            l2: (0..topo.l2_count())
+                .map(|_| LruCache::new(node_capacity))
+                .collect(),
             l3: LruCache::new(node_capacity),
             topo,
         }
@@ -107,11 +111,17 @@ mod tests {
         // Same node again: L1 hit.
         assert_eq!(h.on_request(&ctx(0, 42, 0)), AccessPath::L1Hit);
         // Sibling under the same L2: L2 hit.
-        assert_eq!(h.on_request(&ctx(1, 42, 0)), AccessPath::HierarchyHit(Level::L2));
+        assert_eq!(
+            h.on_request(&ctx(1, 42, 0)),
+            AccessPath::HierarchyHit(Level::L2)
+        );
         // And now that sibling has it locally.
         assert_eq!(h.on_request(&ctx(1, 42, 0)), AccessPath::L1Hit);
         // Node in a different L2 group: L3 hit.
-        assert_eq!(h.on_request(&ctx(2, 42, 0)), AccessPath::HierarchyHit(Level::L3));
+        assert_eq!(
+            h.on_request(&ctx(2, 42, 0)),
+            AccessPath::HierarchyHit(Level::L3)
+        );
     }
 
     #[test]

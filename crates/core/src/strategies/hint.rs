@@ -81,7 +81,10 @@ enum HintStores {
     /// Unbounded stores + zero delay ≡ perfect knowledge of the registry.
     Oracle,
     /// Real per-node stores with delayed propagation.
-    Real { stores: Vec<HintCache>, pending: EventQueue<HintEvent> },
+    Real {
+        stores: Vec<HintCache>,
+        pending: EventQueue<HintEvent>,
+    },
 }
 
 /// The hint-hierarchy strategy. See the [module docs](self).
@@ -122,7 +125,9 @@ impl HintHierarchy {
             }
         };
         HintHierarchy {
-            caches: (0..topo.l1_count()).map(|_| LruCache::new(config.data_capacity)).collect(),
+            caches: (0..topo.l1_count())
+                .map(|_| LruCache::new(config.data_capacity))
+                .collect(),
             objs: HashMap::new(),
             hints,
             rng: Xoshiro256::seed_from_u64(seed ^ 0x48494E54_5F505348),
@@ -158,7 +163,10 @@ impl HintHierarchy {
 
     /// Current fresh holders of `key` (for tests and experiments).
     pub fn holders(&self, key: u64) -> &[NodeIdx] {
-        self.objs.get(&key).map(|s| s.holders.as_slice()).unwrap_or(&[])
+        self.objs
+            .get(&key)
+            .map(|s| s.holders.as_slice())
+            .unwrap_or(&[])
     }
 
     fn drain_pending(&mut self, now: SimTime) {
@@ -186,7 +194,11 @@ impl HintHierarchy {
         if matches!(self.hints, HintStores::Oracle) {
             return;
         }
-        let holders = self.objs.get(&key).map(|s| s.holders.clone()).unwrap_or_default();
+        let holders = self
+            .objs
+            .get(&key)
+            .map(|s| s.holders.clone())
+            .unwrap_or_default();
         let due = at.saturating_add(self.config.delay);
         if let HintStores::Real { pending, .. } = &mut self.hints {
             pending.schedule(due, HintEvent { key, holders });
@@ -234,7 +246,15 @@ impl HintHierarchy {
     }
 
     /// Stores a copy at `node`, maintaining holder state and hint traffic.
-    fn insert_copy(&mut self, node: NodeIdx, key: u64, size: ByteSize, version: u32, at: SimTime, aged: bool) {
+    fn insert_copy(
+        &mut self,
+        node: NodeIdx,
+        key: u64,
+        size: ByteSize,
+        version: u32,
+        at: SimTime,
+        aged: bool,
+    ) {
         let evicted = self.caches[node as usize].insert(key, size, version);
         for e in evicted {
             self.pushed_pending.remove(&(node, e.key));
@@ -257,15 +277,28 @@ impl HintHierarchy {
             .is_some_and(|s| s.holders.iter().any(|&h| h != l1));
 
         if matches!(self.hints, HintStores::Oracle) {
-            let holders = self.objs.get(&key).map(|s| s.holders.clone()).unwrap_or_default();
-            return match self.topo.nearest_holder(l1, holders.into_iter().filter(|&h| h != l1)) {
+            let holders = self
+                .objs
+                .get(&key)
+                .map(|s| s.holders.clone())
+                .unwrap_or_default();
+            return match self
+                .topo
+                .nearest_holder(l1, holders.into_iter().filter(|&h| h != l1))
+            {
                 Some(peer) => {
-                    let size =
-                        self.caches[peer as usize].peek(key).map(|(s, _)| s).unwrap_or(ByteSize::ZERO);
+                    let size = self.caches[peer as usize]
+                        .peek(key)
+                        .map(|(s, _)| s)
+                        .unwrap_or(ByteSize::ZERO);
                     self.note_pushed_use(peer, key, size);
-                    AccessPath::RemoteHit { distance: self.topo.distance(l1, peer) }
+                    AccessPath::RemoteHit {
+                        distance: self.topo.distance(l1, peer),
+                    }
                 }
-                None => AccessPath::ServerFetch { false_positive: None },
+                None => AccessPath::ServerFetch {
+                    false_positive: None,
+                },
             };
         }
 
@@ -278,17 +311,23 @@ impl HintHierarchy {
             Some(loc) if loc != l1 as u64 => {
                 let peer = loc as NodeIdx;
                 if self.caches[peer as usize].contains_fresh(key, version) {
-                    let size =
-                        self.caches[peer as usize].peek(key).map(|(s, _)| s).unwrap_or(ByteSize::ZERO);
+                    let size = self.caches[peer as usize]
+                        .peek(key)
+                        .map(|(s, _)| s)
+                        .unwrap_or(ByteSize::ZERO);
                     self.note_pushed_use(peer, key, size);
                     let distance = self.topo.distance(l1, peer);
                     // Suboptimal positive: a nearer copy existed but the
                     // (stale) hint named a farther one.
                     if distance == bh_netmodel::RemoteDistance::SameL3 {
-                        let holders =
-                            self.objs.get(&key).map(|s| s.holders.clone()).unwrap_or_default();
-                        if let Some(best) =
-                            self.topo.nearest_holder(l1, holders.into_iter().filter(|&h| h != l1))
+                        let holders = self
+                            .objs
+                            .get(&key)
+                            .map(|s| s.holders.clone())
+                            .unwrap_or_default();
+                        if let Some(best) = self
+                            .topo
+                            .nearest_holder(l1, holders.into_iter().filter(|&h| h != l1))
                         {
                             if self.topo.distance(l1, best) == bh_netmodel::RemoteDistance::SameL2 {
                                 self.suboptimal_positives += 1;
@@ -303,22 +342,30 @@ impl HintHierarchy {
                     if let HintStores::Real { stores, .. } = &mut self.hints {
                         stores[l1 as usize].remove(key);
                     }
-                    AccessPath::ServerFetch { false_positive: Some(self.topo.distance(l1, peer)) }
+                    AccessPath::ServerFetch {
+                        false_positive: Some(self.topo.distance(l1, peer)),
+                    }
                 }
             }
             _ => {
                 if fresh_peer_exists {
                     self.false_negatives += 1;
                 }
-                AccessPath::ServerFetch { false_positive: None }
+                AccessPath::ServerFetch {
+                    false_positive: None,
+                }
             }
         }
     }
 
     /// Hierarchical push on miss (§4.1.3) after a remote hit at `distance`.
-    fn hierarchical_push(&mut self, ctx: &RequestCtx, distance: bh_netmodel::RemoteDistance, fraction: PushFraction) {
-        let holders: HashSet<NodeIdx> =
-            self.holders(ctx.key).iter().copied().collect();
+    fn hierarchical_push(
+        &mut self,
+        ctx: &RequestCtx,
+        distance: bh_netmodel::RemoteDistance,
+        fraction: PushFraction,
+    ) {
+        let holders: HashSet<NodeIdx> = self.holders(ctx.key).iter().copied().collect();
         let mut targets: Vec<NodeIdx> = Vec::new();
         match distance {
             bh_netmodel::RemoteDistance::SameL2 => {
@@ -501,7 +548,10 @@ mod tests {
         assert!(!real(0).is_oracle());
         let bounded = HintHierarchy::new(
             topo(),
-            HintConfig { store_capacity: ByteSize::from_kb(1), ..HintConfig::default() },
+            HintConfig {
+                store_capacity: ByteSize::from_kb(1),
+                ..HintConfig::default()
+            },
             7,
         );
         assert!(!bounded.is_oracle());
@@ -510,15 +560,24 @@ mod tests {
     #[test]
     fn miss_goes_straight_to_server_then_remote_hits() {
         let mut h = oracle();
-        assert_eq!(h.on_request(&ctx(0, 1, 0)), AccessPath::ServerFetch { false_positive: None });
+        assert_eq!(
+            h.on_request(&ctx(0, 1, 0)),
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
+        );
         assert_eq!(h.on_request(&ctx(0, 1, 0)), AccessPath::L1Hit);
         assert_eq!(
             h.on_request(&ctx(1, 1, 0)),
-            AccessPath::RemoteHit { distance: RemoteDistance::SameL2 }
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL2
+            }
         );
         assert_eq!(
             h.on_request(&ctx(3, 1, 0)),
-            AccessPath::RemoteHit { distance: RemoteDistance::SameL3 }
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL3
+            }
         );
         assert_eq!(h.holders(1), &[0, 1, 3]);
     }
@@ -554,7 +613,12 @@ mod tests {
         assert_eq!(h.holders(1).len(), 2);
         // Update: both copies invalid; straight to server (no false positive
         // in oracle mode — hints are perfectly fresh).
-        assert_eq!(h.on_request(&ctx(2, 1, 1)), AccessPath::ServerFetch { false_positive: None });
+        assert_eq!(
+            h.on_request(&ctx(2, 1, 1)),
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
+        );
         assert_eq!(h.holders(1), &[2]);
     }
 
@@ -563,13 +627,17 @@ mod tests {
         let mut h = real(600);
         assert_eq!(
             h.on_request(&ctx_at(0, 1, 0, 0)),
-            AccessPath::ServerFetch { false_positive: None }
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
         );
         // 10 s later the hint (delay 600 s) has not arrived at node 3:
         // a copy exists but node 3 goes to the server — false negative.
         assert_eq!(
             h.on_request(&ctx_at(3, 1, 0, 10)),
-            AccessPath::ServerFetch { false_positive: None }
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
         );
         let mut m = Metrics::new(&[]);
         h.finalize(&mut m);
@@ -577,7 +645,9 @@ mod tests {
         // After the delay passes, hints have landed: remote hit.
         assert_eq!(
             h.on_request(&ctx_at(2, 1, 0, 700)),
-            AccessPath::RemoteHit { distance: RemoteDistance::SameL2 },
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL2
+            },
             "node 2 should find node 3's copy (same L2) once hints propagate"
         );
     }
@@ -590,14 +660,21 @@ mod tests {
         // t=400: node 1 knows node 0 has it.
         assert_eq!(
             h.on_request(&ctx_at(1, 1, 0, 400)),
-            AccessPath::RemoteHit { distance: RemoteDistance::SameL2 }
+            AccessPath::RemoteHit {
+                distance: RemoteDistance::SameL2
+            }
         );
         // The object is modified; node 0 and 1's copies are invalidated via
         // a fetch by node 2 — but node 3's hint still names an old holder.
         h.on_request(&ctx_at(2, 1, 1, 500));
         let out = h.on_request(&ctx_at(3, 1, 1, 510));
         assert!(
-            matches!(out, AccessPath::ServerFetch { false_positive: Some(_) }),
+            matches!(
+                out,
+                AccessPath::ServerFetch {
+                    false_positive: Some(_)
+                }
+            ),
             "stale hint should cost a wasted probe, got {out:?}"
         );
     }
@@ -620,7 +697,10 @@ mod tests {
     fn update_push_replicates_to_old_holders() {
         let mut h = HintHierarchy::new(
             topo(),
-            HintConfig { push: PushPolicy::Update, ..HintConfig::default() },
+            HintConfig {
+                push: PushPolicy::Update,
+                ..HintConfig::default()
+            },
             7,
         );
         h.on_request(&ctx(0, 1, 0));
@@ -652,19 +732,26 @@ mod tests {
         h.on_request(&ctx(0, 2, 0));
         // Bump object 1; node 3 fetches it; push lands at node 0 *aged*.
         h.on_request(&ctx(3, 1, 1));
-        assert_eq!(h.l1_cache(0).lru_key(), Some(1), "pushed copy must sit at the cold end");
+        assert_eq!(
+            h.l1_cache(0).lru_key(),
+            Some(1),
+            "pushed copy must sit at the cold end"
+        );
     }
 
     #[test]
     fn hierarchical_push_same_l2_fills_siblings() {
         let mut h = HintHierarchy::new(
             topo(),
-            HintConfig { push: PushPolicy::Hierarchical(PushFraction::One), ..HintConfig::default() },
+            HintConfig {
+                push: PushPolicy::Hierarchical(PushFraction::One),
+                ..HintConfig::default()
+            },
             7,
         );
         h.on_request(&ctx(0, 1, 0)); // node 0 holds
-        // Node 1 remote-hits node 0 (same L2): push to all level-1 subtrees
-        // under that L2 — here there are only nodes 0 and 1, both covered.
+                                     // Node 1 remote-hits node 0 (same L2): push to all level-1 subtrees
+                                     // under that L2 — here there are only nodes 0 and 1, both covered.
         h.on_request(&ctx(1, 1, 0));
         assert_eq!(h.holders(1), &[0, 1]);
         // Node 2 remote-hits at L3 distance: push-1 places one copy in each
@@ -672,14 +759,20 @@ mod tests {
         h.on_request(&ctx(2, 1, 0));
         let holders = h.holders(1).to_vec();
         assert!(holders.contains(&2));
-        assert!(holders.len() >= 4, "push-1 should seed every L2 group: {holders:?}");
+        assert!(
+            holders.len() >= 4,
+            "push-1 should seed every L2 group: {holders:?}"
+        );
     }
 
     #[test]
     fn push_all_replicates_everywhere() {
         let mut h = HintHierarchy::new(
             topo(),
-            HintConfig { push: PushPolicy::Hierarchical(PushFraction::All), ..HintConfig::default() },
+            HintConfig {
+                push: PushPolicy::Hierarchical(PushFraction::All),
+                ..HintConfig::default()
+            },
             7,
         );
         h.on_request(&ctx(0, 1, 0));
@@ -705,15 +798,26 @@ mod tests {
     fn eviction_updates_holders_and_hints() {
         let mut h = HintHierarchy::new(
             topo(),
-            HintConfig { data_capacity: ByteSize::from_kb(20), ..HintConfig::default() },
+            HintConfig {
+                data_capacity: ByteSize::from_kb(20),
+                ..HintConfig::default()
+            },
             7,
         );
         h.on_request(&ctx(0, 1, 0));
         h.on_request(&ctx(0, 2, 0));
         h.on_request(&ctx(0, 3, 0)); // evicts key 1 at node 0
-        assert!(h.holders(1).is_empty(), "evicted copy must leave the registry");
+        assert!(
+            h.holders(1).is_empty(),
+            "evicted copy must leave the registry"
+        );
         // Another node asking for key 1 now goes to the server.
-        assert_eq!(h.on_request(&ctx(1, 1, 0)), AccessPath::ServerFetch { false_positive: None });
+        assert_eq!(
+            h.on_request(&ctx(1, 1, 0)),
+            AccessPath::ServerFetch {
+                false_positive: None
+            }
+        );
     }
 
     #[test]
@@ -722,12 +826,18 @@ mod tests {
         // cross-node reuse is lost (Figure 5's left edge).
         let tiny = HintHierarchy::new(
             topo(),
-            HintConfig { store_capacity: ByteSize::from_bytes(64), ..HintConfig::default() },
+            HintConfig {
+                store_capacity: ByteSize::from_bytes(64),
+                ..HintConfig::default()
+            },
             7,
         );
         let big = HintHierarchy::new(
             topo(),
-            HintConfig { store_capacity: ByteSize::from_mb(16), ..HintConfig::default() },
+            HintConfig {
+                store_capacity: ByteSize::from_mb(16),
+                ..HintConfig::default()
+            },
             7,
         );
         let spec = WorkloadSpec::small().with_requests(8_000);

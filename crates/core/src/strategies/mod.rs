@@ -124,8 +124,8 @@ impl StrategyKind {
             StrategyKind::IcpMulticast => {
                 Box::new(IcpMulticast::new(topo, space.hierarchy_node_capacity))
             }
-            StrategyKind::HintHierarchy | StrategyKind::HintIdealPush => Box::new(
-                HintHierarchy::new(
+            StrategyKind::HintHierarchy | StrategyKind::HintIdealPush => {
+                Box::new(HintHierarchy::new(
                     topo,
                     HintConfig {
                         data_capacity: space.hint_node_capacity,
@@ -134,8 +134,8 @@ impl StrategyKind {
                         push: PushPolicy::None,
                     },
                     seed,
-                ),
-            ),
+                ))
+            }
             StrategyKind::HintUpdatePush => Box::new(HintHierarchy::new(
                 topo,
                 HintConfig {

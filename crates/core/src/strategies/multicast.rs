@@ -33,7 +33,9 @@ impl IcpMulticast {
     /// Builds the system with `node_capacity` bytes per L1.
     pub fn new(topo: Topology, node_capacity: ByteSize) -> Self {
         IcpMulticast {
-            caches: (0..topo.l1_count()).map(|_| LruCache::new(node_capacity)).collect(),
+            caches: (0..topo.l1_count())
+                .map(|_| LruCache::new(node_capacity))
+                .collect(),
             queries_sent: 0,
             topo,
         }
@@ -45,17 +47,21 @@ impl IcpMulticast {
     }
 
     fn poll_siblings(&mut self, l1: NodeIdx, key: u64, version: u32) -> Option<NodeIdx> {
-        let siblings: Vec<NodeIdx> =
-            self.topo.l2_siblings(l1).filter(|&s| s != l1).collect();
+        let siblings: Vec<NodeIdx> = self.topo.l2_siblings(l1).filter(|&s| s != l1).collect();
         self.queries_sent += siblings.len() as u64;
-        siblings.into_iter().find(|&s| self.caches[s as usize].contains_fresh(key, version))
+        siblings
+            .into_iter()
+            .find(|&s| self.caches[s as usize].contains_fresh(key, version))
     }
 }
 
 impl Strategy for IcpMulticast {
     fn on_request(&mut self, ctx: &RequestCtx) -> AccessPath {
         // Consistency: stale local copies invalidate on access.
-        if self.caches[ctx.l1 as usize].get(ctx.key, ctx.version).is_some() {
+        if self.caches[ctx.l1 as usize]
+            .get(ctx.key, ctx.version)
+            .is_some()
+        {
             return AccessPath::L1Hit;
         }
         // Multicast to the L2 neighborhood and wait for replies — modeled
@@ -112,14 +118,22 @@ mod tests {
     #[test]
     fn finds_copies_in_l2_neighborhood_only() {
         let mut m = system();
-        assert_eq!(m.on_request(&ctx(0, 1, 0)), AccessPath::DirectoryServerFetch);
+        assert_eq!(
+            m.on_request(&ctx(0, 1, 0)),
+            AccessPath::DirectoryServerFetch
+        );
         // Sibling (node 1 shares L2 group 0): found by polling.
         assert_eq!(
             m.on_request(&ctx(1, 1, 0)),
-            AccessPath::DirectoryRemoteHit { distance: RemoteDistance::SameL2 }
+            AccessPath::DirectoryRemoteHit {
+                distance: RemoteDistance::SameL2
+            }
         );
         // Node 2 is in L2 group 1: the copy at nodes 0/1 is invisible.
-        assert_eq!(m.on_request(&ctx(2, 1, 0)), AccessPath::DirectoryServerFetch);
+        assert_eq!(
+            m.on_request(&ctx(2, 1, 0)),
+            AccessPath::DirectoryServerFetch
+        );
     }
 
     #[test]
@@ -143,7 +157,10 @@ mod tests {
         m.on_request(&ctx(1, 1, 0));
         // Version bumps: both copies stale; sibling poll must not return a
         // stale copy.
-        assert_eq!(m.on_request(&ctx(1, 1, 2)), AccessPath::DirectoryServerFetch);
+        assert_eq!(
+            m.on_request(&ctx(1, 1, 2)),
+            AccessPath::DirectoryServerFetch
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ impl Topology {
 
     /// Picks, among `holders`, the one nearest to `from` (self > same-L2 >
     /// same-L3; ties by lowest index). Returns `None` if `holders` is empty.
-    pub fn nearest_holder(&self, from: NodeIdx, holders: impl IntoIterator<Item = NodeIdx>) -> Option<NodeIdx> {
+    pub fn nearest_holder(
+        &self,
+        from: NodeIdx,
+        holders: impl IntoIterator<Item = NodeIdx>,
+    ) -> Option<NodeIdx> {
         let mut best: Option<(u8, NodeIdx)> = None;
         for h in holders {
             let rank = if h == from {

@@ -60,9 +60,21 @@ impl RousskovModel {
         RousskovModel {
             label: "Min".to_string(),
             levels: [
-                LevelComponents { connect_ms: 16.0, disk_ms: 72.0, reply_ms: 75.0 },
-                LevelComponents { connect_ms: 50.0, disk_ms: 60.0, reply_ms: 70.0 },
-                LevelComponents { connect_ms: 100.0, disk_ms: 100.0, reply_ms: 120.0 },
+                LevelComponents {
+                    connect_ms: 16.0,
+                    disk_ms: 72.0,
+                    reply_ms: 75.0,
+                },
+                LevelComponents {
+                    connect_ms: 50.0,
+                    disk_ms: 60.0,
+                    reply_ms: 70.0,
+                },
+                LevelComponents {
+                    connect_ms: 100.0,
+                    disk_ms: 100.0,
+                    reply_ms: 120.0,
+                },
             ],
             miss_ms: 550.0,
         }
@@ -73,9 +85,21 @@ impl RousskovModel {
         RousskovModel {
             label: "Max".to_string(),
             levels: [
-                LevelComponents { connect_ms: 62.0, disk_ms: 135.0, reply_ms: 155.0 },
-                LevelComponents { connect_ms: 550.0, disk_ms: 950.0, reply_ms: 1050.0 },
-                LevelComponents { connect_ms: 1200.0, disk_ms: 650.0, reply_ms: 1000.0 },
+                LevelComponents {
+                    connect_ms: 62.0,
+                    disk_ms: 135.0,
+                    reply_ms: 155.0,
+                },
+                LevelComponents {
+                    connect_ms: 550.0,
+                    disk_ms: 950.0,
+                    reply_ms: 1050.0,
+                },
+                LevelComponents {
+                    connect_ms: 1200.0,
+                    disk_ms: 650.0,
+                    reply_ms: 1000.0,
+                },
             ],
             miss_ms: 3200.0,
         }
@@ -89,7 +113,10 @@ impl RousskovModel {
     /// every traversed level contributes connect + reply, and the supplying
     /// level additionally contributes its disk swap-in.
     pub fn total_hierarchical_ms(&self, level: Level) -> f64 {
-        self.levels[..level.depth()].iter().map(|c| c.forward_ms()).sum::<f64>()
+        self.levels[..level.depth()]
+            .iter()
+            .map(|c| c.forward_ms())
+            .sum::<f64>()
             + self.comp(level).disk_ms
     }
 
@@ -237,10 +264,14 @@ mod tests {
         let m = RousskovModel::min();
         assert_eq!(m.hierarchy_hit(Level::L3, ANY).as_millis_f64(), 531.0);
         assert_eq!(m.hierarchy_miss(ANY).as_millis_f64(), 981.0);
-        assert_eq!(m.remote_fetch(RemoteDistance::SameL3, ANY).as_millis_f64(), 411.0);
+        assert_eq!(
+            m.remote_fetch(RemoteDistance::SameL3, ANY).as_millis_f64(),
+            411.0
+        );
         assert_eq!(m.server_fetch(ANY).as_millis_f64(), 641.0);
         assert_eq!(
-            m.remote_fetch_from_client(RemoteDistance::SameL2, ANY).as_millis_f64(),
+            m.remote_fetch_from_client(RemoteDistance::SameL2, ANY)
+                .as_millis_f64(),
             180.0
         );
         assert_eq!(m.server_fetch_from_client(ANY).as_millis_f64(), 550.0);

@@ -68,13 +68,34 @@ impl Default for TestbedParams {
         // setup costs are dominated by Squid request-processing overhead on
         // loaded wide-area caches, not raw RTT, which is why they are large.
         TestbedParams {
-            client_l1: Link { setup_ms: 10.0, bandwidth_mbps: 8.0 },
-            l1_l2: Link { setup_ms: 280.0, bandwidth_mbps: 1.2 },
-            l2_l3: Link { setup_ms: 360.0, bandwidth_mbps: 1.0 },
-            l3_server: Link { setup_ms: 350.0, bandwidth_mbps: 0.9 },
-            direct_l2: Link { setup_ms: 180.0, bandwidth_mbps: 1.4 },
-            direct_l3: Link { setup_ms: 200.0, bandwidth_mbps: 1.2 },
-            direct_server: Link { setup_ms: 250.0, bandwidth_mbps: 1.1 },
+            client_l1: Link {
+                setup_ms: 10.0,
+                bandwidth_mbps: 8.0,
+            },
+            l1_l2: Link {
+                setup_ms: 280.0,
+                bandwidth_mbps: 1.2,
+            },
+            l2_l3: Link {
+                setup_ms: 360.0,
+                bandwidth_mbps: 1.0,
+            },
+            l3_server: Link {
+                setup_ms: 350.0,
+                bandwidth_mbps: 0.9,
+            },
+            direct_l2: Link {
+                setup_ms: 180.0,
+                bandwidth_mbps: 1.4,
+            },
+            direct_l3: Link {
+                setup_ms: 200.0,
+                bandwidth_mbps: 1.2,
+            },
+            direct_server: Link {
+                setup_ms: 250.0,
+                bandwidth_mbps: 1.1,
+            },
             disk_ms: [40.0, 60.0, 80.0],
             server_ms: 60.0,
         }
@@ -96,7 +117,9 @@ impl Default for TestbedModel {
 impl TestbedModel {
     /// Creates the model with the default (paper-anchored) parameters.
     pub fn new() -> Self {
-        TestbedModel { params: TestbedParams::default() }
+        TestbedModel {
+            params: TestbedParams::default(),
+        }
     }
 
     /// Creates the model with custom parameters.
@@ -134,13 +157,21 @@ impl TestbedModel {
 
 impl CostModel for TestbedModel {
     fn hierarchy_hit(&self, level: Level, size: ByteSize) -> SimDuration {
-        let ms: f64 = self.hier_links(level).iter().map(|l| l.traverse(size)).sum::<f64>()
+        let ms: f64 = self
+            .hier_links(level)
+            .iter()
+            .map(|l| l.traverse(size))
+            .sum::<f64>()
             + self.params.disk_ms[level.depth() - 1];
         SimDuration::from_millis_f64(ms)
     }
 
     fn hierarchy_miss(&self, size: ByteSize) -> SimDuration {
-        let ms: f64 = self.hier_links(Level::L3).iter().map(|l| l.traverse(size)).sum::<f64>()
+        let ms: f64 = self
+            .hier_links(Level::L3)
+            .iter()
+            .map(|l| l.traverse(size))
+            .sum::<f64>()
             + self.params.l3_server.traverse(size)
             + self.params.server_ms;
         SimDuration::from_millis_f64(ms)
@@ -220,14 +251,26 @@ mod tests {
         let l1 = m.hierarchy_hit(Level::L1, KB8).as_millis_f64();
         let r2 = m.remote_fetch(RemoteDistance::SameL2, KB8).as_millis_f64();
         let r3 = m.remote_fetch(RemoteDistance::SameL3, KB8).as_millis_f64();
-        assert!((3.0..6.5).contains(&(r2 / l1)), "L2-distance ratio {}", r2 / l1);
-        assert!((4.0..8.0).contains(&(r3 / l1)), "L3-distance ratio {}", r3 / l1);
+        assert!(
+            (3.0..6.5).contains(&(r2 / l1)),
+            "L2-distance ratio {}",
+            r2 / l1
+        );
+        assert!(
+            (4.0..8.0).contains(&(r3 / l1)),
+            "L3-distance ratio {}",
+            r3 / l1
+        );
     }
 
     #[test]
     fn monotone_in_level_and_size() {
         let m = TestbedModel::new();
-        for &size in &[ByteSize::from_kb(2), ByteSize::from_kb(64), ByteSize::from_kb(1024)] {
+        for &size in &[
+            ByteSize::from_kb(2),
+            ByteSize::from_kb(64),
+            ByteSize::from_kb(1024),
+        ] {
             assert!(m.hierarchy_hit(Level::L1, size) < m.hierarchy_hit(Level::L2, size));
             assert!(m.hierarchy_hit(Level::L2, size) < m.hierarchy_hit(Level::L3, size));
             assert!(m.hierarchy_hit(Level::L3, size) < m.hierarchy_miss(size));
@@ -285,7 +328,9 @@ mod tests {
         let mut params = TestbedParams::default();
         params.client_l1.setup_ms += 500.0;
         let slow = TestbedModel::with_params(params);
-        assert!(slow.hierarchy_hit(Level::L1, KB8) > TestbedModel::new().hierarchy_hit(Level::L1, KB8));
+        assert!(
+            slow.hierarchy_hit(Level::L1, KB8) > TestbedModel::new().hierarchy_hit(Level::L1, KB8)
+        );
     }
 
     #[test]

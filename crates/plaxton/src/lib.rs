@@ -55,7 +55,10 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// Builds a spec whose ID is the MD5 of `address` (e.g. `"ip:port"`).
     pub fn from_address(address: &str, position: (f64, f64)) -> Self {
-        NodeSpec { id: bh_md5::node_key(address), position }
+        NodeSpec {
+            id: bh_md5::node_key(address),
+            position,
+        }
     }
 }
 
@@ -137,7 +140,11 @@ impl PlaxtonTree {
         let mut tree = PlaxtonTree {
             nodes: specs
                 .into_iter()
-                .map(|spec| Node { spec, alive: true, table: Vec::new() })
+                .map(|spec| Node {
+                    spec,
+                    alive: true,
+                    table: Vec::new(),
+                })
                 .collect(),
             arity_bits,
             levels,
@@ -212,8 +219,8 @@ impl PlaxtonTree {
         for level in 0..self.levels {
             for digit in 0..b as u64 {
                 let want_bits = level + 1;
-                let target_prefix =
-                    (my_id & low_mask(level as u32 * self.arity_bits)) | (digit << (level as u32 * self.arity_bits));
+                let target_prefix = (my_id & low_mask(level as u32 * self.arity_bits))
+                    | (digit << (level as u32 * self.arity_bits));
                 let mut best = NONE;
                 let mut best_d = f64::INFINITY;
                 for (j, node) in self.nodes.iter().enumerate() {
@@ -222,7 +229,10 @@ impl PlaxtonTree {
                     }
                     if self.low_digits_match(node.spec.id, target_prefix, want_bits) {
                         let d = if i == j { 0.0 } else { self.dist(i, j) };
-                        if d < best_d || (d == best_d && (best == NONE || node.spec.id < self.nodes[best].spec.id)) {
+                        if d < best_d
+                            || (d == best_d
+                                && (best == NONE || node.spec.id < self.nodes[best].spec.id))
+                        {
                             best = j;
                             best_d = d;
                         }
@@ -249,8 +259,9 @@ impl PlaxtonTree {
     /// style surrogate routing).
     fn digit_sequence(&self, object_key: u64) -> (Vec<u64>, usize) {
         let b = self.arity();
-        let mut candidates: Vec<usize> =
-            (0..self.nodes.len()).filter(|&i| self.nodes[i].alive).collect();
+        let mut candidates: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].alive)
+            .collect();
         let mut digits = Vec::new();
         let mut prefix = 0u64;
         let mut level = 0usize;
@@ -263,7 +274,9 @@ impl PlaxtonTree {
                 let matched: Vec<usize> = candidates
                     .iter()
                     .copied()
-                    .filter(|&i| self.low_digits_match(self.nodes[i].spec.id, test_prefix, level + 1))
+                    .filter(|&i| {
+                        self.low_digits_match(self.nodes[i].spec.id, test_prefix, level + 1)
+                    })
                     .collect();
                 if !matched.is_empty() {
                     chosen = Some((d, matched));
@@ -276,7 +289,10 @@ impl PlaxtonTree {
             candidates = matched;
             level += 1;
         }
-        let root = *candidates.iter().min_by_key(|&&i| self.nodes[i].spec.id).expect("non-empty");
+        let root = *candidates
+            .iter()
+            .min_by_key(|&&i| self.nodes[i].spec.id)
+            .expect("non-empty");
         (digits, root)
     }
 
@@ -376,7 +392,11 @@ impl PlaxtonTree {
             return Err(PlaxtonError::DuplicateNodeId(spec.id));
         }
         let idx = self.nodes.len();
-        self.nodes.push(Node { spec, alive: true, table: Vec::new() });
+        self.nodes.push(Node {
+            spec,
+            alive: true,
+            table: Vec::new(),
+        });
         self.alive += 1;
         self.nodes[idx].table = self.compute_table(idx);
         // Existing nodes adopt the newcomer where it is nearer (or fills a hole).
@@ -390,8 +410,7 @@ impl PlaxtonTree {
                 let my_id = self.nodes[j].spec.id;
                 let prefix_bits = level as u32 * self.arity_bits;
                 for digit in 0..b as u64 {
-                    let target_prefix =
-                        (my_id & low_mask(prefix_bits)) | (digit << prefix_bits);
+                    let target_prefix = (my_id & low_mask(prefix_bits)) | (digit << prefix_bits);
                     if !self.low_digits_match(self.nodes[idx].spec.id, target_prefix, level + 1) {
                         continue;
                     }
@@ -424,7 +443,9 @@ impl PlaxtonTree {
             }
             if self.low_digits_match(node.spec.id, target_prefix, level + 1) {
                 let d = if i == j { 0.0 } else { self.dist(i, j) };
-                if d < best_d || (d == best_d && (best == NONE || node.spec.id < self.nodes[best].spec.id)) {
+                if d < best_d
+                    || (d == best_d && (best == NONE || node.spec.id < self.nodes[best].spec.id))
+                {
                     best = j;
                     best_d = d;
                 }
@@ -472,7 +493,10 @@ mod tests {
 
     #[test]
     fn build_rejects_bad_inputs() {
-        assert_eq!(PlaxtonTree::build(vec![], 1).unwrap_err(), PlaxtonError::NoNodes);
+        assert_eq!(
+            PlaxtonTree::build(vec![], 1).unwrap_err(),
+            PlaxtonError::NoNodes
+        );
         let nodes = grid_nodes(4);
         assert_eq!(
             PlaxtonTree::build(nodes.clone(), 0).unwrap_err(),
@@ -499,7 +523,11 @@ mod tests {
             for from in 0..32 {
                 let path = tree.route(from, key);
                 assert_eq!(path[0], from);
-                assert_eq!(*path.last().expect("non-empty"), root, "object {obj} from {from}");
+                assert_eq!(
+                    *path.last().expect("non-empty"),
+                    root,
+                    "object {obj} from {from}"
+                );
             }
         }
     }
@@ -537,7 +565,10 @@ mod tests {
         let max = *counts.iter().max().expect("non-empty") as f64;
         let nonzero = counts.iter().filter(|&&c| c > 0).count();
         assert!(nonzero > n / 2, "only {nonzero}/{n} nodes ever root");
-        assert!(max < expected * 6.0, "hottest root {max} vs expected {expected}");
+        assert!(
+            max < expected * 6.0,
+            "hottest root {max} vs expected {expected}"
+        );
     }
 
     #[test]
@@ -549,14 +580,16 @@ mod tests {
         let b = tree.arity() as usize;
         let mut level_dist = vec![(0.0f64, 0u32); tree.levels()];
         for i in 0..64 {
-            for level in 0..tree.levels() {
+            for (level, slot) in level_dist.iter_mut().enumerate() {
                 for d in 0..b as u64 {
                     if let Some(p) = tree.parent(i, level, d) {
                         if p != i {
-                            let dx = tree.node(i).unwrap().position.0 - tree.node(p).unwrap().position.0;
-                            let dy = tree.node(i).unwrap().position.1 - tree.node(p).unwrap().position.1;
-                            level_dist[level].0 += (dx * dx + dy * dy).sqrt();
-                            level_dist[level].1 += 1;
+                            let dx =
+                                tree.node(i).unwrap().position.0 - tree.node(p).unwrap().position.0;
+                            let dy =
+                                tree.node(i).unwrap().position.1 - tree.node(p).unwrap().position.1;
+                            slot.0 += (dx * dx + dy * dy).sqrt();
+                            slot.1 += 1;
                         }
                     }
                 }
@@ -599,8 +632,14 @@ mod tests {
     fn remove_twice_errors() {
         let mut tree = PlaxtonTree::build(grid_nodes(8), 1).expect("build");
         tree.remove_node(3).expect("first removal");
-        assert_eq!(tree.remove_node(3).unwrap_err(), PlaxtonError::NoSuchNode(3));
-        assert_eq!(tree.remove_node(99).unwrap_err(), PlaxtonError::NoSuchNode(99));
+        assert_eq!(
+            tree.remove_node(3).unwrap_err(),
+            PlaxtonError::NoSuchNode(3)
+        );
+        assert_eq!(
+            tree.remove_node(99).unwrap_err(),
+            PlaxtonError::NoSuchNode(99)
+        );
     }
 
     #[test]
@@ -623,7 +662,10 @@ mod tests {
     fn add_duplicate_id_rejected() {
         let mut tree = PlaxtonTree::build(grid_nodes(8), 1).expect("build");
         let dup = *tree.node(0).expect("exists");
-        assert!(matches!(tree.add_node(dup), Err(PlaxtonError::DuplicateNodeId(_))));
+        assert!(matches!(
+            tree.add_node(dup),
+            Err(PlaxtonError::DuplicateNodeId(_))
+        ));
     }
 
     #[test]

@@ -21,7 +21,10 @@ fn main() -> std::io::Result<()> {
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = || args.next().unwrap_or_else(|| panic!("{flag} takes a value"));
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} takes a value"))
+        };
         match flag.as_str() {
             "--bind" => bind = value(),
             "--origin" => origin = Some(value()),
@@ -39,7 +42,10 @@ fn main() -> std::io::Result<()> {
             other => panic!("unknown flag {other}"),
         }
     }
-    let origin = origin.expect("--origin is required").parse().expect("origin addr:port");
+    let origin = origin
+        .expect("--origin is required")
+        .parse()
+        .expect("origin addr:port");
 
     let mut config = NodeConfig::new(bind, origin)
         .with_neighbors(neighbors)

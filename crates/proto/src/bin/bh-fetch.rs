@@ -20,7 +20,10 @@ fn main() -> std::io::Result<()> {
             url => urls.push(url.to_string()),
         }
     }
-    let node = node.expect("--node is required").parse().expect("node addr:port");
+    let node = node
+        .expect("--node is required")
+        .parse()
+        .expect("node addr:port");
     assert!(!urls.is_empty(), "at least one URL required");
 
     let mut conn = Connection::open(node)?;

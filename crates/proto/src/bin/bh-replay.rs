@@ -17,7 +17,10 @@ fn main() -> std::io::Result<()> {
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = || args.next().unwrap_or_else(|| panic!("{flag} takes a value"));
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} takes a value"))
+        };
         match flag.as_str() {
             "--node" => nodes.push(value().parse().expect("node addr:port")),
             "--requests" => requests = value().parse().expect("--requests takes a count"),
@@ -40,7 +43,12 @@ fn main() -> std::io::Result<()> {
     }
     .with_requests(requests);
 
-    eprintln!("replaying {} requests of the {} workload against {} node(s)...", requests, spec.name, nodes.len());
+    eprintln!(
+        "replaying {} requests of the {} workload against {} node(s)...",
+        requests,
+        spec.name,
+        nodes.len()
+    );
     let mut config = ReplayConfig::flat_out(nodes);
     config.clients_per_l1 = spec.clients_per_l1;
     config.dynamic_client_ids = spec.dynamic_client_ids;
@@ -49,12 +57,23 @@ fn main() -> std::io::Result<()> {
     let secs = started.elapsed().as_secs_f64();
 
     println!("requests       {}", report.requests);
-    println!("local hits     {} ({:.1}%)", report.local_hits, 100.0 * report.local_hits as f64 / report.requests.max(1) as f64);
-    println!("peer hits      {} ({:.1}%)", report.peer_hits, 100.0 * report.peer_hits as f64 / report.requests.max(1) as f64);
+    println!(
+        "local hits     {} ({:.1}%)",
+        report.local_hits,
+        100.0 * report.local_hits as f64 / report.requests.max(1) as f64
+    );
+    println!(
+        "peer hits      {} ({:.1}%)",
+        report.peer_hits,
+        100.0 * report.peer_hits as f64 / report.requests.max(1) as f64
+    );
     println!("origin fetches {}", report.origin_fetches);
     println!("errors         {}", report.errors);
     println!("bytes          {}", report.bytes);
     println!("hit ratio      {:.3}", report.hit_ratio());
-    println!("throughput     {:.0} req/s", report.requests as f64 / secs.max(1e-9));
+    println!(
+        "throughput     {:.0} req/s",
+        report.requests as f64 / secs.max(1e-9)
+    );
     Ok(())
 }

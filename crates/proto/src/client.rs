@@ -27,9 +27,13 @@ pub fn fetch(addr: SocketAddr, url: &str) -> io::Result<(Source, Bytes)> {
 }
 
 /// A reusable client connection to one cache node.
+///
+/// Replies are read through a buffer so a framed message usually costs one
+/// `read` syscall instead of one per framing layer.
 #[derive(Debug)]
 pub struct Connection {
     stream: TcpStream,
+    reader: io::BufReader<TcpStream>,
 }
 
 impl Connection {
@@ -41,7 +45,8 @@ impl Connection {
     pub fn open(addr: SocketAddr) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Connection { stream })
+        let reader = io::BufReader::new(stream.try_clone()?);
+        Ok(Connection { stream, reader })
     }
 
     /// Fetches one URL over this connection.
@@ -50,9 +55,19 @@ impl Connection {
     ///
     /// Fails on protocol errors or an [`Status::Error`] reply.
     pub fn fetch(&mut self, url: &str) -> io::Result<(Source, Bytes)> {
-        write_message(&mut self.stream, &Message::Get { url: url.to_string() })?;
-        match read_message(&mut self.stream)? {
-            Message::GetReply { status: Status::Ok, served_by, body, .. } => {
+        write_message(
+            &mut self.stream,
+            &Message::Get {
+                url: url.to_string(),
+            },
+        )?;
+        match read_message(&mut self.reader)? {
+            Message::GetReply {
+                status: Status::Ok,
+                served_by,
+                body,
+                ..
+            } => {
                 let source = match served_by {
                     ServedBy::Local => Source::Local,
                     ServedBy::Peer(m) => Source::Peer(m),
@@ -79,9 +94,13 @@ impl Connection {
     pub fn push(&mut self, url: &str, version: u32, body: impl Into<Bytes>) -> io::Result<()> {
         write_message(
             &mut self.stream,
-            &Message::Push { url: url.to_string(), version, body: body.into() },
+            &Message::Push {
+                url: url.to_string(),
+                version,
+                body: body.into(),
+            },
         )?;
-        match read_message(&mut self.stream)? {
+        match read_message(&mut self.reader)? {
             Message::Ack => Ok(()),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -97,7 +116,7 @@ impl Connection {
     /// Fails on protocol errors.
     pub fn find_nearest(&mut self, key: u64) -> io::Result<Option<MachineId>> {
         write_message(&mut self.stream, &Message::FindNearest { key })?;
-        match read_message(&mut self.stream)? {
+        match read_message(&mut self.reader)? {
             Message::FindNearestReply { location } => Ok(location),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -111,12 +130,21 @@ impl Connection {
     /// # Errors
     ///
     /// Fails on protocol errors.
-    pub fn origin_put(&mut self, url: &str, version: u32, body: impl Into<Bytes>) -> io::Result<()> {
+    pub fn origin_put(
+        &mut self,
+        url: &str,
+        version: u32,
+        body: impl Into<Bytes>,
+    ) -> io::Result<()> {
         write_message(
             &mut self.stream,
-            &Message::OriginPut { url: url.to_string(), version, body: body.into() },
+            &Message::OriginPut {
+                url: url.to_string(),
+                version,
+                body: body.into(),
+            },
         )?;
-        match read_message(&mut self.stream)? {
+        match read_message(&mut self.reader)? {
             Message::Ack => Ok(()),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -143,7 +171,8 @@ mod tests {
         assert_eq!(s1, Source::Origin);
         assert_eq!(s2, Source::Local);
 
-        conn.push("http://t.test/pushed", 4, &b"pushed body"[..]).expect("push");
+        conn.push("http://t.test/pushed", 4, &b"pushed body"[..])
+            .expect("push");
         let (s3, body) = conn.fetch("http://t.test/pushed").expect("fetch pushed");
         assert_eq!(s3, Source::Local, "pushed object must be a local hit");
         assert_eq!(&body[..], b"pushed body");

@@ -18,9 +18,14 @@
 //!   directly to the named peer, and falls back to the origin server on a
 //!   false positive — misses never traverse a hierarchy.
 //!
-//! Threading follows the era's design: one OS thread per connection (the
-//! paper's Squid is event-driven C; a thread-per-connection Rust daemon is
-//! the closest idiomatic equivalent without pulling in an async runtime).
+//! Threading: on Linux the node runs a sharded epoll engine — a fixed set
+//! of shard threads owns the accepted sockets and a bounded worker pool
+//! services requests that leave the process (peer probes, origin fetches)
+//! through pooled, retrying connections (see `node::engine`). This echoes
+//! the paper's event-driven Squid much more closely than the seed's
+//! thread-per-connection daemon, which survives as the portable fallback
+//! ([`node::ThreadingMode::Legacy`]) and as the baseline the `loadgen` benchmark
+//! measures the sharded engine against.
 //!
 //! # Examples
 //!
@@ -39,6 +44,7 @@
 pub mod client;
 pub mod node;
 pub mod origin;
+pub mod pool;
 pub mod replay;
 pub mod wire;
 

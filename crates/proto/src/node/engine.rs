@@ -1,0 +1,559 @@
+//! The sharded connection engine: a fixed set of epoll shard threads owns
+//! every accepted socket, and a bounded worker pool services `Get`
+//! requests (which may touch the network).
+//!
+//! Division of labor:
+//!
+//! * the **accept thread** blocks in `accept()` and deals new connections
+//!   round-robin to the shards through an injection channel + waker;
+//! * each **shard thread** runs a level-triggered epoll loop over its
+//!   connections, assembling frames incrementally and answering every
+//!   local-state frame (`PeerGet`, `UpdateBatch`/`HintBatch`, `Push`,
+//!   `FindNearest`) inline — a shard never performs outbound I/O, which
+//!   is what makes peer-to-peer probing deadlock-free on a bounded
+//!   thread count;
+//! * `Get` frames that hit the local data cache are also answered on the
+//!   shard (pure in-memory work); the rest are handed to the **worker
+//!   pool**, which writes the reply straight to the client socket through
+//!   the connection's shared write state — the owning shard is only poked
+//!   (rare on loopback) when a short write leaves bytes pending and
+//!   `EPOLLOUT` interest must be armed.
+//!
+//! Per-connection ordering: a connection with a `Get` in flight (`busy`)
+//! parks subsequent frames in a backlog; whoever finishes the `Get`
+//! replays them under the connection lock, so replies always match
+//! request order even though local frames are cheap and `Get`s are not.
+//!
+//! Lock order: a connection's state lock may be taken before the node's
+//! store lock (frame handling under the connection lock), never the other
+//! way around — nothing touches connection state while holding the store.
+
+use super::{handle_get, local_hit, local_response, Inner};
+use crate::wire::{FrameAssembler, Message};
+use bh_netpoll::{waker_pair, Event, Interest, Poller, WakeReceiver, Waker};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+
+/// Token reserved for each shard's wake-up descriptor.
+const WAKER_TOKEN: u64 = 0;
+
+/// How long a shard sleeps in `epoll_wait` with nothing to do. Wake-ups
+/// normally arrive via the waker; the timeout is a shutdown backstop.
+const IDLE_WAIT: Duration = Duration::from_millis(500);
+
+/// Work injected into a shard from outside its epoll loop.
+enum Injected {
+    /// A freshly accepted connection to adopt.
+    Conn(TcpStream),
+    /// A writer left connection `token` with queued bytes; arm `EPOLLOUT`.
+    WantWrite { token: u64 },
+}
+
+/// A `Get` checked out to the worker pool.
+struct WorkerJob {
+    shard: usize,
+    token: u64,
+    url: String,
+    conn: Arc<SharedConn>,
+}
+
+/// Everything `CacheNode::spawn` needs to own the running engine.
+pub(super) struct Engine {
+    pub(super) threads: Vec<std::thread::JoinHandle<()>>,
+    pub(super) wakers: Vec<Waker>,
+}
+
+/// Spawns the accept thread, shard threads, and worker pool.
+pub(super) fn spawn(listener: TcpListener, inner: Arc<Inner>) -> io::Result<Engine> {
+    let shards = inner.config.shards.max(1);
+    let workers = inner.config.workers.max(1);
+    let addr = listener.local_addr()?;
+
+    let mut handles: Vec<(Sender<Injected>, Waker)> = Vec::with_capacity(shards);
+    let mut loops = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let poller = Poller::new()?;
+        let (waker, wake_rx) = waker_pair()?;
+        poller.register(&wake_rx, WAKER_TOKEN, Interest::READABLE)?;
+        let (tx, rx) = channel::unbounded();
+        handles.push((tx, waker));
+        loops.push((poller, wake_rx, rx));
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<WorkerJob>();
+    let mut threads = Vec::new();
+
+    for w in 0..workers {
+        let job_rx = job_rx.clone();
+        let job_tx = job_tx.clone();
+        let handles = clone_handles(&handles)?;
+        let inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("cache-worker-{addr}-{w}"))
+                .spawn(move || worker_loop(job_rx, job_tx, handles, inner))
+                .expect("spawn worker thread"),
+        );
+    }
+
+    for (i, (poller, wake_rx, rx)) in loops.into_iter().enumerate() {
+        let inner = Arc::clone(&inner);
+        let job_tx = job_tx.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("cache-shard-{addr}-{i}"))
+                .spawn(move || {
+                    Shard::new(i, poller, wake_rx, rx, job_tx, inner).run();
+                })
+                .expect("spawn shard thread"),
+        );
+    }
+    drop(job_tx);
+
+    let wakers = handles
+        .iter()
+        .map(|(_, w)| w.try_clone())
+        .collect::<io::Result<Vec<_>>>()?;
+    {
+        let inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("cache-accept-{addr}"))
+                .spawn(move || accept_loop(listener, handles, inner))
+                .expect("spawn accept thread"),
+        );
+    }
+
+    Ok(Engine { threads, wakers })
+}
+
+fn clone_handles(
+    handles: &[(Sender<Injected>, Waker)],
+) -> io::Result<Vec<(Sender<Injected>, Waker)>> {
+    handles
+        .iter()
+        .map(|(tx, w)| Ok((tx.clone(), w.try_clone()?)))
+        .collect()
+}
+
+/// Deals accepted connections round-robin across the shards. Holding the
+/// shard senders here (and dropping them on exit) is what lets the shard
+/// loops observe engine teardown.
+fn accept_loop(listener: TcpListener, handles: Vec<(Sender<Injected>, Waker)>, inner: Arc<Inner>) {
+    let mut next = 0usize;
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let (tx, waker) = &handles[next % handles.len()];
+        next = next.wrapping_add(1);
+        if tx.send(Injected::Conn(stream)).is_ok() {
+            waker.wake();
+        }
+    }
+}
+
+/// Services `Get` jobs; each may probe a peer and fall back to the origin
+/// through the pooled transport, then completes the request directly on
+/// the connection (writing the reply and replaying the backlog), poking
+/// the owning shard only if queued bytes remain.
+fn worker_loop(
+    job_rx: Receiver<WorkerJob>,
+    job_tx: Sender<WorkerJob>,
+    handles: Vec<(Sender<Injected>, Waker)>,
+    inner: Arc<Inner>,
+) {
+    loop {
+        // Workers hold a `job_tx` clone (backlog replays enqueue follow-up
+        // jobs), so the channel never disconnects on its own — poll the
+        // shutdown flag instead of blocking forever.
+        let job = match job_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => job,
+            Err(channel::RecvTimeoutError::Timeout) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => break,
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let reply = handle_get(&inner, &job.url);
+        let wants_write = {
+            let mut state = job.conn.state.lock();
+            send_frame(&job.conn.stream, &mut state, &reply.encode());
+            state.busy = false;
+            replay_backlog(&job.conn, &mut state, &inner, &job_tx, job.shard, job.token);
+            !state.closed && state.wants_write()
+        };
+        if wants_write {
+            let (tx, waker) = &handles[job.shard];
+            if tx.send(Injected::WantWrite { token: job.token }).is_ok() {
+                waker.wake();
+            }
+        }
+    }
+}
+
+/// Replays parked frames until the backlog drains or another `Get` checks
+/// out. Runs under the connection lock, on whichever thread cleared
+/// `busy` (a worker finishing a `Get`, usually).
+fn replay_backlog(
+    conn: &Arc<SharedConn>,
+    state: &mut ConnState,
+    inner: &Inner,
+    job_tx: &Sender<WorkerJob>,
+    shard: usize,
+    token: u64,
+) {
+    while !state.busy && !state.closed {
+        let Some(msg) = state.backlog.pop_front() else {
+            break;
+        };
+        match msg {
+            Message::Get { url } => {
+                if let Some(reply) = local_hit(inner, &url) {
+                    send_frame(&conn.stream, state, &reply.encode());
+                } else {
+                    state.busy = true;
+                    let job = WorkerJob {
+                        shard,
+                        token,
+                        url,
+                        conn: Arc::clone(conn),
+                    };
+                    if job_tx.send(job).is_err() {
+                        state.closed = true;
+                    }
+                }
+            }
+            other => {
+                let reply = local_response(inner, other);
+                send_frame(&conn.stream, state, &reply.encode());
+            }
+        }
+    }
+}
+
+/// Write-side state of a connection, shared between the owning shard and
+/// any worker finishing a `Get` for it.
+struct ConnState {
+    /// Bytes queued for writing; `out_pos` marks how much already left.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// A `Get` is checked out to the worker pool; further frames wait in
+    /// `backlog` so replies keep request order.
+    busy: bool,
+    backlog: VecDeque<Message>,
+    /// Set once the shard abandons the connection (or the engine is
+    /// tearing down); writers stop touching the socket.
+    closed: bool,
+}
+
+impl ConnState {
+    fn wants_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+/// A connection as seen by both the shard (reads, epoll) and the workers
+/// (direct reply writes). The stream itself is never cloned: both sides
+/// write through `&TcpStream`, serialized by the state lock.
+struct SharedConn {
+    stream: TcpStream,
+    state: Mutex<ConnState>,
+}
+
+/// Shard-private bookkeeping for one connection.
+struct ShardConn {
+    shared: Arc<SharedConn>,
+    /// Frame reassembly is shard-only — only the shard reads the socket.
+    assembler: FrameAssembler,
+    /// Interest currently registered with the poller (avoids redundant
+    /// `epoll_ctl` calls).
+    interest: Interest,
+}
+
+struct Shard {
+    id: usize,
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    inject_rx: Receiver<Injected>,
+    job_tx: Sender<WorkerJob>,
+    inner: Arc<Inner>,
+    conns: HashMap<u64, ShardConn>,
+    next_token: u64,
+}
+
+impl Shard {
+    fn new(
+        id: usize,
+        poller: Poller,
+        wake_rx: WakeReceiver,
+        inject_rx: Receiver<Injected>,
+        job_tx: Sender<WorkerJob>,
+        inner: Arc<Inner>,
+    ) -> Self {
+        Shard {
+            id,
+            poller,
+            wake_rx,
+            inject_rx,
+            job_tx,
+            inner,
+            conns: HashMap::new(),
+            next_token: WAKER_TOKEN + 1,
+        }
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        while !self.inner.shutdown.load(Ordering::SeqCst) {
+            events.clear();
+            if self.poller.wait(&mut events, Some(IDLE_WAIT)).is_err() {
+                break;
+            }
+            self.wake_rx.drain();
+            self.drain_injections();
+            for &event in &events {
+                if event.token == WAKER_TOKEN {
+                    continue;
+                }
+                self.service(event);
+            }
+        }
+        // Mark every connection closed so in-flight workers stop writing.
+        for conn in self.conns.values() {
+            conn.shared.state.lock().closed = true;
+        }
+    }
+
+    fn drain_injections(&mut self) {
+        while let Ok(injected) = self.inject_rx.try_recv() {
+            match injected {
+                Injected::Conn(stream) => self.adopt(stream),
+                Injected::WantWrite { token } => self.flush_and_rearm(token),
+            }
+        }
+    }
+
+    fn adopt(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .register(&stream, token, Interest::READABLE)
+            .is_ok()
+        {
+            let shared = Arc::new(SharedConn {
+                stream,
+                state: Mutex::new(ConnState {
+                    out: Vec::new(),
+                    out_pos: 0,
+                    busy: false,
+                    backlog: VecDeque::new(),
+                    closed: false,
+                }),
+            });
+            self.conns.insert(
+                token,
+                ShardConn {
+                    shared,
+                    assembler: FrameAssembler::new(),
+                    interest: Interest::READABLE,
+                },
+            );
+        }
+    }
+
+    /// Handles readiness for one connection.
+    fn service(&mut self, event: Event) {
+        let token = event.token;
+        if event.needs_read() && !self.read_ready(token) {
+            self.close(token);
+            return;
+        }
+        self.flush_and_rearm(token);
+    }
+
+    /// Pulls bytes, assembles frames, dispatches them. Returns false when
+    /// the connection is finished (EOF, error, or unframeable input).
+    fn read_ready(&mut self, token: u64) -> bool {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return false;
+            };
+            match (&conn.shared.stream).read(&mut buf) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.assembler.extend(&buf[..n]);
+                    loop {
+                        let Some(conn) = self.conns.get_mut(&token) else {
+                            return false;
+                        };
+                        match conn.assembler.next_message() {
+                            Ok(Some(msg)) => {
+                                if !self.deliver(token, msg) {
+                                    return false;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => return false,
+                        }
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Routes one frame under the connection lock: parked if a `Get` is in
+    /// flight, a missing `Get` to the worker pool, everything else
+    /// (including locally-hit `Get`s) answered inline. Returns false when
+    /// the connection should be torn down.
+    fn deliver(&mut self, token: u64, msg: Message) -> bool {
+        let Some(conn) = self.conns.get(&token) else {
+            return false;
+        };
+        let shared = Arc::clone(&conn.shared);
+        let mut state = shared.state.lock();
+        if state.closed {
+            return false;
+        }
+        if state.busy {
+            state.backlog.push_back(msg);
+            return true;
+        }
+        match msg {
+            Message::Get { url } => {
+                // Fast path: a local hit is pure in-memory work, so answer
+                // it here and skip the worker-pool round trip.
+                if let Some(reply) = local_hit(&self.inner, &url) {
+                    send_frame(&shared.stream, &mut state, &reply.encode());
+                } else {
+                    state.busy = true;
+                    let job = WorkerJob {
+                        shard: self.id,
+                        token,
+                        url,
+                        conn: Arc::clone(&shared),
+                    };
+                    if self.job_tx.send(job).is_err() {
+                        // Engine tearing down; the connection dies with it.
+                        return false;
+                    }
+                }
+            }
+            other => {
+                let reply = local_response(&self.inner, other);
+                send_frame(&shared.stream, &mut state, &reply.encode());
+            }
+        }
+        !state.closed
+    }
+
+    /// Pushes queued bytes and keeps the poller's interest set in sync
+    /// with whether a write is still pending.
+    fn flush_and_rearm(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = {
+            let mut state = conn.shared.state.lock();
+            if write_some(&conn.shared.stream, &mut state).is_err() {
+                drop(state);
+                self.close(token);
+                return;
+            }
+            if state.wants_write() {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            }
+        };
+        if conn.interest != want {
+            if self
+                .poller
+                .modify(&conn.shared.stream, token, want)
+                .is_err()
+            {
+                self.close(token);
+                return;
+            }
+            conn.interest = want;
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            conn.shared.state.lock().closed = true;
+            let _ = self.poller.deregister(&conn.shared.stream);
+        }
+    }
+}
+
+/// Queues an encoded frame on a connection, writing it straight to the
+/// socket when nothing is already queued — the common case, which skips a
+/// full copy of the frame (reply bodies dominate the bytes moved). Only
+/// the unsent tail, if any, is buffered. Callers hold the connection lock.
+fn send_frame(stream: &TcpStream, state: &mut ConnState, frame: &[u8]) {
+    if state.closed {
+        return;
+    }
+    let mut sent = 0;
+    if !state.wants_write() {
+        while sent < frame.len() {
+            match (&*stream).write(&frame[sent..]) {
+                Ok(0) => {
+                    state.closed = true;
+                    return;
+                }
+                Ok(n) => sent += n,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    state.closed = true;
+                    return;
+                }
+            }
+        }
+    }
+    if sent < frame.len() {
+        state.out.extend_from_slice(&frame[sent..]);
+    }
+}
+
+/// Writes as much of the out-queue as the socket accepts right now.
+/// Callers hold the connection lock.
+fn write_some(stream: &TcpStream, state: &mut ConnState) -> io::Result<()> {
+    while state.wants_write() {
+        match (&*stream).write(&state.out[state.out_pos..]) {
+            Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
+            Ok(n) => state.out_pos += n,
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if !state.wants_write() {
+        state.out.clear();
+        state.out_pos = 0;
+    }
+    Ok(())
+}

@@ -7,9 +7,27 @@
 //! advertise copy arrivals/departures as 20-byte hint updates, batched and
 //! flushed to their neighbor set on a randomized period (§3.2's
 //! Floyd–Jacobson desynchronization).
+//!
+//! Two connection engines are available ([`ThreadingMode`]):
+//!
+//! * **Sharded** (default on Linux): a bounded set of epoll shard threads
+//!   owns all client and peer sockets, answering hint-module frames
+//!   inline and handing `Get` misses to a bounded worker pool. Outbound
+//!   traffic (peer probes, origin fetches, hint flushes) goes through a
+//!   warm [`crate::pool::ConnectionPool`], and flushes coalesce into
+//!   [`Message::HintBatch`] frames.
+//! * **Legacy**: the seed's one-OS-thread-per-connection design with a
+//!   fresh TCP connection per outbound request and uncoalesced
+//!   [`Message::UpdateBatch`] flushes — kept verbatim as the baseline the
+//!   load generator measures against, and as the fallback where epoll is
+//!   unavailable.
 
+mod engine;
+
+use crate::pool::{ConnectionPool, PoolConfig, RequestOptions};
 use crate::wire::{
-    read_message, write_message, HintAction, HintUpdate, MachineId, Message, ServedBy, Status,
+    coalesce, read_message, write_message, HintAction, HintUpdate, MachineId, Message, ServedBy,
+    Status,
 };
 use bh_cache::{HintCache, LruCache};
 use bh_simcore::ByteSize;
@@ -21,6 +39,28 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Which connection engine a [`CacheNode`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadingMode {
+    /// One OS thread per accepted connection, a fresh TCP connection per
+    /// outbound request, plain `UpdateBatch` flushes. The seed design.
+    Legacy,
+    /// Epoll shard threads plus a bounded worker pool, pooled outbound
+    /// connections, coalesced `HintBatch` flushes.
+    Sharded,
+}
+
+impl ThreadingMode {
+    /// The default engine for this target: sharded where epoll exists.
+    pub fn default_for_target() -> Self {
+        if cfg!(target_os = "linux") {
+            ThreadingMode::Sharded
+        } else {
+            ThreadingMode::Legacy
+        }
+    }
+}
 
 /// Configuration for a [`CacheNode`].
 #[derive(Debug, Clone)]
@@ -50,6 +90,12 @@ pub struct NodeConfig {
     pub flush_max: Duration,
     /// I/O timeout for peer and origin connections.
     pub io_timeout: Duration,
+    /// Connection engine (defaults to sharded on Linux, legacy elsewhere).
+    pub mode: ThreadingMode,
+    /// Epoll shard threads in sharded mode (min 1).
+    pub shards: usize,
+    /// Worker threads servicing `Get` requests in sharded mode (min 1).
+    pub workers: usize,
 }
 
 impl NodeConfig {
@@ -65,6 +111,9 @@ impl NodeConfig {
             hint_capacity: ByteSize::from_mb(4),
             flush_max: Duration::from_secs(60),
             io_timeout: Duration::from_secs(5),
+            mode: ThreadingMode::default_for_target(),
+            shards: 2,
+            workers: 8,
         }
     }
 
@@ -95,6 +144,24 @@ impl NodeConfig {
     /// Sets the data capacity.
     pub fn with_data_capacity(mut self, c: ByteSize) -> Self {
         self.data_capacity = c;
+        self
+    }
+
+    /// Selects the connection engine.
+    pub fn with_mode(mut self, mode: ThreadingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the epoll shard count (sharded mode).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the `Get` worker-pool size (sharded mode).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 }
@@ -167,6 +234,8 @@ struct Inner {
     neighbors: Mutex<Vec<SocketAddr>>,
     stats: AtomicStats,
     shutdown: AtomicBool,
+    /// Warm outbound connections (sharded mode; idle in legacy mode).
+    pool: ConnectionPool,
 }
 
 /// Handle to a running cache node; dropping it shuts the node down.
@@ -175,6 +244,9 @@ pub struct CacheNode {
     addr: SocketAddr,
     inner: Arc<Inner>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    /// Wakers for the shard threads (empty in legacy mode); used to break
+    /// them out of `epoll_wait` at shutdown.
+    wakers: Vec<bh_netpoll::Waker>,
 }
 
 impl CacheNode {
@@ -184,11 +256,25 @@ impl CacheNode {
     ///
     /// Propagates bind errors; fails for IPv6 binds (machine IDs are the
     /// paper's 8-byte IPv4+port records).
-    pub fn spawn(config: NodeConfig) -> io::Result<Self> {
+    pub fn spawn(mut config: NodeConfig) -> io::Result<Self> {
+        // Epoll only exists on Linux; everywhere else the sharded request
+        // silently becomes the portable legacy engine.
+        if !cfg!(target_os = "linux") {
+            config.mode = ThreadingMode::Legacy;
+        }
         let listener = TcpListener::bind(&config.bind)?;
         let addr = listener.local_addr()?;
         let machine = MachineId::from_addr(addr)
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "IPv4 bind required"))?;
+        let pool = ConnectionPool::new(PoolConfig {
+            connect_timeout: config.io_timeout,
+            io_timeout: config.io_timeout,
+            quarantine: config.io_timeout * 4,
+            // Every worker may hold a connection to the same remote at
+            // once; a smaller cap would drop and re-dial the excess.
+            max_idle_per_peer: config.workers.max(4),
+            ..PoolConfig::default()
+        });
         let inner = Arc::new(Inner {
             machine,
             store: Mutex::new(Store {
@@ -200,18 +286,27 @@ impl CacheNode {
             neighbors: Mutex::new(config.neighbors.clone()),
             stats: AtomicStats::default(),
             shutdown: AtomicBool::new(false),
+            pool,
             config,
         });
 
         let mut threads = Vec::new();
-        {
-            let inner = Arc::clone(&inner);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("cache-accept-{addr}"))
-                    .spawn(move || accept_loop(listener, inner))
-                    .expect("spawn accept thread"),
-            );
+        let mut wakers = Vec::new();
+        match inner.config.mode {
+            ThreadingMode::Sharded => {
+                let engine = engine::spawn(listener, Arc::clone(&inner))?;
+                threads.extend(engine.threads);
+                wakers = engine.wakers;
+            }
+            ThreadingMode::Legacy => {
+                let inner = Arc::clone(&inner);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("cache-accept-{addr}"))
+                        .spawn(move || accept_loop(listener, inner))
+                        .expect("spawn accept thread"),
+                );
+            }
         }
         {
             let inner = Arc::clone(&inner);
@@ -222,7 +317,12 @@ impl CacheNode {
                     .expect("spawn flush thread"),
             );
         }
-        Ok(CacheNode { addr, inner, threads })
+        Ok(CacheNode {
+            addr,
+            inner,
+            threads,
+            wakers,
+        })
     }
 
     /// The bound address.
@@ -283,6 +383,9 @@ impl CacheNode {
 
     fn stop(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        for waker in &self.wakers {
+            waker.wake();
+        }
         let _ = TcpStream::connect(self.addr);
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -297,7 +400,11 @@ impl Drop for CacheNode {
 }
 
 fn queue_update(inner: &Inner, action: HintAction, key: u64) {
-    inner.pending.lock().push(HintUpdate { action, object: key, machine: inner.machine });
+    inner.pending.lock().push(HintUpdate {
+        action,
+        object: key,
+        machine: inner.machine,
+    });
 }
 
 /// Stores a body locally (inform), returning the hint updates implied by
@@ -346,7 +453,9 @@ fn flush_loop(inner: Arc<Inner>) {
     // joins promptly even with long periods.
     let mut seed = inner.machine.0 | 1;
     'outer: while !inner.shutdown.load(Ordering::SeqCst) {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let max_ms = inner.config.flush_max.as_millis().max(1) as u64;
         let mut remaining = seed % max_ms;
         while remaining > 0 {
@@ -366,36 +475,78 @@ fn flush_once(inner: &Inner) {
     if batch.is_empty() {
         return;
     }
-    let msg = Message::UpdateBatch(batch.clone());
     let mut targets: Vec<SocketAddr> = inner.neighbors.lock().clone();
     if let Some(p) = inner.config.parent {
         targets.push(p);
     }
     targets.extend(inner.config.children.iter().copied());
-    for neighbor in targets {
-        if let Ok(mut s) = TcpStream::connect_timeout(&neighbor, inner.config.io_timeout) {
-            let _ = s.set_write_timeout(Some(inner.config.io_timeout));
-            let _ = s.set_read_timeout(Some(inner.config.io_timeout));
-            if write_message(&mut s, &msg).is_ok() {
-                let _ = read_message(&mut s); // Ack
-                inner.stats.updates_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    match inner.config.mode {
+        ThreadingMode::Sharded => {
+            // Coalesce first (an Add shadowed by a Remove never hits the
+            // wire), then one versioned HintBatch per target over a warm
+            // pooled connection. A dead target fails at most one fast
+            // probe and is quarantined; the flush never wedges on it.
+            let batch = coalesce(batch);
+            let msg = Message::HintBatch(batch.clone());
+            for neighbor in targets {
+                if let Ok(Message::Ack) =
+                    inner
+                        .pool
+                        .request(neighbor, RequestOptions::peer_probe(), &msg)
+                {
+                    inner
+                        .stats
+                        .updates_sent
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        ThreadingMode::Legacy => {
+            let msg = Message::UpdateBatch(batch.clone());
+            for neighbor in targets {
+                if let Ok(mut s) = TcpStream::connect_timeout(&neighbor, inner.config.io_timeout) {
+                    let _ = s.set_write_timeout(Some(inner.config.io_timeout));
+                    let _ = s.set_read_timeout(Some(inner.config.io_timeout));
+                    if write_message(&mut s, &msg).is_ok() {
+                        let _ = read_message(&mut s); // Ack
+                        inner
+                            .stats
+                            .updates_sent
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    }
+                }
             }
         }
     }
 }
 
+/// One outbound request/reply. The legacy engine opens a fresh connection
+/// per call (the seed behavior); the sharded engine goes through the pool
+/// with the caller's retry/quarantine policy.
 fn fetch_from(
     inner: &Inner,
     addr: SocketAddr,
+    opts: RequestOptions,
     msg: &Message,
 ) -> io::Result<(Status, u32, Bytes)> {
-    let mut s = TcpStream::connect_timeout(&addr, inner.config.io_timeout)?;
-    s.set_nodelay(true)?;
-    s.set_read_timeout(Some(inner.config.io_timeout))?;
-    s.set_write_timeout(Some(inner.config.io_timeout))?;
-    write_message(&mut s, msg)?;
-    match read_message(&mut s)? {
-        Message::GetReply { status, version, body, .. } => Ok((status, version, body)),
+    let reply = match inner.config.mode {
+        ThreadingMode::Sharded => inner.pool.request(addr, opts, msg)?,
+        ThreadingMode::Legacy => {
+            let mut s = TcpStream::connect_timeout(&addr, inner.config.io_timeout)?;
+            s.set_nodelay(true)?;
+            s.set_read_timeout(Some(inner.config.io_timeout))?;
+            s.set_write_timeout(Some(inner.config.io_timeout))?;
+            write_message(&mut s, msg)?;
+            read_message(&mut s)?
+        }
+    };
+    match reply {
+        Message::GetReply {
+            status,
+            version,
+            body,
+            ..
+        } => Ok((status, version, body)),
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unexpected reply {other:?}"),
@@ -403,25 +554,33 @@ fn fetch_from(
     }
 }
 
-fn handle_get(inner: &Inner, url: &str) -> Message {
+/// Step 1 of a `Get`: the local data cache. Purely in-memory (a mutex and
+/// two map lookups), so the sharded engine answers hits inline on the
+/// shard thread instead of paying the worker-pool round trip.
+fn local_hit(inner: &Inner, url: &str) -> Option<Message> {
     let key = bh_md5::url_key(url);
-
-    // 1. Local cache.
-    {
-        let mut store = inner.store.lock();
-        if store.meta.get(key, 0).is_some() {
-            if let Some(body) = store.bodies.get(&key).cloned() {
-                let version = store.meta.peek(key).map(|(_, v)| v).unwrap_or(0);
-                inner.stats.local_hits.fetch_add(1, Ordering::Relaxed);
-                return Message::GetReply {
-                    status: Status::Ok,
-                    version,
-                    served_by: ServedBy::Local,
-                    body,
-                };
-            }
+    let mut store = inner.store.lock();
+    if store.meta.get(key, 0).is_some() {
+        if let Some(body) = store.bodies.get(&key).cloned() {
+            let version = store.meta.peek(key).map(|(_, v)| v).unwrap_or(0);
+            inner.stats.local_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Message::GetReply {
+                status: Status::Ok,
+                version,
+                served_by: ServedBy::Local,
+                body,
+            });
         }
     }
+    None
+}
+
+fn handle_get(inner: &Inner, url: &str) -> Message {
+    // 1. Local cache.
+    if let Some(reply) = local_hit(inner, url) {
+        return reply;
+    }
+    let key = bh_md5::url_key(url);
 
     // 2. Local hint store → direct peer fetch.
     let hint = {
@@ -430,7 +589,14 @@ fn handle_get(inner: &Inner, url: &str) -> Message {
     };
     if let Some(peer) = hint {
         if peer != inner.machine {
-            match fetch_from(inner, peer.to_addr(), &Message::PeerGet { url: url.to_string() }) {
+            match fetch_from(
+                inner,
+                peer.to_addr(),
+                RequestOptions::peer_probe(),
+                &Message::PeerGet {
+                    url: url.to_string(),
+                },
+            ) {
                 Ok((Status::Ok, version, body)) => {
                     inner.stats.peer_hits.fetch_add(1, Ordering::Relaxed);
                     store_body(inner, key, version, body.clone());
@@ -452,16 +618,138 @@ fn handle_get(inner: &Inner, url: &str) -> Message {
     }
 
     // 3. Origin server.
-    match fetch_from(inner, inner.config.origin, &Message::Get { url: url.to_string() }) {
+    match fetch_from(
+        inner,
+        inner.config.origin,
+        RequestOptions::origin(),
+        &Message::Get {
+            url: url.to_string(),
+        },
+    ) {
         Ok((Status::Ok, version, body)) => {
             inner.stats.origin_fetches.fetch_add(1, Ordering::Relaxed);
             store_body(inner, key, version, body.clone());
-            Message::GetReply { status: Status::Ok, version, served_by: ServedBy::Origin, body }
+            Message::GetReply {
+                status: Status::Ok,
+                version,
+                served_by: ServedBy::Origin,
+                body,
+            }
         }
         _ => Message::GetReply {
             status: Status::Error,
             version: 0,
             served_by: ServedBy::Origin,
+            body: Bytes::new(),
+        },
+    }
+}
+
+/// Applies a received update batch to the hint store with the §3.1.2
+/// filtering, queueing the state-changing subset for hierarchical
+/// re-propagation. Shared by both connection engines and both batch frames
+/// (`UpdateBatch` and `HintBatch`).
+fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
+    let hierarchical = inner.config.parent.is_some() || !inner.config.children.is_empty();
+    let mut propagate: Vec<HintUpdate> = Vec::new();
+    {
+        let mut store = inner.store.lock();
+        for u in &updates {
+            if u.machine == inner.machine {
+                continue;
+            }
+            match u.action {
+                HintAction::Add => {
+                    // §3.1.2 filtering: forward only the first
+                    // copy this subtree learns of.
+                    let first = store.hints.peek(u.object).is_none();
+                    store.hints.insert(u.object, u.machine.0);
+                    if first {
+                        propagate.push(*u);
+                    } else {
+                        inner.stats.updates_filtered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                HintAction::Remove => {
+                    // Only drop (and advertise) if the hint
+                    // named the departing machine.
+                    if store.hints.peek(u.object) == Some(u.machine.0) {
+                        store.hints.remove(u.object);
+                        propagate.push(*u);
+                    } else {
+                        inner.stats.updates_filtered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+    inner
+        .stats
+        .updates_received
+        .fetch_add(updates.len() as u64, Ordering::Relaxed);
+    if hierarchical && !propagate.is_empty() {
+        // Knowledge changed: climb/descend the metadata tree.
+        // Loop-safe because re-applying the same update is a
+        // no-op (filtered) everywhere it has already landed.
+        inner.pending.lock().extend(propagate);
+    }
+}
+
+/// Answers every frame that can be served from purely local state — the
+/// hint-module commands and pushes. `Get` is *not* local (it may probe a
+/// peer or the origin) and is answered with an error here; both engines
+/// route it to [`handle_get`] before calling this.
+fn local_response(inner: &Inner, msg: Message) -> Message {
+    match msg {
+        Message::PeerGet { url } => {
+            // Serve only from the local cache; never forward.
+            let key = bh_md5::url_key(&url);
+            let mut store = inner.store.lock();
+            if store.meta.get(key, 0).is_some() {
+                let version = store.meta.peek(key).map(|(_, v)| v).unwrap_or(0);
+                match store.bodies.get(&key).cloned() {
+                    Some(body) => Message::GetReply {
+                        status: Status::Ok,
+                        version,
+                        served_by: ServedBy::Local,
+                        body,
+                    },
+                    None => Message::GetReply {
+                        status: Status::NotFound,
+                        version: 0,
+                        served_by: ServedBy::Local,
+                        body: Bytes::new(),
+                    },
+                }
+            } else {
+                Message::GetReply {
+                    status: Status::NotFound,
+                    version: 0,
+                    served_by: ServedBy::Local,
+                    body: Bytes::new(),
+                }
+            }
+        }
+        Message::UpdateBatch(updates) | Message::HintBatch(updates) => {
+            apply_updates(inner, updates);
+            Message::Ack
+        }
+        Message::Push { url, version, body } => {
+            let key = bh_md5::url_key(&url);
+            inner.stats.pushes_received.fetch_add(1, Ordering::Relaxed);
+            store_body(inner, key, version, body);
+            // Aging (§4.1.2): pushed copies start at the cold end.
+            inner.store.lock().meta.demote(key);
+            Message::Ack
+        }
+        Message::FindNearest { key } => {
+            let location = inner.store.lock().hints.lookup(key).map(MachineId);
+            Message::FindNearestReply { location }
+        }
+        _ => Message::GetReply {
+            status: Status::Error,
+            version: 0,
+            served_by: ServedBy::Local,
             body: Bytes::new(),
         },
     }
@@ -475,111 +763,11 @@ fn serve_connection(mut stream: TcpStream, inner: Arc<Inner>) -> io::Result<()> 
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         };
-        match msg {
-            Message::Get { url } => {
-                let reply = handle_get(&inner, &url);
-                write_message(&mut stream, &reply)?;
-            }
-            Message::PeerGet { url } => {
-                // Serve only from the local cache; never forward.
-                let key = bh_md5::url_key(&url);
-                let reply = {
-                    let mut store = inner.store.lock();
-                    if store.meta.get(key, 0).is_some() {
-                        let version = store.meta.peek(key).map(|(_, v)| v).unwrap_or(0);
-                        match store.bodies.get(&key).cloned() {
-                            Some(body) => Message::GetReply {
-                                status: Status::Ok,
-                                version,
-                                served_by: ServedBy::Local,
-                                body,
-                            },
-                            None => Message::GetReply {
-                                status: Status::NotFound,
-                                version: 0,
-                                served_by: ServedBy::Local,
-                                body: Bytes::new(),
-                            },
-                        }
-                    } else {
-                        Message::GetReply {
-                            status: Status::NotFound,
-                            version: 0,
-                            served_by: ServedBy::Local,
-                            body: Bytes::new(),
-                        }
-                    }
-                };
-                write_message(&mut stream, &reply)?;
-            }
-            Message::UpdateBatch(updates) => {
-                let hierarchical = inner.config.parent.is_some() || !inner.config.children.is_empty();
-                let mut propagate: Vec<HintUpdate> = Vec::new();
-                {
-                    let mut store = inner.store.lock();
-                    for u in &updates {
-                        if u.machine == inner.machine {
-                            continue;
-                        }
-                        match u.action {
-                            HintAction::Add => {
-                                // §3.1.2 filtering: forward only the first
-                                // copy this subtree learns of.
-                                let first = store.hints.peek(u.object).is_none();
-                                store.hints.insert(u.object, u.machine.0);
-                                if first {
-                                    propagate.push(*u);
-                                } else {
-                                    inner.stats.updates_filtered.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                            HintAction::Remove => {
-                                // Only drop (and advertise) if the hint
-                                // named the departing machine.
-                                if store.hints.peek(u.object) == Some(u.machine.0) {
-                                    store.hints.remove(u.object);
-                                    propagate.push(*u);
-                                } else {
-                                    inner.stats.updates_filtered.fetch_add(1, Ordering::Relaxed);
-                                }
-                            }
-                        }
-                    }
-                }
-                inner.stats.updates_received.fetch_add(updates.len() as u64, Ordering::Relaxed);
-                if hierarchical && !propagate.is_empty() {
-                    // Knowledge changed: climb/descend the metadata tree.
-                    // Loop-safe because re-applying the same update is a
-                    // no-op (filtered) everywhere it has already landed.
-                    inner.pending.lock().extend(propagate);
-                }
-                write_message(&mut stream, &Message::Ack)?;
-            }
-            Message::Push { url, version, body } => {
-                let key = bh_md5::url_key(&url);
-                inner.stats.pushes_received.fetch_add(1, Ordering::Relaxed);
-                store_body(&inner, key, version, body);
-                // Aging (§4.1.2): pushed copies start at the cold end.
-                inner.store.lock().meta.demote(key);
-                write_message(&mut stream, &Message::Ack)?;
-            }
-            Message::FindNearest { key } => {
-                let location = inner.store.lock().hints.lookup(key).map(MachineId);
-                write_message(&mut stream, &Message::FindNearestReply { location })?;
-            }
-            other => {
-                let _ = other;
-                write_message(
-                    &mut stream,
-                    &Message::GetReply {
-                        status: Status::Error,
-                        version: 0,
-                        served_by: ServedBy::Local,
-                        body: Bytes::new(),
-                    },
-                )?;
-            }
-        }
+        let reply = match msg {
+            Message::Get { url } => handle_get(&inner, &url),
+            other => local_response(&inner, other),
+        };
+        write_message(&mut stream, &reply)?;
     }
 }
 
@@ -603,7 +791,12 @@ mod tests {
         let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr()).collect();
         for (i, node) in nodes.iter().enumerate() {
             node.set_neighbors(
-                addrs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| *a).collect(),
+                addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, a)| *a)
+                    .collect(),
             );
         }
         (origin, nodes)

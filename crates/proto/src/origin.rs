@@ -15,6 +15,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Live accepted connections, keyed by a per-connection id so each serving
+/// thread can drop its own entry when the peer hangs up (otherwise the
+/// registry would leak one fd per connection for the server's lifetime).
+type ConnRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
 #[derive(Debug, Default)]
 struct OriginState {
     objects: HashMap<String, (u32, Bytes)>,
@@ -27,6 +32,7 @@ pub struct OriginServer {
     state: Arc<Mutex<OriginState>>,
     shutdown: Arc<AtomicBool>,
     requests: Arc<AtomicU64>,
+    conns: ConnRegistry,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -43,15 +49,24 @@ impl OriginServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicU64::new(0));
 
+        let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
         let state2 = Arc::clone(&state);
         let shutdown2 = Arc::clone(&shutdown);
         let requests2 = Arc::clone(&requests);
+        let conns2 = Arc::clone(&conns);
         let handle = std::thread::Builder::new()
             .name(format!("origin-{addr}"))
-            .spawn(move || accept_loop(listener, state2, shutdown2, requests2))
+            .spawn(move || accept_loop(listener, state2, shutdown2, requests2, conns2))
             .expect("spawn origin thread");
 
-        Ok(OriginServer { addr, state, shutdown, requests, handle: Some(handle) })
+        Ok(OriginServer {
+            addr,
+            state,
+            shutdown,
+            requests,
+            conns,
+            handle: Some(handle),
+        })
     }
 
     /// The bound address.
@@ -66,12 +81,20 @@ impl OriginServer {
 
     /// Installs (or updates) an object directly, bypassing the network.
     pub fn put(&self, url: &str, version: u32, body: impl Into<Bytes>) {
-        self.state.lock().objects.insert(url.to_string(), (version, body.into()));
+        self.state
+            .lock()
+            .objects
+            .insert(url.to_string(), (version, body.into()));
     }
 
     /// The currently served version of `url` (0 for synthetic objects).
     pub fn version_of(&self, url: &str) -> u32 {
-        self.state.lock().objects.get(url).map(|(v, _)| *v).unwrap_or(0)
+        self.state
+            .lock()
+            .objects
+            .get(url)
+            .map(|(v, _)| *v)
+            .unwrap_or(0)
     }
 
     /// Stops the accept loop and joins the server thread.
@@ -83,6 +106,11 @@ impl OriginServer {
         self.shutdown.store(true, Ordering::SeqCst);
         // Nudge the blocking accept() awake.
         let _ = TcpStream::connect(self.addr);
+        // Sever live connections too, so shutdown means "the process died"
+        // even to clients holding warm pooled connections.
+        for (_, conn) in self.conns.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -100,18 +128,27 @@ fn accept_loop(
     state: Arc<Mutex<OriginState>>,
     shutdown: Arc<AtomicBool>,
     requests: Arc<AtomicU64>,
+    conns: ConnRegistry,
 ) {
+    let mut next_id: u64 = 0;
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        let id = next_id;
+        next_id += 1;
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().insert(id, clone);
+        }
         let state = Arc::clone(&state);
         let requests = Arc::clone(&requests);
+        let conns = Arc::clone(&conns);
         std::thread::Builder::new()
             .name("origin-conn".to_string())
             .spawn(move || {
                 let _ = serve_connection(stream, state, requests);
+                conns.lock().remove(&id);
             })
             .expect("spawn connection thread");
     }
@@ -126,7 +163,9 @@ pub fn synthetic_body(url: &str) -> Bytes {
     let mut out = Vec::with_capacity(len);
     let mut state = key | 1;
     while out.len() < len {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         out.extend_from_slice(&state.to_le_bytes());
     }
     out.truncate(len);
@@ -139,8 +178,10 @@ fn serve_connection(
     requests: Arc<AtomicU64>,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    // Buffer the read side so a framed request is usually one syscall.
+    let mut reader = io::BufReader::new(stream.try_clone()?);
     loop {
-        let msg = match read_message(&mut stream) {
+        let msg = match read_message(&mut reader) {
             Ok(m) => m,
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
@@ -157,7 +198,12 @@ fn serve_connection(
                 };
                 write_message(
                     &mut stream,
-                    &Message::GetReply { status: Status::Ok, version, served_by: ServedBy::Origin, body },
+                    &Message::GetReply {
+                        status: Status::Ok,
+                        version,
+                        served_by: ServedBy::Origin,
+                        body,
+                    },
                 )?;
             }
             Message::OriginPut { url, version, body } => {
@@ -193,12 +239,30 @@ mod tests {
     #[test]
     fn serves_synthetic_content_deterministically() {
         let origin = OriginServer::spawn("127.0.0.1:0").expect("spawn");
-        let m1 = request(origin.addr(), &Message::Get { url: "http://t.test/a".into() });
-        let m2 = request(origin.addr(), &Message::Get { url: "http://t.test/a".into() });
-        let Message::GetReply { status, body: b1, served_by, .. } = m1 else {
+        let m1 = request(
+            origin.addr(),
+            &Message::Get {
+                url: "http://t.test/a".into(),
+            },
+        );
+        let m2 = request(
+            origin.addr(),
+            &Message::Get {
+                url: "http://t.test/a".into(),
+            },
+        );
+        let Message::GetReply {
+            status,
+            body: b1,
+            served_by,
+            ..
+        } = m1
+        else {
             panic!("unexpected reply {m1:?}")
         };
-        let Message::GetReply { body: b2, .. } = m2 else { panic!("unexpected reply") };
+        let Message::GetReply { body: b2, .. } = m2 else {
+            panic!("unexpected reply")
+        };
         assert_eq!(status, Status::Ok);
         assert_eq!(served_by, ServedBy::Origin);
         assert_eq!(b1, b2);
@@ -208,7 +272,10 @@ mod tests {
 
     #[test]
     fn distinct_urls_distinct_bodies() {
-        assert_ne!(synthetic_body("http://a.test/1"), synthetic_body("http://a.test/2"));
+        assert_ne!(
+            synthetic_body("http://a.test/1"),
+            synthetic_body("http://a.test/2")
+        );
     }
 
     #[test]
@@ -224,8 +291,15 @@ mod tests {
         );
         assert_eq!(ack, Message::Ack);
         assert_eq!(origin.version_of("http://t.test/v"), 3);
-        let reply = request(origin.addr(), &Message::Get { url: "http://t.test/v".into() });
-        let Message::GetReply { version, body, .. } = reply else { panic!("bad reply") };
+        let reply = request(
+            origin.addr(),
+            &Message::Get {
+                url: "http://t.test/v".into(),
+            },
+        );
+        let Message::GetReply { version, body, .. } = reply else {
+            panic!("bad reply")
+        };
         assert_eq!(version, 3);
         assert_eq!(&body[..], b"v3!");
     }
@@ -238,7 +312,12 @@ mod tests {
         // Subsequent connections must fail or be closed without replies.
         let err = TcpStream::connect(addr)
             .and_then(|mut s| {
-                write_message(&mut s, &Message::Get { url: "http://x/".into() })?;
+                write_message(
+                    &mut s,
+                    &Message::Get {
+                        url: "http://x/".into(),
+                    },
+                )?;
                 read_message(&mut s)
             })
             .is_err();

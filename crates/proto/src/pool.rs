@@ -1,0 +1,456 @@
+//! Pooled peer/origin connections: keep-warm reuse, bounded exponential
+//! backoff with deterministic jitter, and dead-peer quarantine.
+//!
+//! The seed prototype opened a fresh TCP connection for every peer probe,
+//! origin fetch, and hint flush — faithful to 1998, but the dominant cost
+//! once the daemon is asked to scale. The pool keeps a small set of idle
+//! connections per remote warm and checks them out for one framed
+//! request/reply round trip at a time, so a connection never carries
+//! interleaved requests.
+//!
+//! Failure policy is per-request ([`RequestOptions`]), because the paper's
+//! §3.2 contract is asymmetric:
+//!
+//! * **peer probes** get exactly one attempt and quarantine the peer on
+//!   failure — a dead peer must cost at most one wasted probe, and while
+//!   quarantined it costs none (the probe fails fast and the caller
+//!   accounts a false positive exactly as if it had probed);
+//! * **origin fetches** retry with backoff and ignore quarantine — the
+//!   origin is the only copy of record, so giving up early turns a
+//!   transient hiccup into a client-visible error.
+//!
+//! A *stale* pooled connection (peer restarted or idle-timed-out since
+//! checkout) is retried once with a fresh connect without consuming an
+//! attempt: the failure says nothing about the peer, only about the cached
+//! socket.
+
+use crate::wire::{self, Message};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`ConnectionPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Per-connect timeout.
+    pub connect_timeout: Duration,
+    /// Read/write timeout applied to every pooled stream.
+    pub io_timeout: Duration,
+    /// Idle connections kept warm per remote address.
+    pub max_idle_per_peer: usize,
+    /// First retry delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single retry delay.
+    pub backoff_cap: Duration,
+    /// How long a failed peer stays quarantined.
+    pub quarantine: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(5),
+            max_idle_per_peer: 4,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(200),
+            quarantine: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Per-request failure policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestOptions {
+    /// Fresh-connect attempts before giving up (min 1).
+    pub max_attempts: u32,
+    /// Quarantine the remote after the final failed attempt.
+    pub quarantine_on_failure: bool,
+    /// Fail fast (without touching the network) while the remote is
+    /// quarantined.
+    pub respect_quarantine: bool,
+}
+
+impl RequestOptions {
+    /// Policy for peer cache probes: one attempt, quarantine on failure,
+    /// fail fast while quarantined. Preserves the §3.2 "one wasted probe"
+    /// bound for dead peers.
+    pub fn peer_probe() -> Self {
+        RequestOptions {
+            max_attempts: 1,
+            quarantine_on_failure: true,
+            respect_quarantine: true,
+        }
+    }
+
+    /// Policy for origin fetches and other must-reach traffic: retry with
+    /// backoff, never quarantine, ignore quarantine state.
+    pub fn origin() -> Self {
+        RequestOptions {
+            max_attempts: 3,
+            quarantine_on_failure: false,
+            respect_quarantine: false,
+        }
+    }
+}
+
+/// Counters exposed for tests and the load generator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh TCP connects performed.
+    pub connects: u64,
+    /// Requests served over a reused warm connection.
+    pub reuses: u64,
+    /// Retry attempts after a failed fresh connect or round trip.
+    pub retries: u64,
+    /// Requests refused immediately because the remote was quarantined.
+    pub quarantine_rejections: u64,
+}
+
+/// A pooled stream plus its read buffer. The buffer lives with the stream:
+/// a `BufReader` may read ahead, and any buffered bytes belong to this
+/// connection's next reply, so the two are parked and checked out together.
+#[derive(Debug)]
+struct PooledConn {
+    stream: TcpStream,
+    reader: io::BufReader<TcpStream>,
+}
+
+impl PooledConn {
+    fn new(stream: TcpStream) -> io::Result<Self> {
+        let reader = io::BufReader::new(stream.try_clone()?);
+        Ok(PooledConn { stream, reader })
+    }
+}
+
+#[derive(Debug, Default)]
+struct PeerState {
+    idle: Vec<PooledConn>,
+    quarantined_until: Option<Instant>,
+}
+
+/// A warm connection pool over every remote this node talks to.
+#[derive(Debug)]
+pub struct ConnectionPool {
+    config: PoolConfig,
+    peers: Mutex<HashMap<SocketAddr, PeerState>>,
+    stats: Mutex<PoolStats>,
+    jitter_seed: AtomicU64,
+}
+
+impl ConnectionPool {
+    /// Creates an empty pool.
+    pub fn new(config: PoolConfig) -> Self {
+        ConnectionPool {
+            config,
+            peers: Mutex::new(HashMap::new()),
+            stats: Mutex::new(PoolStats::default()),
+            jitter_seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        *self.stats.lock()
+    }
+
+    /// True while `addr` is inside its quarantine window.
+    pub fn is_quarantined(&self, addr: SocketAddr) -> bool {
+        let peers = self.peers.lock();
+        peers
+            .get(&addr)
+            .and_then(|p| p.quarantined_until)
+            .is_some_and(|until| Instant::now() < until)
+    }
+
+    /// Idle (warm) connections currently parked for `addr`.
+    pub fn idle_count(&self, addr: SocketAddr) -> usize {
+        self.peers.lock().get(&addr).map_or(0, |p| p.idle.len())
+    }
+
+    /// Closes all idle connections and forgets quarantine state.
+    pub fn clear(&self) {
+        self.peers.lock().clear();
+    }
+
+    /// Performs one framed request/reply round trip against `addr` under
+    /// the given policy.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the remote is quarantined (`respect_quarantine`), when
+    /// every attempt errored, or when the reply cannot be decoded.
+    pub fn request(
+        &self,
+        addr: SocketAddr,
+        opts: RequestOptions,
+        msg: &Message,
+    ) -> io::Result<Message> {
+        if opts.respect_quarantine && self.is_quarantined(addr) {
+            self.stats.lock().quarantine_rejections += 1;
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("peer {addr} quarantined"),
+            ));
+        }
+
+        // A stale pooled connection gets one free replay on a fresh socket:
+        // its failure reflects the cached fd, not the remote.
+        if let Some(stream) = self.checkout(addr) {
+            match self.round_trip(stream, msg, addr) {
+                Ok(reply) => {
+                    self.stats.lock().reuses += 1;
+                    return Ok(reply);
+                }
+                Err(_) => {
+                    self.stats.lock().retries += 1;
+                }
+            }
+        }
+
+        let attempts = opts.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.lock().retries += 1;
+                std::thread::sleep(self.backoff_delay(attempt));
+            }
+            match self.connect(addr) {
+                Ok(stream) => {
+                    self.stats.lock().connects += 1;
+                    match self.round_trip(stream, msg, addr) {
+                        Ok(reply) => {
+                            self.peers.lock().entry(addr).or_default().quarantined_until = None;
+                            return Ok(reply);
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+
+        if opts.quarantine_on_failure {
+            let until = Instant::now() + self.config.quarantine;
+            let mut peers = self.peers.lock();
+            let peer = peers.entry(addr).or_default();
+            peer.quarantined_until = Some(until);
+            peer.idle.clear();
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no attempts made")))
+    }
+
+    fn checkout(&self, addr: SocketAddr) -> Option<PooledConn> {
+        self.peers.lock().get_mut(&addr)?.idle.pop()
+    }
+
+    fn connect(&self, addr: SocketAddr) -> io::Result<PooledConn> {
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        PooledConn::new(stream)
+    }
+
+    fn round_trip(
+        &self,
+        mut conn: PooledConn,
+        msg: &Message,
+        addr: SocketAddr,
+    ) -> io::Result<Message> {
+        wire::write_message(&mut conn.stream, msg)?;
+        let reply = wire::read_message(&mut conn.reader)?;
+        let mut peers = self.peers.lock();
+        let peer = peers.entry(addr).or_default();
+        if peer.idle.len() < self.config.max_idle_per_peer {
+            peer.idle.push(conn);
+        }
+        Ok(reply)
+    }
+
+    /// Exponential backoff with deterministic jitter in `[delay/2, delay)`,
+    /// capped. Deterministic so replays and tests are reproducible.
+    fn backoff_delay(&self, attempt: u32) -> Duration {
+        let base = self.config.backoff_base.as_micros() as u64;
+        let cap = self.config.backoff_cap.as_micros() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(16)).min(cap).max(1);
+        let seed = self
+            .jitter_seed
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(
+                    s.wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407),
+                )
+            })
+            .expect("fetch_update closure always returns Some");
+        let jitter = seed % (exp / 2).max(1);
+        Duration::from_micros(exp / 2 + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    /// Serves `requests_per_conn` Ack replies per accepted connection, then
+    /// closes it. `None` keeps connections open until the client hangs up.
+    fn ack_server(requests_per_conn: Option<usize>) -> (SocketAddr, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let served = Arc::new(AtomicUsize::new(0));
+        let served2 = Arc::clone(&served);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                let served = Arc::clone(&served2);
+                std::thread::spawn(move || {
+                    let mut handled = 0;
+                    loop {
+                        if wire::read_message(&mut stream).is_err() {
+                            break;
+                        }
+                        // Count before replying: the client may assert on
+                        // the counter the instant its reply arrives.
+                        served.fetch_add(1, Ordering::SeqCst);
+                        if wire::write_message(&mut stream, &Message::Ack).is_err() {
+                            break;
+                        }
+                        handled += 1;
+                        if requests_per_conn.is_some_and(|limit| handled >= limit) {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, served)
+    }
+
+    fn quick_config() -> PoolConfig {
+        PoolConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(500),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            quarantine: Duration::from_millis(200),
+            ..PoolConfig::default()
+        }
+    }
+
+    #[test]
+    fn second_request_reuses_the_warm_connection() {
+        let (addr, _served) = ack_server(None);
+        let pool = ConnectionPool::new(quick_config());
+        for _ in 0..3 {
+            let reply = pool
+                .request(addr, RequestOptions::origin(), &Message::Ack)
+                .expect("ack");
+            assert_eq!(reply, Message::Ack);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.connects, 1, "one connect serves all three requests");
+        assert_eq!(stats.reuses, 2);
+        assert_eq!(pool.idle_count(addr), 1);
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_replayed_on_a_fresh_socket() {
+        let (addr, served) = ack_server(Some(1));
+        let pool = ConnectionPool::new(quick_config());
+        pool.request(addr, RequestOptions::origin(), &Message::Ack)
+            .expect("first");
+        // The server closed the connection after one request, but the pool
+        // parked it. Give the close time to land, then request again: the
+        // stale socket must be replaced transparently.
+        std::thread::sleep(Duration::from_millis(50));
+        pool.request(addr, RequestOptions::origin(), &Message::Ack)
+            .expect("second");
+        assert_eq!(pool.stats().connects, 2);
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn dead_peer_probe_fails_once_then_quarantines() {
+        // Bind then drop to get an address that refuses connections.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let pool = ConnectionPool::new(quick_config());
+
+        let err = pool
+            .request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect_err("dead peer");
+        assert_ne!(err.kind(), io::ErrorKind::Unsupported);
+        assert!(pool.is_quarantined(addr));
+        assert_eq!(pool.stats().connects, 0, "refused connects are not counted");
+
+        // While quarantined the probe fails fast without touching the net.
+        let before = pool.stats();
+        pool.request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect_err("still quarantined");
+        let after = pool.stats();
+        assert_eq!(
+            after.quarantine_rejections,
+            before.quarantine_rejections + 1
+        );
+
+        // Quarantine expires on its own.
+        std::thread::sleep(Duration::from_millis(250));
+        assert!(!pool.is_quarantined(addr));
+    }
+
+    #[test]
+    fn origin_policy_retries_and_ignores_quarantine() {
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let pool = ConnectionPool::new(quick_config());
+        // Quarantine the address via a failed probe…
+        pool.request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect_err("dead");
+        assert!(pool.is_quarantined(addr));
+        // …then confirm the origin policy still attempts (and retries).
+        pool.request(addr, RequestOptions::origin(), &Message::Ack)
+            .expect_err("still dead");
+        let stats = pool.stats();
+        assert_eq!(stats.retries, 2, "origin made its extra attempts");
+        assert_eq!(stats.quarantine_rejections, 0);
+    }
+
+    #[test]
+    fn recovery_clears_quarantine() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        drop(listener);
+        let pool = ConnectionPool::new(quick_config());
+        pool.request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect_err("dead");
+        std::thread::sleep(Duration::from_millis(250));
+
+        // Peer comes back on the same port.
+        let listener = TcpListener::bind(addr).expect("rebind");
+        std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                let _ = wire::read_message(&mut stream);
+                let _ = wire::write_message(&mut stream, &Message::Ack);
+                // Hold the connection open until the test ends.
+                let mut buf = [0u8; 1];
+                let _ = stream.read(&mut buf);
+            }
+        });
+        let reply = pool
+            .request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect("recovered");
+        assert_eq!(reply, Message::Ack);
+        assert!(!pool.is_quarantined(addr));
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::client::{Connection, Source};
 use crate::wire::MachineId;
+use bh_simcore::stats::LatencyStats;
 use bh_trace::TraceRecord;
 use std::collections::HashMap;
 use std::io;
@@ -34,7 +35,12 @@ impl ReplayConfig {
     /// Maximum-throughput replay against `nodes` with the default (block)
     /// client mapping.
     pub fn flat_out(nodes: Vec<SocketAddr>) -> Self {
-        ReplayConfig { nodes, speedup: None, clients_per_l1: 256, dynamic_client_ids: false }
+        ReplayConfig {
+            nodes,
+            speedup: None,
+            clients_per_l1: 256,
+            dynamic_client_ids: false,
+        }
     }
 
     fn node_for(&self, client: bh_trace::ClientId) -> SocketAddr {
@@ -75,6 +81,42 @@ impl ReplayReport {
             (self.local_hits + self.peer_hits) as f64 / self.requests as f64
         }
     }
+
+    /// Absorbs another report's counts (merging per-thread results).
+    pub fn merge(&mut self, other: &ReplayReport) {
+        self.requests += other.requests;
+        self.local_hits += other.local_hits;
+        self.peer_hits += other.peer_hits;
+        self.origin_fetches += other.origin_fetches;
+        self.errors += other.errors;
+        self.bytes += other.bytes;
+        for (peer, n) in &other.per_peer {
+            *self.per_peer.entry(*peer).or_insert(0) += n;
+        }
+    }
+}
+
+/// Outcome of a [`replay_concurrent`] run: merged counts plus the
+/// end-to-end latency distribution and the wall-clock the replay took.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrentReplayReport {
+    /// Merged outcome counts across all client threads.
+    pub report: ReplayReport,
+    /// Per-request end-to-end latency samples (seconds).
+    pub latency: LatencyStats,
+    /// Wall-clock duration of the whole replay.
+    pub wall_seconds: f64,
+}
+
+impl ConcurrentReplayReport {
+    /// Aggregate throughput in requests per second.
+    pub fn requests_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.report.requests as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Replays `records` against the cluster in `config`, in trace order.
@@ -92,7 +134,10 @@ pub fn replay(
     config: &ReplayConfig,
     records: impl IntoIterator<Item = TraceRecord>,
 ) -> io::Result<ReplayReport> {
-    assert!(!config.nodes.is_empty(), "replay needs at least one cache node");
+    assert!(
+        !config.nodes.is_empty(),
+        "replay needs at least one cache node"
+    );
     let mut conns: HashMap<SocketAddr, Connection> = HashMap::new();
     let mut report = ReplayReport::default();
     let mut last_time: Option<bh_simcore::SimTime> = None;
@@ -133,6 +178,110 @@ pub fn replay(
     Ok(report)
 }
 
+/// Replays `records` from `concurrency` closed-loop client threads.
+///
+/// The trace is partitioned by client ID (`client % concurrency`), so each
+/// trace client's requests stay in order on one thread while different
+/// clients proceed in parallel — the multi-user load a proxy actually sees.
+/// Each thread keeps one persistent connection per target node, issues its
+/// next request as soon as the previous reply lands (closed loop), and
+/// accumulates its own counters and latency samples; the harness merges
+/// them when every thread has drained its share.
+///
+/// Inter-arrival gaps are ignored (`speedup` does not apply): concurrent
+/// replay is a load generator, not a timing-faithful reenactment.
+/// Per-request upstream failures — including a cache node dying mid-run —
+/// are counted in [`ReplayReport::errors`], never panicking the harness; a
+/// thread that loses its connection reconnects for the next request.
+///
+/// # Errors
+///
+/// Fails only if a worker thread panics (a harness bug, not a workload
+/// outcome).
+pub fn replay_concurrent(
+    config: &ReplayConfig,
+    records: &[TraceRecord],
+    concurrency: usize,
+) -> io::Result<ConcurrentReplayReport> {
+    assert!(
+        !config.nodes.is_empty(),
+        "replay needs at least one cache node"
+    );
+    let concurrency = concurrency.max(1);
+    let started = std::time::Instant::now();
+
+    let merged = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|worker| {
+                scope.spawn(move |_| {
+                    let mut conns: HashMap<SocketAddr, Connection> = HashMap::new();
+                    let mut report = ReplayReport::default();
+                    let mut latency = LatencyStats::new();
+                    for r in records
+                        .iter()
+                        .filter(|r| r.client.0 as usize % concurrency == worker)
+                    {
+                        if !r.is_cacheable() {
+                            continue;
+                        }
+                        let addr = config.node_for(r.client);
+                        report.requests += 1;
+                        let begin = std::time::Instant::now();
+                        let outcome = match conns.entry(addr) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                let res = e.get_mut().fetch(&r.object.synthetic_url());
+                                if res.is_err() {
+                                    // Drop the broken connection; the next
+                                    // request to this node reconnects.
+                                    e.remove();
+                                }
+                                res
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                match Connection::open(addr) {
+                                    Ok(conn) => {
+                                        let conn = e.insert(conn);
+                                        conn.fetch(&r.object.synthetic_url())
+                                    }
+                                    Err(err) => Err(err),
+                                }
+                            }
+                        };
+                        match outcome {
+                            Ok((source, body)) => {
+                                latency.record(begin.elapsed().as_secs_f64());
+                                report.bytes += body.len() as u64;
+                                match source {
+                                    Source::Local => report.local_hits += 1,
+                                    Source::Peer(MachineId(m)) => {
+                                        report.peer_hits += 1;
+                                        *report.per_peer.entry(m).or_insert(0) += 1;
+                                    }
+                                    Source::Origin => report.origin_fetches += 1,
+                                }
+                            }
+                            Err(_) => report.errors += 1,
+                        }
+                    }
+                    (report, latency)
+                })
+            })
+            .collect();
+        let mut merged = ConcurrentReplayReport::default();
+        for handle in handles {
+            let (report, latency) = handle.join().expect("replay worker panicked");
+            merged.report.merge(&report);
+            merged.latency.merge(&latency);
+        }
+        merged
+    })
+    .map_err(|_| io::Error::other("replay worker panicked"))?;
+
+    let mut merged = merged;
+    merged.wall_seconds = started.elapsed().as_secs_f64();
+    Ok(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,7 +305,12 @@ mod tests {
         let addrs: Vec<SocketAddr> = nodes.iter().map(|x| x.addr()).collect();
         for (i, node) in nodes.iter().enumerate() {
             node.set_neighbors(
-                addrs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| *a).collect(),
+                addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, a)| *a)
+                    .collect(),
             );
         }
         (origin, nodes)
@@ -178,11 +332,39 @@ mod tests {
             report.requests
         );
         assert_eq!(report.errors, 0);
-        assert!(report.local_hits > 0, "repeat references must hit locally: {report:?}");
+        assert!(
+            report.local_hits > 0,
+            "repeat references must hit locally: {report:?}"
+        );
         assert!(report.bytes > 0);
         // The origin saw exactly the origin_fetches.
         assert_eq!(origin.request_count(), report.origin_fetches);
         assert!(report.hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_replay_conserves_requests_and_reports_latency() {
+        let (origin, nodes) = cluster(2);
+        let spec = WorkloadSpec::small().with_requests(500).with_clients(512);
+        let records: Vec<TraceRecord> = TraceGenerator::new(&spec, 33).collect();
+        let cacheable = records.iter().filter(|r| r.is_cacheable()).count() as u64;
+
+        let config = ReplayConfig::flat_out(nodes.iter().map(|n| n.addr()).collect());
+        let out = replay_concurrent(&config, &records, 8).expect("replay");
+
+        assert_eq!(out.report.requests, cacheable);
+        assert_eq!(
+            out.report.local_hits
+                + out.report.peer_hits
+                + out.report.origin_fetches
+                + out.report.errors,
+            out.report.requests
+        );
+        assert_eq!(out.report.errors, 0);
+        assert_eq!(out.latency.count() as u64, out.report.requests);
+        assert!(out.latency.p99() >= out.latency.p50());
+        assert!(out.requests_per_second() > 0.0);
+        assert_eq!(origin.request_count(), out.report.origin_fetches);
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl HintUpdate {
     /// Fails if the buffer is short or the action code is unknown.
     pub fn decode(buf: &mut impl Buf) -> io::Result<Self> {
         if buf.remaining() < HINT_UPDATE_BYTES {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short hint update"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short hint update",
+            ));
         }
         let action = match buf.get_u32_le() {
             1 => HintAction::Add,
@@ -97,7 +100,11 @@ impl HintUpdate {
                 ))
             }
         };
-        Ok(HintUpdate { action, object: buf.get_u64_le(), machine: MachineId(buf.get_u64_le()) })
+        Ok(HintUpdate {
+            action,
+            object: buf.get_u64_le(),
+            machine: MachineId(buf.get_u64_le()),
+        })
     }
 }
 
@@ -152,6 +159,13 @@ pub enum Message {
     /// A batch of hint updates ("HTTP POST to route://updates" in the
     /// prototype; a first-class frame here).
     UpdateBatch(Vec<HintUpdate>),
+    /// A coalesced multi-record hint flush: like [`Message::UpdateBatch`]
+    /// but carrying a leading version byte so the batching format can
+    /// evolve without burning a frame type. Version
+    /// [`HINT_BATCH_VERSION`] payloads are `u8 version | u32 count |
+    /// count × 20-byte records`. Receivers keep decoding `UpdateBatch`
+    /// forever, so old senders interoperate with new nodes.
+    HintBatch(Vec<HintUpdate>),
     /// Push a copy of an object to the receiving cache (§4).
     Push {
         /// Full URL.
@@ -194,6 +208,12 @@ const T_FIND_NEAREST: u8 = 6;
 const T_FIND_NEAREST_REPLY: u8 = 7;
 const T_ORIGIN_PUT: u8 = 8;
 const T_ACK: u8 = 9;
+const T_HINT_BATCH: u8 = 10;
+
+/// Current version byte written at the head of a [`Message::HintBatch`]
+/// payload. Decoders accept exactly this version and reject anything newer
+/// with `InvalidData` rather than misparsing it.
+pub const HINT_BATCH_VERSION: u8 = 1;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -202,15 +222,20 @@ fn put_string(buf: &mut BytesMut, s: &str) {
 
 fn get_string(buf: &mut impl Buf) -> io::Result<String> {
     if buf.remaining() < 4 {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short string length"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "short string length",
+        ));
     }
     let len = buf.get_u32_le() as usize;
     if buf.remaining() < len {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short string body"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "short string body",
+        ));
     }
     let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec())
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    String::from_utf8(bytes.to_vec()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
@@ -220,11 +245,17 @@ fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
 
 fn get_bytes(buf: &mut impl Buf) -> io::Result<Bytes> {
     if buf.remaining() < 4 {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short bytes length"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "short bytes length",
+        ));
     }
     let len = buf.get_u32_le() as usize;
     if buf.remaining() < len {
-        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short bytes body"));
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "short bytes body",
+        ));
     }
     Ok(buf.copy_to_bytes(len))
 }
@@ -242,7 +273,12 @@ impl Message {
                 put_string(&mut payload, url);
                 T_PEER_GET
             }
-            Message::GetReply { status, version, served_by, body } => {
+            Message::GetReply {
+                status,
+                version,
+                served_by,
+                body,
+            } => {
                 payload.put_u8(match status {
                     Status::Ok => 0,
                     Status::NotFound => 1,
@@ -266,6 +302,14 @@ impl Message {
                     u.encode(&mut payload);
                 }
                 T_UPDATE_BATCH
+            }
+            Message::HintBatch(updates) => {
+                payload.put_u8(HINT_BATCH_VERSION);
+                payload.put_u32_le(updates.len() as u32);
+                for u in updates {
+                    u.encode(&mut payload);
+                }
+                T_HINT_BATCH
             }
             Message::Push { url, version, body } => {
                 put_string(&mut payload, url);
@@ -310,8 +354,12 @@ impl Message {
     pub fn decode(ty: u8, mut payload: Bytes) -> io::Result<Message> {
         let buf = &mut payload;
         let msg = match ty {
-            T_GET => Message::Get { url: get_string(buf)? },
-            T_PEER_GET => Message::PeerGet { url: get_string(buf)? },
+            T_GET => Message::Get {
+                url: get_string(buf)?,
+            },
+            T_PEER_GET => Message::PeerGet {
+                url: get_string(buf)?,
+            },
             T_GET_REPLY => {
                 if buf.remaining() < 6 {
                     return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short reply"));
@@ -347,7 +395,12 @@ impl Message {
                         ))
                     }
                 };
-                Message::GetReply { status, version, served_by, body: get_bytes(buf)? }
+                Message::GetReply {
+                    status,
+                    version,
+                    served_by,
+                    body: get_bytes(buf)?,
+                }
             }
             T_UPDATE_BATCH => {
                 if buf.remaining() < 4 {
@@ -355,7 +408,10 @@ impl Message {
                 }
                 let n = buf.get_u32_le() as usize;
                 if n > (MAX_FRAME as usize) / HINT_UPDATE_BYTES {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized batch"));
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "oversized batch",
+                    ));
                 }
                 let mut updates = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -363,23 +419,59 @@ impl Message {
                 }
                 Message::UpdateBatch(updates)
             }
+            T_HINT_BATCH => {
+                if buf.remaining() < 5 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "short hint batch",
+                    ));
+                }
+                let version = buf.get_u8();
+                if version != HINT_BATCH_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unsupported hint batch version {version}"),
+                    ));
+                }
+                let n = buf.get_u32_le() as usize;
+                if n > (MAX_FRAME as usize) / HINT_UPDATE_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "oversized batch",
+                    ));
+                }
+                let mut updates = Vec::with_capacity(n);
+                for _ in 0..n {
+                    updates.push(HintUpdate::decode(buf)?);
+                }
+                Message::HintBatch(updates)
+            }
             T_PUSH => {
                 let url = get_string(buf)?;
                 if buf.remaining() < 4 {
                     return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short push"));
                 }
                 let version = buf.get_u32_le();
-                Message::Push { url, version, body: get_bytes(buf)? }
+                Message::Push {
+                    url,
+                    version,
+                    body: get_bytes(buf)?,
+                }
             }
             T_FIND_NEAREST => {
                 if buf.remaining() < 8 {
                     return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short find"));
                 }
-                Message::FindNearest { key: buf.get_u64_le() }
+                Message::FindNearest {
+                    key: buf.get_u64_le(),
+                }
             }
             T_FIND_NEAREST_REPLY => {
                 if buf.remaining() < 1 {
-                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short find reply"));
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "short find reply",
+                    ));
                 }
                 let location = match buf.get_u8() {
                     0 => None,
@@ -407,7 +499,11 @@ impl Message {
                     return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short put"));
                 }
                 let version = buf.get_u32_le();
-                Message::OriginPut { url, version, body: get_bytes(buf)? }
+                Message::OriginPut {
+                    url,
+                    version,
+                    body: get_bytes(buf)?,
+                }
             }
             T_ACK => Message::Ack,
             other => {
@@ -431,6 +527,84 @@ pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
     w.flush()
 }
 
+/// Coalesces a pending update list into the minimal equivalent batch:
+/// for each `(object, machine)` pair only the *last* action survives
+/// (last-writer-wins), positioned where the pair first appeared so the
+/// output order stays deterministic. An Add followed by a Remove for the
+/// same copy still sends the Remove — receivers use it to retire stale
+/// hints — but the obsolete Add is dropped from the wire.
+pub fn coalesce(updates: Vec<HintUpdate>) -> Vec<HintUpdate> {
+    use std::collections::HashMap;
+    let mut index: HashMap<(u64, u64), usize> = HashMap::with_capacity(updates.len());
+    let mut out: Vec<HintUpdate> = Vec::with_capacity(updates.len());
+    for u in updates {
+        match index.entry((u.object, u.machine.0)) {
+            std::collections::hash_map::Entry::Occupied(slot) => out[*slot.get()] = u,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(out.len());
+                out.push(u);
+            }
+        }
+    }
+    out
+}
+
+/// Incremental frame parser for non-blocking sockets.
+///
+/// Bytes arrive in arbitrary chunks via [`FrameAssembler::extend`];
+/// [`FrameAssembler::next_message`] yields complete messages as they become
+/// available. The length prefix is validated against [`MAX_FRAME`] as soon
+/// as the 5-byte header is buffered, so a corrupt prefix can never cause an
+/// over-allocation or an over-read.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Appends raw bytes read off the socket.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of bytes buffered but not yet consumed as messages.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete message, `Ok(None)` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an oversized length prefix or a malformed payload; the
+    /// connection should be dropped, as the stream can no longer be framed.
+    pub fn next_message(&mut self) -> io::Result<Option<Message>> {
+        if self.buf.len() < 5 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame too large: {len}"),
+            ));
+        }
+        let total = 5 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let ty = self.buf[4];
+        let payload = Bytes::from(self.buf[5..total].to_vec());
+        self.buf.drain(..total);
+        Message::decode(ty, payload).map(Some)
+    }
+}
+
 /// Reads one framed message from `r`.
 ///
 /// # Errors
@@ -441,7 +615,10 @@ pub fn read_message<R: Read>(r: &mut R) -> io::Result<Message> {
     r.read_exact(&mut header)?;
     let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
     if len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("frame too large: {len}")));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame too large: {len}"),
+        ));
     }
     let ty = header[4];
     let mut payload = vec![0u8; len as usize];
@@ -483,8 +660,12 @@ mod tests {
     #[test]
     fn all_messages_round_trip() {
         let messages = vec![
-            Message::Get { url: "http://x.test/a".into() },
-            Message::PeerGet { url: "http://x.test/ü".into() },
+            Message::Get {
+                url: "http://x.test/a".into(),
+            },
+            Message::PeerGet {
+                url: "http://x.test/ü".into(),
+            },
             Message::GetReply {
                 status: Status::Ok,
                 version: 7,
@@ -498,15 +679,46 @@ mod tests {
                 body: Bytes::new(),
             },
             Message::UpdateBatch(vec![
-                HintUpdate { action: HintAction::Add, object: 1, machine: MachineId(2) },
-                HintUpdate { action: HintAction::Remove, object: 3, machine: MachineId(4) },
+                HintUpdate {
+                    action: HintAction::Add,
+                    object: 1,
+                    machine: MachineId(2),
+                },
+                HintUpdate {
+                    action: HintAction::Remove,
+                    object: 3,
+                    machine: MachineId(4),
+                },
             ]),
             Message::UpdateBatch(vec![]),
-            Message::Push { url: "http://x.test/p".into(), version: 3, body: Bytes::from_static(b"abc") },
+            Message::HintBatch(vec![
+                HintUpdate {
+                    action: HintAction::Add,
+                    object: 9,
+                    machine: MachineId(8),
+                },
+                HintUpdate {
+                    action: HintAction::Remove,
+                    object: 7,
+                    machine: MachineId(6),
+                },
+            ]),
+            Message::HintBatch(vec![]),
+            Message::Push {
+                url: "http://x.test/p".into(),
+                version: 3,
+                body: Bytes::from_static(b"abc"),
+            },
             Message::FindNearest { key: 0xABCD },
-            Message::FindNearestReply { location: Some(MachineId(5)) },
+            Message::FindNearestReply {
+                location: Some(MachineId(5)),
+            },
             Message::FindNearestReply { location: None },
-            Message::OriginPut { url: "http://x.test/o".into(), version: 1, body: Bytes::from_static(b"v1") },
+            Message::OriginPut {
+                url: "http://x.test/o".into(),
+                version: 1,
+                body: Bytes::from_static(b"v1"),
+            },
             Message::Ack,
         ];
         for msg in messages {
@@ -521,10 +733,147 @@ mod tests {
         let n = 100;
         let batch = Message::UpdateBatch(
             (0..n)
-                .map(|i| HintUpdate { action: HintAction::Add, object: i, machine: MachineId(i) })
+                .map(|i| HintUpdate {
+                    action: HintAction::Add,
+                    object: i,
+                    machine: MachineId(i),
+                })
                 .collect(),
         );
         assert_eq!(batch.encode().len(), 5 + 4 + 20 * n as usize);
+    }
+
+    #[test]
+    fn hint_batch_is_versioned_and_update_batch_still_decodes() {
+        let updates = vec![HintUpdate {
+            action: HintAction::Add,
+            object: 1,
+            machine: MachineId(2),
+        }];
+        // 5 (frame) + 1 (version) + 4 (count) + 20N.
+        let batch = Message::HintBatch(updates.clone());
+        let encoded = batch.encode();
+        assert_eq!(encoded.len(), 5 + 1 + 4 + 20);
+        assert_eq!(encoded[5], HINT_BATCH_VERSION);
+
+        // A future version byte must be rejected, not misparsed.
+        let mut payload = BytesMut::new();
+        payload.put_u8(HINT_BATCH_VERSION + 1);
+        payload.put_u32_le(0);
+        let err = Message::decode(T_HINT_BATCH, payload.freeze()).expect_err("future version");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // The legacy frame keeps working alongside the new one.
+        assert_eq!(
+            round_trip(Message::UpdateBatch(updates.clone())),
+            Message::UpdateBatch(updates)
+        );
+    }
+
+    #[test]
+    fn coalesce_keeps_last_action_per_copy() {
+        let m = MachineId(1);
+        let updates = vec![
+            HintUpdate {
+                action: HintAction::Add,
+                object: 1,
+                machine: m,
+            },
+            HintUpdate {
+                action: HintAction::Add,
+                object: 2,
+                machine: m,
+            },
+            HintUpdate {
+                action: HintAction::Remove,
+                object: 1,
+                machine: m,
+            },
+            HintUpdate {
+                action: HintAction::Add,
+                object: 2,
+                machine: MachineId(3),
+            },
+            HintUpdate {
+                action: HintAction::Add,
+                object: 2,
+                machine: m,
+            },
+        ];
+        let out = coalesce(updates);
+        assert_eq!(
+            out,
+            vec![
+                HintUpdate {
+                    action: HintAction::Remove,
+                    object: 1,
+                    machine: m
+                },
+                HintUpdate {
+                    action: HintAction::Add,
+                    object: 2,
+                    machine: m
+                },
+                HintUpdate {
+                    action: HintAction::Add,
+                    object: 2,
+                    machine: MachineId(3)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn assembler_yields_messages_across_arbitrary_chunk_boundaries() {
+        let messages = vec![
+            Message::Get {
+                url: "http://x.test/a".into(),
+            },
+            Message::HintBatch(vec![HintUpdate {
+                action: HintAction::Add,
+                object: 5,
+                machine: MachineId(6),
+            }]),
+            Message::Ack,
+        ];
+        let mut stream = Vec::new();
+        for m in &messages {
+            stream.extend_from_slice(&m.encode());
+        }
+        // Feed one byte at a time; every complete frame must pop out exactly
+        // once, in order.
+        let mut assembler = FrameAssembler::new();
+        let mut got = Vec::new();
+        for byte in stream {
+            assembler.extend(&[byte]);
+            while let Some(msg) = assembler.next_message().expect("clean stream") {
+                got.push(msg);
+            }
+        }
+        assert_eq!(got, messages);
+        assert_eq!(assembler.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_and_malformed_frames() {
+        let mut assembler = FrameAssembler::new();
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(MAX_FRAME + 1);
+        frame.put_u8(T_ACK);
+        assembler.extend(&frame);
+        assert!(assembler.next_message().is_err());
+
+        let mut assembler = FrameAssembler::new();
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(0);
+        frame.put_u8(200); // unknown type
+        assembler.extend(&frame);
+        assert!(assembler.next_message().is_err());
+
+        // A partial header is just "need more bytes".
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(&[1, 0, 0]);
+        assert!(assembler.next_message().expect("partial header").is_none());
     }
 
     #[test]

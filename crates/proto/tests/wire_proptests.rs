@@ -1,0 +1,255 @@
+//! Property tests for the wire format: every frame type round-trips
+//! through encode → reassembly → decode, and malformed input (truncated,
+//! corrupted, oversized) is rejected with an error — never a panic.
+
+use bh_proto::wire::{
+    read_message, write_message, FrameAssembler, HintAction, HintUpdate, MachineId, Message,
+    ServedBy, Status, MAX_FRAME,
+};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn arb_url() -> BoxedStrategy<String> {
+    // Mostly URL-ish ASCII, with arbitrary unicode mixed in: the format
+    // carries any UTF-8 string.
+    prop_oneof![
+        (any::<u64>(), 0usize..40).prop_map(|(key, extra)| {
+            let mut url = format!("http://host-{}.test/obj/{key:x}", key % 17);
+            for i in 0..extra {
+                url.push(char::from(b'a' + (i % 26) as u8));
+            }
+            url
+        }),
+        proptest::collection::vec(any::<char>(), 0..24)
+            .prop_map(|chars| chars.into_iter().collect::<String>()),
+    ]
+    .boxed()
+}
+
+fn arb_body() -> BoxedStrategy<Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..2048)
+        .prop_map(Bytes::from)
+        .boxed()
+}
+
+fn arb_hint_update() -> BoxedStrategy<HintUpdate> {
+    (any::<bool>(), any::<u64>(), any::<u64>())
+        .prop_map(|(add, object, machine)| HintUpdate {
+            action: if add {
+                HintAction::Add
+            } else {
+                HintAction::Remove
+            },
+            object,
+            machine: MachineId(machine),
+        })
+        .boxed()
+}
+
+fn arb_status() -> BoxedStrategy<Status> {
+    prop_oneof![
+        Just(Status::Ok),
+        Just(Status::NotFound),
+        Just(Status::Error)
+    ]
+    .boxed()
+}
+
+fn arb_served_by() -> BoxedStrategy<ServedBy> {
+    prop_oneof![
+        Just(ServedBy::Local),
+        Just(ServedBy::Origin),
+        any::<u64>().prop_map(|m| ServedBy::Peer(MachineId(m))),
+    ]
+    .boxed()
+}
+
+/// Every frame type in the protocol, including `HintBatch`.
+fn arb_message() -> BoxedStrategy<Message> {
+    prop_oneof![
+        arb_url().prop_map(|url| Message::Get { url }),
+        arb_url().prop_map(|url| Message::PeerGet { url }),
+        (arb_status(), any::<u32>(), arb_served_by(), arb_body()).prop_map(
+            |(status, version, served_by, body)| Message::GetReply {
+                status,
+                version,
+                served_by,
+                body
+            }
+        ),
+        proptest::collection::vec(arb_hint_update(), 0..64).prop_map(Message::UpdateBatch),
+        proptest::collection::vec(arb_hint_update(), 0..64).prop_map(Message::HintBatch),
+        (arb_url(), any::<u32>(), arb_body()).prop_map(|(url, version, body)| Message::Push {
+            url,
+            version,
+            body
+        }),
+        any::<u64>().prop_map(|key| Message::FindNearest { key }),
+        prop_oneof![
+            Just(Message::FindNearestReply { location: None }),
+            any::<u64>().prop_map(|m| Message::FindNearestReply {
+                location: Some(MachineId(m))
+            }),
+        ],
+        (arb_url(), any::<u32>(), arb_body()).prop_map(|(url, version, body)| Message::OriginPut {
+            url,
+            version,
+            body
+        }),
+        Just(Message::Ack),
+    ]
+    .boxed()
+}
+
+/// Splits `frame` into `(type, payload)` as the assembler would.
+fn frame_parts(frame: &[u8]) -> (u8, Bytes) {
+    assert!(frame.len() >= 5, "frame shorter than its header");
+    let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+    assert_eq!(len + 5, frame.len(), "length prefix must cover the payload");
+    (frame[4], Bytes::from(frame[5..].to_vec()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// encode → FrameAssembler → decode is the identity for every frame
+    /// type (the path the sharded engine uses).
+    #[test]
+    fn round_trips_through_assembler(msg in arb_message()) {
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(&msg.encode());
+        let decoded = assembler.next_message();
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded);
+        prop_assert_eq!(decoded.unwrap(), Some(msg));
+        prop_assert_eq!(assembler.buffered(), 0);
+    }
+
+    /// write_message → read_message is the identity (the blocking path the
+    /// client, pool, and origin use).
+    #[test]
+    fn round_trips_through_streams(msg in arb_message()) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).expect("write to vec");
+        let decoded = read_message(&mut Cursor::new(buf));
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded);
+        prop_assert_eq!(decoded.unwrap(), msg);
+    }
+
+    /// Reassembly is byte-boundary independent: delivering the frame in
+    /// arbitrary chunks yields the same message.
+    #[test]
+    fn round_trips_split_delivery(msg in arb_message(), cut in any::<u64>()) {
+        let frame = msg.encode();
+        let cut = 1 + (cut as usize) % frame.len().max(1);
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(&frame[..cut.min(frame.len())]);
+        if cut < frame.len() {
+            // Nothing complete yet or a full message, never an error.
+            let early = assembler.next_message();
+            prop_assert!(early.is_ok(), "partial frame errored: {:?}", early);
+            assembler.extend(&frame[cut..]);
+        }
+        let decoded = assembler.next_message();
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded);
+        prop_assert_eq!(decoded.unwrap(), Some(msg));
+    }
+
+    /// Every strict prefix of a valid payload is rejected with an error —
+    /// truncation can never produce a bogus message or a panic.
+    #[test]
+    fn truncated_payloads_error(msg in arb_message()) {
+        let (ty, payload) = frame_parts(&msg.encode());
+        for cut in 0..payload.len() {
+            let truncated = payload.slice(0..cut);
+            let result = Message::decode(ty, truncated);
+            prop_assert!(result.is_err(), "prefix {}/{} decoded: {:?}", cut, payload.len(), result);
+        }
+    }
+
+    /// Arbitrary single-byte corruption anywhere in the payload either
+    /// decodes to something or errors — it never panics.
+    #[test]
+    fn corrupted_payloads_never_panic(
+        msg in arb_message(),
+        pos in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let (ty, payload) = frame_parts(&msg.encode());
+        let mut bytes = payload.to_vec();
+        if !bytes.is_empty() {
+            let pos = (pos as usize) % bytes.len();
+            bytes[pos] ^= xor;
+        }
+        let _ = Message::decode(ty, Bytes::from(bytes));
+    }
+
+    /// Fully random `(type, payload)` pairs never panic the decoder.
+    #[test]
+    fn random_garbage_never_panics(
+        ty in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = Message::decode(ty, Bytes::from(payload));
+    }
+
+    /// Unknown frame types are always rejected.
+    #[test]
+    fn unknown_frame_types_error(ty in 11u8..=255, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert!(Message::decode(ty, Bytes::from(payload)).is_err());
+    }
+}
+
+/// A length prefix larger than `MAX_FRAME` is rejected up front by both
+/// framed readers, before any allocation of that size.
+#[test]
+fn oversized_frames_rejected() {
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    frame.push(1); // T_GET
+    frame.extend_from_slice(&[0u8; 32]);
+
+    let mut assembler = FrameAssembler::new();
+    assembler.extend(&frame);
+    assert!(
+        assembler.next_message().is_err(),
+        "assembler must reject oversized frames"
+    );
+
+    assert!(
+        read_message(&mut Cursor::new(frame)).is_err(),
+        "read_message must reject too"
+    );
+}
+
+/// A batch whose count field promises more records than `MAX_FRAME` could
+/// hold is rejected without attempting the allocation.
+#[test]
+fn oversized_batch_counts_rejected() {
+    for ty in [4u8, 10] {
+        // T_UPDATE_BATCH, T_HINT_BATCH
+        let mut payload = Vec::new();
+        if ty == 10 {
+            payload.push(1); // HINT_BATCH_VERSION
+        }
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 40]);
+        let err = Message::decode(ty, Bytes::from(payload));
+        assert!(err.is_err(), "type {ty} accepted an absurd batch count");
+    }
+}
+
+/// `HintBatch` decoding is strictly versioned: a version byte newer than
+/// ours errors instead of misparsing records.
+#[test]
+fn hint_batch_future_version_rejected() {
+    let update = HintUpdate {
+        action: HintAction::Add,
+        object: 7,
+        machine: MachineId(3),
+    };
+    let (ty, payload) = frame_parts(&Message::HintBatch(vec![update]).encode());
+    let mut bytes = payload.to_vec();
+    bytes[0] = bh_proto::wire::HINT_BATCH_VERSION + 1;
+    assert!(Message::decode(ty, Bytes::from(bytes)).is_err());
+}

@@ -65,7 +65,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Schedules `event` to fire at time `at`.
@@ -155,7 +159,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(1), "early");
         q.schedule(SimTime::from_secs(10), "late");
-        assert_eq!(q.pop_due(SimTime::from_secs(5)).map(|(_, e)| e), Some("early"));
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(5)).map(|(_, e)| e),
+            Some("early")
+        );
         assert_eq!(q.pop_due(SimTime::from_secs(5)), None);
         assert_eq!(q.len(), 1);
     }

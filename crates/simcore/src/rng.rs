@@ -60,7 +60,9 @@ impl Xoshiro256 {
     /// Seeds the generator via SplitMix64, per the authors' recommendation.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Xoshiro256 { s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()] }
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
     }
 
     /// Next 64 uniformly distributed bits.
@@ -312,7 +314,10 @@ mod tests {
             counts[r.below(10) as usize] += 1;
         }
         for c in counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 
@@ -338,7 +343,10 @@ mod tests {
         v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let median = v[25_000];
         let expected = (2.0f64).exp();
-        assert!((median / expected - 1.0).abs() < 0.05, "median {median} vs {expected}");
+        assert!(
+            (median / expected - 1.0).abs() < 0.05,
+            "median {median} vs {expected}"
+        );
     }
 
     #[test]
@@ -352,7 +360,10 @@ mod tests {
         let c0 = counts.get(&0).copied().unwrap_or(0);
         let c10 = counts.get(&10).copied().unwrap_or(0);
         let c1000 = counts.get(&1000).copied().unwrap_or(0);
-        assert!(c0 > c10 && c10 > c1000, "popularity must decay: {c0} {c10} {c1000}");
+        assert!(
+            c0 > c10 && c10 > c1000,
+            "popularity must decay: {c0} {c10} {c1000}"
+        );
     }
 
     #[test]

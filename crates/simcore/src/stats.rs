@@ -33,7 +33,14 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Records one observation.
@@ -134,6 +141,90 @@ pub fn percentile(values: &mut [f64], p: f64) -> Option<f64> {
     Some(values[rank.min(values.len() - 1)])
 }
 
+/// Latency sample accumulator: records individual observations (seconds),
+/// merges across threads, and reports nearest-rank percentiles via
+/// [`percentile`]. Used by the prototype's load generator, where each
+/// closed-loop client keeps its own `LatencyStats` and the harness merges
+/// them at the end.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency observation in seconds.
+    pub fn record(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+    }
+
+    /// Absorbs another accumulator's samples.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, if any samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.samples.is_empty())
+            .then(|| self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`), if any samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or any sample is NaN.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let mut copy = self.samples.clone();
+        percentile(&mut copy, p)
+    }
+
+    /// Several percentiles from a single sort (cheaper than repeated
+    /// [`LatencyStats::percentile`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`percentile`].
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<Option<f64>> {
+        let mut copy = self.samples.clone();
+        copy.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+        ps.iter()
+            .map(|&p| {
+                assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+                if copy.is_empty() {
+                    return None;
+                }
+                let rank = ((p / 100.0) * (copy.len() as f64 - 1.0)).round() as usize;
+                Some(copy[rank.min(copy.len() - 1)])
+            })
+            .collect()
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(99.0)
+    }
+}
+
 /// Fixed-bin histogram over `[lo, hi)` with out-of-range counters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
@@ -153,7 +244,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(lo < hi, "histogram range must be non-empty");
-        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one observation.
@@ -261,6 +358,33 @@ impl Ratio {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn latency_stats_percentiles_and_merge() {
+        let mut a = LatencyStats::new();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.p50(), None);
+        assert_eq!(a.mean(), None);
+        for ms in 1..=50 {
+            a.record(ms as f64 / 1000.0);
+        }
+        let mut b = LatencyStats::new();
+        for ms in 51..=100 {
+            b.record(ms as f64 / 1000.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert!((a.mean().unwrap() - 0.0505).abs() < 1e-12);
+        // Nearest-rank over 1..=100 ms: rank = round(0.5 * 99) = 50.
+        assert_eq!(a.p50(), Some(0.051));
+        assert_eq!(a.p95(), Some(0.095));
+        assert_eq!(a.p99(), Some(0.099));
+        // The batched form agrees with the one-at-a-time form.
+        assert_eq!(
+            a.percentiles(&[50.0, 95.0, 99.0]),
+            vec![a.p50(), a.p95(), a.p99()]
+        );
+    }
 
     #[test]
     fn online_stats_basics() {

@@ -44,7 +44,10 @@ impl SimTime {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "SimTime must be finite and non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "SimTime must be finite and non-negative, got {s}"
+        );
         SimTime((s * 1e6) as u64)
     }
 
@@ -99,7 +102,10 @@ impl SimDuration {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative, got {ms}");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be finite and non-negative, got {ms}"
+        );
         SimDuration((ms * 1e3) as u64)
     }
 
@@ -109,7 +115,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative, got {s}"
+        );
         SimDuration((s * 1e6) as u64)
     }
 
@@ -239,7 +248,10 @@ mod tests {
             SimTime::from_secs(1).saturating_since(SimTime::from_secs(5)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]
@@ -259,9 +271,20 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_millis(1)];
+        let mut v = vec![
+            SimTime::from_secs(3),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_secs(3)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                SimTime::from_secs(3)
+            ]
+        );
     }
 
     #[test]

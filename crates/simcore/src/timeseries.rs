@@ -26,7 +26,10 @@ impl WindowedSeries {
     /// Panics if `window` is zero.
     pub fn new(window: SimDuration) -> Self {
         assert!(window > SimDuration::ZERO, "window must be positive");
-        WindowedSeries { window, buckets: Vec::new() }
+        WindowedSeries {
+            window,
+            buckets: Vec::new(),
+        }
     }
 
     /// The conventional 20-minute window (Rousskov's choice).
@@ -78,7 +81,10 @@ impl WindowedSeries {
     /// Events per second in each window.
     pub fn window_rates(&self) -> Vec<f64> {
         let secs = self.window.as_secs_f64();
-        self.window_counts().into_iter().map(|c| c as f64 / secs).collect()
+        self.window_counts()
+            .into_iter()
+            .map(|c| c as f64 / secs)
+            .collect()
     }
 
     /// Rousskov's summary: `(min, max)` of the per-window medians.

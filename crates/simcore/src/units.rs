@@ -47,7 +47,10 @@ impl ByteSize {
     ///
     /// Panics if `mb` is negative or not finite.
     pub fn from_mb_f64(mb: f64) -> Self {
-        assert!(mb.is_finite() && mb >= 0.0, "size must be finite and non-negative, got {mb}");
+        assert!(
+            mb.is_finite() && mb >= 0.0,
+            "size must be finite and non-negative, got {mb}"
+        );
         ByteSize((mb * 1024.0 * 1024.0) as u64)
     }
 
@@ -169,7 +172,10 @@ mod tests {
     fn unlimited_sentinel() {
         assert!(ByteSize::MAX.is_unlimited());
         assert!(!ByteSize::from_gb(100).is_unlimited());
-        assert_eq!(ByteSize::MAX.saturating_add(ByteSize::from_kb(1)), ByteSize::MAX);
+        assert_eq!(
+            ByteSize::MAX.saturating_add(ByteSize::from_kb(1)),
+            ByteSize::MAX
+        );
         assert_eq!(format!("{}", ByteSize::MAX), "unlimited");
     }
 

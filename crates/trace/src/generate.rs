@@ -60,7 +60,11 @@ impl ObjectAttrs {
         } else {
             0.0
         };
-        ObjectAttrs { size: ByteSize::from_bytes(size), cgi, mod_rate_per_sec }
+        ObjectAttrs {
+            size: ByteSize::from_bytes(size),
+            cgi,
+            mod_rate_per_sec,
+        }
     }
 
     /// The object's version at simulated time `t` (number of modifications
@@ -85,7 +89,11 @@ struct HistoryRing {
 
 impl HistoryRing {
     fn new(cap: usize) -> Self {
-        HistoryRing { buf: Vec::with_capacity(cap.min(1 << 20)), cap, next: 0 }
+        HistoryRing {
+            buf: Vec::with_capacity(cap.min(1 << 20)),
+            cap,
+            next: 0,
+        }
     }
 
     fn push(&mut self, id: u64) {
@@ -204,11 +212,24 @@ impl TraceGenerator {
         let seat_count = (spec.clients_per_l1 as usize) * groups;
         let (clients, seats) = if spec.dynamic_client_ids {
             let seats = (0..seat_count)
-                .map(|i| Seat { current_id: i as u32, remaining: 0 })
+                .map(|i| Seat {
+                    current_id: i as u32,
+                    remaining: 0,
+                })
                 .collect::<Vec<_>>();
-            (ClientSampler::new(seat_count as u32, spec.client_activity_alpha, &mut rng_client), seats)
+            (
+                ClientSampler::new(
+                    seat_count as u32,
+                    spec.client_activity_alpha,
+                    &mut rng_client,
+                ),
+                seats,
+            )
         } else {
-            (ClientSampler::new(spec.clients, spec.client_activity_alpha, &mut rng_client), Vec::new())
+            (
+                ClientSampler::new(spec.clients, spec.client_activity_alpha, &mut rng_client),
+                Vec::new(),
+            )
         };
 
         TraceGenerator {
@@ -258,10 +279,9 @@ impl TraceGenerator {
         // diurnal rate at the current instant (peak mid-afternoon).
         let a = self.spec.diurnal_amplitude;
         let day_frac = (self.now.as_secs_f64() / 86_400.0).fract();
-        let rate_factor =
-            1.0 + a * (std::f64::consts::TAU * (day_frac - 0.625)).cos();
+        let rate_factor = 1.0 + a * (std::f64::consts::TAU * (day_frac - 0.625)).cos();
         let dt = self.rng_arrival.exponential(self.mean_ia_secs) / rate_factor.max(1e-3);
-        self.now = self.now + bh_simcore::SimDuration::from_secs_f64(dt);
+        self.now += bh_simcore::SimDuration::from_secs_f64(dt);
     }
 
     fn pick_client(&mut self) -> (ClientId, usize) {
@@ -390,7 +410,10 @@ mod tests {
             n += 1;
         }
         let ratio = gen.distinct_objects() as f64 / n as f64;
-        assert!((ratio - 0.25).abs() < 0.02, "distinct/total {ratio} should track p_new=0.25");
+        assert!(
+            (ratio - 0.25).abs() < 0.02,
+            "distinct/total {ratio} should track p_new=0.25"
+        );
     }
 
     #[test]
@@ -428,11 +451,15 @@ mod tests {
     #[test]
     fn object_sizes_have_heavy_tail_and_sane_mean() {
         let spec = WorkloadSpec::dec();
-        let sizes: Vec<u64> =
-            (0..200_000u64).map(|i| ObjectAttrs::derive(ObjectId(i), &spec).size.as_bytes()).collect();
+        let sizes: Vec<u64> = (0..200_000u64)
+            .map(|i| ObjectAttrs::derive(ObjectId(i), &spec).size.as_bytes())
+            .collect();
         let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
         // Literature (and the paper's §3.1.1) quotes ~10 KB average objects.
-        assert!((6_000.0..20_000.0).contains(&mean), "mean object size {mean}");
+        assert!(
+            (6_000.0..20_000.0).contains(&mean),
+            "mean object size {mean}"
+        );
         let max = *sizes.iter().max().expect("nonempty");
         assert!(max > 500_000, "tail too light, max {max}");
     }
@@ -463,7 +490,10 @@ mod tests {
             .filter(|&i| ObjectAttrs::derive(ObjectId(i), &spec).mod_rate_per_sec > 0.0)
             .count() as f64;
         let frac = mutable / n as f64;
-        assert!((frac - spec.p_mutable_object).abs() < 0.01, "mutable fraction {frac}");
+        assert!(
+            (frac - spec.p_mutable_object).abs() < 0.01,
+            "mutable fraction {frac}"
+        );
     }
 
     #[test]
@@ -484,7 +514,10 @@ mod tests {
         let u = uncachable as f64 / total as f64;
         assert!((e - spec.p_error).abs() < 0.01, "error rate {e}");
         // Uncachable = request-level + CGI objects (weighted by popularity).
-        assert!(u > spec.p_uncachable_request * 0.5 && u < 0.3, "uncachable rate {u}");
+        assert!(
+            u > spec.p_uncachable_request * 0.5 && u < 0.3,
+            "uncachable rate {u}"
+        );
     }
 
     #[test]
@@ -495,7 +528,10 @@ mod tests {
             assert!(r.client.0 < spec.clients);
             seen.insert(r.client);
         }
-        assert!(seen.len() > spec.clients as usize / 4, "most clients should appear");
+        assert!(
+            seen.len() > spec.clients as usize / 4,
+            "most clients should appear"
+        );
     }
 
     #[test]

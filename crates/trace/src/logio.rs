@@ -18,7 +18,10 @@ use std::io::{self, BufRead, Write};
 /// # Errors
 ///
 /// Propagates I/O errors from the writer and serialization failures.
-pub fn write_jsonl<W: Write>(mut w: W, records: impl IntoIterator<Item = TraceRecord>) -> io::Result<()> {
+pub fn write_jsonl<W: Write>(
+    mut w: W,
+    records: impl IntoIterator<Item = TraceRecord>,
+) -> io::Result<()> {
     for r in records {
         let line = serde_json::to_string(&r).map_err(io::Error::other)?;
         writeln!(w, "{line}")?;
@@ -100,13 +103,19 @@ pub fn read_squid_log<R: BufRead>(r: R) -> io::Result<Vec<TraceRecord>> {
         }
         let mut f = line.split_whitespace();
         let err = |what: &str| io::Error::other(format!("line {}: {what}", i + 1));
-        let epoch_ms: u64 =
-            f.next().ok_or_else(|| err("missing timestamp"))?.parse().map_err(|_| err("bad timestamp"))?;
+        let epoch_ms: u64 = f
+            .next()
+            .ok_or_else(|| err("missing timestamp"))?
+            .parse()
+            .map_err(|_| err("bad timestamp"))?;
         let _elapsed = f.next().ok_or_else(|| err("missing elapsed"))?;
         let client_field = f.next().ok_or_else(|| err("missing client"))?;
         let code_status = f.next().ok_or_else(|| err("missing code/status"))?;
-        let bytes: u64 =
-            f.next().ok_or_else(|| err("missing bytes"))?.parse().map_err(|_| err("bad bytes"))?;
+        let bytes: u64 = f
+            .next()
+            .ok_or_else(|| err("missing bytes"))?
+            .parse()
+            .map_err(|_| err("bad bytes"))?;
         let method = f.next().ok_or_else(|| err("missing method"))?;
         let url = f.next().ok_or_else(|| err("missing url"))?;
 
@@ -117,7 +126,11 @@ pub fn read_squid_log<R: BufRead>(r: R) -> io::Result<Vec<TraceRecord>> {
                 // Hash arbitrary client identifiers (e.g. IP addresses).
                 (bh_md5::md5(client_field.as_bytes()).low64() & 0x7FFF_FFFF) as u32
             });
-        let status: u32 = code_status.rsplit('/').next().and_then(|s| s.parse().ok()).unwrap_or(200);
+        let status: u32 = code_status
+            .rsplit('/')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200);
 
         let next_id = url_ids.len() as u64;
         let object = ObjectId(*url_ids.entry(url.to_string()).or_insert(next_id));
@@ -190,16 +203,21 @@ mod tests {
             assert_eq!(orig.size, parsed.size);
         }
         // Object identity is preserved up to renumbering: same repeat structure.
-        let orig_repeats = records.iter().filter(|r| r.object.0 < records.len() as u64).count();
+        let orig_repeats = records
+            .iter()
+            .filter(|r| r.object.0 < records.len() as u64)
+            .count();
         assert_eq!(orig_repeats, records.len());
-        let distinct_orig: std::collections::HashSet<_> = records.iter().map(|r| r.object).collect();
+        let distinct_orig: std::collections::HashSet<_> =
+            records.iter().map(|r| r.object).collect();
         let distinct_back: std::collections::HashSet<_> = back.iter().map(|r| r.object).collect();
         assert_eq!(distinct_orig.len(), distinct_back.len());
     }
 
     #[test]
     fn squid_parser_handles_real_style_lines() {
-        let log = "847167163000 1200 10.0.0.3 TCP_MISS/200 4717 GET http://www.example.com/a.html\n\
+        let log =
+            "847167163000 1200 10.0.0.3 TCP_MISS/200 4717 GET http://www.example.com/a.html\n\
                    847167164000 90 10.0.0.3 TCP_HIT/200 4717 GET http://www.example.com/a.html\n\
                    847167165000 300 10.0.0.4 TCP_MISS/404 512 GET http://www.example.com/missing\n\
                    847167166000 50 10.0.0.5 TCP_MISS/200 900 POST http://www.example.com/form\n";
@@ -208,7 +226,11 @@ mod tests {
         assert_eq!(recs[0].object, recs[1].object, "same URL same object");
         assert_eq!(recs[0].client, recs[1].client);
         assert_eq!(recs[2].class, RequestClass::Error);
-        assert_eq!(recs[3].class, RequestClass::Uncachable, "POST is uncachable");
+        assert_eq!(
+            recs[3].class,
+            RequestClass::Uncachable,
+            "POST is uncachable"
+        );
     }
 
     #[test]

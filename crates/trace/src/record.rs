@@ -48,7 +48,11 @@ impl ObjectId {
     /// The synthetic URL this object stands for (used by the prototype and
     /// log output; the simulator never materializes it).
     pub fn synthetic_url(self) -> String {
-        format!("http://origin-{:02}.synth.example/obj/{}", self.0 % 64, self.0)
+        format!(
+            "http://origin-{:02}.synth.example/obj/{}",
+            self.0 % 64,
+            self.0
+        )
     }
 }
 

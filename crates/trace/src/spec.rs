@@ -225,12 +225,14 @@ impl WorkloadSpec {
     ///
     /// Panics if `factor` is not in `(0, 1]`.
     pub fn scaled(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0,1], got {factor}");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0,1], got {factor}"
+        );
         self.requests = ((self.requests as f64 * factor).round() as u64).max(1);
         self.duration_days = (self.duration_days * factor).max(0.05);
         self.history_window = ((self.history_window as f64 * factor) as usize).max(1024);
-        self.group_history_window =
-            ((self.group_history_window as f64 * factor) as usize).max(256);
+        self.group_history_window = ((self.group_history_window as f64 * factor) as usize).max(256);
         self
     }
 
@@ -309,7 +311,7 @@ impl WorkloadSpec {
         if self.l1s_per_l2 == 0 {
             return Err("l1s_per_l2 must be positive".into());
         }
-        if !(self.duration_days > 0.0) {
+        if self.duration_days.is_nan() || self.duration_days <= 0.0 {
             return Err("duration_days must be positive".into());
         }
         for (label, p) in [
@@ -333,7 +335,9 @@ impl WorkloadSpec {
         if self.history_window == 0 || self.group_history_window == 0 {
             return Err("history windows must be positive".into());
         }
-        if self.dynamic_client_ids && !(self.mean_session_requests >= 1.0) {
+        if self.dynamic_client_ids
+            && (self.mean_session_requests.is_nan() || self.mean_session_requests < 1.0)
+        {
             return Err("dynamic client ids require mean_session_requests >= 1".into());
         }
         Ok(())
@@ -411,7 +415,10 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let s = WorkloadSpec::small().with_p_new(0.5).with_p_local(0.9).with_clients(512);
+        let s = WorkloadSpec::small()
+            .with_p_new(0.5)
+            .with_p_local(0.9)
+            .with_clients(512);
         assert_eq!(s.p_new, 0.5);
         assert_eq!(s.p_local, 0.9);
         assert_eq!(s.clients, 512);

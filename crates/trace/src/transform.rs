@@ -19,7 +19,10 @@ use bh_simcore::SimTime;
 use std::collections::HashMap;
 
 /// Keeps only records whose client satisfies `keep`.
-pub fn clients<I>(records: I, keep: impl Fn(crate::record::ClientId) -> bool) -> impl Iterator<Item = TraceRecord>
+pub fn clients<I>(
+    records: I,
+    keep: impl Fn(crate::record::ClientId) -> bool,
+) -> impl Iterator<Item = TraceRecord>
 where
     I: IntoIterator<Item = TraceRecord>,
 {
@@ -40,16 +43,22 @@ where
     assert!(n > 0, "sampling modulus must be positive");
     records.into_iter().filter(move |r| {
         let mut h = bh_simcore::rng::SplitMix64::new(r.client.0 as u64 ^ salt);
-        h.next_u64() % n as u64 == 0
+        h.next_u64().is_multiple_of(n as u64)
     })
 }
 
 /// Keeps records with `from <= time < until`.
-pub fn time_window<I>(records: I, from: SimTime, until: SimTime) -> impl Iterator<Item = TraceRecord>
+pub fn time_window<I>(
+    records: I,
+    from: SimTime,
+    until: SimTime,
+) -> impl Iterator<Item = TraceRecord>
 where
     I: IntoIterator<Item = TraceRecord>,
 {
-    records.into_iter().filter(move |r| r.time >= from && r.time < until)
+    records
+        .into_iter()
+        .filter(move |r| r.time >= from && r.time < until)
 }
 
 /// Drops uncachable and error records (the paper excludes them from cache
@@ -119,7 +128,10 @@ mod tests {
         let distinct_all: std::collections::HashSet<_> = all.iter().map(|r| r.client).collect();
         let distinct_sample: std::collections::HashSet<_> = a.iter().map(|r| r.client).collect();
         let frac = distinct_sample.len() as f64 / distinct_all.len() as f64;
-        assert!((0.15..0.40).contains(&frac), "sampled client fraction {frac}");
+        assert!(
+            (0.15..0.40).contains(&frac),
+            "sampled client fraction {frac}"
+        );
         // Every kept client keeps its whole stream.
         for c in &distinct_sample {
             let orig = all.iter().filter(|r| r.client == *c).count();
@@ -131,10 +143,10 @@ mod tests {
     #[test]
     fn different_salt_different_sample() {
         let all = records();
-        let a: std::collections::HashSet<_> =
-            sample_clients(all.clone(), 4, 1).map(|r| r.client).collect();
-        let b: std::collections::HashSet<_> =
-            sample_clients(all, 4, 2).map(|r| r.client).collect();
+        let a: std::collections::HashSet<_> = sample_clients(all.clone(), 4, 1)
+            .map(|r| r.client)
+            .collect();
+        let b: std::collections::HashSet<_> = sample_clients(all, 4, 2).map(|r| r.client).collect();
         assert_ne!(a, b);
     }
 
@@ -162,11 +174,14 @@ mod tests {
     #[test]
     fn renumber_objects_densifies() {
         let filtered: Vec<_> =
-            renumber_objects(clients(records(), |c: ClientId| c.0 % 7 == 0)).collect();
-        let distinct: std::collections::HashSet<_> =
-            filtered.iter().map(|r| r.object).collect();
+            renumber_objects(clients(records(), |c: ClientId| c.0.is_multiple_of(7))).collect();
+        let distinct: std::collections::HashSet<_> = filtered.iter().map(|r| r.object).collect();
         let max_id = filtered.iter().map(|r| r.object.0).max().unwrap_or(0);
-        assert_eq!(max_id + 1, distinct.len() as u64, "IDs must be dense from 0");
+        assert_eq!(
+            max_id + 1,
+            distinct.len() as u64,
+            "IDs must be dense from 0"
+        );
         // Repeat structure preserved: same object → same new ID.
         let a = &filtered[0];
         for r in &filtered {
@@ -178,8 +193,8 @@ mod tests {
 
     #[test]
     fn transforms_compose() {
-        let out: Vec<_> = renumber_objects(cacheable_only(sample_clients(records(), 2, 3)))
-            .collect();
+        let out: Vec<_> =
+            renumber_objects(cacheable_only(sample_clients(records(), 2, 3))).collect();
         assert!(!out.is_empty());
     }
 }

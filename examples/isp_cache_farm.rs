@@ -28,15 +28,24 @@ fn main() {
     // Sweep hint-store sizes (labels in full-scale MB; simulated at scale).
     let scale = 0.01;
     let axis = [0.5, 5.0, 50.0, 200.0, f64::INFINITY];
-    let sizes: Vec<f64> =
-        axis.iter().map(|mb| if mb.is_finite() { mb * scale } else { *mb }).collect();
+    let sizes: Vec<f64> = axis
+        .iter()
+        .map(|mb| if mb.is_finite() { mb * scale } else { *mb })
+        .collect();
     let points = hint_size_sweep(&spec, 7, &sizes);
 
-    println!("{:>12} {:>10} {:>13} {:>12}", "hint store", "hit-rate", "remote-hits", "false-pos");
+    println!(
+        "{:>12} {:>10} {:>13} {:>12}",
+        "hint store", "hit-rate", "remote-hits", "false-pos"
+    );
     for (p, label) in points.iter().zip(axis.iter()) {
         println!(
             "{:>10}MB {:>10.3} {:>13.3} {:>12.4}",
-            if label.is_finite() { format!("{label:.1}") } else { "inf".into() },
+            if label.is_finite() {
+                format!("{label:.1}")
+            } else {
+                "inf".into()
+            },
             p.hit_ratio,
             p.remote_hit_fraction,
             p.false_positive_rate

@@ -25,7 +25,12 @@ fn main() -> std::io::Result<()> {
     drop(provisional);
     let nodes: Vec<CacheNode> = (0..3)
         .map(|i| {
-            let neighbors = addrs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| *a).collect();
+            let neighbors = addrs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| *a)
+                .collect();
             CacheNode::spawn(
                 NodeConfig::new("127.0.0.1:0", origin.addr())
                     .with_neighbors(neighbors)
@@ -37,7 +42,11 @@ fn main() -> std::io::Result<()> {
     // real cluster is `nodes`, re-wired as a full mesh.)
     let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr()).collect();
     for (i, n) in nodes.iter().enumerate() {
-        println!("cache node {i} at {} (machine id {:#018x})", n.addr(), n.machine_id().0);
+        println!(
+            "cache node {i} at {} (machine id {:#018x})",
+            n.addr(),
+            n.machine_id().0
+        );
     }
 
     let url = "http://www.example.com/popular/page.html";
@@ -76,9 +85,17 @@ fn main() -> std::io::Result<()> {
 
     // 6. Push caching: hand node 1 a copy it never asked for.
     let mut conn = Connection::open(addrs[1])?;
-    conn.push("http://www.example.com/pushed.html", 1, &b"pushed content"[..])?;
-    let (src, body) = beyond_hierarchies::proto::fetch(addrs[1], "http://www.example.com/pushed.html")?;
-    println!("fetch of pushed object via node1 → {src:?} ({} bytes)", body.len());
+    conn.push(
+        "http://www.example.com/pushed.html",
+        1,
+        &b"pushed content"[..],
+    )?;
+    let (src, body) =
+        beyond_hierarchies::proto::fetch(addrs[1], "http://www.example.com/pushed.html")?;
+    println!(
+        "fetch of pushed object via node1 → {src:?} ({} bytes)",
+        body.len()
+    );
     assert_eq!(src, Source::Local);
 
     println!("\nper-node stats:");

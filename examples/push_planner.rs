@@ -51,7 +51,10 @@ fn main() {
     }
 
     // The operator's decision rule: best latency subject to a bandwidth cap.
-    let demand = rows.iter().map(|r| r.demand_bw_kbps).fold(f64::NAN, f64::max);
+    let demand = rows
+        .iter()
+        .map(|r| r.demand_bw_kbps)
+        .fold(f64::NAN, f64::max);
     for budget_factor in [0.25, 1.0, 4.0] {
         let budget = demand * budget_factor;
         let best = rows

@@ -26,7 +26,10 @@ fn main() {
     let models: Vec<&dyn CostModel> = vec![&testbed, &min, &max];
 
     let sim = Simulator::new(SimConfig::infinite(&spec));
-    println!("\n{:<12} {:>10} {:>8} {:>8} {:>9}", "strategy", "hit-rate", "Testbed", "Min", "Max");
+    println!(
+        "\n{:<12} {:>10} {:>8} {:>8} {:>9}",
+        "strategy", "hit-rate", "Testbed", "Min", "Max"
+    );
     let mut baseline: Option<Vec<f64>> = None;
     for kind in [
         StrategyKind::DataHierarchy,
@@ -50,8 +53,11 @@ fn main() {
         if kind == StrategyKind::DataHierarchy {
             baseline = Some(times);
         } else if let Some(base) = &baseline {
-            let speedups: Vec<String> =
-                base.iter().zip(&times).map(|(b, t)| format!("{:.2}x", b / t)).collect();
+            let speedups: Vec<String> = base
+                .iter()
+                .zip(&times)
+                .map(|(b, t)| format!("{:.2}x", b / t))
+                .collect();
             println!("{:<12} speedup vs hierarchy: {}", "", speedups.join(" / "));
         }
     }

@@ -23,20 +23,34 @@ fn main() -> std::io::Result<()> {
     // Archive as JSON lines (lossless).
     let jsonl_path = dir.join("trace.jsonl");
     logio::write_jsonl(std::fs::File::create(&jsonl_path)?, records.iter().copied())?;
-    println!("wrote {} ({} bytes)", jsonl_path.display(), std::fs::metadata(&jsonl_path)?.len());
+    println!(
+        "wrote {} ({} bytes)",
+        jsonl_path.display(),
+        std::fs::metadata(&jsonl_path)?.len()
+    );
 
     // Archive as a Squid-style access log (interoperable).
     let log_path = dir.join("access.log");
     logio::write_squid_log(std::fs::File::create(&log_path)?, records.iter().copied())?;
-    println!("wrote {} ({} bytes)", log_path.display(), std::fs::metadata(&log_path)?.len());
+    println!(
+        "wrote {} ({} bytes)",
+        log_path.display(),
+        std::fs::metadata(&log_path)?.len()
+    );
 
     // Round-trip both and summarize.
     let from_jsonl = logio::read_jsonl(std::io::BufReader::new(std::fs::File::open(&jsonl_path)?))?;
-    assert_eq!(from_jsonl, records, "JSON lines round trip must be lossless");
+    assert_eq!(
+        from_jsonl, records,
+        "JSON lines round trip must be lossless"
+    );
     let from_log = logio::read_squid_log(std::io::BufReader::new(std::fs::File::open(&log_path)?))?;
 
     println!("\nTable 4-style summaries:");
-    println!("{:<12} {:>9} {:>12} {:>14} {:>7}", "Source", "Clients", "Accesses", "DistinctURLs", "Days");
+    println!(
+        "{:<12} {:>9} {:>12} {:>14} {:>7}",
+        "Source", "Clients", "Accesses", "DistinctURLs", "Days"
+    );
     for (name, recs) in [("generated", &records), ("squid-log", &from_log)] {
         let s = TraceSummary::compute(recs.iter().copied());
         println!("{}", s.table4_row(name));

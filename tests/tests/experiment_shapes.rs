@@ -19,10 +19,17 @@ fn fig2_compulsory_dominates_and_capacity_vanishes() {
     let spec = dec();
     let pts = miss_breakdown(&spec, SEED, &[0.05, f64::INFINITY], 0.1);
     let rate = |p: &bh_core::experiments::MissBreakdownPoint, n: &str| {
-        p.read_rates.iter().find(|(k, _)| k == n).map(|(_, v)| *v).unwrap()
+        p.read_rates
+            .iter()
+            .find(|(k, _)| k == n)
+            .map(|(_, v)| *v)
+            .unwrap()
     };
     // Small cache: capacity misses present; infinite: none.
-    assert!(rate(&pts[0], "capacity") > 0.0, "tiny cache must show capacity misses");
+    assert!(
+        rate(&pts[0], "capacity") > 0.0,
+        "tiny cache must show capacity misses"
+    );
     assert_eq!(rate(&pts[1], "capacity"), 0.0);
     // Compulsory misses dominate the non-hit classes at infinite size
     // (paper: "Most of these misses are compulsory misses").
@@ -35,16 +42,27 @@ fn fig2_compulsory_dominates_and_capacity_vanishes() {
         );
     }
     // DEC's compulsory fraction ~19% (the distinct/total ratio).
-    assert!((0.10..0.30).contains(&compulsory), "compulsory {compulsory:.3}");
+    assert!(
+        (0.10..0.30).contains(&compulsory),
+        "compulsory {compulsory:.3}"
+    );
 }
 
 #[test]
 fn fig2_berkeley_prodigy_have_more_uncachable() {
     let dec_pts = miss_breakdown(&dec(), SEED, &[f64::INFINITY], 0.1);
-    let pro_pts =
-        miss_breakdown(&WorkloadSpec::prodigy().scaled(0.01), SEED, &[f64::INFINITY], 0.1);
+    let pro_pts = miss_breakdown(
+        &WorkloadSpec::prodigy().scaled(0.01),
+        SEED,
+        &[f64::INFINITY],
+        0.1,
+    );
     let rate = |p: &bh_core::experiments::MissBreakdownPoint, n: &str| {
-        p.read_rates.iter().find(|(k, _)| k == n).map(|(_, v)| *v).unwrap()
+        p.read_rates
+            .iter()
+            .find(|(k, _)| k == n)
+            .map(|(_, v)| *v)
+            .unwrap()
     };
     assert!(
         rate(&pro_pts[0], "uncachable") > rate(&dec_pts[0], "uncachable"),
@@ -121,7 +139,10 @@ fn fig8_speedups_in_band_on_both_space_regimes() {
         for model in ["Testbed", "Min", "Max"] {
             let dir = r.cell("Directory", model).unwrap();
             let hints = r.cell("Hints", model).unwrap();
-            assert!(hints < dir, "hints {hints:.0} vs directory {dir:.0} ({model})");
+            assert!(
+                hints < dir,
+                "hints {hints:.0} vs directory {dir:.0} ({model})"
+            );
         }
     }
 }

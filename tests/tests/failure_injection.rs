@@ -21,7 +21,12 @@ fn mesh(n: usize) -> (OriginServer, Vec<CacheNode>) {
     let addrs: Vec<SocketAddr> = nodes.iter().map(|x| x.addr()).collect();
     for (i, node) in nodes.iter().enumerate() {
         node.set_neighbors(
-            addrs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| *a).collect(),
+            addrs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| *a)
+                .collect(),
         );
     }
     (origin, nodes)
@@ -41,7 +46,11 @@ fn dead_peer_costs_a_probe_not_a_failure() {
     let (src, body) = bh_proto::fetch(nodes[0].addr(), url).expect("fetch survives");
     assert_eq!(src, bh_proto::client::Source::Origin);
     assert!(!body.is_empty());
-    assert_eq!(nodes[0].stats().false_positives, 1, "dead peer counted as a wasted probe");
+    assert_eq!(
+        nodes[0].stats().false_positives,
+        1,
+        "dead peer counted as a wasted probe"
+    );
     assert_eq!(origin.request_count(), 2);
 
     // The bad hint was dropped: no second probe.
@@ -82,7 +91,122 @@ fn flush_to_dead_neighbors_does_not_wedge_the_node() {
         bh_proto::fetch(nodes[0].addr(), &format!("http://t.test/after/{i}")).expect("fetch");
         nodes[0].flush_updates_now(); // best-effort sends to dead peers
     }
-    assert_eq!(nodes[0].stats().local_hits + nodes[0].stats().origin_fetches, 5);
+    assert_eq!(
+        nodes[0].stats().local_hits + nodes[0].stats().origin_fetches,
+        5
+    );
+}
+
+/// Concurrency stress: a 4-node mesh serving 16 parallel client threads
+/// while one node is killed mid-run. No client request may fail — a dead
+/// peer is worth one wasted probe, never an error — and the accounting
+/// must stay exact under full concurrency.
+///
+/// Topology: client traffic targets nodes 0..2 only; node 3 is seeded
+/// with per-thread objects and flushes hints for them, then dies while
+/// every client thread is parked on a barrier. Each thread's first
+/// post-kill fetch follows a hint straight into the corpse.
+#[test]
+fn concurrent_clients_survive_node_kill_mid_run() {
+    const THREADS: usize = 16;
+    const WARM: usize = 20;
+    const SHARED: usize = 10;
+    const FRESH: usize = 9;
+    const DEADLINE: Duration = Duration::from_secs(60);
+
+    let start = std::time::Instant::now();
+    let (origin, mut nodes) = mesh(4);
+
+    // Seed one object per client thread at node 3 and advertise them, so
+    // nodes 0..2 all hold hints pointing at the soon-to-be-dead node.
+    for t in 0..THREADS {
+        bh_proto::fetch(nodes[3].addr(), &format!("http://t.test/stress/seeded/{t}"))
+            .expect("seed at node 3");
+    }
+    nodes[3].flush_updates_now();
+    let victim_origin_fetches = nodes[3].stats().origin_fetches;
+
+    let serving: Vec<SocketAddr> = nodes[..3].iter().map(|n| n.addr()).collect();
+    // Threads run phase 1, then park on the barrier; the main thread kills
+    // node 3 and joins the barrier last, releasing phase 2 strictly after
+    // the node is gone.
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS + 1));
+
+    let requests_per_node = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..THREADS {
+            let addr = serving[t % 3];
+            let barrier = std::sync::Arc::clone(&barrier);
+            workers.push(scope.spawn(move || {
+                let fetch = |url: String| {
+                    let (_, body) = bh_proto::fetch(addr, &url)
+                        .unwrap_or_else(|e| panic!("request failed for {url}: {e}"));
+                    assert!(!body.is_empty(), "empty body for {url}");
+                };
+                // Phase 1: private warm-up objects plus a shared set that
+                // several threads contend on.
+                for i in 0..WARM {
+                    fetch(format!("http://t.test/stress/warm/{t}/{i}"));
+                }
+                for i in 0..SHARED {
+                    fetch(format!("http://t.test/stress/shared/{}", i % 5));
+                }
+                barrier.wait();
+                // Phase 2 (node 3 is now dead): the seeded URL follows a
+                // hint into the dead peer, the rest exercise cache + origin.
+                fetch(format!("http://t.test/stress/seeded/{t}"));
+                for i in 0..WARM {
+                    fetch(format!("http://t.test/stress/warm/{t}/{i}"));
+                }
+                for i in 0..FRESH {
+                    fetch(format!("http://t.test/stress/fresh/{t}/{i}"));
+                }
+                WARM + SHARED + 1 + WARM + FRESH
+            }));
+        }
+
+        // Kill node 3 while all client threads are parked, then release.
+        nodes.remove(3).shutdown();
+        barrier.wait();
+
+        let mut per_node = [0u64; 3];
+        for (t, w) in workers.into_iter().enumerate() {
+            per_node[t % 3] += w.join().expect("client thread panicked") as u64;
+        }
+        per_node
+    });
+
+    // Exact accounting: every request resolved exactly one way, none
+    // failed (failures already panicked the owning thread above).
+    let mut total_fp = 0;
+    let mut total_origin = 0;
+    for (i, node) in nodes.iter().enumerate() {
+        let s = node.stats();
+        assert_eq!(
+            s.local_hits + s.peer_hits + s.origin_fetches,
+            requests_per_node[i],
+            "node {i}: every request must be served exactly once (stats {s:?})"
+        );
+        total_fp += s.false_positives;
+        total_origin += s.origin_fetches;
+    }
+
+    // Each thread's seeded URL carried exactly one hint to the dead node;
+    // the probe fails (or is refused by quarantine), is counted, and the
+    // hint is dropped — so false positives are exactly one per thread.
+    assert_eq!(
+        total_fp, THREADS as u64,
+        "one false positive per seeded URL, no more, no less"
+    );
+
+    // The origin saw exactly the fetches the nodes claim they made.
+    assert_eq!(origin.request_count(), total_origin + victim_origin_fetches);
+
+    assert!(
+        start.elapsed() < DEADLINE,
+        "stress run took {:?}, deadline {DEADLINE:?}",
+        start.elapsed()
+    );
 }
 
 #[test]
@@ -120,7 +244,10 @@ fn plaxton_routes_survive_churn() {
                 }
                 let path = tree.route(from, key);
                 assert_eq!(*path.last().unwrap(), root);
-                assert!(path.iter().all(|n| !removed.contains(n)), "path through dead node");
+                assert!(
+                    path.iter().all(|n| !removed.contains(n)),
+                    "path through dead node"
+                );
             }
         }
     }

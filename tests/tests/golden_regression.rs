@@ -1,0 +1,127 @@
+//! Golden regression tests: pin the paper-facing numbers digit-for-digit
+//! so a refactor that drifts the analytics is caught immediately.
+//!
+//! * Table 3 (Rousskov Squid measurements): all 24 derived totals —
+//!   {Min, Max} × {Leaf, Intermediate, Root, Miss} ×
+//!   {hierarchical, client-direct, via-L1} — exactly as printed in the
+//!   paper.
+//! * Figure 2 (miss-class breakdown): per-read rates for the DEC workload
+//!   at a tiny `--scale 0.05`, pinned to three decimals, plus the
+//!   orderings the paper's discussion rests on (capacity dominates at
+//!   1 GB, hits dominate at 5 GB, compulsory is scale-invariant).
+
+use bh_core::experiments::{miss_breakdown, MissBreakdownPoint};
+use bh_netmodel::{Level, RousskovModel};
+use bh_trace::WorkloadSpec;
+
+/// The totals printed in the paper's Table 3, in milliseconds:
+/// rows are Leaf (L1 hit), Intermediate (L2 hit), Root (L3 hit), Miss;
+/// columns are (hierarchical, client-direct, via-L1).
+const TABLE3_MIN: [(f64, f64, f64); 4] = [
+    (163.0, 163.0, 163.0),
+    (271.0, 180.0, 271.0),
+    (531.0, 320.0, 411.0),
+    (981.0, 550.0, 641.0),
+];
+const TABLE3_MAX: [(f64, f64, f64); 4] = [
+    (352.0, 352.0, 352.0),
+    (2767.0, 2550.0, 2767.0),
+    (4667.0, 2850.0, 3067.0),
+    (7217.0, 3200.0, 3417.0),
+];
+
+fn table3_totals(m: &RousskovModel) -> [(f64, f64, f64); 4] {
+    let row = |level: Level| {
+        (
+            m.total_hierarchical_ms(level),
+            m.total_direct_ms(level),
+            m.total_via_l1_ms(level),
+        )
+    };
+    [
+        row(Level::L1),
+        row(Level::L2),
+        row(Level::L3),
+        (
+            m.total_hierarchical_miss_ms(),
+            m.direct_miss_ms(),
+            m.via_l1_miss_ms(),
+        ),
+    ]
+}
+
+fn assert_totals_exact(got: [(f64, f64, f64); 4], want: [(f64, f64, f64); 4], variant: &str) {
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(g, w, "{variant} row {i}: got {g:?}, paper says {w:?}");
+    }
+}
+
+#[test]
+fn table3_min_totals_match_paper_digit_for_digit() {
+    assert_totals_exact(table3_totals(&RousskovModel::min()), TABLE3_MIN, "Min");
+}
+
+#[test]
+fn table3_max_totals_match_paper_digit_for_digit() {
+    assert_totals_exact(table3_totals(&RousskovModel::max()), TABLE3_MAX, "Max");
+}
+
+/// Per-read rate of a named miss class, rounded to three decimals (the
+/// resolution Figure 2 is read at).
+fn rate3(p: &MissBreakdownPoint, class: &str) -> f64 {
+    let v = p
+        .read_rates
+        .iter()
+        .find(|(n, _)| n == class)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("missing class {class}"));
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Figure 2, DEC, `--scale 0.05`, seed 42: the same call `fig2` makes for
+/// its 1 GB and 5 GB points (full-scale-equivalent sizes, so the simulated
+/// caches are 0.05 and 0.25 GB).
+fn fig2_dec_points() -> Vec<MissBreakdownPoint> {
+    let spec = WorkloadSpec::dec().scaled(0.05);
+    miss_breakdown(&spec, 42, &[1.0 * 0.05, 5.0 * 0.05], 0.1)
+}
+
+#[test]
+fn fig2_dec_rates_pinned_at_tiny_scale() {
+    let points = fig2_dec_points();
+    let (gb1, gb5) = (&points[0], &points[1]);
+
+    assert_eq!(rate3(gb1, "hit"), 0.267);
+    assert_eq!(rate3(gb1, "compulsory"), 0.180);
+    assert_eq!(rate3(gb1, "capacity"), 0.487);
+    assert_eq!(rate3(gb1, "error"), 0.020);
+    assert_eq!(rate3(gb1, "uncachable"), 0.047);
+
+    assert_eq!(rate3(gb5, "hit"), 0.540);
+    assert_eq!(rate3(gb5, "compulsory"), 0.180);
+    assert_eq!(rate3(gb5, "capacity"), 0.213);
+    assert_eq!(rate3(gb5, "error"), 0.020);
+    assert_eq!(rate3(gb5, "uncachable"), 0.047);
+
+    assert_eq!((gb1.total_miss_ratio * 1000.0).round() / 1000.0, 0.733);
+    assert_eq!((gb5.total_miss_ratio * 1000.0).round() / 1000.0, 0.460);
+}
+
+#[test]
+fn fig2_dec_miss_class_orderings_match_paper() {
+    let points = fig2_dec_points();
+    let (gb1, gb5) = (&points[0], &points[1]);
+
+    // At 1 GB the cache is capacity-starved: capacity > hit > compulsory.
+    assert!(rate3(gb1, "capacity") > rate3(gb1, "hit"));
+    assert!(rate3(gb1, "hit") > rate3(gb1, "compulsory"));
+
+    // At 5 GB hits dominate and capacity falls below compulsory-adjacent
+    // levels: hit > capacity and capacity shrank vs the 1 GB point.
+    assert!(rate3(gb5, "hit") > rate3(gb5, "capacity"));
+    assert!(rate3(gb5, "capacity") < rate3(gb1, "capacity"));
+    assert!(rate3(gb5, "hit") > rate3(gb1, "hit"));
+
+    // Compulsory misses are a property of the trace, not the cache size.
+    assert_eq!(rate3(gb1, "compulsory"), rate3(gb5, "compulsory"));
+}

@@ -23,7 +23,12 @@ fn mesh(n: usize) -> (OriginServer, Vec<CacheNode>) {
     let addrs: Vec<SocketAddr> = nodes.iter().map(|x| x.addr()).collect();
     for (i, node) in nodes.iter().enumerate() {
         node.set_neighbors(
-            addrs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| *a).collect(),
+            addrs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| *a)
+                .collect(),
         );
     }
     (origin, nodes)
@@ -39,10 +44,22 @@ fn remote_hit_is_direct_cache_to_cache() {
     nodes[2].flush_updates_now();
     // Node 0 and 1 now know node 2 has a copy.
     let (s, body2) = bh_proto::fetch(nodes[0].addr(), url).expect("fetch via node0");
-    assert_eq!(s, Source::Peer(nodes[2].machine_id()), "must fetch cache-to-cache");
+    assert_eq!(
+        s,
+        Source::Peer(nodes[2].machine_id()),
+        "must fetch cache-to-cache"
+    );
     assert_eq!(body, body2, "peer transfer must deliver identical bytes");
-    assert_eq!(origin.request_count(), 1, "the origin must be contacted exactly once");
-    assert_eq!(nodes[2].stats().updates_sent, 2, "one Add record to each of 2 neighbors");
+    assert_eq!(
+        origin.request_count(),
+        1,
+        "the origin must be contacted exactly once"
+    );
+    assert_eq!(
+        nodes[2].stats().updates_sent,
+        2,
+        "one Add record to each of 2 neighbors"
+    );
 }
 
 #[test]
@@ -55,7 +72,11 @@ fn false_positive_probe_then_origin() {
     nodes[1].invalidate(url);
     // (The Remove advertisement has NOT been flushed: stale hint at node 0.)
     let (s, body) = bh_proto::fetch(nodes[0].addr(), url).expect("fetch via node0");
-    assert_eq!(s, Source::Origin, "false positive must fall back to the origin");
+    assert_eq!(
+        s,
+        Source::Origin,
+        "false positive must fall back to the origin"
+    );
     assert!(!body.is_empty());
     assert_eq!(nodes[0].stats().false_positives, 1);
     assert_eq!(origin.request_count(), 2);
@@ -63,7 +84,11 @@ fn false_positive_probe_then_origin() {
     // without a probe.
     nodes[0].invalidate(url);
     bh_proto::fetch(nodes[0].addr(), url).expect("fetch again");
-    assert_eq!(nodes[0].stats().false_positives, 1, "no second wasted probe");
+    assert_eq!(
+        nodes[0].stats().false_positives,
+        1,
+        "no second wasted probe"
+    );
 }
 
 #[test]
@@ -163,7 +188,10 @@ fn concurrent_clients_hammer_one_node() {
     }
     let stats = nodes[0].stats();
     assert_eq!(stats.local_hits + stats.origin_fetches, 200);
-    assert!(stats.local_hits >= 120, "40 distinct URLs over 200 fetches: {stats:?}");
+    assert!(
+        stats.local_hits >= 120,
+        "40 distinct URLs over 200 fetches: {stats:?}"
+    );
 }
 
 #[test]

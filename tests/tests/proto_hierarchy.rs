@@ -63,7 +63,11 @@ fn updates_climb_to_parent_and_descend_to_sibling() {
     assert_eq!(parent.find_nearest(key), Some(a.machine_id()));
     // ...and queued a downward advertisement; flush it.
     parent.flush_updates_now();
-    assert_eq!(b.find_nearest(key), Some(a.machine_id()), "sibling must learn via the parent");
+    assert_eq!(
+        b.find_nearest(key),
+        Some(a.machine_id()),
+        "sibling must learn via the parent"
+    );
 
     // B now fetches — directly from A (cache-to-cache through the hint).
     let (src, _) = bh_proto::fetch(b.addr(), url).expect("fetch via b");
@@ -154,5 +158,8 @@ fn tree_helper_smoke() {
     let url = "http://t.test/smoke";
     bh_proto::fetch(a.addr(), url).expect("fetch");
     a.flush_updates_now();
-    assert_eq!(parent.find_nearest(bh_md5::url_key(url)), Some(a.machine_id()));
+    assert_eq!(
+        parent.find_nearest(bh_md5::url_key(url)),
+        Some(a.machine_id())
+    );
 }

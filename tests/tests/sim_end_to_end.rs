@@ -53,8 +53,7 @@ fn speedup_largest_under_max_load_parameters() {
     let sim = Simulator::new(SimConfig::infinite(&spec));
     let hier = sim.run(&spec, SEED, StrategyKind::DataHierarchy, &models);
     let hint = sim.run(&spec, SEED, StrategyKind::HintHierarchy, &models);
-    let speedup =
-        |m: &str| hier.mean_response_ms(m).unwrap() / hint.mean_response_ms(m).unwrap();
+    let speedup = |m: &str| hier.mean_response_ms(m).unwrap() / hint.mean_response_ms(m).unwrap();
     assert!(
         speedup("Max") > speedup("Min"),
         "Max speedup {:.2} should exceed Min speedup {:.2}",
@@ -71,11 +70,26 @@ fn directory_sits_between_hierarchy_and_hints() {
     let models: Vec<&dyn CostModel> = vec![&tb];
     let spec = WorkloadSpec::dec().scaled(0.004);
     let sim = Simulator::new(SimConfig::infinite(&spec));
-    let hier = sim.run(&spec, SEED, StrategyKind::DataHierarchy, &models).mean_response_ms("Testbed").unwrap();
-    let dir = sim.run(&spec, SEED, StrategyKind::CentralDirectory, &models).mean_response_ms("Testbed").unwrap();
-    let hint = sim.run(&spec, SEED, StrategyKind::HintHierarchy, &models).mean_response_ms("Testbed").unwrap();
-    assert!(hint < dir, "hints ({hint:.0}) should beat the directory ({dir:.0})");
-    assert!(dir < hier, "the directory ({dir:.0}) should beat the hierarchy ({hier:.0})");
+    let hier = sim
+        .run(&spec, SEED, StrategyKind::DataHierarchy, &models)
+        .mean_response_ms("Testbed")
+        .unwrap();
+    let dir = sim
+        .run(&spec, SEED, StrategyKind::CentralDirectory, &models)
+        .mean_response_ms("Testbed")
+        .unwrap();
+    let hint = sim
+        .run(&spec, SEED, StrategyKind::HintHierarchy, &models)
+        .mean_response_ms("Testbed")
+        .unwrap();
+    assert!(
+        hint < dir,
+        "hints ({hint:.0}) should beat the directory ({dir:.0})"
+    );
+    assert!(
+        dir < hier,
+        "the directory ({dir:.0}) should beat the hierarchy ({hier:.0})"
+    );
 }
 
 #[test]
@@ -85,12 +99,19 @@ fn push_improves_hints_and_ideal_bounds_push() {
     let spec = WorkloadSpec::dec().scaled(0.004);
     let sim = Simulator::new(SimConfig::constrained(&spec));
     let t = |kind: StrategyKind| {
-        sim.run(&spec, SEED, kind, &models).mean_response_ms("Testbed").unwrap()
+        sim.run(&spec, SEED, kind, &models)
+            .mean_response_ms("Testbed")
+            .unwrap()
     };
     let hints = t(StrategyKind::HintHierarchy);
-    let push_all = t(StrategyKind::HintHierarchicalPush(bh_core::push::PushFraction::All));
+    let push_all = t(StrategyKind::HintHierarchicalPush(
+        bh_core::push::PushFraction::All,
+    ));
     let ideal = t(StrategyKind::HintIdealPush);
-    assert!(push_all < hints, "push-all ({push_all:.0}) should beat no-push hints ({hints:.0})");
+    assert!(
+        push_all < hints,
+        "push-all ({push_all:.0}) should beat no-push hints ({hints:.0})"
+    );
     assert!(
         ideal <= push_all + 1.0,
         "ideal ({ideal:.0}) must bound push-all ({push_all:.0})"
@@ -114,7 +135,10 @@ fn warmup_and_determinism() {
         b.mean_response_ms("Testbed").unwrap(),
         "identical seeds must give identical results"
     );
-    assert_eq!(a.metrics.warmup_skipped, (spec.requests as f64 * 0.10) as u64);
+    assert_eq!(
+        a.metrics.warmup_skipped,
+        (spec.requests as f64 * 0.10) as u64
+    );
 }
 
 #[test]
@@ -137,8 +161,23 @@ fn dec_hit_rates_in_paper_band() {
     // workload is calibrated to land near those; allow generous slack.
     let spec = WorkloadSpec::dec().scaled(0.004);
     let r = bh_core::experiments::sharing(&spec, SEED);
-    assert!((0.30..0.68).contains(&r.hit_ratio[0]), "L1 {:.3}", r.hit_ratio[0]);
-    assert!((0.40..0.78).contains(&r.hit_ratio[1]), "L2 {:.3}", r.hit_ratio[1]);
-    assert!((0.55..0.90).contains(&r.hit_ratio[2]), "L3 {:.3}", r.hit_ratio[2]);
-    assert!(r.hit_ratio[2] - r.hit_ratio[0] > 0.08, "sharing gradient too flat");
+    assert!(
+        (0.30..0.68).contains(&r.hit_ratio[0]),
+        "L1 {:.3}",
+        r.hit_ratio[0]
+    );
+    assert!(
+        (0.40..0.78).contains(&r.hit_ratio[1]),
+        "L2 {:.3}",
+        r.hit_ratio[1]
+    );
+    assert!(
+        (0.55..0.90).contains(&r.hit_ratio[2]),
+        "L3 {:.3}",
+        r.hit_ratio[2]
+    );
+    assert!(
+        r.hit_ratio[2] - r.hit_ratio[0] > 0.08,
+        "sharing gradient too flat"
+    );
 }

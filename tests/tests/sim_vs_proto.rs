@@ -108,5 +108,9 @@ fn simulator_and_prototype_agree_on_data_paths() {
     nodes[0].invalidate("http://x.test/a");
     nodes[0].flush_updates_now();
     let (source, _) = bh_proto::fetch(addrs[0], "http://x.test/a").expect("fetch");
-    assert_eq!(classify_proto(source), PathClass::Peer, "node 0 should refetch from node 1");
+    assert_eq!(
+        classify_proto(source),
+        PathClass::Peer,
+        "node 0 should refetch from node 1"
+    );
 }

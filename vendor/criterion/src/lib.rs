@@ -1,0 +1,239 @@
+//! Minimal in-tree `criterion` subset: enough to run the workspace's
+//! `harness = false` benchmarks and print per-iteration timings with
+//! optional throughput. Statistical machinery is reduced to median-of-samples
+//! with an adaptive iteration count.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// How much setup output to batch per timed run in
+/// [`Bencher::iter_batched`]. The subset times one setup/routine pair per
+/// measurement regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Cheap setup; batch freely.
+    SmallInput,
+    /// Expensive setup.
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher {
+            budget: self.criterion.measure_for,
+            samples,
+            median_ns: 0.0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.median_ns;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+                let gib = b as f64 / per_iter * 1e9 / (1u64 << 30) as f64;
+                format!("  ({gib:.3} GiB/s)")
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let eps = n as f64 / per_iter * 1e9;
+                format!("  ({eps:.0} elem/s)")
+            }
+            _ => String::new(),
+        };
+        eprintln!("  {}/{id}  median {}{rate}", self.name, format_ns(per_iter));
+        self
+    }
+
+    /// Ends the group (kept for API parity; settings die with the value).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    budget: Duration,
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fit in one sample slot.
+        let slot = self.budget.as_secs_f64() / self.samples as f64;
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= slot / 4.0 || iters_per_sample >= 1 << 30 {
+                break;
+            }
+            iters_per_sample *= 8;
+        }
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        self.median_ns = median(&mut samples_ns);
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        // One setup/routine pair per measurement keeps setup cost out of the
+        // timing without criterion's batch bookkeeping.
+        let per_sample = 8usize;
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            samples_ns.push(start.elapsed().as_secs_f64() * 1e9 / per_sample as f64);
+        }
+        self.median_ns = median(&mut samples_ns);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    samples[samples.len() / 2]
+}
+
+/// Declares a benchmark entry point composed of `fn(&mut Criterion)` stages.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something_positive() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measure_for: Duration::from_millis(6),
+        };
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3).throughput(Throughput::Elements(1));
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,451 @@
+//! Minimal in-tree `serde` subset: a JSON-shaped [`Value`] tree, the
+//! [`Serialize`]/[`Deserialize`] traits defined over it, impls for the
+//! std types this workspace uses, and re-exported derive macros. The
+//! companion `serde_json` crate renders and parses the `Value` tree.
+//!
+//! Semantics follow real serde's JSON data model: structs are objects,
+//! newtype structs are transparent, enums are externally tagged.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree; the interchange format between the traits and
+/// the `serde_json` text layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative (or any signed) integer.
+    Int(i64),
+    /// Non-negative integer (kept separate so `u64::MAX` round-trips).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved so serialized field order
+    /// matches declaration order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A mismatch between the expected shape and the value found.
+    pub fn type_mismatch(ty: &str, expected: &str, found: &Value) -> Self {
+        DeError(format!("{ty}: expected {expected}, found {}", found.kind()))
+    }
+
+    /// An enum tag that names no variant of the target enum.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        DeError(format!("{ty}: unknown variant `{tag}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the tree's shape does not match `Self`.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+static NULL: Value = Value::Null;
+
+/// Fetches a struct field from an object value; a missing key yields `Null`
+/// so `Option` fields tolerate omission. Used by derived impls.
+///
+/// # Errors
+///
+/// Fails when `v` is not an object at all.
+pub fn field<'a>(v: &'a Value, ty: &str, name: &str) -> Result<&'a Value, DeError> {
+    match v {
+        Value::Object(_) => Ok(v.get(name).unwrap_or(&NULL)),
+        other => Err(DeError::type_mismatch(ty, "object", other)),
+    }
+}
+
+/// Expects an array of exactly `len` items. Used by derived impls for tuple
+/// structs and tuple enum variants.
+///
+/// # Errors
+///
+/// Fails when `v` is not an array or has the wrong length.
+pub fn expect_array<'a>(v: &'a Value, ty: &str, len: usize) -> Result<&'a [Value], DeError> {
+    match v {
+        Value::Array(items) if items.len() == len => Ok(items),
+        Value::Array(items) => Err(DeError(format!(
+            "{ty}: expected {len} elements, found {}",
+            items.len()
+        ))),
+        other => Err(DeError::type_mismatch(ty, "array", other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize(&self) -> Value {
+        let v = *self as i64;
+        if v >= 0 {
+            Value::UInt(v as u64)
+        } else {
+            Value::Int(v)
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+fn as_u64(v: &Value, ty: &str) -> Result<u64, DeError> {
+    match v {
+        Value::UInt(n) => Ok(*n),
+        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(DeError::type_mismatch(ty, "unsigned integer", other)),
+    }
+}
+
+fn as_i64(v: &Value, ty: &str) -> Result<i64, DeError> {
+    match v {
+        Value::Int(n) => Ok(*n),
+        Value::UInt(n) => {
+            i64::try_from(*n).map_err(|_| DeError(format!("{ty}: {n} overflows i64")))
+        }
+        other => Err(DeError::type_mismatch(ty, "integer", other)),
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n = as_u64(v, stringify!($t))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!(concat!(stringify!($t), ": {} out of range"), n)))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let n = as_i64(v, stringify!($t))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!(concat!(stringify!($t), ": {} out of range"), n)))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(DeError::type_mismatch("f64", "number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", "bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("String", "string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::type_mismatch("char", "single-char string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::type_mismatch("Vec", "array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let items = expect_array(v, "array", N)?;
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError(format!("array: expected {N} elements")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let items = expect_array(v, "tuple", $len)?;
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; A.0)
+    (2; A.0, B.1)
+    (3; A.0, B.1, C.2)
+    (4; A.0, B.1, C.2, D.3)
+    (5; A.0, B.1, C.2, D.3, E.4)
+    (6; A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()), Ok(42));
+        assert_eq!(i64::deserialize(&(-7i64).serialize()), Ok(-7));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(v.serialize(), Value::Null);
+        assert_eq!(Option::<u32>::deserialize(&Value::Null), Ok(None));
+        let xs = vec![(1u64, 2.0f64), (3, 4.0)];
+        assert_eq!(Vec::<(u64, f64)>::deserialize(&xs.serialize()), Ok(xs));
+    }
+
+    #[test]
+    fn missing_object_key_reads_as_null() {
+        let obj = Value::Object(vec![("a".to_string(), Value::UInt(1))]);
+        assert_eq!(field(&obj, "T", "b"), Ok(&Value::Null));
+        assert_eq!(
+            Option::<u32>::deserialize(field(&obj, "T", "b").expect("object")),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn u64_max_survives() {
+        assert_eq!(u64::deserialize(&u64::MAX.serialize()), Ok(u64::MAX));
+    }
+}
