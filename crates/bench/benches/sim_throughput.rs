@@ -1,0 +1,62 @@
+//! Throughput of the three stages the parallel experiment engine is built
+//! from: raw trace generation, materialized-arena replay, and the full
+//! simulator per strategy. `bench_sim` (a sibling binary) measures the
+//! same quantities without criterion and archives them in `BENCH_sim.json`
+//! so the perf trajectory is tracked across PRs.
+
+use bh_core::sim::{SimConfig, Simulator};
+use bh_core::strategies::StrategyKind;
+use bh_netmodel::{CostModel, TestbedModel};
+use bh_trace::{MaterializedTrace, TraceGenerator, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    let spec = WorkloadSpec::small().with_requests(20_000);
+    let tb = TestbedModel::new();
+    let arena = MaterializedTrace::generate(&spec, 9);
+
+    group.throughput(Throughput::Elements(spec.requests));
+    group.bench_function("trace_gen", |b| {
+        b.iter(|| {
+            let mut last = None;
+            for r in TraceGenerator::new(&spec, 9) {
+                last = Some(r);
+            }
+            black_box(last)
+        });
+    });
+
+    group.throughput(Throughput::Elements(spec.requests));
+    group.bench_function("replay", |b| {
+        b.iter(|| {
+            let mut last = None;
+            for r in arena.iter() {
+                last = Some(r);
+            }
+            black_box(last)
+        });
+    });
+
+    for kind in [
+        StrategyKind::DataHierarchy,
+        StrategyKind::CentralDirectory,
+        StrategyKind::HintHierarchy,
+    ] {
+        group.throughput(Throughput::Elements(spec.requests));
+        group.bench_function(format!("sim/{kind}"), |b| {
+            b.iter(|| {
+                let models: Vec<&dyn CostModel> = vec![&tb];
+                let sim = Simulator::new(SimConfig::infinite(&spec));
+                black_box(sim.run_trace(&arena, kind, &models))
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

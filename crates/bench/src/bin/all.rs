@@ -1,47 +1,74 @@
-//! Runs the complete experiment suite (every table and figure) by invoking
-//! the sibling experiment binaries in sequence with shared flags.
+//! Runs the complete experiment suite (every table and figure).
+//!
+//! By default the suite runs **in-process**: every experiment's job plan
+//! is flattened onto one shared work-stealing queue (`--jobs N` workers,
+//! default: CPU count), materialized trace arenas are shared through the
+//! process-wide cache, and the per-experiment output sections are printed
+//! sequentially in the canonical order — so stdout and the JSON artifacts
+//! are byte-identical for any `--jobs` value.
 //!
 //! ```text
-//! cargo run --release -p bh-bench --bin all -- --scale 0.05
+//! cargo run --release -p bh-bench --bin all -- --scale 0.05 --jobs 4
 //! ```
+//!
+//! `--subprocess` restores the historical behavior of spawning each
+//! sibling experiment binary in sequence (one process per experiment, no
+//! trace sharing). The suite's exit status is then the first failing
+//! child's exit code.
 
-use std::process::Command;
+use bh_bench::suite::{registry, run_subprocesses, run_suite};
+use bh_bench::Args;
+use std::time::Instant;
 
 fn main() {
-    let passthrough: Vec<String> = std::env::args().skip(1).collect();
-    let exe = std::env::current_exe().expect("current exe");
-    let dir = exe.parent().expect("bin dir");
+    let mut passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let subprocess = passthrough.iter().any(|a| a == "--subprocess");
+    passthrough.retain(|a| a != "--subprocess");
 
-    let experiments = [
-        "fig1",
-        "table3",
-        "table4",
-        "fig2",
-        "fig3",
-        "fig5",
-        "fig6",
-        "table5",
-        "fig8",
-        "fig10",
-        "fig11",
-        "ablations",
-    ];
-    let mut failures = Vec::new();
-    for name in experiments {
-        let bin = dir.join(name);
-        eprintln!("\n>>> running {name}\n");
-        let status = Command::new(&bin)
-            .args(&passthrough)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", bin.display()));
-        if !status.success() {
-            failures.push(name);
-        }
+    let experiments = registry();
+
+    if subprocess {
+        let exe = std::env::current_exe().expect("current exe");
+        let dir = exe.parent().expect("bin dir");
+        let programs: Vec<_> = experiments
+            .iter()
+            .map(|e| (e.name().to_string(), dir.join(e.name())))
+            .collect();
+        std::process::exit(run_subprocesses(&programs, &passthrough));
     }
-    if failures.is_empty() {
-        eprintln!("\nall experiments completed; JSON artifacts in target/experiments/");
-    } else {
-        eprintln!("\nFAILED: {failures:?}");
-        std::process::exit(1);
+
+    // Each experiment parses the same flag list but keeps its historical
+    // per-binary scale default when --scale is absent.
+    let per_args: Vec<Args> = experiments
+        .iter()
+        .map(|e| Args::parse_from(passthrough.iter().cloned(), e.default_scale()))
+        .collect();
+    let jobs = per_args[0].jobs;
+
+    let start = Instant::now();
+    let timings = run_suite(&experiments, &per_args, jobs);
+    let wall = start.elapsed();
+
+    eprintln!("\nall experiments completed; JSON artifacts in target/experiments/");
+    eprintln!("\nSuite timing (--jobs {jobs}):");
+    eprintln!(
+        "{:<12} {:>6} {:>12} {:>12}",
+        "experiment", "jobs", "job-time", "finish"
+    );
+    for t in &timings {
+        eprintln!(
+            "{:<12} {:>6} {:>11.2}s {:>11.2}s",
+            t.name,
+            t.jobs,
+            t.job_time.as_secs_f64(),
+            t.finish_time.as_secs_f64()
+        );
     }
+    let job_total: f64 = timings.iter().map(|t| t.job_time.as_secs_f64()).sum();
+    eprintln!(
+        "total: {:.2}s wall-clock ({:.2}s of job work across {} workers)",
+        wall.as_secs_f64(),
+        job_total,
+        jobs
+    );
 }

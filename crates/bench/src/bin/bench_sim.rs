@@ -1,0 +1,94 @@
+//! Measures the engine's three stages — trace generation, materialized
+//! replay, and `Simulator::run_trace` per strategy — in requests/second,
+//! and writes `BENCH_sim.json` (default: repo root) so the perf trajectory
+//! is tracked across PRs. The `sim_throughput` criterion bench measures
+//! the same quantities interactively.
+//!
+//! ```text
+//! cargo run --release -p bh-bench --bin bench_sim -- [--out BENCH_sim.json]
+//! ```
+
+use bh_core::sim::{SimConfig, Simulator};
+use bh_core::strategies::StrategyKind;
+use bh_netmodel::{CostModel, TestbedModel};
+use bh_trace::{MaterializedTrace, TraceGenerator, WorkloadSpec};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchSim {
+    requests: u64,
+    repeats: u32,
+    trace_gen_rps: f64,
+    replay_rps: f64,
+    strategies_rps: Vec<(String, f64)>,
+}
+
+/// Best-of-`repeats` requests/second for one measured closure.
+fn best_rps(requests: u64, repeats: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    requests as f64 / best
+}
+
+fn main() {
+    let mut out = "BENCH_sim.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out = it.next().expect("--out requires a path"),
+            other => panic!("unknown flag {other}; usage: bench_sim [--out path]"),
+        }
+    }
+
+    let spec = WorkloadSpec::small().with_requests(20_000);
+    let repeats = 5;
+    let tb = TestbedModel::new();
+    let arena = MaterializedTrace::generate(&spec, 9);
+
+    let trace_gen_rps = best_rps(spec.requests, repeats, || {
+        black_box(TraceGenerator::new(&spec, 9).last());
+    });
+    let replay_rps = best_rps(spec.requests, repeats, || {
+        black_box(arena.iter().last());
+    });
+
+    let mut strategies_rps = Vec::new();
+    for kind in [
+        StrategyKind::DataHierarchy,
+        StrategyKind::CentralDirectory,
+        StrategyKind::HintHierarchy,
+    ] {
+        let rps = best_rps(spec.requests, repeats, || {
+            let models: Vec<&dyn CostModel> = vec![&tb];
+            let sim = Simulator::new(SimConfig::infinite(&spec));
+            black_box(sim.run_trace(&arena, kind, &models));
+        });
+        strategies_rps.push((kind.to_string(), rps));
+    }
+
+    let result = BenchSim {
+        requests: spec.requests,
+        repeats,
+        trace_gen_rps,
+        replay_rps,
+        strategies_rps,
+    };
+    for (name, rps) in [
+        ("trace_gen", result.trace_gen_rps),
+        ("replay", result.replay_rps),
+    ] {
+        eprintln!("{name:<18} {rps:>12.0} req/s");
+    }
+    for (name, rps) in &result.strategies_rps {
+        eprintln!("sim/{name:<14} {rps:>12.0} req/s");
+    }
+    let json = serde_json::to_string_pretty(&result).expect("serialize");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("[wrote {out}]");
+}

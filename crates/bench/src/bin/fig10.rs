@@ -1,89 +1,8 @@
-//! Figure 10: simulated response time for the DEC trace under the push
-//! algorithms — no-push data hierarchy, no-push hints, update push,
-//! push-1, push-half, push-all, and the ideal-push upper bound
-//! (space-constrained configuration).
-
-use bh_bench::{banner, fmt_speedup, Args};
-use bh_core::experiments::{push_comparison, PushComparisonRow};
-use bh_netmodel::{CostModel, RousskovModel, TestbedModel};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Fig10 {
-    trace: String,
-    scale: f64,
-    rows: Vec<PushComparisonRow>,
-}
+//! Figure 10: response time for the push algorithms.
+//!
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(0.05);
-    banner(
-        "Figure 10",
-        "response time for push algorithms (DEC, space-constrained)",
-        &args,
-    );
-    let spec = args.dec_spec();
-
-    let tb = TestbedModel::new();
-    let min = RousskovModel::min();
-    let max = RousskovModel::max();
-    let models: Vec<&dyn CostModel> = vec![&max, &min, &tb];
-    let rows = push_comparison(&spec, args.seed, &models);
-
-    println!(
-        "\n{:<14} {:>9} {:>9} {:>9} {:>8}",
-        "Strategy", "Max", "Min", "Testbed", "L1-hit%"
-    );
-    for r in &rows {
-        let ms = |name: &str| {
-            r.response_ms
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, v)| *v)
-                .unwrap_or(f64::NAN)
-        };
-        println!(
-            "{:<14} {:>9.0} {:>9.0} {:>9.0} {:>7.1}%",
-            r.strategy,
-            ms("Max"),
-            ms("Min"),
-            ms("Testbed"),
-            r.l1_hit_fraction * 100.0
-        );
-    }
-
-    let ms_of = |label: &str, model: &str| {
-        rows.iter()
-            .find(|r| r.strategy == label)
-            .and_then(|r| r.response_ms.iter().find(|(n, _)| n == model))
-            .map(|(_, v)| *v)
-            .unwrap_or(f64::NAN)
-    };
-    println!("\nSpeedups vs no-push hierarchy (Testbed):");
-    for label in [
-        "Hints",
-        "Update Push",
-        "Push-1",
-        "Push-half",
-        "Push-all",
-        "Push-ideal",
-    ] {
-        println!(
-            "  {:<12} {}",
-            label,
-            fmt_speedup(ms_of("Hierarchy", "Testbed") / ms_of(label, "Testbed"))
-        );
-    }
-    println!("\n(paper: ideal push 1.54–2.63x vs data hierarchy and 1.21–1.62x vs hints;");
-    println!(
-        " hierarchical push 1.42–2.03x vs hierarchy, 1.12–1.25x vs hints; update push ≈ hints)"
-    );
-    args.write_json(
-        "fig10",
-        &Fig10 {
-            trace: spec.name.to_string(),
-            scale: args.scale,
-            rows,
-        },
-    );
+    bh_bench::suite::run_standalone(&bh_bench::runners::fig10::Fig10);
 }

@@ -1,61 +1,8 @@
-//! Figure 11: (a) efficiency — the fraction of pushed bytes later used —
-//! and (b) bandwidth consumed by pushed vs demand-fetched data, for the
-//! push algorithms on the DEC trace.
-
-use bh_bench::{banner, Args};
-use bh_core::experiments::{push_comparison, PushComparisonRow};
-use bh_netmodel::{CostModel, TestbedModel};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Fig11 {
-    trace: String,
-    scale: f64,
-    rows: Vec<PushComparisonRow>,
-}
+//! Figure 11: push efficiency and bandwidth.
+//!
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(0.05);
-    banner(
-        "Figure 11",
-        "push efficiency and bandwidth (DEC, space-constrained)",
-        &args,
-    );
-    let spec = args.dec_spec();
-
-    let tb = TestbedModel::new();
-    let models: Vec<&dyn CostModel> = vec![&tb];
-    let rows = push_comparison(&spec, args.seed, &models);
-
-    println!("\n(a) efficiency — fraction of pushed bytes later accessed");
-    println!("{:<14} {:>12}", "Strategy", "efficiency");
-    for r in rows.iter().filter(|r| r.push_bw_kbps > 0.0) {
-        println!("{:<14} {:>12.3}", r.strategy, r.efficiency);
-    }
-
-    println!("\n(b) bandwidth (KB/s over the measured window)");
-    println!(
-        "{:<14} {:>10} {:>10} {:>10}",
-        "Strategy", "pushed", "demand", "total"
-    );
-    for r in &rows {
-        println!(
-            "{:<14} {:>10.1} {:>10.1} {:>10.1}",
-            r.strategy,
-            r.push_bw_kbps,
-            r.demand_bw_kbps,
-            r.push_bw_kbps + r.demand_bw_kbps
-        );
-    }
-
-    println!("\n(paper: update push ≈1/3 of pushed bytes used; hierarchical push 4–13%");
-    println!(" efficient and up to ~4x the demand bandwidth — latency bought with bandwidth)");
-    args.write_json(
-        "fig11",
-        &Fig11 {
-            trace: spec.name.to_string(),
-            scale: args.scale,
-            rows,
-        },
-    );
+    bh_bench::suite::run_standalone(&bh_bench::runners::fig11::Fig11);
 }

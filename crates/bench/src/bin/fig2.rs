@@ -1,90 +1,8 @@
-//! Figure 2: request and byte miss-class breakdown for a global shared
-//! cache as cache size varies (compulsory / capacity / communication /
-//! error / uncachable).
+//! Figure 2: miss-class breakdown vs shared cache size.
 //!
-//! The x-axis is labeled in *full-scale-equivalent* GB: at `--scale s` the
-//! simulated cache is `s × label` so that eviction pressure matches the
-//! full-size experiment.
-
-use bh_bench::{banner, Args};
-use bh_core::experiments::miss_breakdown;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Fig2 {
-    trace: String,
-    scale: f64,
-    points: Vec<bh_core::experiments::MissBreakdownPoint>,
-}
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(0.1);
-    banner(
-        "Figure 2",
-        "miss-class breakdown vs global cache size",
-        &args,
-    );
-
-    // Full-scale axis (GB), as in the paper's 0–35 GB sweep.
-    let axis = [1.0, 2.0, 5.0, 10.0, 20.0, 35.0, f64::INFINITY];
-    let mut results = Vec::new();
-    for spec in args.specs() {
-        let scaled: Vec<f64> = axis
-            .iter()
-            .map(|gb| if gb.is_finite() { gb * args.scale } else { *gb })
-            .collect();
-        // Each cache size is an independent pass over the trace.
-        let mut points: Vec<bh_core::experiments::MissBreakdownPoint> =
-            bh_bench::parallel_map(scaled, 4, |gb| {
-                miss_breakdown(&spec, args.seed, &[gb], 0.1).remove(0)
-            });
-        // Relabel with the full-scale axis.
-        for (p, label) in points.iter_mut().zip(axis.iter()) {
-            p.cache_gb = *label;
-        }
-        println!("\n--- {} (per-read rates) ---", spec.name);
-        println!(
-            "{:>8} {:>8} {:>11} {:>9} {:>14} {:>7} {:>11} {:>11}",
-            "GB",
-            "hit",
-            "compulsory",
-            "capacity",
-            "communication",
-            "error",
-            "uncachable",
-            "total-miss"
-        );
-        for p in &points {
-            let g = |name: &str| {
-                p.read_rates
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, v)| *v)
-                    .unwrap_or(0.0)
-            };
-            println!(
-                "{:>8} {:>8.3} {:>11.3} {:>9.3} {:>14.3} {:>7.3} {:>11.3} {:>11.3}",
-                if p.cache_gb.is_finite() {
-                    format!("{:.0}", p.cache_gb)
-                } else {
-                    "inf".into()
-                },
-                g("hit"),
-                g("compulsory"),
-                g("capacity"),
-                g("communication"),
-                g("error"),
-                g("uncachable"),
-                p.total_miss_ratio
-            );
-        }
-        results.push(Fig2 {
-            trace: spec.name.to_string(),
-            scale: args.scale,
-            points,
-        });
-    }
-    println!("\n(paper: compulsory dominates; capacity misses minor for multi-GB caches;");
-    println!(" DEC ≈19% compulsory; Berkeley/Prodigy have more uncachable + communication)");
-    args.write_json("fig2", &results);
+    bh_bench::suite::run_standalone(&bh_bench::runners::fig2::Fig2);
 }

@@ -1,37 +1,8 @@
-//! Figure 3: overall per-read and per-byte hit rates within infinite L1
-//! caches (256 clients), L2 caches (2048 clients), and the L3 cache (all
-//! clients) — sharing raises the achievable hit rate.
-
-use bh_bench::{banner, Args};
-use bh_core::experiments::{sharing, SharingResult};
+//! Figure 3: sharing patterns across the three workloads.
+//!
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(0.1);
-    banner(
-        "Figure 3",
-        "hit rates vs sharing level (infinite caches)",
-        &args,
-    );
-
-    let mut results: Vec<SharingResult> = Vec::new();
-    println!(
-        "\n{:<10} {:>8} {:>8} {:>8}   {:>9} {:>9} {:>9}",
-        "Trace", "L1 hit", "L2 hit", "L3 hit", "L1 bytes", "L2 bytes", "L3 bytes"
-    );
-    for spec in args.specs() {
-        let r = sharing(&spec, args.seed);
-        println!(
-            "{:<10} {:>8.3} {:>8.3} {:>8.3}   {:>9.3} {:>9.3} {:>9.3}",
-            r.workload,
-            r.hit_ratio[0],
-            r.hit_ratio[1],
-            r.hit_ratio[2],
-            r.byte_hit_ratio[0],
-            r.byte_hit_ratio[1],
-            r.byte_hit_ratio[2]
-        );
-        results.push(r);
-    }
-    println!("\n(paper, DEC: 50% L1 → 62% L2 → 78% L3; hit rate grows with sharing)");
-    args.write_json("fig3", &results);
+    bh_bench::suite::run_standalone(&bh_bench::runners::fig3::Fig3);
 }

@@ -1,62 +1,8 @@
-//! Figure 5: global hit rate vs hint-cache size (16-byte records, 4-way
-//! set-associative), DEC trace, 64 proxies × 256 clients.
+//! Figure 5: hint-cache size sweep.
 //!
-//! X-axis labels are full-scale-equivalent MB (the simulated store is
-//! `scale ×` the label, matching the scaled object universe).
-
-use bh_bench::{banner, Args};
-use bh_core::experiments::{hint_size_sweep, HintSweepPoint};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Fig5 {
-    trace: String,
-    scale: f64,
-    points: Vec<HintSweepPoint>,
-}
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(0.05);
-    banner("Figure 5", "hit rate vs hint-cache size (MB)", &args);
-    let spec = args.dec_spec();
-
-    let axis = [0.1, 1.0, 10.0, 50.0, 100.0, 500.0, f64::INFINITY];
-    let scaled: Vec<f64> = axis
-        .iter()
-        .map(|mb| if mb.is_finite() { mb * args.scale } else { *mb })
-        .collect();
-    // Each point is an independent simulation: run them in parallel.
-    let mut points: Vec<HintSweepPoint> = bh_bench::parallel_map(scaled, 4, |mb| {
-        hint_size_sweep(&spec, args.seed, &[mb]).remove(0)
-    });
-    for (p, label) in points.iter_mut().zip(axis.iter()) {
-        p.x = *label;
-    }
-
-    println!(
-        "\n{:>10} {:>10} {:>13} {:>13}",
-        "MB", "hit-rate", "remote-hits", "false-pos"
-    );
-    for p in &points {
-        println!(
-            "{:>10} {:>10.3} {:>13.3} {:>13.4}",
-            if p.x.is_finite() {
-                format!("{:.1}", p.x)
-            } else {
-                "inf".into()
-            },
-            p.hit_ratio,
-            p.remote_hit_fraction,
-            p.false_positive_rate
-        );
-    }
-    println!("\n(paper: <10 MB adds little reach; ~100 MB tracks almost all data in the system)");
-    args.write_json(
-        "fig5",
-        &Fig5 {
-            trace: spec.name.to_string(),
-            scale: args.scale,
-            points,
-        },
-    );
+    bh_bench::suite::run_standalone(&bh_bench::runners::fig5::Fig5);
 }

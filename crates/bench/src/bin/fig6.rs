@@ -1,50 +1,8 @@
-//! Figure 6: global hit rate vs hint propagation delay (minutes), DEC
-//! trace — performance is good as long as updates propagate within a few
-//! minutes.
-
-use bh_bench::{banner, Args};
-use bh_core::experiments::{hint_delay_sweep, HintSweepPoint};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Fig6 {
-    trace: String,
-    scale: f64,
-    points: Vec<HintSweepPoint>,
-}
+//! Figure 6: hint propagation delay sweep.
+//!
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(0.05);
-    banner(
-        "Figure 6",
-        "hit rate vs hint propagation delay (minutes)",
-        &args,
-    );
-    let spec = args.dec_spec();
-
-    let delays = [0.0, 1.0, 5.0, 10.0, 60.0, 300.0, 1000.0];
-    // Each point is an independent simulation: run them in parallel.
-    let points: Vec<HintSweepPoint> = bh_bench::parallel_map(delays.to_vec(), 4, |mins| {
-        hint_delay_sweep(&spec, args.seed, &[mins]).remove(0)
-    });
-
-    println!(
-        "\n{:>10} {:>10} {:>13} {:>13}",
-        "minutes", "hit-rate", "remote-hits", "false-pos"
-    );
-    for p in &points {
-        println!(
-            "{:>10.0} {:>10.3} {:>13.3} {:>13.4}",
-            p.x, p.hit_ratio, p.remote_hit_fraction, p.false_positive_rate
-        );
-    }
-    println!("\n(paper: hit rate holds up to a few minutes of delay, then degrades)");
-    args.write_json(
-        "fig6",
-        &Fig6 {
-            trace: spec.name.to_string(),
-            scale: args.scale,
-            points,
-        },
-    );
+    bh_bench::suite::run_standalone(&bh_bench::runners::fig6::Fig6);
 }

@@ -1,74 +1,8 @@
-//! Figure 8 + Table 6: simulated mean response time for the traditional
-//! data hierarchy, the centralized directory, and the hint architecture,
-//! under the Testbed / Min / Max access-time parameterizations, with
-//! (a) infinite disk and (b) the space-constrained arrangement.
-
-use bh_bench::{banner, fmt_speedup, Args};
-use bh_core::experiments::{response_time_matrix, ResponseTimeResult};
-use bh_netmodel::{CostModel, RousskovModel, TestbedModel};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Fig8 {
-    results: Vec<ResponseTimeResult>,
-    speedups: Vec<(String, bool, String, f64)>, // (trace, constrained, model, speedup)
-}
+//! Figure 8 / Table 6: mean response time across architectures.
+//!
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(0.1);
-    banner(
-        "Figure 8 / Table 6",
-        "mean response time: Hierarchy vs Directory vs Hints",
-        &args,
-    );
-
-    let tb = TestbedModel::new();
-    let min = RousskovModel::min();
-    let max = RousskovModel::max();
-    let models: Vec<&dyn CostModel> = vec![&max, &min, &tb]; // the paper's bar order
-
-    let mut out = Fig8 {
-        results: Vec::new(),
-        speedups: Vec::new(),
-    };
-    for constrained in [false, true] {
-        println!(
-            "\n=== ({}) {} ===",
-            if constrained { "b" } else { "a" },
-            if constrained {
-                "space constrained"
-            } else {
-                "infinite disk"
-            }
-        );
-        for spec in args.specs() {
-            let r = response_time_matrix(&spec, args.seed, constrained, &models);
-            println!("\n--- {} ---", spec.name);
-            println!(
-                "{:<12} {:>10} {:>10} {:>10}",
-                "Strategy", "Max", "Min", "Testbed"
-            );
-            for strategy in ["Hierarchy", "Directory", "Hints"] {
-                println!(
-                    "{:<12} {:>10.0} {:>10.0} {:>10.0}",
-                    strategy,
-                    r.cell(strategy, "Max").unwrap_or(f64::NAN),
-                    r.cell(strategy, "Min").unwrap_or(f64::NAN),
-                    r.cell(strategy, "Testbed").unwrap_or(f64::NAN),
-                );
-            }
-            print!("speedup (Hierarchy/Hints): ");
-            for model in ["Max", "Min", "Testbed"] {
-                let s = r.speedup(model).unwrap_or(f64::NAN);
-                print!("{model}={} ", fmt_speedup(s));
-                out.speedups
-                    .push((spec.name.to_string(), constrained, model.to_string(), s));
-            }
-            println!();
-            out.results.push(r);
-        }
-    }
-    println!("\n(paper Table 6 — speedups: Prodigy 1.80/1.38/2.31, Berkeley 1.79/1.32/2.79,");
-    println!(" DEC 1.62/1.28/1.99 for Max/Min/Testbed; hints always win)");
-    args.write_json("fig8", &out);
+    bh_bench::suite::run_standalone(&bh_bench::runners::fig8::Fig8);
 }

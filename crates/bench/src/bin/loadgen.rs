@@ -112,6 +112,7 @@ impl LoadgenArgs {
             seed: self.seed,
             trace: "custom".to_string(),
             out: self.out.clone(),
+            jobs: 1,
         }
     }
 }

@@ -1,96 +1,8 @@
-//! Table 3: summary of Squid cache-hierarchy performance based on
-//! Rousskov's measurements — component times and the paper's derived
-//! totals (hierarchical / client-direct / via-L1), Min and Max.
-
-use bh_bench::{banner, Args};
-use bh_netmodel::{CostModel, Level, RousskovModel};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Table3 {
-    variant: String,
-    rows: Vec<Table3Row>,
-}
-
-#[derive(Serialize)]
-struct Table3Row {
-    level: String,
-    connect_ms: Option<f64>,
-    disk_ms: Option<f64>,
-    reply_ms: Option<f64>,
-    total_hierarchical_ms: f64,
-    total_direct_ms: f64,
-    total_via_l1_ms: f64,
-}
-
-fn build(m: &RousskovModel) -> Table3 {
-    let mut rows = Vec::new();
-    for (level, label) in [
-        (Level::L1, "Leaf"),
-        (Level::L2, "Intermediate"),
-        (Level::L3, "Root"),
-    ] {
-        let c = m.levels[level.depth() - 1];
-        rows.push(Table3Row {
-            level: label.to_string(),
-            connect_ms: Some(c.connect_ms),
-            disk_ms: Some(c.disk_ms),
-            reply_ms: Some(c.reply_ms),
-            total_hierarchical_ms: m.total_hierarchical_ms(level),
-            total_direct_ms: m.total_direct_ms(level),
-            total_via_l1_ms: m.total_via_l1_ms(level),
-        });
-    }
-    rows.push(Table3Row {
-        level: "Miss".to_string(),
-        connect_ms: None,
-        disk_ms: Some(m.miss_ms),
-        reply_ms: None,
-        total_hierarchical_ms: m.total_hierarchical_miss_ms(),
-        total_direct_ms: m.direct_miss_ms(),
-        total_via_l1_ms: m.via_l1_miss_ms(),
-    });
-    Table3 {
-        variant: m.name().to_string(),
-        rows,
-    }
-}
-
-fn print(t: &Table3) {
-    println!("\n--- {} ---", t.variant);
-    println!(
-        "{:<13} {:>9} {:>8} {:>8} {:>14} {:>12} {:>10}",
-        "Level", "Connect", "Disk", "Reply", "Hierarchical", "Direct", "via L1"
-    );
-    for r in &t.rows {
-        let opt = |v: Option<f64>| v.map(|x| format!("{x:.0}")).unwrap_or_else(|| "-".into());
-        println!(
-            "{:<13} {:>9} {:>8} {:>8} {:>14.0} {:>12.0} {:>10.0}",
-            r.level,
-            opt(r.connect_ms),
-            opt(r.disk_ms),
-            opt(r.reply_ms),
-            r.total_hierarchical_ms,
-            r.total_direct_ms,
-            r.total_via_l1_ms
-        );
-    }
-}
+//! Table 3: per-level hit latencies from the analytic model.
+//!
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(1.0);
-    banner(
-        "Table 3",
-        "Rousskov Squid measurements: components and derived totals (ms)",
-        &args,
-    );
-    let tables = vec![build(&RousskovModel::min()), build(&RousskovModel::max())];
-    for t in &tables {
-        print(t);
-    }
-    println!("\n(paper totals — Min: 163/271/531/981 hierarchical, 163/180/320/550 direct,");
-    println!(
-        " 163/271/411/641 via-L1; Max: 352/2767/4667/7217, 352/2550/2850/3200, 352/2767/3067/3417)"
-    );
-    args.write_json("table3", &tables);
+    bh_bench::suite::run_standalone(&bh_bench::runners::table3::Table3);
 }

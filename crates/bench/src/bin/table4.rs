@@ -1,80 +1,8 @@
-//! Table 4: characteristics of the trace workloads — regenerated from the
-//! synthetic workload models (clients, accesses, distinct URLs, days).
-
-use bh_bench::{banner, Args};
-use bh_trace::{TraceGenerator, TraceSummary};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Table4Row {
-    trace: String,
-    summary: TraceSummary,
-    paper_clients: u64,
-    paper_accesses_m: f64,
-    paper_distinct_m: f64,
-}
+//! Table 4: workload summary statistics for the three traces.
+//!
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(0.1);
-    banner(
-        "Table 4",
-        "characteristics of trace workloads (scaled)",
-        &args,
-    );
-
-    let paper: &[(&str, u64, f64, f64)] = &[
-        ("DEC", 16_660, 22.1, 4.15),
-        ("Berkeley", 8_372, 8.8, 1.8),
-        ("Prodigy", 35_354, 4.2, 1.2),
-    ];
-
-    println!(
-        "\n{:<10} {:>9} {:>12} {:>14} {:>7}   (paper @ scale 1: clients / accesses / distinct)",
-        "Trace", "Clients", "Accesses", "DistinctURLs", "Days"
-    );
-    let mut rows = Vec::new();
-    for spec in args.specs() {
-        let summary = TraceSummary::compute(TraceGenerator::new(&spec, args.seed));
-        println!(
-            "{}   ({} / {:.1}M / {:.2}M)",
-            summary.table4_row(&spec.name.to_string()),
-            paper
-                .iter()
-                .find(|(n, ..)| *n == spec.name.to_string())
-                .map(|(_, c, ..)| *c)
-                .unwrap_or(0),
-            paper
-                .iter()
-                .find(|(n, ..)| *n == spec.name.to_string())
-                .map(|(_, _, a, _)| *a)
-                .unwrap_or(0.0),
-            paper
-                .iter()
-                .find(|(n, ..)| *n == spec.name.to_string())
-                .map(|(_, _, _, d)| *d)
-                .unwrap_or(0.0),
-        );
-        let (pc, pa, pd) = paper
-            .iter()
-            .find(|(n, ..)| *n == spec.name.to_string())
-            .map(|(_, c, a, d)| (*c, *a, *d))
-            .unwrap_or((0, 0.0, 0.0));
-        rows.push(Table4Row {
-            trace: spec.name.to_string(),
-            summary,
-            paper_clients: pc,
-            paper_accesses_m: pa,
-            paper_distinct_m: pd,
-        });
-    }
-    println!("\nDistinct/total ratios should match the paper at any scale:");
-    for r in &rows {
-        println!(
-            "  {:<10} distinct/total = {:.3} (paper: {:.3})",
-            r.trace,
-            r.summary.distinct_ratio,
-            r.paper_distinct_m / r.paper_accesses_m
-        );
-    }
-    args.write_json("table4", &rows);
+    bh_bench::suite::run_standalone(&bh_bench::runners::table4::Table4);
 }

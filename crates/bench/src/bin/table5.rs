@@ -1,47 +1,8 @@
-//! Table 5: average number of location-hint updates sent to the root —
-//! centralized directory (receives everything) vs the filtering metadata
-//! hierarchy, DEC trace, 64 L1 proxies × 256 clients.
-
-use bh_bench::{banner, Args};
-use bh_core::experiments::{update_load, UpdateLoadResult};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Table5 {
-    trace: String,
-    scale: f64,
-    result: UpdateLoadResult,
-    filtering_factor: f64,
-}
+//! Table 5: hint-update load at the root.
+//!
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue.
 
 fn main() {
-    let args = Args::parse(0.1);
-    banner(
-        "Table 5",
-        "hint-update load at the root (updates/second)",
-        &args,
-    );
-    let spec = args.dec_spec();
-    let result = update_load(&spec, args.seed);
-    let factor = result.centralized_rate / result.hierarchy_rate.max(1e-9);
-
-    println!("\n{:<26} {:>16}", "Organization", "updates/second");
-    println!(
-        "{:<26} {:>16.2}",
-        "Centralized directory", result.centralized_rate
-    );
-    println!("{:<26} {:>16.2}", "Hierarchy", result.hierarchy_rate);
-    println!("\nfiltering reduces root load by {factor:.2}x");
-    println!("(paper: 5.7 vs 1.9 updates/second — a 3.0x reduction; rates scale with");
-    println!(" request rate, so compare the ratio at reduced scale, not the absolutes)");
-
-    args.write_json(
-        "table5",
-        &Table5 {
-            trace: spec.name.to_string(),
-            scale: args.scale,
-            result,
-            filtering_factor: factor,
-        },
-    );
+    bh_bench::suite::run_standalone(&bh_bench::runners::table5::Table5);
 }

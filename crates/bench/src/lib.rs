@@ -8,13 +8,19 @@
 //! --seed <n>     PRNG seed (default 42)
 //! --trace <t>    dec | berkeley | prodigy | all (default all or dec)
 //! --out <dir>    JSON output directory (default target/experiments)
+//! --jobs <n>     worker threads for the job sweep (default: CPU count)
 //! ```
 //!
 //! Output goes to stdout in the paper's row/series format and, as JSON,
-//! to `<out>/<experiment>.json`.
+//! to `<out>/<experiment>.json`. Results are bit-identical for any
+//! `--jobs` value: jobs are independent deterministic simulations and the
+//! scheduler preserves submission order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod runners;
+pub mod suite;
 
 use bh_trace::WorkloadSpec;
 use std::path::PathBuf;
@@ -30,6 +36,8 @@ pub struct Args {
     pub trace: String,
     /// Output directory for JSON artifacts.
     pub out: PathBuf,
+    /// Worker threads for the job sweep.
+    pub jobs: usize,
 }
 
 impl Args {
@@ -39,13 +47,26 @@ impl Args {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse(default_scale: f64) -> Args {
+        Args::parse_from(std::env::args().skip(1), default_scale)
+    }
+
+    /// Parses an explicit argument list (flags only, no program name) —
+    /// the `all` binary uses this to build each experiment's `Args` from
+    /// one shared passthrough list while keeping per-binary scale
+    /// defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse_from(raw: impl IntoIterator<Item = String>, default_scale: f64) -> Args {
         let mut args = Args {
             scale: default_scale,
             seed: 42,
             trace: "all".to_string(),
             out: PathBuf::from("target/experiments"),
+            jobs: bh_simcore::par::available_workers(),
         };
-        let mut it = std::env::args().skip(1);
+        let mut it = raw.into_iter();
         while let Some(flag) = it.next() {
             let mut value = |what: &str| {
                 it.next()
@@ -62,9 +83,13 @@ impl Args {
                 "--seed" => args.seed = value("number").parse().expect("--seed takes an integer"),
                 "--trace" => args.trace = value("name").to_lowercase(),
                 "--out" => args.out = PathBuf::from(value("path")),
+                "--jobs" => {
+                    args.jobs = value("number").parse().expect("--jobs takes an integer");
+                    assert!(args.jobs >= 1, "--jobs must be at least 1");
+                }
                 "--help" | "-h" => {
                     println!(
-                        "usage: [--scale f] [--seed n] [--trace dec|berkeley|prodigy|all] [--out dir]"
+                        "usage: [--scale f] [--seed n] [--trace dec|berkeley|prodigy|all] [--out dir] [--jobs n]"
                     );
                     std::process::exit(0);
                 }
@@ -108,8 +133,8 @@ impl Args {
 }
 
 /// Maps `f` over `items` on up to `max_threads` OS threads (scoped, so `f`
-/// may borrow), preserving order. Experiment sweeps are embarrassingly
-/// parallel — each point is an independent simulation.
+/// may borrow), preserving order. A thin wrapper over the work-stealing
+/// [`bh_simcore::par::sweep`].
 ///
 /// # Panics
 ///
@@ -120,31 +145,7 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let n = items.len();
-    if n <= 1 || max_threads <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let work: std::sync::Mutex<Vec<(usize, T)>> =
-        std::sync::Mutex::new(items.into_iter().enumerate().rev().collect());
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..max_threads.min(n) {
-            scope.spawn(|_| loop {
-                let next = work.lock().expect("work lock").pop();
-                let Some((idx, item)) = next else { break };
-                let result = f(item);
-                **slot_refs[idx].lock().expect("slot lock") = Some(result);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    drop(slot_refs);
-    slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    bh_simcore::par::sweep(max_threads, items, |_, item| f(item))
 }
 
 /// Prints a banner naming the experiment and its provenance in the paper.
@@ -167,14 +168,19 @@ pub fn fmt_speedup(x: f64) -> String {
 mod tests {
     use super::*;
 
+    fn test_args(scale: f64, trace: &str) -> Args {
+        Args {
+            scale,
+            seed: 1,
+            trace: trace.into(),
+            out: PathBuf::from("/tmp/x"),
+            jobs: 1,
+        }
+    }
+
     #[test]
     fn specs_filter_by_trace() {
-        let mut args = Args {
-            scale: 0.01,
-            seed: 1,
-            trace: "dec".into(),
-            out: PathBuf::from("/tmp/x"),
-        };
+        let mut args = test_args(0.01, "dec");
         assert_eq!(args.specs().len(), 1);
         assert_eq!(args.specs()[0].name.to_string(), "DEC");
         args.trace = "all".into();
@@ -185,13 +191,20 @@ mod tests {
 
     #[test]
     fn specs_are_scaled() {
-        let args = Args {
-            scale: 0.1,
-            seed: 1,
-            trace: "dec".into(),
-            out: PathBuf::from("/tmp/x"),
-        };
+        let args = test_args(0.1, "dec");
         assert_eq!(args.specs()[0].requests, 2_210_000);
+    }
+
+    #[test]
+    fn parse_from_reads_jobs_and_defaults() {
+        let flags = ["--scale", "0.25", "--jobs", "3", "--seed", "9"];
+        let args = Args::parse_from(flags.iter().map(|s| s.to_string()), 0.1);
+        assert_eq!(args.scale, 0.25);
+        assert_eq!(args.jobs, 3);
+        assert_eq!(args.seed, 9);
+        let args = Args::parse_from(std::iter::empty(), 0.1);
+        assert_eq!(args.scale, 0.1);
+        assert!(args.jobs >= 1);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Figure 1: measured access times in the testbed hierarchy for objects of
+//! various sizes — (a) through the hierarchy, (b) fetched directly, and
+//! (c) directly via the L1 proxy.
+
+use crate::suite::{job, take, Experiment, Job, JobOutput};
+use crate::{banner, Args};
+use bh_netmodel::{CostModel, Level, RemoteDistance, TestbedModel};
+use bh_simcore::ByteSize;
+use serde::Serialize;
+
+#[derive(Serialize)]
+pub(crate) struct Fig1Row {
+    size_kb: u64,
+    hier_l1: f64,
+    hier_l2: f64,
+    hier_l3: f64,
+    hier_srv: f64,
+    direct_l1: f64,
+    direct_l2: f64,
+    direct_l3: f64,
+    direct_srv: f64,
+    via_l1_l2: f64,
+    via_l1_l3: f64,
+    via_l1_srv: f64,
+}
+
+fn build_rows() -> Vec<Fig1Row> {
+    let m = TestbedModel::new();
+    let sizes: Vec<u64> = (1..=10).map(|i| 1u64 << i).collect(); // 2KB..1MB
+    sizes
+        .iter()
+        .map(|&kb| {
+            let s = ByteSize::from_kb(kb);
+            Fig1Row {
+                size_kb: kb,
+                hier_l1: m.hierarchy_hit(Level::L1, s).as_millis_f64(),
+                hier_l2: m.hierarchy_hit(Level::L2, s).as_millis_f64(),
+                hier_l3: m.hierarchy_hit(Level::L3, s).as_millis_f64(),
+                hier_srv: m.hierarchy_miss(s).as_millis_f64(),
+                direct_l1: m.hierarchy_hit(Level::L1, s).as_millis_f64(),
+                direct_l2: m
+                    .remote_fetch_from_client(RemoteDistance::SameL2, s)
+                    .as_millis_f64(),
+                direct_l3: m
+                    .remote_fetch_from_client(RemoteDistance::SameL3, s)
+                    .as_millis_f64(),
+                direct_srv: m.server_fetch_from_client(s).as_millis_f64(),
+                via_l1_l2: m.remote_fetch(RemoteDistance::SameL2, s).as_millis_f64(),
+                via_l1_l3: m.remote_fetch(RemoteDistance::SameL3, s).as_millis_f64(),
+                via_l1_srv: m.server_fetch(s).as_millis_f64(),
+            }
+        })
+        .collect()
+}
+
+/// The Figure 1 experiment.
+pub struct Fig1;
+
+impl Experiment for Fig1 {
+    fn name(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn default_scale(&self) -> f64 {
+        1.0
+    }
+
+    fn plan(&self, _args: &Args) -> Vec<Job> {
+        vec![job(build_rows)]
+    }
+
+    fn finish(&self, args: &Args, results: Vec<JobOutput>) {
+        let [rows] = <[JobOutput; 1]>::try_from(results).unwrap_or_else(|_| unreachable!());
+        let rows: Vec<Fig1Row> = take(rows);
+        banner("Figure 1", "testbed access time vs object size (ms)", args);
+
+        println!("\n(a) through the hierarchy          (b) direct                     (c) via L1");
+        println!(
+            "{:>7} | {:>8} {:>8} {:>8} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+            "size",
+            "L1",
+            "L1-L2",
+            "L1-L2-L3",
+            "..SRV",
+            "CLN-L1",
+            "CLN-L2",
+            "CLN-L3",
+            "CLN-SRV",
+            "L1-L2",
+            "L1-L3",
+            "L1-SRV"
+        );
+        for r in &rows {
+            println!(
+                "{:>5}KB | {:>8.0} {:>8.0} {:>8.0} {:>9.0} | {:>8.0} {:>8.0} {:>8.0} {:>8.0} | {:>8.0} {:>8.0} {:>8.0}",
+                r.size_kb, r.hier_l1, r.hier_l2, r.hier_l3, r.hier_srv,
+                r.direct_l1, r.direct_l2, r.direct_l3, r.direct_srv,
+                r.via_l1_l2, r.via_l1_l3, r.via_l1_srv
+            );
+        }
+
+        // The paper's §2.1.1 anchors.
+        let m = TestbedModel::new();
+        let s8 = ByteSize::from_kb(8);
+        let hier3 = m.hierarchy_hit(Level::L3, s8).as_millis_f64();
+        let dir3 = m
+            .remote_fetch_from_client(RemoteDistance::SameL3, s8)
+            .as_millis_f64();
+        println!(
+            "\n8KB L3: hierarchy {hier3:.0} ms vs direct {dir3:.0} ms — diff {:.0} ms, speedup {:.2}x",
+            hier3 - dir3,
+            hier3 / dir3
+        );
+        println!("(paper: difference ≈545 ms, speedup ≈2.5x)");
+
+        args.write_json("fig1", &rows);
+    }
+}

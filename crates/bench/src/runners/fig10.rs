@@ -1,0 +1,110 @@
+//! Figure 10: simulated response time for the DEC trace under the push
+//! algorithms — no-push data hierarchy, no-push hints, update push,
+//! push-1, push-half, push-all, and the ideal-push upper bound
+//! (space-constrained configuration).
+
+use crate::suite::{job, take, Experiment, Job, JobOutput};
+use crate::{banner, fmt_speedup, Args};
+use bh_core::experiments::{push_row_cached, PushComparisonRow};
+use bh_core::strategies::StrategyKind;
+use bh_trace::TraceCache;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig10Out {
+    trace: String,
+    scale: f64,
+    rows: Vec<PushComparisonRow>,
+}
+
+/// The Figure 10 experiment. One job per push strategy.
+pub struct Fig10;
+
+impl Experiment for Fig10 {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn default_scale(&self) -> f64 {
+        0.05
+    }
+
+    fn plan(&self, args: &Args) -> Vec<Job> {
+        let seed = args.seed;
+        let spec = args.dec_spec();
+        StrategyKind::FIGURE10
+            .iter()
+            .map(|&kind| {
+                let spec = spec.clone();
+                // The memoized row (priced under Max/Min/Testbed at once)
+                // is shared with fig11, which needs the same simulations.
+                job(move || (*push_row_cached(&TraceCache::get(&spec, seed), kind)).clone())
+            })
+            .collect()
+    }
+
+    fn finish(&self, args: &Args, results: Vec<JobOutput>) {
+        let rows: Vec<PushComparisonRow> = results.into_iter().map(take).collect();
+        banner(
+            "Figure 10",
+            "response time for push algorithms (DEC, space-constrained)",
+            args,
+        );
+        println!(
+            "\n{:<14} {:>9} {:>9} {:>9} {:>8}",
+            "Strategy", "Max", "Min", "Testbed", "L1-hit%"
+        );
+        for r in &rows {
+            let ms = |name: &str| {
+                r.response_ms
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "{:<14} {:>9.0} {:>9.0} {:>9.0} {:>7.1}%",
+                r.strategy,
+                ms("Max"),
+                ms("Min"),
+                ms("Testbed"),
+                r.l1_hit_fraction * 100.0
+            );
+        }
+
+        let ms_of = |label: &str, model: &str| {
+            rows.iter()
+                .find(|r| r.strategy == label)
+                .and_then(|r| r.response_ms.iter().find(|(n, _)| n == model))
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN)
+        };
+        println!("\nSpeedups vs no-push hierarchy (Testbed):");
+        for label in [
+            "Hints",
+            "Update Push",
+            "Push-1",
+            "Push-half",
+            "Push-all",
+            "Push-ideal",
+        ] {
+            println!(
+                "  {:<12} {}",
+                label,
+                fmt_speedup(ms_of("Hierarchy", "Testbed") / ms_of(label, "Testbed"))
+            );
+        }
+        println!("\n(paper: ideal push 1.54–2.63x vs data hierarchy and 1.21–1.62x vs hints;");
+        println!(
+            " hierarchical push 1.42–2.03x vs hierarchy, 1.12–1.25x vs hints; update push ≈ hints)"
+        );
+        args.write_json(
+            "fig10",
+            &Fig10Out {
+                trace: args.dec_spec().name.to_string(),
+                scale: args.scale,
+                rows,
+            },
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 6: global hit rate vs hint propagation delay (minutes), DEC
+//! trace — performance is good as long as updates propagate within a few
+//! minutes.
+
+use crate::suite::{job, take, Experiment, Job, JobOutput};
+use crate::{banner, Args};
+use bh_core::experiments::{hint_delay_point, HintSweepPoint};
+use bh_trace::TraceCache;
+use serde::Serialize;
+
+const DELAYS: [f64; 7] = [0.0, 1.0, 5.0, 10.0, 60.0, 300.0, 1000.0];
+
+#[derive(Serialize)]
+struct Fig6Out {
+    trace: String,
+    scale: f64,
+    points: Vec<HintSweepPoint>,
+}
+
+/// The Figure 6 experiment. One job per propagation delay.
+pub struct Fig6;
+
+impl Experiment for Fig6 {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn default_scale(&self) -> f64 {
+        0.05
+    }
+
+    fn plan(&self, args: &Args) -> Vec<Job> {
+        let seed = args.seed;
+        let spec = args.dec_spec();
+        DELAYS
+            .iter()
+            .map(|&mins| {
+                let spec = spec.clone();
+                job(move || hint_delay_point(&TraceCache::get(&spec, seed), mins))
+            })
+            .collect()
+    }
+
+    fn finish(&self, args: &Args, results: Vec<JobOutput>) {
+        let points: Vec<HintSweepPoint> = results.into_iter().map(take).collect();
+        banner(
+            "Figure 6",
+            "hit rate vs hint propagation delay (minutes)",
+            args,
+        );
+        println!(
+            "\n{:>10} {:>10} {:>13} {:>13}",
+            "minutes", "hit-rate", "remote-hits", "false-pos"
+        );
+        for p in &points {
+            println!(
+                "{:>10.0} {:>10.3} {:>13.3} {:>13.4}",
+                p.x, p.hit_ratio, p.remote_hit_fraction, p.false_positive_rate
+            );
+        }
+        println!("\n(paper: hit rate holds up to a few minutes of delay, then degrades)");
+        args.write_json(
+            "fig6",
+            &Fig6Out {
+                trace: args.dec_spec().name.to_string(),
+                scale: args.scale,
+                points,
+            },
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Figure 8 + Table 6: simulated mean response time for the traditional
+//! data hierarchy, the centralized directory, and the hint architecture,
+//! under the Testbed / Min / Max access-time parameterizations, with
+//! (a) infinite disk and (b) the space-constrained arrangement.
+
+use crate::suite::{job, take, Experiment, Job, JobOutput};
+use crate::{banner, fmt_speedup, Args};
+use bh_core::experiments::{response_time_cells, ResponseTimeResult, FIGURE8_KINDS};
+use bh_netmodel::{CostModel, RousskovModel, TestbedModel};
+use bh_trace::TraceCache;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Out {
+    results: Vec<ResponseTimeResult>,
+    speedups: Vec<(String, bool, String, f64)>, // (trace, constrained, model, speedup)
+}
+
+/// One strategy's cells: `(strategy label, model name, mean ms)`.
+type Cells = Vec<(String, String, f64)>;
+
+/// The Figure 8 experiment. One job per (regime, workload, strategy).
+pub struct Fig8;
+
+impl Experiment for Fig8 {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn default_scale(&self) -> f64 {
+        0.1
+    }
+
+    fn plan(&self, args: &Args) -> Vec<Job> {
+        let seed = args.seed;
+        let mut jobs = Vec::new();
+        for constrained in [false, true] {
+            for spec in args.specs() {
+                for kind in FIGURE8_KINDS {
+                    let spec = spec.clone();
+                    jobs.push(job(move || {
+                        let tb = TestbedModel::new();
+                        let min = RousskovModel::min();
+                        let max = RousskovModel::max();
+                        // The paper's bar order.
+                        let models: Vec<&dyn CostModel> = vec![&max, &min, &tb];
+                        response_time_cells(
+                            &TraceCache::get(&spec, seed),
+                            constrained,
+                            kind,
+                            &models,
+                        )
+                    }));
+                }
+            }
+        }
+        jobs
+    }
+
+    fn finish(&self, args: &Args, results: Vec<JobOutput>) {
+        banner(
+            "Figure 8 / Table 6",
+            "mean response time: Hierarchy vs Directory vs Hints",
+            args,
+        );
+        let mut cells = results.into_iter().map(take::<Cells>);
+        let mut out = Fig8Out {
+            results: Vec::new(),
+            speedups: Vec::new(),
+        };
+        for constrained in [false, true] {
+            println!(
+                "\n=== ({}) {} ===",
+                if constrained { "b" } else { "a" },
+                if constrained {
+                    "space constrained"
+                } else {
+                    "infinite disk"
+                }
+            );
+            for spec in args.specs() {
+                let r = ResponseTimeResult {
+                    workload: spec.name.to_string(),
+                    space_constrained: constrained,
+                    cells: (0..FIGURE8_KINDS.len())
+                        .flat_map(|_| cells.next().expect("plan/finish cell count"))
+                        .collect(),
+                };
+                println!("\n--- {} ---", spec.name);
+                println!(
+                    "{:<12} {:>10} {:>10} {:>10}",
+                    "Strategy", "Max", "Min", "Testbed"
+                );
+                for strategy in ["Hierarchy", "Directory", "Hints"] {
+                    println!(
+                        "{:<12} {:>10.0} {:>10.0} {:>10.0}",
+                        strategy,
+                        r.cell(strategy, "Max").unwrap_or(f64::NAN),
+                        r.cell(strategy, "Min").unwrap_or(f64::NAN),
+                        r.cell(strategy, "Testbed").unwrap_or(f64::NAN),
+                    );
+                }
+                print!("speedup (Hierarchy/Hints): ");
+                for model in ["Max", "Min", "Testbed"] {
+                    let s = r.speedup(model).unwrap_or(f64::NAN);
+                    print!("{model}={} ", fmt_speedup(s));
+                    out.speedups
+                        .push((spec.name.to_string(), constrained, model.to_string(), s));
+                }
+                println!();
+                out.results.push(r);
+            }
+        }
+        println!("\n(paper Table 6 — speedups: Prodigy 1.80/1.38/2.31, Berkeley 1.79/1.32/2.79,");
+        println!(" DEC 1.62/1.28/1.99 for Max/Min/Testbed; hints always win)");
+        args.write_json("fig8", &out);
+    }
+}

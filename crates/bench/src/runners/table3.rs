@@ -1,0 +1,116 @@
+//! Table 3: summary of Squid cache-hierarchy performance based on
+//! Rousskov's measurements — component times and the paper's derived
+//! totals (hierarchical / client-direct / via-L1), Min and Max.
+
+use crate::suite::{job, take, Experiment, Job, JobOutput};
+use crate::{banner, Args};
+use bh_netmodel::{CostModel, Level, RousskovModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table3Data {
+    variant: String,
+    rows: Vec<Table3Row>,
+}
+
+#[derive(Serialize)]
+struct Table3Row {
+    level: String,
+    connect_ms: Option<f64>,
+    disk_ms: Option<f64>,
+    reply_ms: Option<f64>,
+    total_hierarchical_ms: f64,
+    total_direct_ms: f64,
+    total_via_l1_ms: f64,
+}
+
+fn build(m: &RousskovModel) -> Table3Data {
+    let mut rows = Vec::new();
+    for (level, label) in [
+        (Level::L1, "Leaf"),
+        (Level::L2, "Intermediate"),
+        (Level::L3, "Root"),
+    ] {
+        let c = m.levels[level.depth() - 1];
+        rows.push(Table3Row {
+            level: label.to_string(),
+            connect_ms: Some(c.connect_ms),
+            disk_ms: Some(c.disk_ms),
+            reply_ms: Some(c.reply_ms),
+            total_hierarchical_ms: m.total_hierarchical_ms(level),
+            total_direct_ms: m.total_direct_ms(level),
+            total_via_l1_ms: m.total_via_l1_ms(level),
+        });
+    }
+    rows.push(Table3Row {
+        level: "Miss".to_string(),
+        connect_ms: None,
+        disk_ms: Some(m.miss_ms),
+        reply_ms: None,
+        total_hierarchical_ms: m.total_hierarchical_miss_ms(),
+        total_direct_ms: m.direct_miss_ms(),
+        total_via_l1_ms: m.via_l1_miss_ms(),
+    });
+    Table3Data {
+        variant: m.name().to_string(),
+        rows,
+    }
+}
+
+fn print(t: &Table3Data) {
+    println!("\n--- {} ---", t.variant);
+    println!(
+        "{:<13} {:>9} {:>8} {:>8} {:>14} {:>12} {:>10}",
+        "Level", "Connect", "Disk", "Reply", "Hierarchical", "Direct", "via L1"
+    );
+    for r in &t.rows {
+        let opt = |v: Option<f64>| v.map(|x| format!("{x:.0}")).unwrap_or_else(|| "-".into());
+        println!(
+            "{:<13} {:>9} {:>8} {:>8} {:>14.0} {:>12.0} {:>10.0}",
+            r.level,
+            opt(r.connect_ms),
+            opt(r.disk_ms),
+            opt(r.reply_ms),
+            r.total_hierarchical_ms,
+            r.total_direct_ms,
+            r.total_via_l1_ms
+        );
+    }
+}
+
+/// The Table 3 experiment.
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn name(&self) -> &'static str {
+        "table3"
+    }
+
+    fn default_scale(&self) -> f64 {
+        1.0
+    }
+
+    fn plan(&self, _args: &Args) -> Vec<Job> {
+        vec![job(|| {
+            vec![build(&RousskovModel::min()), build(&RousskovModel::max())]
+        })]
+    }
+
+    fn finish(&self, args: &Args, results: Vec<JobOutput>) {
+        let [tables] = <[JobOutput; 1]>::try_from(results).unwrap_or_else(|_| unreachable!());
+        let tables: Vec<Table3Data> = take(tables);
+        banner(
+            "Table 3",
+            "Rousskov Squid measurements: components and derived totals (ms)",
+            args,
+        );
+        for t in &tables {
+            print(t);
+        }
+        println!("\n(paper totals — Min: 163/271/531/981 hierarchical, 163/180/320/550 direct,");
+        println!(
+            " 163/271/411/641 via-L1; Max: 352/2767/4667/7217, 352/2550/2850/3200, 352/2767/3067/3417)"
+        );
+        args.write_json("table3", &tables);
+    }
+}

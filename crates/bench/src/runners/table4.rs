@@ -1,0 +1,96 @@
+//! Table 4: characteristics of the trace workloads — regenerated from the
+//! synthetic workload models (clients, accesses, distinct URLs, days).
+//!
+//! In suite mode this is the first experiment to touch each workload's
+//! trace, so its jobs populate the process-wide [`bh_trace::TraceCache`]
+//! for everything that follows.
+
+use crate::suite::{job, take, Experiment, Job, JobOutput};
+use crate::{banner, Args};
+use bh_trace::{TraceCache, TraceSummary};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table4Row {
+    trace: String,
+    summary: TraceSummary,
+    paper_clients: u64,
+    paper_accesses_m: f64,
+    paper_distinct_m: f64,
+}
+
+const PAPER: &[(&str, u64, f64, f64)] = &[
+    ("DEC", 16_660, 22.1, 4.15),
+    ("Berkeley", 8_372, 8.8, 1.8),
+    ("Prodigy", 35_354, 4.2, 1.2),
+];
+
+/// The Table 4 experiment.
+pub struct Table4;
+
+impl Experiment for Table4 {
+    fn name(&self) -> &'static str {
+        "table4"
+    }
+
+    fn default_scale(&self) -> f64 {
+        0.1
+    }
+
+    fn plan(&self, args: &Args) -> Vec<Job> {
+        let seed = args.seed;
+        args.specs()
+            .into_iter()
+            .map(|spec| {
+                job(move || {
+                    let trace = TraceCache::get(&spec, seed);
+                    let summary = TraceSummary::compute(trace.iter());
+                    let (pc, pa, pd) = PAPER
+                        .iter()
+                        .find(|(n, ..)| *n == spec.name.to_string())
+                        .map(|(_, c, a, d)| (*c, *a, *d))
+                        .unwrap_or((0, 0.0, 0.0));
+                    Table4Row {
+                        trace: spec.name.to_string(),
+                        summary,
+                        paper_clients: pc,
+                        paper_accesses_m: pa,
+                        paper_distinct_m: pd,
+                    }
+                })
+            })
+            .collect()
+    }
+
+    fn finish(&self, args: &Args, results: Vec<JobOutput>) {
+        let rows: Vec<Table4Row> = results.into_iter().map(take).collect();
+        banner(
+            "Table 4",
+            "characteristics of trace workloads (scaled)",
+            args,
+        );
+        println!(
+            "\n{:<10} {:>9} {:>12} {:>14} {:>7}   (paper @ scale 1: clients / accesses / distinct)",
+            "Trace", "Clients", "Accesses", "DistinctURLs", "Days"
+        );
+        for r in &rows {
+            println!(
+                "{}   ({} / {:.1}M / {:.2}M)",
+                r.summary.table4_row(&r.trace),
+                r.paper_clients,
+                r.paper_accesses_m,
+                r.paper_distinct_m,
+            );
+        }
+        println!("\nDistinct/total ratios should match the paper at any scale:");
+        for r in &rows {
+            println!(
+                "  {:<10} distinct/total = {:.3} (paper: {:.3})",
+                r.trace,
+                r.summary.distinct_ratio,
+                r.paper_distinct_m / r.paper_accesses_m
+            );
+        }
+        args.write_json("table4", &rows);
+    }
+}

@@ -17,7 +17,7 @@
 
 use crate::lru::LruCache;
 use bh_simcore::ByteSize;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 
 /// Why a request missed (or that it hit).
@@ -48,23 +48,134 @@ impl MissClass {
         MissClass::Uncachable,
     ];
 
+    /// Number of classes (the length of [`MissClass::ALL`]).
+    pub const COUNT: usize = 6;
+
     /// Whether this is any kind of miss.
     pub fn is_miss(self) -> bool {
         self != MissClass::Hit
     }
-}
 
-impl std::fmt::Display for MissClass {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+    /// A dense index in `0..MissClass::COUNT`, stable across runs — used to
+    /// address per-class counter arrays without hashing.
+    pub const fn index(self) -> usize {
+        match self {
+            MissClass::Hit => 0,
+            MissClass::Compulsory => 1,
+            MissClass::Communication => 2,
+            MissClass::Capacity => 3,
+            MissClass::Uncachable => 4,
+            MissClass::Error => 5,
+        }
+    }
+
+    /// The class's lowercase name as it appears in figures and JSON.
+    pub const fn label(self) -> &'static str {
+        match self {
             MissClass::Hit => "hit",
             MissClass::Compulsory => "compulsory",
             MissClass::Communication => "communication",
             MissClass::Capacity => "capacity",
             MissClass::Uncachable => "uncachable",
             MissClass::Error => "error",
+        }
+    }
+
+    /// The class with the given [`MissClass::label`], if any.
+    pub fn from_label(label: &str) -> Option<MissClass> {
+        MissClass::ALL.iter().copied().find(|c| c.label() == label)
+    }
+}
+
+impl std::fmt::Display for MissClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A per-class rate table: one `f64` per [`MissClass`], addressed by
+/// [`MissClass::index`] instead of a heap-allocated name/value list.
+///
+/// Serializes exactly like the historical `Vec<(String, f64)>` form — an
+/// array of `["name", value]` pairs in [`MissClass::ALL`] (legend) order —
+/// so JSON artifacts are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassRates([f64; MissClass::COUNT]);
+
+impl ClassRates {
+    /// Builds a table by evaluating `f` for every class.
+    pub fn from_fn(mut f: impl FnMut(MissClass) -> f64) -> Self {
+        let mut rates = [0.0; MissClass::COUNT];
+        for class in MissClass::ALL {
+            rates[class.index()] = f(class);
+        }
+        ClassRates(rates)
+    }
+
+    /// The rate for `class`.
+    pub fn get(&self, class: MissClass) -> f64 {
+        self.0[class.index()]
+    }
+
+    /// Sets the rate for `class`.
+    pub fn set(&mut self, class: MissClass, rate: f64) {
+        self.0[class.index()] = rate;
+    }
+
+    /// Looks a rate up by class name (`"hit"`, `"capacity"`, …).
+    pub fn by_name(&self, name: &str) -> Option<f64> {
+        MissClass::from_label(name).map(|c| self.get(c))
+    }
+
+    /// Iterates `(class, rate)` pairs in [`MissClass::ALL`] (legend) order.
+    pub fn iter(&self) -> impl Iterator<Item = (MissClass, f64)> + '_ {
+        MissClass::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+
+    /// Sum of all class rates (≈ 1.0 for a complete breakdown).
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+}
+
+impl Serialize for ClassRates {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(class, rate)| {
+                    Value::Array(vec![
+                        Value::Str(class.label().to_string()),
+                        Value::Float(rate),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for ClassRates {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        let Value::Array(items) = v else {
+            return Err(DeError(
+                "ClassRates: expected array of [name, rate] pairs".into(),
+            ));
         };
-        f.write_str(s)
+        let mut rates = ClassRates::default();
+        for item in items {
+            let Value::Array(pair) = item else {
+                return Err(DeError("ClassRates: expected [name, rate] pair".into()));
+            };
+            let [name, rate] = pair.as_slice() else {
+                return Err(DeError("ClassRates: pair must have two elements".into()));
+            };
+            let Value::Str(name) = name else {
+                return Err(DeError("ClassRates: pair name must be a string".into()));
+            };
+            let class = MissClass::from_label(name)
+                .ok_or_else(|| DeError(format!("ClassRates: unknown class {name:?}")))?;
+            rates.set(class, f64::deserialize(rate)?);
+        }
+        Ok(rates)
     }
 }
 
@@ -103,8 +214,8 @@ enum Gone {
 pub struct ClassifyingCache {
     cache: LruCache,
     gone: HashMap<u64, Gone>,
-    counts: HashMap<MissClass, u64>,
-    bytes: HashMap<MissClass, u64>,
+    counts: [u64; MissClass::COUNT],
+    bytes: [u64; MissClass::COUNT],
 }
 
 impl ClassifyingCache {
@@ -113,8 +224,8 @@ impl ClassifyingCache {
         ClassifyingCache {
             cache: LruCache::new(capacity),
             gone: HashMap::new(),
-            counts: HashMap::new(),
-            bytes: HashMap::new(),
+            counts: [0; MissClass::COUNT],
+            bytes: [0; MissClass::COUNT],
         }
     }
 
@@ -130,15 +241,15 @@ impl ClassifyingCache {
         cacheable: bool,
     ) -> AccessOutcome {
         let class = self.classify(key, size, version, cacheable);
-        *self.counts.entry(class).or_insert(0) += 1;
-        *self.bytes.entry(class).or_insert(0) += size.as_bytes();
+        self.counts[class.index()] += 1;
+        self.bytes[class.index()] += size.as_bytes();
         AccessOutcome { class, bytes: size }
     }
 
     /// Processes an error request (never cached, classified [`MissClass::Error`]).
     pub fn access_error(&mut self, size: ByteSize) -> AccessOutcome {
-        *self.counts.entry(MissClass::Error).or_insert(0) += 1;
-        *self.bytes.entry(MissClass::Error).or_insert(0) += size.as_bytes();
+        self.counts[MissClass::Error.index()] += 1;
+        self.bytes[MissClass::Error.index()] += size.as_bytes();
         AccessOutcome {
             class: MissClass::Error,
             bytes: size,
@@ -192,22 +303,22 @@ impl ClassifyingCache {
 
     /// Per-class access counts so far.
     pub fn count(&self, class: MissClass) -> u64 {
-        self.counts.get(&class).copied().unwrap_or(0)
+        self.counts[class.index()]
     }
 
     /// Per-class byte totals so far.
     pub fn bytes(&self, class: MissClass) -> u64 {
-        self.bytes.get(&class).copied().unwrap_or(0)
+        self.bytes[class.index()]
     }
 
     /// Total accesses classified.
     pub fn total(&self) -> u64 {
-        self.counts.values().sum()
+        self.counts.iter().sum()
     }
 
     /// Total bytes classified.
     pub fn total_bytes(&self) -> u64 {
-        self.bytes.values().sum()
+        self.bytes.iter().sum()
     }
 
     /// Fraction of accesses in `class`.
@@ -235,11 +346,23 @@ impl ClassifyingCache {
         1.0 - self.rate(MissClass::Hit)
     }
 
+    /// The full per-class access-rate table (each entry from
+    /// [`ClassifyingCache::rate`]).
+    pub fn rates(&self) -> ClassRates {
+        ClassRates::from_fn(|class| self.rate(class))
+    }
+
+    /// The full per-class byte-rate table (each entry from
+    /// [`ClassifyingCache::byte_rate`]).
+    pub fn byte_rates(&self) -> ClassRates {
+        ClassRates::from_fn(|class| self.byte_rate(class))
+    }
+
     /// Resets the per-class counters (the cache and tombstones are kept) —
     /// used at the end of the warm-up window.
     pub fn reset_counters(&mut self) {
-        self.counts.clear();
-        self.bytes.clear();
+        self.counts = [0; MissClass::COUNT];
+        self.bytes = [0; MissClass::COUNT];
     }
 
     /// The wrapped cache.

@@ -42,7 +42,7 @@ pub mod gds;
 pub mod hint;
 pub mod lru;
 
-pub use classify::{AccessOutcome, ClassifyingCache, MissClass};
+pub use classify::{AccessOutcome, ClassRates, ClassifyingCache, MissClass};
 pub use gds::GdsCache;
 pub use hint::{HintCache, HintRecord, HINT_RECORD_BYTES};
 pub use lru::{Evicted, LruCache};

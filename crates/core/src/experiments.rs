@@ -9,77 +9,127 @@ use crate::metrics::Metrics;
 use crate::sim::{SimConfig, SimReport, Simulator};
 use crate::strategies::{HintConfig, HintHierarchy, StrategyKind};
 use crate::topology::Topology;
-use bh_cache::{ClassifyingCache, MissClass};
+use bh_cache::{ClassRates, ClassifyingCache};
 use bh_netmodel::CostModel;
 use bh_simcore::{ByteSize, SimDuration};
-use bh_trace::{TraceGenerator, WorkloadSpec};
+use bh_trace::{MaterializedTrace, TraceCache, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Serializes a sweep-axis value: finite numbers as floats, the
+/// unlimited/infinite point as the string `"inf"` (JSON has no infinity).
+fn axis_value(x: f64) -> serde::Value {
+    if x.is_finite() {
+        serde::Value::Float(x)
+    } else {
+        serde::Value::Str("inf".to_string())
+    }
+}
+
+/// Inverse of [`axis_value`].
+fn axis_from(v: &serde::Value) -> Result<f64, serde::DeError> {
+    match v {
+        serde::Value::Str(s) if s == "inf" => Ok(f64::INFINITY),
+        other => f64::deserialize(other),
+    }
+}
 
 /// Figure 2: per-read and per-byte miss-class breakdown for a single global
 /// shared cache, as a function of cache size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MissBreakdownPoint {
     /// Cache size in GB (f64::INFINITY for the unlimited point).
     pub cache_gb: f64,
     /// Per-read rate of each class (fractions of all requests).
-    pub read_rates: Vec<(String, f64)>,
+    pub read_rates: ClassRates,
     /// Per-byte rate of each class.
-    pub byte_rates: Vec<(String, f64)>,
+    pub byte_rates: ClassRates,
     /// Total per-read miss ratio.
     pub total_miss_ratio: f64,
+}
+
+impl Serialize for MissBreakdownPoint {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("cache_gb".to_string(), axis_value(self.cache_gb)),
+            ("read_rates".to_string(), self.read_rates.serialize()),
+            ("byte_rates".to_string(), self.byte_rates.serialize()),
+            (
+                "total_miss_ratio".to_string(),
+                self.total_miss_ratio.serialize(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for MissBreakdownPoint {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let ty = "MissBreakdownPoint";
+        Ok(MissBreakdownPoint {
+            cache_gb: axis_from(serde::field(v, ty, "cache_gb")?)?,
+            read_rates: ClassRates::deserialize(serde::field(v, ty, "read_rates")?)?,
+            byte_rates: ClassRates::deserialize(serde::field(v, ty, "byte_rates")?)?,
+            total_miss_ratio: f64::deserialize(serde::field(v, ty, "total_miss_ratio")?)?,
+        })
+    }
 }
 
 /// Runs the Figure 2 sweep for one workload.
 ///
 /// `sizes_gb` lists the x-axis points; warm-up follows the paper (the
 /// counters reset after `warmup_fraction` of requests so the breakdown
-/// reflects steady state).
+/// reflects steady state). The trace comes from the process-wide
+/// [`TraceCache`].
 pub fn miss_breakdown(
     spec: &WorkloadSpec,
     seed: u64,
     sizes_gb: &[f64],
     warmup_fraction: f64,
 ) -> Vec<MissBreakdownPoint> {
+    let trace = TraceCache::get(spec, seed);
     sizes_gb
         .iter()
-        .map(|&gb| {
-            let capacity = if gb.is_finite() {
-                ByteSize::from_mb((gb * 1024.0) as u64)
-            } else {
-                ByteSize::MAX
-            };
-            let mut cache = ClassifyingCache::new(capacity);
-            let warmup_until = (spec.requests as f64 * warmup_fraction) as u64;
-            for (i, r) in TraceGenerator::new(spec, seed).enumerate() {
-                if i as u64 == warmup_until {
-                    cache.reset_counters();
-                }
-                match r.class {
-                    bh_trace::RequestClass::Error => {
-                        cache.access_error(r.size);
-                    }
-                    bh_trace::RequestClass::Uncachable => {
-                        cache.access(r.object.key(), r.size, r.version, false);
-                    }
-                    bh_trace::RequestClass::Cacheable => {
-                        cache.access(r.object.key(), r.size, r.version, true);
-                    }
-                }
-            }
-            MissBreakdownPoint {
-                cache_gb: gb,
-                read_rates: MissClass::ALL
-                    .iter()
-                    .map(|&c| (c.to_string(), cache.rate(c)))
-                    .collect(),
-                byte_rates: MissClass::ALL
-                    .iter()
-                    .map(|&c| (c.to_string(), cache.byte_rate(c)))
-                    .collect(),
-                total_miss_ratio: cache.miss_ratio(),
-            }
-        })
+        .map(|&gb| miss_breakdown_point(&trace, gb, warmup_fraction))
         .collect()
+}
+
+/// One Figure 2 point: the breakdown at a single cache size, replayed from
+/// a materialized trace.
+pub fn miss_breakdown_point(
+    trace: &MaterializedTrace,
+    size_gb: f64,
+    warmup_fraction: f64,
+) -> MissBreakdownPoint {
+    let capacity = if size_gb.is_finite() {
+        ByteSize::from_mb((size_gb * 1024.0) as u64)
+    } else {
+        ByteSize::MAX
+    };
+    let mut cache = ClassifyingCache::new(capacity);
+    let warmup_until = (trace.spec().requests as f64 * warmup_fraction) as u64;
+    for (i, r) in trace.iter().enumerate() {
+        if i as u64 == warmup_until {
+            cache.reset_counters();
+        }
+        match r.class {
+            bh_trace::RequestClass::Error => {
+                cache.access_error(r.size);
+            }
+            bh_trace::RequestClass::Uncachable => {
+                cache.access(r.object.key(), r.size, r.version, false);
+            }
+            bh_trace::RequestClass::Cacheable => {
+                cache.access(r.object.key(), r.size, r.version, true);
+            }
+        }
+    }
+    MissBreakdownPoint {
+        cache_gb: size_gb,
+        read_rates: cache.rates(),
+        byte_rates: cache.byte_rates(),
+        total_miss_ratio: cache.miss_ratio(),
+    }
 }
 
 /// Figure 3: cumulative hit and byte-hit ratios at each level of an
@@ -94,12 +144,19 @@ pub struct SharingResult {
     pub byte_hit_ratio: [f64; 3],
 }
 
-/// Runs the Figure 3 experiment for one workload.
+/// Runs the Figure 3 experiment for one workload (trace via the
+/// process-wide [`TraceCache`]).
 pub fn sharing(spec: &WorkloadSpec, seed: u64) -> SharingResult {
+    sharing_trace(&TraceCache::get(spec, seed))
+}
+
+/// [`sharing`] over an already-materialized trace.
+pub fn sharing_trace(trace: &MaterializedTrace) -> SharingResult {
+    let spec = trace.spec();
     let sim = Simulator::new(SimConfig::infinite(spec));
     let tb = bh_netmodel::TestbedModel::new();
     let models: Vec<&dyn CostModel> = vec![&tb];
-    let r = sim.run(spec, seed, StrategyKind::DataHierarchy, &models);
+    let r = sim.run_trace(trace, StrategyKind::DataHierarchy, &models);
     let m = &r.metrics;
     let total = m.cacheable.max(1) as f64;
     let total_bytes = m.total_bytes.max(1) as f64;
@@ -118,7 +175,7 @@ pub fn sharing(spec: &WorkloadSpec, seed: u64) -> SharingResult {
 
 /// One point of the Figure 5 (hint-cache size) or Figure 6 (propagation
 /// delay) sweeps.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HintSweepPoint {
     /// The swept value (MB for Figure 5, minutes for Figure 6;
     /// f64::INFINITY for the unbounded / zero-delay reference).
@@ -131,68 +188,110 @@ pub struct HintSweepPoint {
     pub false_positive_rate: f64,
 }
 
-fn run_hint_config(spec: &WorkloadSpec, seed: u64, config: HintConfig) -> Metrics {
+impl Serialize for HintSweepPoint {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("x".to_string(), axis_value(self.x)),
+            ("hit_ratio".to_string(), self.hit_ratio.serialize()),
+            (
+                "remote_hit_fraction".to_string(),
+                self.remote_hit_fraction.serialize(),
+            ),
+            (
+                "false_positive_rate".to_string(),
+                self.false_positive_rate.serialize(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for HintSweepPoint {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let ty = "HintSweepPoint";
+        Ok(HintSweepPoint {
+            x: axis_from(serde::field(v, ty, "x")?)?,
+            hit_ratio: f64::deserialize(serde::field(v, ty, "hit_ratio")?)?,
+            remote_hit_fraction: f64::deserialize(serde::field(v, ty, "remote_hit_fraction")?)?,
+            false_positive_rate: f64::deserialize(serde::field(v, ty, "false_positive_rate")?)?,
+        })
+    }
+}
+
+fn run_hint_config(trace: &MaterializedTrace, config: HintConfig) -> Metrics {
     let sim = Simulator::new(SimConfig {
         space: crate::space::SpaceConfig::infinite(),
         hint_delay: config.delay,
         warmup_fraction: 0.10,
     });
-    let topo = Topology::from_spec(spec);
-    let mut strategy = HintHierarchy::new(topo, config, seed);
+    let topo = Topology::from_spec(trace.spec());
+    let mut strategy = HintHierarchy::new(topo, config, trace.seed());
     let tb = bh_netmodel::TestbedModel::new();
     let models: Vec<&dyn CostModel> = vec![&tb];
-    sim.run_with(spec, seed, &mut strategy, &models, false)
+    sim.run_with_trace(trace, &mut strategy, &models, false)
         .metrics
 }
 
 /// Figure 5: hit rate vs hint-cache size (16-byte records, 4-way sets).
+/// The trace comes from the process-wide [`TraceCache`].
 pub fn hint_size_sweep(spec: &WorkloadSpec, seed: u64, sizes_mb: &[f64]) -> Vec<HintSweepPoint> {
+    let trace = TraceCache::get(spec, seed);
     sizes_mb
         .iter()
-        .map(|&mb| {
-            let store = if mb.is_finite() {
-                ByteSize::from_mb_f64(mb)
-            } else {
-                ByteSize::MAX
-            };
-            let m = run_hint_config(
-                spec,
-                seed,
-                HintConfig {
-                    store_capacity: store,
-                    ..HintConfig::default()
-                },
-            );
-            sweep_point(mb, &m)
-        })
+        .map(|&mb| hint_size_point(&trace, mb))
         .collect()
 }
 
+/// One Figure 5 point at the given hint-store size (MB).
+pub fn hint_size_point(trace: &MaterializedTrace, size_mb: f64) -> HintSweepPoint {
+    let store = if size_mb.is_finite() {
+        ByteSize::from_mb_f64(size_mb)
+    } else {
+        ByteSize::MAX
+    };
+    let m = run_hint_config(
+        trace,
+        HintConfig {
+            store_capacity: store,
+            ..HintConfig::default()
+        },
+    );
+    sweep_point(size_mb, &m)
+}
+
 /// Figure 6: hit rate vs hint propagation delay in minutes.
+/// The trace comes from the process-wide [`TraceCache`].
 pub fn hint_delay_sweep(spec: &WorkloadSpec, seed: u64, delays_min: &[f64]) -> Vec<HintSweepPoint> {
+    let trace = TraceCache::get(spec, seed);
+    delays_min
+        .iter()
+        .map(|&mins| hint_delay_point(&trace, mins))
+        .collect()
+}
+
+/// One Figure 6 point at the given propagation delay (minutes).
+pub fn hint_delay_point(trace: &MaterializedTrace, delay_min: f64) -> HintSweepPoint {
     // A real (non-oracle) store is required for delay to matter. Size it to
     // comfortably index every distinct object the workload will create
     // (4× slack over the expected distinct count at 16 B/record), so
     // capacity never confounds the delay effect. The store array is
     // allocated eagerly per node — sizing to the workload keeps Figure 6
     // runnable at any scale.
+    let spec = trace.spec();
     let distinct = (spec.requests as f64 * spec.p_new).max(1024.0);
     let store = ByteSize::from_bytes((distinct * 16.0 * 4.0) as u64);
-    delays_min
-        .iter()
-        .map(|&mins| {
-            let m = run_hint_config(
-                spec,
-                seed,
-                HintConfig {
-                    delay: SimDuration::from_secs_f64(mins * 60.0),
-                    store_capacity: if mins == 0.0 { ByteSize::MAX } else { store },
-                    ..HintConfig::default()
-                },
-            );
-            sweep_point(mins, &m)
-        })
-        .collect()
+    let m = run_hint_config(
+        trace,
+        HintConfig {
+            delay: SimDuration::from_secs_f64(delay_min * 60.0),
+            store_capacity: if delay_min == 0.0 {
+                ByteSize::MAX
+            } else {
+                store
+            },
+            ..HintConfig::default()
+        },
+    );
+    sweep_point(delay_min, &m)
 }
 
 fn sweep_point(x: f64, m: &Metrics) -> HintSweepPoint {
@@ -215,12 +314,18 @@ pub struct UpdateLoadResult {
 }
 
 /// Runs the Table 5 comparison (no warm-up: load is averaged over the whole
-/// trace, as in the paper).
+/// trace, as in the paper). The trace comes from the process-wide
+/// [`TraceCache`].
 pub fn update_load(spec: &WorkloadSpec, seed: u64) -> UpdateLoadResult {
-    let sim = Simulator::new(SimConfig::infinite(spec).with_warmup(0.0));
+    update_load_trace(&TraceCache::get(spec, seed))
+}
+
+/// [`update_load`] over an already-materialized trace.
+pub fn update_load_trace(trace: &MaterializedTrace) -> UpdateLoadResult {
+    let sim = Simulator::new(SimConfig::infinite(trace.spec()).with_warmup(0.0));
     let tb = bh_netmodel::TestbedModel::new();
     let models: Vec<&dyn CostModel> = vec![&tb];
-    let r = sim.run(spec, seed, StrategyKind::HintHierarchy, &models);
+    let r = sim.run_trace(trace, StrategyKind::HintHierarchy, &models);
     UpdateLoadResult {
         centralized_rate: r.metrics.directory_update_rate(),
         hierarchy_rate: r.metrics.root_update_rate(),
@@ -253,36 +358,63 @@ impl ResponseTimeResult {
     }
 }
 
+/// The three strategies compared in every Figure 8 panel.
+pub const FIGURE8_KINDS: [StrategyKind; 3] = [
+    StrategyKind::DataHierarchy,
+    StrategyKind::CentralDirectory,
+    StrategyKind::HintHierarchy,
+];
+
 /// Runs Figure 8 for one workload and space regime across the three
-/// standard strategies.
+/// standard strategies. The trace comes from the process-wide
+/// [`TraceCache`].
 pub fn response_time_matrix(
     spec: &WorkloadSpec,
     seed: u64,
     constrained: bool,
     models: &[&dyn CostModel],
 ) -> ResponseTimeResult {
+    response_time_matrix_trace(&TraceCache::get(spec, seed), constrained, models)
+}
+
+/// [`response_time_matrix`] over an already-materialized trace.
+pub fn response_time_matrix_trace(
+    trace: &MaterializedTrace,
+    constrained: bool,
+    models: &[&dyn CostModel],
+) -> ResponseTimeResult {
+    let cells = FIGURE8_KINDS
+        .iter()
+        .flat_map(|&kind| response_time_cells(trace, constrained, kind, models))
+        .collect();
+    ResponseTimeResult {
+        workload: trace.spec().name.to_string(),
+        space_constrained: constrained,
+        cells,
+    }
+}
+
+/// One strategy's row of the Figure 8 matrix:
+/// `(strategy label, model name, mean response ms)` per model — the unit of
+/// parallelism for the suite scheduler.
+pub fn response_time_cells(
+    trace: &MaterializedTrace,
+    constrained: bool,
+    kind: StrategyKind,
+    models: &[&dyn CostModel],
+) -> Vec<(String, String, f64)> {
+    let spec = trace.spec();
     let config = if constrained {
         SimConfig::constrained(spec)
     } else {
         SimConfig::infinite(spec)
     };
-    let sim = Simulator::new(config);
-    let mut cells = Vec::new();
-    for kind in [
-        StrategyKind::DataHierarchy,
-        StrategyKind::CentralDirectory,
-        StrategyKind::HintHierarchy,
-    ] {
-        let r = sim.run(spec, seed, kind, models);
-        for (name, stats) in &r.metrics.response {
-            cells.push((kind.label().to_string(), name.clone(), stats.mean()));
-        }
-    }
-    ResponseTimeResult {
-        workload: spec.name.to_string(),
-        space_constrained: constrained,
-        cells,
-    }
+    let r = Simulator::new(config).run_trace(trace, kind, models);
+    r.metrics
+        .response
+        .iter()
+        .map(|(name, stats)| (kind.label().to_string(), name.clone(), stats.mean()))
+        .collect()
 }
 
 /// Figures 10 & 11: the push-algorithm comparison (response time,
@@ -303,36 +435,77 @@ pub struct PushComparisonRow {
     pub l1_hit_fraction: f64,
 }
 
-/// Runs the Figure 10/11 experiment for one workload.
+/// Runs the Figure 10/11 experiment for one workload. The trace comes from
+/// the process-wide [`TraceCache`].
 pub fn push_comparison(
     spec: &WorkloadSpec,
     seed: u64,
     models: &[&dyn CostModel],
 ) -> Vec<PushComparisonRow> {
-    let sim = Simulator::new(SimConfig::constrained(spec));
+    let trace = TraceCache::get(spec, seed);
     StrategyKind::FIGURE10
         .iter()
-        .map(|&kind| {
-            let r: SimReport = sim.run(spec, seed, kind, models);
-            let m = &r.metrics;
-            PushComparisonRow {
-                strategy: kind.label().to_string(),
-                response_ms: m
-                    .response
-                    .iter()
-                    .map(|(n, s)| (n.clone(), s.mean()))
-                    .collect(),
-                efficiency: m.push_efficiency(),
-                push_bw_kbps: m.push_bandwidth_kbps(),
-                demand_bw_kbps: m.demand_bandwidth_kbps(),
-                l1_hit_fraction: if m.cacheable == 0 {
-                    0.0
-                } else {
-                    m.l1_hits as f64 / m.cacheable as f64
-                },
-            }
-        })
+        .map(|&kind| push_row(&trace, kind, models))
         .collect()
+}
+
+/// One Figure 10/11 row: a single push strategy on the space-constrained
+/// configuration — the unit of parallelism for the suite scheduler.
+pub fn push_row(
+    trace: &MaterializedTrace,
+    kind: StrategyKind,
+    models: &[&dyn CostModel],
+) -> PushComparisonRow {
+    let sim = Simulator::new(SimConfig::constrained(trace.spec()));
+    let r: SimReport = sim.run_trace(trace, kind, models);
+    let m = &r.metrics;
+    PushComparisonRow {
+        strategy: kind.label().to_string(),
+        response_ms: m
+            .response
+            .iter()
+            .map(|(n, s)| (n.clone(), s.mean()))
+            .collect(),
+        efficiency: m.push_efficiency(),
+        push_bw_kbps: m.push_bandwidth_kbps(),
+        demand_bw_kbps: m.demand_bandwidth_kbps(),
+        l1_hit_fraction: if m.cacheable == 0 {
+            0.0
+        } else {
+            m.l1_hits as f64 / m.cacheable as f64
+        },
+    }
+}
+
+/// [`push_row`] with a process-wide memo, priced under the canonical
+/// Max / Min / Testbed model set.
+///
+/// Figures 10 and 11 run the *same* seven push simulations on the same
+/// space-constrained configuration — only the cost-model set differs, and
+/// cost models are pure observers priced in one pass (`sim.rs`), so the
+/// superset row serves both. Keyed by `(spec fingerprint, seed, kind)`;
+/// concurrent requests for the same key compute once and share the result.
+/// The memo holds a handful of small rows per (workload, seed), so it is
+/// unbounded.
+pub fn push_row_cached(trace: &MaterializedTrace, kind: StrategyKind) -> Arc<PushComparisonRow> {
+    type Slot = Arc<OnceLock<Arc<PushComparisonRow>>>;
+    type SlotMap = HashMap<(u64, u64, StrategyKind), Slot>;
+    static CACHE: OnceLock<Mutex<SlotMap>> = OnceLock::new();
+    let key = (trace.spec().fingerprint(), trace.seed(), kind);
+    let slot = {
+        let mut map = CACHE
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("push-row cache poisoned");
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+    };
+    Arc::clone(slot.get_or_init(|| {
+        let max = bh_netmodel::RousskovModel::max();
+        let min = bh_netmodel::RousskovModel::min();
+        let tb = bh_netmodel::TestbedModel::new();
+        let models: Vec<&dyn CostModel> = vec![&max, &min, &tb];
+        Arc::new(push_row(trace, kind, &models))
+    }))
 }
 
 /// §3.3's configuration comparison: proxy-level hints (Figure 4-a) vs
@@ -351,13 +524,14 @@ pub fn hint_placement(
     seed: u64,
     models: &[&dyn CostModel],
 ) -> HintPlacementResult {
+    let trace = TraceCache::get(spec, seed);
     let sim = Simulator::new(SimConfig::infinite(spec));
-    let proxy = sim.run(spec, seed, StrategyKind::HintHierarchy, models);
+    let proxy = sim.run_trace(&trace, StrategyKind::HintHierarchy, models);
     // Same outcome stream, client-direct pricing.
     let client_models: Vec<ClientDirect<'_>> = models.iter().map(|m| ClientDirect(*m)).collect();
     let client_refs: Vec<&dyn CostModel> =
         client_models.iter().map(|m| m as &dyn CostModel).collect();
-    let client = sim.run(spec, seed, StrategyKind::HintHierarchy, &client_refs);
+    let client = sim.run_trace(&trace, StrategyKind::HintHierarchy, &client_refs);
     HintPlacementResult {
         proxy_ms: proxy
             .metrics
@@ -451,8 +625,9 @@ pub fn client_hint_tradeoff(
     models: &[&dyn CostModel],
 ) -> ClientHintTradeoff {
     use crate::strategies::{ClientHintConfig, ClientHints};
+    let trace = TraceCache::get(spec, seed);
     let sim = Simulator::new(SimConfig::infinite(spec));
-    let proxy = sim.run(spec, seed, StrategyKind::HintHierarchy, models);
+    let proxy = sim.run_trace(&trace, StrategyKind::HintHierarchy, models);
     let client_models: Vec<ClientDirect<'_>> = models.iter().map(|m| ClientDirect(*m)).collect();
     let client_refs: Vec<&dyn CostModel> =
         client_models.iter().map(|m| m as &dyn CostModel).collect();
@@ -467,7 +642,7 @@ pub fn client_hint_tradeoff(
                     ..ClientHintConfig::default()
                 },
             );
-            let r = sim.run_with(spec, seed, &mut strategy, &client_refs, false);
+            let r = sim.run_with_trace(&trace, &mut strategy, &client_refs, false);
             (
                 fnr,
                 r.metrics
@@ -503,16 +678,10 @@ mod tests {
         let pts = miss_breakdown(&spec(), 3, &[0.01, f64::INFINITY], 0.1);
         assert_eq!(pts.len(), 2);
         for p in &pts {
-            let sum: f64 = p.read_rates.iter().map(|(_, v)| v).sum();
+            let sum = p.read_rates.sum();
             assert!((sum - 1.0).abs() < 1e-9, "read rates sum {sum}");
         }
-        let cap = |p: &MissBreakdownPoint| {
-            p.read_rates
-                .iter()
-                .find(|(n, _)| n == "capacity")
-                .map(|(_, v)| *v)
-                .unwrap()
-        };
+        let cap = |p: &MissBreakdownPoint| p.read_rates.get(bh_cache::MissClass::Capacity);
         assert!(cap(&pts[0]) >= cap(&pts[1]));
         assert_eq!(cap(&pts[1]), 0.0, "infinite cache has no capacity misses");
     }

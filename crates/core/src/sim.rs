@@ -17,7 +17,7 @@ use crate::strategies::{RequestCtx, Strategy, StrategyKind};
 use crate::topology::Topology;
 use bh_netmodel::CostModel;
 use bh_simcore::SimDuration;
-use bh_trace::{TraceGenerator, TraceRecord, WorkloadSpec};
+use bh_trace::{MaterializedTrace, TraceCache, TraceRecord, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Simulation parameters independent of the strategy.
@@ -107,6 +107,10 @@ impl Simulator {
     }
 
     /// Runs `kind` over the workload, pricing under all `models`.
+    ///
+    /// The trace is obtained through the process-wide [`TraceCache`], so
+    /// repeated runs over the same `(spec, seed)` — every multi-strategy
+    /// figure — generate it only once.
     pub fn run(
         &self,
         spec: &WorkloadSpec,
@@ -114,14 +118,24 @@ impl Simulator {
         kind: StrategyKind,
         models: &[&dyn CostModel],
     ) -> SimReport {
-        let topo = Topology::from_spec(spec);
+        self.run_trace(&TraceCache::get(spec, seed), kind, models)
+    }
+
+    /// Runs `kind` over an already-materialized trace arena.
+    pub fn run_trace(
+        &self,
+        trace: &MaterializedTrace,
+        kind: StrategyKind,
+        models: &[&dyn CostModel],
+    ) -> SimReport {
+        let topo = Topology::from_spec(trace.spec());
         let mut strategy = kind.build(
             topo.clone(),
             &self.config.space,
             self.config.hint_delay,
-            seed,
+            trace.seed(),
         );
-        let report = self.run_with(spec, seed, strategy.as_mut(), models, kind.idealized());
+        let report = self.run_with_trace(trace, strategy.as_mut(), models, kind.idealized());
         SimReport {
             strategy: kind.label().to_string(),
             ..report
@@ -129,7 +143,7 @@ impl Simulator {
     }
 
     /// Runs a caller-constructed strategy (for custom configurations, e.g.
-    /// hint-size sweeps).
+    /// hint-size sweeps). Uses the process-wide [`TraceCache`].
     pub fn run_with(
         &self,
         spec: &WorkloadSpec,
@@ -138,12 +152,25 @@ impl Simulator {
         models: &[&dyn CostModel],
         idealize: bool,
     ) -> SimReport {
+        self.run_with_trace(&TraceCache::get(spec, seed), strategy, models, idealize)
+    }
+
+    /// [`Simulator::run_with`] over an already-materialized trace arena —
+    /// the replay loop every other entry point funnels into.
+    pub fn run_with_trace(
+        &self,
+        trace: &MaterializedTrace,
+        strategy: &mut dyn Strategy,
+        models: &[&dyn CostModel],
+        idealize: bool,
+    ) -> SimReport {
+        let spec = trace.spec();
         let topo = Topology::from_spec(spec);
         let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
         let mut metrics = Metrics::new(&names);
         let warmup_until = (spec.requests as f64 * self.config.warmup_fraction) as u64;
 
-        for (i, record) in TraceGenerator::new(spec, seed).enumerate() {
+        for (i, record) in trace.iter().enumerate() {
             let measured = i as u64 >= warmup_until;
             self.step(
                 &topo,
@@ -215,6 +242,8 @@ impl Simulator {
 }
 
 /// Convenience: run every kind in `kinds` over the same workload/config.
+/// The trace is materialized once (via the [`TraceCache`]) and replayed per
+/// strategy.
 pub fn run_matrix(
     config: SimConfig,
     spec: &WorkloadSpec,
@@ -222,10 +251,20 @@ pub fn run_matrix(
     kinds: &[StrategyKind],
     models: &[&dyn CostModel],
 ) -> Vec<SimReport> {
+    run_matrix_trace(config, &TraceCache::get(spec, seed), kinds, models)
+}
+
+/// [`run_matrix`] over an already-materialized trace arena.
+pub fn run_matrix_trace(
+    config: SimConfig,
+    trace: &MaterializedTrace,
+    kinds: &[StrategyKind],
+    models: &[&dyn CostModel],
+) -> Vec<SimReport> {
     let sim = Simulator::new(config);
     kinds
         .iter()
-        .map(|&k| sim.run(spec, seed, k, models))
+        .map(|&k| sim.run_trace(trace, k, models))
         .collect()
 }
 

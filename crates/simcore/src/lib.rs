@@ -6,6 +6,8 @@
 //! * [`time`] — microsecond-resolution virtual time ([`SimTime`], [`SimDuration`]);
 //! * [`event`] — a deterministic discrete-event queue ([`event::EventQueue`])
 //!   used to model delayed hint propagation and scheduled pushes;
+//! * [`par`] — a seeded, order-preserving work-stealing job pool for
+//!   embarrassingly parallel experiment grids ([`par::sweep`]);
 //! * [`rng`] — a small, fast, seedable PRNG ([`rng::SplitMix64`] /
 //!   [`rng::Xoshiro256`]) plus distribution helpers (Zipf, log-normal,
 //!   exponential) so simulations are reproducible bit-for-bit;
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -39,12 +39,14 @@
 
 pub mod generate;
 pub mod logio;
+pub mod materialize;
 pub mod record;
 pub mod spec;
 pub mod summary;
 pub mod transform;
 
 pub use generate::TraceGenerator;
+pub use materialize::{MaterializedTrace, TraceCache, TraceCacheStats};
 pub use record::{ClientId, ObjectId, RequestClass, TraceRecord};
 pub use spec::{TraceName, WorkloadSpec};
 pub use summary::TraceSummary;

@@ -1,0 +1,434 @@
+//! Materialized trace arenas and the process-wide trace cache.
+//!
+//! [`TraceGenerator`] is cheap enough to stream once, but the experiment
+//! suite replays the *same* `(spec, seed)` trace dozens of times — every
+//! strategy, cache size, and delay point is an independent pass. Generating
+//! costs several PRNG draws plus transcendental math per record;
+//! replaying a [`MaterializedTrace`] costs four array reads.
+//!
+//! The arena is a struct-of-arrays buffer (no per-record allocation, no
+//! padding waste): timestamps, client ids, object ids, sizes, versions, and
+//! classes each live in their own dense vector, so a replay pass walks six
+//! cache-friendly streams at ~29 bytes/record. [`ReplayIter`] re-assembles
+//! [`TraceRecord`]s on the fly, bit-identical to the generator stream
+//! (asserted by tests and the determinism suite).
+//!
+//! [`TraceCache`] memoizes arenas process-wide, keyed by
+//! `(spec fingerprint, seed)`, with byte-capped LRU eviction, so concurrent
+//! experiment cells share one generation pass via `Arc`.
+
+use crate::generate::TraceGenerator;
+use crate::record::{ClientId, ObjectId, RequestClass, TraceRecord};
+use crate::spec::WorkloadSpec;
+use bh_simcore::{ByteSize, SimTime};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A `(spec, seed)` trace, generated once into dense columnar arrays.
+#[derive(Debug, Clone)]
+pub struct MaterializedTrace {
+    spec: WorkloadSpec,
+    seed: u64,
+    times_us: Vec<u64>,
+    clients: Vec<u32>,
+    objects: Vec<u64>,
+    sizes: Vec<u32>,
+    versions: Vec<u32>,
+    classes: Vec<u8>,
+    distinct_objects: u64,
+    distinct_clients: u32,
+}
+
+impl MaterializedTrace {
+    /// Drains a fresh [`TraceGenerator`] for `(spec, seed)` into an arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`] or an object
+    /// exceeds 4 GiB (the arena stores sizes as `u32`; every preset caps
+    /// objects at 8 MiB).
+    pub fn generate(spec: &WorkloadSpec, seed: u64) -> Self {
+        let mut gen = TraceGenerator::new(spec, seed);
+        let n = spec.requests as usize;
+        let mut arena = MaterializedTrace {
+            spec: spec.clone(),
+            seed,
+            times_us: Vec::with_capacity(n),
+            clients: Vec::with_capacity(n),
+            objects: Vec::with_capacity(n),
+            sizes: Vec::with_capacity(n),
+            versions: Vec::with_capacity(n),
+            classes: Vec::with_capacity(n),
+            distinct_objects: 0,
+            distinct_clients: 0,
+        };
+        for r in gen.by_ref() {
+            let size = r.size.as_bytes();
+            assert!(
+                u32::try_from(size).is_ok(),
+                "object of {size} B overflows the u32 size column"
+            );
+            arena.times_us.push(r.time.as_micros());
+            arena.clients.push(r.client.0);
+            arena.objects.push(r.object.0);
+            arena.sizes.push(size as u32);
+            arena.versions.push(r.version);
+            arena.classes.push(class_to_u8(r.class));
+        }
+        arena.distinct_objects = gen.distinct_objects();
+        arena.distinct_clients = gen.distinct_clients();
+        arena
+    }
+
+    /// The spec this trace was generated from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The seed this trace was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.times_us.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times_us.is_empty()
+    }
+
+    /// Number of distinct objects the generator created.
+    pub fn distinct_objects(&self) -> u64 {
+        self.distinct_objects
+    }
+
+    /// Number of distinct client IDs the generator handed out.
+    pub fn distinct_clients(&self) -> u32 {
+        self.distinct_clients
+    }
+
+    /// Approximate resident size of the arena in bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.times_us.capacity() * 8
+            + self.clients.capacity() * 4
+            + self.objects.capacity() * 8
+            + self.sizes.capacity() * 4
+            + self.versions.capacity() * 4
+            + self.classes.capacity()) as u64
+    }
+
+    /// The record at `index` (panics if out of range).
+    pub fn get(&self, index: usize) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_micros(self.times_us[index]),
+            client: ClientId(self.clients[index]),
+            object: ObjectId(self.objects[index]),
+            size: ByteSize::from_bytes(self.sizes[index] as u64),
+            version: self.versions[index],
+            class: class_from_u8(self.classes[index]),
+        }
+    }
+
+    /// Zero-copy replay: yields the generator's record stream verbatim.
+    pub fn iter(&self) -> ReplayIter<'_> {
+        ReplayIter {
+            trace: self,
+            next: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a MaterializedTrace {
+    type Item = TraceRecord;
+    type IntoIter = ReplayIter<'a>;
+
+    fn into_iter(self) -> ReplayIter<'a> {
+        self.iter()
+    }
+}
+
+fn class_to_u8(c: RequestClass) -> u8 {
+    match c {
+        RequestClass::Cacheable => 0,
+        RequestClass::Uncachable => 1,
+        RequestClass::Error => 2,
+    }
+}
+
+fn class_from_u8(b: u8) -> RequestClass {
+    match b {
+        0 => RequestClass::Cacheable,
+        1 => RequestClass::Uncachable,
+        _ => RequestClass::Error,
+    }
+}
+
+/// Borrowing replay iterator over a [`MaterializedTrace`].
+#[derive(Debug, Clone)]
+pub struct ReplayIter<'a> {
+    trace: &'a MaterializedTrace,
+    next: usize,
+}
+
+impl Iterator for ReplayIter<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.next >= self.trace.len() {
+            return None;
+        }
+        let r = self.trace.get(self.next);
+        self.next += 1;
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.trace.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ReplayIter<'_> {}
+
+/// One memoization slot: filled at most once, shared by waiters.
+type Slot = Arc<OnceLock<Arc<MaterializedTrace>>>;
+
+#[derive(Default)]
+struct CacheInner {
+    slots: HashMap<(u64, u64), (Slot, u64)>,
+    tick: u64,
+    capacity_bytes: u64,
+    generated: u64,
+    hits: u64,
+}
+
+/// Counters describing the cache's effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Arenas currently resident.
+    pub entries: usize,
+    /// Approximate resident bytes across all arenas.
+    pub resident_bytes: u64,
+    /// Generation passes performed since process start (or last `clear`).
+    pub generated: u64,
+    /// Lookups served from a resident arena.
+    pub hits: u64,
+}
+
+/// Process-wide memoizing cache of [`MaterializedTrace`] arenas.
+///
+/// Keyed by `(spec.fingerprint(), seed)`. Concurrent requests for the same
+/// key generate once and share the result; distinct keys generate in
+/// parallel without blocking each other. Total resident bytes are capped
+/// (default 3 GiB, override with `BH_TRACE_CACHE_BYTES`); least-recently
+/// used arenas are dropped first, though in-flight `Arc`s keep them alive
+/// until their last user finishes.
+pub struct TraceCache;
+
+fn cache() -> &'static Mutex<CacheInner> {
+    static CACHE: OnceLock<Mutex<CacheInner>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let capacity_bytes = std::env::var("BH_TRACE_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3 * 1024 * 1024 * 1024);
+        Mutex::new(CacheInner {
+            capacity_bytes,
+            ..CacheInner::default()
+        })
+    })
+}
+
+impl TraceCache {
+    /// The arena for `(spec, seed)`, generating and memoizing it on first
+    /// use.
+    pub fn get(spec: &WorkloadSpec, seed: u64) -> Arc<MaterializedTrace> {
+        let key = (spec.fingerprint(), seed);
+        let (slot, fresh) = {
+            let mut inner = cache().lock().expect("trace cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.slots.get_mut(&key) {
+                Some((slot, last_used)) => {
+                    *last_used = tick;
+                    (Arc::clone(slot), false)
+                }
+                None => {
+                    let slot: Slot = Arc::new(OnceLock::new());
+                    inner.slots.insert(key, (Arc::clone(&slot), tick));
+                    (slot, true)
+                }
+            }
+        };
+        let mut initialized_here = false;
+        let trace = Arc::clone(slot.get_or_init(|| {
+            initialized_here = true;
+            Arc::new(MaterializedTrace::generate(spec, seed))
+        }));
+        {
+            let mut inner = cache().lock().expect("trace cache poisoned");
+            if initialized_here {
+                inner.generated += 1;
+            } else if !fresh {
+                inner.hits += 1;
+            }
+            Self::evict_over_capacity(&mut inner, key);
+        }
+        trace
+    }
+
+    /// Drops LRU arenas until resident bytes fit the cap, never evicting
+    /// `keep` (the entry the current caller just touched).
+    fn evict_over_capacity(inner: &mut CacheInner, keep: (u64, u64)) {
+        loop {
+            let resident: u64 = inner
+                .slots
+                .values()
+                .filter_map(|(s, _)| s.get())
+                .map(|t| t.approx_bytes())
+                .sum();
+            if resident <= inner.capacity_bytes {
+                return;
+            }
+            let victim = inner
+                .slots
+                .iter()
+                .filter(|(k, (s, _))| **k != keep && s.get().is_some())
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    inner.slots.remove(&k);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Drops every memoized arena and resets the counters.
+    pub fn clear() {
+        let mut inner = cache().lock().expect("trace cache poisoned");
+        inner.slots.clear();
+        inner.generated = 0;
+        inner.hits = 0;
+    }
+
+    /// Current cache statistics.
+    pub fn stats() -> TraceCacheStats {
+        let inner = cache().lock().expect("trace cache poisoned");
+        let resident_bytes = inner
+            .slots
+            .values()
+            .filter_map(|(s, _)| s.get())
+            .map(|t| t.approx_bytes())
+            .sum();
+        TraceCacheStats {
+            entries: inner.slots.len(),
+            resident_bytes,
+            generated: inner.generated,
+            hits: inner.hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(requests: u64) -> WorkloadSpec {
+        WorkloadSpec::small().with_requests(requests)
+    }
+
+    #[test]
+    fn replay_matches_generator_record_for_record() {
+        let spec = small(5_000);
+        let trace = MaterializedTrace::generate(&spec, 17);
+        assert_eq!(trace.len(), 5_000);
+        let mut gen = TraceGenerator::new(&spec, 17);
+        let mut replayed = 0usize;
+        for (i, r) in trace.iter().enumerate() {
+            assert_eq!(r, gen.next().expect("generator shorter than arena"), "{i}");
+            replayed += 1;
+        }
+        assert_eq!(replayed, 5_000);
+        assert!(gen.next().is_none(), "generator longer than arena");
+        assert_eq!(trace.distinct_objects(), {
+            let mut g = TraceGenerator::new(&spec, 17);
+            for _ in g.by_ref() {}
+            g.distinct_objects()
+        });
+    }
+
+    #[test]
+    fn get_and_iter_agree() {
+        let trace = MaterializedTrace::generate(&small(500), 3);
+        for (i, r) in trace.iter().enumerate() {
+            assert_eq!(r, trace.get(i));
+        }
+        assert_eq!(trace.iter().len(), 500);
+    }
+
+    #[test]
+    fn class_round_trips() {
+        for c in [
+            RequestClass::Cacheable,
+            RequestClass::Uncachable,
+            RequestClass::Error,
+        ] {
+            assert_eq!(class_from_u8(class_to_u8(c)), c);
+        }
+    }
+
+    #[test]
+    fn arena_is_compact() {
+        let trace = MaterializedTrace::generate(&small(10_000), 1);
+        // 29 bytes/record of column data; allow slack for Vec growth.
+        assert!(trace.approx_bytes() <= 10_000 * 29 * 2);
+        assert!(trace.approx_bytes() >= 10_000 * 29);
+    }
+
+    #[test]
+    fn cache_returns_same_arena_for_same_key() {
+        let spec = small(1_000);
+        let a = TraceCache::get(&spec, 991);
+        let b = TraceCache::get(&spec, 991);
+        assert!(Arc::ptr_eq(&a, &b), "same (spec, seed) must share an arena");
+        let c = TraceCache::get(&spec, 992);
+        assert!(!Arc::ptr_eq(&a, &c), "different seed, different arena");
+        let d = TraceCache::get(&spec.clone().with_p_new(0.31), 991);
+        assert!(!Arc::ptr_eq(&a, &d), "different spec, different arena");
+    }
+
+    #[test]
+    fn cache_shares_across_threads() {
+        let spec = small(2_000);
+        let arenas: Vec<Arc<MaterializedTrace>> =
+            bh_simcore::par::sweep(4, (0..8).collect(), |_, _: u64| TraceCache::get(&spec, 555));
+        for a in &arenas[1..] {
+            assert!(Arc::ptr_eq(&arenas[0], a));
+        }
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_keeps_current() {
+        let mut inner = CacheInner {
+            capacity_bytes: 1, // force eviction of everything evictable
+            ..CacheInner::default()
+        };
+        let spec = small(200);
+        for seed in 0..3u64 {
+            let slot: Slot = Arc::new(OnceLock::new());
+            slot.get_or_init(|| Arc::new(MaterializedTrace::generate(&spec, seed)));
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.slots.insert((spec.fingerprint(), seed), (slot, tick));
+        }
+        let keep = (spec.fingerprint(), 2);
+        TraceCache::evict_over_capacity(&mut inner, keep);
+        assert_eq!(inner.slots.len(), 1, "only the kept entry survives");
+        assert!(inner.slots.contains_key(&keep));
+    }
+}

@@ -293,6 +293,46 @@ impl WorkloadSpec {
         self.duration_days * 86_400.0 / self.requests as f64
     }
 
+    /// A 64-bit fingerprint over every field, used to key the process-wide
+    /// [`crate::materialize::TraceCache`]. Floats hash by bit pattern, so
+    /// any observable spec change (even `0.1` vs `0.1 + ε`) changes the
+    /// fingerprint; equal specs always collide.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = bh_simcore::rng::SplitMix64::new(0xB97A_57D6_1E8F_2C43);
+        let mut mix = |v: u64| {
+            // Feed each field through the generator so ordering matters.
+            h = bh_simcore::rng::SplitMix64::new(h.next_u64() ^ v);
+        };
+        mix(match self.name {
+            TraceName::Dec => 1,
+            TraceName::Berkeley => 2,
+            TraceName::Prodigy => 3,
+            TraceName::Custom => 4,
+        });
+        mix(self.requests);
+        mix(self.clients as u64);
+        mix(self.duration_days.to_bits());
+        mix(self.p_new.to_bits());
+        mix(self.p_local.to_bits());
+        mix(self.history_window as u64);
+        mix(self.group_history_window as u64);
+        mix(self.clients_per_l1 as u64);
+        mix(self.l1s_per_l2 as u64);
+        mix(self.p_uncachable_request.to_bits());
+        mix(self.p_cgi_object.to_bits());
+        mix(self.p_error.to_bits());
+        mix(self.p_mutable_object.to_bits());
+        mix(self.mean_mod_interval_hours.to_bits());
+        mix(self.median_object_bytes.to_bits());
+        mix(self.size_sigma.to_bits());
+        mix(self.max_object_bytes);
+        mix(self.client_activity_alpha.to_bits());
+        mix(self.diurnal_amplitude.to_bits());
+        mix(self.dynamic_client_ids as u64);
+        mix(self.mean_session_requests.to_bits());
+        h.next_u64()
+    }
+
     /// Validates internal consistency; called by the generator.
     ///
     /// # Errors

@@ -1,0 +1,89 @@
+//! Determinism of the parallel experiment engine.
+//!
+//! The suite's contract is that `--jobs` is invisible in the results: jobs
+//! are independent deterministic simulations and the work-stealing sweep
+//! preserves submission order. These tests pin that contract:
+//!
+//! * the fig2, fig5, and fig8 grids produce **byte-identical** JSON
+//!   artifacts at `--jobs 1` and `--jobs 8`;
+//! * replaying a [`MaterializedTrace`] arena yields exactly the record
+//!   stream a fresh [`TraceGenerator`] produces, for all three workloads.
+
+use bh_bench::suite::Experiment;
+use bh_bench::Args;
+use std::path::PathBuf;
+
+/// A per-test scratch directory under the target dir (unique per process,
+/// so parallel test binaries don't collide).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bh-determinism-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Plans, sweeps (over `jobs` workers), and finishes one experiment, then
+/// returns the raw bytes of its JSON artifact.
+fn artifact_bytes(exp: &dyn Experiment, jobs: usize, out: PathBuf) -> Vec<u8> {
+    let args = Args {
+        scale: 0.002,
+        seed: 42,
+        trace: "all".to_string(),
+        out: out.clone(),
+        jobs,
+    };
+    let plan = exp.plan(&args);
+    let results = bh_simcore::par::sweep(jobs, plan, |_, j| j());
+    exp.finish(&args, results);
+    std::fs::read(out.join(format!("{}.json", exp.name()))).expect("read artifact")
+}
+
+fn assert_jobs_invisible(exp: &dyn Experiment) {
+    let serial = artifact_bytes(exp, 1, scratch(&format!("{}-j1", exp.name())));
+    let parallel = artifact_bytes(exp, 8, scratch(&format!("{}-j8", exp.name())));
+    assert!(!serial.is_empty(), "{}: empty artifact", exp.name());
+    assert_eq!(
+        serial,
+        parallel,
+        "{}: --jobs 1 and --jobs 8 artifacts differ",
+        exp.name()
+    );
+}
+
+#[test]
+fn fig2_artifact_is_identical_at_jobs_1_and_8() {
+    assert_jobs_invisible(&bh_bench::runners::fig2::Fig2);
+}
+
+#[test]
+fn fig5_artifact_is_identical_at_jobs_1_and_8() {
+    assert_jobs_invisible(&bh_bench::runners::fig5::Fig5);
+}
+
+#[test]
+fn fig8_artifact_is_identical_at_jobs_1_and_8() {
+    assert_jobs_invisible(&bh_bench::runners::fig8::Fig8);
+}
+
+#[test]
+fn materialized_replay_matches_fresh_generation_for_all_workloads() {
+    use bh_trace::{MaterializedTrace, TraceGenerator, WorkloadSpec};
+    for spec in [
+        WorkloadSpec::dec(),
+        WorkloadSpec::berkeley(),
+        WorkloadSpec::prodigy(),
+    ] {
+        let spec = spec.scaled(0.002);
+        let seed = 42;
+        let arena = MaterializedTrace::generate(&spec, seed);
+        let fresh: Vec<_> = TraceGenerator::new(&spec, seed).collect();
+        assert_eq!(arena.len(), fresh.len(), "{}: record count", spec.name);
+        for (i, (replayed, generated)) in arena.iter().zip(fresh).enumerate() {
+            assert_eq!(
+                replayed, generated,
+                "{}: record {i} diverges between replay and generation",
+                spec.name
+            );
+        }
+    }
+}

@@ -18,13 +18,8 @@ fn dec() -> WorkloadSpec {
 fn fig2_compulsory_dominates_and_capacity_vanishes() {
     let spec = dec();
     let pts = miss_breakdown(&spec, SEED, &[0.05, f64::INFINITY], 0.1);
-    let rate = |p: &bh_core::experiments::MissBreakdownPoint, n: &str| {
-        p.read_rates
-            .iter()
-            .find(|(k, _)| k == n)
-            .map(|(_, v)| *v)
-            .unwrap()
-    };
+    let rate =
+        |p: &bh_core::experiments::MissBreakdownPoint, n: &str| p.read_rates.by_name(n).unwrap();
     // Small cache: capacity misses present; infinite: none.
     assert!(
         rate(&pts[0], "capacity") > 0.0,
@@ -57,13 +52,8 @@ fn fig2_berkeley_prodigy_have_more_uncachable() {
         &[f64::INFINITY],
         0.1,
     );
-    let rate = |p: &bh_core::experiments::MissBreakdownPoint, n: &str| {
-        p.read_rates
-            .iter()
-            .find(|(k, _)| k == n)
-            .map(|(_, v)| *v)
-            .unwrap()
-    };
+    let rate =
+        |p: &bh_core::experiments::MissBreakdownPoint, n: &str| p.read_rates.by_name(n).unwrap();
     assert!(
         rate(&pro_pts[0], "uncachable") > rate(&dec_pts[0], "uncachable"),
         "Prodigy must show more uncachable traffic than DEC"

@@ -71,9 +71,7 @@ fn table3_max_totals_match_paper_digit_for_digit() {
 fn rate3(p: &MissBreakdownPoint, class: &str) -> f64 {
     let v = p
         .read_rates
-        .iter()
-        .find(|(n, _)| n == class)
-        .map(|(_, v)| *v)
+        .by_name(class)
         .unwrap_or_else(|| panic!("missing class {class}"));
     (v * 1000.0).round() / 1000.0
 }
@@ -124,4 +122,90 @@ fn fig2_dec_miss_class_orderings_match_paper() {
 
     // Compulsory misses are a property of the trace, not the cache size.
     assert_eq!(rate3(gb1, "compulsory"), rate3(gb5, "compulsory"));
+}
+
+/// The same Figure 2 pins, but routed through the *parallel engine* the
+/// suite uses: one shared [`bh_trace::TraceCache`] arena per workload and
+/// per-point jobs on an 8-worker [`bh_simcore::par::sweep`]. A drift here
+/// with `fig2_dec_rates_pinned_at_tiny_scale` green would mean the arena
+/// replay or the sweep changed the numbers.
+#[test]
+fn fig2_dec_rates_survive_the_parallel_engine() {
+    use bh_core::experiments::miss_breakdown_point;
+    use bh_trace::TraceCache;
+
+    let spec = WorkloadSpec::dec().scaled(0.05);
+    let sizes = vec![1.0 * 0.05, 5.0 * 0.05];
+    let points: Vec<MissBreakdownPoint> = bh_simcore::par::sweep(8, sizes, |_, gb| {
+        miss_breakdown_point(&TraceCache::get(&spec, 42), gb, 0.1)
+    });
+
+    let serial = fig2_dec_points();
+    for (parallel, serial) in points.iter().zip(&serial) {
+        for class in ["hit", "compulsory", "capacity", "error", "uncachable"] {
+            assert_eq!(
+                rate3(parallel, class),
+                rate3(serial, class),
+                "class {class} differs between parallel and serial engines"
+            );
+        }
+        assert_eq!(parallel.total_miss_ratio, serial.total_miss_ratio);
+    }
+    assert_eq!(rate3(&points[0], "hit"), 0.267);
+    assert_eq!(rate3(&points[0], "capacity"), 0.487);
+    assert_eq!(rate3(&points[1], "hit"), 0.540);
+    assert_eq!(rate3(&points[1], "capacity"), 0.213);
+}
+
+/// Partial mirror of the `table3` JSON artifact (extra fields are ignored
+/// by the derived deserializer).
+#[derive(serde::Deserialize)]
+struct Table3ArtifactRow {
+    total_hierarchical_ms: f64,
+    total_direct_ms: f64,
+    total_via_l1_ms: f64,
+}
+
+#[derive(serde::Deserialize)]
+struct Table3Artifact {
+    variant: String,
+    rows: Vec<Table3ArtifactRow>,
+}
+
+/// Table 3 through the suite engine end-to-end: plan → 8-worker sweep →
+/// finish → JSON artifact, then assert the artifact carries the paper's
+/// 24 totals digit for digit.
+#[test]
+fn table3_artifact_from_suite_engine_matches_paper() {
+    use bh_bench::suite::Experiment;
+
+    let out = std::env::temp_dir().join(format!("bh-golden-table3-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let exp = bh_bench::runners::table3::Table3;
+    let args = bh_bench::Args {
+        scale: 1.0,
+        seed: 42,
+        trace: "all".to_string(),
+        out: out.clone(),
+        jobs: 8,
+    };
+    let plan = exp.plan(&args);
+    let results = bh_simcore::par::sweep(args.jobs, plan, |_, j| j());
+    exp.finish(&args, results);
+
+    let json = std::fs::read_to_string(out.join("table3.json")).expect("table3 artifact");
+    let tables: Vec<Table3Artifact> = serde_json::from_str(&json).expect("parse table3 artifact");
+    assert_eq!(tables.len(), 2);
+    for (table, want) in tables.iter().zip([TABLE3_MIN, TABLE3_MAX]) {
+        assert_eq!(table.rows.len(), 4, "{}", table.variant);
+        for (row, (h, d, v)) in table.rows.iter().zip(want) {
+            assert_eq!(
+                row.total_hierarchical_ms, h,
+                "{} hierarchical",
+                table.variant
+            );
+            assert_eq!(row.total_direct_ms, d, "{} direct", table.variant);
+            assert_eq!(row.total_via_l1_ms, v, "{} via-L1", table.variant);
+        }
+    }
 }
