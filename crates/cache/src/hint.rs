@@ -271,6 +271,76 @@ impl HintCache {
         }
     }
 
+    /// Enumerates every live `(key, location)` record, in set order for the
+    /// bounded store (deterministic) and sorted by key for the unbounded one
+    /// (so snapshots compare stably across store kinds).
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        match &self.store {
+            Store::SetAssoc { keys, locs, .. } => keys
+                .iter()
+                .zip(locs.iter())
+                .filter(|(&k, _)| k != 0)
+                .map(|(&k, &l)| (k, l))
+                .collect(),
+            Store::Unbounded(m) => {
+                let mut out: Vec<(u64, u64)> = m.iter().map(|(&k, &l)| (k, l)).collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Drops every hint that names `location` — the stale-hint garbage
+    /// collection a node runs when a peer is confirmed dead, so a departed
+    /// machine's hints stop costing probes. Returns the number purged.
+    ///
+    /// One pass over the store: O(capacity) for the bounded array,
+    /// O(records) for the unbounded map — independent of request rate, which
+    /// is what bounds a dead peer's total cost at O(1) per object.
+    pub fn purge_location(&mut self, location: u64) -> usize {
+        let mut purged = 0usize;
+        match &mut self.store {
+            Store::SetAssoc {
+                keys,
+                locs,
+                sets,
+                ways,
+            } => {
+                for set in 0..*sets {
+                    let range = set * *ways..(set + 1) * *ways;
+                    let kset = &mut keys[range.clone()];
+                    let lset = &mut locs[range];
+                    // Compact each set in place, preserving LRU order of the
+                    // survivors.
+                    let mut write = 0usize;
+                    for read in 0..kset.len() {
+                        if kset[read] == 0 {
+                            break;
+                        }
+                        if lset[read] == location {
+                            purged += 1;
+                            continue;
+                        }
+                        kset[write] = kset[read];
+                        lset[write] = lset[read];
+                        write += 1;
+                    }
+                    for slot in write..kset.len() {
+                        kset[slot] = 0;
+                        lset[slot] = 0;
+                    }
+                }
+            }
+            Store::Unbounded(m) => {
+                let before = m.len();
+                m.retain(|_, &mut l| l != location);
+                purged = before - m.len();
+            }
+        }
+        self.len -= purged;
+        purged
+    }
+
     /// Removes the hint for `key`; returns the stored location if present.
     pub fn remove(&mut self, key: u64) -> Option<u64> {
         if key == 0 {

@@ -1,0 +1,194 @@
+//! Shared fault-injection switchboard for the connection engine.
+//!
+//! A [`FaultSwitch`] is a tiny bundle of atomic knobs that the sharded
+//! receive loop and the outbound connection pool consult on their hot
+//! paths. All knobs default to "off" and cost one relaxed load when off,
+//! so production paths pay nothing measurable for the hook.
+//!
+//! Two fault families live here because both ends of the engine need
+//! them:
+//!
+//! * **latency injection** — artificial service delay, split into an
+//!   inbound (`rx`) component applied by the shard loop before servicing
+//!   a readable connection and an outbound (`tx`) component applied by
+//!   the pool before sending a request;
+//! * **probabilistic send drop** — the pool asks [`FaultSwitch::should_drop`]
+//!   before each outbound request; a `true` answer simulates a lost
+//!   packet by failing the attempt with a timeout. Drops are decided by a
+//!   seeded per-switch LCG so a given seed produces the same drop
+//!   sequence on every run (determinism is the whole point of the chaos
+//!   harness).
+//!
+//! Partition faults (peer A cannot talk to peer B) are *not* modelled
+//! here: they are address-directed, so they live in the pool's block
+//! list where the remote address is known.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Denominator for [`FaultSwitch::set_drop_per_million`]: a rate of
+/// `PER_MILLION` drops every send.
+pub const PER_MILLION: u32 = 1_000_000;
+
+/// Atomic fault knobs shared between the engine and the pool.
+///
+/// Cheap to share behind an `Arc`; every accessor is lock-free.
+#[derive(Debug)]
+pub struct FaultSwitch {
+    /// Inbound service delay, microseconds (0 = off).
+    rx_latency_micros: AtomicU32,
+    /// Outbound send delay, microseconds (0 = off).
+    tx_latency_micros: AtomicU32,
+    /// Probability of dropping an outbound send, in parts per million.
+    drop_per_million: AtomicU32,
+    /// LCG state for the drop decision stream.
+    drop_rng: AtomicU64,
+}
+
+impl Default for FaultSwitch {
+    fn default() -> Self {
+        FaultSwitch::new(0)
+    }
+}
+
+impl FaultSwitch {
+    /// Creates a switchboard with every fault off and the drop stream
+    /// seeded with `seed`.
+    pub fn new(seed: u64) -> FaultSwitch {
+        FaultSwitch {
+            rx_latency_micros: AtomicU32::new(0),
+            tx_latency_micros: AtomicU32::new(0),
+            drop_per_million: AtomicU32::new(0),
+            // splitmix-style scramble so seed 0 and seed 1 diverge
+            // immediately.
+            drop_rng: AtomicU64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+        }
+    }
+
+    /// Sets the inbound service delay (0 clears it).
+    pub fn set_rx_latency_micros(&self, micros: u32) {
+        self.rx_latency_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Sets the outbound send delay (0 clears it).
+    pub fn set_tx_latency_micros(&self, micros: u32) {
+        self.tx_latency_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// Sets the outbound drop rate in parts per million (0 clears it;
+    /// values above [`PER_MILLION`] drop everything).
+    pub fn set_drop_per_million(&self, rate: u32) {
+        self.drop_per_million.store(rate, Ordering::Relaxed);
+    }
+
+    /// Clears every fault at once (end of a chaos window).
+    pub fn clear(&self) {
+        self.set_rx_latency_micros(0);
+        self.set_tx_latency_micros(0);
+        self.set_drop_per_million(0);
+    }
+
+    /// Current inbound delay, if any.
+    pub fn rx_latency(&self) -> Option<std::time::Duration> {
+        match self.rx_latency_micros.load(Ordering::Relaxed) {
+            0 => None,
+            us => Some(std::time::Duration::from_micros(u64::from(us))),
+        }
+    }
+
+    /// Current outbound delay, if any.
+    pub fn tx_latency(&self) -> Option<std::time::Duration> {
+        match self.tx_latency_micros.load(Ordering::Relaxed) {
+            0 => None,
+            us => Some(std::time::Duration::from_micros(u64::from(us))),
+        }
+    }
+
+    /// Decides whether the next outbound send is dropped. Advances the
+    /// seeded drop stream only while a drop rate is armed, so runs with
+    /// faults off leave the stream untouched.
+    pub fn should_drop(&self) -> bool {
+        let rate = self.drop_per_million.load(Ordering::Relaxed);
+        if rate == 0 {
+            return false;
+        }
+        // Race note: concurrent callers interleave draws from one global
+        // stream. The *set* of draws is seed-determined; attribution to
+        // callers is scheduling-dependent, which is fine for a drop rate.
+        let mut state = self.drop_rng.load(Ordering::Relaxed);
+        loop {
+            let next = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match self.drop_rng.compare_exchange_weak(
+                state,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let draw = (next >> 33) as u32 % PER_MILLION;
+                    return draw < rate;
+                }
+                Err(actual) => state = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn defaults_are_all_off() {
+        let f = FaultSwitch::default();
+        assert_eq!(f.rx_latency(), None);
+        assert_eq!(f.tx_latency(), None);
+        for _ in 0..1000 {
+            assert!(!f.should_drop());
+        }
+    }
+
+    #[test]
+    fn latency_knobs_round_trip_and_clear() {
+        let f = FaultSwitch::new(7);
+        f.set_rx_latency_micros(1500);
+        f.set_tx_latency_micros(250);
+        assert_eq!(f.rx_latency(), Some(Duration::from_micros(1500)));
+        assert_eq!(f.tx_latency(), Some(Duration::from_micros(250)));
+        f.clear();
+        assert_eq!(f.rx_latency(), None);
+        assert_eq!(f.tx_latency(), None);
+    }
+
+    #[test]
+    fn drop_rate_extremes() {
+        let f = FaultSwitch::new(1);
+        f.set_drop_per_million(PER_MILLION);
+        for _ in 0..100 {
+            assert!(f.should_drop(), "rate 100% drops everything");
+        }
+        f.set_drop_per_million(0);
+        for _ in 0..100 {
+            assert!(!f.should_drop(), "rate 0 drops nothing");
+        }
+    }
+
+    #[test]
+    fn drop_stream_is_seed_deterministic() {
+        let a = FaultSwitch::new(42);
+        let b = FaultSwitch::new(42);
+        let c = FaultSwitch::new(43);
+        a.set_drop_per_million(250_000);
+        b.set_drop_per_million(250_000);
+        c.set_drop_per_million(250_000);
+        let draw = |f: &FaultSwitch| (0..4096).map(|_| f.should_drop()).collect::<Vec<_>>();
+        let (da, db, dc) = (draw(&a), draw(&b), draw(&c));
+        assert_eq!(da, db, "same seed, same drop sequence");
+        assert_ne!(da, dc, "different seed diverges");
+        let dropped = da.iter().filter(|&&d| d).count();
+        // 25% ± generous slack over 4096 draws.
+        assert!((700..1350).contains(&dropped), "dropped {dropped}/4096");
+    }
+}

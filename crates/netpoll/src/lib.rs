@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
+
 use std::io;
 
 /// Readiness interest registered for a file descriptor.

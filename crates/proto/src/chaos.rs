@@ -1,0 +1,491 @@
+//! Deterministic fault-plan driver for a live mesh.
+//!
+//! A [`FaultPlan`] is a seeded schedule of fault windows — crash/restart,
+//! partition, added latency, packet drop — positioned by **request
+//! counts**, not wall-clock time. The load generator replays a trace
+//! segment by segment: `pre` requests before the fault is injected,
+//! `hold` requests while it is active, `post` requests after it is
+//! lifted. Because every transition is pinned to a request offset, the
+//! schedule a plan implies ([`FaultPlan::event_log`]) is a pure function
+//! of the plan: the same seed produces a byte-identical event log on
+//! every run, which is what makes chaos regressions diffable in CI.
+//!
+//! [`ChaosMesh`] owns a running origin + node mesh and knows how to apply
+//! and lift each [`FaultKind`]:
+//!
+//! * **Crash** — the node is torn down with [`CacheNode::kill`]
+//!   (pending hint updates discarded, no goodbye); lifting the window
+//!   restarts it on the *same* port (so surviving hints stay addressable)
+//!   and rebuilds its hint table with an anti-entropy
+//!   [`CacheNode::resync`].
+//! * **Partition** — both directions of a pair are blocked in the
+//!   respective connection pools; the origin is never blocked, so
+//!   partitioned nodes degrade to origin fetches rather than failing.
+//! * **Latency** — inbound and outbound injected delay on one node's
+//!   [`bh_netpoll::fault::FaultSwitch`].
+//! * **Drop** — probabilistic outbound send drops on one node, from the
+//!   switch's seeded drop stream.
+
+use crate::node::{mesh_tree_for, CacheNode, NodeConfig, NodeStats};
+use crate::origin::OriginServer;
+use std::io;
+use std::net::SocketAddr;
+
+/// One fault to inject into a running mesh. Node indices refer to the
+/// mesh's spawn order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// Crash-stop `node`; lifted by a warm restart on the same port plus
+    /// an anti-entropy resync.
+    Crash {
+        /// Index of the node to kill.
+        node: usize,
+    },
+    /// Sever the `a`↔`b` link in both directions.
+    Partition {
+        /// One side of the severed link.
+        a: usize,
+        /// The other side.
+        b: usize,
+    },
+    /// Add fixed service delay to everything `node` receives and sends.
+    Latency {
+        /// Index of the slowed node.
+        node: usize,
+        /// Injected delay per direction, microseconds.
+        micros: u32,
+    },
+    /// Drop a fraction of `node`'s outbound sends.
+    Drop {
+        /// Index of the lossy node.
+        node: usize,
+        /// Drop rate in parts per million.
+        per_million: u32,
+    },
+}
+
+impl FaultKind {
+    /// A stable one-line description used in event logs.
+    pub fn describe(&self) -> String {
+        match *self {
+            FaultKind::Crash { node } => format!("crash node={node}"),
+            FaultKind::Partition { a, b } => format!("partition a={a} b={b}"),
+            FaultKind::Latency { node, micros } => format!("latency node={node} micros={micros}"),
+            FaultKind::Drop { node, per_million } => {
+                format!("drop node={node} per_million={per_million}")
+            }
+        }
+    }
+
+    /// Largest node index the fault touches.
+    fn max_node(&self) -> usize {
+        match *self {
+            FaultKind::Crash { node }
+            | FaultKind::Latency { node, .. }
+            | FaultKind::Drop { node, .. } => node,
+            FaultKind::Partition { a, b } => a.max(b),
+        }
+    }
+}
+
+/// One fault window: `pre` healthy requests, inject, `hold` requests
+/// under the fault, lift, `post` recovery requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultWindow {
+    /// The fault this window injects.
+    pub fault: FaultKind,
+    /// Requests replayed before injection (baseline segment).
+    pub pre: u64,
+    /// Requests replayed while the fault is active.
+    pub hold: u64,
+    /// Requests replayed after the fault is lifted (recovery segment).
+    pub post: u64,
+}
+
+/// A seeded, request-count-positioned schedule of fault windows.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the workload replayed under the plan (and anything else
+    /// the harness randomizes). The event schedule itself is already
+    /// deterministic by construction.
+    pub seed: u64,
+    /// Windows executed in order, back to back.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// The canonical CI smoke plan: one crash window and one partition
+    /// window over a 4-node mesh.
+    pub fn smoke(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            windows: vec![
+                FaultWindow {
+                    fault: FaultKind::Crash { node: 1 },
+                    pre: 600,
+                    hold: 600,
+                    post: 600,
+                },
+                FaultWindow {
+                    fault: FaultKind::Partition { a: 0, b: 2 },
+                    pre: 300,
+                    hold: 600,
+                    post: 600,
+                },
+            ],
+        }
+    }
+
+    /// Total requests the plan replays across every segment.
+    pub fn total_requests(&self) -> u64 {
+        self.windows.iter().map(|w| w.pre + w.hold + w.post).sum()
+    }
+
+    /// Checks every referenced node index against the mesh size and
+    /// rejects degenerate windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid window.
+    pub fn validate(&self, mesh_size: usize) -> Result<(), String> {
+        if self.windows.is_empty() {
+            return Err("plan has no fault windows".into());
+        }
+        for (i, w) in self.windows.iter().enumerate() {
+            if w.fault.max_node() >= mesh_size {
+                return Err(format!(
+                    "window {i} ({}) references a node outside the {mesh_size}-node mesh",
+                    w.fault.describe()
+                ));
+            }
+            if let FaultKind::Partition { a, b } = w.fault {
+                if a == b {
+                    return Err(format!(
+                        "window {i}: partition endpoints must differ (got {a})"
+                    ));
+                }
+            }
+            if w.hold == 0 {
+                return Err(format!(
+                    "window {i}: hold segment must replay at least 1 request"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the deterministic event schedule the plan implies: one
+    /// line per inject/lift, positioned by cumulative request offset.
+    /// Depends on nothing but the plan, so two runs of the same plan
+    /// produce byte-identical logs.
+    pub fn event_log(&self) -> String {
+        let mut out = format!("plan seed={} windows={}\n", self.seed, self.windows.len());
+        let mut offset = 0u64;
+        for (i, w) in self.windows.iter().enumerate() {
+            offset += w.pre;
+            out.push_str(&format!(
+                "window {i}: inject {} at request {offset}\n",
+                w.fault.describe()
+            ));
+            offset += w.hold;
+            out.push_str(&format!(
+                "window {i}: lift {} at request {offset}\n",
+                w.fault.describe()
+            ));
+            offset += w.post;
+        }
+        out.push_str(&format!("plan complete at request {offset}\n"));
+        out
+    }
+}
+
+/// A running origin + full-mesh node cluster that a [`FaultPlan`] can be
+/// applied to. Nodes are addressed by spawn index; a crashed slot holds
+/// `None` until the window lifts.
+pub struct ChaosMesh {
+    origin: OriginServer,
+    nodes: Vec<Option<CacheNode>>,
+    /// Respawn configs with the concrete (post-bind) addresses, so a
+    /// restart reclaims the crashed node's port and identity.
+    configs: Vec<NodeConfig>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl ChaosMesh {
+    /// Spawns an origin and `n` nodes wired as a full mesh (every node
+    /// neighbors every other, all sharing the same Plaxton membership).
+    /// `tune` customizes each node's config after the origin is known —
+    /// timeouts, heartbeat cadence, engine mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates origin/node spawn failures.
+    pub fn spawn(n: usize, tune: impl Fn(NodeConfig) -> NodeConfig) -> io::Result<ChaosMesh> {
+        let origin = OriginServer::spawn("127.0.0.1:0")?;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let config = tune(NodeConfig::new("127.0.0.1:0", origin.addr()));
+            nodes.push(CacheNode::spawn(config)?);
+        }
+        let addrs: Vec<SocketAddr> = nodes.iter().map(|node| node.addr()).collect();
+        let mut configs = Vec::with_capacity(n);
+        for (i, node) in nodes.iter().enumerate() {
+            let neighbors: Vec<SocketAddr> = addrs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| *a)
+                .collect();
+            node.set_neighbors(neighbors.clone());
+            node.set_mesh(&addrs);
+            let mut config = tune(NodeConfig::new(addrs[i].to_string(), origin.addr()));
+            config.neighbors = neighbors;
+            configs.push(config);
+        }
+        Ok(ChaosMesh {
+            origin,
+            nodes: nodes.into_iter().map(Some).collect(),
+            configs,
+            addrs,
+        })
+    }
+
+    /// The origin server backing the mesh.
+    pub fn origin(&self) -> &OriginServer {
+        &self.origin
+    }
+
+    /// Every node's bound address, in spawn order (stable across crash
+    /// and restart).
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// The node at `index`, or `None` while it is crashed.
+    pub fn node(&self, index: usize) -> Option<&CacheNode> {
+        self.nodes.get(index).and_then(|n| n.as_ref())
+    }
+
+    /// Index of a live node, preferring `preferred` — where a crashed
+    /// node's clients reconnect during its window.
+    pub fn live_node(&self, preferred: usize) -> Option<usize> {
+        if self.node(preferred).is_some() {
+            return Some(preferred);
+        }
+        (0..self.nodes.len()).find(|&i| self.node(i).is_some())
+    }
+
+    /// Per-node stats snapshots (`None` for crashed slots).
+    pub fn stats(&self) -> Vec<Option<NodeStats>> {
+        self.nodes
+            .iter()
+            .map(|n| n.as_ref().map(|n| n.stats()))
+            .collect()
+    }
+
+    /// Runs one immediate heartbeat round on every live node.
+    pub fn heartbeat_all(&self) {
+        for node in self.nodes.iter().flatten() {
+            node.heartbeat_now();
+        }
+    }
+
+    /// Flushes pending hint updates on every live node.
+    pub fn flush_all(&self) {
+        for node in self.nodes.iter().flatten() {
+            node.flush_updates_now();
+        }
+    }
+
+    /// Crash-stops node `index` (no-op if already down).
+    pub fn crash(&mut self, index: usize) {
+        if let Some(node) = self.nodes[index].take() {
+            node.kill();
+        }
+    }
+
+    /// Restarts a crashed node on its original port, rewires it into the
+    /// mesh, and rebuilds its hint table via anti-entropy resync. Returns
+    /// the number of hint records recovered.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the original port cannot be rebound.
+    pub fn restart(&mut self, index: usize) -> io::Result<usize> {
+        if self.nodes[index].is_some() {
+            return Ok(0);
+        }
+        let node = CacheNode::spawn(self.configs[index].clone())?;
+        node.set_mesh(&self.addrs);
+        let recovered = node.resync();
+        self.nodes[index] = Some(node);
+        Ok(recovered)
+    }
+
+    /// Applies `fault` to the running mesh.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for symmetry with [`Self::lift`].
+    pub fn inject(&mut self, fault: FaultKind) -> io::Result<()> {
+        match fault {
+            FaultKind::Crash { node } => self.crash(node),
+            FaultKind::Partition { a, b } => {
+                let (addr_a, addr_b) = (self.addrs[a], self.addrs[b]);
+                if let Some(node) = self.node(a) {
+                    node.pool().block(addr_b);
+                }
+                if let Some(node) = self.node(b) {
+                    node.pool().block(addr_a);
+                }
+            }
+            FaultKind::Latency { node, micros } => {
+                if let Some(node) = self.node(node) {
+                    let switch = node.pool().fault_switch();
+                    switch.set_rx_latency_micros(micros);
+                    switch.set_tx_latency_micros(micros);
+                }
+            }
+            FaultKind::Drop { node, per_million } => {
+                if let Some(node) = self.node(node) {
+                    node.pool().fault_switch().set_drop_per_million(per_million);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lifts `fault`, restoring the mesh to its pre-window wiring (and
+    /// restarting the node a crash window killed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates restart failures for crash windows.
+    pub fn lift(&mut self, fault: FaultKind) -> io::Result<()> {
+        match fault {
+            FaultKind::Crash { node } => {
+                self.restart(node)?;
+            }
+            FaultKind::Partition { a, b } => {
+                let (addr_a, addr_b) = (self.addrs[a], self.addrs[b]);
+                if let Some(node) = self.node(a) {
+                    node.pool().unblock(addr_b);
+                    node.pool().forgive(addr_b);
+                }
+                if let Some(node) = self.node(b) {
+                    node.pool().unblock(addr_a);
+                    node.pool().forgive(addr_a);
+                }
+            }
+            FaultKind::Latency { node, .. } | FaultKind::Drop { node, .. } => {
+                if let Some(node) = self.node(node) {
+                    node.pool().fault_switch().clear();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Gracefully shuts the whole mesh down.
+    pub fn shutdown(mut self) {
+        for node in self.nodes.iter_mut() {
+            if let Some(node) = node.take() {
+                node.shutdown();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ChaosMesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosMesh")
+            .field("addrs", &self.addrs)
+            .field(
+                "live",
+                &self
+                    .nodes
+                    .iter()
+                    .map(|n| n.is_some())
+                    .collect::<Vec<bool>>(),
+            )
+            .finish()
+    }
+}
+
+/// Analytic count of the Plaxton routing-table entries the mesh rewrites
+/// when `dead` (a spawn index) is removed from a mesh over `members` —
+/// the number every survivor's live repair must match.
+pub fn analytic_churn_for(members: &[SocketAddr], dead: usize) -> usize {
+    let mut tree = mesh_tree_for(members);
+    tree.remove_node(dead).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_plan_validates_and_logs_deterministically() {
+        let plan = FaultPlan::smoke(42);
+        plan.validate(4).expect("smoke plan is valid for 4 nodes");
+        assert_eq!(plan.total_requests(), 600 * 3 + 300 + 600 + 600);
+        let log_a = plan.event_log();
+        let log_b = FaultPlan::smoke(42).event_log();
+        assert_eq!(log_a, log_b, "same seed, byte-identical schedule");
+        assert!(log_a.contains("inject crash node=1 at request 600"));
+        assert!(log_a.contains("lift crash node=1 at request 1200"));
+        assert!(log_a.contains("inject partition a=0 b=2 at request 2100"));
+        assert!(log_a.contains("plan complete at request 3300"));
+        assert_ne!(log_a, FaultPlan::smoke(43).event_log());
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let mut plan = FaultPlan::smoke(1);
+        assert!(plan.validate(2).is_err(), "node 2 outside a 2-node mesh");
+        plan.windows[0].hold = 0;
+        assert!(plan.validate(4).is_err(), "empty hold segment");
+        plan.windows.clear();
+        assert!(plan.validate(4).is_err(), "no windows");
+        let twisted = FaultPlan {
+            seed: 1,
+            windows: vec![FaultWindow {
+                fault: FaultKind::Partition { a: 1, b: 1 },
+                pre: 0,
+                hold: 1,
+                post: 0,
+            }],
+        };
+        assert!(twisted.validate(4).is_err(), "self-partition");
+    }
+
+    #[test]
+    fn plans_round_trip_through_serde() {
+        let plan = FaultPlan {
+            seed: 7,
+            windows: vec![
+                FaultWindow {
+                    fault: FaultKind::Latency {
+                        node: 0,
+                        micros: 500,
+                    },
+                    pre: 10,
+                    hold: 20,
+                    post: 30,
+                },
+                FaultWindow {
+                    fault: FaultKind::Drop {
+                        node: 3,
+                        per_million: 250_000,
+                    },
+                    pre: 1,
+                    hold: 2,
+                    post: 3,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: FaultPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(plan, back);
+    }
+}

@@ -41,7 +41,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
+pub mod liveness;
 pub mod node;
 pub mod origin;
 pub mod pool;

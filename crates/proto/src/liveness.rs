@@ -1,0 +1,259 @@
+//! Heartbeat-driven peer failure detection.
+//!
+//! Each node pings its neighbor set on a fixed interval and feeds the
+//! outcomes into a [`LivenessTracker`] — a small per-peer state machine:
+//!
+//! ```text
+//! Alive --k consecutive failures--> Suspect --confirm window--> Dead
+//!   ^                                  |                          |
+//!   +------------- one success --------+----------(revival)------+
+//! ```
+//!
+//! The two-stage design separates the paper's §3.2 *per-request* contract
+//! (a failed hint costs exactly one wasted probe, enforced by the pool's
+//! quarantine) from *standing* state repair, which should only happen once
+//! failure is durable: confirmed death triggers stale-hint garbage
+//! collection and Plaxton-table repair, both of which are wasteful to run
+//! on a transient blip. The suspicion threshold filters single lost
+//! heartbeats; the confirmation window (`confirm_death_after`, measured
+//! from the *first* failure of the current streak) filters short
+//! partitions and restarts.
+//!
+//! The tracker itself is pure bookkeeping — callers pass in the clock —
+//! so every transition is unit-testable without sleeping.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Tuning for the failure detector.
+#[derive(Debug, Clone, Copy)]
+pub struct LivenessConfig {
+    /// Consecutive heartbeat failures before a peer becomes `Suspect`.
+    pub suspicion_threshold: u32,
+    /// Minimum time between a streak's first failure and confirming
+    /// `Dead`. Must cover at least one full partition-heal or restart
+    /// cycle the deployment wants to tolerate silently.
+    pub confirm_death_after: Duration,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig {
+            suspicion_threshold: 3,
+            confirm_death_after: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A peer's health as judged by the failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Answering heartbeats (or never yet probed).
+    Alive,
+    /// Missed enough consecutive heartbeats to be suspected.
+    Suspect,
+    /// Suspected for longer than the confirmation window.
+    Dead,
+}
+
+/// A state change produced by recording a heartbeat outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No health change.
+    None,
+    /// Alive → Suspect (threshold crossed).
+    Suspected,
+    /// Suspect → Dead (confirmation window elapsed). Fires exactly once
+    /// per death; the caller runs its repair actions on this edge.
+    Died,
+    /// Dead → Alive (the peer answered again). Fires exactly once per
+    /// revival; the caller re-wires the peer in.
+    Revived,
+}
+
+#[derive(Debug, Default)]
+struct PeerRecord {
+    consecutive_failures: u32,
+    first_failure: Option<Instant>,
+    health: Option<PeerHealth>,
+}
+
+impl PeerRecord {
+    fn health(&self) -> PeerHealth {
+        self.health.unwrap_or(PeerHealth::Alive)
+    }
+}
+
+/// Per-peer heartbeat bookkeeping. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct LivenessTracker {
+    config: LivenessConfig,
+    peers: HashMap<SocketAddr, PeerRecord>,
+}
+
+impl LivenessTracker {
+    /// Creates a tracker; peers start `Alive` implicitly.
+    pub fn new(config: LivenessConfig) -> Self {
+        LivenessTracker {
+            config,
+            peers: HashMap::new(),
+        }
+    }
+
+    /// Records a successful heartbeat (or any successful exchange) with
+    /// `addr`.
+    pub fn record_ok(&mut self, addr: SocketAddr) -> Transition {
+        let rec = self.peers.entry(addr).or_default();
+        let was_dead = rec.health() == PeerHealth::Dead;
+        rec.consecutive_failures = 0;
+        rec.first_failure = None;
+        rec.health = Some(PeerHealth::Alive);
+        if was_dead {
+            Transition::Revived
+        } else {
+            Transition::None
+        }
+    }
+
+    /// Records a failed heartbeat against `addr` at time `now`.
+    pub fn record_failure(&mut self, addr: SocketAddr, now: Instant) -> Transition {
+        let config = self.config;
+        let rec = self.peers.entry(addr).or_default();
+        if rec.health() == PeerHealth::Dead {
+            return Transition::None; // Already confirmed; nothing left to do.
+        }
+        rec.consecutive_failures = rec.consecutive_failures.saturating_add(1);
+        let first = *rec.first_failure.get_or_insert(now);
+        if rec.consecutive_failures < config.suspicion_threshold {
+            return Transition::None;
+        }
+        if now.saturating_duration_since(first) >= config.confirm_death_after {
+            rec.health = Some(PeerHealth::Dead);
+            Transition::Died
+        } else if rec.health() != PeerHealth::Suspect {
+            rec.health = Some(PeerHealth::Suspect);
+            Transition::Suspected
+        } else {
+            Transition::None
+        }
+    }
+
+    /// The current judgment for `addr` (`Alive` if never recorded).
+    pub fn health(&self, addr: SocketAddr) -> PeerHealth {
+        self.peers
+            .get(&addr)
+            .map_or(PeerHealth::Alive, |r| r.health())
+    }
+
+    /// Every peer currently judged `Dead`.
+    pub fn dead_peers(&self) -> Vec<SocketAddr> {
+        let mut out: Vec<SocketAddr> = self
+            .peers
+            .iter()
+            .filter(|(_, r)| r.health() == PeerHealth::Dead)
+            .map(|(a, _)| *a)
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> SocketAddr {
+        format!("127.0.0.{n}:1000").parse().expect("addr")
+    }
+
+    fn quick() -> LivenessConfig {
+        LivenessConfig {
+            suspicion_threshold: 3,
+            confirm_death_after: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn unknown_peers_are_alive() {
+        let t = LivenessTracker::new(quick());
+        assert_eq!(t.health(addr(1)), PeerHealth::Alive);
+        assert!(t.dead_peers().is_empty());
+    }
+
+    #[test]
+    fn suspicion_needs_consecutive_failures() {
+        let mut t = LivenessTracker::new(quick());
+        let now = Instant::now();
+        assert_eq!(t.record_failure(addr(1), now), Transition::None);
+        assert_eq!(t.record_failure(addr(1), now), Transition::None);
+        // A success in between resets the streak entirely.
+        assert_eq!(t.record_ok(addr(1)), Transition::None);
+        assert_eq!(t.record_failure(addr(1), now), Transition::None);
+        assert_eq!(t.record_failure(addr(1), now), Transition::None);
+        assert_eq!(t.health(addr(1)), PeerHealth::Alive);
+        assert_eq!(t.record_failure(addr(1), now), Transition::Suspected);
+        assert_eq!(t.health(addr(1)), PeerHealth::Suspect);
+    }
+
+    #[test]
+    fn death_requires_threshold_and_window() {
+        let mut t = LivenessTracker::new(quick());
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            t.record_failure(addr(1), t0);
+        }
+        // Threshold crossed inside the window: only suspicion.
+        assert_eq!(t.record_failure(addr(1), t0), Transition::Suspected);
+        assert_eq!(
+            t.record_failure(addr(1), t0 + Duration::from_millis(50)),
+            Transition::None,
+            "window not yet elapsed"
+        );
+        // Window elapsed since the *first* failure of the streak.
+        assert_eq!(
+            t.record_failure(addr(1), t0 + Duration::from_millis(100)),
+            Transition::Died
+        );
+        assert_eq!(t.health(addr(1)), PeerHealth::Dead);
+        assert_eq!(t.dead_peers(), vec![addr(1)]);
+        // Died fires exactly once.
+        assert_eq!(
+            t.record_failure(addr(1), t0 + Duration::from_secs(5)),
+            Transition::None
+        );
+    }
+
+    #[test]
+    fn revival_fires_once_and_resets() {
+        let mut t = LivenessTracker::new(quick());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            t.record_failure(addr(2), t0);
+        }
+        t.record_failure(addr(2), t0 + Duration::from_millis(150));
+        assert_eq!(t.health(addr(2)), PeerHealth::Dead);
+        assert_eq!(t.record_ok(addr(2)), Transition::Revived);
+        assert_eq!(t.record_ok(addr(2)), Transition::None);
+        assert_eq!(t.health(addr(2)), PeerHealth::Alive);
+        // Post-revival failures need a whole fresh streak + window.
+        let t1 = t0 + Duration::from_secs(1);
+        for _ in 0..3 {
+            assert_ne!(t.record_failure(addr(2), t1), Transition::Died);
+        }
+        assert_eq!(t.health(addr(2)), PeerHealth::Suspect);
+    }
+
+    #[test]
+    fn peers_are_tracked_independently() {
+        let mut t = LivenessTracker::new(quick());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            t.record_failure(addr(1), t0);
+        }
+        t.record_failure(addr(1), t0 + Duration::from_millis(200));
+        t.record_failure(addr(2), t0);
+        assert_eq!(t.health(addr(1)), PeerHealth::Dead);
+        assert_eq!(t.health(addr(2)), PeerHealth::Alive);
+    }
+}

@@ -382,6 +382,11 @@ impl Shard {
     /// Handles readiness for one connection.
     fn service(&mut self, event: Event) {
         let token = event.token;
+        // Chaos hook: injected inbound service delay, applied before the
+        // shard touches the socket. One relaxed load when disarmed.
+        if let Some(delay) = self.inner.pool.fault_switch().rx_latency() {
+            std::thread::sleep(delay);
+        }
         if event.needs_read() && !self.read_ready(token) {
             self.close(token);
             return;

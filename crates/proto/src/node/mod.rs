@@ -24,12 +24,14 @@
 
 mod engine;
 
+use crate::liveness::{LivenessConfig, LivenessTracker, PeerHealth, Transition};
 use crate::pool::{ConnectionPool, PoolConfig, RequestOptions};
 use crate::wire::{
     coalesce, read_message, write_message, HintAction, HintUpdate, MachineId, Message, ServedBy,
     Status,
 };
 use bh_cache::{HintCache, LruCache};
+use bh_plaxton::{NodeSpec, PlaxtonTree};
 use bh_simcore::ByteSize;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -38,7 +40,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which connection engine a [`CacheNode`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +98,17 @@ pub struct NodeConfig {
     pub shards: usize,
     /// Worker threads servicing `Get` requests in sharded mode (min 1).
     pub workers: usize,
+    /// Interval between liveness heartbeats to each neighbor.
+    pub heartbeat_interval: Duration,
+    /// Consecutive failed heartbeats before a neighbor becomes suspect.
+    pub suspicion_threshold: u32,
+    /// How long a neighbor must stay suspect (measured from the first
+    /// failure of the streak) before it is confirmed dead and standing
+    /// state — stale hints, Plaxton table entries — is repaired.
+    pub confirm_death_after: Duration,
+    /// Upper bound on how long `shutdown`/drop waits for node threads to
+    /// unwind before detaching the stragglers.
+    pub shutdown_deadline: Duration,
 }
 
 impl NodeConfig {
@@ -114,6 +127,10 @@ impl NodeConfig {
             mode: ThreadingMode::default_for_target(),
             shards: 2,
             workers: 8,
+            heartbeat_interval: Duration::from_secs(1),
+            suspicion_threshold: 3,
+            confirm_death_after: Duration::from_secs(30),
+            shutdown_deadline: Duration::from_secs(5),
         }
     }
 
@@ -164,6 +181,30 @@ impl NodeConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// Sets the liveness heartbeat interval.
+    pub fn with_heartbeat_interval(mut self, d: Duration) -> Self {
+        self.heartbeat_interval = d;
+        self
+    }
+
+    /// Sets the suspicion threshold (consecutive failed heartbeats).
+    pub fn with_suspicion_threshold(mut self, n: u32) -> Self {
+        self.suspicion_threshold = n.max(1);
+        self
+    }
+
+    /// Sets the death-confirmation window.
+    pub fn with_confirm_death_after(mut self, d: Duration) -> Self {
+        self.confirm_death_after = d;
+        self
+    }
+
+    /// Sets the shutdown join deadline.
+    pub fn with_shutdown_deadline(mut self, d: Duration) -> Self {
+        self.shutdown_deadline = d;
+        self
+    }
 }
 
 /// Counters exposed by a node.
@@ -186,6 +227,21 @@ pub struct NodeStats {
     /// Received updates that were *not* forwarded up/down because they did
     /// not change this node's knowledge (the §3.1.2 filtering).
     pub updates_filtered: u64,
+    /// Heartbeats a neighbor answered.
+    pub heartbeats_ok: u64,
+    /// Heartbeats a neighbor failed to answer.
+    pub heartbeats_failed: u64,
+    /// Neighbors confirmed dead by the failure detector.
+    pub peers_confirmed_dead: u64,
+    /// Stale hint records purged when a peer was confirmed dead.
+    pub stale_hints_gc: u64,
+    /// Plaxton routing-table entries rewritten by churn repair.
+    pub plaxton_repair_entries: u64,
+    /// Peer probes that failed at the transport layer (dead peer or
+    /// partition) and fell back to the origin.
+    pub degraded_to_origin: u64,
+    /// Anti-entropy resync requests answered for restarting peers.
+    pub resyncs_served: u64,
 }
 
 #[derive(Debug, Default)]
@@ -198,6 +254,13 @@ struct AtomicStats {
     updates_received: AtomicU64,
     pushes_received: AtomicU64,
     updates_filtered: AtomicU64,
+    heartbeats_ok: AtomicU64,
+    heartbeats_failed: AtomicU64,
+    peers_confirmed_dead: AtomicU64,
+    stale_hints_gc: AtomicU64,
+    plaxton_repair_entries: AtomicU64,
+    degraded_to_origin: AtomicU64,
+    resyncs_served: AtomicU64,
 }
 
 impl AtomicStats {
@@ -211,6 +274,13 @@ impl AtomicStats {
             updates_received: self.updates_received.load(Ordering::Relaxed),
             pushes_received: self.pushes_received.load(Ordering::Relaxed),
             updates_filtered: self.updates_filtered.load(Ordering::Relaxed),
+            heartbeats_ok: self.heartbeats_ok.load(Ordering::Relaxed),
+            heartbeats_failed: self.heartbeats_failed.load(Ordering::Relaxed),
+            peers_confirmed_dead: self.peers_confirmed_dead.load(Ordering::Relaxed),
+            stale_hints_gc: self.stale_hints_gc.load(Ordering::Relaxed),
+            plaxton_repair_entries: self.plaxton_repair_entries.load(Ordering::Relaxed),
+            degraded_to_origin: self.degraded_to_origin.load(Ordering::Relaxed),
+            resyncs_served: self.resyncs_served.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,6 +295,19 @@ struct Store {
     hints: HintCache,
 }
 
+/// The live Plaxton metadata hierarchy this node repairs on churn: the
+/// tree the mesh agreed on plus the index/position bookkeeping needed to
+/// remove a confirmed-dead member and re-add a revived one at its
+/// original coordinates. Every mesh member builds the tree from the same
+/// ordered list ([`mesh_tree_for`]), so the repairs stay deterministic
+/// and comparable against an analytic replay of the same churn.
+#[derive(Debug)]
+struct MeshState {
+    tree: PlaxtonTree,
+    index: HashMap<SocketAddr, usize>,
+    position: HashMap<SocketAddr, (f64, f64)>,
+}
+
 #[derive(Debug)]
 struct Inner {
     config: NodeConfig,
@@ -234,8 +317,14 @@ struct Inner {
     neighbors: Mutex<Vec<SocketAddr>>,
     stats: AtomicStats,
     shutdown: AtomicBool,
-    /// Warm outbound connections (sharded mode; idle in legacy mode).
+    /// Warm outbound connections (sharded mode; heartbeat-only in legacy
+    /// mode, whose request path dials fresh connections).
     pool: ConnectionPool,
+    /// Peer failure detector fed by the heartbeat loop.
+    liveness: Mutex<LivenessTracker>,
+    /// Live Plaxton tree repaired on confirmed churn (`None` until
+    /// [`CacheNode::set_mesh`]).
+    mesh: Mutex<Option<MeshState>>,
 }
 
 /// Handle to a running cache node; dropping it shuts the node down.
@@ -273,6 +362,9 @@ impl CacheNode {
             // Every worker may hold a connection to the same remote at
             // once; a smaller cap would drop and re-dial the excess.
             max_idle_per_peer: config.workers.max(4),
+            // Per-node jitter stream: distinct nodes must not retry or
+            // re-probe in lockstep.
+            jitter_seed: machine.0,
             ..PoolConfig::default()
         });
         let inner = Arc::new(Inner {
@@ -287,6 +379,11 @@ impl CacheNode {
             stats: AtomicStats::default(),
             shutdown: AtomicBool::new(false),
             pool,
+            liveness: Mutex::new(LivenessTracker::new(LivenessConfig {
+                suspicion_threshold: config.suspicion_threshold,
+                confirm_death_after: config.confirm_death_after,
+            })),
+            mesh: Mutex::new(None),
             config,
         });
 
@@ -315,6 +412,15 @@ impl CacheNode {
                     .name(format!("cache-flush-{addr}"))
                     .spawn(move || flush_loop(inner))
                     .expect("spawn flush thread"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("cache-heartbeat-{addr}"))
+                    .spawn(move || heartbeat_loop(inner))
+                    .expect("spawn heartbeat thread"),
             );
         }
         Ok(CacheNode {
@@ -376,19 +482,130 @@ impl CacheNode {
         flush_once(&self.inner);
     }
 
-    /// Stops the node and joins its threads.
+    /// The outbound connection pool — fault switch, partition block list,
+    /// quarantine state. The chaos driver steers faults through this.
+    pub fn pool(&self) -> &ConnectionPool {
+        &self.inner.pool
+    }
+
+    /// The hint store's current contents as `(object, location)` pairs,
+    /// sorted by object key.
+    pub fn hint_entries(&self) -> Vec<(u64, u64)> {
+        let mut entries = self.inner.store.lock().hints.entries();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// The failure detector's current judgment of `addr`.
+    pub fn peer_health(&self, addr: SocketAddr) -> PeerHealth {
+        self.inner.liveness.lock().health(addr)
+    }
+
+    /// Installs the mesh membership this node repairs on churn: builds the
+    /// shared Plaxton metadata tree over `members` (every member must pass
+    /// the same ordered list so the trees agree). A confirmed death
+    /// removes the member and counts the rewritten routing-table entries
+    /// in [`NodeStats::plaxton_repair_entries`]; a revival re-adds it at
+    /// its original coordinates.
+    pub fn set_mesh(&self, members: &[SocketAddr]) {
+        let tree = mesh_tree_for(members);
+        let index = members.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        let position = members
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (*a, (i as f64, 0.0)))
+            .collect();
+        *self.inner.mesh.lock() = Some(MeshState {
+            tree,
+            index,
+            position,
+        });
+    }
+
+    /// Runs one round of heartbeats against the current neighbor set
+    /// immediately (tests use this instead of waiting out the interval).
+    pub fn heartbeat_now(&self) {
+        heartbeat_round(&self.inner);
+    }
+
+    /// Anti-entropy pull: asks every neighbor for the objects it holds and
+    /// applies the answers to the hint store. A warm-restarted node calls
+    /// this to rebuild the hint table it lost in the crash instead of
+    /// waiting for organic update traffic. Returns the number of hint
+    /// records received.
+    pub fn resync(&self) -> usize {
+        let peers: Vec<SocketAddr> = self.inner.neighbors.lock().clone();
+        let mut learned = 0;
+        for addr in peers {
+            // Two attempts, no quarantine interaction either way: resync
+            // runs right after restart, when this node has no basis for
+            // judging its peers yet.
+            let opts = RequestOptions {
+                max_attempts: 2,
+                quarantine_on_failure: false,
+                respect_quarantine: false,
+            };
+            if let Ok(Message::HintBatch(updates)) =
+                exchange(&self.inner, addr, opts, &Message::Resync)
+            {
+                learned += updates.len();
+                apply_updates(&self.inner, updates);
+            }
+        }
+        learned
+    }
+
+    /// Stops the node gracefully and joins its threads (bounded by
+    /// [`NodeConfig::shutdown_deadline`]).
     pub fn shutdown(mut self) {
         self.stop();
     }
 
+    /// Crash-stop: tears the node down immediately, discarding pending
+    /// hint updates instead of flushing them — the failure mode the chaos
+    /// harness injects. The rest of the mesh sees an unannounced
+    /// disappearance and recovers via quarantine, suspicion, and resync.
+    pub fn kill(mut self) {
+        self.inner.pending.lock().clear();
+        self.stop();
+    }
+
     fn stop(&mut self) {
+        // Idempotent: the first call drains `threads`, so an explicit
+        // `shutdown` followed by the Drop-driven call finds nothing to do.
         self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Fail outbound I/O fast so workers blocked behind pool requests
+        // unwind instead of riding out connect timeouts.
+        self.inner.pool.poison();
         for waker in &self.wakers {
             waker.wake();
         }
         let _ = TcpStream::connect(self.addr);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        let deadline = Instant::now() + self.inner.config.shutdown_deadline;
+        let mut pending: Vec<std::thread::JoinHandle<()>> = self.threads.drain(..).collect();
+        loop {
+            let mut still_running = Vec::with_capacity(pending.len());
+            for t in pending {
+                if t.is_finished() {
+                    let _ = t.join();
+                } else {
+                    still_running.push(t);
+                }
+            }
+            pending = still_running;
+            if pending.is_empty() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // Deadline reached: detach the stragglers rather than
+                // wedging the caller on a stuck worker. They observe the
+                // shutdown flag and the poisoned pool on their own.
+                break;
+            }
+            // Re-nudge the accept loop in case the first connect raced the
+            // shutdown flag.
+            let _ = TcpStream::connect(self.addr);
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 }
@@ -520,27 +737,154 @@ fn flush_once(inner: &Inner) {
     }
 }
 
-/// One outbound request/reply. The legacy engine opens a fresh connection
-/// per call (the seed behavior); the sharded engine goes through the pool
-/// with the caller's retry/quarantine policy.
-fn fetch_from(
+/// Builds the canonical Plaxton metadata tree over an ordered member
+/// list: member `i` sits at coordinates `(i, 0)`. Public so integration
+/// tests and the chaos driver can replay the same churn against an
+/// analytic copy of the tree a live mesh starts from.
+pub fn mesh_tree_for(members: &[SocketAddr]) -> PlaxtonTree {
+    let specs: Vec<NodeSpec> = members
+        .iter()
+        .enumerate()
+        .map(|(i, a)| NodeSpec::from_address(&a.to_string(), (i as f64, 0.0)))
+        .collect();
+    PlaxtonTree::build(specs, 1).expect("mesh members form a valid Plaxton tree")
+}
+
+/// Ticks [`heartbeat_round`] on the configured interval, sleeping in
+/// short slices so shutdown joins promptly.
+fn heartbeat_loop(inner: Arc<Inner>) {
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        let mut remaining = inner.config.heartbeat_interval.as_millis().max(1) as u64;
+        while remaining > 0 {
+            let slice = remaining.min(20);
+            std::thread::sleep(Duration::from_millis(slice));
+            remaining -= slice;
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        heartbeat_round(&inner);
+    }
+}
+
+/// Pings every current neighbor once and feeds the outcomes into the
+/// failure detector, repairing standing state on confirmed transitions.
+fn heartbeat_round(inner: &Inner) {
+    let peers: Vec<SocketAddr> = inner.neighbors.lock().clone();
+    for addr in peers {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // One attempt, feeds the quarantine, but never blocked by it: the
+        // detector must keep probing a quarantined peer to notice both
+        // durable death and revival.
+        let opts = RequestOptions {
+            max_attempts: 1,
+            quarantine_on_failure: true,
+            respect_quarantine: false,
+        };
+        match inner.pool.request(addr, opts, &Message::Ping) {
+            Ok(Message::Ack) => {
+                inner.stats.heartbeats_ok.fetch_add(1, Ordering::Relaxed);
+                inner.pool.forgive(addr);
+                if inner.liveness.lock().record_ok(addr) == Transition::Revived {
+                    on_peer_revived(inner, addr);
+                }
+            }
+            Ok(_) | Err(_) => {
+                inner
+                    .stats
+                    .heartbeats_failed
+                    .fetch_add(1, Ordering::Relaxed);
+                let transition = inner.liveness.lock().record_failure(addr, Instant::now());
+                if transition == Transition::Died {
+                    on_peer_died(inner, addr);
+                }
+            }
+        }
+    }
+}
+
+/// Confirmed death: GC every hint naming the dead peer — restoring the
+/// §3.2 invariant that a dead peer costs at most one wasted probe per
+/// object, and zero once the detector has confirmed it — then repair the
+/// live Plaxton tree.
+fn on_peer_died(inner: &Inner, addr: SocketAddr) {
+    inner
+        .stats
+        .peers_confirmed_dead
+        .fetch_add(1, Ordering::Relaxed);
+    if let Some(machine) = MachineId::from_addr(addr) {
+        let purged = inner.store.lock().hints.purge_location(machine.0);
+        inner
+            .stats
+            .stale_hints_gc
+            .fetch_add(purged as u64, Ordering::Relaxed);
+    }
+    if let Some(mesh) = inner.mesh.lock().as_mut() {
+        if let Some(&idx) = mesh.index.get(&addr) {
+            if let Ok(changed) = mesh.tree.remove_node(idx) {
+                inner
+                    .stats
+                    .plaxton_repair_entries
+                    .fetch_add(changed as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Revival after a confirmed death: wire the member back into the tree at
+/// its original coordinates. Its hint records rebuild through the peer's
+/// own resync plus the normal update flow, not here.
+fn on_peer_revived(inner: &Inner, addr: SocketAddr) {
+    if let Some(mesh) = inner.mesh.lock().as_mut() {
+        let (Some(&idx), Some(&pos)) = (mesh.index.get(&addr), mesh.position.get(&addr)) else {
+            return;
+        };
+        if mesh.tree.is_alive(idx) {
+            return;
+        }
+        let spec = NodeSpec::from_address(&addr.to_string(), pos);
+        if let Ok((new_idx, changed)) = mesh.tree.add_node(spec) {
+            mesh.index.insert(addr, new_idx);
+            inner
+                .stats
+                .plaxton_repair_entries
+                .fetch_add(changed as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One raw framed request/reply. The legacy engine opens a fresh
+/// connection per call (the seed behavior); the sharded engine goes
+/// through the pool with the caller's retry/quarantine policy.
+fn exchange(
     inner: &Inner,
     addr: SocketAddr,
     opts: RequestOptions,
     msg: &Message,
-) -> io::Result<(Status, u32, Bytes)> {
-    let reply = match inner.config.mode {
-        ThreadingMode::Sharded => inner.pool.request(addr, opts, msg)?,
+) -> io::Result<Message> {
+    match inner.config.mode {
+        ThreadingMode::Sharded => inner.pool.request(addr, opts, msg),
         ThreadingMode::Legacy => {
             let mut s = TcpStream::connect_timeout(&addr, inner.config.io_timeout)?;
             s.set_nodelay(true)?;
             s.set_read_timeout(Some(inner.config.io_timeout))?;
             s.set_write_timeout(Some(inner.config.io_timeout))?;
             write_message(&mut s, msg)?;
-            read_message(&mut s)?
+            read_message(&mut s)
         }
-    };
-    match reply {
+    }
+}
+
+/// One outbound `Get`-shaped request/reply via [`exchange`].
+fn fetch_from(
+    inner: &Inner,
+    addr: SocketAddr,
+    opts: RequestOptions,
+    msg: &Message,
+) -> io::Result<(Status, u32, Bytes)> {
+    match exchange(inner, addr, opts, msg)? {
         Message::GetReply {
             status,
             version,
@@ -607,10 +951,22 @@ fn handle_get(inner: &Inner, url: &str) -> Message {
                         body,
                     };
                 }
-                Ok((Status::NotFound, ..)) | Ok((Status::Error, ..)) | Err(_) => {
-                    // False positive (or dead peer): drop the hint, go to
-                    // the origin. No second hint lookup (§3.1.1).
+                Ok((Status::NotFound, ..)) | Ok((Status::Error, ..)) => {
+                    // False positive: drop the hint, go to the origin. No
+                    // second hint lookup (§3.1.1).
                     inner.stats.false_positives.fetch_add(1, Ordering::Relaxed);
+                    inner.store.lock().hints.remove(key);
+                }
+                Err(_) => {
+                    // Dead or unreachable peer: same one-wasted-probe
+                    // accounting, plus the degradation counter the chaos
+                    // harness watches — the request still completes via
+                    // the origin.
+                    inner.stats.false_positives.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .stats
+                        .degraded_to_origin
+                        .fetch_add(1, Ordering::Relaxed);
                     inner.store.lock().hints.remove(key);
                 }
             }
@@ -745,6 +1101,27 @@ fn local_response(inner: &Inner, msg: Message) -> Message {
         Message::FindNearest { key } => {
             let location = inner.store.lock().hints.lookup(key).map(MachineId);
             Message::FindNearestReply { location }
+        }
+        Message::Ping => Message::Ack,
+        Message::Resync => {
+            // Anti-entropy pull from a restarting peer: re-advertise every
+            // object this node currently holds, as plain Adds. Sorted so
+            // the reply is deterministic for a given store state.
+            let mut keys: Vec<u64> = {
+                let store = inner.store.lock();
+                store.bodies.keys().copied().collect()
+            };
+            keys.sort_unstable();
+            let updates = keys
+                .into_iter()
+                .map(|object| HintUpdate {
+                    action: HintAction::Add,
+                    object,
+                    machine: inner.machine,
+                })
+                .collect();
+            inner.stats.resyncs_served.fetch_add(1, Ordering::Relaxed);
+            Message::HintBatch(updates)
         }
         _ => Message::GetReply {
             status: Status::Error,

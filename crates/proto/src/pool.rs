@@ -23,13 +23,32 @@
 //! checkout) is retried once with a fresh connect without consuming an
 //! attempt: the failure says nothing about the peer, only about the cached
 //! socket.
+//!
+//! Three failure-hardening behaviours matter for the chaos harness:
+//!
+//! * backoff jitter is drawn from a **per-pool seeded stream**
+//!   ([`PoolConfig::jitter_seed`]) — every node derives a distinct seed
+//!   from its machine id, so a restarted peer sees its neighbours
+//!   reconnect staggered instead of as a synchronized stampede, while any
+//!   single pool's delay sequence stays reproducible;
+//! * quarantine **escalates** on consecutive failures (doubling up to
+//!   [`PoolConfig::quarantine_cap`]) and, once a window expires, only
+//!   **one** request at a time may re-probe the peer — everyone else
+//!   keeps failing fast until the prober reports back. Together these cap
+//!   the re-probe frequency against a peer that stays dead;
+//! * address-directed **partition blocks** ([`ConnectionPool::block`])
+//!   and a process-wide [`FaultSwitch`] (outbound latency and packet
+//!   drop) let the fault injector exercise all of the above
+//!   deterministically.
 
 use crate::wire::{self, Message};
+use bh_netpoll::fault::FaultSwitch;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`ConnectionPool`].
@@ -45,8 +64,15 @@ pub struct PoolConfig {
     pub backoff_base: Duration,
     /// Upper bound on any single retry delay.
     pub backoff_cap: Duration,
-    /// How long a failed peer stays quarantined.
+    /// How long a failed peer stays quarantined (first failure; consecutive
+    /// failures double it).
     pub quarantine: Duration,
+    /// Upper bound on an escalated quarantine window.
+    pub quarantine_cap: Duration,
+    /// Seed for the backoff-jitter stream. Pools with different seeds
+    /// de-synchronize their retry schedules; the same seed reproduces the
+    /// same delays (tests, replays).
+    pub jitter_seed: u64,
 }
 
 impl Default for PoolConfig {
@@ -58,7 +84,17 @@ impl Default for PoolConfig {
             backoff_base: Duration::from_millis(20),
             backoff_cap: Duration::from_millis(200),
             quarantine: Duration::from_secs(2),
+            quarantine_cap: Duration::from_secs(30),
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
         }
+    }
+}
+
+impl PoolConfig {
+    /// Returns the config with the jitter stream reseeded (builder-style).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
     }
 }
 
@@ -106,8 +142,13 @@ pub struct PoolStats {
     pub reuses: u64,
     /// Retry attempts after a failed fresh connect or round trip.
     pub retries: u64,
-    /// Requests refused immediately because the remote was quarantined.
+    /// Requests refused immediately because the remote was quarantined
+    /// (includes refusals while another request held the re-probe slot).
     pub quarantine_rejections: u64,
+    /// Requests refused because the remote was partition-blocked.
+    pub partition_rejections: u64,
+    /// Requests failed by the fault injector's packet-drop knob.
+    pub injected_drops: u64,
 }
 
 /// A pooled stream plus its read buffer. The buffer lives with the stream:
@@ -130,6 +171,10 @@ impl PooledConn {
 struct PeerState {
     idle: Vec<PooledConn>,
     quarantined_until: Option<Instant>,
+    /// Consecutive quarantining failures; scales the next window.
+    quarantine_streak: u32,
+    /// A request currently holds the post-expiry re-probe slot.
+    probing: bool,
 }
 
 /// A warm connection pool over every remote this node talks to.
@@ -137,19 +182,39 @@ struct PeerState {
 pub struct ConnectionPool {
     config: PoolConfig,
     peers: Mutex<HashMap<SocketAddr, PeerState>>,
+    /// Addresses under an injected network partition.
+    blocked: Mutex<HashSet<SocketAddr>>,
     stats: Mutex<PoolStats>,
     jitter_seed: AtomicU64,
+    fault: Arc<FaultSwitch>,
+    /// Poisoned pools fail every request immediately (node shutdown).
+    poisoned: AtomicBool,
 }
 
 impl ConnectionPool {
-    /// Creates an empty pool.
+    /// Creates an empty pool with a private (inert) fault switch.
     pub fn new(config: PoolConfig) -> Self {
+        let fault = Arc::new(FaultSwitch::new(config.jitter_seed));
+        Self::with_fault_switch(config, fault)
+    }
+
+    /// Creates an empty pool wired to a shared fault switch (the chaos
+    /// driver flips the knobs, the pool observes them).
+    pub fn with_fault_switch(config: PoolConfig, fault: Arc<FaultSwitch>) -> Self {
         ConnectionPool {
+            jitter_seed: AtomicU64::new(config.jitter_seed | 1),
             config,
             peers: Mutex::new(HashMap::new()),
+            blocked: Mutex::new(HashSet::new()),
             stats: Mutex::new(PoolStats::default()),
-            jitter_seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+            fault,
+            poisoned: AtomicBool::new(false),
         }
+    }
+
+    /// The fault switch this pool consults before every send.
+    pub fn fault_switch(&self) -> &Arc<FaultSwitch> {
+        &self.fault
     }
 
     /// Snapshot of the pool counters.
@@ -166,6 +231,44 @@ impl ConnectionPool {
             .is_some_and(|until| Instant::now() < until)
     }
 
+    /// Consecutive quarantining failures recorded against `addr` (0 once a
+    /// request succeeds).
+    pub fn quarantine_streak(&self, addr: SocketAddr) -> u32 {
+        self.peers
+            .lock()
+            .get(&addr)
+            .map_or(0, |p| p.quarantine_streak)
+    }
+
+    /// The quarantine window applied after `streak` consecutive failures:
+    /// base duration doubled per extra failure, capped.
+    pub fn quarantine_window(&self, streak: u32) -> Duration {
+        let base = self.config.quarantine.as_micros() as u64;
+        let cap = self.config.quarantine_cap.as_micros() as u64;
+        let exp = streak.saturating_sub(1).min(16);
+        Duration::from_micros(base.saturating_mul(1u64 << exp).min(cap).max(1))
+    }
+
+    /// Injects a partition: requests to `addr` fail fast until
+    /// [`ConnectionPool::unblock`]. Parked connections are dropped so the
+    /// partition also severs warm paths.
+    pub fn block(&self, addr: SocketAddr) {
+        self.blocked.lock().insert(addr);
+        if let Some(peer) = self.peers.lock().get_mut(&addr) {
+            peer.idle.clear();
+        }
+    }
+
+    /// Heals an injected partition.
+    pub fn unblock(&self, addr: SocketAddr) {
+        self.blocked.lock().remove(&addr);
+    }
+
+    /// True while `addr` is partition-blocked.
+    pub fn is_blocked(&self, addr: SocketAddr) -> bool {
+        self.blocked.lock().contains(&addr)
+    }
+
     /// Idle (warm) connections currently parked for `addr`.
     pub fn idle_count(&self, addr: SocketAddr) -> usize {
         self.peers.lock().get(&addr).map_or(0, |p| p.idle.len())
@@ -176,24 +279,120 @@ impl ConnectionPool {
         self.peers.lock().clear();
     }
 
+    /// Clears quarantine bookkeeping for `addr` (liveness recovery: the
+    /// failure detector saw the peer answer a heartbeat, so probes should
+    /// flow again immediately rather than waiting out the window).
+    pub fn forgive(&self, addr: SocketAddr) {
+        if let Some(peer) = self.peers.lock().get_mut(&addr) {
+            peer.quarantined_until = None;
+            peer.quarantine_streak = 0;
+            peer.probing = false;
+        }
+    }
+
+    /// Poisons the pool: every subsequent request fails immediately with
+    /// `ConnectionAborted` and idle connections are dropped. Used on node
+    /// shutdown so worker threads blocked behind pool I/O unwind fast
+    /// instead of riding out connect timeouts. Irreversible, idempotent.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        self.peers.lock().clear();
+    }
+
+    /// True once [`ConnectionPool::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Performs one framed request/reply round trip against `addr` under
     /// the given policy.
     ///
     /// # Errors
     ///
-    /// Fails when the remote is quarantined (`respect_quarantine`), when
-    /// every attempt errored, or when the reply cannot be decoded.
+    /// Fails when the remote is quarantined (`respect_quarantine`) or
+    /// partition-blocked, when the pool is poisoned, when the fault
+    /// injector dropped the send, when every attempt errored, or when the
+    /// reply cannot be decoded.
     pub fn request(
         &self,
         addr: SocketAddr,
         opts: RequestOptions,
         msg: &Message,
     ) -> io::Result<Message> {
-        if opts.respect_quarantine && self.is_quarantined(addr) {
-            self.stats.lock().quarantine_rejections += 1;
+        if self.is_poisoned() {
             return Err(io::Error::new(
-                io::ErrorKind::ConnectionRefused,
-                format!("peer {addr} quarantined"),
+                io::ErrorKind::ConnectionAborted,
+                "connection pool shut down",
+            ));
+        }
+        if self.is_blocked(addr) {
+            self.stats.lock().partition_rejections += 1;
+            // A partition looks like silence, not refusal: surface it as a
+            // timeout so callers treat it like an unreachable peer.
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("peer {addr} unreachable (injected partition)"),
+            ));
+        }
+
+        // Quarantine gate: fail fast inside the window; once the window
+        // has expired, admit exactly one re-probe at a time.
+        let mut holds_probe_slot = false;
+        if opts.respect_quarantine {
+            let mut peers = self.peers.lock();
+            if let Some(peer) = peers.get_mut(&addr) {
+                match peer.quarantined_until {
+                    Some(until) if Instant::now() < until => {
+                        drop(peers);
+                        self.stats.lock().quarantine_rejections += 1;
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionRefused,
+                            format!("peer {addr} quarantined"),
+                        ));
+                    }
+                    Some(_) => {
+                        if peer.probing {
+                            drop(peers);
+                            self.stats.lock().quarantine_rejections += 1;
+                            return Err(io::Error::new(
+                                io::ErrorKind::ConnectionRefused,
+                                format!("peer {addr} re-probe in flight"),
+                            ));
+                        }
+                        peer.probing = true;
+                        holds_probe_slot = true;
+                    }
+                    None => {}
+                }
+            }
+        }
+        let result = self.request_inner(addr, opts, msg);
+        if holds_probe_slot {
+            if let Some(peer) = self.peers.lock().get_mut(&addr) {
+                peer.probing = false;
+            }
+        }
+        result
+    }
+
+    fn request_inner(
+        &self,
+        addr: SocketAddr,
+        opts: RequestOptions,
+        msg: &Message,
+    ) -> io::Result<Message> {
+        // Fault injection: outbound latency, then a seeded drop decision.
+        if let Some(delay) = self.fault.tx_latency() {
+            std::thread::sleep(delay);
+        }
+        if self.fault.should_drop() {
+            self.stats.lock().injected_drops += 1;
+            if opts.quarantine_on_failure {
+                self.quarantine(addr);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("send to {addr} dropped (injected fault)"),
             ));
         }
 
@@ -223,7 +422,10 @@ impl ConnectionPool {
                     self.stats.lock().connects += 1;
                     match self.round_trip(stream, msg, addr) {
                         Ok(reply) => {
-                            self.peers.lock().entry(addr).or_default().quarantined_until = None;
+                            let mut peers = self.peers.lock();
+                            let peer = peers.entry(addr).or_default();
+                            peer.quarantined_until = None;
+                            peer.quarantine_streak = 0;
                             return Ok(reply);
                         }
                         Err(e) => last_err = Some(e),
@@ -234,13 +436,19 @@ impl ConnectionPool {
         }
 
         if opts.quarantine_on_failure {
-            let until = Instant::now() + self.config.quarantine;
-            let mut peers = self.peers.lock();
-            let peer = peers.entry(addr).or_default();
-            peer.quarantined_until = Some(until);
-            peer.idle.clear();
+            self.quarantine(addr);
         }
         Err(last_err.unwrap_or_else(|| io::Error::other("no attempts made")))
+    }
+
+    /// Opens (or escalates) the quarantine window for `addr`.
+    fn quarantine(&self, addr: SocketAddr) {
+        let mut peers = self.peers.lock();
+        let peer = peers.entry(addr).or_default();
+        peer.quarantine_streak = peer.quarantine_streak.saturating_add(1);
+        let window = self.quarantine_window(peer.quarantine_streak);
+        peer.quarantined_until = Some(Instant::now() + window);
+        peer.idle.clear();
     }
 
     fn checkout(&self, addr: SocketAddr) -> Option<PooledConn> {
@@ -271,8 +479,12 @@ impl ConnectionPool {
         Ok(reply)
     }
 
-    /// Exponential backoff with deterministic jitter in `[delay/2, delay)`,
-    /// capped. Deterministic so replays and tests are reproducible.
+    /// Exponential backoff with jitter in `[delay/2, delay)`, capped. The
+    /// jitter stream is seeded per pool ([`PoolConfig::jitter_seed`]): one
+    /// pool's delays are reproducible, while pools with different seeds
+    /// (every node derives its own from its machine id) spread their
+    /// reconnect attempts instead of stampeding a restarted peer in
+    /// lock-step.
     fn backoff_delay(&self, attempt: u32) -> Duration {
         let base = self.config.backoff_base.as_micros() as u64;
         let cap = self.config.backoff_cap.as_micros() as u64;
@@ -344,6 +556,12 @@ mod tests {
         }
     }
 
+    /// An address that refuses connections (bound then immediately freed).
+    fn dead_addr() -> SocketAddr {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr")
+    }
+
     #[test]
     fn second_request_reuses_the_warm_connection() {
         let (addr, _served) = ack_server(None);
@@ -378,11 +596,7 @@ mod tests {
 
     #[test]
     fn dead_peer_probe_fails_once_then_quarantines() {
-        // Bind then drop to get an address that refuses connections.
-        let addr = {
-            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
-            l.local_addr().expect("addr")
-        };
+        let addr = dead_addr();
         let pool = ConnectionPool::new(quick_config());
 
         let err = pool
@@ -409,10 +623,7 @@ mod tests {
 
     #[test]
     fn origin_policy_retries_and_ignores_quarantine() {
-        let addr = {
-            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
-            l.local_addr().expect("addr")
-        };
+        let addr = dead_addr();
         let pool = ConnectionPool::new(quick_config());
         // Quarantine the address via a failed probe…
         pool.request(addr, RequestOptions::peer_probe(), &Message::Ack)
@@ -452,5 +663,157 @@ mod tests {
             .expect("recovered");
         assert_eq!(reply, Message::Ack);
         assert!(!pool.is_quarantined(addr));
+        assert_eq!(pool.quarantine_streak(addr), 0, "success resets the streak");
+    }
+
+    #[test]
+    fn jitter_streams_diverge_across_seeds_and_replay_within_one() {
+        let delays = |seed: u64| {
+            let pool = ConnectionPool::new(PoolConfig {
+                backoff_base: Duration::from_millis(8),
+                backoff_cap: Duration::from_secs(1),
+                ..PoolConfig::default().with_jitter_seed(seed)
+            });
+            (1..=8u32)
+                .map(|a| pool.backoff_delay(a))
+                .collect::<Vec<_>>()
+        };
+        let a = delays(1);
+        let b = delays(2);
+        let a2 = delays(1);
+        assert_eq!(a, a2, "a pool's delay sequence is reproducible");
+        assert_ne!(a, b, "different machines draw different jitter");
+        // Jitter stays inside the documented [delay/2, delay) envelope.
+        for (i, d) in a.iter().enumerate() {
+            let exp = Duration::from_millis(8 << (i + 1)).min(Duration::from_secs(1));
+            assert!(*d >= exp / 2 && *d < exp, "attempt {i}: {d:?} vs {exp:?}");
+        }
+    }
+
+    #[test]
+    fn quarantine_escalates_per_failure_and_caps() {
+        let pool = ConnectionPool::new(PoolConfig {
+            quarantine: Duration::from_millis(100),
+            quarantine_cap: Duration::from_millis(400),
+            ..quick_config()
+        });
+        assert_eq!(pool.quarantine_window(1), Duration::from_millis(100));
+        assert_eq!(pool.quarantine_window(2), Duration::from_millis(200));
+        assert_eq!(pool.quarantine_window(3), Duration::from_millis(400));
+        assert_eq!(
+            pool.quarantine_window(9),
+            Duration::from_millis(400),
+            "capped"
+        );
+
+        // Two real consecutive failures move the streak to 2.
+        let addr = dead_addr();
+        pool.request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect_err("dead");
+        assert_eq!(pool.quarantine_streak(addr), 1);
+        std::thread::sleep(Duration::from_millis(150));
+        pool.request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect_err("still dead");
+        assert_eq!(pool.quarantine_streak(addr), 2);
+        assert!(pool.is_quarantined(addr));
+        // Forgiveness (liveness recovery) resets everything at once.
+        pool.forgive(addr);
+        assert!(!pool.is_quarantined(addr));
+        assert_eq!(pool.quarantine_streak(addr), 0);
+    }
+
+    #[test]
+    fn expired_quarantine_admits_one_probe_at_a_time() {
+        let addr = dead_addr();
+        let pool = Arc::new(ConnectionPool::new(PoolConfig {
+            // Slow connect timeout so the re-probe holds its slot long
+            // enough for the second thread to observe it.
+            connect_timeout: Duration::from_millis(400),
+            quarantine: Duration::from_millis(50),
+            ..quick_config()
+        }));
+        pool.request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect_err("dead");
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!pool.is_quarantined(addr), "window expired");
+
+        // First probe after expiry claims the slot (and will fail slowly);
+        // a concurrent second probe must be refused instantly.
+        let p2 = Arc::clone(&pool);
+        let prober = std::thread::spawn(move || {
+            p2.request(addr, RequestOptions::peer_probe(), &Message::Ack)
+                .expect_err("still dead")
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let start = Instant::now();
+        let err = pool
+            .request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect_err("slot held");
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "refusal must be immediate, took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        prober.join().expect("prober");
+        // The failed re-probe escalated the quarantine.
+        assert_eq!(pool.quarantine_streak(addr), 2);
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let (addr, served) = ack_server(None);
+        let pool = ConnectionPool::new(quick_config());
+        pool.request(addr, RequestOptions::origin(), &Message::Ack)
+            .expect("reachable");
+        pool.block(addr);
+        assert!(pool.is_blocked(addr));
+        assert_eq!(pool.idle_count(addr), 0, "partition severs warm conns");
+        let err = pool
+            .request(addr, RequestOptions::origin(), &Message::Ack)
+            .expect_err("partitioned");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(pool.stats().partition_rejections, 1);
+        pool.unblock(addr);
+        pool.request(addr, RequestOptions::origin(), &Message::Ack)
+            .expect("healed");
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn injected_drop_fails_the_send_and_quarantines_probes() {
+        let (addr, served) = ack_server(None);
+        let pool = ConnectionPool::new(quick_config());
+        pool.fault_switch()
+            .set_drop_per_million(bh_netpoll::fault::PER_MILLION);
+        let err = pool
+            .request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect_err("dropped");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(pool.stats().injected_drops, 1);
+        assert!(pool.is_quarantined(addr), "a lost probe looks like death");
+        assert_eq!(served.load(Ordering::SeqCst), 0, "nothing hit the wire");
+        pool.fault_switch().clear();
+        pool.forgive(addr);
+        pool.request(addr, RequestOptions::peer_probe(), &Message::Ack)
+            .expect("fault cleared");
+    }
+
+    #[test]
+    fn poisoned_pool_fails_fast_and_stays_poisoned() {
+        let (addr, served) = ack_server(None);
+        let pool = ConnectionPool::new(quick_config());
+        pool.request(addr, RequestOptions::origin(), &Message::Ack)
+            .expect("up");
+        pool.poison();
+        pool.poison(); // idempotent
+        let start = Instant::now();
+        let err = pool
+            .request(addr, RequestOptions::origin(), &Message::Ack)
+            .expect_err("poisoned");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        assert!(start.elapsed() < Duration::from_millis(50));
+        assert!(pool.is_poisoned());
+        assert_eq!(served.load(Ordering::SeqCst), 1);
     }
 }

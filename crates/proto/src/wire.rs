@@ -197,6 +197,14 @@ pub enum Message {
     },
     /// Acknowledgement for `UpdateBatch` / `Push` / `OriginPut`.
     Ack,
+    /// Liveness heartbeat: "are you there?". Reply is [`Message::Ack`].
+    /// Carries no payload — reachability is the only question.
+    Ping,
+    /// Anti-entropy pull issued by a warm-restarted node: "re-advertise
+    /// what you hold". The receiver replies with a [`Message::HintBatch`]
+    /// of `Add` records for every object in its *own* cache, letting the
+    /// asker rebuild the hint table it lost in the crash (§3.2 recovery).
+    Resync,
 }
 
 const T_GET: u8 = 1;
@@ -209,6 +217,8 @@ const T_FIND_NEAREST_REPLY: u8 = 7;
 const T_ORIGIN_PUT: u8 = 8;
 const T_ACK: u8 = 9;
 const T_HINT_BATCH: u8 = 10;
+const T_PING: u8 = 11;
+const T_RESYNC: u8 = 12;
 
 /// Current version byte written at the head of a [`Message::HintBatch`]
 /// payload. Decoders accept exactly this version and reject anything newer
@@ -338,6 +348,8 @@ impl Message {
                 T_ORIGIN_PUT
             }
             Message::Ack => T_ACK,
+            Message::Ping => T_PING,
+            Message::Resync => T_RESYNC,
         };
         let mut frame = BytesMut::with_capacity(payload.len() + 5);
         frame.put_u32_le(payload.len() as u32);
@@ -506,6 +518,8 @@ impl Message {
                 }
             }
             T_ACK => Message::Ack,
+            T_PING => Message::Ping,
+            T_RESYNC => Message::Resync,
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -720,10 +734,20 @@ mod tests {
                 body: Bytes::from_static(b"v1"),
             },
             Message::Ack,
+            Message::Ping,
+            Message::Resync,
         ];
         for msg in messages {
             assert_eq!(round_trip(msg.clone()), msg);
         }
+    }
+
+    #[test]
+    fn ping_and_resync_are_payloadless() {
+        // Heartbeats ride the hot path; they must stay at the 5-byte frame
+        // minimum.
+        assert_eq!(Message::Ping.encode().len(), 5);
+        assert_eq!(Message::Resync.encode().len(), 5);
     }
 
     #[test]

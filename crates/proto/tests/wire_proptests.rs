@@ -98,6 +98,8 @@ fn arb_message() -> BoxedStrategy<Message> {
             body
         }),
         Just(Message::Ack),
+        Just(Message::Ping),
+        Just(Message::Resync),
     ]
     .boxed()
 }
@@ -195,7 +197,7 @@ proptest! {
 
     /// Unknown frame types are always rejected.
     #[test]
-    fn unknown_frame_types_error(ty in 11u8..=255, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn unknown_frame_types_error(ty in 13u8..=255, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
         prop_assert!(Message::decode(ty, Bytes::from(payload)).is_err());
     }
 }

@@ -209,6 +209,85 @@ fn concurrent_clients_survive_node_kill_mid_run() {
     );
 }
 
+/// Stale-hint GC bound: once the failure detector confirms a peer dead,
+/// every hint naming it is purged in one sweep. Wasted probes per dead
+/// peer are therefore O(1) per object *before* confirmation (each hint
+/// burns its single probe at most once) and exactly zero after — fetches
+/// of the dead node's objects go straight to the origin with no probe at
+/// all.
+#[test]
+fn confirmed_death_garbage_collects_stale_hints() {
+    use bh_proto::liveness::PeerHealth;
+    const K: usize = 12;
+
+    let origin = OriginServer::spawn("127.0.0.1:0").expect("origin");
+    let nodes: Vec<CacheNode> = (0..2)
+        .map(|_| {
+            let mut cfg = NodeConfig::new("127.0.0.1:0", origin.addr())
+                .with_flush_max(Duration::from_secs(3600))
+                .with_heartbeat_interval(Duration::from_secs(3600))
+                .with_suspicion_threshold(2)
+                .with_confirm_death_after(Duration::from_millis(100))
+                .with_shutdown_deadline(Duration::from_secs(2));
+            cfg.io_timeout = Duration::from_millis(300);
+            CacheNode::spawn(cfg).expect("node")
+        })
+        .collect();
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|x| x.addr()).collect();
+    for (i, node) in nodes.iter().enumerate() {
+        node.set_neighbors(addrs.iter().copied().filter(|a| *a != addrs[i]).collect());
+    }
+
+    // Seed K objects at node 1 and advertise them to node 0.
+    let urls: Vec<String> = (0..K).map(|i| format!("http://t.test/gc/{i}")).collect();
+    for url in &urls {
+        bh_proto::fetch(addrs[1], url).expect("seed at node 1");
+    }
+    nodes[1].flush_updates_now();
+    let dead_machine = nodes[1].machine_id().0;
+    let dead_addr = addrs[1];
+    let hints_at_dead = |node: &CacheNode| {
+        node.hint_entries()
+            .iter()
+            .filter(|(_, loc)| *loc == dead_machine)
+            .count()
+    };
+    assert_eq!(hints_at_dead(&nodes[0]), K, "all K hints name node 1");
+
+    // Crash-stop node 1 and drive node 0's failure detector until death
+    // is confirmed (threshold 2, confirmation window 100ms).
+    let mut nodes = nodes;
+    nodes.remove(1).kill();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while nodes[0].peer_health(dead_addr) != PeerHealth::Dead {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "node 0 never confirmed node 1 dead"
+        );
+        nodes[0].heartbeat_now();
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Confirmation swept every stale hint in one pass.
+    let s = nodes[0].stats();
+    assert_eq!(s.peers_confirmed_dead, 1);
+    assert_eq!(s.stale_hints_gc, K as u64, "GC purged exactly the K hints");
+    assert_eq!(hints_at_dead(&nodes[0]), 0, "no hint names the dead node");
+
+    // Post-GC fetches of the dead node's objects are origin-served with
+    // ZERO wasted probes — the stale hints are gone, so nothing probes.
+    for url in &urls {
+        let (src, body) = bh_proto::fetch(addrs[0], url).expect("fetch survives");
+        assert_eq!(src, bh_proto::client::Source::Origin);
+        assert!(!body.is_empty());
+    }
+    assert_eq!(
+        nodes[0].stats().false_positives,
+        0,
+        "zero probes wasted after the GC sweep"
+    );
+}
+
 #[test]
 fn plaxton_routes_survive_churn() {
     use bh_plaxton::{NodeSpec, PlaxtonTree};
