@@ -45,6 +45,7 @@ fn main() {
         .collect();
     let jobs = per_args[0].jobs;
 
+    // bh-lint: allow(no-wall-clock, reason = "reports suite wall time to the operator; never feeds results")
     let start = Instant::now();
     let timings = run_suite(&experiments, &per_args, jobs);
     let wall = start.elapsed();

@@ -17,26 +17,27 @@
 //! first and the sharded engine second on identical workloads, printing the
 //! throughput ratio — the before/after for the sharded-engine change.
 //!
-//! `--chaos` switches to fault-injection mode: the workload is replayed
-//! segment by segment under a [`FaultPlan`] (crash/restart, partition,
-//! latency, drop), reporting hit rate, false-probe rate, and latency
-//! percentiles before/during/after every fault window. The schedule is
-//! derived purely from the plan, so the emitted event log
-//! (`loadgen_chaos_events.log`) is byte-identical across runs of the same
-//! seed; metrics land in `loadgen_chaos.json`. The process exits nonzero
-//! if the mesh fails to recover after any window.
+//! `--chaos` switches to fault-injection mode, driven by the
+//! [`bh_bench::chaos`] library: the workload is replayed segment by
+//! segment under a [`FaultPlan`] (crash/restart, partition, one-way
+//! partition, latency, drop), reporting hit rate, false-probe rate, and
+//! latency percentiles before/during/after every fault window. The
+//! deterministic schedule and request counts land in
+//! `loadgen_chaos_events.log` + `loadgen_chaos.json` (byte-identical
+//! across runs of the same seed); measured metrics land in
+//! `loadgen_chaos_metrics.json`. The process exits nonzero if the mesh
+//! fails to recover after any window.
 
+use bh_bench::chaos::{run_chaos, ChaosOptions};
 use bh_bench::Args;
-use bh_proto::chaos::{ChaosMesh, FaultKind, FaultPlan};
-use bh_proto::liveness::PeerHealth;
-use bh_proto::node::{CacheNode, NodeConfig, NodeStats, ThreadingMode};
+use bh_proto::chaos::FaultPlan;
+use bh_proto::node::{CacheNode, NodeConfig, ThreadingMode};
 use bh_proto::origin::OriginServer;
-use bh_proto::replay::{replay_concurrent, ConcurrentReplayReport, ReplayConfig};
+use bh_proto::replay::{replay_concurrent, ReplayConfig};
 use bh_trace::{TraceGenerator, TraceRecord, WorkloadSpec};
 use serde::Serialize;
-use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Parsed loadgen CLI (a superset of the shared harness flags).
 struct LoadgenArgs {
@@ -130,6 +131,17 @@ impl LoadgenArgs {
             trace: "custom".to_string(),
             out: self.out.clone(),
             jobs: 1,
+        }
+    }
+
+    /// The chaos-library view of these args.
+    fn chaos_options(&self) -> ChaosOptions {
+        ChaosOptions {
+            nodes: self.nodes,
+            clients: self.clients,
+            shards: self.shards,
+            workers: self.workers,
+            p_new: self.p_new,
         }
     }
 }
@@ -246,325 +258,6 @@ fn print_run(run: &LoadgenRun) {
     );
 }
 
-/// Hit-rate / false-probe / latency summary of one replay segment.
-#[derive(Debug, Serialize)]
-struct ChaosSegment {
-    window: usize,
-    /// `pre` (healthy baseline), `hold` (fault active), or `post`
-    /// (recovery) — the before/during/after triple per window.
-    phase: String,
-    fault: String,
-    requests: u64,
-    errors: u64,
-    local_hits: u64,
-    peer_hits: u64,
-    origin_fetches: u64,
-    hit_ratio: f64,
-    /// Mesh-wide false-positive probes during this segment.
-    false_positives: u64,
-    /// Mesh-wide transport-failed probes that degraded to the origin.
-    degraded_to_origin: u64,
-    false_probe_rate: f64,
-    p50_ms: f64,
-    p95_ms: f64,
-    p99_ms: f64,
-}
-
-/// End-of-run resilience counters for one node.
-#[derive(Debug, Serialize)]
-struct ChaosNodeReport {
-    addr: String,
-    heartbeats_ok: u64,
-    heartbeats_failed: u64,
-    peers_confirmed_dead: u64,
-    stale_hints_gc: u64,
-    plaxton_repair_entries: u64,
-    degraded_to_origin: u64,
-    resyncs_served: u64,
-}
-
-/// The `loadgen_chaos.json` artifact.
-#[derive(Debug, Serialize)]
-struct ChaosResult {
-    plan: FaultPlan,
-    nodes: usize,
-    client_threads: usize,
-    segments: Vec<ChaosSegment>,
-    /// Hint records rebuilt by resync after each crash window, in window
-    /// order.
-    recovered_hints: Vec<usize>,
-    node_reports: Vec<ChaosNodeReport>,
-    /// True when every window's post segment met the recovery criteria.
-    recovered: bool,
-}
-
-/// Replays `count` records starting at `cursor` against the mesh. While
-/// `crashed` names a down node, its client groups are rerouted to a live
-/// survivor — the clients reconnect, they don't stall.
-fn replay_segment(
-    mesh: &ChaosMesh,
-    args: &LoadgenArgs,
-    spec: &WorkloadSpec,
-    records: &[TraceRecord],
-    cursor: &mut usize,
-    count: u64,
-    crashed: Option<usize>,
-) -> ConcurrentReplayReport {
-    let end = (*cursor + count as usize).min(records.len());
-    let slice = &records[*cursor..end];
-    *cursor = end;
-    let mut addrs: Vec<SocketAddr> = mesh.addrs().to_vec();
-    if let Some(dead) = crashed {
-        let survivor = mesh
-            .live_node(dead)
-            .expect("mesh has at least one live node");
-        addrs[dead] = mesh.addrs()[survivor];
-    }
-    let mut config = ReplayConfig::flat_out(addrs);
-    config.clients_per_l1 = spec.clients_per_l1;
-    config.dynamic_client_ids = spec.dynamic_client_ids;
-    replay_concurrent(&config, slice, args.clients).expect("chaos replay segment")
-}
-
-/// Sums the `(false_positives, degraded_to_origin)` deltas across nodes
-/// between two stats snapshots. A node that crashed mid-interval
-/// contributes nothing; a node that restarted counts from zero.
-fn probe_deltas(prev: &[Option<NodeStats>], cur: &[Option<NodeStats>]) -> (u64, u64) {
-    let mut fp = 0u64;
-    let mut degraded = 0u64;
-    for (p, c) in prev.iter().zip(cur.iter()) {
-        let Some(c) = c else { continue };
-        let base = p
-            .as_ref()
-            .map(|p| (p.false_positives, p.degraded_to_origin));
-        let (fp0, dg0) = base.unwrap_or((0, 0));
-        fp += c.false_positives.saturating_sub(fp0);
-        degraded += c.degraded_to_origin.saturating_sub(dg0);
-    }
-    (fp, degraded)
-}
-
-fn segment_from(
-    window: usize,
-    phase: &str,
-    fault: &FaultKind,
-    out: &ConcurrentReplayReport,
-    probes: (u64, u64),
-) -> ChaosSegment {
-    let (false_positives, degraded_to_origin) = probes;
-    let requests = out.report.requests;
-    ChaosSegment {
-        window,
-        phase: phase.to_string(),
-        fault: fault.describe(),
-        requests,
-        errors: out.report.errors,
-        local_hits: out.report.local_hits,
-        peer_hits: out.report.peer_hits,
-        origin_fetches: out.report.origin_fetches,
-        hit_ratio: out.report.hit_ratio(),
-        false_positives,
-        degraded_to_origin,
-        false_probe_rate: if requests > 0 {
-            (false_positives + degraded_to_origin) as f64 / requests as f64
-        } else {
-            0.0
-        },
-        p50_ms: out.latency.p50().unwrap_or(0.0) * 1e3,
-        p95_ms: out.latency.p95().unwrap_or(0.0) * 1e3,
-        p99_ms: out.latency.p99().unwrap_or(0.0) * 1e3,
-    }
-}
-
-fn print_segment(seg: &ChaosSegment) {
-    println!(
-        "window {} {:>4}  [{}]  {:>5} req  hit {:>5.1}%  fp {:>3}  degraded {:>3}  \
-         {:>3} err  p50 {:>6.2} ms  p99 {:>6.2} ms",
-        seg.window,
-        seg.phase,
-        seg.fault,
-        seg.requests,
-        seg.hit_ratio * 100.0,
-        seg.false_positives,
-        seg.degraded_to_origin,
-        seg.errors,
-        seg.p50_ms,
-        seg.p99_ms,
-    );
-}
-
-/// Drives heartbeats until every survivor has confirmed `dead` dead (so
-/// stale-hint GC and Plaxton repair have fired), bounded by a wall-clock
-/// deadline. Returns whether confirmation was reached.
-fn await_confirmed_death(mesh: &ChaosMesh, dead: usize) -> bool {
-    let addr = mesh.addrs()[dead];
-    let deadline = Instant::now() + Duration::from_secs(10);
-    while Instant::now() < deadline {
-        mesh.heartbeat_all();
-        let confirmed = (0..mesh.addrs().len())
-            .filter(|&i| i != dead)
-            .filter_map(|i| mesh.node(i))
-            .all(|n| n.peer_health(addr) == PeerHealth::Dead);
-        if confirmed {
-            return true;
-        }
-        std::thread::sleep(Duration::from_millis(25));
-    }
-    false
-}
-
-/// Runs the fault plan end to end; returns `false` if any window failed
-/// its recovery check.
-fn run_chaos(args: &LoadgenArgs, plan: FaultPlan) -> bool {
-    let harness = args.harness();
-    println!(
-        "chaos: {} windows over {} nodes, {} requests total",
-        plan.windows.len(),
-        args.nodes,
-        plan.total_requests()
-    );
-
-    // The schedule is a pure function of the plan: write it out before
-    // anything runs, so two runs of the same seed can be byte-diffed.
-    let event_log = plan.event_log();
-    std::fs::create_dir_all(&args.out).expect("create output dir");
-    let log_path = args.out.join("loadgen_chaos_events.log");
-    std::fs::write(&log_path, &event_log).expect("write chaos event log");
-    print!("{event_log}");
-
-    let spec = WorkloadSpec::small()
-        .with_requests(plan.total_requests())
-        .with_clients(args.nodes as u32 * 256)
-        .with_p_new(args.p_new);
-    let records: Vec<TraceRecord> = TraceGenerator::new(&spec, plan.seed).collect();
-
-    // Fast failure-detector settings: crash windows must reach confirmed
-    // death (suspicion + confirmation window) inside the run.
-    let mut mesh = ChaosMesh::spawn(args.nodes, |c| {
-        c.with_mode(ThreadingMode::Sharded)
-            .with_shards(args.shards)
-            .with_workers(args.workers)
-            .with_flush_max(Duration::from_millis(25))
-            .with_heartbeat_interval(Duration::from_millis(40))
-            .with_suspicion_threshold(2)
-            .with_confirm_death_after(Duration::from_millis(150))
-            .with_shutdown_deadline(Duration::from_secs(2))
-    })
-    .expect("spawn chaos mesh");
-
-    let mut cursor = 0usize;
-    let mut segments: Vec<ChaosSegment> = Vec::new();
-    let mut recovered_hints: Vec<usize> = Vec::new();
-    let mut recovered = true;
-
-    for (i, w) in plan.windows.iter().enumerate() {
-        let mut snapshot = mesh.stats();
-
-        let out = replay_segment(&mesh, args, &spec, &records, &mut cursor, w.pre, None);
-        let cur = mesh.stats();
-        let pre = segment_from(i, "pre", &w.fault, &out, probe_deltas(&snapshot, &cur));
-        snapshot = cur;
-        print_segment(&pre);
-
-        mesh.inject(w.fault).expect("inject fault");
-        let crashed = match w.fault {
-            FaultKind::Crash { node } => Some(node),
-            _ => None,
-        };
-        let out = replay_segment(&mesh, args, &spec, &records, &mut cursor, w.hold, crashed);
-        if let Some(dead) = crashed {
-            if !await_confirmed_death(&mesh, dead) {
-                eprintln!("window {i}: survivors never confirmed node {dead} dead");
-                recovered = false;
-            }
-        }
-        let cur = mesh.stats();
-        let hold = segment_from(i, "hold", &w.fault, &out, probe_deltas(&snapshot, &cur));
-        snapshot = cur;
-        print_segment(&hold);
-
-        // Lift: crash windows restart the node on its old port and rebuild
-        // its hint table by anti-entropy; the extra heartbeat/flush round
-        // lets survivors mark the revival and re-advertise before the
-        // recovery segment is measured.
-        match w.fault {
-            FaultKind::Crash { node } => {
-                let rebuilt = mesh.restart(node).expect("restart crashed node");
-                recovered_hints.push(rebuilt);
-                println!("window {i}: node {node} restarted, {rebuilt} hint records resynced");
-                mesh.heartbeat_all();
-                mesh.flush_all();
-            }
-            other => mesh.lift(other).expect("lift fault"),
-        }
-        let out = replay_segment(&mesh, args, &spec, &records, &mut cursor, w.post, None);
-        let cur = mesh.stats();
-        let post = segment_from(i, "post", &w.fault, &out, probe_deltas(&snapshot, &cur));
-        print_segment(&post);
-
-        // Recovery criteria: the mesh must serve everything again (no
-        // client-visible errors) without a hit-rate collapse relative to
-        // the pre-window baseline.
-        if post.errors > 0 {
-            eprintln!(
-                "window {i}: {} errors after the fault was lifted",
-                post.errors
-            );
-            recovered = false;
-        }
-        if post.hit_ratio + 0.25 < pre.hit_ratio {
-            eprintln!(
-                "window {i}: hit ratio collapsed {:.3} -> {:.3} after recovery",
-                pre.hit_ratio, post.hit_ratio
-            );
-            recovered = false;
-        }
-        segments.push(pre);
-        segments.push(hold);
-        segments.push(post);
-    }
-
-    let node_reports: Vec<ChaosNodeReport> = mesh
-        .addrs()
-        .iter()
-        .zip(mesh.stats())
-        .map(|(addr, stats)| {
-            let s = stats.unwrap_or_default();
-            ChaosNodeReport {
-                addr: addr.to_string(),
-                heartbeats_ok: s.heartbeats_ok,
-                heartbeats_failed: s.heartbeats_failed,
-                peers_confirmed_dead: s.peers_confirmed_dead,
-                stale_hints_gc: s.stale_hints_gc,
-                plaxton_repair_entries: s.plaxton_repair_entries,
-                degraded_to_origin: s.degraded_to_origin,
-                resyncs_served: s.resyncs_served,
-            }
-        })
-        .collect();
-
-    harness.write_json(
-        "loadgen_chaos",
-        &ChaosResult {
-            plan,
-            nodes: args.nodes,
-            client_threads: args.clients,
-            segments,
-            recovered_hints,
-            node_reports,
-            recovered,
-        },
-    );
-    println!(
-        "chaos event log: {} ({} bytes)",
-        log_path.display(),
-        event_log.len()
-    );
-    println!("recovered: {recovered}");
-    mesh.shutdown();
-    recovered
-}
-
 fn main() {
     let args = LoadgenArgs::parse();
     let harness = args.harness();
@@ -585,7 +278,7 @@ fn main() {
         };
         plan.validate(args.nodes)
             .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
-        let ok = run_chaos(&args, plan);
+        let ok = run_chaos(&harness, &args.chaos_options(), plan);
         std::process::exit(if ok { 0 } else { 1 });
     }
     println!(

@@ -1,0 +1,489 @@
+//! Library driver for chaos runs: replays a seeded workload segment by
+//! segment under a [`FaultPlan`] against a live [`ChaosMesh`].
+//!
+//! Shared by the `loadgen --chaos` binary and the determinism
+//! integration tests, which run the same plan twice and byte-compare
+//! the artifacts. To make that possible the output is split in two:
+//!
+//! * `loadgen_chaos.json` — the **deterministic** artifact: the plan,
+//!   the mesh shape, each segment's issued-request count (a pure
+//!   function of the seeded trace), and the recovery verdict. Two runs
+//!   of the same plan must produce byte-identical files; CI diffs them.
+//! * `loadgen_chaos_metrics.json` — the **measured** artifact: hit
+//!   splits, false-probe rates, latency percentiles, resynced hint
+//!   counts, and the full per-node [`NodeStats`] counter dump (this
+//!   file is what the `stats-registry` lint checks against).
+//! * `loadgen_chaos_events.log` — the plan's event schedule, byte-
+//!   identical across runs by construction.
+
+use crate::Args;
+use bh_proto::chaos::{ChaosMesh, FaultKind, FaultPlan};
+use bh_proto::liveness::PeerHealth;
+use bh_proto::node::{NodeStats, ThreadingMode};
+use bh_proto::replay::{replay_concurrent, ConcurrentReplayReport, ReplayConfig};
+use bh_trace::{TraceGenerator, TraceRecord, WorkloadSpec};
+use serde::Serialize;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Mesh and client shape for a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Cache nodes in the full mesh.
+    pub nodes: usize,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Epoll shards per node.
+    pub shards: usize,
+    /// Worker threads per node.
+    pub workers: usize,
+    /// First-reference probability of the synthetic workload.
+    pub p_new: f64,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            nodes: 4,
+            clients: 16,
+            shards: 1,
+            workers: 16,
+            p_new: 0.35,
+        }
+    }
+}
+
+/// Hit-rate / false-probe / latency summary of one replay segment
+/// (measured artifact).
+#[derive(Debug, Serialize)]
+pub struct ChaosSegment {
+    /// Window index in the plan.
+    pub window: usize,
+    /// `pre` (healthy baseline), `hold` (fault active), or `post`
+    /// (recovery) — the before/during/after triple per window.
+    pub phase: String,
+    /// Stable fault description ([`FaultKind::describe`]).
+    pub fault: String,
+    /// Requests issued in this segment.
+    pub requests: u64,
+    /// Client-visible errors.
+    pub errors: u64,
+    /// Served from the contacted node's cache.
+    pub local_hits: u64,
+    /// Served by a peer via direct transfer.
+    pub peer_hits: u64,
+    /// Served by the origin.
+    pub origin_fetches: u64,
+    /// Request hit ratio (local + peer).
+    pub hit_ratio: f64,
+    /// Mesh-wide false-positive probes during this segment.
+    pub false_positives: u64,
+    /// Mesh-wide transport-failed probes that degraded to the origin.
+    pub degraded_to_origin: u64,
+    /// (false positives + degradations) per issued request.
+    pub false_probe_rate: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// End-of-run resilience counters for one node: every [`NodeStats`]
+/// field, so no counter can silently fall out of the dump.
+#[derive(Debug, Serialize)]
+pub struct ChaosNodeReport {
+    /// The node's bound address.
+    pub addr: String,
+    /// Requests served from the local cache.
+    pub local_hits: u64,
+    /// Requests served by a direct peer transfer.
+    pub peer_hits: u64,
+    /// Requests served by the origin.
+    pub origin_fetches: u64,
+    /// Peer probes that came back `NotFound`.
+    pub false_positives: u64,
+    /// Hint updates sent.
+    pub updates_sent: u64,
+    /// Hint updates received and applied.
+    pub updates_received: u64,
+    /// Objects pushed to this node by peers.
+    pub pushes_received: u64,
+    /// Received updates filtered as redundant.
+    pub updates_filtered: u64,
+    /// Heartbeats a neighbor answered.
+    pub heartbeats_ok: u64,
+    /// Heartbeats a neighbor failed to answer.
+    pub heartbeats_failed: u64,
+    /// Neighbors confirmed dead by the failure detector.
+    pub peers_confirmed_dead: u64,
+    /// Stale hint records purged on confirmed death.
+    pub stale_hints_gc: u64,
+    /// Plaxton routing-table entries rewritten by churn repair.
+    pub plaxton_repair_entries: u64,
+    /// Transport-failed probes that fell back to the origin.
+    pub degraded_to_origin: u64,
+    /// Anti-entropy resync requests answered.
+    pub resyncs_served: u64,
+    /// Service-path failures absorbed without a panic.
+    pub service_errors: u64,
+}
+
+impl ChaosNodeReport {
+    fn from_stats(addr: SocketAddr, s: NodeStats) -> ChaosNodeReport {
+        ChaosNodeReport {
+            addr: addr.to_string(),
+            local_hits: s.local_hits,
+            peer_hits: s.peer_hits,
+            origin_fetches: s.origin_fetches,
+            false_positives: s.false_positives,
+            updates_sent: s.updates_sent,
+            updates_received: s.updates_received,
+            pushes_received: s.pushes_received,
+            updates_filtered: s.updates_filtered,
+            heartbeats_ok: s.heartbeats_ok,
+            heartbeats_failed: s.heartbeats_failed,
+            peers_confirmed_dead: s.peers_confirmed_dead,
+            stale_hints_gc: s.stale_hints_gc,
+            plaxton_repair_entries: s.plaxton_repair_entries,
+            degraded_to_origin: s.degraded_to_origin,
+            resyncs_served: s.resyncs_served,
+            service_errors: s.service_errors,
+        }
+    }
+}
+
+/// One segment of the deterministic artifact: everything here is a pure
+/// function of the plan and the seeded trace.
+#[derive(Debug, Serialize)]
+pub struct PlannedSegment {
+    /// Window index in the plan.
+    pub window: usize,
+    /// `pre`, `hold`, or `post`.
+    pub phase: String,
+    /// Stable fault description.
+    pub fault: String,
+    /// Requests the segment issues: the cacheable records in its trace
+    /// slice, fixed by the seed.
+    pub requests: u64,
+}
+
+/// The deterministic `loadgen_chaos.json` artifact; two runs of the
+/// same plan must serialize byte-identically.
+#[derive(Debug, Serialize)]
+pub struct ChaosResult {
+    /// The executed plan.
+    pub plan: FaultPlan,
+    /// Mesh size.
+    pub nodes: usize,
+    /// Closed-loop client threads.
+    pub client_threads: usize,
+    /// Per-segment issued-request counts.
+    pub segments: Vec<PlannedSegment>,
+    /// True when every window's post segment met the recovery criteria.
+    pub recovered: bool,
+}
+
+/// The measured `loadgen_chaos_metrics.json` artifact.
+#[derive(Debug, Serialize)]
+pub struct ChaosMetrics {
+    /// Per-segment measured summaries.
+    pub segments: Vec<ChaosSegment>,
+    /// Hint records rebuilt by resync after each crash window, in
+    /// window order.
+    pub recovered_hints: Vec<usize>,
+    /// Full per-node counter dump.
+    pub node_reports: Vec<ChaosNodeReport>,
+}
+
+/// Replays `count` records starting at `cursor` against the mesh,
+/// returning the measured outcome and the slice's cacheable-record
+/// count (the deterministic issued-request number). While `crashed`
+/// names a down node, its client groups are rerouted to a live
+/// survivor — the clients reconnect, they don't stall.
+fn replay_segment(
+    mesh: &ChaosMesh,
+    opts: &ChaosOptions,
+    spec: &WorkloadSpec,
+    records: &[TraceRecord],
+    cursor: &mut usize,
+    count: u64,
+    crashed: Option<usize>,
+) -> (ConcurrentReplayReport, u64) {
+    let end = (*cursor + count as usize).min(records.len());
+    let slice = &records[*cursor..end];
+    *cursor = end;
+    let planned = slice.iter().filter(|r| r.is_cacheable()).count() as u64;
+    let mut addrs: Vec<SocketAddr> = mesh.addrs().to_vec();
+    if let Some(dead) = crashed {
+        let survivor = mesh
+            .live_node(dead)
+            .expect("mesh has at least one live node");
+        addrs[dead] = mesh.addrs()[survivor];
+    }
+    let mut config = ReplayConfig::flat_out(addrs);
+    config.clients_per_l1 = spec.clients_per_l1;
+    config.dynamic_client_ids = spec.dynamic_client_ids;
+    let out = replay_concurrent(&config, slice, opts.clients).expect("chaos replay segment");
+    (out, planned)
+}
+
+/// Sums the `(false_positives, degraded_to_origin)` deltas across nodes
+/// between two stats snapshots. A node that crashed mid-interval
+/// contributes nothing; a node that restarted counts from zero.
+fn probe_deltas(prev: &[Option<NodeStats>], cur: &[Option<NodeStats>]) -> (u64, u64) {
+    let mut fp = 0u64;
+    let mut degraded = 0u64;
+    for (p, c) in prev.iter().zip(cur.iter()) {
+        let Some(c) = c else { continue };
+        let base = p
+            .as_ref()
+            .map(|p| (p.false_positives, p.degraded_to_origin));
+        let (fp0, dg0) = base.unwrap_or((0, 0));
+        fp += c.false_positives.saturating_sub(fp0);
+        degraded += c.degraded_to_origin.saturating_sub(dg0);
+    }
+    (fp, degraded)
+}
+
+fn segment_from(
+    window: usize,
+    phase: &str,
+    fault: &FaultKind,
+    out: &ConcurrentReplayReport,
+    probes: (u64, u64),
+) -> ChaosSegment {
+    let (false_positives, degraded_to_origin) = probes;
+    let requests = out.report.requests;
+    ChaosSegment {
+        window,
+        phase: phase.to_string(),
+        fault: fault.describe(),
+        requests,
+        errors: out.report.errors,
+        local_hits: out.report.local_hits,
+        peer_hits: out.report.peer_hits,
+        origin_fetches: out.report.origin_fetches,
+        hit_ratio: out.report.hit_ratio(),
+        false_positives,
+        degraded_to_origin,
+        false_probe_rate: if requests > 0 {
+            (false_positives + degraded_to_origin) as f64 / requests as f64
+        } else {
+            0.0
+        },
+        p50_ms: out.latency.p50().unwrap_or(0.0) * 1e3,
+        p95_ms: out.latency.p95().unwrap_or(0.0) * 1e3,
+        p99_ms: out.latency.p99().unwrap_or(0.0) * 1e3,
+    }
+}
+
+fn print_segment(seg: &ChaosSegment) {
+    println!(
+        "window {} {:>4}  [{}]  {:>5} req  hit {:>5.1}%  fp {:>3}  degraded {:>3}  \
+         {:>3} err  p50 {:>6.2} ms  p99 {:>6.2} ms",
+        seg.window,
+        seg.phase,
+        seg.fault,
+        seg.requests,
+        seg.hit_ratio * 100.0,
+        seg.false_positives,
+        seg.degraded_to_origin,
+        seg.errors,
+        seg.p50_ms,
+        seg.p99_ms,
+    );
+}
+
+/// Drives heartbeats until every survivor has confirmed `dead` dead (so
+/// stale-hint GC and Plaxton repair have fired), bounded by a wall-clock
+/// deadline. Returns whether confirmation was reached.
+fn await_confirmed_death(mesh: &ChaosMesh, dead: usize) -> bool {
+    let addr = mesh.addrs()[dead];
+    // bh-lint: allow(no-wall-clock, reason = "deadline-bounded wait on a live mesh; failure detection is inherently wall-clock here")
+    let deadline = Instant::now() + Duration::from_secs(10);
+    // bh-lint: allow(no-wall-clock, reason = "loop bound against the same live-mesh deadline")
+    while Instant::now() < deadline {
+        mesh.heartbeat_all();
+        let confirmed = (0..mesh.addrs().len())
+            .filter(|&i| i != dead)
+            .filter_map(|i| mesh.node(i))
+            .all(|n| n.peer_health(addr) == PeerHealth::Dead);
+        if confirmed {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+/// Runs the fault plan end to end, writing all three artifacts into
+/// `args.out`; returns `false` if any window failed its recovery check.
+///
+/// # Panics
+///
+/// Panics on mesh spawn or artifact I/O failure (harness semantics:
+/// loud failures).
+pub fn run_chaos(args: &Args, opts: &ChaosOptions, plan: FaultPlan) -> bool {
+    println!(
+        "chaos: {} windows over {} nodes, {} requests total",
+        plan.windows.len(),
+        opts.nodes,
+        plan.total_requests()
+    );
+
+    // The schedule is a pure function of the plan: write it out before
+    // anything runs, so two runs of the same seed can be byte-diffed.
+    let event_log = plan.event_log();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    let log_path = args.out.join("loadgen_chaos_events.log");
+    std::fs::write(&log_path, &event_log).expect("write chaos event log");
+    print!("{event_log}");
+
+    let spec = WorkloadSpec::small()
+        .with_requests(plan.total_requests())
+        .with_clients(opts.nodes as u32 * 256)
+        .with_p_new(opts.p_new);
+    let records: Vec<TraceRecord> = TraceGenerator::new(&spec, plan.seed).collect();
+
+    // Fast failure-detector settings: crash windows must reach confirmed
+    // death (suspicion + confirmation window) inside the run.
+    let mut mesh = ChaosMesh::spawn(opts.nodes, |c| {
+        c.with_mode(ThreadingMode::Sharded)
+            .with_shards(opts.shards)
+            .with_workers(opts.workers)
+            .with_flush_max(Duration::from_millis(25))
+            .with_heartbeat_interval(Duration::from_millis(40))
+            .with_suspicion_threshold(2)
+            .with_confirm_death_after(Duration::from_millis(150))
+            .with_shutdown_deadline(Duration::from_secs(2))
+    })
+    .expect("spawn chaos mesh");
+
+    let mut cursor = 0usize;
+    let mut planned: Vec<PlannedSegment> = Vec::new();
+    let mut segments: Vec<ChaosSegment> = Vec::new();
+    let mut recovered_hints: Vec<usize> = Vec::new();
+    let mut recovered = true;
+
+    for (i, w) in plan.windows.iter().enumerate() {
+        let mut snapshot = mesh.stats();
+
+        let (out, issued) = replay_segment(&mesh, opts, &spec, &records, &mut cursor, w.pre, None);
+        planned.push(PlannedSegment {
+            window: i,
+            phase: "pre".into(),
+            fault: w.fault.describe(),
+            requests: issued,
+        });
+        let cur = mesh.stats();
+        let pre = segment_from(i, "pre", &w.fault, &out, probe_deltas(&snapshot, &cur));
+        snapshot = cur;
+        print_segment(&pre);
+
+        mesh.inject(w.fault).expect("inject fault");
+        let crashed = match w.fault {
+            FaultKind::Crash { node } => Some(node),
+            _ => None,
+        };
+        let (out, issued) =
+            replay_segment(&mesh, opts, &spec, &records, &mut cursor, w.hold, crashed);
+        planned.push(PlannedSegment {
+            window: i,
+            phase: "hold".into(),
+            fault: w.fault.describe(),
+            requests: issued,
+        });
+        if let Some(dead) = crashed {
+            if !await_confirmed_death(&mesh, dead) {
+                eprintln!("window {i}: survivors never confirmed node {dead} dead");
+                recovered = false;
+            }
+        }
+        let cur = mesh.stats();
+        let hold = segment_from(i, "hold", &w.fault, &out, probe_deltas(&snapshot, &cur));
+        snapshot = cur;
+        print_segment(&hold);
+
+        // Lift: crash windows restart the node on its old port and rebuild
+        // its hint table by anti-entropy; the extra heartbeat/flush round
+        // lets survivors mark the revival and re-advertise before the
+        // recovery segment is measured.
+        match w.fault {
+            FaultKind::Crash { node } => {
+                let rebuilt = mesh.restart(node).expect("restart crashed node");
+                recovered_hints.push(rebuilt);
+                println!("window {i}: node {node} restarted, {rebuilt} hint records resynced");
+                mesh.heartbeat_all();
+                mesh.flush_all();
+            }
+            other => mesh.lift(other).expect("lift fault"),
+        }
+        let (out, issued) = replay_segment(&mesh, opts, &spec, &records, &mut cursor, w.post, None);
+        planned.push(PlannedSegment {
+            window: i,
+            phase: "post".into(),
+            fault: w.fault.describe(),
+            requests: issued,
+        });
+        let cur = mesh.stats();
+        let post = segment_from(i, "post", &w.fault, &out, probe_deltas(&snapshot, &cur));
+        print_segment(&post);
+
+        // Recovery criteria: the mesh must serve everything again (no
+        // client-visible errors) without a hit-rate collapse relative to
+        // the pre-window baseline.
+        if post.errors > 0 {
+            eprintln!(
+                "window {i}: {} errors after the fault was lifted",
+                post.errors
+            );
+            recovered = false;
+        }
+        if post.hit_ratio + 0.25 < pre.hit_ratio {
+            eprintln!(
+                "window {i}: hit ratio collapsed {:.3} -> {:.3} after recovery",
+                pre.hit_ratio, post.hit_ratio
+            );
+            recovered = false;
+        }
+        segments.push(pre);
+        segments.push(hold);
+        segments.push(post);
+    }
+
+    let node_reports: Vec<ChaosNodeReport> = mesh
+        .addrs()
+        .iter()
+        .zip(mesh.stats())
+        .map(|(addr, stats)| ChaosNodeReport::from_stats(*addr, stats.unwrap_or_default()))
+        .collect();
+
+    args.write_json(
+        "loadgen_chaos",
+        &ChaosResult {
+            plan,
+            nodes: opts.nodes,
+            client_threads: opts.clients,
+            segments: planned,
+            recovered,
+        },
+    );
+    args.write_json(
+        "loadgen_chaos_metrics",
+        &ChaosMetrics {
+            segments,
+            recovered_hints,
+            node_reports,
+        },
+    );
+    println!(
+        "chaos event log: {} ({} bytes)",
+        log_path.display(),
+        event_log.len()
+    );
+    println!("recovered: {recovered}");
+    mesh.shutdown();
+    recovered
+}

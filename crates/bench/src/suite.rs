@@ -119,6 +119,7 @@ pub fn run_suite(
         // Wrap each job to record its duration for the timing table.
         for j in plan {
             flat.push(Box::new(move || {
+                // bh-lint: allow(no-wall-clock, reason = "per-job duration for the operator timing table; results never read it")
                 let t = Instant::now();
                 let out = j();
                 Box::new((t.elapsed(), out)) as JobOutput
@@ -141,6 +142,7 @@ pub fn run_suite(
             outputs.push(out);
         }
         eprintln!("\n>>> {}\n", exp.name());
+        // bh-lint: allow(no-wall-clock, reason = "finish-phase duration for the operator timing table")
         let t = Instant::now();
         exp.finish(args, outputs);
         timings.push(SuiteTiming {

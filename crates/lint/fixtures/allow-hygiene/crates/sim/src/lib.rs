@@ -1,0 +1,21 @@
+//! Fixture: every way an allow directive can go wrong, plus one
+//! well-formed directive as a positive control.
+
+// bh-lint: allow(no-such-rule, reason = "the rule name is bogus")
+pub fn unknown_rule() {}
+
+// bh-lint: allow(no-ambient-rng)
+pub fn missing_reason() -> u64 {
+    thread_rng()
+}
+
+// bh-lint: allow(no-ambient-rng, reason = "nothing fires nearby")
+pub fn unused_allow() {}
+
+// bh-lint: allowify(gibberish)
+pub fn malformed() {}
+
+pub fn honored() -> u64 {
+    // bh-lint: allow(no-ambient-rng, reason = "positive control: waives the call below")
+    thread_rng()
+}

@@ -1,0 +1,28 @@
+//! Fixture: ambient entropy sources (must be flagged wherever they
+//! appear — there is no allowlist for this rule).
+
+pub fn ambient() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn os_entropy() -> u64 {
+    let rng = rand::rngs::OsRng;
+    rng.gen()
+}
+
+pub fn seeded_from_entropy() -> u64 {
+    let rng = SmallRng::from_entropy();
+    rng.gen()
+}
+
+pub fn fine_explicit_seed() -> u64 {
+    // Negative control: explicit seeding is the sanctioned pattern.
+    let rng = SmallRng::seed_from_u64(42);
+    rng.gen()
+}
+
+pub fn fine_in_literal() -> &'static str {
+    // Negative control: a string literal is not an identifier.
+    "thread_rng"
+}

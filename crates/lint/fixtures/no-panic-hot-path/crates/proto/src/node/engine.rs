@@ -1,0 +1,29 @@
+//! Fixture: panicking constructs in the request hot path (must be
+//! flagged), with a `#[cfg(test)]` module as negative control.
+
+pub fn serve(job: Option<u64>) -> u64 {
+    let v = job.unwrap();
+    if v == 0 {
+        panic!("zero job");
+    }
+    v
+}
+
+pub fn lookup(slot: Option<u64>) -> u64 {
+    slot.expect("slot must be populated")
+}
+
+pub fn fine_fallback(slot: Option<u64>) -> u64 {
+    // Negative control: `unwrap_or_else` is the sanctioned pattern.
+    slot.unwrap_or_else(|| 0)
+}
+
+#[cfg(test)]
+mod tests {
+    // Negative control: tests may unwrap freely.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

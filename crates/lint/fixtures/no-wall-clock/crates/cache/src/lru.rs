@@ -1,0 +1,16 @@
+//! Fixture: wall-clock reads in a deterministic crate (must be flagged).
+
+use std::time::{Instant, SystemTime};
+
+pub fn evict_stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn wall_stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn hidden_in_string() -> &'static str {
+    // Inside a literal: the lexer must not see an ident here.
+    "Instant::now()"
+}

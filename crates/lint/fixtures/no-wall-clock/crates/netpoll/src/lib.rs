@@ -1,0 +1,8 @@
+//! Fixture negative control: netpoll is real I/O and is on the
+//! allowlist, so this `Instant::now()` must NOT be flagged.
+
+use std::time::Instant;
+
+pub fn poll_deadline() -> Instant {
+    Instant::now()
+}

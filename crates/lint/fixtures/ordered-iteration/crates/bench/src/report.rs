@@ -1,0 +1,15 @@
+//! Fixture: unordered collections in an artifact-writing path (must be
+//! flagged — iteration order leaks into JSON artifacts).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[u64]) -> HashMap<u64, u64> {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut out = HashMap::new();
+    for k in keys {
+        if seen.insert(*k) {
+            out.insert(*k, 1);
+        }
+    }
+    out
+}

@@ -1,0 +1,8 @@
+//! Fixture negative control: this path writes no artifacts, so its
+//! `HashMap` must NOT be flagged.
+
+use std::collections::HashMap;
+
+pub fn scratch() -> HashMap<u64, u64> {
+    HashMap::new()
+}

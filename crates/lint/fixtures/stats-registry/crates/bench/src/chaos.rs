@@ -1,0 +1,13 @@
+//! Fixture: the chaos stats dump, which forgets `service_errors`.
+
+pub struct Report {
+    pub requests: u64,
+    pub local_hits: u64,
+}
+
+pub fn dump(requests: u64, local_hits: u64) -> Report {
+    Report {
+        requests,
+        local_hits,
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: a `NodeStats` counter that never reaches the chaos dump
+//! (must be flagged).
+
+/// Per-node counters.
+pub struct NodeStats {
+    /// Total requests served.
+    pub requests: u64,
+    /// Hits from the local store.
+    pub local_hits: u64,
+    /// Service-path failures — missing from the dump below.
+    pub service_errors: u64,
+}

@@ -1,0 +1,14 @@
+//! Fixture proptests: cover `Get` and `GetReply` but not `Hint` or
+//! `Goodbye`.
+
+#[test]
+fn roundtrip_get() {
+    let m = Message::Get { key: 1 };
+    let _ = m.encode();
+}
+
+#[test]
+fn roundtrip_get_reply() {
+    let m = Message::GetReply { body: vec![1] };
+    let _ = m.encode();
+}

@@ -1,0 +1,215 @@
+//! `bh-lint`: a repo-specific static analysis pass enforcing the
+//! determinism and resilience invariants this reproduction rests on.
+//!
+//! Six rules (see `LINTS.md` at the repo root):
+//!
+//! 1. `no-wall-clock` — `Instant::now`/`SystemTime::now` only in real
+//!    I/O modules; simulation and bench code must be replayable.
+//! 2. `no-ambient-rng` — RNGs are built from explicit seeds, never
+//!    ambient entropy.
+//! 3. `ordered-iteration` — no `HashMap`/`HashSet` in artifact-writing
+//!    paths; iteration order must be defined.
+//! 4. `no-panic-hot-path` — no `unwrap`/`expect`/`panic!` in proto
+//!    shard/worker/pool code; errors are returned and counted.
+//! 5. `wire-exhaustiveness` — every wire frame tag has an encoder arm,
+//!    a decoder arm, and proptest coverage.
+//! 6. `stats-registry` — every `NodeStats` counter reaches the JSON
+//!    stats dump.
+//!
+//! Findings can be waived per line with
+//! `// bh-lint: allow(<rule>, reason = "...")`, which covers its own
+//! line and the next. A reason is mandatory; unused, reason-less,
+//! unknown-rule, or malformed directives are themselves diagnostics
+//! (rule `allow-hygiene`) and cannot be allowed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One finding, rendered as `{file}:{line}: [{rule}] {message}`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule name (one of [`rules::RULES`], or `allow-hygiene`).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Whether an allow directive may waive this finding. Hygiene
+    /// diagnostics set this false.
+    pub allowable: bool,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic in the stable one-line format used by
+    /// both the CLI and the fixture goldens.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Result of checking a tree.
+#[derive(Debug)]
+pub struct Report {
+    /// Unallowed findings, sorted by (file, line, rule, message).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of findings waived by a well-formed allow directive.
+    pub allows_honored: usize,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Directories never scanned, by name, at any depth.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "vendor"];
+
+/// Repo-relative paths never scanned (the lint fixtures are violation
+/// corpora by design).
+const SKIP_PREFIXES: [&str; 1] = ["crates/lint/fixtures"];
+
+fn collect_files(root: &Path, rel: &str, out: &mut Vec<String>) -> io::Result<()> {
+    let dir = if rel.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(rel)
+    };
+    let mut entries: Vec<(String, bool)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        entries.push((name, entry.file_type()?.is_dir()));
+    }
+    entries.sort();
+    for (name, is_dir) in entries {
+        let child = if rel.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel}/{name}")
+        };
+        if is_dir {
+            if SKIP_DIRS.contains(&name.as_str()) || SKIP_PREFIXES.contains(&child.as_str()) {
+                continue;
+            }
+            collect_files(root, &child, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(child);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the `.rs` files under `root`, resolves allow
+/// directives, and returns the surviving diagnostics sorted.
+pub fn check_root(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_files(root, "", &mut files)?;
+    let mut lexed: BTreeMap<String, lexer::Lexed> = BTreeMap::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        lexed.insert(rel.clone(), lexer::lex(&src));
+    }
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for (rel, lx) in &lexed {
+        rules::no_wall_clock(rel, lx, &mut raw);
+        rules::no_ambient_rng(rel, lx, &mut raw);
+        rules::ordered_iteration(rel, lx, &mut raw);
+        rules::no_panic_hot_path(rel, lx, &mut raw);
+    }
+    rules::wire_exhaustiveness(&lexed, &mut raw);
+    rules::stats_registry(&lexed, &mut raw);
+
+    // Allow resolution: a well-formed directive (known rule, nonempty
+    // reason) waives matching findings on its own line and the next.
+    let mut survivors: Vec<Diagnostic> = Vec::new();
+    let mut allows_honored = 0usize;
+    let mut used: BTreeMap<(String, u32), bool> = BTreeMap::new();
+    for d in raw {
+        let lx = &lexed[&d.file];
+        let waived = d.allowable
+            && lx.allows.iter().any(|a| {
+                let eligible = a.rule == d.rule
+                    && rules::RULES.contains(&a.rule.as_str())
+                    && a.reason.as_deref().is_some_and(|r| !r.trim().is_empty())
+                    && (d.line == a.line || d.line == a.line + 1);
+                if eligible {
+                    used.insert((d.file.clone(), a.line), true);
+                }
+                eligible
+            });
+        if waived {
+            allows_honored += 1;
+        } else {
+            survivors.push(d);
+        }
+    }
+
+    // Hygiene diagnostics: malformed, unknown-rule, reason-less, and
+    // unused directives. These cannot themselves be allowed.
+    for (rel, lx) in &lexed {
+        for m in &lx.malformed {
+            survivors.push(Diagnostic {
+                file: rel.clone(),
+                line: m.line,
+                rule: "allow-hygiene".into(),
+                message: format!("malformed bh-lint directive: {}", m.detail),
+                allowable: false,
+            });
+        }
+        for a in &lx.allows {
+            if !rules::RULES.contains(&a.rule.as_str()) {
+                survivors.push(Diagnostic {
+                    file: rel.clone(),
+                    line: a.line,
+                    rule: "allow-hygiene".into(),
+                    message: format!("allow names unknown rule `{}`", a.rule),
+                    allowable: false,
+                });
+            } else if a.reason.as_deref().is_none_or(|r| r.trim().is_empty()) {
+                survivors.push(Diagnostic {
+                    file: rel.clone(),
+                    line: a.line,
+                    rule: "allow-hygiene".into(),
+                    message: format!("allow({}) must carry a reason = \"...\"", a.rule),
+                    allowable: false,
+                });
+            } else if !used.contains_key(&(rel.clone(), a.line)) {
+                survivors.push(Diagnostic {
+                    file: rel.clone(),
+                    line: a.line,
+                    rule: "allow-hygiene".into(),
+                    message: format!(
+                        "unused allow({}); nothing fires on this or the next line",
+                        a.rule
+                    ),
+                    allowable: false,
+                });
+            }
+        }
+    }
+
+    survivors.sort();
+    Ok(Report {
+        diagnostics: survivors,
+        files_scanned: files.len(),
+        allows_honored,
+    })
+}

@@ -1,0 +1,63 @@
+//! CLI for `bh-lint`: `cargo run -p bh-lint -- check [--root DIR]`.
+//!
+//! Exits 0 when the tree is clean, 1 when any unallowed diagnostic
+//! survives, 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bh-lint check [--root DIR]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut cmd = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" if cmd.is_none() => cmd = Some("check"),
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if cmd != Some("check") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let report = match bh_lint::check_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bh-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{}", d.render());
+    }
+    if report.is_clean() {
+        println!(
+            "bh-lint: clean ({} files scanned, {} allows honored)",
+            report.files_scanned, report.allows_honored
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bh-lint: {} unallowed diagnostic(s) across {} files",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

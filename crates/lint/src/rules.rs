@@ -1,0 +1,485 @@
+//! The six bh-lint rules. Each rule pushes [`Diagnostic`]s; allow
+//! resolution and rendering happen in the engine (`lib.rs`).
+//!
+//! Rules 1–4 are per-file token scans gated on repo-relative paths.
+//! Rules 5–6 are cross-file consistency checks over specific files.
+
+use crate::lexer::{item_body, test_mod_spans, Lexed, Tok, Token};
+use crate::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule names, in the order they are documented in LINTS.md.
+pub const RULES: [&str; 6] = [
+    "no-wall-clock",
+    "no-ambient-rng",
+    "ordered-iteration",
+    "no-panic-hot-path",
+    "wire-exhaustiveness",
+    "stats-registry",
+];
+
+/// Modules allowed to read the wall clock: the real-I/O edge of the
+/// system (epoll shards, connection pool timeouts, heartbeat pacing,
+/// live-mesh drivers). Everything else must take time as a parameter
+/// or use the simulated clock.
+const WALL_CLOCK_ALLOWED: [&str; 8] = [
+    "crates/netpoll/src/",
+    "crates/proto/src/pool.rs",
+    "crates/proto/src/node/",
+    "crates/proto/src/origin.rs",
+    "crates/proto/src/client.rs",
+    "crates/proto/src/replay.rs",
+    "crates/proto/src/bin/",
+    "crates/proto/tests/",
+];
+
+/// Identifiers that construct or feed an RNG from ambient state rather
+/// than an explicit seed.
+const AMBIENT_RNG: [&str; 6] = [
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+
+/// Artifact-writing paths where iteration order reaches JSON files,
+/// stdout tables, or event logs.
+const ORDERED_ITER_FILES: [&str; 3] = [
+    "crates/bench/src/",
+    "crates/proto/src/chaos.rs",
+    "crates/proto/src/replay.rs",
+];
+
+/// Hot-path files where a panic wedges a shard/worker thread the chaos
+/// layer cannot deterministically recover.
+const PANIC_HOT_FILES: [&str; 3] = [
+    "crates/proto/src/node/engine.rs",
+    "crates/proto/src/node/mod.rs",
+    "crates/proto/src/pool.rs",
+];
+
+/// Idents banned in hot paths. Exact matches only, so `unwrap_or_else`
+/// and `unwrap_or_default` stay legal.
+const PANIC_IDENTS: [&str; 6] = [
+    "unwrap",
+    "expect",
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+fn push(out: &mut Vec<Diagnostic>, file: &str, line: u32, rule: &'static str, message: String) {
+    out.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        rule: rule.to_string(),
+        message,
+        allowable: true,
+    });
+}
+
+/// True when `tokens[i..]` is `<first> :: <last>` (e.g. `Instant::now`).
+fn path_seq(tokens: &[Token], i: usize, first: &str, last: &str) -> bool {
+    matches!(&tokens[i].tok, Tok::Ident(s) if s == first)
+        && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && tokens.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && matches!(tokens.get(i + 3).map(|t| &t.tok), Some(Tok::Ident(s)) if s == last)
+}
+
+/// Rule 1: `Instant::now` / `SystemTime::now` outside the I/O allowlist.
+pub fn no_wall_clock(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    if WALL_CLOCK_ALLOWED.iter().any(|p| rel.starts_with(p)) {
+        return;
+    }
+    for i in 0..lx.tokens.len() {
+        for src in ["Instant", "SystemTime"] {
+            if path_seq(&lx.tokens, i, src, "now") {
+                push(
+                    out,
+                    rel,
+                    lx.tokens[i].line,
+                    "no-wall-clock",
+                    format!(
+                        "`{src}::now()` outside the I/O allowlist; use the simulated \
+                         clock or take time as a parameter"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 2: RNG construction from ambient state instead of an explicit
+/// seed. Applies everywhere, tests included — seeded tests are what
+/// keep the goldens replayable.
+pub fn no_ambient_rng(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    for t in &lx.tokens {
+        if let Tok::Ident(s) = &t.tok {
+            if AMBIENT_RNG.contains(&s.as_str()) {
+                push(
+                    out,
+                    rel,
+                    t.line,
+                    "no-ambient-rng",
+                    format!("`{s}` draws ambient entropy; construct RNGs from an explicit seed"),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 3: `HashMap`/`HashSet` in artifact-writing paths. Anything that
+/// can reach a JSON artifact, stdout table, or event log must iterate
+/// in a defined order.
+pub fn ordered_iteration(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !ORDERED_ITER_FILES
+        .iter()
+        .any(|p| rel.starts_with(p) || rel == *p)
+    {
+        return;
+    }
+    for t in &lx.tokens {
+        if let Tok::Ident(s) = &t.tok {
+            if s == "HashMap" || s == "HashSet" {
+                push(
+                    out,
+                    rel,
+                    t.line,
+                    "ordered-iteration",
+                    format!(
+                        "`{s}` in an artifact-writing path; use BTreeMap/BTreeSet or \
+                         sort before emitting"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 4: `unwrap`/`expect`/`panic!`-family idents in shard, worker,
+/// and pool code. `#[cfg(test)] mod` blocks are exempt.
+pub fn no_panic_hot_path(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !PANIC_HOT_FILES.contains(&rel) {
+        return;
+    }
+    let spans = test_mod_spans(&lx.tokens);
+    for t in &lx.tokens {
+        if let Tok::Ident(s) = &t.tok {
+            if PANIC_IDENTS.contains(&s.as_str())
+                && !spans.iter().any(|&(a, b)| t.line >= a && t.line <= b)
+            {
+                push(
+                    out,
+                    rel,
+                    t.line,
+                    "no-panic-hot-path",
+                    format!(
+                        "`{s}` in a proto hot path; return an error and account it in \
+                         NodeStats instead of panicking a shard/worker thread"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Converts a CamelCase variant name to the SCREAMING_SNAKE suffix of
+/// its tag const (`GetReply` → `GET_REPLY`).
+fn camel_to_screaming(name: &str) -> String {
+    let mut s = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() && i > 0 {
+            s.push('_');
+        }
+        s.push(c.to_ascii_uppercase());
+    }
+    s
+}
+
+/// Variant names (with lines) of `enum <name>`, skipping attributes.
+fn enum_variants(tokens: &[Token], name: &str) -> Vec<(String, u32)> {
+    let Some((start, end)) = item_body(tokens, "enum", name) else {
+        return Vec::new();
+    };
+    let mut vars = Vec::new();
+    let mut i = start + 1;
+    while i < end {
+        // Skip `#[...]` attributes on the variant.
+        while i < end && tokens[i].tok == Tok::Punct('#') {
+            i += 1;
+            if i < end && tokens[i].tok == Tok::Punct('[') {
+                let mut depth = 1i64;
+                i += 1;
+                while i < end && depth > 0 {
+                    match tokens[i].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if i >= end {
+            break;
+        }
+        if let Tok::Ident(s) = &tokens[i].tok {
+            vars.push((s.clone(), tokens[i].line));
+        }
+        // Advance to the comma that ends this variant (payload braces,
+        // parens, and brackets may nest).
+        let mut depth = 0i64;
+        while i < end {
+            match tokens[i].tok {
+                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct(',') if depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    vars
+}
+
+/// `const T_*` names (with lines) declared in a file.
+fn tag_consts(tokens: &[Token]) -> BTreeMap<String, u32> {
+    let mut consts = BTreeMap::new();
+    for i in 0..tokens.len().saturating_sub(1) {
+        if let (Tok::Ident(a), Tok::Ident(b)) = (&tokens[i].tok, &tokens[i + 1].tok) {
+            if a == "const" && b.starts_with("T_") {
+                consts.insert(b.clone(), tokens[i + 1].line);
+            }
+        }
+    }
+    consts
+}
+
+/// True when `ident` appears anywhere in `tokens[range]`.
+fn span_contains(tokens: &[Token], range: (usize, usize), ident: &str) -> bool {
+    tokens[range.0..=range.1]
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if s == ident))
+}
+
+/// Rule 5: every `Message` variant needs a `T_*` tag const, an encoder
+/// arm, a decoder arm, and coverage in `wire_proptests.rs`; orphan tag
+/// consts are flagged too.
+pub fn wire_exhaustiveness(files: &BTreeMap<String, Lexed>, out: &mut Vec<Diagnostic>) {
+    const WIRE: &str = "crates/proto/src/wire.rs";
+    const PROPS: &str = "crates/proto/tests/wire_proptests.rs";
+    let Some(wire) = files.get(WIRE) else {
+        return;
+    };
+    let variants = enum_variants(&wire.tokens, "Message");
+    if variants.is_empty() {
+        return;
+    }
+    let consts = tag_consts(&wire.tokens);
+    // Scope the codec search to `impl Message` — other types in the
+    // file have their own `encode`/`decode`.
+    let (encode, decode) = match item_body(&wire.tokens, "impl", "Message") {
+        Some((s, e)) => {
+            let slice = &wire.tokens[s..=e];
+            (
+                item_body(slice, "fn", "encode").map(|(a, b)| (a + s, b + s)),
+                item_body(slice, "fn", "decode").map(|(a, b)| (a + s, b + s)),
+            )
+        }
+        None => (
+            item_body(&wire.tokens, "fn", "encode"),
+            item_body(&wire.tokens, "fn", "decode"),
+        ),
+    };
+    let mut claimed: BTreeSet<String> = BTreeSet::new();
+    for (v, vline) in &variants {
+        let tag = format!("T_{}", camel_to_screaming(v));
+        claimed.insert(tag.clone());
+        if !consts.contains_key(&tag) {
+            push(
+                out,
+                WIRE,
+                *vline,
+                "wire-exhaustiveness",
+                format!("variant `{v}` has no tag const `{tag}`"),
+            );
+            continue;
+        }
+        if let Some(span) = encode {
+            if !span_contains(&wire.tokens, span, &tag) {
+                push(
+                    out,
+                    WIRE,
+                    *vline,
+                    "wire-exhaustiveness",
+                    format!("variant `{v}`: tag `{tag}` never written by `encode`"),
+                );
+            }
+        }
+        if let Some(span) = decode {
+            if !span_contains(&wire.tokens, span, &tag) {
+                push(
+                    out,
+                    WIRE,
+                    *vline,
+                    "wire-exhaustiveness",
+                    format!("variant `{v}`: tag `{tag}` never matched by `decode`"),
+                );
+            }
+        }
+        if let Some(props) = files.get(PROPS) {
+            let covered = (0..props.tokens.len()).any(|i| path_seq(&props.tokens, i, "Message", v));
+            if !covered {
+                push(
+                    out,
+                    WIRE,
+                    *vline,
+                    "wire-exhaustiveness",
+                    format!("variant `{v}` is never constructed in {PROPS}"),
+                );
+            }
+        }
+    }
+    for (name, line) in &consts {
+        if !claimed.contains(name) {
+            push(
+                out,
+                WIRE,
+                *line,
+                "wire-exhaustiveness",
+                format!("tag const `{name}` has no matching `Message` variant"),
+            );
+        }
+    }
+}
+
+/// Field names (with lines) of `struct <name>`.
+fn struct_fields(tokens: &[Token], name: &str) -> Vec<(String, u32)> {
+    let Some((start, end)) = item_body(tokens, "struct", name) else {
+        return Vec::new();
+    };
+    let mut fields = Vec::new();
+    let mut i = start + 1;
+    while i < end {
+        match &tokens[i].tok {
+            Tok::Punct('#') => {
+                // Skip field attributes.
+                i += 1;
+                if i < end && tokens[i].tok == Tok::Punct('[') {
+                    let mut depth = 1i64;
+                    i += 1;
+                    while i < end && depth > 0 {
+                        match tokens[i].tok {
+                            Tok::Punct('[') => depth += 1,
+                            Tok::Punct(']') => depth -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            Tok::Ident(s) if s == "pub" => i += 1,
+            Tok::Ident(s)
+                if tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                    && tokens.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct(':')) =>
+            {
+                fields.push((s.clone(), tokens[i].line));
+                // Skip past this field's type to the separating comma.
+                let mut depth = 0i64;
+                i += 2;
+                while i < end {
+                    match tokens[i].tok {
+                        Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                        Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                        Tok::Punct(',') if depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+/// Rule 6: every `NodeStats` counter field must appear in the stats
+/// dump that chaos runs serialize (`crates/bench/src/chaos.rs`).
+pub fn stats_registry(files: &BTreeMap<String, Lexed>, out: &mut Vec<Diagnostic>) {
+    const STATS: &str = "crates/proto/src/node/mod.rs";
+    const DUMP: &str = "crates/bench/src/chaos.rs";
+    let Some(node) = files.get(STATS) else {
+        return;
+    };
+    let fields = struct_fields(&node.tokens, "NodeStats");
+    if fields.is_empty() {
+        return;
+    }
+    let Some(dump) = files.get(DUMP) else {
+        push(
+            out,
+            STATS,
+            fields[0].1,
+            "stats-registry",
+            format!("`NodeStats` exists but the stats dump {DUMP} is missing"),
+        );
+        return;
+    };
+    let dump_idents: BTreeSet<&str> = dump
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    for (f, line) in &fields {
+        if !dump_idents.contains(f.as_str()) {
+            push(
+                out,
+                STATS,
+                *line,
+                "stats-registry",
+                format!("`NodeStats` counter `{f}` never reaches the stats dump ({DUMP})"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn camel_to_screaming_handles_runs() {
+        assert_eq!(camel_to_screaming("Get"), "GET");
+        assert_eq!(camel_to_screaming("GetReply"), "GET_REPLY");
+        assert_eq!(camel_to_screaming("FindNearestReply"), "FIND_NEAREST_REPLY");
+    }
+
+    #[test]
+    fn enum_variants_skip_attributes_and_payloads() {
+        let src = "enum Message {\n  Get { url: String },\n  #[allow(dead_code)]\n  Ping,\n  Reply(Vec<u8>),\n}\n";
+        let vars = enum_variants(&lex(src).tokens, "Message");
+        let names: Vec<&str> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Get", "Ping", "Reply"]);
+    }
+
+    #[test]
+    fn struct_fields_see_through_pub_and_attrs() {
+        let src = "struct NodeStats {\n  pub a: u64,\n  #[serde(default)]\n  pub b_count: u64,\n  c: std::collections::BTreeMap<u64, u64>,\n}\n";
+        let fields = struct_fields(&lex(src).tokens, "NodeStats");
+        let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b_count", "c"]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Fixture self-tests: each rule has a violation corpus under
+//! `fixtures/<rule>/` that mirrors the repo layout (the path-scoped
+//! rules key on repo-relative paths), and an `expected.txt` golden of
+//! the diagnostics it must produce. A final meta-test pins the real
+//! tree clean, so CI fails the moment a violation lands anywhere.
+
+use std::path::{Path, PathBuf};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Checks a fixture tree against its golden and returns the report for
+/// extra per-fixture assertions.
+fn check_fixture(name: &str) -> bh_lint::Report {
+    let root = fixture_root(name);
+    let report = bh_lint::check_root(&root).expect("scan fixture tree");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    let golden = std::fs::read_to_string(root.join("expected.txt")).expect("read golden");
+    let expected: Vec<String> = golden
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect();
+    assert!(
+        !expected.is_empty(),
+        "{name}: the golden must list at least one diagnostic"
+    );
+    assert_eq!(
+        rendered, expected,
+        "{name}: diagnostics diverge from expected.txt"
+    );
+    report
+}
+
+#[test]
+fn no_wall_clock_fixture_matches_golden() {
+    let report = check_fixture("no-wall-clock");
+    // The netpoll file is on the allowlist and contributes nothing.
+    assert_eq!(report.files_scanned, 2);
+}
+
+#[test]
+fn no_ambient_rng_fixture_matches_golden() {
+    check_fixture("no-ambient-rng");
+}
+
+#[test]
+fn ordered_iteration_fixture_matches_golden() {
+    let report = check_fixture("ordered-iteration");
+    // The non-artifact file's HashMap is not flagged.
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.file == "crates/bench/src/report.rs"));
+}
+
+#[test]
+fn no_panic_hot_path_fixture_matches_golden() {
+    let report = check_fixture("no-panic-hot-path");
+    // The #[cfg(test)] module's unwrap is not flagged.
+    assert!(report.diagnostics.iter().all(|d| d.line < 20));
+}
+
+#[test]
+fn wire_exhaustiveness_fixture_matches_golden() {
+    check_fixture("wire-exhaustiveness");
+}
+
+#[test]
+fn stats_registry_fixture_matches_golden() {
+    check_fixture("stats-registry");
+}
+
+#[test]
+fn allow_hygiene_fixture_matches_golden() {
+    let report = check_fixture("allow-hygiene");
+    // The one well-formed directive in the fixture is honored.
+    assert_eq!(report.allows_honored, 1);
+}
+
+/// The meta-test: the real tree must be clean. This is the same check
+/// CI runs via `cargo run -p bh-lint -- check`, pinned here so plain
+/// `cargo test` catches violations too.
+#[test]
+fn repo_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = bh_lint::check_root(&root).expect("scan repo tree");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        report.is_clean(),
+        "the repo tree has unallowed lint findings:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "repo scan looks implausibly small"
+    );
+}

@@ -48,6 +48,14 @@ pub enum FaultKind {
         /// The other side.
         b: usize,
     },
+    /// Sever only the `from`→`to` direction: `from` cannot reach `to`,
+    /// while `to` still reaches `from` (an asymmetric route failure).
+    PartitionOneWay {
+        /// The node whose outbound path is cut.
+        from: usize,
+        /// The unreachable destination.
+        to: usize,
+    },
     /// Add fixed service delay to everything `node` receives and sends.
     Latency {
         /// Index of the slowed node.
@@ -70,6 +78,9 @@ impl FaultKind {
         match *self {
             FaultKind::Crash { node } => format!("crash node={node}"),
             FaultKind::Partition { a, b } => format!("partition a={a} b={b}"),
+            FaultKind::PartitionOneWay { from, to } => {
+                format!("partition_oneway from={from} to={to}")
+            }
             FaultKind::Latency { node, micros } => format!("latency node={node} micros={micros}"),
             FaultKind::Drop { node, per_million } => {
                 format!("drop node={node} per_million={per_million}")
@@ -84,6 +95,7 @@ impl FaultKind {
             | FaultKind::Latency { node, .. }
             | FaultKind::Drop { node, .. } => node,
             FaultKind::Partition { a, b } => a.max(b),
+            FaultKind::PartitionOneWay { from, to } => from.max(to),
         }
     }
 }
@@ -158,12 +170,18 @@ impl FaultPlan {
                     w.fault.describe()
                 ));
             }
-            if let FaultKind::Partition { a, b } = w.fault {
-                if a == b {
+            match w.fault {
+                FaultKind::Partition { a, b } if a == b => {
                     return Err(format!(
                         "window {i}: partition endpoints must differ (got {a})"
                     ));
                 }
+                FaultKind::PartitionOneWay { from, to } if from == to => {
+                    return Err(format!(
+                        "window {i}: one-way partition endpoints must differ (got {from})"
+                    ));
+                }
+                _ => {}
             }
             if w.hold == 0 {
                 return Err(format!(
@@ -339,6 +357,14 @@ impl ChaosMesh {
                     node.pool().block(addr_a);
                 }
             }
+            FaultKind::PartitionOneWay { from, to } => {
+                // Asymmetric: only `from`'s outbound path to `to` is cut;
+                // the reverse direction stays healthy.
+                let addr_to = self.addrs[to];
+                if let Some(node) = self.node(from) {
+                    node.pool().block(addr_to);
+                }
+            }
             FaultKind::Latency { node, micros } => {
                 if let Some(node) = self.node(node) {
                     let switch = node.pool().fault_switch();
@@ -375,6 +401,13 @@ impl ChaosMesh {
                 if let Some(node) = self.node(b) {
                     node.pool().unblock(addr_a);
                     node.pool().forgive(addr_a);
+                }
+            }
+            FaultKind::PartitionOneWay { from, to } => {
+                let addr_to = self.addrs[to];
+                if let Some(node) = self.node(from) {
+                    node.pool().unblock(addr_to);
+                    node.pool().forgive(addr_to);
                 }
             }
             FaultKind::Latency { node, .. } | FaultKind::Drop { node, .. } => {
@@ -457,6 +490,16 @@ mod tests {
             }],
         };
         assert!(twisted.validate(4).is_err(), "self-partition");
+        let looped = FaultPlan {
+            seed: 1,
+            windows: vec![FaultWindow {
+                fault: FaultKind::PartitionOneWay { from: 2, to: 2 },
+                pre: 0,
+                hold: 1,
+                post: 0,
+            }],
+        };
+        assert!(looped.validate(4).is_err(), "self one-way partition");
     }
 
     #[test]
@@ -481,6 +524,12 @@ mod tests {
                     pre: 1,
                     hold: 2,
                     post: 3,
+                },
+                FaultWindow {
+                    fault: FaultKind::PartitionOneWay { from: 1, to: 2 },
+                    pre: 5,
+                    hold: 5,
+                    post: 5,
                 },
             ],
         };

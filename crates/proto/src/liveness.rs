@@ -184,6 +184,7 @@ mod tests {
     #[test]
     fn suspicion_needs_consecutive_failures() {
         let mut t = LivenessTracker::new(quick());
+        // bh-lint: allow(no-wall-clock, reason = "arbitrary base instant; the tracker is pure in the times passed to it")
         let now = Instant::now();
         assert_eq!(t.record_failure(addr(1), now), Transition::None);
         assert_eq!(t.record_failure(addr(1), now), Transition::None);
@@ -199,6 +200,7 @@ mod tests {
     #[test]
     fn death_requires_threshold_and_window() {
         let mut t = LivenessTracker::new(quick());
+        // bh-lint: allow(no-wall-clock, reason = "arbitrary base instant; all deadlines are offsets from t0")
         let t0 = Instant::now();
         for _ in 0..2 {
             t.record_failure(addr(1), t0);
@@ -227,6 +229,7 @@ mod tests {
     #[test]
     fn revival_fires_once_and_resets() {
         let mut t = LivenessTracker::new(quick());
+        // bh-lint: allow(no-wall-clock, reason = "arbitrary base instant; all deadlines are offsets from t0")
         let t0 = Instant::now();
         for _ in 0..3 {
             t.record_failure(addr(2), t0);
@@ -247,6 +250,7 @@ mod tests {
     #[test]
     fn peers_are_tracked_independently() {
         let mut t = LivenessTracker::new(quick());
+        // bh-lint: allow(no-wall-clock, reason = "arbitrary base instant; all deadlines are offsets from t0")
         let t0 = Instant::now();
         for _ in 0..3 {
             t.record_failure(addr(1), t0);

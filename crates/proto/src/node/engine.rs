@@ -98,8 +98,7 @@ pub(super) fn spawn(listener: TcpListener, inner: Arc<Inner>) -> io::Result<Engi
         threads.push(
             std::thread::Builder::new()
                 .name(format!("cache-worker-{addr}-{w}"))
-                .spawn(move || worker_loop(job_rx, job_tx, handles, inner))
-                .expect("spawn worker thread"),
+                .spawn(move || worker_loop(job_rx, job_tx, handles, inner))?,
         );
     }
 
@@ -111,8 +110,7 @@ pub(super) fn spawn(listener: TcpListener, inner: Arc<Inner>) -> io::Result<Engi
                 .name(format!("cache-shard-{addr}-{i}"))
                 .spawn(move || {
                     Shard::new(i, poller, wake_rx, rx, job_tx, inner).run();
-                })
-                .expect("spawn shard thread"),
+                })?,
         );
     }
     drop(job_tx);
@@ -126,8 +124,7 @@ pub(super) fn spawn(listener: TcpListener, inner: Arc<Inner>) -> io::Result<Engi
         threads.push(
             std::thread::Builder::new()
                 .name(format!("cache-accept-{addr}"))
-                .spawn(move || accept_loop(listener, handles, inner))
-                .expect("spawn accept thread"),
+                .spawn(move || accept_loop(listener, handles, inner))?,
         );
     }
 
@@ -191,7 +188,13 @@ fn worker_loop(
         let reply = handle_get(&inner, &job.url);
         let wants_write = {
             let mut state = job.conn.state.lock();
+            let was_closed = state.closed;
             send_frame(&job.conn.stream, &mut state, &reply.encode());
+            if state.closed && !was_closed {
+                // The reply could not be delivered (socket died mid-write);
+                // account it instead of wedging or panicking the worker.
+                inner.stats.service_errors.fetch_add(1, Ordering::Relaxed);
+            }
             state.busy = false;
             replay_backlog(&job.conn, &mut state, &inner, &job_tx, job.shard, job.token);
             !state.closed && state.wants_write()
@@ -234,6 +237,7 @@ fn replay_backlog(
                     };
                     if job_tx.send(job).is_err() {
                         state.closed = true;
+                        inner.stats.service_errors.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
@@ -461,6 +465,10 @@ impl Shard {
                     };
                     if self.job_tx.send(job).is_err() {
                         // Engine tearing down; the connection dies with it.
+                        self.inner
+                            .stats
+                            .service_errors
+                            .fetch_add(1, Ordering::Relaxed);
                         return false;
                     }
                 }

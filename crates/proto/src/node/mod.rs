@@ -242,6 +242,10 @@ pub struct NodeStats {
     pub degraded_to_origin: u64,
     /// Anti-entropy resync requests answered for restarting peers.
     pub resyncs_served: u64,
+    /// Requests whose service path failed without a panic: a reply that
+    /// could not be delivered, a job the worker pool could not accept,
+    /// or a legacy connection thread that could not be spawned.
+    pub service_errors: u64,
 }
 
 #[derive(Debug, Default)]
@@ -261,6 +265,7 @@ struct AtomicStats {
     plaxton_repair_entries: AtomicU64,
     degraded_to_origin: AtomicU64,
     resyncs_served: AtomicU64,
+    service_errors: AtomicU64,
 }
 
 impl AtomicStats {
@@ -281,6 +286,7 @@ impl AtomicStats {
             plaxton_repair_entries: self.plaxton_repair_entries.load(Ordering::Relaxed),
             degraded_to_origin: self.degraded_to_origin.load(Ordering::Relaxed),
             resyncs_served: self.resyncs_served.load(Ordering::Relaxed),
+            service_errors: self.service_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -400,8 +406,7 @@ impl CacheNode {
                 threads.push(
                     std::thread::Builder::new()
                         .name(format!("cache-accept-{addr}"))
-                        .spawn(move || accept_loop(listener, inner))
-                        .expect("spawn accept thread"),
+                        .spawn(move || accept_loop(listener, inner))?,
                 );
             }
         }
@@ -410,8 +415,7 @@ impl CacheNode {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("cache-flush-{addr}"))
-                    .spawn(move || flush_loop(inner))
-                    .expect("spawn flush thread"),
+                    .spawn(move || flush_loop(inner))?,
             );
         }
         {
@@ -419,8 +423,7 @@ impl CacheNode {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("cache-heartbeat-{addr}"))
-                    .spawn(move || heartbeat_loop(inner))
-                    .expect("spawn heartbeat thread"),
+                    .spawn(move || heartbeat_loop(inner))?,
             );
         }
         Ok(CacheNode {
@@ -654,13 +657,17 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let inner = Arc::clone(&inner);
-        std::thread::Builder::new()
+        let inner_conn = Arc::clone(&inner);
+        let spawned = std::thread::Builder::new()
             .name("cache-conn".to_string())
             .spawn(move || {
-                let _ = serve_connection(stream, inner);
-            })
-            .expect("spawn connection thread");
+                let _ = serve_connection(stream, inner_conn);
+            });
+        if spawned.is_err() {
+            // Thread exhaustion: drop the connection and account it
+            // rather than bringing the whole accept loop down.
+            inner.stats.service_errors.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -747,6 +754,7 @@ pub fn mesh_tree_for(members: &[SocketAddr]) -> PlaxtonTree {
         .enumerate()
         .map(|(i, a)| NodeSpec::from_address(&a.to_string(), (i as f64, 0.0)))
         .collect();
+    // bh-lint: allow(no-panic-hot-path, reason = "setup-time precondition on mesh construction, not a request path")
     PlaxtonTree::build(specs, 1).expect("mesh members form a valid Plaxton tree")
 }
 

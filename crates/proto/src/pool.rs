@@ -497,7 +497,7 @@ impl ConnectionPool {
                         .wrapping_add(1442695040888963407),
                 )
             })
-            .expect("fetch_update closure always returns Some");
+            .unwrap_or_else(|prev| prev);
         let jitter = seed % (exp / 2).max(1);
         Duration::from_micros(exp / 2 + jitter)
     }

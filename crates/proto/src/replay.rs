@@ -12,7 +12,7 @@ use crate::client::{Connection, Source};
 use crate::wire::MachineId;
 use bh_simcore::stats::LatencyStats;
 use bh_trace::TraceRecord;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::net::SocketAddr;
 
@@ -68,8 +68,9 @@ pub struct ReplayReport {
     pub errors: u64,
     /// Bytes delivered to clients.
     pub bytes: u64,
-    /// Per-peer transfer counts, keyed by supplying machine.
-    pub per_peer: HashMap<u64, u64>,
+    /// Per-peer transfer counts, keyed by supplying machine. Ordered so
+    /// any report that reaches an artifact iterates deterministically.
+    pub per_peer: BTreeMap<u64, u64>,
 }
 
 impl ReplayReport {
@@ -138,7 +139,7 @@ pub fn replay(
         !config.nodes.is_empty(),
         "replay needs at least one cache node"
     );
-    let mut conns: HashMap<SocketAddr, Connection> = HashMap::new();
+    let mut conns: BTreeMap<SocketAddr, Connection> = BTreeMap::new();
     let mut report = ReplayReport::default();
     let mut last_time: Option<bh_simcore::SimTime> = None;
 
@@ -156,8 +157,8 @@ pub fn replay(
 
         let addr = config.node_for(r.client);
         let conn = match conns.entry(addr) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => e.insert(Connection::open(addr)?),
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => e.insert(Connection::open(addr)?),
         };
         report.requests += 1;
         match conn.fetch(&r.object.synthetic_url()) {
@@ -214,7 +215,7 @@ pub fn replay_concurrent(
         let handles: Vec<_> = (0..concurrency)
             .map(|worker| {
                 scope.spawn(move |_| {
-                    let mut conns: HashMap<SocketAddr, Connection> = HashMap::new();
+                    let mut conns: BTreeMap<SocketAddr, Connection> = BTreeMap::new();
                     let mut report = ReplayReport::default();
                     let mut latency = LatencyStats::new();
                     for r in records
@@ -228,7 +229,7 @@ pub fn replay_concurrent(
                         report.requests += 1;
                         let begin = std::time::Instant::now();
                         let outcome = match conns.entry(addr) {
-                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                            std::collections::btree_map::Entry::Occupied(mut e) => {
                                 let res = e.get_mut().fetch(&r.object.synthetic_url());
                                 if res.is_err() {
                                     // Drop the broken connection; the next
@@ -237,7 +238,7 @@ pub fn replay_concurrent(
                                 }
                                 res
                             }
-                            std::collections::hash_map::Entry::Vacant(e) => {
+                            std::collections::btree_map::Entry::Vacant(e) => {
                                 match Connection::open(addr) {
                                     Ok(conn) => {
                                         let conn = e.insert(conn);

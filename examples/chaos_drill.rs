@@ -48,8 +48,10 @@ fn main() {
     // --- Act 1: crash ---
     println!("\n[crash] killing node 1 (hint table lost, no goodbye)");
     mesh.crash(1);
+    // bh-lint: allow(no-wall-clock, reason = "deadline-bounded wait on a live mesh; failure detection is wall-clock here")
     let deadline = Instant::now() + Duration::from_secs(10);
     while mesh.node(0).expect("node 0").peer_health(addrs[1]) != PeerHealth::Dead {
+        // bh-lint: allow(no-wall-clock, reason = "loop bound against the same live-mesh deadline")
         assert!(Instant::now() < deadline, "death never confirmed");
         mesh.heartbeat_all();
         std::thread::sleep(Duration::from_millis(25));

@@ -26,6 +26,7 @@ fn tuned(c: NodeConfig) -> NodeConfig {
 /// dead, panicking if that takes more than 10 seconds.
 fn drive_to_death(mesh: &ChaosMesh, dead: usize) {
     let addr = mesh.addrs()[dead];
+    // bh-lint: allow(no-wall-clock, reason = "deadline-bounded wait on a live mesh; failure detection is wall-clock here")
     let deadline = Instant::now() + Duration::from_secs(10);
     loop {
         mesh.heartbeat_all();
@@ -37,6 +38,7 @@ fn drive_to_death(mesh: &ChaosMesh, dead: usize) {
             return;
         }
         assert!(
+            // bh-lint: allow(no-wall-clock, reason = "loop bound against the same live-mesh deadline")
             Instant::now() < deadline,
             "survivors never confirmed node {dead} dead"
         );
@@ -142,6 +144,70 @@ fn partition_degrades_to_origin_then_heals() {
     assert!(
         matches!(src, Source::Peer(_)),
         "healed link carries hints again, got {src:?}"
+    );
+    mesh.shutdown();
+}
+
+/// A one-way partition blocks exactly one direction: the blocked side
+/// degrades its hinted fetches to the origin while the reverse path keeps
+/// peer-hitting, and lifting the fault restores hint flow cleanly.
+#[test]
+fn one_way_partition_degrades_only_the_blocked_direction() {
+    let mut mesh = ChaosMesh::spawn(3, tuned).expect("mesh");
+    let node0 = mesh.node(0).expect("node 0").addr();
+    let node1 = mesh.node(1).expect("node 1").addr();
+
+    // Seed objects on both sides while the mesh is healthy so both nodes
+    // hold hints across the soon-to-be-severed direction.
+    bh_proto::fetch(node0, "http://chaos.test/w").expect("seed w at node 0");
+    bh_proto::fetch(node1, "http://chaos.test/y").expect("seed y at node 1");
+    mesh.flush_all();
+
+    mesh.inject(FaultKind::PartitionOneWay { from: 0, to: 1 })
+        .expect("inject one-way partition");
+
+    // Blocked direction (0 -> 1): the hinted probe fails and the fetch
+    // degrades to a clean origin hit.
+    let before = mesh.node(0).expect("node 0").stats();
+    let (src, body) = bh_proto::fetch(node0, "http://chaos.test/y").expect("no client error");
+    assert_eq!(src, Source::Origin, "blocked direction degraded to origin");
+    assert!(!body.is_empty());
+    let during = mesh.node(0).expect("node 0").stats();
+    assert_eq!(
+        during.degraded_to_origin,
+        before.degraded_to_origin + 1,
+        "degradation is accounted on the blocked side"
+    );
+    assert_eq!(
+        during.false_positives,
+        before.false_positives + 1,
+        "the unreachable hint cost exactly one wasted probe"
+    );
+
+    // Reverse direction (1 -> 0) is untouched: node 1 still peer-hits
+    // node 0's object through the same physical link.
+    let reverse_before = mesh.node(1).expect("node 1").stats();
+    let (src, _) = bh_proto::fetch(node1, "http://chaos.test/w").expect("fetch w");
+    assert!(
+        matches!(src, Source::Peer(_)),
+        "unblocked direction still peer-hits, got {src:?}"
+    );
+    let reverse_during = mesh.node(1).expect("node 1").stats();
+    assert_eq!(
+        reverse_during.degraded_to_origin, reverse_before.degraded_to_origin,
+        "no degradation on the unblocked side"
+    );
+
+    mesh.lift(FaultKind::PartitionOneWay { from: 0, to: 1 })
+        .expect("lift one-way partition");
+    // A fresh object advertised after healing peer-hits in the direction
+    // that was blocked.
+    bh_proto::fetch(node1, "http://chaos.test/z").expect("seed z");
+    mesh.flush_all();
+    let (src, _) = bh_proto::fetch(node0, "http://chaos.test/z").expect("fetch z");
+    assert!(
+        matches!(src, Source::Peer(_)),
+        "healed direction carries hints again, got {src:?}"
     );
     mesh.shutdown();
 }

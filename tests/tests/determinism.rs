@@ -7,7 +7,11 @@
 //! * the fig2, fig5, and fig8 grids produce **byte-identical** JSON
 //!   artifacts at `--jobs 1` and `--jobs 8`;
 //! * replaying a [`MaterializedTrace`] arena yields exactly the record
-//!   stream a fresh [`TraceGenerator`] produces, for all three workloads.
+//!   stream a fresh [`TraceGenerator`] produces, for all three workloads;
+//! * two chaos runs of the same seeded plan produce byte-identical
+//!   `loadgen_chaos.json` and `loadgen_chaos_events.log` artifacts, even
+//!   though they drive two distinct live meshes (the measured numbers go
+//!   to `loadgen_chaos_metrics.json`, which makes no such promise).
 
 use bh_bench::suite::Experiment;
 use bh_bench::Args;
@@ -63,6 +67,60 @@ fn fig5_artifact_is_identical_at_jobs_1_and_8() {
 #[test]
 fn fig8_artifact_is_identical_at_jobs_1_and_8() {
     assert_jobs_invisible(&bh_bench::runners::fig8::Fig8);
+}
+
+/// Runs the chaos harness once into a scratch dir and returns the bytes
+/// of the deterministic artifact and the event log.
+fn chaos_artifacts(tag: &str) -> (Vec<u8>, Vec<u8>) {
+    use bh_bench::chaos::{run_chaos, ChaosOptions};
+    use bh_proto::chaos::{FaultKind, FaultPlan, FaultWindow};
+
+    let out = scratch(tag);
+    let args = Args {
+        scale: 1.0,
+        seed: 7,
+        trace: "custom".to_string(),
+        out: out.clone(),
+        jobs: 1,
+    };
+    // Partition-only plan: no crash windows, so the run never waits on
+    // wall-clock failure detection and stays fast.
+    let plan = FaultPlan {
+        seed: 7,
+        windows: vec![FaultWindow {
+            fault: FaultKind::Partition { a: 0, b: 2 },
+            pre: 200,
+            hold: 200,
+            post: 200,
+        }],
+    };
+    let opts = ChaosOptions {
+        nodes: 3,
+        clients: 4,
+        ..ChaosOptions::default()
+    };
+    assert!(run_chaos(&args, &opts, plan), "chaos run must recover");
+    let json = std::fs::read(out.join("loadgen_chaos.json")).expect("read chaos artifact");
+    let log = std::fs::read(out.join("loadgen_chaos_events.log")).expect("read event log");
+    (json, log)
+}
+
+/// The statically-guarded byte-identity contract: `loadgen_chaos.json`
+/// and the event log are pure functions of the plan and seed, so two
+/// independent live-mesh runs must produce them byte for byte.
+#[test]
+fn chaos_plan_artifacts_are_byte_identical_across_runs() {
+    let (json_a, log_a) = chaos_artifacts("chaos-a");
+    let (json_b, log_b) = chaos_artifacts("chaos-b");
+    assert!(!json_a.is_empty(), "empty chaos artifact");
+    assert_eq!(
+        json_a, json_b,
+        "loadgen_chaos.json differs between two runs of the same plan"
+    );
+    assert_eq!(
+        log_a, log_b,
+        "loadgen_chaos_events.log differs between two runs of the same plan"
+    );
 }
 
 #[test]

@@ -114,6 +114,7 @@ fn concurrent_clients_survive_node_kill_mid_run() {
     const FRESH: usize = 9;
     const DEADLINE: Duration = Duration::from_secs(60);
 
+    // bh-lint: allow(no-wall-clock, reason = "watchdog for the whole live-mesh scenario; results never read it")
     let start = std::time::Instant::now();
     let (origin, mut nodes) = mesh(4);
 
@@ -258,9 +259,11 @@ fn confirmed_death_garbage_collects_stale_hints() {
     // is confirmed (threshold 2, confirmation window 100ms).
     let mut nodes = nodes;
     nodes.remove(1).kill();
+    // bh-lint: allow(no-wall-clock, reason = "deadline-bounded wait on a live mesh; failure detection is wall-clock here")
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while nodes[0].peer_health(dead_addr) != PeerHealth::Dead {
         assert!(
+            // bh-lint: allow(no-wall-clock, reason = "loop bound against the same live-mesh deadline")
             std::time::Instant::now() < deadline,
             "node 0 never confirmed node 1 dead"
         );
