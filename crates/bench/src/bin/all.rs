@@ -16,7 +16,8 @@
 //! trace sharing). The suite's exit status is then the first failing
 //! child's exit code.
 
-use bh_bench::suite::{registry, run_subprocesses, run_suite};
+use bh_bench::report::write_obs_dump;
+use bh_bench::suite::{obs_registry, registry, run_subprocesses, run_suite};
 use bh_bench::Args;
 use std::time::Instant;
 
@@ -72,4 +73,8 @@ fn main() {
         job_total,
         jobs
     );
+
+    // Deterministic obs dump for the whole suite run (jobs-per-experiment
+    // counters only; the measured timings stay in the table above).
+    write_obs_dump(&per_args[0], &obs_registry(&timings));
 }

@@ -8,13 +8,25 @@
 //! cargo run --release -p bh-bench --bin bench_sim -- [--out BENCH_sim.json]
 //! ```
 
+use bh_bench::report::Envelope;
 use bh_core::sim::{SimConfig, Simulator};
 use bh_core::strategies::StrategyKind;
+use bh_core::Topology;
 use bh_netmodel::{CostModel, TestbedModel};
 use bh_trace::{MaterializedTrace, TraceGenerator, WorkloadSpec};
 use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Lifetime event-queue stats from one instrumented simulation run —
+/// the hint strategy's pending-update queue, profiled through the
+/// `Strategy::queue_stats` hook.
+#[derive(Serialize)]
+struct QueueProfile {
+    strategy: String,
+    events_scheduled: u64,
+    peak_depth: usize,
+}
 
 #[derive(Serialize)]
 struct BenchSim {
@@ -23,6 +35,7 @@ struct BenchSim {
     trace_gen_rps: f64,
     replay_rps: f64,
     strategies_rps: Vec<(String, f64)>,
+    queue_profile: Option<QueueProfile>,
 }
 
 /// Best-of-`repeats` requests/second for one measured closure.
@@ -73,12 +86,38 @@ fn main() {
         strategies_rps.push((kind.to_string(), rps));
     }
 
+    // Event-queue profile: one extra instrumented hint-hierarchy run.
+    // A non-zero propagation delay forces the real (non-oracle) hint
+    // store, whose pending-update [`bh_simcore::EventQueue`] reports its
+    // lifetime scheduled total and peak depth.
+    let queue_profile = {
+        let sim = Simulator::new(
+            SimConfig::infinite(&spec).with_hint_delay(bh_simcore::SimDuration::from_secs(30)),
+        );
+        let kind = StrategyKind::HintHierarchy;
+        let topo = Topology::from_spec(arena.spec());
+        let mut strategy = kind.build(
+            topo,
+            &sim.config().space,
+            sim.config().hint_delay,
+            arena.seed(),
+        );
+        let models: Vec<&dyn CostModel> = vec![&tb];
+        black_box(sim.run_with_trace(&arena, strategy.as_mut(), &models, kind.idealized()));
+        strategy.queue_stats().map(|qs| QueueProfile {
+            strategy: kind.to_string(),
+            events_scheduled: qs.scheduled,
+            peak_depth: qs.peak_depth,
+        })
+    };
+
     let result = BenchSim {
         requests: spec.requests,
         repeats,
         trace_gen_rps,
         replay_rps,
         strategies_rps,
+        queue_profile,
     };
     for (name, rps) in [
         ("trace_gen", result.trace_gen_rps),
@@ -89,7 +128,14 @@ fn main() {
     for (name, rps) in &result.strategies_rps {
         eprintln!("sim/{name:<14} {rps:>12.0} req/s");
     }
-    let json = serde_json::to_string_pretty(&result).expect("serialize");
+    if let Some(q) = &result.queue_profile {
+        eprintln!(
+            "queue/{:<14} {:>12} events scheduled, peak depth {}",
+            q.strategy, q.events_scheduled, q.peak_depth
+        );
+    }
+    let envelope = Envelope::of("bench_sim", &result);
+    let json = serde_json::to_string_pretty(&envelope).expect("serialize");
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     eprintln!("[wrote {out}]");
 }

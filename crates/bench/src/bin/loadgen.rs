@@ -10,8 +10,12 @@
 //! ```text
 //! loadgen [--nodes n] [--clients m] [--requests r]
 //!         [--mode sharded|legacy|both] [--chaos smoke|<plan.json>]
-//!         [--seed n] [--out dir]
+//!         [--obs] [--seed n] [--out dir]
 //! ```
+//!
+//! `--obs` scrapes every node's obs registry over the wire (the `Stats`
+//! operator frame) after each replay, prints a per-node summary, and
+//! writes the full snapshots to `<out>/loadgen_obs.json`.
 //!
 //! `--mode both` (the default) runs the legacy thread-per-connection engine
 //! first and the sharded engine second on identical workloads, printing the
@@ -29,8 +33,10 @@
 //! fails to recover after any window.
 
 use bh_bench::chaos::{run_chaos, ChaosOptions};
+use bh_bench::report::{metric_values, MetricValue};
 use bh_bench::Args;
 use bh_proto::chaos::FaultPlan;
+use bh_proto::client::Connection;
 use bh_proto::node::{CacheNode, NodeConfig, ThreadingMode};
 use bh_proto::origin::OriginServer;
 use bh_proto::replay::{replay_concurrent, ReplayConfig};
@@ -50,6 +56,7 @@ struct LoadgenArgs {
     p_new: f64,
     seed: u64,
     chaos: Option<String>,
+    obs: bool,
     out: PathBuf,
 }
 
@@ -65,6 +72,7 @@ impl LoadgenArgs {
             p_new: 0.35,
             seed: 42,
             chaos: None,
+            obs: false,
             out: PathBuf::from("target/experiments"),
         };
         let mut it = std::env::args().skip(1);
@@ -107,12 +115,13 @@ impl LoadgenArgs {
                 }
                 "--seed" => args.seed = value("number").parse().expect("--seed takes an integer"),
                 "--chaos" => args.chaos = Some(value("plan")),
+                "--obs" => args.obs = true,
                 "--out" => args.out = PathBuf::from(value("path")),
                 "--help" | "-h" => {
                     println!(
                         "usage: loadgen [--nodes n] [--clients m] [--requests r] \
                          [--mode sharded|legacy|both] [--chaos smoke|<plan.json>] \
-                         [--shards s] [--workers w] \
+                         [--shards s] [--workers w] [--obs] \
                          [--p-new f] [--seed n] [--out dir]"
                     );
                     std::process::exit(0);
@@ -175,12 +184,56 @@ struct LoadgenResult {
     speedup_sharded_over_legacy: Option<f64>,
 }
 
+/// One node's end-of-run registry snapshot, scraped over the wire via
+/// the `Stats` frame (the `--obs` artifact).
+#[derive(Debug, Serialize)]
+struct ObsNode {
+    mode: String,
+    addr: String,
+    metrics: Vec<MetricValue>,
+}
+
+/// Scrapes every node through a fresh client connection — the same
+/// operator path `obs scrape` uses — and prints a per-node summary.
+fn scrape_nodes(mode: ThreadingMode, nodes: &[CacheNode]) -> Vec<ObsNode> {
+    let pick = |metrics: &[MetricValue], name: &str| {
+        metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map_or(0, |m| m.value)
+    };
+    nodes
+        .iter()
+        .map(|node| {
+            let mut conn = Connection::open(node.addr()).expect("open obs connection");
+            let entries = conn.scrape_stats().expect("scrape node stats");
+            let metrics = metric_values(&entries);
+            println!(
+                "obs {:>21}  local {:>6}  peer {:>5}  origin {:>6}  fp {:>4}  \
+                 served {:>7}  live-conns {:>3}",
+                node.addr(),
+                pick(&metrics, "local_hits"),
+                pick(&metrics, "peer_hits"),
+                pick(&metrics, "origin_fetches"),
+                pick(&metrics, "false_positives"),
+                pick(&metrics, "request_service_micros.count"),
+                pick(&metrics, "pool_live_connections"),
+            );
+            ObsNode {
+                mode: format!("{mode:?}").to_lowercase(),
+                addr: node.addr().to_string(),
+                metrics,
+            }
+        })
+        .collect()
+}
+
 fn run_mode(
     mode: ThreadingMode,
     args: &LoadgenArgs,
     records: &[TraceRecord],
     spec: &WorkloadSpec,
-) -> LoadgenRun {
+) -> (LoadgenRun, Vec<ObsNode>) {
     let origin = OriginServer::spawn("127.0.0.1:0").expect("spawn origin");
 
     let mut nodes = Vec::with_capacity(args.nodes);
@@ -233,11 +286,17 @@ fn run_mode(
         p99_ms: p99 * 1e3,
     };
 
+    let scrapes = if args.obs {
+        scrape_nodes(mode, &nodes)
+    } else {
+        Vec::new()
+    };
+
     for node in nodes {
         node.shutdown();
     }
     origin.shutdown();
-    run
+    (run, scrapes)
 }
 
 fn print_run(run: &LoadgenRun) {
@@ -303,10 +362,12 @@ fn main() {
     };
 
     let mut runs = Vec::new();
+    let mut scrapes = Vec::new();
     for &mode in modes {
-        let run = run_mode(mode, &args, &records, &spec);
+        let (run, mode_scrapes) = run_mode(mode, &args, &records, &spec);
         print_run(&run);
         runs.push(run);
+        scrapes.extend(mode_scrapes);
     }
 
     let speedup = (runs.len() == 2).then(|| {
@@ -329,4 +390,7 @@ fn main() {
             speedup_sharded_over_legacy: speedup,
         },
     );
+    if args.obs {
+        harness.write_json("loadgen_obs", &scrapes);
+    }
 }

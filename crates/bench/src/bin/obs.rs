@@ -1,0 +1,129 @@
+//! Operator CLI for the observability layer.
+//!
+//! ```text
+//! obs scrape --addr <ip:port> [--trace]   # scrape one live cache node
+//! obs validate <file.json>...             # check Report envelopes
+//! ```
+//!
+//! `scrape` connects to a running cache node and dumps its full obs
+//! registry (every counter, pool gauge, and service-latency histogram
+//! bucket) via the `Stats` wire frame; `--trace` additionally drains the
+//! node's event-trace ring via the `Trace` frame, printing one line per
+//! span event with symbolic span names.
+//!
+//! `validate` parses each file and checks the versioned Report envelope
+//! head (`schema_version`, `artifact`, `payload`) that every harness
+//! artifact ships in. The process exits nonzero if any file fails — CI's
+//! obs-smoke job runs it over everything `loadgen --obs` emitted.
+
+use bh_bench::report::parse_envelope;
+use bh_obs::span;
+use bh_proto::client::Connection;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: obs scrape --addr <ip:port> [--trace]");
+    eprintln!("       obs validate <file.json>...");
+    std::process::exit(2);
+}
+
+fn scrape(args: &[String]) -> ExitCode {
+    let mut addr: Option<SocketAddr> = None;
+    let mut trace = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                addr = Some(v.parse().expect("--addr takes ip:port"));
+            }
+            "--trace" => trace = true,
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    let mut conn = match Connection::open(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("obs: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match conn.scrape_stats() {
+        Ok(entries) => {
+            println!("# {addr} — {} metrics", entries.len());
+            for e in &entries {
+                println!("{:<40} {}", e.name, e.value);
+            }
+        }
+        Err(e) => {
+            eprintln!("obs: stats scrape failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if trace {
+        match conn.scrape_trace() {
+            Ok(events) => {
+                println!("# trace ring — {} events (oldest first)", events.len());
+                for ev in &events {
+                    println!(
+                        "{:>12} us  {:<12} a={:<20} b={}",
+                        ev.ts_micros,
+                        span::name(ev.kind),
+                        ev.a,
+                        ev.b
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("obs: trace scrape failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn validate(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        usage();
+    }
+    let mut failures = 0usize;
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {file}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match parse_envelope(&text) {
+            Ok(env) => println!(
+                "ok   {file}: artifact `{}`, schema v{}",
+                env.artifact, env.schema_version
+            ),
+            Err(e) => {
+                eprintln!("FAIL {file}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("obs: {failures} file(s) failed validation");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "scrape" => scrape(rest),
+        Some((cmd, rest)) if cmd == "validate" => validate(rest),
+        _ => usage(),
+    }
+}

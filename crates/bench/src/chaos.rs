@@ -11,12 +11,16 @@
 //!   of the same plan must produce byte-identical files; CI diffs them.
 //! * `loadgen_chaos_metrics.json` — the **measured** artifact: hit
 //!   splits, false-probe rates, latency percentiles, resynced hint
-//!   counts, and the full per-node [`NodeStats`] counter dump (this
-//!   file is what the `stats-registry` lint checks against).
+//!   counts, and each node's full obs-registry snapshot (the
+//!   `stats-registry` lint pins the registry iteration here).
 //! * `loadgen_chaos_events.log` — the plan's event schedule, byte-
 //!   identical across runs by construction.
+//! * `obs_dump.json` — the deterministic obs-registry dump: plan-derived
+//!   values only, byte-identical across runs of the same seed.
 
+use crate::report::{metric_values, write_obs_dump, MetricValue};
 use crate::Args;
+use bh_obs::{Determinism, Registry, Unit};
 use bh_proto::chaos::{ChaosMesh, FaultKind, FaultPlan};
 use bh_proto::liveness::PeerHealth;
 use bh_proto::node::{NodeStats, ThreadingMode};
@@ -90,68 +94,17 @@ pub struct ChaosSegment {
     pub p99_ms: f64,
 }
 
-/// End-of-run resilience counters for one node: every [`NodeStats`]
-/// field, so no counter can silently fall out of the dump.
+/// End-of-run resilience counters for one node: the node's **entire**
+/// obs-registry snapshot, iterated rather than hand-copied, so a newly
+/// registered metric reaches the dump with zero plumbing (the
+/// `stats-registry` lint pins the iteration).
 #[derive(Debug, Serialize)]
 pub struct ChaosNodeReport {
     /// The node's bound address.
     pub addr: String,
-    /// Requests served from the local cache.
-    pub local_hits: u64,
-    /// Requests served by a direct peer transfer.
-    pub peer_hits: u64,
-    /// Requests served by the origin.
-    pub origin_fetches: u64,
-    /// Peer probes that came back `NotFound`.
-    pub false_positives: u64,
-    /// Hint updates sent.
-    pub updates_sent: u64,
-    /// Hint updates received and applied.
-    pub updates_received: u64,
-    /// Objects pushed to this node by peers.
-    pub pushes_received: u64,
-    /// Received updates filtered as redundant.
-    pub updates_filtered: u64,
-    /// Heartbeats a neighbor answered.
-    pub heartbeats_ok: u64,
-    /// Heartbeats a neighbor failed to answer.
-    pub heartbeats_failed: u64,
-    /// Neighbors confirmed dead by the failure detector.
-    pub peers_confirmed_dead: u64,
-    /// Stale hint records purged on confirmed death.
-    pub stale_hints_gc: u64,
-    /// Plaxton routing-table entries rewritten by churn repair.
-    pub plaxton_repair_entries: u64,
-    /// Transport-failed probes that fell back to the origin.
-    pub degraded_to_origin: u64,
-    /// Anti-entropy resync requests answered.
-    pub resyncs_served: u64,
-    /// Service-path failures absorbed without a panic.
-    pub service_errors: u64,
-}
-
-impl ChaosNodeReport {
-    fn from_stats(addr: SocketAddr, s: NodeStats) -> ChaosNodeReport {
-        ChaosNodeReport {
-            addr: addr.to_string(),
-            local_hits: s.local_hits,
-            peer_hits: s.peer_hits,
-            origin_fetches: s.origin_fetches,
-            false_positives: s.false_positives,
-            updates_sent: s.updates_sent,
-            updates_received: s.updates_received,
-            pushes_received: s.pushes_received,
-            updates_filtered: s.updates_filtered,
-            heartbeats_ok: s.heartbeats_ok,
-            heartbeats_failed: s.heartbeats_failed,
-            peers_confirmed_dead: s.peers_confirmed_dead,
-            stale_hints_gc: s.stale_hints_gc,
-            plaxton_repair_entries: s.plaxton_repair_entries,
-            degraded_to_origin: s.degraded_to_origin,
-            resyncs_served: s.resyncs_served,
-            service_errors: s.service_errors,
-        }
-    }
+    /// Every registry metric (counters, pool gauges, expanded service
+    /// histogram), sorted by name.
+    pub metrics: Vec<MetricValue>,
 }
 
 /// One segment of the deterministic artifact: everything here is a pure
@@ -453,12 +406,44 @@ pub fn run_chaos(args: &Args, opts: &ChaosOptions, plan: FaultPlan) -> bool {
         segments.push(post);
     }
 
+    // Iterate each node's full registry snapshot into the dump — no
+    // field-by-field plumbing, so new metrics can't silently fall out.
     let node_reports: Vec<ChaosNodeReport> = mesh
         .addrs()
         .iter()
-        .zip(mesh.stats())
-        .map(|(addr, stats)| ChaosNodeReport::from_stats(*addr, stats.unwrap_or_default()))
+        .zip(mesh.metric_snapshots())
+        .map(|(addr, snapshot)| ChaosNodeReport {
+            addr: addr.to_string(),
+            metrics: metric_values(&snapshot.unwrap_or_default()),
+        })
         .collect();
+
+    // Deterministic obs dump: plan-derived values only, so two runs of
+    // the same seeded plan write byte-identical files (CI diffs them
+    // alongside loadgen_chaos.json).
+    let obs = Registry::new();
+    let windows_m = obs.counter(
+        "chaos.windows",
+        Unit::Count,
+        "fault windows executed",
+        Determinism::Deterministic,
+    );
+    let segments_m = obs.counter(
+        "chaos.segments",
+        Unit::Count,
+        "replay segments planned",
+        Determinism::Deterministic,
+    );
+    let requests_m = obs.counter(
+        "chaos.requests_planned",
+        Unit::Count,
+        "requests issued across all planned segments",
+        Determinism::Deterministic,
+    );
+    windows_m.add(plan.windows.len() as u64);
+    segments_m.add(planned.len() as u64);
+    requests_m.add(planned.iter().map(|s| s.requests).sum());
+    write_obs_dump(args, &obs);
 
     args.write_json(
         "loadgen_chaos",

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod report;
 pub mod runners;
 pub mod suite;
 
@@ -118,7 +119,10 @@ impl Args {
         WorkloadSpec::dec().scaled(self.scale)
     }
 
-    /// Writes `value` as pretty JSON to `<out>/<name>.json`.
+    /// Writes `value` as pretty JSON to `<out>/<name>.json`, wrapped in
+    /// the versioned [`report::Envelope`] (`schema_version` / `artifact`
+    /// / `payload`); `value` itself becomes the payload, byte-compatible
+    /// with the pre-envelope artifact bodies.
     ///
     /// # Panics
     ///
@@ -127,7 +131,8 @@ impl Args {
     pub fn write_json<T: serde::Serialize>(&self, name: &str, value: &T) {
         std::fs::create_dir_all(&self.out).expect("create output directory");
         let path = self.out.join(format!("{name}.json"));
-        let json = serde_json::to_string_pretty(value).expect("serialize");
+        let envelope = report::Envelope::of(name, value);
+        let json = serde_json::to_string_pretty(&envelope).expect("serialize");
         std::fs::write(&path, json).expect("write JSON artifact");
         eprintln!("[wrote {}]", path.display());
     }

@@ -155,6 +155,41 @@ pub fn run_suite(
     timings
 }
 
+/// Builds an obs registry describing one suite run: per-experiment job
+/// counts (deterministic — a pure function of the flags) plus the
+/// measured phase timings behind the operator timing table. The `all`
+/// binary feeds this to [`crate::report::write_obs_dump`], which keeps
+/// only the deterministic subset, so `obs_dump.json` stays byte-identical
+/// across `--jobs` values.
+pub fn obs_registry(timings: &[SuiteTiming]) -> bh_obs::Registry {
+    use bh_obs::{Determinism, Unit};
+    let r = bh_obs::Registry::new();
+    for t in timings {
+        r.counter(
+            format!("suite.{}.jobs", t.name),
+            Unit::Count,
+            "jobs the experiment planned",
+            Determinism::Deterministic,
+        )
+        .add(t.jobs as u64);
+        r.counter(
+            format!("suite.{}.job_micros", t.name),
+            Unit::Micros,
+            "summed job time across workers",
+            Determinism::Measured,
+        )
+        .add(t.job_time.as_micros() as u64);
+        r.counter(
+            format!("suite.{}.finish_micros", t.name),
+            Unit::Micros,
+            "sequential finish (printing + JSON) time",
+            Determinism::Measured,
+        )
+        .add(t.finish_time.as_micros() as u64);
+    }
+    r
+}
+
 /// The `--subprocess` fallback: runs each named sibling binary with the
 /// given arguments, in order, echoing progress to stderr.
 ///

@@ -499,6 +499,13 @@ impl Strategy for HintHierarchy {
         metrics.pushed_used_bytes = self.pushed_used_bytes;
         metrics.demand_bytes = self.demand_bytes;
     }
+
+    fn queue_stats(&self) -> Option<bh_simcore::QueueStats> {
+        match &self.hints {
+            HintStores::Real { pending, .. } => Some(pending.stats()),
+            HintStores::Oracle => None,
+        }
+    }
 }
 
 #[cfg(test)]

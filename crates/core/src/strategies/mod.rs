@@ -51,6 +51,13 @@ pub trait Strategy {
     fn finalize(&mut self, metrics: &mut Metrics) {
         let _ = metrics;
     }
+
+    /// Profile of the strategy's internal event queue, if it drives one
+    /// (hint strategies schedule delayed hint deliveries). Feeds the
+    /// bench observability surfaces; `None` for queueless strategies.
+    fn queue_stats(&self) -> Option<bh_simcore::QueueStats> {
+        None
+    }
 }
 
 /// Selects and parameterizes a strategy (the rows of Figures 8 and 10).

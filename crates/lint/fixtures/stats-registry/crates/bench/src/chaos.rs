@@ -1,4 +1,5 @@
-//! Fixture: the chaos stats dump, which forgets `service_errors`.
+//! Fixture: the chaos dump hand-copies stats fields instead of
+//! iterating the registry via `metric_snapshots`.
 
 pub struct Report {
     pub requests: u64,

@@ -15,7 +15,11 @@ pub enum Tok {
     Ident(String),
     /// A single punctuation character.
     Punct(char),
-    /// Any literal (string, byte string, char, number); contents are
+    /// A plain `"..."` string literal, with its source contents (escape
+    /// sequences kept verbatim). The stats-registry rule matches metric
+    /// names against these.
+    Str(String),
+    /// Any other literal (raw/byte string, char, number); contents are
     /// not inspected by any rule.
     Lit,
 }
@@ -226,17 +230,24 @@ pub fn lex(src: &str) -> Lexed {
             i = j;
             continue;
         }
-        // Plain string literal.
+        // Plain string literal: captured with contents so rules can
+        // match registered metric names.
         if c == '"' {
             let tline = line;
+            let mut s = String::new();
             let mut j = i + 1;
             while j < chars.len() {
                 if chars[j] == '\\' {
+                    s.push(chars[j]);
+                    if let Some(&esc) = chars.get(j + 1) {
+                        s.push(esc);
+                    }
                     j += 2;
                     continue;
                 }
                 if chars[j] == '\n' {
                     line += 1;
+                    s.push('\n');
                     j += 1;
                     continue;
                 }
@@ -244,10 +255,11 @@ pub fn lex(src: &str) -> Lexed {
                     j += 1;
                     break;
                 }
+                s.push(chars[j]);
                 j += 1;
             }
             out.tokens.push(Token {
-                tok: Tok::Lit,
+                tok: Tok::Str(s),
                 line: tline,
             });
             i = j;
@@ -480,6 +492,26 @@ fn f<'a>(x: &'a str) -> char {
         assert!(!ids.contains(&"Instant".to_string()));
         assert!(!ids.contains(&"HashMap".to_string()));
         assert!(!ids.contains(&"a".to_string()), "lifetime leaked: {ids:?}");
+    }
+
+    #[test]
+    fn plain_strings_capture_contents_raw_strings_do_not() {
+        let src =
+            "let a = \"local_hits\";\nlet b = r#\"raw stays opaque\"#;\nlet c = \"esc\\\"aped\";\n";
+        let out = lex(src);
+        let strs: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, ["local_hits", "esc\\\"aped"]);
+        assert!(
+            out.tokens.iter().any(|t| t.tok == Tok::Lit),
+            "raw string should be Lit"
+        );
     }
 
     #[test]

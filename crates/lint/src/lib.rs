@@ -13,8 +13,8 @@
 //!    shard/worker/pool code; errors are returned and counted.
 //! 5. `wire-exhaustiveness` — every wire frame tag has an encoder arm,
 //!    a decoder arm, and proptest coverage.
-//! 6. `stats-registry` — every `NodeStats` counter reaches the JSON
-//!    stats dump.
+//! 6. `stats-registry` — every `NodeStats` field is backed by a
+//!    registered obs metric, and the chaos dump iterates the registry.
 //!
 //! Findings can be waived per line with
 //! `// bh-lint: allow(<rule>, reason = "...")`, which covers its own

@@ -54,8 +54,9 @@ const ORDERED_ITER_FILES: [&str; 3] = [
 
 /// Hot-path files where a panic wedges a shard/worker thread the chaos
 /// layer cannot deterministically recover.
-const PANIC_HOT_FILES: [&str; 3] = [
+const PANIC_HOT_FILES: [&str; 4] = [
     "crates/proto/src/node/engine.rs",
+    "crates/proto/src/node/metrics.rs",
     "crates/proto/src/node/mod.rs",
     "crates/proto/src/pool.rs",
 ];
@@ -412,10 +413,14 @@ fn struct_fields(tokens: &[Token], name: &str) -> Vec<(String, u32)> {
     fields
 }
 
-/// Rule 6: every `NodeStats` counter field must appear in the stats
-/// dump that chaos runs serialize (`crates/bench/src/chaos.rs`).
+/// Rule 6: every `NodeStats` field must be backed by a registered
+/// metric — its name must appear as a string literal in the metrics
+/// module (where `NodeMetrics::register` declares counters and
+/// `NodeStats::from_snapshot` matches them back) — and the chaos dump
+/// must iterate the registry via `metric_snapshots` rather than
+/// hand-copying fields.
 pub fn stats_registry(files: &BTreeMap<String, Lexed>, out: &mut Vec<Diagnostic>) {
-    const STATS: &str = "crates/proto/src/node/mod.rs";
+    const STATS: &str = "crates/proto/src/node/metrics.rs";
     const DUMP: &str = "crates/bench/src/chaos.rs";
     let Some(node) = files.get(STATS) else {
         return;
@@ -423,6 +428,28 @@ pub fn stats_registry(files: &BTreeMap<String, Lexed>, out: &mut Vec<Diagnostic>
     let fields = struct_fields(&node.tokens, "NodeStats");
     if fields.is_empty() {
         return;
+    }
+    let strings: BTreeSet<&str> = node
+        .tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    for (f, line) in &fields {
+        if !strings.contains(f.as_str()) {
+            push(
+                out,
+                STATS,
+                *line,
+                "stats-registry",
+                format!(
+                    "`NodeStats` field `{f}` has no registry metric: the string \
+                     literal \"{f}\" never appears in {STATS}"
+                ),
+            );
+        }
     }
     let Some(dump) = files.get(DUMP) else {
         push(
@@ -434,24 +461,21 @@ pub fn stats_registry(files: &BTreeMap<String, Lexed>, out: &mut Vec<Diagnostic>
         );
         return;
     };
-    let dump_idents: BTreeSet<&str> = dump
+    let iterates = dump
         .tokens
         .iter()
-        .filter_map(|t| match &t.tok {
-            Tok::Ident(s) => Some(s.as_str()),
-            _ => None,
-        })
-        .collect();
-    for (f, line) in &fields {
-        if !dump_idents.contains(f.as_str()) {
-            push(
-                out,
-                STATS,
-                *line,
-                "stats-registry",
-                format!("`NodeStats` counter `{f}` never reaches the stats dump ({DUMP})"),
-            );
-        }
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if s == "metric_snapshots"));
+    if !iterates {
+        push(
+            out,
+            DUMP,
+            1,
+            "stats-registry",
+            format!(
+                "chaos dump {DUMP} never calls `metric_snapshots`; node metrics \
+                 must reach artifacts by iterating the obs registry"
+            ),
+        );
     }
 }
 

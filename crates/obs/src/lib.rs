@@ -1,0 +1,27 @@
+//! `bh-obs`: the observability substrate shared by the simulator and the
+//! live prototype.
+//!
+//! Two pieces, both dependency-free:
+//!
+//! * [`registry`] — a typed metrics registry. Counters, gauges and
+//!   histograms are declared once (name, unit, help, determinism class)
+//!   and updated through cheap cloned handles backed by relaxed atomics;
+//!   [`Registry::snapshot`] renders a deterministic name-sorted view.
+//! * [`trace`] — a fixed-capacity structured event ring. Records are
+//!   `Copy` and encode without allocating; the clock is always passed in
+//!   by the caller, so deterministic code paths stay `bh-lint` clean.
+//!
+//! The crate deliberately has no serde/wire dependencies: consumers map
+//! [`MetricEntry`]/[`TraceEvent`] onto their own JSON or frame formats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{
+    Counter, Determinism, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricInfo, Registry,
+    Unit,
+};
+pub use trace::{span, TraceEvent, TraceRing};

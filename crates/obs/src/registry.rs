@@ -1,0 +1,472 @@
+//! The typed metrics registry.
+//!
+//! Metrics are registered once — name, unit, help text, determinism
+//! class — and updated through cloned handles. Handles are `Arc`s around
+//! atomics, so the hot path is a single relaxed RMW with no lock and no
+//! allocation. The registry itself is only locked at registration and
+//! snapshot time.
+//!
+//! Snapshots are deterministic: entries come out sorted by name, and
+//! histograms expand into fixed `name.le.*` / `name.count` / `name.sum`
+//! integer entries so every consumer (wire frames, JSON artifacts, the
+//! chaos dump) sees one flat `(name, u64)` list.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a metric's value measures. Rendered in the catalog and docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// A plain event count.
+    Count,
+    /// Bytes.
+    Bytes,
+    /// Microseconds.
+    Micros,
+    /// Live connection objects.
+    Connections,
+    /// Peer nodes.
+    Peers,
+}
+
+impl Unit {
+    /// Stable lower-case label for catalogs and dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::Count => "count",
+            Unit::Bytes => "bytes",
+            Unit::Micros => "micros",
+            Unit::Connections => "connections",
+            Unit::Peers => "peers",
+        }
+    }
+}
+
+/// Whether a metric's value is a pure function of the seeded plan
+/// (`Deterministic`) or depends on wall-clock timing, thread interleaving
+/// or the network (`Measured`).
+///
+/// Deterministic artifacts such as `obs_dump.json` snapshot only the
+/// `Deterministic` subset, which is what makes them byte-identical across
+/// `--jobs` levels and repeated seeded runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// Byte-identical across reruns of the same seeded plan.
+    Deterministic,
+    /// Timing- or environment-dependent.
+    Measured,
+}
+
+/// One value in a snapshot: a metric name and its integer value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricEntry {
+    /// Registered name (histograms expand to `name.le.*` etc.).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Catalog row describing a registered metric.
+#[derive(Debug, Clone)]
+pub struct MetricInfo {
+    /// Registered name.
+    pub name: String,
+    /// Unit of the value.
+    pub unit: Unit,
+    /// One-line help text.
+    pub help: String,
+    /// Determinism class.
+    pub determinism: Determinism,
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<u64>,
+    /// One slot per bound plus a final overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle.
+///
+/// `observe(v)` lands `v` in the first bucket whose inclusive upper bound
+/// is `>= v` (or the overflow bucket) with three relaxed atomic adds.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.0.bounds.partition_point(|b| *b < v);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.0.bounds.clone(),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; `buckets.len() == bounds.len() + 1` (overflow last).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Merges `other` into `self`. Merging is commutative and associative,
+    /// so shard-local histograms can be folded in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ — merging histograms of different
+    /// shapes is a registration bug, not a runtime condition.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge across different bucket bounds"
+        );
+        for (into, from) in self.buckets.iter_mut().zip(&other.buckets) {
+            *into += from;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The bucket index `observe(v)` would land in.
+    pub fn bucket_for(&self, v: u64) -> usize {
+        self.bounds.partition_point(|b| *b < v)
+    }
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    unit: Unit,
+    help: String,
+    determinism: Determinism,
+    slot: Slot,
+}
+
+/// The metrics registry: owns every declared metric, hands out typed
+/// handles, and renders deterministic snapshots.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn insert(&self, name: String, unit: Unit, help: &str, det: Determinism, slot: Slot) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            !entries.iter().any(|e| e.name == name),
+            "metric `{name}` registered twice"
+        );
+        entries.push(Entry {
+            name,
+            unit,
+            help: help.to_string(),
+            determinism: det,
+            slot,
+        });
+    }
+
+    /// Registers a counter and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered (a setup-time bug).
+    pub fn counter(
+        &self,
+        name: impl Into<String>,
+        unit: Unit,
+        help: &str,
+        det: Determinism,
+    ) -> Counter {
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        self.insert(name.into(), unit, help, det, Slot::Counter(c.clone()));
+        c
+    }
+
+    /// Registers a gauge and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn gauge(
+        &self,
+        name: impl Into<String>,
+        unit: Unit,
+        help: &str,
+        det: Determinism,
+    ) -> Gauge {
+        let g = Gauge(Arc::new(AtomicU64::new(0)));
+        self.insert(name.into(), unit, help, det, Slot::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers a histogram with the given inclusive upper `bounds`
+    /// (strictly increasing; an overflow bucket is added automatically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered or `bounds` is empty or not
+    /// strictly increasing.
+    pub fn histogram(
+        &self,
+        name: impl Into<String>,
+        unit: Unit,
+        help: &str,
+        det: Determinism,
+        bounds: &[u64],
+    ) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let h = Histogram(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }));
+        self.insert(name.into(), unit, help, det, Slot::Histogram(h.clone()));
+        h
+    }
+
+    /// All current values, sorted by name. Histograms expand into
+    /// `name.le.<bound>` / `name.le.inf` / `name.count` / `name.sum`.
+    pub fn snapshot(&self) -> Vec<MetricEntry> {
+        self.snapshot_where(|_| true)
+    }
+
+    /// The subset of [`Registry::snapshot`] whose determinism class is
+    /// `det`. Deterministic artifacts use
+    /// `snapshot_filtered(Determinism::Deterministic)`.
+    pub fn snapshot_filtered(&self, det: Determinism) -> Vec<MetricEntry> {
+        self.snapshot_where(|e| e.determinism == det)
+    }
+
+    fn snapshot_where(&self, keep: impl Fn(&Entry) -> bool) -> Vec<MetricEntry> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries.iter().filter(|e| keep(e)) {
+            match &e.slot {
+                Slot::Counter(c) => out.push(MetricEntry {
+                    name: e.name.clone(),
+                    value: c.get(),
+                }),
+                Slot::Gauge(g) => out.push(MetricEntry {
+                    name: e.name.clone(),
+                    value: g.get(),
+                }),
+                Slot::Histogram(h) => {
+                    let snap = h.snapshot();
+                    for (bound, n) in snap.bounds.iter().zip(&snap.buckets) {
+                        out.push(MetricEntry {
+                            name: format!("{}.le.{bound}", e.name),
+                            value: *n,
+                        });
+                    }
+                    out.push(MetricEntry {
+                        name: format!("{}.le.inf", e.name),
+                        value: *snap.buckets.last().unwrap_or(&0),
+                    });
+                    out.push(MetricEntry {
+                        name: format!("{}.count", e.name),
+                        value: snap.count,
+                    });
+                    out.push(MetricEntry {
+                        name: format!("{}.sum", e.name),
+                        value: snap.sum,
+                    });
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The catalog of registered metrics, sorted by name.
+    pub fn catalog(&self) -> Vec<MetricInfo> {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<MetricInfo> = entries
+            .iter()
+            .map(|e| MetricInfo {
+                name: e.name.clone(),
+                unit: e.unit,
+                help: e.help.clone(),
+                determinism: e.determinism,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_snapshot_sorted() {
+        let reg = Registry::new();
+        let b = reg.counter("b_counter", Unit::Count, "b", Determinism::Measured);
+        let a = reg.gauge("a_gauge", Unit::Peers, "a", Determinism::Measured);
+        b.add(3);
+        b.inc();
+        a.set(7);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                MetricEntry {
+                    name: "a_gauge".into(),
+                    value: 7
+                },
+                MetricEntry {
+                    name: "b_counter".into(),
+                    value: 4
+                },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("dup", Unit::Count, "", Determinism::Measured);
+        let _ = reg.counter("dup", Unit::Count, "", Determinism::Measured);
+    }
+
+    #[test]
+    fn handles_are_cheap_clones_of_the_same_cell() {
+        let reg = Registry::new();
+        let c = reg.counter("c", Unit::Count, "", Determinism::Measured);
+        let c2 = c.clone();
+        c.inc();
+        c2.inc();
+        assert_eq!(c.get(), 2);
+        assert_eq!(reg.snapshot()[0].value, 2);
+    }
+
+    #[test]
+    fn histogram_expands_into_flat_entries() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", Unit::Micros, "", Determinism::Measured, &[10, 100]);
+        h.observe(5);
+        h.observe(10); // inclusive upper bound
+        h.observe(50);
+        h.observe(1000); // overflow
+        let snap = reg.snapshot();
+        let get = |n: &str| snap.iter().find(|e| e.name == n).map(|e| e.value);
+        assert_eq!(get("lat.le.10"), Some(2));
+        assert_eq!(get("lat.le.100"), Some(1));
+        assert_eq!(get("lat.le.inf"), Some(1));
+        assert_eq!(get("lat.count"), Some(4));
+        assert_eq!(get("lat.sum"), Some(1065));
+    }
+
+    #[test]
+    fn determinism_filter_partitions_the_registry() {
+        let reg = Registry::new();
+        let d = reg.counter("det", Unit::Count, "", Determinism::Deterministic);
+        let m = reg.counter("meas", Unit::Count, "", Determinism::Measured);
+        d.add(1);
+        m.add(2);
+        let det = reg.snapshot_filtered(Determinism::Deterministic);
+        assert_eq!(det.len(), 1);
+        assert_eq!(det[0].name, "det");
+        let meas = reg.snapshot_filtered(Determinism::Measured);
+        assert_eq!(meas.len(), 1);
+        assert_eq!(meas[0].name, "meas");
+        assert_eq!(reg.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn catalog_lists_declared_metadata() {
+        let reg = Registry::new();
+        let _ = reg.counter("hits", Unit::Count, "cache hits", Determinism::Measured);
+        let cat = reg.catalog();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat[0].name, "hits");
+        assert_eq!(cat[0].unit.label(), "count");
+        assert_eq!(cat[0].help, "cache hits");
+    }
+}

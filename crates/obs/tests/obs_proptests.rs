@@ -1,0 +1,103 @@
+//! Property tests for the metrics registry: histogram bucket placement
+//! and snapshot-merge algebra.
+
+use bh_obs::{Determinism, HistogramSnapshot, Registry, Unit};
+use proptest::prelude::*;
+
+/// Strictly increasing, non-empty bound vectors.
+fn arb_bounds() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..10_000, 1..8).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+fn observe_all(bounds: &[u64], values: &[u64]) -> HistogramSnapshot {
+    let reg = Registry::new();
+    let h = reg.histogram("h", Unit::Micros, "", Determinism::Measured, bounds);
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every observation lands in exactly one bucket: the first whose
+    /// inclusive upper bound is >= the value, or the overflow bucket.
+    #[test]
+    fn bucket_boundaries(
+        bounds in arb_bounds(),
+        values in proptest::collection::vec(0u64..20_000, 0..100),
+    ) {
+        let snap = observe_all(&bounds, &values);
+        prop_assert_eq!(snap.buckets.len(), bounds.len() + 1);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        // Recompute expected bucket counts independently.
+        let mut expect = vec![0u64; bounds.len() + 1];
+        for &v in &values {
+            let idx = bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(bounds.len());
+            expect[idx] += 1;
+            prop_assert_eq!(snap.bucket_for(v), idx);
+        }
+        prop_assert_eq!(&snap.buckets, &expect);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    /// An observation at exactly a bound lands in that bound's bucket
+    /// (bounds are inclusive), and one past it lands in the next.
+    #[test]
+    fn bounds_are_inclusive(bounds in arb_bounds()) {
+        for (i, &b) in bounds.iter().enumerate() {
+            let at = observe_all(&bounds, &[b]);
+            prop_assert_eq!(at.bucket_for(b), i);
+            prop_assert_eq!(at.buckets[i], 1);
+            let past = observe_all(&bounds, &[b + 1]);
+            prop_assert_eq!(past.bucket_for(b + 1), i + 1);
+            prop_assert_eq!(past.buckets[i + 1], 1);
+        }
+    }
+
+    /// Merge is associative and commutative, and merging equals observing
+    /// the concatenated value stream directly.
+    #[test]
+    fn merge_associativity(
+        bounds in arb_bounds(),
+        xs in proptest::collection::vec(0u64..20_000, 0..60),
+        ys in proptest::collection::vec(0u64..20_000, 0..60),
+        zs in proptest::collection::vec(0u64..20_000, 0..60),
+    ) {
+        let a = observe_all(&bounds, &xs);
+        let b = observe_all(&bounds, &ys);
+        let c = observe_all(&bounds, &zs);
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // Commutativity: b ⊕ a == a ⊕ b.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging shard snapshots equals one histogram fed everything.
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        let direct = observe_all(&bounds, &all);
+        prop_assert_eq!(&left, &direct);
+    }
+}

@@ -301,6 +301,17 @@ impl ChaosMesh {
             .collect()
     }
 
+    /// Per-node metrics-registry snapshots (`None` for crashed slots):
+    /// every registered metric as a name-sorted `(name, value)` list.
+    /// The registry-iteration surface dumps are built from — nothing is
+    /// copied field by field.
+    pub fn metric_snapshots(&self) -> Vec<Option<Vec<bh_obs::MetricEntry>>> {
+        self.nodes
+            .iter()
+            .map(|n| n.as_ref().map(|n| n.metrics_snapshot()))
+            .collect()
+    }
+
     /// Runs one immediate heartbeat round on every live node.
     pub fn heartbeat_all(&self) {
         for node in self.nodes.iter().flatten() {

@@ -193,7 +193,7 @@ fn worker_loop(
             if state.closed && !was_closed {
                 // The reply could not be delivered (socket died mid-write);
                 // account it instead of wedging or panicking the worker.
-                inner.stats.service_errors.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.service_errors.inc();
             }
             state.busy = false;
             replay_backlog(&job.conn, &mut state, &inner, &job_tx, job.shard, job.token);
@@ -237,7 +237,7 @@ fn replay_backlog(
                     };
                     if job_tx.send(job).is_err() {
                         state.closed = true;
-                        inner.stats.service_errors.fetch_add(1, Ordering::Relaxed);
+                        inner.metrics.service_errors.inc();
                     }
                 }
             }
@@ -465,10 +465,7 @@ impl Shard {
                     };
                     if self.job_tx.send(job).is_err() {
                         // Engine tearing down; the connection dies with it.
-                        self.inner
-                            .stats
-                            .service_errors
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.inner.metrics.service_errors.inc();
                         return false;
                     }
                 }

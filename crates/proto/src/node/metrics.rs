@@ -1,0 +1,300 @@
+//! The node's observability surface: every counter and gauge a
+//! [`super::CacheNode`] exposes is declared here, exactly once, through
+//! the `bh-obs` registry.
+//!
+//! [`NodeStats`] survives as a thin typed view derived from a registry
+//! snapshot ([`NodeStats::from_snapshot`]) so existing tests and the
+//! chaos analysis keep their field access, but there is no hand-rolled
+//! snapshot plumbing left: dumps iterate the registry.
+
+use crate::pool::ConnectionPool;
+use bh_obs::{Counter, Determinism, Gauge, Histogram, MetricEntry, MetricInfo, Registry, Unit};
+
+/// How many trace records each node retains (newest win once full).
+pub const NODE_TRACE_CAPACITY: usize = 4096;
+
+/// Inclusive upper bounds (µs) for the miss-service latency histogram.
+const SERVICE_LATENCY_BOUNDS_US: [u64; 10] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+];
+
+/// Counters exposed by a node — a typed view over the metrics registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Requests served from the local cache.
+    pub local_hits: u64,
+    /// Requests served by a direct peer transfer.
+    pub peer_hits: u64,
+    /// Requests served by the origin.
+    pub origin_fetches: u64,
+    /// Peer probes that came back `NotFound` (false-positive hints).
+    pub false_positives: u64,
+    /// Hint updates sent (records, not batches).
+    pub updates_sent: u64,
+    /// Hint updates received and applied.
+    pub updates_received: u64,
+    /// Objects pushed to this node by peers.
+    pub pushes_received: u64,
+    /// Received updates that were *not* forwarded up/down because they did
+    /// not change this node's knowledge (the §3.1.2 filtering).
+    pub updates_filtered: u64,
+    /// Heartbeats a neighbor answered.
+    pub heartbeats_ok: u64,
+    /// Heartbeats a neighbor failed to answer.
+    pub heartbeats_failed: u64,
+    /// Neighbors confirmed dead by the failure detector.
+    pub peers_confirmed_dead: u64,
+    /// Stale hint records purged when a peer was confirmed dead.
+    pub stale_hints_gc: u64,
+    /// Plaxton routing-table entries rewritten by churn repair.
+    pub plaxton_repair_entries: u64,
+    /// Peer probes that failed at the transport layer (dead peer or
+    /// partition) and fell back to the origin.
+    pub degraded_to_origin: u64,
+    /// Anti-entropy resync requests answered for restarting peers.
+    pub resyncs_served: u64,
+    /// Requests whose service path failed without a panic: a reply that
+    /// could not be delivered, a job the worker pool could not accept,
+    /// or a legacy connection thread that could not be spawned.
+    pub service_errors: u64,
+}
+
+impl NodeStats {
+    /// Rebuilds the typed view from a registry snapshot (the flat
+    /// `(name, value)` list a node dumps or answers over the wire).
+    /// Entries that are not `NodeStats` counters — pool gauges, latency
+    /// histogram buckets — are ignored.
+    pub fn from_snapshot(entries: &[MetricEntry]) -> NodeStats {
+        let mut out = NodeStats::default();
+        for e in entries {
+            let slot = match e.name.as_str() {
+                "local_hits" => &mut out.local_hits,
+                "peer_hits" => &mut out.peer_hits,
+                "origin_fetches" => &mut out.origin_fetches,
+                "false_positives" => &mut out.false_positives,
+                "updates_sent" => &mut out.updates_sent,
+                "updates_received" => &mut out.updates_received,
+                "pushes_received" => &mut out.pushes_received,
+                "updates_filtered" => &mut out.updates_filtered,
+                "heartbeats_ok" => &mut out.heartbeats_ok,
+                "heartbeats_failed" => &mut out.heartbeats_failed,
+                "peers_confirmed_dead" => &mut out.peers_confirmed_dead,
+                "stale_hints_gc" => &mut out.stale_hints_gc,
+                "plaxton_repair_entries" => &mut out.plaxton_repair_entries,
+                "degraded_to_origin" => &mut out.degraded_to_origin,
+                "resyncs_served" => &mut out.resyncs_served,
+                "service_errors" => &mut out.service_errors,
+                _ => continue,
+            };
+            *slot = e.value;
+        }
+        out
+    }
+}
+
+/// The node's registered metric handles. Hot-path updates are relaxed
+/// atomic adds on cloned handles; the registry is only locked when a
+/// snapshot or scrape asks for it.
+#[derive(Debug)]
+pub(crate) struct NodeMetrics {
+    registry: Registry,
+    pub local_hits: Counter,
+    pub peer_hits: Counter,
+    pub origin_fetches: Counter,
+    pub false_positives: Counter,
+    pub updates_sent: Counter,
+    pub updates_received: Counter,
+    pub pushes_received: Counter,
+    pub updates_filtered: Counter,
+    pub heartbeats_ok: Counter,
+    pub heartbeats_failed: Counter,
+    pub peers_confirmed_dead: Counter,
+    pub stale_hints_gc: Counter,
+    pub plaxton_repair_entries: Counter,
+    pub degraded_to_origin: Counter,
+    pub resyncs_served: Counter,
+    pub service_errors: Counter,
+    /// Peers currently under quarantine (refreshed at snapshot time).
+    pool_quarantined_peers: Gauge,
+    /// Warm pooled connections currently idle (refreshed at snapshot time).
+    pool_live_connections: Gauge,
+    /// Outbound request retries the pool has performed.
+    pool_reconnect_attempts: Gauge,
+    /// Miss-service latency (the `handle_get` path: hint lookup, peer
+    /// probe and/or origin fetch, store).
+    pub request_service_micros: Histogram,
+}
+
+impl NodeMetrics {
+    /// Declares every node metric on a fresh registry. Names of the
+    /// `NodeStats` counters are exactly the struct field names, which is
+    /// what keeps [`NodeStats::from_snapshot`] and the `stats-registry`
+    /// lint honest.
+    pub(crate) fn register() -> NodeMetrics {
+        let r = Registry::new();
+        let c = |name: &str, help: &str| r.counter(name, Unit::Count, help, Determinism::Measured);
+        NodeMetrics {
+            local_hits: c("local_hits", "requests served from the local cache"),
+            peer_hits: c("peer_hits", "requests served by a direct peer transfer"),
+            origin_fetches: c("origin_fetches", "requests served by the origin"),
+            false_positives: c("false_positives", "peer probes answered NotFound"),
+            updates_sent: c("updates_sent", "hint-update records sent"),
+            updates_received: c("updates_received", "hint-update records received"),
+            pushes_received: c("pushes_received", "objects pushed by peers"),
+            updates_filtered: c(
+                "updates_filtered",
+                "updates not re-propagated (3.1.2 filter)",
+            ),
+            heartbeats_ok: c("heartbeats_ok", "heartbeats a neighbor answered"),
+            heartbeats_failed: c("heartbeats_failed", "heartbeats a neighbor missed"),
+            peers_confirmed_dead: c("peers_confirmed_dead", "neighbors confirmed dead"),
+            stale_hints_gc: c("stale_hints_gc", "stale hints purged on confirmed death"),
+            plaxton_repair_entries: c(
+                "plaxton_repair_entries",
+                "Plaxton table entries rewritten by churn repair",
+            ),
+            degraded_to_origin: c(
+                "degraded_to_origin",
+                "probes that failed at transport and fell back to origin",
+            ),
+            resyncs_served: c("resyncs_served", "anti-entropy resyncs answered"),
+            service_errors: c("service_errors", "request service paths that failed"),
+            pool_quarantined_peers: r.gauge(
+                "pool_quarantined_peers",
+                Unit::Peers,
+                "peers currently under quarantine backoff",
+                Determinism::Measured,
+            ),
+            pool_live_connections: r.gauge(
+                "pool_live_connections",
+                Unit::Connections,
+                "warm pooled connections currently idle",
+                Determinism::Measured,
+            ),
+            pool_reconnect_attempts: r.gauge(
+                "pool_reconnect_attempts",
+                Unit::Count,
+                "outbound request retries performed by the pool",
+                Determinism::Measured,
+            ),
+            request_service_micros: r.histogram(
+                "request_service_micros",
+                Unit::Micros,
+                "miss-service latency through handle_get",
+                Determinism::Measured,
+                &SERVICE_LATENCY_BOUNDS_US,
+            ),
+            registry: r,
+        }
+    }
+
+    /// Refreshes the pool gauges from `pool` and snapshots the whole
+    /// registry, sorted by name. This is the one scrape path: the wire
+    /// `Stats` frame, `CacheNode::stats()`, and the chaos dump all read
+    /// this list.
+    pub(crate) fn snapshot_with_pool(&self, pool: &ConnectionPool) -> Vec<MetricEntry> {
+        self.pool_quarantined_peers
+            .set(pool.quarantined_peer_count() as u64);
+        self.pool_live_connections
+            .set(pool.total_idle_connections() as u64);
+        self.pool_reconnect_attempts.set(pool.stats().retries);
+        self.registry.snapshot()
+    }
+
+    /// The metric catalog (name, unit, help) for operator surfaces.
+    pub(crate) fn catalog(&self) -> Vec<MetricInfo> {
+        self.registry.catalog()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_node_stats_field_has_a_registered_metric() {
+        let m = NodeMetrics::register();
+        m.local_hits.add(1);
+        m.peer_hits.add(2);
+        m.origin_fetches.add(3);
+        m.false_positives.add(4);
+        m.updates_sent.add(5);
+        m.updates_received.add(6);
+        m.pushes_received.add(7);
+        m.updates_filtered.add(8);
+        m.heartbeats_ok.add(9);
+        m.heartbeats_failed.add(10);
+        m.peers_confirmed_dead.add(11);
+        m.stale_hints_gc.add(12);
+        m.plaxton_repair_entries.add(13);
+        m.degraded_to_origin.add(14);
+        m.resyncs_served.add(15);
+        m.service_errors.add(16);
+        let snap = m.registry.snapshot();
+        let stats = NodeStats::from_snapshot(&snap);
+        assert_eq!(
+            stats,
+            NodeStats {
+                local_hits: 1,
+                peer_hits: 2,
+                origin_fetches: 3,
+                false_positives: 4,
+                updates_sent: 5,
+                updates_received: 6,
+                pushes_received: 7,
+                updates_filtered: 8,
+                heartbeats_ok: 9,
+                heartbeats_failed: 10,
+                peers_confirmed_dead: 11,
+                stale_hints_gc: 12,
+                plaxton_repair_entries: 13,
+                degraded_to_origin: 14,
+                resyncs_served: 15,
+                service_errors: 16,
+            }
+        );
+    }
+
+    #[test]
+    fn from_snapshot_ignores_non_stats_entries() {
+        let entries = vec![
+            MetricEntry {
+                name: "local_hits".into(),
+                value: 5,
+            },
+            MetricEntry {
+                name: "pool_quarantined_peers".into(),
+                value: 2,
+            },
+            MetricEntry {
+                name: "request_service_micros.count".into(),
+                value: 9,
+            },
+        ];
+        let stats = NodeStats::from_snapshot(&entries);
+        assert_eq!(stats.local_hits, 5);
+        assert_eq!(
+            stats,
+            NodeStats {
+                local_hits: 5,
+                ..NodeStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn catalog_covers_every_counter_and_gauge() {
+        let m = NodeMetrics::register();
+        let names: Vec<String> = m.catalog().into_iter().map(|i| i.name).collect();
+        for required in [
+            "local_hits",
+            "service_errors",
+            "pool_quarantined_peers",
+            "pool_live_connections",
+            "pool_reconnect_attempts",
+            "request_service_micros",
+        ] {
+            assert!(names.iter().any(|n| n == required), "missing {required}");
+        }
+    }
+}

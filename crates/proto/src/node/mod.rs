@@ -23,6 +23,9 @@
 //!   unavailable.
 
 mod engine;
+mod metrics;
+
+pub use metrics::{NodeStats, NODE_TRACE_CAPACITY};
 
 use crate::liveness::{LivenessConfig, LivenessTracker, PeerHealth, Transition};
 use crate::pool::{ConnectionPool, PoolConfig, RequestOptions};
@@ -31,14 +34,16 @@ use crate::wire::{
     Status,
 };
 use bh_cache::{HintCache, LruCache};
+use bh_obs::{span, MetricEntry, MetricInfo, TraceEvent, TraceRing};
 use bh_plaxton::{NodeSpec, PlaxtonTree};
 use bh_simcore::ByteSize;
 use bytes::Bytes;
+use metrics::NodeMetrics;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -207,90 +212,6 @@ impl NodeConfig {
     }
 }
 
-/// Counters exposed by a node.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NodeStats {
-    /// Requests served from the local cache.
-    pub local_hits: u64,
-    /// Requests served by a direct peer transfer.
-    pub peer_hits: u64,
-    /// Requests served by the origin.
-    pub origin_fetches: u64,
-    /// Peer probes that came back `NotFound` (false-positive hints).
-    pub false_positives: u64,
-    /// Hint updates sent (records, not batches).
-    pub updates_sent: u64,
-    /// Hint updates received and applied.
-    pub updates_received: u64,
-    /// Objects pushed to this node by peers.
-    pub pushes_received: u64,
-    /// Received updates that were *not* forwarded up/down because they did
-    /// not change this node's knowledge (the §3.1.2 filtering).
-    pub updates_filtered: u64,
-    /// Heartbeats a neighbor answered.
-    pub heartbeats_ok: u64,
-    /// Heartbeats a neighbor failed to answer.
-    pub heartbeats_failed: u64,
-    /// Neighbors confirmed dead by the failure detector.
-    pub peers_confirmed_dead: u64,
-    /// Stale hint records purged when a peer was confirmed dead.
-    pub stale_hints_gc: u64,
-    /// Plaxton routing-table entries rewritten by churn repair.
-    pub plaxton_repair_entries: u64,
-    /// Peer probes that failed at the transport layer (dead peer or
-    /// partition) and fell back to the origin.
-    pub degraded_to_origin: u64,
-    /// Anti-entropy resync requests answered for restarting peers.
-    pub resyncs_served: u64,
-    /// Requests whose service path failed without a panic: a reply that
-    /// could not be delivered, a job the worker pool could not accept,
-    /// or a legacy connection thread that could not be spawned.
-    pub service_errors: u64,
-}
-
-#[derive(Debug, Default)]
-struct AtomicStats {
-    local_hits: AtomicU64,
-    peer_hits: AtomicU64,
-    origin_fetches: AtomicU64,
-    false_positives: AtomicU64,
-    updates_sent: AtomicU64,
-    updates_received: AtomicU64,
-    pushes_received: AtomicU64,
-    updates_filtered: AtomicU64,
-    heartbeats_ok: AtomicU64,
-    heartbeats_failed: AtomicU64,
-    peers_confirmed_dead: AtomicU64,
-    stale_hints_gc: AtomicU64,
-    plaxton_repair_entries: AtomicU64,
-    degraded_to_origin: AtomicU64,
-    resyncs_served: AtomicU64,
-    service_errors: AtomicU64,
-}
-
-impl AtomicStats {
-    fn snapshot(&self) -> NodeStats {
-        NodeStats {
-            local_hits: self.local_hits.load(Ordering::Relaxed),
-            peer_hits: self.peer_hits.load(Ordering::Relaxed),
-            origin_fetches: self.origin_fetches.load(Ordering::Relaxed),
-            false_positives: self.false_positives.load(Ordering::Relaxed),
-            updates_sent: self.updates_sent.load(Ordering::Relaxed),
-            updates_received: self.updates_received.load(Ordering::Relaxed),
-            pushes_received: self.pushes_received.load(Ordering::Relaxed),
-            updates_filtered: self.updates_filtered.load(Ordering::Relaxed),
-            heartbeats_ok: self.heartbeats_ok.load(Ordering::Relaxed),
-            heartbeats_failed: self.heartbeats_failed.load(Ordering::Relaxed),
-            peers_confirmed_dead: self.peers_confirmed_dead.load(Ordering::Relaxed),
-            stale_hints_gc: self.stale_hints_gc.load(Ordering::Relaxed),
-            plaxton_repair_entries: self.plaxton_repair_entries.load(Ordering::Relaxed),
-            degraded_to_origin: self.degraded_to_origin.load(Ordering::Relaxed),
-            resyncs_served: self.resyncs_served.load(Ordering::Relaxed),
-            service_errors: self.service_errors.load(Ordering::Relaxed),
-        }
-    }
-}
-
 #[derive(Debug)]
 struct Store {
     /// Metadata LRU (sizes/versions) driving eviction.
@@ -321,7 +242,11 @@ struct Inner {
     store: Mutex<Store>,
     pending: Mutex<Vec<HintUpdate>>,
     neighbors: Mutex<Vec<SocketAddr>>,
-    stats: AtomicStats,
+    metrics: NodeMetrics,
+    /// Structured request/propagation trace ring; timestamps are micros
+    /// since `started` (the ring itself never reads a clock).
+    trace: Mutex<TraceRing>,
+    started: Instant,
     shutdown: AtomicBool,
     /// Warm outbound connections (sharded mode; heartbeat-only in legacy
     /// mode, whose request path dials fresh connections).
@@ -382,7 +307,9 @@ impl CacheNode {
             }),
             pending: Mutex::new(Vec::new()),
             neighbors: Mutex::new(config.neighbors.clone()),
-            stats: AtomicStats::default(),
+            metrics: NodeMetrics::register(),
+            trace: Mutex::new(TraceRing::new(NODE_TRACE_CAPACITY)),
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
             pool,
             liveness: Mutex::new(LivenessTracker::new(LivenessConfig {
@@ -444,9 +371,28 @@ impl CacheNode {
         self.inner.machine
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot as the typed view ([`NodeStats`]), derived from
+    /// the registry — the same flat list [`CacheNode::metrics_snapshot`]
+    /// returns and the wire `Stats` frame answers.
     pub fn stats(&self) -> NodeStats {
-        self.inner.stats.snapshot()
+        NodeStats::from_snapshot(&self.metrics_snapshot())
+    }
+
+    /// Every registered metric as a sorted `(name, value)` list,
+    /// including the pool gauges (refreshed now) and the latency
+    /// histogram buckets.
+    pub fn metrics_snapshot(&self) -> Vec<MetricEntry> {
+        self.inner.metrics.snapshot_with_pool(&self.inner.pool)
+    }
+
+    /// The metric catalog (name, unit, help, determinism class).
+    pub fn metrics_catalog(&self) -> Vec<MetricInfo> {
+        self.inner.metrics.catalog()
+    }
+
+    /// Retained trace records, oldest first.
+    pub fn trace_snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.trace.lock().snapshot()
     }
 
     /// Number of objects currently cached.
@@ -619,6 +565,19 @@ impl Drop for CacheNode {
     }
 }
 
+/// Records one span into the node's trace ring. The timestamp is micros
+/// since node start, computed here and passed in — the ring itself is
+/// clock-free.
+fn trace_event(inner: &Inner, kind: u16, a: u64, b: u64) {
+    let ts = inner.started.elapsed().as_micros() as u64;
+    inner.trace.lock().record(TraceEvent {
+        ts_micros: ts,
+        kind,
+        a,
+        b,
+    });
+}
+
 fn queue_update(inner: &Inner, action: HintAction, key: u64) {
     inner.pending.lock().push(HintUpdate {
         action,
@@ -666,7 +625,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
         if spawned.is_err() {
             // Thread exhaustion: drop the connection and account it
             // rather than bringing the whole accept loop down.
-            inner.stats.service_errors.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.service_errors.inc();
         }
     }
 }
@@ -711,6 +670,7 @@ fn flush_once(inner: &Inner) {
             // pooled connection. A dead target fails at most one fast
             // probe and is quarantined; the flush never wedges on it.
             let batch = coalesce(batch);
+            let targets_n = targets.len() as u64;
             let msg = Message::HintBatch(batch.clone());
             for neighbor in targets {
                 if let Ok(Message::Ack) =
@@ -718,14 +678,13 @@ fn flush_once(inner: &Inner) {
                         .pool
                         .request(neighbor, RequestOptions::peer_probe(), &msg)
                 {
-                    inner
-                        .stats
-                        .updates_sent
-                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    inner.metrics.updates_sent.add(batch.len() as u64);
                 }
             }
+            trace_event(inner, span::FLUSH_BATCH, batch.len() as u64, targets_n);
         }
         ThreadingMode::Legacy => {
+            let targets_n = targets.len() as u64;
             let msg = Message::UpdateBatch(batch.clone());
             for neighbor in targets {
                 if let Ok(mut s) = TcpStream::connect_timeout(&neighbor, inner.config.io_timeout) {
@@ -733,13 +692,11 @@ fn flush_once(inner: &Inner) {
                     let _ = s.set_read_timeout(Some(inner.config.io_timeout));
                     if write_message(&mut s, &msg).is_ok() {
                         let _ = read_message(&mut s); // Ack
-                        inner
-                            .stats
-                            .updates_sent
-                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        inner.metrics.updates_sent.add(batch.len() as u64);
                     }
                 }
             }
+            trace_event(inner, span::FLUSH_BATCH, batch.len() as u64, targets_n);
         }
     }
 }
@@ -793,17 +750,14 @@ fn heartbeat_round(inner: &Inner) {
         };
         match inner.pool.request(addr, opts, &Message::Ping) {
             Ok(Message::Ack) => {
-                inner.stats.heartbeats_ok.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.heartbeats_ok.inc();
                 inner.pool.forgive(addr);
                 if inner.liveness.lock().record_ok(addr) == Transition::Revived {
                     on_peer_revived(inner, addr);
                 }
             }
             Ok(_) | Err(_) => {
-                inner
-                    .stats
-                    .heartbeats_failed
-                    .fetch_add(1, Ordering::Relaxed);
+                inner.metrics.heartbeats_failed.inc();
                 let transition = inner.liveness.lock().record_failure(addr, Instant::now());
                 if transition == Transition::Died {
                     on_peer_died(inner, addr);
@@ -818,24 +772,15 @@ fn heartbeat_round(inner: &Inner) {
 /// object, and zero once the detector has confirmed it — then repair the
 /// live Plaxton tree.
 fn on_peer_died(inner: &Inner, addr: SocketAddr) {
-    inner
-        .stats
-        .peers_confirmed_dead
-        .fetch_add(1, Ordering::Relaxed);
+    inner.metrics.peers_confirmed_dead.inc();
     if let Some(machine) = MachineId::from_addr(addr) {
         let purged = inner.store.lock().hints.purge_location(machine.0);
-        inner
-            .stats
-            .stale_hints_gc
-            .fetch_add(purged as u64, Ordering::Relaxed);
+        inner.metrics.stale_hints_gc.add(purged as u64);
     }
     if let Some(mesh) = inner.mesh.lock().as_mut() {
         if let Some(&idx) = mesh.index.get(&addr) {
             if let Ok(changed) = mesh.tree.remove_node(idx) {
-                inner
-                    .stats
-                    .plaxton_repair_entries
-                    .fetch_add(changed as u64, Ordering::Relaxed);
+                inner.metrics.plaxton_repair_entries.add(changed as u64);
             }
         }
     }
@@ -855,10 +800,7 @@ fn on_peer_revived(inner: &Inner, addr: SocketAddr) {
         let spec = NodeSpec::from_address(&addr.to_string(), pos);
         if let Ok((new_idx, changed)) = mesh.tree.add_node(spec) {
             mesh.index.insert(addr, new_idx);
-            inner
-                .stats
-                .plaxton_repair_entries
-                .fetch_add(changed as u64, Ordering::Relaxed);
+            inner.metrics.plaxton_repair_entries.add(changed as u64);
         }
     }
 }
@@ -915,7 +857,9 @@ fn local_hit(inner: &Inner, url: &str) -> Option<Message> {
     if store.meta.get(key, 0).is_some() {
         if let Some(body) = store.bodies.get(&key).cloned() {
             let version = store.meta.peek(key).map(|(_, v)| v).unwrap_or(0);
-            inner.stats.local_hits.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.local_hits.inc();
+            drop(store);
+            trace_event(inner, span::LOCAL_HIT, key, 0);
             return Some(Message::GetReply {
                 status: Status::Ok,
                 version,
@@ -927,18 +871,46 @@ fn local_hit(inner: &Inner, url: &str) -> Option<Message> {
     None
 }
 
+/// Stable served-by code for trace records: 0 local, 1 peer, 2 origin.
+fn served_by_code(reply: &Message) -> u64 {
+    match reply {
+        Message::GetReply { served_by, .. } => match served_by {
+            ServedBy::Local => 0,
+            ServedBy::Peer(_) => 1,
+            ServedBy::Origin => 2,
+        },
+        _ => 2,
+    }
+}
+
+/// The full miss-service path, wrapped in the request-service span
+/// (recv → hint-lookup → probe/origin-fetch → reply) and timed into the
+/// `request_service_micros` histogram.
 fn handle_get(inner: &Inner, url: &str) -> Message {
+    let t0 = Instant::now();
+    let key = bh_md5::url_key(url);
+    trace_event(inner, span::RECV, key, 0);
+    let reply = service_get(inner, url, key);
+    trace_event(inner, span::REPLY, key, served_by_code(&reply));
+    inner
+        .metrics
+        .request_service_micros
+        .observe(t0.elapsed().as_micros() as u64);
+    reply
+}
+
+fn service_get(inner: &Inner, url: &str, key: u64) -> Message {
     // 1. Local cache.
     if let Some(reply) = local_hit(inner, url) {
         return reply;
     }
-    let key = bh_md5::url_key(url);
 
     // 2. Local hint store → direct peer fetch.
     let hint = {
         let mut store = inner.store.lock();
         store.hints.lookup(key).map(MachineId)
     };
+    trace_event(inner, span::HINT_LOOKUP, key, u64::from(hint.is_some()));
     if let Some(peer) = hint {
         if peer != inner.machine {
             match fetch_from(
@@ -950,7 +922,8 @@ fn handle_get(inner: &Inner, url: &str) -> Message {
                 },
             ) {
                 Ok((Status::Ok, version, body)) => {
-                    inner.stats.peer_hits.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.peer_hits.inc();
+                    trace_event(inner, span::PEER_PROBE, key, 0);
                     store_body(inner, key, version, body.clone());
                     return Message::GetReply {
                         status: Status::Ok,
@@ -962,7 +935,8 @@ fn handle_get(inner: &Inner, url: &str) -> Message {
                 Ok((Status::NotFound, ..)) | Ok((Status::Error, ..)) => {
                     // False positive: drop the hint, go to the origin. No
                     // second hint lookup (§3.1.1).
-                    inner.stats.false_positives.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.false_positives.inc();
+                    trace_event(inner, span::PEER_PROBE, key, 1);
                     inner.store.lock().hints.remove(key);
                 }
                 Err(_) => {
@@ -970,11 +944,9 @@ fn handle_get(inner: &Inner, url: &str) -> Message {
                     // accounting, plus the degradation counter the chaos
                     // harness watches — the request still completes via
                     // the origin.
-                    inner.stats.false_positives.fetch_add(1, Ordering::Relaxed);
-                    inner
-                        .stats
-                        .degraded_to_origin
-                        .fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.false_positives.inc();
+                    inner.metrics.degraded_to_origin.inc();
+                    trace_event(inner, span::PEER_PROBE, key, 2);
                     inner.store.lock().hints.remove(key);
                 }
             }
@@ -991,7 +963,8 @@ fn handle_get(inner: &Inner, url: &str) -> Message {
         },
     ) {
         Ok((Status::Ok, version, body)) => {
-            inner.stats.origin_fetches.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.origin_fetches.inc();
+            trace_event(inner, span::ORIGIN_FETCH, key, 0);
             store_body(inner, key, version, body.clone());
             Message::GetReply {
                 status: Status::Ok,
@@ -1000,12 +973,15 @@ fn handle_get(inner: &Inner, url: &str) -> Message {
                 body,
             }
         }
-        _ => Message::GetReply {
-            status: Status::Error,
-            version: 0,
-            served_by: ServedBy::Origin,
-            body: Bytes::new(),
-        },
+        _ => {
+            trace_event(inner, span::ORIGIN_FETCH, key, 1);
+            Message::GetReply {
+                status: Status::Error,
+                version: 0,
+                served_by: ServedBy::Origin,
+                body: Bytes::new(),
+            }
+        }
     }
 }
 
@@ -1031,7 +1007,7 @@ fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
                     if first {
                         propagate.push(*u);
                     } else {
-                        inner.stats.updates_filtered.fetch_add(1, Ordering::Relaxed);
+                        inner.metrics.updates_filtered.inc();
                     }
                 }
                 HintAction::Remove => {
@@ -1041,16 +1017,13 @@ fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
                         store.hints.remove(u.object);
                         propagate.push(*u);
                     } else {
-                        inner.stats.updates_filtered.fetch_add(1, Ordering::Relaxed);
+                        inner.metrics.updates_filtered.inc();
                     }
                 }
             }
         }
     }
-    inner
-        .stats
-        .updates_received
-        .fetch_add(updates.len() as u64, Ordering::Relaxed);
+    inner.metrics.updates_received.add(updates.len() as u64);
     if hierarchical && !propagate.is_empty() {
         // Knowledge changed: climb/descend the metadata tree.
         // Loop-safe because re-applying the same update is a
@@ -1100,7 +1073,7 @@ fn local_response(inner: &Inner, msg: Message) -> Message {
         }
         Message::Push { url, version, body } => {
             let key = bh_md5::url_key(&url);
-            inner.stats.pushes_received.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.pushes_received.inc();
             store_body(inner, key, version, body);
             // Aging (§4.1.2): pushed copies start at the cold end.
             inner.store.lock().meta.demote(key);
@@ -1128,9 +1101,15 @@ fn local_response(inner: &Inner, msg: Message) -> Message {
                     machine: inner.machine,
                 })
                 .collect();
-            inner.stats.resyncs_served.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.resyncs_served.inc();
             Message::HintBatch(updates)
         }
+        Message::StatsRequest => {
+            // Operator scrape: the full registry snapshot, pool gauges
+            // refreshed now.
+            Message::StatsReply(inner.metrics.snapshot_with_pool(&inner.pool))
+        }
+        Message::TraceRequest => Message::TraceReply(inner.trace.lock().snapshot()),
         _ => Message::GetReply {
             status: Status::Error,
             version: 0,

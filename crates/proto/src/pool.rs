@@ -274,6 +274,24 @@ impl ConnectionPool {
         self.peers.lock().get(&addr).map_or(0, |p| p.idle.len())
     }
 
+    /// Peers currently inside their quarantine window. Feeds the
+    /// `pool_quarantined_peers` gauge — quarantine expiry is passive, so
+    /// this is computed at scrape time instead of maintained incrementally.
+    pub fn quarantined_peer_count(&self) -> usize {
+        let now = Instant::now();
+        let peers = self.peers.lock();
+        peers
+            .values()
+            .filter(|p| p.quarantined_until.is_some_and(|until| now < until))
+            .count()
+    }
+
+    /// Total idle (warm) connections parked across all peers. Feeds the
+    /// `pool_live_connections` gauge.
+    pub fn total_idle_connections(&self) -> usize {
+        self.peers.lock().values().map(|p| p.idle.len()).sum()
+    }
+
     /// Closes all idle connections and forgets quarantine state.
     pub fn clear(&self) {
         self.peers.lock().clear();

@@ -9,6 +9,8 @@
 //! of the MD5 signature of the object's URL), and an 8-byte machine
 //! identifier (an IP address and port number)."
 
+pub use bh_obs::{MetricEntry, TraceEvent};
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{self, Read, Write};
 
@@ -205,6 +207,19 @@ pub enum Message {
     /// of `Add` records for every object in its *own* cache, letting the
     /// asker rebuild the hint table it lost in the crash (§3.2 recovery).
     Resync,
+    /// Operator scrape: ask a node for its full metrics-registry snapshot.
+    /// Reply is [`Message::StatsReply`].
+    StatsRequest,
+    /// Reply to [`Message::StatsRequest`]: every registered metric as a
+    /// name-sorted `(name, value)` list — counters, refreshed pool gauges,
+    /// and expanded histogram buckets alike.
+    StatsReply(Vec<MetricEntry>),
+    /// Operator scrape: ask a node for its retained trace ring. Reply is
+    /// [`Message::TraceReply`].
+    TraceRequest,
+    /// Reply to [`Message::TraceRequest`]: retained trace records, oldest
+    /// first. Fixed 26-byte encode per record.
+    TraceReply(Vec<TraceEvent>),
 }
 
 const T_GET: u8 = 1;
@@ -219,6 +234,17 @@ const T_ACK: u8 = 9;
 const T_HINT_BATCH: u8 = 10;
 const T_PING: u8 = 11;
 const T_RESYNC: u8 = 12;
+const T_STATS_REQUEST: u8 = 13;
+const T_STATS_REPLY: u8 = 14;
+const T_TRACE_REQUEST: u8 = 15;
+const T_TRACE_REPLY: u8 = 16;
+
+/// Bytes of one encoded [`TraceEvent`]: `u64 ts | u16 kind | u64 a | u64 b`.
+const TRACE_EVENT_BYTES: usize = 26;
+
+/// Minimum bytes of one encoded [`MetricEntry`]: `u32 len | name | u64 value`
+/// with an empty name.
+const METRIC_ENTRY_MIN_BYTES: usize = 12;
 
 /// Current version byte written at the head of a [`Message::HintBatch`]
 /// payload. Decoders accept exactly this version and reject anything newer
@@ -350,6 +376,26 @@ impl Message {
             Message::Ack => T_ACK,
             Message::Ping => T_PING,
             Message::Resync => T_RESYNC,
+            Message::StatsRequest => T_STATS_REQUEST,
+            Message::StatsReply(entries) => {
+                payload.put_u32_le(entries.len() as u32);
+                for e in entries {
+                    put_string(&mut payload, &e.name);
+                    payload.put_u64_le(e.value);
+                }
+                T_STATS_REPLY
+            }
+            Message::TraceRequest => T_TRACE_REQUEST,
+            Message::TraceReply(events) => {
+                payload.put_u32_le(events.len() as u32);
+                for ev in events {
+                    payload.put_u64_le(ev.ts_micros);
+                    payload.put_u16_le(ev.kind);
+                    payload.put_u64_le(ev.a);
+                    payload.put_u64_le(ev.b);
+                }
+                T_TRACE_REPLY
+            }
         };
         let mut frame = BytesMut::with_capacity(payload.len() + 5);
         frame.put_u32_le(payload.len() as u32);
@@ -520,6 +566,69 @@ impl Message {
             T_ACK => Message::Ack,
             T_PING => Message::Ping,
             T_RESYNC => Message::Resync,
+            T_STATS_REQUEST => Message::StatsRequest,
+            T_STATS_REPLY => {
+                if buf.remaining() < 4 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "short stats reply",
+                    ));
+                }
+                let n = buf.get_u32_le() as usize;
+                if n > (MAX_FRAME as usize) / METRIC_ENTRY_MIN_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "oversized stats reply",
+                    ));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = get_string(buf)?;
+                    if buf.remaining() < 8 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "short metric value",
+                        ));
+                    }
+                    entries.push(MetricEntry {
+                        name,
+                        value: buf.get_u64_le(),
+                    });
+                }
+                Message::StatsReply(entries)
+            }
+            T_TRACE_REQUEST => Message::TraceRequest,
+            T_TRACE_REPLY => {
+                if buf.remaining() < 4 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "short trace reply",
+                    ));
+                }
+                let n = buf.get_u32_le() as usize;
+                if n > (MAX_FRAME as usize) / TRACE_EVENT_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "oversized trace reply",
+                    ));
+                }
+                if buf.remaining() < n * TRACE_EVENT_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "short trace records",
+                    ));
+                }
+                let mut events = Vec::with_capacity(n);
+                for _ in 0..n {
+                    events.push(TraceEvent {
+                        ts_micros: buf.get_u64_le(),
+                        kind: buf.get_u16_le(),
+                        a: buf.get_u64_le(),
+                        b: buf.get_u64_le(),
+                    });
+                }
+                Message::TraceReply(events)
+            }
             other => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,

@@ -4,7 +4,7 @@
 
 use bh_proto::wire::{
     read_message, write_message, FrameAssembler, HintAction, HintUpdate, MachineId, Message,
-    ServedBy, Status, MAX_FRAME,
+    MetricEntry, ServedBy, Status, TraceEvent, MAX_FRAME,
 };
 use bytes::Bytes;
 use proptest::prelude::*;
@@ -65,6 +65,29 @@ fn arb_served_by() -> BoxedStrategy<ServedBy> {
     .boxed()
 }
 
+fn arb_metric_entry() -> BoxedStrategy<MetricEntry> {
+    (
+        proptest::collection::vec(any::<char>(), 0..16),
+        any::<u64>(),
+    )
+        .prop_map(|(chars, value)| MetricEntry {
+            name: chars.into_iter().collect(),
+            value,
+        })
+        .boxed()
+}
+
+fn arb_trace_event() -> BoxedStrategy<TraceEvent> {
+    (any::<u64>(), any::<u16>(), any::<u64>(), any::<u64>())
+        .prop_map(|(ts_micros, kind, a, b)| TraceEvent {
+            ts_micros,
+            kind,
+            a,
+            b,
+        })
+        .boxed()
+}
+
 /// Every frame type in the protocol, including `HintBatch`.
 fn arb_message() -> BoxedStrategy<Message> {
     prop_oneof![
@@ -100,6 +123,10 @@ fn arb_message() -> BoxedStrategy<Message> {
         Just(Message::Ack),
         Just(Message::Ping),
         Just(Message::Resync),
+        Just(Message::StatsRequest),
+        proptest::collection::vec(arb_metric_entry(), 0..32).prop_map(Message::StatsReply),
+        Just(Message::TraceRequest),
+        proptest::collection::vec(arb_trace_event(), 0..64).prop_map(Message::TraceReply),
     ]
     .boxed()
 }
@@ -197,7 +224,7 @@ proptest! {
 
     /// Unknown frame types are always rejected.
     #[test]
-    fn unknown_frame_types_error(ty in 13u8..=255, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn unknown_frame_types_error(ty in 17u8..=255, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
         prop_assert!(Message::decode(ty, Bytes::from(payload)).is_err());
     }
 }

@@ -25,6 +25,19 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
+    peak_depth: usize,
+}
+
+/// Lifetime profile of an [`EventQueue`], for observability surfaces.
+///
+/// Both figures are pure functions of the schedule/pop sequence, so they
+/// are safe to include in deterministic artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Maximum number of events pending at once.
+    pub peak_depth: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -69,6 +82,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            peak_depth: 0,
         }
     }
 
@@ -80,6 +94,7 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.peak_depth = self.peak_depth.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, advancing the clock to its
@@ -122,9 +137,19 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Drops all pending events.
+    /// Drops all pending events. The lifetime [`QueueStats`] are kept.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    /// Lifetime scheduling profile: total events scheduled and the peak
+    /// pending depth. `seq` doubles as the scheduled-total, so this costs
+    /// nothing on the hot path beyond one `max` per schedule.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            scheduled: self.seq,
+            peak_depth: self.peak_depth,
+        }
     }
 }
 
@@ -187,6 +212,36 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stats_track_scheduled_total_and_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.stats(), QueueStats::default());
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.schedule(SimTime::from_secs(3), "c");
+        q.pop();
+        q.pop();
+        // Depth peaked at 3 even though only 1 is pending now.
+        assert_eq!(
+            q.stats(),
+            QueueStats {
+                scheduled: 3,
+                peak_depth: 3
+            }
+        );
+        q.schedule(SimTime::from_secs(4), "d");
+        // Re-scheduling after a drain does not disturb the peak.
+        assert_eq!(
+            q.stats(),
+            QueueStats {
+                scheduled: 4,
+                peak_depth: 3
+            }
+        );
+        q.clear();
+        assert_eq!(q.stats().scheduled, 4);
     }
 
     mod props {

@@ -42,6 +42,6 @@ pub mod time;
 pub mod timeseries;
 pub mod units;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueStats};
 pub use time::{SimDuration, SimTime};
 pub use units::ByteSize;

@@ -9,9 +9,13 @@
 //! * replaying a [`MaterializedTrace`] arena yields exactly the record
 //!   stream a fresh [`TraceGenerator`] produces, for all three workloads;
 //! * two chaos runs of the same seeded plan produce byte-identical
-//!   `loadgen_chaos.json` and `loadgen_chaos_events.log` artifacts, even
-//!   though they drive two distinct live meshes (the measured numbers go
-//!   to `loadgen_chaos_metrics.json`, which makes no such promise).
+//!   `loadgen_chaos.json`, `loadgen_chaos_events.log`, and
+//!   `obs_dump.json` artifacts, even though they drive two distinct live
+//!   meshes (the measured numbers go to `loadgen_chaos_metrics.json`,
+//!   which makes no such promise);
+//! * the suite's `obs_dump.json` — the `Determinism::Deterministic`
+//!   slice of the obs registry — is byte-identical at `--jobs 1` and
+//!   `--jobs 8`.
 
 use bh_bench::suite::Experiment;
 use bh_bench::Args;
@@ -70,8 +74,8 @@ fn fig8_artifact_is_identical_at_jobs_1_and_8() {
 }
 
 /// Runs the chaos harness once into a scratch dir and returns the bytes
-/// of the deterministic artifact and the event log.
-fn chaos_artifacts(tag: &str) -> (Vec<u8>, Vec<u8>) {
+/// of the deterministic artifact, the event log, and the obs dump.
+fn chaos_artifacts(tag: &str) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
     use bh_bench::chaos::{run_chaos, ChaosOptions};
     use bh_proto::chaos::{FaultKind, FaultPlan, FaultWindow};
 
@@ -102,16 +106,18 @@ fn chaos_artifacts(tag: &str) -> (Vec<u8>, Vec<u8>) {
     assert!(run_chaos(&args, &opts, plan), "chaos run must recover");
     let json = std::fs::read(out.join("loadgen_chaos.json")).expect("read chaos artifact");
     let log = std::fs::read(out.join("loadgen_chaos_events.log")).expect("read event log");
-    (json, log)
+    let obs = std::fs::read(out.join("obs_dump.json")).expect("read obs dump");
+    (json, log, obs)
 }
 
-/// The statically-guarded byte-identity contract: `loadgen_chaos.json`
-/// and the event log are pure functions of the plan and seed, so two
+/// The statically-guarded byte-identity contract: `loadgen_chaos.json`,
+/// the event log, and `obs_dump.json` (the deterministic slice of the
+/// chaos obs registry) are pure functions of the plan and seed, so two
 /// independent live-mesh runs must produce them byte for byte.
 #[test]
 fn chaos_plan_artifacts_are_byte_identical_across_runs() {
-    let (json_a, log_a) = chaos_artifacts("chaos-a");
-    let (json_b, log_b) = chaos_artifacts("chaos-b");
+    let (json_a, log_a, obs_a) = chaos_artifacts("chaos-a");
+    let (json_b, log_b, obs_b) = chaos_artifacts("chaos-b");
     assert!(!json_a.is_empty(), "empty chaos artifact");
     assert_eq!(
         json_a, json_b,
@@ -120,6 +126,46 @@ fn chaos_plan_artifacts_are_byte_identical_across_runs() {
     assert_eq!(
         log_a, log_b,
         "loadgen_chaos_events.log differs between two runs of the same plan"
+    );
+    assert!(!obs_a.is_empty(), "empty obs dump");
+    assert_eq!(
+        obs_a, obs_b,
+        "obs_dump.json differs between two runs of the same plan"
+    );
+}
+
+/// Runs a one-experiment suite at tiny scale and returns the bytes of
+/// the `obs_dump.json` it writes (the `Determinism::Deterministic` slice
+/// of the suite registry — job counts, not timings).
+fn suite_obs_dump_bytes(jobs: usize, tag: &str) -> Vec<u8> {
+    use bh_bench::report::write_obs_dump;
+    use bh_bench::suite::{obs_registry, run_suite};
+
+    let out = scratch(tag);
+    let args = Args {
+        scale: 0.002,
+        seed: 42,
+        trace: "all".to_string(),
+        out: out.clone(),
+        jobs,
+    };
+    let experiments: Vec<Box<dyn Experiment>> = vec![Box::new(bh_bench::runners::fig2::Fig2)];
+    let timings = run_suite(&experiments, std::slice::from_ref(&args), jobs);
+    write_obs_dump(&args, &obs_registry(&timings));
+    std::fs::read(out.join("obs_dump.json")).expect("read obs dump")
+}
+
+/// `write_obs_dump` keeps only `Determinism::Deterministic` metrics, so
+/// the suite's obs dump must be byte-identical at `--jobs 1` and `--jobs
+/// 8` even though the measured phase timings in the registry differ.
+#[test]
+fn suite_obs_dump_is_identical_at_jobs_1_and_8() {
+    let serial = suite_obs_dump_bytes(1, "obs-j1");
+    let parallel = suite_obs_dump_bytes(8, "obs-j8");
+    assert!(!serial.is_empty(), "empty suite obs dump");
+    assert_eq!(
+        serial, parallel,
+        "obs_dump.json differs between --jobs 1 and --jobs 8"
     );
 }
 

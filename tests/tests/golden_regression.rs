@@ -172,6 +172,15 @@ struct Table3Artifact {
     rows: Vec<Table3ArtifactRow>,
 }
 
+/// The versioned Report envelope every artifact ships in (see
+/// `bh_bench::report`); the payload is the pre-envelope artifact body.
+#[derive(serde::Deserialize)]
+struct Table3Envelope {
+    schema_version: u64,
+    artifact: String,
+    payload: Vec<Table3Artifact>,
+}
+
 /// Table 3 through the suite engine end-to-end: plan → 8-worker sweep →
 /// finish → JSON artifact, then assert the artifact carries the paper's
 /// 24 totals digit for digit.
@@ -194,7 +203,10 @@ fn table3_artifact_from_suite_engine_matches_paper() {
     exp.finish(&args, results);
 
     let json = std::fs::read_to_string(out.join("table3.json")).expect("table3 artifact");
-    let tables: Vec<Table3Artifact> = serde_json::from_str(&json).expect("parse table3 artifact");
+    let envelope: Table3Envelope = serde_json::from_str(&json).expect("parse table3 artifact");
+    assert_eq!(envelope.schema_version, bh_bench::report::SCHEMA_VERSION);
+    assert_eq!(envelope.artifact, "table3");
+    let tables = envelope.payload;
     assert_eq!(tables.len(), 2);
     for (table, want) in tables.iter().zip([TABLE3_MIN, TABLE3_MAX]) {
         assert_eq!(table.rows.len(), 4, "{}", table.variant);
