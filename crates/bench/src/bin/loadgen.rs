@@ -31,9 +31,18 @@
 //! across runs of the same seed); measured metrics land in
 //! `loadgen_chaos_metrics.json`. The process exits nonzero if the mesh
 //! fails to recover after any window.
+//!
+//! `--scenario` runs a named or file-loaded [`bh_bench::scenario`]
+//! bundle — a scenario workload (flash crowd or diurnal churn), a mesh
+//! topology (including the two-level hint hierarchy), and a fault plan
+//! that may target hierarchy roles (`CrashParent`). Artifacts follow
+//! the chaos naming with a `scenario_<name>` stem, and the process
+//! exits nonzero unless every window recovered, every orphaned child
+//! re-homed, and live Plaxton repair matched the analytic churn count.
 
 use bh_bench::chaos::{run_chaos, ChaosOptions};
 use bh_bench::report::{metric_values, MetricValue};
+use bh_bench::scenario::{run_scenario, Scenario};
 use bh_bench::Args;
 use bh_proto::chaos::FaultPlan;
 use bh_proto::client::Connection;
@@ -56,6 +65,7 @@ struct LoadgenArgs {
     p_new: f64,
     seed: u64,
     chaos: Option<String>,
+    scenario: Option<String>,
     obs: bool,
     out: PathBuf,
 }
@@ -72,6 +82,7 @@ impl LoadgenArgs {
             p_new: 0.35,
             seed: 42,
             chaos: None,
+            scenario: None,
             obs: false,
             out: PathBuf::from("target/experiments"),
         };
@@ -115,12 +126,14 @@ impl LoadgenArgs {
                 }
                 "--seed" => args.seed = value("number").parse().expect("--seed takes an integer"),
                 "--chaos" => args.chaos = Some(value("plan")),
+                "--scenario" => args.scenario = Some(value("scenario")),
                 "--obs" => args.obs = true,
                 "--out" => args.out = PathBuf::from(value("path")),
                 "--help" | "-h" => {
                     println!(
                         "usage: loadgen [--nodes n] [--clients m] [--requests r] \
                          [--mode sharded|legacy|both] [--chaos smoke|<plan.json>] \
+                         [--scenario flash-crowd|diurnal-churn|<scenario.json>] \
                          [--shards s] [--workers w] [--obs] \
                          [--p-new f] [--seed n] [--out dir]"
                     );
@@ -326,6 +339,22 @@ fn main() {
         &harness,
     );
 
+    if let Some(scenario_arg) = args.scenario.clone() {
+        assert!(
+            args.chaos.is_none(),
+            "--scenario and --chaos are mutually exclusive"
+        );
+        let scenario = match Scenario::named(&scenario_arg, args.seed) {
+            Some(s) => s,
+            None => Scenario::load(std::path::Path::new(&scenario_arg))
+                .unwrap_or_else(|e| panic!("{e}")),
+        };
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        let ok = run_scenario(&harness, &scenario);
+        std::process::exit(if ok { 0 } else { 1 });
+    }
     if let Some(plan_arg) = args.chaos.clone() {
         let plan = if plan_arg == "smoke" {
             FaultPlan::smoke(args.seed)

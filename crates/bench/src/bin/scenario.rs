@@ -1,0 +1,9 @@
+//! Scenario experiment: hint-propagation lag vs the flash-crowd ramp.
+//!
+//! Thin wrapper: the experiment lives in `bh_bench::runners` so that
+//! `all` can run it in-process on the shared job queue. (The *live*
+//! scenario harness — chaos over a real mesh — is `loadgen --scenario`.)
+
+fn main() {
+    bh_bench::suite::run_standalone(&bh_bench::runners::scenario::ScenarioLag);
+}

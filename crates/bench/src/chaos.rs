@@ -155,7 +155,7 @@ pub struct ChaosMetrics {
 /// count (the deterministic issued-request number). While `crashed`
 /// names a down node, its client groups are rerouted to a live
 /// survivor — the clients reconnect, they don't stall.
-fn replay_segment(
+pub(crate) fn replay_segment(
     mesh: &ChaosMesh,
     opts: &ChaosOptions,
     spec: &WorkloadSpec,
@@ -185,7 +185,7 @@ fn replay_segment(
 /// Sums the `(false_positives, degraded_to_origin)` deltas across nodes
 /// between two stats snapshots. A node that crashed mid-interval
 /// contributes nothing; a node that restarted counts from zero.
-fn probe_deltas(prev: &[Option<NodeStats>], cur: &[Option<NodeStats>]) -> (u64, u64) {
+pub(crate) fn probe_deltas(prev: &[Option<NodeStats>], cur: &[Option<NodeStats>]) -> (u64, u64) {
     let mut fp = 0u64;
     let mut degraded = 0u64;
     for (p, c) in prev.iter().zip(cur.iter()) {
@@ -200,7 +200,7 @@ fn probe_deltas(prev: &[Option<NodeStats>], cur: &[Option<NodeStats>]) -> (u64, 
     (fp, degraded)
 }
 
-fn segment_from(
+pub(crate) fn segment_from(
     window: usize,
     phase: &str,
     fault: &FaultKind,
@@ -232,7 +232,7 @@ fn segment_from(
     }
 }
 
-fn print_segment(seg: &ChaosSegment) {
+pub(crate) fn print_segment(seg: &ChaosSegment) {
     println!(
         "window {} {:>4}  [{}]  {:>5} req  hit {:>5.1}%  fp {:>3}  degraded {:>3}  \
          {:>3} err  p50 {:>6.2} ms  p99 {:>6.2} ms",
@@ -252,7 +252,7 @@ fn print_segment(seg: &ChaosSegment) {
 /// Drives heartbeats until every survivor has confirmed `dead` dead (so
 /// stale-hint GC and Plaxton repair have fired), bounded by a wall-clock
 /// deadline. Returns whether confirmation was reached.
-fn await_confirmed_death(mesh: &ChaosMesh, dead: usize) -> bool {
+pub(crate) fn await_confirmed_death(mesh: &ChaosMesh, dead: usize) -> bool {
     let addr = mesh.addrs()[dead];
     // bh-lint: allow(no-wall-clock, reason = "deadline-bounded wait on a live mesh; failure detection is inherently wall-clock here")
     let deadline = Instant::now() + Duration::from_secs(10);

@@ -22,6 +22,7 @@
 pub mod chaos;
 pub mod report;
 pub mod runners;
+pub mod scenario;
 pub mod suite;
 
 use bh_trace::WorkloadSpec;

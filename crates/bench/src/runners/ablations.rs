@@ -88,16 +88,21 @@ fn plaxton_sweep() -> Vec<(u32, f64, f64)> {
         .collect()
 }
 
-/// Replacement-policy ablation: LRU vs GreedyDual-Size request hit rate on
-/// the actual workload stream through one space-constrained shared cache.
-fn replacement_sweep(spec: &bh_trace::WorkloadSpec, seed: u64) -> Vec<(String, f64)> {
-    use bh_cache::{GdsCache, LruCache};
+/// Replacement-policy ablation: LRU vs GreedyDual-Size vs seeded-Random
+/// request hit rate on the actual workload stream through one
+/// space-constrained shared cache. Rows follow [`Replacement::ALL`].
+/// Public so the golden regression can pin the rows digit-for-digit
+/// through the parallel engine without replaying the whole experiment.
+pub fn replacement_sweep(spec: &bh_trace::WorkloadSpec, seed: u64) -> Vec<(String, f64)> {
+    use bh_cache::{GdsCache, LruCache, RandomCache, Replacement};
     // Size the cache well below the unique-byte footprint (~p_new × requests
     // × 10 KB) so replacement actually matters.
     let capacity = ByteSize::from_mb(((spec.requests as f64) * 0.0003) as u64 + 8);
     let mut lru = LruCache::new(capacity);
     let mut gds = GdsCache::new(capacity);
-    let (mut lru_hits, mut gds_hits, mut total) = (0u64, 0u64, 0u64);
+    let mut rnd = RandomCache::new(capacity, seed);
+    let mut hits = [0u64; 3];
+    let mut total = 0u64;
     for r in TraceCache::get(spec, seed).iter() {
         if !r.is_cacheable() {
             continue;
@@ -105,23 +110,26 @@ fn replacement_sweep(spec: &bh_trace::WorkloadSpec, seed: u64) -> Vec<(String, f
         total += 1;
         let key = r.object.key();
         if lru.get(key, r.version).is_some() {
-            lru_hits += 1;
+            hits[0] += 1;
         } else {
             lru.insert(key, r.size, r.version);
         }
         if gds.get(key, r.version).is_some() {
-            gds_hits += 1;
+            hits[1] += 1;
         } else {
             gds.insert(key, r.size, r.version);
         }
+        if rnd.get(key, r.version).is_some() {
+            hits[2] += 1;
+        } else {
+            rnd.insert(key, r.size, r.version);
+        }
     }
-    vec![
-        ("LRU".to_string(), lru_hits as f64 / total.max(1) as f64),
-        (
-            "GreedyDual-Size".to_string(),
-            gds_hits as f64 / total.max(1) as f64,
-        ),
-    ]
+    Replacement::ALL
+        .into_iter()
+        .zip(hits)
+        .map(|(policy, h)| (policy.label().to_string(), h as f64 / total.max(1) as f64))
+        .collect()
 }
 
 /// Metadata-routing ablation result: (updates, mean hops, busiest share,

@@ -10,6 +10,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
+pub mod scenario;
 pub mod table3;
 pub mod table4;
 pub mod table5;

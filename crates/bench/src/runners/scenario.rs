@@ -1,0 +1,179 @@
+//! Scenario experiment: hint-propagation lag vs the flash-crowd
+//! hit-rate ramp.
+//!
+//! The flash-crowd scenario makes one cold object's request share ramp
+//! to viral on a seeded schedule. Whether the mesh converts that ramp
+//! into cache hits depends on how fast hints propagate: with zero lag
+//! every replica learns about the hot object as soon as any node caches
+//! it, while a lag comparable to the ramp length leaves peers probing
+//! the origin through the entire viral window.
+//!
+//! This experiment sweeps hint-propagation delay over the *same*
+//! flash-crowd arena ([`FlashCrowdSpec::materialize`], so the request
+//! stream is byte-identical across delays) and over the matching
+//! no-crowd baseline arena, and reports the viral benefit — the
+//! hit-ratio gap between the two — at each lag. The artifact is the
+//! versioned `scenario_flash_crowd_lag.json` Report.
+
+use crate::suite::{job, take, Experiment, Job, JobOutput};
+use crate::{banner, Args};
+use bh_core::experiments::{hint_delay_point, HintSweepPoint};
+use bh_trace::scenario::FlashCrowdSpec;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Hint-propagation lags swept, in minutes (0 = synchronous hints).
+const DELAYS_MIN: [f64; 5] = [0.0, 1.0, 5.0, 15.0, 60.0];
+
+/// Ramp checkpoints reported, as fractions of the trace.
+const RAMP_CHECKPOINTS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// The flash-crowd spec this experiment sweeps: the scaled DEC base
+/// with a ramp spanning the middle half of the trace, peaking at a 30%
+/// request share — squarely "viral" while leaving background traffic
+/// to keep the rest of the mesh busy.
+fn flash_spec(args: &Args) -> FlashCrowdSpec {
+    let base = args.dec_spec();
+    let requests = base.requests;
+    FlashCrowdSpec {
+        base,
+        ramp_start: requests / 4,
+        ramp_len: (requests / 2).max(1),
+        peak_share: 0.3,
+    }
+}
+
+/// One row of the lag table.
+#[derive(Debug, Serialize)]
+struct LagRow {
+    /// Hint-propagation delay in minutes.
+    delay_min: f64,
+    /// Hit ratio over the flash-crowd arena.
+    flash_hit_ratio: f64,
+    /// Hit ratio over the no-crowd baseline arena.
+    baseline_hit_ratio: f64,
+    /// `flash - baseline`: what the viral object is worth at this lag.
+    viral_benefit: f64,
+    /// False-positive probe rate over the flash-crowd arena.
+    flash_false_positive_rate: f64,
+}
+
+/// One scheduled ramp checkpoint (a pure function of the spec).
+#[derive(Debug, Serialize)]
+struct RampPoint {
+    /// Position in the trace, as a request index.
+    request: u64,
+    /// The hot object's scheduled request share at that index.
+    share: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ScenarioLagOut {
+    /// Spec identity (seed-independent), ties the Report to the
+    /// `loadgen --scenario flash-crowd` artifacts.
+    workload_fingerprint: u64,
+    /// The hot object's scheduled ramp.
+    ramp: Vec<RampPoint>,
+    /// Hit rate vs propagation lag, flash vs baseline.
+    rows: Vec<LagRow>,
+}
+
+/// The scenario experiment. One job per (arena, delay) cell.
+pub struct ScenarioLag;
+
+impl Experiment for ScenarioLag {
+    fn name(&self) -> &'static str {
+        "scenario"
+    }
+
+    fn default_scale(&self) -> f64 {
+        0.05
+    }
+
+    fn plan(&self, args: &Args) -> Vec<Job> {
+        let spec = flash_spec(args);
+        let flash = Arc::new(spec.materialize(args.seed));
+        let baseline = bh_trace::TraceCache::get(&spec.base, args.seed);
+        let mut jobs = Vec::new();
+        for &mins in &DELAYS_MIN {
+            let flash = Arc::clone(&flash);
+            jobs.push(job(move || hint_delay_point(&flash, mins)));
+            let baseline = Arc::clone(&baseline);
+            jobs.push(job(move || hint_delay_point(&baseline, mins)));
+        }
+        jobs
+    }
+
+    fn finish(&self, args: &Args, results: Vec<JobOutput>) {
+        banner(
+            "Scenario: flash crowd",
+            "hint-propagation lag vs hit-rate ramp",
+            args,
+        );
+        let spec = flash_spec(args);
+        let requests = spec.base.requests;
+        let ramp: Vec<RampPoint> = RAMP_CHECKPOINTS
+            .iter()
+            .map(|&frac| {
+                let request = ((requests.saturating_sub(1)) as f64 * frac) as u64;
+                RampPoint {
+                    request,
+                    share: spec.share_at(request),
+                }
+            })
+            .collect();
+        println!(
+            "hot-object ramp: starts at request {}, {} long, peak share {:.0}%",
+            spec.ramp_start,
+            spec.ramp_len,
+            spec.peak_share * 100.0
+        );
+        for p in &ramp {
+            println!(
+                "  request {:>9}  share {:>5.1}%",
+                p.request,
+                p.share * 100.0
+            );
+        }
+
+        let mut points = results.into_iter().map(take::<HintSweepPoint>);
+        let mut rows = Vec::new();
+        println!(
+            "\n{:>9}  {:>10}  {:>10}  {:>9}  {:>8}",
+            "lag (min)", "flash hit", "base hit", "benefit", "fp rate"
+        );
+        for &mins in &DELAYS_MIN {
+            let flash = points.next().expect("plan/finish cell count");
+            let base = points.next().expect("plan/finish cell count");
+            let row = LagRow {
+                delay_min: mins,
+                flash_hit_ratio: flash.hit_ratio,
+                baseline_hit_ratio: base.hit_ratio,
+                viral_benefit: flash.hit_ratio - base.hit_ratio,
+                flash_false_positive_rate: flash.false_positive_rate,
+            };
+            println!(
+                "{:>9.0}  {:>9.1}%  {:>9.1}%  {:>+8.1}%  {:>8.4}",
+                row.delay_min,
+                row.flash_hit_ratio * 100.0,
+                row.baseline_hit_ratio * 100.0,
+                row.viral_benefit * 100.0,
+                row.flash_false_positive_rate,
+            );
+            rows.push(row);
+        }
+        println!(
+            "\n(a viral object is the most lag-tolerant traffic: after one miss every node\n\
+             holds it locally, so rising lag hurts the long-tail baseline more than the\n\
+             flash arena and the benefit column widens — see EXPERIMENTS.md Scenarios)"
+        );
+        args.write_json(
+            "scenario_flash_crowd_lag",
+            &ScenarioLagOut {
+                workload_fingerprint: spec.fingerprint(),
+                ramp,
+                rows,
+            },
+        );
+    }
+}

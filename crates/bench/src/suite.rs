@@ -74,6 +74,7 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(crate::runners::fig10::Fig10),
         Box::new(crate::runners::fig11::Fig11),
         Box::new(crate::runners::ablations::Ablations),
+        Box::new(crate::runners::scenario::ScenarioLag),
     ]
 }
 

@@ -41,8 +41,40 @@ pub mod classify;
 pub mod gds;
 pub mod hint;
 pub mod lru;
+pub mod random;
 
 pub use classify::{AccessOutcome, ClassRates, ClassifyingCache, MissClass};
 pub use gds::GdsCache;
 pub use hint::{HintCache, HintRecord, HINT_RECORD_BYTES};
 pub use lru::{Evicted, LruCache};
+pub use random::RandomCache;
+
+/// The replacement policies the ablation runner compares. The enum is
+/// the stable index: runners and artifacts order rows by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Replacement {
+    /// Least-recently-used ([`LruCache`]).
+    Lru,
+    /// GreedyDual-Size ([`GdsCache`]).
+    GreedyDualSize,
+    /// Seeded-random victims ([`RandomCache`]).
+    Random,
+}
+
+impl Replacement {
+    /// Every policy, in the canonical ablation-row order.
+    pub const ALL: [Replacement; 3] = [
+        Replacement::Lru,
+        Replacement::GreedyDualSize,
+        Replacement::Random,
+    ];
+
+    /// The row label the ablation tables print.
+    pub fn label(self) -> &'static str {
+        match self {
+            Replacement::Lru => "LRU",
+            Replacement::GreedyDualSize => "GreedyDual-Size",
+            Replacement::Random => "Random",
+        }
+    }
+}

@@ -46,10 +46,11 @@ const AMBIENT_RNG: [&str; 6] = [
 
 /// Artifact-writing paths where iteration order reaches JSON files,
 /// stdout tables, or event logs.
-const ORDERED_ITER_FILES: [&str; 3] = [
+const ORDERED_ITER_FILES: [&str; 4] = [
     "crates/bench/src/",
     "crates/proto/src/chaos.rs",
     "crates/proto/src/replay.rs",
+    "crates/trace/src/scenario.rs",
 ];
 
 /// Hot-path files where a panic wedges a shard/worker thread the chaos

@@ -70,6 +70,15 @@ pub enum FaultKind {
         /// Drop rate in parts per million.
         per_million: u32,
     },
+    /// Crash-stop the first *interior* (parent) node at hierarchy depth
+    /// `level` — a role-targeted crash that only a hierarchical mesh
+    /// ([`Topology::TwoLevel`]) can resolve to a concrete index. Its
+    /// orphaned children must re-home to a fallback parent and hint
+    /// propagation must resume through the adopter.
+    CrashParent {
+        /// Hierarchy depth of the targeted parent (0 = the top level).
+        level: usize,
+    },
 }
 
 impl FaultKind {
@@ -85,10 +94,13 @@ impl FaultKind {
             FaultKind::Drop { node, per_million } => {
                 format!("drop node={node} per_million={per_million}")
             }
+            FaultKind::CrashParent { level } => format!("crash_parent level={level}"),
         }
     }
 
-    /// Largest node index the fault touches.
+    /// Largest node index the fault touches. [`FaultKind::CrashParent`]
+    /// names a role, not an index, and reports 0 — topology-aware
+    /// validation ([`FaultPlan::validate_for`]) checks it instead.
     fn max_node(&self) -> usize {
         match *self {
             FaultKind::Crash { node }
@@ -96,6 +108,101 @@ impl FaultKind {
             | FaultKind::Drop { node, .. } => node,
             FaultKind::Partition { a, b } => a.max(b),
             FaultKind::PartitionOneWay { from, to } => from.max(to),
+            FaultKind::CrashParent { .. } => 0,
+        }
+    }
+}
+
+/// The shape of a [`ChaosMesh`]: how many nodes, and how they are wired
+/// for hint propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Topology {
+    /// Every node neighbors every other (the PR-3 mesh).
+    Flat {
+        /// Number of nodes.
+        nodes: usize,
+    },
+    /// A two-level metadata hierarchy (§3.1.2): `parents` interior nodes
+    /// neighbor each other; each parent has `children_per_parent` leaf
+    /// children that flush hints only through their parent. Parents are
+    /// spawned first (indices `0..parents`), then children in parent
+    /// order, so index arithmetic is stable.
+    TwoLevel {
+        /// Interior (parent) nodes; at least 2 so orphans can re-home.
+        parents: usize,
+        /// Leaf children under each parent.
+        children_per_parent: usize,
+    },
+}
+
+impl Topology {
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        match *self {
+            Topology::Flat { nodes } => nodes,
+            Topology::TwoLevel {
+                parents,
+                children_per_parent,
+            } => parents * (1 + children_per_parent),
+        }
+    }
+
+    /// The spawn index of the first interior node at hierarchy depth
+    /// `level`, if that depth has interior nodes. A two-level tree has
+    /// exactly one interior depth (0, the parents).
+    pub fn first_parent_at(&self, level: usize) -> Option<usize> {
+        match *self {
+            Topology::Flat { .. } => None,
+            Topology::TwoLevel { parents, .. } => (level == 0 && parents > 0).then_some(0),
+        }
+    }
+
+    /// The parent assigned to `index`, if `index` is a child.
+    pub fn parent_of(&self, index: usize) -> Option<usize> {
+        match *self {
+            Topology::Flat { .. } => None,
+            Topology::TwoLevel {
+                parents,
+                children_per_parent,
+            } => {
+                if index < parents || children_per_parent == 0 {
+                    None
+                } else {
+                    Some((index - parents) / children_per_parent)
+                }
+            }
+        }
+    }
+
+    /// The children assigned to `index`, empty for leaves and flat meshes.
+    pub fn children_of(&self, index: usize) -> Vec<usize> {
+        match *self {
+            Topology::Flat { .. } => Vec::new(),
+            Topology::TwoLevel {
+                parents,
+                children_per_parent,
+            } => {
+                if index >= parents {
+                    return Vec::new();
+                }
+                let first = parents + index * children_per_parent;
+                (first..first + children_per_parent).collect()
+            }
+        }
+    }
+
+    /// Checks the topology itself is well-formed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the defect.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Topology::Flat { nodes: 0 } => Err("flat mesh needs at least 1 node".into()),
+            Topology::TwoLevel { parents, .. } if parents < 2 => {
+                Err("two-level mesh needs at least 2 parents so orphans can re-home".into())
+            }
+            _ => Ok(()),
         }
     }
 }
@@ -154,12 +261,27 @@ impl FaultPlan {
     }
 
     /// Checks every referenced node index against the mesh size and
-    /// rejects degenerate windows.
+    /// rejects degenerate windows. This is the *flat-mesh* check:
+    /// role-targeted faults ([`FaultKind::CrashParent`]) are rejected
+    /// here because a flat mesh has no parents — use
+    /// [`FaultPlan::validate_for`] with a hierarchical topology.
     ///
     /// # Errors
     ///
     /// Returns a description of the first invalid window.
     pub fn validate(&self, mesh_size: usize) -> Result<(), String> {
+        self.validate_for(&Topology::Flat { nodes: mesh_size })
+    }
+
+    /// Topology-aware validation: like [`FaultPlan::validate`], but
+    /// resolves role-targeted faults against `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid window.
+    pub fn validate_for(&self, topology: &Topology) -> Result<(), String> {
+        topology.validate()?;
+        let mesh_size = topology.size();
         if self.windows.is_empty() {
             return Err("plan has no fault windows".into());
         }
@@ -179,6 +301,12 @@ impl FaultPlan {
                 FaultKind::PartitionOneWay { from, to } if from == to => {
                     return Err(format!(
                         "window {i}: one-way partition endpoints must differ (got {from})"
+                    ));
+                }
+                FaultKind::CrashParent { level } if topology.first_parent_at(level).is_none() => {
+                    return Err(format!(
+                        "window {i}: crash_parent level={level} needs a hierarchical \
+                         mesh with interior nodes at that depth"
                     ));
                 }
                 _ => {}
@@ -227,6 +355,51 @@ pub struct ChaosMesh {
     /// restart reclaims the crashed node's port and identity.
     configs: Vec<NodeConfig>,
     addrs: Vec<SocketAddr>,
+    topology: Topology,
+}
+
+/// Node `i`'s hint wiring under `topology`:
+/// `(neighbors, parent, children, fallback_parents)`.
+fn wiring_for(
+    topology: &Topology,
+    addrs: &[SocketAddr],
+    i: usize,
+) -> (
+    Vec<SocketAddr>,
+    Option<SocketAddr>,
+    Vec<SocketAddr>,
+    Vec<SocketAddr>,
+) {
+    match *topology {
+        Topology::Flat { .. } => {
+            let neighbors = addrs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| *a)
+                .collect();
+            (neighbors, None, Vec::new(), Vec::new())
+        }
+        Topology::TwoLevel { parents, .. } => {
+            if i < parents {
+                let neighbors = addrs[..parents]
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, a)| *a)
+                    .collect();
+                let children = topology
+                    .children_of(i)
+                    .into_iter()
+                    .map(|c| addrs[c])
+                    .collect();
+                (neighbors, None, children, Vec::new())
+            } else {
+                let parent = topology.parent_of(i).map(|p| addrs[p]);
+                (Vec::new(), parent, Vec::new(), addrs[..parents].to_vec())
+            }
+        }
+    }
 }
 
 impl ChaosMesh {
@@ -239,7 +412,29 @@ impl ChaosMesh {
     ///
     /// Propagates origin/node spawn failures.
     pub fn spawn(n: usize, tune: impl Fn(NodeConfig) -> NodeConfig) -> io::Result<ChaosMesh> {
+        Self::spawn_topology(Topology::Flat { nodes: n }, tune)
+    }
+
+    /// Spawns an origin plus a mesh shaped by `topology`. In a
+    /// [`Topology::TwoLevel`] hierarchy, parents neighbor the other
+    /// parents and flush down to their children; children flush only
+    /// through their parent and carry every other parent as a re-homing
+    /// fallback. Every node regardless of role monitors the *full*
+    /// membership for liveness and shares the Plaxton membership, so a
+    /// confirmed death is repaired by every survivor identically.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid topologies; propagates origin/node spawn failures.
+    pub fn spawn_topology(
+        topology: Topology,
+        tune: impl Fn(NodeConfig) -> NodeConfig,
+    ) -> io::Result<ChaosMesh> {
+        topology
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let origin = OriginServer::spawn("127.0.0.1:0")?;
+        let n = topology.size();
         let mut nodes = Vec::with_capacity(n);
         for _ in 0..n {
             let config = tune(NodeConfig::new("127.0.0.1:0", origin.addr()));
@@ -247,25 +442,76 @@ impl ChaosMesh {
         }
         let addrs: Vec<SocketAddr> = nodes.iter().map(|node| node.addr()).collect();
         let mut configs = Vec::with_capacity(n);
-        for (i, node) in nodes.iter().enumerate() {
-            let neighbors: Vec<SocketAddr> = addrs
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i)
-                .map(|(_, a)| *a)
-                .collect();
-            node.set_neighbors(neighbors.clone());
-            node.set_mesh(&addrs);
+        for i in 0..n {
+            let (neighbors, parent, children, _) = wiring_for(&topology, &addrs, i);
             let mut config = tune(NodeConfig::new(addrs[i].to_string(), origin.addr()));
             config.neighbors = neighbors;
+            config.parent = parent;
+            config.children = children;
             configs.push(config);
         }
-        Ok(ChaosMesh {
+        let mesh = ChaosMesh {
             origin,
             nodes: nodes.into_iter().map(Some).collect(),
             configs,
             addrs,
-        })
+            topology,
+        };
+        for i in 0..n {
+            if let Some(node) = mesh.node(i) {
+                mesh.wire(i, node);
+            }
+        }
+        Ok(mesh)
+    }
+
+    /// Applies node `index`'s full runtime wiring — hint topology,
+    /// re-homing fallbacks, liveness peers, Plaxton membership. Called
+    /// at spawn and again on every restart.
+    fn wire(&self, index: usize, node: &CacheNode) {
+        let (neighbors, parent, children, fallback) =
+            wiring_for(&self.topology, &self.addrs, index);
+        node.set_neighbors(neighbors);
+        node.set_parent(parent);
+        node.set_children(children);
+        node.set_fallback_parents(fallback);
+        match self.topology {
+            Topology::Flat { .. } => node.set_liveness_peers(None),
+            Topology::TwoLevel { .. } => {
+                // Liveness is mesh-wide even though hint flushes follow
+                // the tree: every survivor must confirm a death to keep
+                // the repaired Plaxton trees in agreement.
+                let others = self
+                    .addrs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != index)
+                    .map(|(_, a)| *a)
+                    .collect();
+                node.set_liveness_peers(Some(others));
+            }
+        }
+        node.set_mesh(&self.addrs);
+    }
+
+    /// The topology this mesh was spawned with.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Resolves a role-targeted fault to the concrete node index it
+    /// names under this mesh's topology. Index-targeted faults pass
+    /// through unchanged.
+    pub fn resolve(&self, fault: FaultKind) -> FaultKind {
+        match fault {
+            FaultKind::CrashParent { level } => match self.topology.first_parent_at(level) {
+                Some(node) => FaultKind::Crash { node },
+                // Rejected by validate_for before any plan runs; resolving
+                // anyway keeps inject/lift total.
+                None => fault,
+            },
+            other => other,
+        }
     }
 
     /// The origin server backing the mesh.
@@ -345,7 +591,7 @@ impl ChaosMesh {
             return Ok(0);
         }
         let node = CacheNode::spawn(self.configs[index].clone())?;
-        node.set_mesh(&self.addrs);
+        self.wire(index, &node);
         let recovered = node.resync();
         self.nodes[index] = Some(node);
         Ok(recovered)
@@ -357,7 +603,7 @@ impl ChaosMesh {
     ///
     /// Currently infallible; kept fallible for symmetry with [`Self::lift`].
     pub fn inject(&mut self, fault: FaultKind) -> io::Result<()> {
-        match fault {
+        match self.resolve(fault) {
             FaultKind::Crash { node } => self.crash(node),
             FaultKind::Partition { a, b } => {
                 let (addr_a, addr_b) = (self.addrs[a], self.addrs[b]);
@@ -388,6 +634,9 @@ impl ChaosMesh {
                     node.pool().fault_switch().set_drop_per_million(per_million);
                 }
             }
+            // `resolve` maps CrashParent to Crash on hierarchical meshes;
+            // on a flat mesh (rejected at validation) it is a no-op.
+            FaultKind::CrashParent { .. } => {}
         }
         Ok(())
     }
@@ -399,7 +648,7 @@ impl ChaosMesh {
     ///
     /// Propagates restart failures for crash windows.
     pub fn lift(&mut self, fault: FaultKind) -> io::Result<()> {
-        match fault {
+        match self.resolve(fault) {
             FaultKind::Crash { node } => {
                 self.restart(node)?;
             }
@@ -426,6 +675,7 @@ impl ChaosMesh {
                     node.pool().fault_switch().clear();
                 }
             }
+            FaultKind::CrashParent { .. } => {}
         }
         Ok(())
     }

@@ -51,6 +51,9 @@ pub struct NodeStats {
     /// Peer probes that failed at the transport layer (dead peer or
     /// partition) and fell back to the origin.
     pub degraded_to_origin: u64,
+    /// Times this node adopted a fallback parent after its metadata
+    /// parent was confirmed dead (hierarchy re-homing).
+    pub parent_rehomes: u64,
     /// Anti-entropy resync requests answered for restarting peers.
     pub resyncs_served: u64,
     /// Requests whose service path failed without a panic: a reply that
@@ -82,6 +85,7 @@ impl NodeStats {
                 "stale_hints_gc" => &mut out.stale_hints_gc,
                 "plaxton_repair_entries" => &mut out.plaxton_repair_entries,
                 "degraded_to_origin" => &mut out.degraded_to_origin,
+                "parent_rehomes" => &mut out.parent_rehomes,
                 "resyncs_served" => &mut out.resyncs_served,
                 "service_errors" => &mut out.service_errors,
                 _ => continue,
@@ -112,6 +116,7 @@ pub(crate) struct NodeMetrics {
     pub stale_hints_gc: Counter,
     pub plaxton_repair_entries: Counter,
     pub degraded_to_origin: Counter,
+    pub parent_rehomes: Counter,
     pub resyncs_served: Counter,
     pub service_errors: Counter,
     /// Peers currently under quarantine (refreshed at snapshot time).
@@ -156,6 +161,10 @@ impl NodeMetrics {
             degraded_to_origin: c(
                 "degraded_to_origin",
                 "probes that failed at transport and fell back to origin",
+            ),
+            parent_rehomes: c(
+                "parent_rehomes",
+                "fallback parents adopted after a parent death",
             ),
             resyncs_served: c("resyncs_served", "anti-entropy resyncs answered"),
             service_errors: c("service_errors", "request service paths that failed"),
@@ -228,6 +237,7 @@ mod tests {
         m.stale_hints_gc.add(12);
         m.plaxton_repair_entries.add(13);
         m.degraded_to_origin.add(14);
+        m.parent_rehomes.add(17);
         m.resyncs_served.add(15);
         m.service_errors.add(16);
         let snap = m.registry.snapshot();
@@ -249,6 +259,7 @@ mod tests {
                 stale_hints_gc: 12,
                 plaxton_repair_entries: 13,
                 degraded_to_origin: 14,
+                parent_rehomes: 17,
                 resyncs_served: 15,
                 service_errors: 16,
             }

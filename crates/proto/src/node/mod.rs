@@ -242,6 +242,18 @@ struct Inner {
     store: Mutex<Store>,
     pending: Mutex<Vec<HintUpdate>>,
     neighbors: Mutex<Vec<SocketAddr>>,
+    /// Runtime metadata parent (initialized from the config; chaos meshes
+    /// re-point it when a parent dies — see [`on_peer_died`]).
+    parent: Mutex<Option<SocketAddr>>,
+    /// Runtime metadata children (initialized from the config).
+    children: Mutex<Vec<SocketAddr>>,
+    /// Parents to adopt, in preference order, should the current parent be
+    /// confirmed dead. Empty means "stay orphaned" (the flat-mesh default).
+    fallback_parents: Mutex<Vec<SocketAddr>>,
+    /// When set, the heartbeat loop probes these peers instead of the
+    /// neighbor set — hierarchical meshes monitor the whole membership
+    /// while hint flushes still follow the tree.
+    liveness_peers: Mutex<Option<Vec<SocketAddr>>>,
     metrics: NodeMetrics,
     /// Structured request/propagation trace ring; timestamps are micros
     /// since `started` (the ring itself never reads a clock).
@@ -307,6 +319,10 @@ impl CacheNode {
             }),
             pending: Mutex::new(Vec::new()),
             neighbors: Mutex::new(config.neighbors.clone()),
+            parent: Mutex::new(config.parent),
+            children: Mutex::new(config.children.clone()),
+            fallback_parents: Mutex::new(Vec::new()),
+            liveness_peers: Mutex::new(None),
             metrics: NodeMetrics::register(),
             trace: Mutex::new(TraceRing::new(NODE_TRACE_CAPACITY)),
             started: Instant::now(),
@@ -425,6 +441,45 @@ impl CacheNode {
         *self.inner.neighbors.lock() = neighbors;
     }
 
+    /// Re-points the metadata parent at runtime (self-configuration:
+    /// hierarchies built over ephemeral ports wire parents after spawn,
+    /// and re-homing re-points orphans after a parent death).
+    pub fn set_parent(&self, parent: Option<SocketAddr>) {
+        *self.inner.parent.lock() = parent;
+    }
+
+    /// The current metadata parent, if any.
+    pub fn parent(&self) -> Option<SocketAddr> {
+        *self.inner.parent.lock()
+    }
+
+    /// Replaces the metadata children at runtime.
+    pub fn set_children(&self, children: Vec<SocketAddr>) {
+        *self.inner.children.lock() = children;
+    }
+
+    /// The current metadata children.
+    pub fn children(&self) -> Vec<SocketAddr> {
+        self.inner.children.lock().clone()
+    }
+
+    /// Installs the ordered list of parents to adopt if the current one is
+    /// confirmed dead. On re-homing, the node picks the first entry that
+    /// is not the dead parent, counts it in
+    /// [`NodeStats::parent_rehomes`], and re-advertises its cached
+    /// objects upward so hint propagation resumes through the new parent.
+    pub fn set_fallback_parents(&self, parents: Vec<SocketAddr>) {
+        *self.inner.fallback_parents.lock() = parents;
+    }
+
+    /// Overrides the set of peers the heartbeat loop monitors (pass
+    /// `None` to fall back to the neighbor set). Hierarchical meshes
+    /// monitor the full membership so every survivor repairs the shared
+    /// Plaxton tree, while hint flushes still follow the tree edges.
+    pub fn set_liveness_peers(&self, peers: Option<Vec<SocketAddr>>) {
+        *self.inner.liveness_peers.lock() = peers;
+    }
+
     /// Flushes pending hint updates to all neighbors immediately (tests use
     /// this instead of waiting out the randomized timer).
     pub fn flush_updates_now(&self) {
@@ -483,7 +538,14 @@ impl CacheNode {
     /// waiting for organic update traffic. Returns the number of hint
     /// records received.
     pub fn resync(&self) -> usize {
-        let peers: Vec<SocketAddr> = self.inner.neighbors.lock().clone();
+        // Pull from the same peers a flush would reach: neighbors plus
+        // the tree edges, so a restarted leaf recovers through its
+        // parent even with an empty neighbor set.
+        let mut peers: Vec<SocketAddr> = self.inner.neighbors.lock().clone();
+        if let Some(p) = *self.inner.parent.lock() {
+            peers.push(p);
+        }
+        peers.extend(self.inner.children.lock().iter().copied());
         let mut learned = 0;
         for addr in peers {
             // Two attempts, no quarantine interaction either way: resync
@@ -659,10 +721,10 @@ fn flush_once(inner: &Inner) {
         return;
     }
     let mut targets: Vec<SocketAddr> = inner.neighbors.lock().clone();
-    if let Some(p) = inner.config.parent {
+    if let Some(p) = *inner.parent.lock() {
         targets.push(p);
     }
-    targets.extend(inner.config.children.iter().copied());
+    targets.extend(inner.children.lock().iter().copied());
     match inner.config.mode {
         ThreadingMode::Sharded => {
             // Coalesce first (an Add shadowed by a Remove never hits the
@@ -735,7 +797,11 @@ fn heartbeat_loop(inner: Arc<Inner>) {
 /// Pings every current neighbor once and feeds the outcomes into the
 /// failure detector, repairing standing state on confirmed transitions.
 fn heartbeat_round(inner: &Inner) {
-    let peers: Vec<SocketAddr> = inner.neighbors.lock().clone();
+    let peers: Vec<SocketAddr> = inner
+        .liveness_peers
+        .lock()
+        .clone()
+        .unwrap_or_else(|| inner.neighbors.lock().clone());
     for addr in peers {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
@@ -783,6 +849,40 @@ fn on_peer_died(inner: &Inner, addr: SocketAddr) {
                 inner.metrics.plaxton_repair_entries.add(changed as u64);
             }
         }
+    }
+    rehome_if_orphaned(inner, addr);
+}
+
+/// Re-homing (the paper's self-configuring hierarchy): when the
+/// confirmed-dead peer is this node's metadata parent, adopt the first
+/// fallback parent that is not the dead one, then re-advertise every
+/// locally cached object so hint propagation resumes upward through the
+/// new parent — the subtree under the adopter may never have heard of
+/// these copies.
+fn rehome_if_orphaned(inner: &Inner, dead: SocketAddr) {
+    {
+        let mut parent = inner.parent.lock();
+        if *parent != Some(dead) {
+            return;
+        }
+        let next = inner
+            .fallback_parents
+            .lock()
+            .iter()
+            .copied()
+            .find(|p| *p != dead);
+        *parent = next;
+        if next.is_none() {
+            return;
+        }
+    }
+    inner.metrics.parent_rehomes.inc();
+    // Sorted so the re-advertisement batch is deterministic for a given
+    // store state (mirrors the Resync reply).
+    let mut keys: Vec<u64> = inner.store.lock().bodies.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        queue_update(inner, HintAction::Add, key);
     }
 }
 
@@ -990,7 +1090,7 @@ fn service_get(inner: &Inner, url: &str, key: u64) -> Message {
 /// re-propagation. Shared by both connection engines and both batch frames
 /// (`UpdateBatch` and `HintBatch`).
 fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
-    let hierarchical = inner.config.parent.is_some() || !inner.config.children.is_empty();
+    let hierarchical = inner.parent.lock().is_some() || !inner.children.lock().is_empty();
     let mut propagate: Vec<HintUpdate> = Vec::new();
     {
         let mut store = inner.store.lock();

@@ -41,6 +41,7 @@ pub mod generate;
 pub mod logio;
 pub mod materialize;
 pub mod record;
+pub mod scenario;
 pub mod spec;
 pub mod summary;
 pub mod transform;
@@ -48,5 +49,6 @@ pub mod transform;
 pub use generate::TraceGenerator;
 pub use materialize::{MaterializedTrace, TraceCache, TraceCacheStats};
 pub use record::{ClientId, ObjectId, RequestClass, TraceRecord};
+pub use scenario::{ChurnEvent, ChurnKind, DiurnalChurnSpec, FlashCrowdGenerator, FlashCrowdSpec};
 pub use spec::{TraceName, WorkloadSpec};
 pub use summary::TraceSummary;

@@ -80,6 +80,54 @@ impl MaterializedTrace {
         arena
     }
 
+    /// Builds an arena from an explicit record stream — the entry point
+    /// for scenario workloads (flash crowd, diurnal churn), whose
+    /// generators wrap [`TraceGenerator`] rather than being one.
+    /// Replaying the arena yields `records` verbatim.
+    ///
+    /// `spec` is the *base* workload the records were derived from (it
+    /// labels the arena; scenario identity lives in the scenario spec's
+    /// own fingerprint). The caller supplies the distinct counts its
+    /// generator tracked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an object exceeds 4 GiB (the u32 size column).
+    pub fn from_records(
+        spec: &WorkloadSpec,
+        seed: u64,
+        records: impl IntoIterator<Item = TraceRecord>,
+        distinct_objects: u64,
+        distinct_clients: u32,
+    ) -> Self {
+        let mut arena = MaterializedTrace {
+            spec: spec.clone(),
+            seed,
+            times_us: Vec::new(),
+            clients: Vec::new(),
+            objects: Vec::new(),
+            sizes: Vec::new(),
+            versions: Vec::new(),
+            classes: Vec::new(),
+            distinct_objects,
+            distinct_clients,
+        };
+        for r in records {
+            let size = r.size.as_bytes();
+            assert!(
+                u32::try_from(size).is_ok(),
+                "object of {size} B overflows the u32 size column"
+            );
+            arena.times_us.push(r.time.as_micros());
+            arena.clients.push(r.client.0);
+            arena.objects.push(r.object.0);
+            arena.sizes.push(size as u32);
+            arena.versions.push(r.version);
+            arena.classes.push(class_to_u8(r.class));
+        }
+        arena
+    }
+
     /// The spec this trace was generated from.
     pub fn spec(&self) -> &WorkloadSpec {
         &self.spec

@@ -1,0 +1,493 @@
+//! Synthetic scenario workloads: flash crowds and diurnal churn.
+//!
+//! The 1999 traces (Table 4) can't express the workloads a production
+//! cache mesh actually faces. This module layers two scenario shapes
+//! over the base [`WorkloadSpec`] model:
+//!
+//! * **Flash crowd** ([`FlashCrowdSpec`]): a cold object's request
+//!   share ramps linearly from zero to a viral peak on a seeded
+//!   schedule, then holds — the "slashdot" shape tiered-cache work
+//!   (PAPERS.md) evaluates against. The scenario wraps the base
+//!   generator and substitutes the hot object per-record, re-deriving
+//!   size and version from [`ObjectAttrs`] so every component agrees
+//!   on the object's identity.
+//! * **Diurnal churn** ([`DiurnalChurnSpec`]): the base arrival process
+//!   with its diurnal swing amplified, plus a seeded schedule of mesh
+//!   join/leave events at 10–100× the paper-era baseline (roughly one
+//!   membership change per node per week). The request stream and the
+//!   churn schedule share a spec so replay and fault injection stay in
+//!   lockstep.
+//!
+//! Both scenarios materialize through [`MaterializedTrace`], so replay
+//! is byte-identical to fresh generation (asserted by proptests in
+//! `tests/scenario_proptests.rs`) and the bench harness can share
+//! arenas the way it does for the Table 4 presets.
+
+use crate::generate::{ObjectAttrs, TraceGenerator};
+use crate::materialize::MaterializedTrace;
+use crate::record::{ObjectId, TraceRecord};
+use crate::spec::WorkloadSpec;
+use bh_simcore::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// Object ids at or above this bound are reserved for scenario-injected
+/// objects. The base generator numbers objects densely from zero and
+/// can never reach `1 << 62` (that would need 2^62 requests), so
+/// injected ids cannot collide with generated ones.
+pub const SCENARIO_OBJECT_BASE: u64 = 1 << 62;
+
+/// A flash-crowd scenario: one cold object goes viral on a seeded,
+/// request-indexed schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowdSpec {
+    /// The background workload the crowd rides on.
+    pub base: WorkloadSpec,
+    /// Request index at which the ramp begins (the object is cold — by
+    /// construction never requested — before this).
+    pub ramp_start: u64,
+    /// Number of requests over which the hot object's share climbs
+    /// linearly from 0 to `peak_share`; it holds at the peak after.
+    pub ramp_len: u64,
+    /// The hot object's share of requests at (and after) the peak, in
+    /// `(0, 1)`.
+    pub peak_share: f64,
+}
+
+impl FlashCrowdSpec {
+    /// A small flash crowd over the [`WorkloadSpec::small`] background:
+    /// the ramp starts a fifth of the way in, climbs for two fifths,
+    /// and peaks at 40% of all requests.
+    pub fn smoke() -> Self {
+        let base = WorkloadSpec::small();
+        FlashCrowdSpec {
+            ramp_start: base.requests / 5,
+            ramp_len: base.requests * 2 / 5,
+            peak_share: 0.4,
+            base,
+        }
+    }
+
+    /// Validates the scenario parameters and the base spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if !(0.0..1.0).contains(&self.peak_share) || self.peak_share == 0.0 {
+            return Err(format!(
+                "peak_share must be in (0,1), got {}",
+                self.peak_share
+            ));
+        }
+        if self.ramp_len == 0 {
+            return Err("ramp_len must be positive".into());
+        }
+        if self.ramp_start >= self.base.requests {
+            return Err(format!(
+                "ramp_start {} is past the end of the {}-request trace",
+                self.ramp_start, self.base.requests
+            ));
+        }
+        Ok(())
+    }
+
+    /// The hot object's scheduled request share at record index `i`:
+    /// 0 before the ramp, linear during it, `peak_share` after. Monotone
+    /// non-decreasing in `i` (pinned by a proptest).
+    pub fn share_at(&self, i: u64) -> f64 {
+        if i < self.ramp_start {
+            return 0.0;
+        }
+        let into = (i - self.ramp_start).min(self.ramp_len);
+        self.peak_share * into as f64 / self.ramp_len as f64
+    }
+
+    /// The viral object: the first reserved-range id that is a plain
+    /// cacheable immutable object under the base spec, so the crowd
+    /// measures propagation, not CGI/consistency side effects. A pure
+    /// function of the base spec.
+    pub fn hot_object(&self) -> ObjectId {
+        (SCENARIO_OBJECT_BASE..)
+            .map(ObjectId)
+            .find(|&o| {
+                let a = ObjectAttrs::derive(o, &self.base);
+                !a.cgi && a.mod_rate_per_sec == 0.0
+            })
+            .expect("some reserved id must derive cacheable immutable attrs")
+    }
+
+    /// A 64-bit fingerprint over the base spec and every scenario
+    /// parameter (the same contract as [`WorkloadSpec::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h =
+            bh_simcore::rng::SplitMix64::new(self.base.fingerprint() ^ 0xF1A5_4C40_1D5E_ED01);
+        let mut mix = |v: u64| {
+            h = bh_simcore::rng::SplitMix64::new(h.next_u64() ^ v);
+        };
+        mix(self.ramp_start);
+        mix(self.ramp_len);
+        mix(self.peak_share.to_bits());
+        h.next_u64()
+    }
+
+    /// A fresh streaming generator for `(self, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`FlashCrowdSpec::validate`].
+    pub fn generate(&self, seed: u64) -> FlashCrowdGenerator {
+        if let Err(msg) = self.validate() {
+            panic!("invalid flash-crowd spec: {msg}");
+        }
+        let hot = self.hot_object();
+        FlashCrowdGenerator {
+            inner: TraceGenerator::new(&self.base, seed),
+            spec: self.clone(),
+            // An independent stream: the substitution coin must not
+            // perturb the base generator's draws, so the background
+            // traffic is the byte-identical base trace wherever the
+            // crowd does not strike.
+            rng: Xoshiro256::seed_from_u64(seed ^ 0xF1A5_4C40_0C0F_FEE5),
+            hot,
+            hot_attrs: ObjectAttrs::derive(hot, &self.base),
+            index: 0,
+            hot_requests: 0,
+        }
+    }
+
+    /// Materializes the scenario into an arena; replaying it yields the
+    /// generator stream verbatim.
+    pub fn materialize(&self, seed: u64) -> MaterializedTrace {
+        let mut gen = self.generate(seed);
+        let records: Vec<TraceRecord> = gen.by_ref().collect();
+        let distinct = gen.distinct_objects();
+        let clients = gen.inner.distinct_clients();
+        MaterializedTrace::from_records(&self.base, seed, records, distinct, clients)
+    }
+}
+
+/// Streaming flash-crowd generator: the base stream with seeded
+/// hot-object substitution. Deterministic in `(spec, seed)`.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdGenerator {
+    inner: TraceGenerator,
+    spec: FlashCrowdSpec,
+    rng: Xoshiro256,
+    hot: ObjectId,
+    hot_attrs: ObjectAttrs,
+    index: u64,
+    hot_requests: u64,
+}
+
+impl FlashCrowdGenerator {
+    /// The viral object this run substitutes.
+    pub fn hot_object(&self) -> ObjectId {
+        self.hot
+    }
+
+    /// How many emitted records referenced the hot object so far.
+    pub fn hot_requests(&self) -> u64 {
+        self.hot_requests
+    }
+
+    /// Distinct objects emitted so far: the base generator's count plus
+    /// the hot object once it has appeared.
+    pub fn distinct_objects(&self) -> u64 {
+        self.inner.distinct_objects() + u64::from(self.hot_requests > 0)
+    }
+}
+
+impl Iterator for FlashCrowdGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let mut r = self.inner.next()?;
+        let share = self.spec.share_at(self.index);
+        self.index += 1;
+        // Draw the coin unconditionally so the substitution stream
+        // stays aligned with the record index whatever `share` is.
+        let strike = self.rng.chance(share);
+        if strike && r.class.is_cacheable() {
+            r.object = self.hot;
+            r.size = self.hot_attrs.size;
+            r.version = self.hot_attrs.version_at(r.time);
+            self.hot_requests += 1;
+        }
+        Some(r)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for FlashCrowdGenerator {}
+
+/// One membership change in a churn schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Request offset at which the event fires (strictly less than the
+    /// trace's request count).
+    pub at_request: u64,
+    /// The mesh node affected.
+    pub node: u32,
+    /// Leave or (re)join.
+    pub kind: ChurnKind,
+}
+
+/// Whether a [`ChurnEvent`] removes or restores a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnKind {
+    /// The node leaves (crash-stop, no goodbye).
+    Leave,
+    /// The node rejoins at its original coordinates.
+    Join,
+}
+
+/// A diurnal-swing workload with join/leave churn at a multiple of the
+/// paper-era baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalChurnSpec {
+    /// The base workload; [`DiurnalChurnSpec::workload`] amplifies its
+    /// diurnal swing.
+    pub base: WorkloadSpec,
+    /// Mesh nodes subject to churn.
+    pub nodes: u32,
+    /// Churn rate as a multiple of the baseline (one membership change
+    /// per node per simulated week). The scenario harness targets the
+    /// 10–100× band.
+    pub churn_multiplier: f64,
+}
+
+impl DiurnalChurnSpec {
+    /// A small diurnal-churn scenario over [`WorkloadSpec::small`]:
+    /// 4 nodes at 50× the baseline churn rate.
+    pub fn smoke() -> Self {
+        DiurnalChurnSpec {
+            base: WorkloadSpec::small(),
+            nodes: 4,
+            churn_multiplier: 50.0,
+        }
+    }
+
+    /// Validates the scenario parameters and the base spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if self.nodes < 2 {
+            return Err(format!("churn needs at least 2 nodes, got {}", self.nodes));
+        }
+        if !self.churn_multiplier.is_finite() || self.churn_multiplier <= 0.0 {
+            return Err(format!(
+                "churn_multiplier must be positive, got {}",
+                self.churn_multiplier
+            ));
+        }
+        Ok(())
+    }
+
+    /// The request workload: the base spec with its diurnal amplitude
+    /// raised to 0.9 (just under the validation bound), so the swing
+    /// between trough and peak arrival rate is 19:1.
+    pub fn workload(&self) -> WorkloadSpec {
+        let mut w = self.base.clone();
+        w.diurnal_amplitude = 0.9;
+        w
+    }
+
+    /// Expected leave/join pairs over the trace: baseline one change
+    /// per node per week, times the multiplier, never less than one.
+    pub fn churn_pairs(&self) -> u64 {
+        let pairs = self.nodes as f64 * self.base.duration_days / 7.0 * self.churn_multiplier;
+        (pairs.round() as u64).max(1)
+    }
+
+    /// A 64-bit fingerprint over the base spec and scenario parameters
+    /// (the same contract as [`WorkloadSpec::fingerprint`]); covers the
+    /// churn schedule too, which is a pure function of `(self, seed)`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h =
+            bh_simcore::rng::SplitMix64::new(self.base.fingerprint() ^ 0xD1A7_C4A0_5EED_ED02);
+        let mut mix = |v: u64| {
+            h = bh_simcore::rng::SplitMix64::new(h.next_u64() ^ v);
+        };
+        mix(self.nodes as u64);
+        mix(self.churn_multiplier.to_bits());
+        h.next_u64()
+    }
+
+    /// The seeded churn schedule: `churn_pairs()` leave events at
+    /// uniform request offsets, each followed by the node's rejoin
+    /// after a hold of 1/20th of the trace (clamped to the end).
+    /// Sorted by `(at_request, node, Leave-before-Join)`; a node's
+    /// rejoin always follows its leave (pinned by proptests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`DiurnalChurnSpec::validate`].
+    pub fn churn_schedule(&self, seed: u64) -> Vec<ChurnEvent> {
+        if let Err(msg) = self.validate() {
+            panic!("invalid diurnal-churn spec: {msg}");
+        }
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xD1A7_C4A0_0C0F_FEE5);
+        let requests = self.base.requests;
+        let hold = (requests / 20).max(1);
+        let mut events = Vec::new();
+        for _ in 0..self.churn_pairs() {
+            let node = rng.below(self.nodes as u64) as u32;
+            // Leave early enough that the rejoin still lands inside the
+            // trace, so every pair completes and the mesh ends whole.
+            let leave_at = rng.below(requests.saturating_sub(hold).max(1));
+            events.push(ChurnEvent {
+                at_request: leave_at,
+                node,
+                kind: ChurnKind::Leave,
+            });
+            events.push(ChurnEvent {
+                at_request: (leave_at + hold).min(requests - 1),
+                node,
+                kind: ChurnKind::Join,
+            });
+        }
+        events.sort_by_key(|e| (e.at_request, e.node, matches!(e.kind, ChurnKind::Join)));
+        events
+    }
+
+    /// Materializes the diurnal request workload into an arena;
+    /// replaying it yields the generator stream verbatim.
+    pub fn materialize(&self, seed: u64) -> MaterializedTrace {
+        MaterializedTrace::generate(&self.workload(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_specs_validate() {
+        FlashCrowdSpec::smoke().validate().expect("flash crowd");
+        DiurnalChurnSpec::smoke().validate().expect("diurnal churn");
+    }
+
+    #[test]
+    fn share_ramps_linearly_then_holds() {
+        let s = FlashCrowdSpec::smoke();
+        assert_eq!(s.share_at(0), 0.0);
+        assert_eq!(s.share_at(s.ramp_start.saturating_sub(1)), 0.0);
+        let mid = s.share_at(s.ramp_start + s.ramp_len / 2);
+        assert!((mid - s.peak_share / 2.0).abs() < s.peak_share * 0.01);
+        assert_eq!(s.share_at(s.ramp_start + s.ramp_len), s.peak_share);
+        assert_eq!(s.share_at(u64::MAX), s.peak_share);
+    }
+
+    #[test]
+    fn hot_object_is_cold_cacheable_and_fixed() {
+        let s = FlashCrowdSpec::smoke();
+        let hot = s.hot_object();
+        assert!(hot.0 >= SCENARIO_OBJECT_BASE);
+        let attrs = ObjectAttrs::derive(hot, &s.base);
+        assert!(!attrs.cgi);
+        assert_eq!(attrs.mod_rate_per_sec, 0.0);
+        assert_eq!(hot, s.hot_object(), "hot object must be deterministic");
+    }
+
+    #[test]
+    fn crowd_strikes_only_after_the_ramp_starts() {
+        let s = FlashCrowdSpec::smoke();
+        let hot = s.hot_object();
+        let records: Vec<TraceRecord> = s.generate(7).collect();
+        assert_eq!(records.len() as u64, s.base.requests);
+        let first_hot = records
+            .iter()
+            .position(|r| r.object == hot)
+            .expect("a 40%-peak crowd must strike at least once");
+        assert!(first_hot as u64 >= s.ramp_start, "struck at {first_hot}");
+        // After the peak the hot share of cacheable requests must be
+        // near peak_share (only cacheable records are struck).
+        let tail: Vec<&TraceRecord> = records[(s.ramp_start + s.ramp_len) as usize..]
+            .iter()
+            .filter(|r| r.is_cacheable())
+            .collect();
+        let hot_frac = tail.iter().filter(|r| r.object == hot).count() as f64 / tail.len() as f64;
+        assert!(
+            (hot_frac - s.peak_share).abs() < 0.05,
+            "tail hot share {hot_frac} vs peak {}",
+            s.peak_share
+        );
+    }
+
+    #[test]
+    fn crowd_leaves_the_background_intact() {
+        let s = FlashCrowdSpec::smoke();
+        let hot = s.hot_object();
+        let base: Vec<TraceRecord> = TraceGenerator::new(&s.base, 11).collect();
+        let crowd: Vec<TraceRecord> = s.generate(11).collect();
+        for (b, c) in base.iter().zip(&crowd) {
+            if c.object != hot {
+                assert_eq!(b, c, "non-struck records must be the base stream");
+            } else {
+                assert_eq!(b.time, c.time);
+                assert_eq!(b.client, c.client);
+                assert_eq!(b.class, c.class);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_schedule_is_sorted_paired_and_seed_deterministic() {
+        let s = DiurnalChurnSpec::smoke();
+        let a = s.churn_schedule(3);
+        let b = s.churn_schedule(3);
+        let c = s.churn_schedule(4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len() as u64, 2 * s.churn_pairs());
+        for w in a.windows(2) {
+            assert!(w[0].at_request <= w[1].at_request, "must be sorted");
+        }
+        for e in &a {
+            assert!(e.node < s.nodes);
+            assert!(e.at_request < s.base.requests);
+        }
+    }
+
+    #[test]
+    fn churn_pairs_scale_with_the_multiplier() {
+        let mut s = DiurnalChurnSpec::smoke();
+        s.churn_multiplier = 10.0;
+        let low = s.churn_pairs();
+        s.churn_multiplier = 100.0;
+        let high = s.churn_pairs();
+        let ratio = high as f64 / low as f64;
+        assert!((ratio - 10.0).abs() < 1.0, "10× multiplier gave {ratio}×");
+    }
+
+    #[test]
+    fn fingerprints_separate_scenarios_from_bases() {
+        let f = FlashCrowdSpec::smoke();
+        let d = DiurnalChurnSpec::smoke();
+        assert_ne!(f.fingerprint(), f.base.fingerprint());
+        assert_ne!(d.fingerprint(), d.base.fingerprint());
+        assert_ne!(f.fingerprint(), d.fingerprint());
+        let mut f2 = f.clone();
+        f2.peak_share = 0.5;
+        assert_ne!(f.fingerprint(), f2.fingerprint());
+    }
+
+    #[test]
+    fn scenario_specs_round_trip_through_serde() {
+        let f = FlashCrowdSpec::smoke();
+        let json = serde_json::to_string(&f).expect("serialize");
+        let back: FlashCrowdSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(f, back);
+        let d = DiurnalChurnSpec::smoke();
+        let json = serde_json::to_string(&d).expect("serialize");
+        let back: DiurnalChurnSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(d, back);
+    }
+}

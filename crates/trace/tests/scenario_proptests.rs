@@ -1,0 +1,120 @@
+//! Property tests for the scenario workload generators (the
+//! `tests/scenario_proptests.rs` the `scenario` module doc points at):
+//!
+//! * arena replay is byte-identical to fresh generation for both the
+//!   flash-crowd and diurnal-churn specs, across seeds and shapes;
+//! * the flash-crowd ramp schedule is monotone non-decreasing;
+//! * the churn schedule is sorted, complete (every leave has its
+//!   node's rejoin at or after it), and in-bounds.
+
+use bh_trace::scenario::{ChurnKind, DiurnalChurnSpec, FlashCrowdSpec};
+use bh_trace::{TraceRecord, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_flash_spec() -> BoxedStrategy<FlashCrowdSpec> {
+    (100u64..800, 1u64..99, 1u64..100, 1u64..99, 0.05f64..0.9)
+        .prop_map(|(requests, start_pct, len_pct, peak_pct, p_new)| {
+            let base = WorkloadSpec::small()
+                .with_requests(requests)
+                .with_p_new(p_new);
+            FlashCrowdSpec {
+                ramp_start: requests * start_pct / 100,
+                ramp_len: (requests * len_pct / 100).max(1),
+                peak_share: peak_pct as f64 / 100.0,
+                base,
+            }
+        })
+        .boxed()
+}
+
+fn arb_churn_spec() -> BoxedStrategy<DiurnalChurnSpec> {
+    (100u64..800, 2u32..12, 10.0f64..100.0)
+        .prop_map(|(requests, nodes, churn_multiplier)| DiurnalChurnSpec {
+            base: WorkloadSpec::small().with_requests(requests),
+            nodes,
+            churn_multiplier,
+        })
+        .boxed()
+}
+
+proptest! {
+    /// Replaying the flash-crowd arena yields the generator stream
+    /// verbatim — the scenario's replay path cannot drift from fresh
+    /// generation.
+    #[test]
+    fn flash_crowd_arena_replay_equals_fresh_generation(
+        spec in arb_flash_spec(),
+        seed in 0u64..1_000,
+    ) {
+        prop_assert!(spec.validate().is_ok());
+        let fresh: Vec<TraceRecord> = spec.generate(seed).collect();
+        let replayed: Vec<TraceRecord> = spec.materialize(seed).iter().collect();
+        prop_assert_eq!(fresh, replayed);
+    }
+
+    /// Same property for the diurnal-churn workload (whose arena is
+    /// built from the amplitude-raised derived spec).
+    #[test]
+    fn diurnal_arena_replay_equals_fresh_generation(
+        spec in arb_churn_spec(),
+        seed in 0u64..1_000,
+    ) {
+        prop_assert!(spec.validate().is_ok());
+        let fresh: Vec<TraceRecord> =
+            bh_trace::TraceGenerator::new(&spec.workload(), seed).collect();
+        let replayed: Vec<TraceRecord> = spec.materialize(seed).iter().collect();
+        prop_assert_eq!(fresh, replayed);
+    }
+
+    /// The hot object's scheduled share never decreases along the
+    /// trace, and is bounded by `peak_share`.
+    #[test]
+    fn flash_crowd_ramp_is_monotone(spec in arb_flash_spec()) {
+        let mut prev = 0.0f64;
+        for i in 0..spec.base.requests {
+            let share = spec.share_at(i);
+            prop_assert!(share >= prev, "share dipped at {i}: {share} < {prev}");
+            prop_assert!(share <= spec.peak_share + 1e-12);
+            prev = share;
+        }
+        prop_assert_eq!(spec.share_at(0), 0.0);
+        prop_assert!(
+            (spec.share_at(u64::MAX) - spec.peak_share).abs() < 1e-12,
+            "the ramp plateaus at peak_share"
+        );
+    }
+
+    /// The churn schedule is deterministic in the seed, sorted by
+    /// `(request, node, leave-before-join)`, in-bounds, and every leave
+    /// is eventually answered by the same node's rejoin.
+    #[test]
+    fn churn_schedule_is_ordered_and_complete(
+        spec in arb_churn_spec(),
+        seed in 0u64..1_000,
+    ) {
+        let schedule = spec.churn_schedule(seed);
+        prop_assert_eq!(schedule.clone(), spec.churn_schedule(seed));
+        prop_assert_eq!(schedule.len() as u64, spec.churn_pairs() * 2);
+
+        let key = |e: &bh_trace::ChurnEvent| {
+            (e.at_request, e.node, matches!(e.kind, ChurnKind::Join))
+        };
+        for pair in schedule.windows(2) {
+            prop_assert!(key(&pair[0]) <= key(&pair[1]), "schedule must be sorted");
+        }
+        for (i, e) in schedule.iter().enumerate() {
+            prop_assert!(e.at_request < spec.base.requests, "event past trace end");
+            prop_assert!(e.node < spec.nodes, "event names an unknown node");
+            if e.kind == ChurnKind::Leave {
+                prop_assert!(
+                    schedule[i..].iter().any(|j| j.kind == ChurnKind::Join
+                        && j.node == e.node
+                        && j.at_request >= e.at_request),
+                    "leave of node {} at {} has no later rejoin",
+                    e.node,
+                    e.at_request
+                );
+            }
+        }
+    }
+}

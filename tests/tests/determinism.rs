@@ -13,6 +13,11 @@
 //!   `obs_dump.json` artifacts, even though they drive two distinct live
 //!   meshes (the measured numbers go to `loadgen_chaos_metrics.json`,
 //!   which makes no such promise);
+//! * the same contract for the scenario harness: two runs of the seeded
+//!   flash-crowd scenario (two-level hierarchy, `CrashParent` window)
+//!   produce byte-identical `scenario_flash_crowd.json`, event log, and
+//!   `obs_dump.json`, and the scenario lag experiment's artifact is
+//!   identical at `--jobs 1` and `--jobs 8`;
 //! * the suite's `obs_dump.json` — the `Determinism::Deterministic`
 //!   slice of the obs registry — is byte-identical at `--jobs 1` and
 //!   `--jobs 8`.
@@ -131,6 +136,80 @@ fn chaos_plan_artifacts_are_byte_identical_across_runs() {
     assert_eq!(
         obs_a, obs_b,
         "obs_dump.json differs between two runs of the same plan"
+    );
+}
+
+/// Runs the flash-crowd scenario (two-level hierarchy, `CrashParent`
+/// window) into a scratch dir and returns the bytes of its deterministic
+/// artifact, event log, and obs dump.
+fn scenario_artifacts(tag: &str) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    use bh_bench::scenario::{run_scenario, Scenario};
+
+    let out = scratch(tag);
+    let args = Args {
+        scale: 1.0,
+        seed: 7,
+        trace: "custom".to_string(),
+        out: out.clone(),
+        jobs: 1,
+    };
+    let scenario = Scenario::flash_crowd(7);
+    assert!(
+        run_scenario(&args, &scenario),
+        "scenario run must recover (children re-homed, churn parity held)"
+    );
+    let json = std::fs::read(out.join("scenario_flash_crowd.json")).expect("read artifact");
+    let log = std::fs::read(out.join("scenario_flash_crowd_events.log")).expect("read log");
+    let obs = std::fs::read(out.join("obs_dump.json")).expect("read obs dump");
+    (json, log, obs)
+}
+
+/// The scenario harness extends the chaos byte-identity contract to the
+/// hierarchy: `scenario_flash_crowd.json`, its event log, and the obs
+/// dump are pure functions of the seeded scenario, byte-identical across
+/// two live-mesh runs — even though each run kills and revives a parent.
+#[test]
+fn scenario_artifacts_are_byte_identical_across_runs() {
+    let (json_a, log_a, obs_a) = scenario_artifacts("scenario-a");
+    let (json_b, log_b, obs_b) = scenario_artifacts("scenario-b");
+    assert!(!json_a.is_empty(), "empty scenario artifact");
+    assert_eq!(
+        json_a, json_b,
+        "scenario_flash_crowd.json differs between two runs of the same scenario"
+    );
+    assert_eq!(
+        log_a, log_b,
+        "scenario_flash_crowd_events.log differs between two runs"
+    );
+    assert!(!obs_a.is_empty(), "empty obs dump");
+    assert_eq!(obs_a, obs_b, "obs_dump.json differs between two runs");
+}
+
+/// The scenario lag experiment writes `scenario_flash_crowd_lag.json`
+/// (not `<name>.json`), so it gets its own jobs-invisibility pin.
+#[test]
+fn scenario_lag_artifact_is_identical_at_jobs_1_and_8() {
+    let exp = bh_bench::runners::scenario::ScenarioLag;
+    let bytes_at = |jobs: usize, tag: &str| {
+        let out = scratch(tag);
+        let args = Args {
+            scale: 0.002,
+            seed: 42,
+            trace: "all".to_string(),
+            out: out.clone(),
+            jobs,
+        };
+        let plan = exp.plan(&args);
+        let results = bh_simcore::par::sweep(jobs, plan, |_, j| j());
+        exp.finish(&args, results);
+        std::fs::read(out.join("scenario_flash_crowd_lag.json")).expect("read artifact")
+    };
+    let serial = bytes_at(1, "scenlag-j1");
+    let parallel = bytes_at(8, "scenlag-j8");
+    assert!(!serial.is_empty(), "empty scenario lag artifact");
+    assert_eq!(
+        serial, parallel,
+        "scenario_flash_crowd_lag.json differs between --jobs 1 and --jobs 8"
     );
 }
 

@@ -157,6 +157,52 @@ fn fig2_dec_rates_survive_the_parallel_engine() {
     assert_eq!(rate3(&points[1], "capacity"), 0.213);
 }
 
+/// The replacement-policy ablation rows at `--scale 0.05`, seed 42, as
+/// computed by `replacement_sweep` — LRU and GreedyDual-Size next to the
+/// seeded-Random arm, pinned digit for digit. GDS must beat LRU must
+/// beat Random on request hit rate (Random evicts hot objects as readily
+/// as cold ones), and none of the three may drift by a single bit.
+#[test]
+fn ablation_replacement_rows_pinned_through_the_parallel_engine() {
+    use bh_bench::runners::ablations::replacement_sweep;
+
+    let spec = WorkloadSpec::dec().scaled(0.05);
+    let rows_at = |jobs: usize| -> Vec<Vec<(String, f64)>> {
+        bh_simcore::par::sweep(jobs, vec![42u64, 43, 44, 45], |_, seed| {
+            replacement_sweep(&spec, seed)
+        })
+    };
+    let serial = rows_at(1);
+    let parallel = rows_at(8);
+    assert_eq!(
+        serial, parallel,
+        "replacement rows differ between --jobs 1 and --jobs 8"
+    );
+
+    let seed42 = &serial[0];
+    assert_eq!(
+        *seed42,
+        vec![
+            ("LRU".to_string(), 0.666707696244146),
+            ("GreedyDual-Size".to_string(), 0.7558791830784977),
+            ("Random".to_string(), 0.6188329637440685),
+        ],
+        "seed-42 replacement rows must match digit for digit"
+    );
+    for (seed, rows) in [42u64, 43, 44, 45].into_iter().zip(&serial) {
+        let rate = |label: &str| {
+            rows.iter()
+                .find(|(l, _)| l == label)
+                .unwrap_or_else(|| panic!("missing {label} row"))
+                .1
+        };
+        assert!(
+            rate("GreedyDual-Size") > rate("LRU") && rate("LRU") > rate("Random"),
+            "seed {seed}: expected GDS > LRU > Random, got {rows:?}"
+        );
+    }
+}
+
 /// Partial mirror of the `table3` JSON artifact (extra fields are ignored
 /// by the derived deserializer).
 #[derive(serde::Deserialize)]
