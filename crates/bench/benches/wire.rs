@@ -28,9 +28,9 @@ fn bench(c: &mut Criterion) {
         let msg = batch(n);
         group.throughput(Throughput::Bytes(20 * n));
         group.bench_function(format!("encode_batch_{n}"), |b| {
-            b.iter(|| black_box(msg.encode()));
+            b.iter(|| black_box(msg.encoded()));
         });
-        let encoded = msg.encode();
+        let encoded = msg.encoded();
         group.bench_function(format!("decode_batch_{n}"), |b| {
             b.iter(|| {
                 let mut cursor = std::io::Cursor::new(encoded.as_ref());

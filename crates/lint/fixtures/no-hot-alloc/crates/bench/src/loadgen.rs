@@ -1,0 +1,10 @@
+//! Negative control: the same allocations outside the hot set are not
+//! the data path's problem and must not be flagged.
+
+pub fn collect(frames: &[&[u8]]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for f in frames {
+        out.push(f.to_vec());
+    }
+    out
+}

@@ -1,0 +1,40 @@
+//! Fixture: per-request allocations in the wire-speed hot set (must be
+//! flagged), with scratch-buffer reuse, an allow directive, `vec![]`,
+//! and a `#[cfg(test)]` module as negative controls.
+
+pub fn send_frame(frame: &[u8], out: &mut Vec<Vec<u8>>) {
+    // Flagged: copies the frame on every reply.
+    out.push(frame.to_vec());
+}
+
+pub fn encode_reply(body: &[u8]) -> Vec<u8> {
+    // Flagged: grows from capacity zero inside the request loop.
+    let mut scratch = Vec::new();
+    scratch.extend_from_slice(body);
+    scratch
+}
+
+pub fn buffer_tail(frame: &[u8], sent: usize, out: &mut Vec<Vec<u8>>) {
+    // Negative control: a reasoned allow waives the finding below it.
+    // bh-lint: allow(no-hot-alloc, reason = "only the unsent tail of a short write is copied")
+    out.push(frame[sent..].to_vec());
+}
+
+pub fn preallocated() -> Vec<u8> {
+    // Negative controls: with_capacity and the vec! macro are legal.
+    let mut scratch = Vec::with_capacity(4096);
+    scratch.extend_from_slice(&vec![0u8; 16]);
+    scratch
+}
+
+#[cfg(test)]
+mod tests {
+    // Negative control: tests may allocate freely.
+    #[test]
+    fn copies_are_fine_here() {
+        let frame = [1u8, 2, 3];
+        let copy = frame.to_vec();
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(copy.len() + empty.len(), 3);
+    }
+}

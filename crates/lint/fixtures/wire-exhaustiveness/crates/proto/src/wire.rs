@@ -46,7 +46,7 @@ impl Message {
     pub fn decode(buf: &[u8]) -> Option<Message> {
         match buf.first()? {
             &T_GET => Some(Message::Get { key: 0 }),
-            &T_GET_REPLY => Some(Message::GetReply { body: Vec::new() }),
+            &T_GET_REPLY => Some(Message::GetReply { body: vec![] }),
             _ => None,
         }
     }

@@ -1,7 +1,7 @@
 //! `bh-lint`: a repo-specific static analysis pass enforcing the
 //! determinism and resilience invariants this reproduction rests on.
 //!
-//! Six rules (see `LINTS.md` at the repo root):
+//! Seven rules (see `LINTS.md` at the repo root):
 //!
 //! 1. `no-wall-clock` — `Instant::now`/`SystemTime::now` only in real
 //!    I/O modules; simulation and bench code must be replayable.
@@ -15,6 +15,9 @@
 //!    a decoder arm, and proptest coverage.
 //! 6. `stats-registry` — every `NodeStats` field is backed by a
 //!    registered obs metric, and the chaos dump iterates the registry.
+//! 7. `no-hot-alloc` — no `.to_vec()` / `Vec::new()` / `BytesMut::new()`
+//!    in the wire-speed data-path hot set; reuse scratch buffers and
+//!    refcounted `Bytes` slices instead.
 //!
 //! Findings can be waived per line with
 //! `// bh-lint: allow(<rule>, reason = "...")`, which covers its own
@@ -133,6 +136,7 @@ pub fn check_root(root: &Path) -> io::Result<Report> {
         rules::no_ambient_rng(rel, lx, &mut raw);
         rules::ordered_iteration(rel, lx, &mut raw);
         rules::no_panic_hot_path(rel, lx, &mut raw);
+        rules::no_hot_alloc(rel, lx, &mut raw);
     }
     rules::wire_exhaustiveness(&lexed, &mut raw);
     rules::stats_registry(&lexed, &mut raw);

@@ -1,21 +1,23 @@
-//! The six bh-lint rules. Each rule pushes [`Diagnostic`]s; allow
+//! The seven bh-lint rules. Each rule pushes [`Diagnostic`]s; allow
 //! resolution and rendering happen in the engine (`lib.rs`).
 //!
-//! Rules 1–4 are per-file token scans gated on repo-relative paths.
-//! Rules 5–6 are cross-file consistency checks over specific files.
+//! Rules 1–4 and 7 are per-file token scans gated on repo-relative
+//! paths. Rules 5–6 are cross-file consistency checks over specific
+//! files.
 
 use crate::lexer::{item_body, test_mod_spans, Lexed, Tok, Token};
 use crate::Diagnostic;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Rule names, in the order they are documented in LINTS.md.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "no-wall-clock",
     "no-ambient-rng",
     "ordered-iteration",
     "no-panic-hot-path",
     "wire-exhaustiveness",
     "stats-registry",
+    "no-hot-alloc",
 ];
 
 /// Modules allowed to read the wall clock: the real-I/O edge of the
@@ -181,6 +183,58 @@ pub fn no_panic_hot_path(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
                     format!(
                         "`{s}` in a proto hot path; return an error and account it in \
                          NodeStats instead of panicking a shard/worker thread"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The wire-speed data-path hot set: files whose per-request
+/// allocations show up directly in the req/s ceiling. Kept in lockstep
+/// with the DESIGN.md data-path section.
+const HOT_ALLOC_FILES: [&str; 3] = [
+    "crates/proto/src/node/engine.rs",
+    "crates/proto/src/node/mod.rs",
+    "crates/proto/src/wire.rs",
+];
+
+/// Rule 7: per-request allocation idioms in the proto hot set.
+/// `.to_vec()` copies a buffer the zero-copy frame path already
+/// refcounts; `Vec::new`/`BytesMut::new` start at capacity zero and
+/// grow inside the request loop. `#[cfg(test)] mod` blocks are exempt;
+/// the `vec![...]` macro and `with_capacity` are deliberately legal.
+pub fn no_hot_alloc(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !HOT_ALLOC_FILES.contains(&rel) {
+        return;
+    }
+    let spans = test_mod_spans(&lx.tokens);
+    for i in 0..lx.tokens.len() {
+        let t = &lx.tokens[i];
+        if spans.iter().any(|&(a, b)| t.line >= a && t.line <= b) {
+            continue;
+        }
+        if matches!(&t.tok, Tok::Ident(s) if s == "to_vec") {
+            push(
+                out,
+                rel,
+                t.line,
+                "no-hot-alloc",
+                "`to_vec()` copies a buffer in the proto hot set; slice a refcounted \
+                 `Bytes` or reuse a scratch buffer"
+                    .to_string(),
+            );
+        }
+        for ty in ["Vec", "BytesMut"] {
+            if path_seq(&lx.tokens, i, ty, "new") {
+                push(
+                    out,
+                    rel,
+                    t.line,
+                    "no-hot-alloc",
+                    format!(
+                        "`{ty}::new()` in the proto hot set grows from capacity zero; \
+                         preallocate with `with_capacity` or reuse a scratch buffer"
                     ),
                 );
             }

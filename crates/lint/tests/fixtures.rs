@@ -75,6 +75,18 @@ fn stats_registry_fixture_matches_golden() {
 }
 
 #[test]
+fn no_hot_alloc_fixture_matches_golden() {
+    let report = check_fixture("no-hot-alloc");
+    // The allowed tail-copy is honored; the out-of-hot-set file and the
+    // #[cfg(test)] module contribute nothing.
+    assert_eq!(report.allows_honored, 1);
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.file == "crates/proto/src/node/engine.rs"));
+}
+
+#[test]
 fn allow_hygiene_fixture_matches_golden() {
     let report = check_fixture("allow-hygiene");
     // The one well-formed directive in the fixture is honored.

@@ -38,6 +38,12 @@ pub mod span {
     pub const LOCAL_HIT: u16 = 6;
     /// Hint-propagation batch flushed (`a` = records, `b` = targets).
     pub const FLUSH_BATCH: u16 = 7;
+    /// `Get` rejected by admission control (`a` = key, `b` = queue depth
+    /// at rejection).
+    pub const ADMISSION_REJECT: u16 = 8;
+    /// Worker queue crossed its high-water mark (`a` = queue depth,
+    /// `b` = high-water mark). One per saturation episode.
+    pub const QUEUE_SATURATION: u16 = 9;
 
     /// Human-readable name for a span kind.
     pub fn name(kind: u16) -> &'static str {
@@ -49,6 +55,8 @@ pub mod span {
             REPLY => "reply",
             LOCAL_HIT => "local-hit",
             FLUSH_BATCH => "flush-batch",
+            ADMISSION_REJECT => "admission-reject",
+            QUEUE_SATURATION => "queue-saturation",
             _ => "unknown",
         }
     }

@@ -16,6 +16,9 @@ pub enum Source {
     Peer(MachineId),
     /// The origin server.
     Origin,
+    /// The node's admission control turned the request away: the client
+    /// should fetch from the origin directly (the body is empty).
+    Redirected,
 }
 
 /// Fetches `url` through the cache node at `addr`.
@@ -77,6 +80,11 @@ impl Connection {
                 };
                 Ok((source, body))
             }
+            Message::GetReply {
+                status: Status::Redirect,
+                body,
+                ..
+            } => Ok((Source::Redirected, body)),
             Message::GetReply { status, .. } => {
                 Err(io::Error::other(format!("fetch failed: {status:?}")))
             }

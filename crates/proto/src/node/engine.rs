@@ -28,14 +28,16 @@
 //! store lock (frame handling under the connection lock), never the other
 //! way around — nothing touches connection state while holding the store.
 
-use super::{handle_get, local_hit, local_response, Inner};
-use crate::wire::{FrameAssembler, Message};
+use super::{handle_get, local_hit, local_response, trace_event, Inner};
+use crate::wire::{FrameAssembler, Message, ServedBy, Status};
 use bh_netpoll::{waker_pair, Event, Interest, Poller, WakeReceiver, Waker};
+use bh_obs::span;
+use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -64,6 +66,91 @@ struct WorkerJob {
     conn: Arc<SharedConn>,
 }
 
+/// Admission-controlled handle to the worker-pool job channel.
+///
+/// Depth is tracked with a shared counter: enqueue increments, a worker
+/// dequeue decrements. Past the high-water mark new `Get`s are turned
+/// away with a redirect-to-origin reply instead of queueing unboundedly
+/// behind a slow origin — the client is closer to the origin than to a
+/// saturated cache (the paper's "the cache must stay cheaper than going
+/// direct" argument, applied as backpressure).
+#[derive(Clone)]
+struct JobQueue {
+    tx: Sender<WorkerJob>,
+    depth: Arc<AtomicUsize>,
+    saturated: Arc<AtomicBool>,
+    high_water: usize,
+}
+
+impl JobQueue {
+    /// Admission check: `Ok` when the job may be enqueued, `Err(depth)`
+    /// when it must be rejected. Counts one `queue_saturation_events`
+    /// per episode (the rising edge of the mark, not every reject); the
+    /// episode ends once the queue drains back to half the mark.
+    fn admit(&self, inner: &Inner) -> Result<(), usize> {
+        let depth = self.depth.load(Ordering::Relaxed);
+        if depth >= self.high_water {
+            if !self.saturated.swap(true, Ordering::Relaxed) {
+                inner.metrics.queue_saturation_events.inc();
+                trace_event(
+                    inner,
+                    span::QUEUE_SATURATION,
+                    depth as u64,
+                    self.high_water as u64,
+                );
+            }
+            Err(depth)
+        } else {
+            if self.saturated.load(Ordering::Relaxed) && depth <= self.high_water / 2 {
+                self.saturated.store(false, Ordering::Relaxed);
+            }
+            Ok(())
+        }
+    }
+
+    fn send(&self, job: WorkerJob) -> Result<(), channel::SendError<WorkerJob>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let sent = self.tx.send(job);
+        if sent.is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        sent
+    }
+
+    /// A worker checked a job out of the channel.
+    fn job_done(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Writes the admission-control rejection: a `Redirect` reply telling the
+/// client to fetch from the origin directly. Callers hold the connection
+/// lock.
+fn reject_get(
+    inner: &Inner,
+    stream: &TcpStream,
+    state: &mut ConnState,
+    scratch: &mut BytesMut,
+    url: &str,
+    depth: usize,
+) {
+    inner.metrics.admission_rejects.inc();
+    trace_event(
+        inner,
+        span::ADMISSION_REJECT,
+        bh_md5::url_key(url),
+        depth as u64,
+    );
+    let reply = Message::GetReply {
+        status: Status::Redirect,
+        version: 0,
+        served_by: ServedBy::Origin,
+        body: Bytes::new(),
+    };
+    reply.encode(scratch);
+    send_frame(stream, state, scratch);
+}
+
 /// Everything `CacheNode::spawn` needs to own the running engine.
 pub(super) struct Engine {
     pub(super) threads: Vec<std::thread::JoinHandle<()>>,
@@ -88,32 +175,44 @@ pub(super) fn spawn(listener: TcpListener, inner: Arc<Inner>) -> io::Result<Engi
     }
 
     let (job_tx, job_rx) = channel::unbounded::<WorkerJob>();
-    let mut threads = Vec::new();
+    let jobs = JobQueue {
+        tx: job_tx,
+        depth: Arc::new(AtomicUsize::new(0)),
+        saturated: Arc::new(AtomicBool::new(false)),
+        // Default high-water mark: enough queued Gets to keep every worker
+        // busy through a burst, small enough that a stalled origin turns
+        // into redirects instead of unbounded memory.
+        high_water: inner
+            .config
+            .admission_high_water
+            .unwrap_or_else(|| (workers * 64).max(256)),
+    };
+    let mut threads = Vec::with_capacity(workers + shards + 1);
 
     for w in 0..workers {
         let job_rx = job_rx.clone();
-        let job_tx = job_tx.clone();
+        let jobs = jobs.clone();
         let handles = clone_handles(&handles)?;
         let inner = Arc::clone(&inner);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("cache-worker-{addr}-{w}"))
-                .spawn(move || worker_loop(job_rx, job_tx, handles, inner))?,
+                .spawn(move || worker_loop(job_rx, jobs, handles, inner))?,
         );
     }
 
     for (i, (poller, wake_rx, rx)) in loops.into_iter().enumerate() {
         let inner = Arc::clone(&inner);
-        let job_tx = job_tx.clone();
+        let jobs = jobs.clone();
         threads.push(
             std::thread::Builder::new()
                 .name(format!("cache-shard-{addr}-{i}"))
                 .spawn(move || {
-                    Shard::new(i, poller, wake_rx, rx, job_tx, inner).run();
+                    Shard::new(i, poller, wake_rx, rx, jobs, inner).run();
                 })?,
         );
     }
-    drop(job_tx);
+    drop(jobs);
 
     let wakers = handles
         .iter()
@@ -152,8 +251,8 @@ fn accept_loop(listener: TcpListener, handles: Vec<(Sender<Injected>, Waker)>, i
         let Ok(stream) = stream else { continue };
         let (tx, waker) = &handles[next % handles.len()];
         next = next.wrapping_add(1);
-        if tx.send(Injected::Conn(stream)).is_ok() {
-            waker.wake();
+        if tx.send(Injected::Conn(stream)).is_ok() && !waker.wake() {
+            inner.metrics.wakeups_coalesced.inc();
         }
     }
 }
@@ -164,14 +263,18 @@ fn accept_loop(listener: TcpListener, handles: Vec<(Sender<Injected>, Waker)>, i
 /// the owning shard only if queued bytes remain.
 fn worker_loop(
     job_rx: Receiver<WorkerJob>,
-    job_tx: Sender<WorkerJob>,
+    jobs: JobQueue,
     handles: Vec<(Sender<Injected>, Waker)>,
     inner: Arc<Inner>,
 ) {
+    // Reply frames are encoded into this reusable scratch buffer; the
+    // fast path writes it straight to the socket, so the steady state is
+    // zero allocations per reply.
+    let mut scratch = BytesMut::with_capacity(4096);
     loop {
-        // Workers hold a `job_tx` clone (backlog replays enqueue follow-up
-        // jobs), so the channel never disconnects on its own — poll the
-        // shutdown flag instead of blocking forever.
+        // Workers hold a `JobQueue` clone (backlog replays enqueue
+        // follow-up jobs), so the channel never disconnects on its own —
+        // poll the shutdown flag instead of blocking forever.
         let job = match job_rx.recv_timeout(Duration::from_millis(50)) {
             Ok(job) => job,
             Err(channel::RecvTimeoutError::Timeout) => {
@@ -182,6 +285,7 @@ fn worker_loop(
             }
             Err(channel::RecvTimeoutError::Disconnected) => break,
         };
+        jobs.job_done();
         if inner.shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -189,20 +293,29 @@ fn worker_loop(
         let wants_write = {
             let mut state = job.conn.state.lock();
             let was_closed = state.closed;
-            send_frame(&job.conn.stream, &mut state, &reply.encode());
+            reply.encode(&mut scratch);
+            send_frame(&job.conn.stream, &mut state, &scratch);
             if state.closed && !was_closed {
                 // The reply could not be delivered (socket died mid-write);
                 // account it instead of wedging or panicking the worker.
                 inner.metrics.service_errors.inc();
             }
             state.busy = false;
-            replay_backlog(&job.conn, &mut state, &inner, &job_tx, job.shard, job.token);
+            replay_backlog(
+                &job.conn,
+                &mut state,
+                &inner,
+                &jobs,
+                &mut scratch,
+                job.shard,
+                job.token,
+            );
             !state.closed && state.wants_write()
         };
         if wants_write {
             let (tx, waker) = &handles[job.shard];
-            if tx.send(Injected::WantWrite { token: job.token }).is_ok() {
-                waker.wake();
+            if tx.send(Injected::WantWrite { token: job.token }).is_ok() && !waker.wake() {
+                inner.metrics.wakeups_coalesced.inc();
             }
         }
     }
@@ -215,7 +328,8 @@ fn replay_backlog(
     conn: &Arc<SharedConn>,
     state: &mut ConnState,
     inner: &Inner,
-    job_tx: &Sender<WorkerJob>,
+    jobs: &JobQueue,
+    scratch: &mut BytesMut,
     shard: usize,
     token: u64,
 ) {
@@ -226,7 +340,10 @@ fn replay_backlog(
         match msg {
             Message::Get { url } => {
                 if let Some(reply) = local_hit(inner, &url) {
-                    send_frame(&conn.stream, state, &reply.encode());
+                    reply.encode(scratch);
+                    send_frame(&conn.stream, state, scratch);
+                } else if let Err(depth) = jobs.admit(inner) {
+                    reject_get(inner, &conn.stream, state, scratch, &url, depth);
                 } else {
                     state.busy = true;
                     let job = WorkerJob {
@@ -235,7 +352,7 @@ fn replay_backlog(
                         url,
                         conn: Arc::clone(conn),
                     };
-                    if job_tx.send(job).is_err() {
+                    if jobs.send(job).is_err() {
                         state.closed = true;
                         inner.metrics.service_errors.inc();
                     }
@@ -243,7 +360,8 @@ fn replay_backlog(
             }
             other => {
                 let reply = local_response(inner, other);
-                send_frame(&conn.stream, state, &reply.encode());
+                reply.encode(scratch);
+                send_frame(&conn.stream, state, scratch);
             }
         }
     }
@@ -252,9 +370,12 @@ fn replay_backlog(
 /// Write-side state of a connection, shared between the owning shard and
 /// any worker finishing a `Get` for it.
 struct ConnState {
-    /// Bytes queued for writing; `out_pos` marks how much already left.
-    out: Vec<u8>,
-    out_pos: usize,
+    /// Reply frames queued for writing, oldest first; `front_pos` marks
+    /// how much of the front frame already left. Keeping whole frames
+    /// (refcounted `Bytes`) instead of one flat byte buffer is what lets
+    /// the flush path hand the entire queue to `writev` in one syscall.
+    out: VecDeque<Bytes>,
+    front_pos: usize,
     /// A `Get` is checked out to the worker pool; further frames wait in
     /// `backlog` so replies keep request order.
     busy: bool,
@@ -266,7 +387,7 @@ struct ConnState {
 
 impl ConnState {
     fn wants_write(&self) -> bool {
-        self.out_pos < self.out.len()
+        !self.out.is_empty()
     }
 }
 
@@ -293,10 +414,12 @@ struct Shard {
     poller: Poller,
     wake_rx: WakeReceiver,
     inject_rx: Receiver<Injected>,
-    job_tx: Sender<WorkerJob>,
+    jobs: JobQueue,
     inner: Arc<Inner>,
     conns: HashMap<u64, ShardConn>,
     next_token: u64,
+    /// Reusable encode buffer for replies answered on the shard itself.
+    scratch: BytesMut,
 }
 
 impl Shard {
@@ -305,7 +428,7 @@ impl Shard {
         poller: Poller,
         wake_rx: WakeReceiver,
         inject_rx: Receiver<Injected>,
-        job_tx: Sender<WorkerJob>,
+        jobs: JobQueue,
         inner: Arc<Inner>,
     ) -> Self {
         Shard {
@@ -313,15 +436,16 @@ impl Shard {
             poller,
             wake_rx,
             inject_rx,
-            job_tx,
+            jobs,
             inner,
             conns: HashMap::new(),
             next_token: WAKER_TOKEN + 1,
+            scratch: BytesMut::with_capacity(4096),
         }
     }
 
     fn run(mut self) {
-        let mut events: Vec<Event> = Vec::new();
+        let mut events: Vec<Event> = Vec::with_capacity(128);
         while !self.inner.shutdown.load(Ordering::SeqCst) {
             events.clear();
             if self.poller.wait(&mut events, Some(IDLE_WAIT)).is_err() {
@@ -365,8 +489,8 @@ impl Shard {
             let shared = Arc::new(SharedConn {
                 stream,
                 state: Mutex::new(ConnState {
-                    out: Vec::new(),
-                    out_pos: 0,
+                    out: VecDeque::new(),
+                    front_pos: 0,
                     busy: false,
                     backlog: VecDeque::new(),
                     closed: false,
@@ -454,7 +578,17 @@ impl Shard {
                 // Fast path: a local hit is pure in-memory work, so answer
                 // it here and skip the worker-pool round trip.
                 if let Some(reply) = local_hit(&self.inner, &url) {
-                    send_frame(&shared.stream, &mut state, &reply.encode());
+                    reply.encode(&mut self.scratch);
+                    send_frame(&shared.stream, &mut state, &self.scratch);
+                } else if let Err(depth) = self.jobs.admit(&self.inner) {
+                    reject_get(
+                        &self.inner,
+                        &shared.stream,
+                        &mut state,
+                        &mut self.scratch,
+                        &url,
+                        depth,
+                    );
                 } else {
                     state.busy = true;
                     let job = WorkerJob {
@@ -463,7 +597,7 @@ impl Shard {
                         url,
                         conn: Arc::clone(&shared),
                     };
-                    if self.job_tx.send(job).is_err() {
+                    if self.jobs.send(job).is_err() {
                         // Engine tearing down; the connection dies with it.
                         self.inner.metrics.service_errors.inc();
                         return false;
@@ -472,7 +606,8 @@ impl Shard {
             }
             other => {
                 let reply = local_response(&self.inner, other);
-                send_frame(&shared.stream, &mut state, &reply.encode());
+                reply.encode(&mut self.scratch);
+                send_frame(&shared.stream, &mut state, &self.scratch);
             }
         }
         !state.closed
@@ -486,7 +621,7 @@ impl Shard {
         };
         let want = {
             let mut state = conn.shared.state.lock();
-            if write_some(&conn.shared.stream, &mut state).is_err() {
+            if write_some(&conn.shared.stream, &mut state, &self.inner).is_err() {
                 drop(state);
                 self.close(token);
                 return;
@@ -545,25 +680,48 @@ fn send_frame(stream: &TcpStream, state: &mut ConnState, frame: &[u8]) {
         }
     }
     if sent < frame.len() {
-        state.out.extend_from_slice(&frame[sent..]);
+        // bh-lint: allow(no-hot-alloc, reason = "only the unsent tail of a short write is copied; the fast path above writes the caller's scratch buffer in place")
+        state.out.push_back(Bytes::from(frame[sent..].to_vec()));
     }
 }
 
-/// Writes as much of the out-queue as the socket accepts right now.
-/// Callers hold the connection lock.
-fn write_some(stream: &TcpStream, state: &mut ConnState) -> io::Result<()> {
+/// Writes as much of the out-queue as the socket accepts right now, whole
+/// frames gathered into one `writev` per syscall. Callers hold the
+/// connection lock.
+fn write_some(stream: &TcpStream, state: &mut ConnState, inner: &Inner) -> io::Result<()> {
     while state.wants_write() {
-        match (&*stream).write(&state.out[state.out_pos..]) {
-            Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
-            Ok(n) => state.out_pos += n,
-            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
-            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
+        let empty: &[u8] = &[];
+        let mut bufs = [IoSlice::new(empty); bh_netpoll::MAX_IOV];
+        let mut cnt = 0usize;
+        for (i, frame) in state.out.iter().take(bh_netpoll::MAX_IOV).enumerate() {
+            bufs[i] = IoSlice::new(if i == 0 {
+                &frame[state.front_pos..]
+            } else {
+                frame
+            });
+            cnt += 1;
         }
-    }
-    if !state.wants_write() {
-        state.out.clear();
-        state.out_pos = 0;
+        let wrote = match bh_netpoll::write_vectored(stream, &bufs[..cnt]) {
+            Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
+            Ok(n) => n,
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) => return Err(e),
+        };
+        if cnt > 1 {
+            inner.metrics.writev_batches.inc();
+        }
+        let mut remaining = wrote;
+        while remaining > 0 && !state.out.is_empty() {
+            let front_left = state.out[0].len() - state.front_pos;
+            if remaining >= front_left {
+                remaining -= front_left;
+                state.out.pop_front();
+                state.front_pos = 0;
+            } else {
+                state.front_pos += remaining;
+                remaining = 0;
+            }
+        }
     }
     Ok(())
 }

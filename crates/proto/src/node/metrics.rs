@@ -60,6 +60,21 @@ pub struct NodeStats {
     /// could not be delivered, a job the worker pool could not accept,
     /// or a legacy connection thread that could not be spawned.
     pub service_errors: u64,
+    /// `Get` requests turned away with a redirect-to-origin reply because
+    /// the worker queue was past its high-water mark.
+    pub admission_rejects: u64,
+    /// Saturation episodes: times the worker queue *crossed* the
+    /// high-water mark (one per episode, not per rejected request).
+    pub queue_saturation_events: u64,
+    /// Hint updates dropped (oldest first) because the coalescing buffer
+    /// hit its cap while a neighbor was slow.
+    pub hint_batch_overflow: u64,
+    /// Cross-thread wake-ups absorbed by an already-pending wake (epoll
+    /// round-trips saved by the waker's coalescing flag).
+    pub wakeups_coalesced: u64,
+    /// Vectored flushes that drained more than one reply frame in a
+    /// single `writev` syscall.
+    pub writev_batches: u64,
 }
 
 impl NodeStats {
@@ -88,6 +103,11 @@ impl NodeStats {
                 "parent_rehomes" => &mut out.parent_rehomes,
                 "resyncs_served" => &mut out.resyncs_served,
                 "service_errors" => &mut out.service_errors,
+                "admission_rejects" => &mut out.admission_rejects,
+                "queue_saturation_events" => &mut out.queue_saturation_events,
+                "hint_batch_overflow" => &mut out.hint_batch_overflow,
+                "wakeups_coalesced" => &mut out.wakeups_coalesced,
+                "writev_batches" => &mut out.writev_batches,
                 _ => continue,
             };
             *slot = e.value;
@@ -119,6 +139,11 @@ pub(crate) struct NodeMetrics {
     pub parent_rehomes: Counter,
     pub resyncs_served: Counter,
     pub service_errors: Counter,
+    pub admission_rejects: Counter,
+    pub queue_saturation_events: Counter,
+    pub hint_batch_overflow: Counter,
+    pub wakeups_coalesced: Counter,
+    pub writev_batches: Counter,
     /// Peers currently under quarantine (refreshed at snapshot time).
     pool_quarantined_peers: Gauge,
     /// Warm pooled connections currently idle (refreshed at snapshot time).
@@ -168,6 +193,26 @@ impl NodeMetrics {
             ),
             resyncs_served: c("resyncs_served", "anti-entropy resyncs answered"),
             service_errors: c("service_errors", "request service paths that failed"),
+            admission_rejects: c(
+                "admission_rejects",
+                "Gets redirected to origin by worker-queue admission control",
+            ),
+            queue_saturation_events: c(
+                "queue_saturation_events",
+                "times the worker queue crossed its high-water mark",
+            ),
+            hint_batch_overflow: c(
+                "hint_batch_overflow",
+                "hint updates dropped by the bounded coalescing buffer",
+            ),
+            wakeups_coalesced: c(
+                "wakeups_coalesced",
+                "shard wake-ups absorbed by an already-pending wake",
+            ),
+            writev_batches: c(
+                "writev_batches",
+                "vectored flushes draining >1 reply frame per syscall",
+            ),
             pool_quarantined_peers: r.gauge(
                 "pool_quarantined_peers",
                 Unit::Peers,
@@ -240,6 +285,11 @@ mod tests {
         m.parent_rehomes.add(17);
         m.resyncs_served.add(15);
         m.service_errors.add(16);
+        m.admission_rejects.add(18);
+        m.queue_saturation_events.add(19);
+        m.hint_batch_overflow.add(20);
+        m.wakeups_coalesced.add(21);
+        m.writev_batches.add(22);
         let snap = m.registry.snapshot();
         let stats = NodeStats::from_snapshot(&snap);
         assert_eq!(
@@ -262,6 +312,11 @@ mod tests {
                 parent_rehomes: 17,
                 resyncs_served: 15,
                 service_errors: 16,
+                admission_rejects: 18,
+                queue_saturation_events: 19,
+                hint_batch_overflow: 20,
+                wakeups_coalesced: 21,
+                writev_batches: 22,
             }
         );
     }
@@ -300,6 +355,11 @@ mod tests {
         for required in [
             "local_hits",
             "service_errors",
+            "admission_rejects",
+            "queue_saturation_events",
+            "hint_batch_overflow",
+            "wakeups_coalesced",
+            "writev_batches",
             "pool_quarantined_peers",
             "pool_live_connections",
             "pool_reconnect_attempts",

@@ -40,7 +40,7 @@ use bh_simcore::ByteSize;
 use bytes::Bytes;
 use metrics::NodeMetrics;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -103,6 +103,21 @@ pub struct NodeConfig {
     pub shards: usize,
     /// Worker threads servicing `Get` requests in sharded mode (min 1).
     pub workers: usize,
+    /// Digest-partitioned hint-store shards (min 1). Lookups and batch
+    /// applies lock only the owning shard; full iteration (purge,
+    /// `Resync`, scrape) walks shards in index order so artifacts stay
+    /// deterministic.
+    pub hint_shards: usize,
+    /// Worker-queue high-water mark for admission control. `None` sizes
+    /// it from the worker count (`workers * 64`, at least 256); `Some(0)`
+    /// rejects every `Get` that would queue (useful in tests).
+    pub admission_high_water: Option<usize>,
+    /// Global cap on idle pooled connections across all remotes. `None`
+    /// keeps the pool default (256). Wide meshes run many nodes per
+    /// process in the harness, so the per-process fd budget is roughly
+    /// `nodes × pool_idle_cap × fds-per-connection` — the mesh sweep
+    /// shrinks this cap as the node count grows.
+    pub pool_idle_cap: Option<usize>,
     /// Interval between liveness heartbeats to each neighbor.
     pub heartbeat_interval: Duration,
     /// Consecutive failed heartbeats before a neighbor becomes suspect.
@@ -122,8 +137,10 @@ impl NodeConfig {
         NodeConfig {
             bind: bind.into(),
             origin,
+            // bh-lint: allow(no-hot-alloc, reason = "config construction runs once per node, not per request")
             neighbors: Vec::new(),
             parent: None,
+            // bh-lint: allow(no-hot-alloc, reason = "config construction runs once per node, not per request")
             children: Vec::new(),
             data_capacity: ByteSize::from_mb(64),
             hint_capacity: ByteSize::from_mb(4),
@@ -132,6 +149,9 @@ impl NodeConfig {
             mode: ThreadingMode::default_for_target(),
             shards: 2,
             workers: 8,
+            hint_shards: 8,
+            admission_high_water: None,
+            pool_idle_cap: None,
             heartbeat_interval: Duration::from_secs(1),
             suspicion_threshold: 3,
             confirm_death_after: Duration::from_secs(30),
@@ -187,6 +207,25 @@ impl NodeConfig {
         self
     }
 
+    /// Sets the hint-store shard count.
+    pub fn with_hint_shards(mut self, shards: usize) -> Self {
+        self.hint_shards = shards.max(1);
+        self
+    }
+
+    /// Sets the admission-control high-water mark (`0` rejects every
+    /// queued `Get`).
+    pub fn with_admission_high_water(mut self, mark: usize) -> Self {
+        self.admission_high_water = Some(mark);
+        self
+    }
+
+    /// Caps idle pooled connections across all remotes (min 1).
+    pub fn with_pool_idle_cap(mut self, cap: usize) -> Self {
+        self.pool_idle_cap = Some(cap.max(1));
+        self
+    }
+
     /// Sets the liveness heartbeat interval.
     pub fn with_heartbeat_interval(mut self, d: Duration) -> Self {
         self.heartbeat_interval = d;
@@ -218,8 +257,83 @@ struct Store {
     meta: LruCache,
     /// Object bodies, keyed like `meta`.
     bodies: HashMap<u64, Bytes>,
-    /// The hint module's record store.
-    hints: HintCache,
+}
+
+/// The hint store partitioned into digest-indexed shards, each behind its
+/// own lock, so worker-thread lookups and batch applies stop contending
+/// on the data-store lock (and on each other). A key lives in shard
+/// `key % N`; every full-store operation (`purge_location`, `entries`,
+/// the `Resync` scrape) walks the shards in index order, which keeps
+/// derived artifacts deterministic for a given store state.
+#[derive(Debug)]
+struct HintShards {
+    shards: Vec<Mutex<HintCache>>,
+}
+
+impl HintShards {
+    /// Splits `total` capacity evenly across `n` shards (min 1).
+    /// `HintCache::with_capacity` floors each shard at one way-set, so a
+    /// tiny capacity still yields usable shards.
+    fn with_capacity(total: ByteSize, n: usize) -> HintShards {
+        let n = n.max(1);
+        let per = ByteSize::from_bytes(total.as_bytes() / n as u64);
+        HintShards {
+            shards: (0..n)
+                .map(|_| Mutex::new(HintCache::with_capacity(per)))
+                .collect(),
+        }
+    }
+
+    /// Unbounded shards, for equivalence tests against a single-store
+    /// witness (no capacity-eviction noise).
+    #[cfg(test)]
+    fn unbounded(n: usize) -> HintShards {
+        HintShards {
+            shards: (0..n.max(1))
+                .map(|_| Mutex::new(HintCache::unbounded()))
+                .collect(),
+        }
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, key: u64) -> usize {
+        (key % self.shards.len() as u64) as usize
+    }
+
+    fn lock_shard(&self, index: usize) -> parking_lot::MutexGuard<'_, HintCache> {
+        self.shards[index].lock()
+    }
+
+    /// Promoting lookup on the owning shard only.
+    fn lookup(&self, key: u64) -> Option<u64> {
+        self.shards[self.shard_index(key)].lock().lookup(key)
+    }
+
+    fn remove(&self, key: u64) {
+        self.shards[self.shard_index(key)].lock().remove(key);
+    }
+
+    /// Drops every record naming `location`, walking shards in index
+    /// order. Returns the total purged.
+    fn purge_location(&self, location: u64) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().purge_location(location))
+            .sum()
+    }
+
+    /// Every `(object, location)` pair, shard 0 first.
+    fn entries(&self) -> Vec<(u64, u64)> {
+        // bh-lint: allow(no-hot-alloc, reason = "operator scrape / Resync path, size unknown until shards are locked")
+        let mut out = Vec::new();
+        for s in &self.shards {
+            out.extend(s.lock().entries());
+        }
+        out
+    }
 }
 
 /// The live Plaxton metadata hierarchy this node repairs on churn: the
@@ -240,7 +354,12 @@ struct Inner {
     config: NodeConfig,
     machine: MachineId,
     store: Mutex<Store>,
-    pending: Mutex<Vec<HintUpdate>>,
+    /// Digest-partitioned hint store, locked per shard (never under the
+    /// store lock).
+    hints: HintShards,
+    /// Coalescing buffer for outbound hint updates, bounded at
+    /// [`PENDING_CAP`] with drop-oldest overflow.
+    pending: Mutex<VecDeque<HintUpdate>>,
     neighbors: Mutex<Vec<SocketAddr>>,
     /// Runtime metadata parent (initialized from the config; chaos meshes
     /// re-point it when a parent dies — see [`on_peer_died`]).
@@ -305,6 +424,9 @@ impl CacheNode {
             // Every worker may hold a connection to the same remote at
             // once; a smaller cap would drop and re-dial the excess.
             max_idle_per_peer: config.workers.max(4),
+            max_idle_total: config
+                .pool_idle_cap
+                .unwrap_or(PoolConfig::default().max_idle_total),
             // Per-node jitter stream: distinct nodes must not retry or
             // re-probe in lockstep.
             jitter_seed: machine.0,
@@ -315,12 +437,13 @@ impl CacheNode {
             store: Mutex::new(Store {
                 meta: LruCache::new(config.data_capacity),
                 bodies: HashMap::new(),
-                hints: HintCache::with_capacity(config.hint_capacity),
             }),
-            pending: Mutex::new(Vec::new()),
+            hints: HintShards::with_capacity(config.hint_capacity, config.hint_shards),
+            pending: Mutex::new(VecDeque::new()),
             neighbors: Mutex::new(config.neighbors.clone()),
             parent: Mutex::new(config.parent),
             children: Mutex::new(config.children.clone()),
+            // bh-lint: allow(no-hot-alloc, reason = "node spawn runs once, not per request")
             fallback_parents: Mutex::new(Vec::new()),
             liveness_peers: Mutex::new(None),
             metrics: NodeMetrics::register(),
@@ -336,7 +459,9 @@ impl CacheNode {
             config,
         });
 
+        // bh-lint: allow(no-hot-alloc, reason = "node spawn runs once, not per request")
         let mut threads = Vec::new();
+        // bh-lint: allow(no-hot-alloc, reason = "node spawn runs once, not per request")
         let mut wakers = Vec::new();
         match inner.config.mode {
             ThreadingMode::Sharded => {
@@ -419,7 +544,7 @@ impl CacheNode {
     /// The hint module's **find nearest** command: the location of the
     /// nearest known copy of the object with `key`, if any.
     pub fn find_nearest(&self, key: u64) -> Option<MachineId> {
-        self.inner.store.lock().hints.lookup(key).map(MachineId)
+        self.inner.hints.lookup(key).map(MachineId)
     }
 
     /// The hint module's **invalidate** command: drops the local copy of
@@ -495,7 +620,7 @@ impl CacheNode {
     /// The hint store's current contents as `(object, location)` pairs,
     /// sorted by object key.
     pub fn hint_entries(&self) -> Vec<(u64, u64)> {
-        let mut entries = self.inner.store.lock().hints.entries();
+        let mut entries = self.inner.hints.entries();
         entries.sort_unstable();
         entries
     }
@@ -640,12 +765,45 @@ fn trace_event(inner: &Inner, kind: u16, a: u64, b: u64) {
     });
 }
 
+/// Cap on the pending hint-update coalescing buffer. A slow or dead
+/// neighbor cannot grow the queue past this: overflow drops the oldest
+/// records — they are hints, so the next flush, push, or anti-entropy
+/// resync re-advertises the state — and counts `hint_batch_overflow`.
+const PENDING_CAP: usize = 4096;
+
+/// Pushes one update into `pending`, evicting the oldest record when the
+/// buffer is at `cap`. Returns how many records were dropped (0 or 1).
+fn push_bounded(pending: &mut VecDeque<HintUpdate>, update: HintUpdate, cap: usize) -> u64 {
+    let mut dropped = 0;
+    while pending.len() >= cap {
+        pending.pop_front();
+        dropped += 1;
+    }
+    pending.push_back(update);
+    dropped
+}
+
+fn queue_pending<I: IntoIterator<Item = HintUpdate>>(inner: &Inner, updates: I) {
+    let mut pending = inner.pending.lock();
+    let mut dropped = 0;
+    for u in updates {
+        dropped += push_bounded(&mut pending, u, PENDING_CAP);
+    }
+    drop(pending);
+    if dropped > 0 {
+        inner.metrics.hint_batch_overflow.add(dropped);
+    }
+}
+
 fn queue_update(inner: &Inner, action: HintAction, key: u64) {
-    inner.pending.lock().push(HintUpdate {
-        action,
-        object: key,
-        machine: inner.machine,
-    });
+    queue_pending(
+        inner,
+        std::iter::once(HintUpdate {
+            action,
+            object: key,
+            machine: inner.machine,
+        }),
+    );
 }
 
 /// Stores a body locally (inform), returning the hint updates implied by
@@ -716,7 +874,7 @@ fn flush_loop(inner: Arc<Inner>) {
 }
 
 fn flush_once(inner: &Inner) {
-    let batch: Vec<HintUpdate> = std::mem::take(&mut *inner.pending.lock());
+    let batch: Vec<HintUpdate> = std::mem::take(&mut *inner.pending.lock()).into();
     if batch.is_empty() {
         return;
     }
@@ -840,7 +998,7 @@ fn heartbeat_round(inner: &Inner) {
 fn on_peer_died(inner: &Inner, addr: SocketAddr) {
     inner.metrics.peers_confirmed_dead.inc();
     if let Some(machine) = MachineId::from_addr(addr) {
-        let purged = inner.store.lock().hints.purge_location(machine.0);
+        let purged = inner.hints.purge_location(machine.0);
         inner.metrics.stale_hints_gc.add(purged as u64);
     }
     if let Some(mesh) = inner.mesh.lock().as_mut() {
@@ -1005,11 +1163,9 @@ fn service_get(inner: &Inner, url: &str, key: u64) -> Message {
         return reply;
     }
 
-    // 2. Local hint store → direct peer fetch.
-    let hint = {
-        let mut store = inner.store.lock();
-        store.hints.lookup(key).map(MachineId)
-    };
+    // 2. Local hint store → direct peer fetch. Only the owning hint
+    // shard is locked; the data-store lock is never touched here.
+    let hint = inner.hints.lookup(key).map(MachineId);
     trace_event(inner, span::HINT_LOOKUP, key, u64::from(hint.is_some()));
     if let Some(peer) = hint {
         if peer != inner.machine {
@@ -1032,12 +1188,14 @@ fn service_get(inner: &Inner, url: &str, key: u64) -> Message {
                         body,
                     };
                 }
-                Ok((Status::NotFound, ..)) | Ok((Status::Error, ..)) => {
+                Ok((Status::NotFound, ..))
+                | Ok((Status::Error, ..))
+                | Ok((Status::Redirect, ..)) => {
                     // False positive: drop the hint, go to the origin. No
                     // second hint lookup (§3.1.1).
                     inner.metrics.false_positives.inc();
                     trace_event(inner, span::PEER_PROBE, key, 1);
-                    inner.store.lock().hints.remove(key);
+                    inner.hints.remove(key);
                 }
                 Err(_) => {
                     // Dead or unreachable peer: same one-wasted-probe
@@ -1047,7 +1205,7 @@ fn service_get(inner: &Inner, url: &str, key: u64) -> Message {
                     inner.metrics.false_positives.inc();
                     inner.metrics.degraded_to_origin.inc();
                     trace_event(inner, span::PEER_PROBE, key, 2);
-                    inner.store.lock().hints.remove(key);
+                    inner.hints.remove(key);
                 }
             }
         }
@@ -1091,21 +1249,28 @@ fn service_get(inner: &Inner, url: &str, key: u64) -> Message {
 /// (`UpdateBatch` and `HintBatch`).
 fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
     let hierarchical = inner.parent.lock().is_some() || !inner.children.lock().is_empty();
-    let mut propagate: Vec<HintUpdate> = Vec::new();
-    {
-        let mut store = inner.store.lock();
-        for u in &updates {
-            if u.machine == inner.machine {
+    // Each hint shard is locked once per batch: pass `s` sweeps the
+    // updates owned by shard `s`, recording per-update outcomes in
+    // `keep`, and the propagate subset is reassembled in original batch
+    // order afterwards — so the §3.1.2 filtering result (and every
+    // artifact derived from re-propagation) is identical to what a
+    // single-store walk would produce.
+    let mut keep = vec![false; updates.len()];
+    for s in 0..inner.hints.shard_count() {
+        let mut shard = None;
+        for (i, u) in updates.iter().enumerate() {
+            if u.machine == inner.machine || inner.hints.shard_index(u.object) != s {
                 continue;
             }
+            let hints = shard.get_or_insert_with(|| inner.hints.lock_shard(s));
             match u.action {
                 HintAction::Add => {
                     // §3.1.2 filtering: forward only the first
                     // copy this subtree learns of.
-                    let first = store.hints.peek(u.object).is_none();
-                    store.hints.insert(u.object, u.machine.0);
+                    let first = hints.peek(u.object).is_none();
+                    hints.insert(u.object, u.machine.0);
                     if first {
-                        propagate.push(*u);
+                        keep[i] = true;
                     } else {
                         inner.metrics.updates_filtered.inc();
                     }
@@ -1113,9 +1278,9 @@ fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
                 HintAction::Remove => {
                     // Only drop (and advertise) if the hint
                     // named the departing machine.
-                    if store.hints.peek(u.object) == Some(u.machine.0) {
-                        store.hints.remove(u.object);
-                        propagate.push(*u);
+                    if hints.peek(u.object) == Some(u.machine.0) {
+                        hints.remove(u.object);
+                        keep[i] = true;
                     } else {
                         inner.metrics.updates_filtered.inc();
                     }
@@ -1124,11 +1289,16 @@ fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
         }
     }
     inner.metrics.updates_received.add(updates.len() as u64);
-    if hierarchical && !propagate.is_empty() {
+    if hierarchical && keep.iter().any(|&k| k) {
         // Knowledge changed: climb/descend the metadata tree.
         // Loop-safe because re-applying the same update is a
         // no-op (filtered) everywhere it has already landed.
-        inner.pending.lock().extend(propagate);
+        let propagate = updates
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(u, _)| *u);
+        queue_pending(inner, propagate);
     }
 }
 
@@ -1180,7 +1350,7 @@ fn local_response(inner: &Inner, msg: Message) -> Message {
             Message::Ack
         }
         Message::FindNearest { key } => {
-            let location = inner.store.lock().hints.lookup(key).map(MachineId);
+            let location = inner.hints.lookup(key).map(MachineId);
             Message::FindNearestReply { location }
         }
         Message::Ping => Message::Ack,
@@ -1304,5 +1474,82 @@ mod tests {
         nodes[0].flush_updates_now();
         assert_eq!(nodes[1].find_nearest(key), None);
         assert_eq!(nodes[0].cached_objects(), 0);
+    }
+
+    /// Satellite: the digest-partitioned hint store must be
+    /// operation-for-operation equivalent to a single-store witness —
+    /// lookup results, purge counts, and the full entry set — across
+    /// seeds and shard counts.
+    #[test]
+    fn hint_shards_match_single_store_witness() {
+        for seed in [7u64, 42, 1999] {
+            for shard_count in [1usize, 2, 4, 8] {
+                let shards = HintShards::unbounded(shard_count);
+                let mut witness = HintCache::unbounded();
+                let mut rng = seed | 1;
+                let mut step = move || {
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    rng
+                };
+                for _ in 0..2000 {
+                    let op = step() % 100;
+                    let key = step() % 257 + 1; // small space forces collisions
+                    let loc = step() % 5 + 1;
+                    if op < 50 {
+                        shards.shards[shards.shard_index(key)]
+                            .lock()
+                            .insert(key, loc);
+                        witness.insert(key, loc);
+                    } else if op < 70 {
+                        assert_eq!(
+                            shards.lookup(key),
+                            witness.lookup(key),
+                            "lookup diverged at seed {seed}, {shard_count} shards"
+                        );
+                    } else if op < 85 {
+                        shards.remove(key);
+                        witness.remove(key);
+                    } else {
+                        let purged = shards.purge_location(loc);
+                        assert_eq!(
+                            purged,
+                            witness.purge_location(loc),
+                            "purge diverged at seed {seed}, {shard_count} shards"
+                        );
+                    }
+                }
+                let mut got = shards.entries();
+                let mut want = witness.entries();
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "entry sets diverged at seed {seed}");
+            }
+        }
+    }
+
+    /// Satellite: the pending coalescing buffer is bounded — overflow
+    /// drops the oldest records and reports how many.
+    #[test]
+    fn pending_buffer_drops_oldest_at_cap() {
+        let mut pending: VecDeque<HintUpdate> = VecDeque::new();
+        let update = |object: u64| HintUpdate {
+            action: HintAction::Add,
+            object,
+            machine: MachineId(9),
+        };
+        let mut dropped = 0;
+        for i in 0..PENDING_CAP as u64 + 10 {
+            dropped += push_bounded(&mut pending, update(i), PENDING_CAP);
+        }
+        assert_eq!(pending.len(), PENDING_CAP);
+        assert_eq!(dropped, 10);
+        // Oldest went first: the front is now record 10.
+        assert_eq!(pending.front().map(|u| u.object), Some(10));
+        assert_eq!(
+            pending.back().map(|u| u.object),
+            Some(PENDING_CAP as u64 + 9)
+        );
     }
 }

@@ -6,7 +6,10 @@
 //! once the daemon is asked to scale. The pool keeps a small set of idle
 //! connections per remote warm and checks them out for one framed
 //! request/reply round trip at a time, so a connection never carries
-//! interleaved requests.
+//! interleaved requests. Warm capacity is bounded twice over —
+//! per remote ([`PoolConfig::max_idle_per_peer`]) and across the whole
+//! pool ([`PoolConfig::max_idle_total`]) — so a node meshed with dozens
+//! of peers cannot park its way past the process fd limit.
 //!
 //! Failure policy is per-request ([`RequestOptions`]), because the paper's
 //! §3.2 contract is asymmetric:
@@ -60,6 +63,15 @@ pub struct PoolConfig {
     pub io_timeout: Duration,
     /// Idle connections kept warm per remote address.
     pub max_idle_per_peer: usize,
+    /// Idle connections kept warm across *all* remotes. The per-peer cap
+    /// alone does not bound the pool: a node in an `n`-node full mesh
+    /// talks to `n - 1` peers, and at `max_idle_per_peer` sockets each a
+    /// 64-node process walks into the fd rlimit long before any single
+    /// peer's bucket fills. When a finished round trip would exceed this
+    /// cap the connection is closed instead of parked — the next request
+    /// to that peer re-dials, which costs a loopback connect, not an
+    /// error.
+    pub max_idle_total: usize,
     /// First retry delay; doubles per attempt.
     pub backoff_base: Duration,
     /// Upper bound on any single retry delay.
@@ -81,6 +93,7 @@ impl Default for PoolConfig {
             connect_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(5),
             max_idle_per_peer: 4,
+            max_idle_total: 256,
             backoff_base: Duration::from_millis(20),
             backoff_cap: Duration::from_millis(200),
             quarantine: Duration::from_secs(2),
@@ -490,8 +503,16 @@ impl ConnectionPool {
         wire::write_message(&mut conn.stream, msg)?;
         let reply = wire::read_message(&mut conn.reader)?;
         let mut peers = self.peers.lock();
+        // Both caps must hold before parking: the per-peer cap keeps one
+        // chatty remote from monopolizing the pool, the global cap keeps a
+        // wide mesh (many remotes, few sockets each) inside the process fd
+        // budget. The map is at most one entry per remote, so summing under
+        // the lock is cheap.
+        let idle_total: usize = peers.values().map(|p| p.idle.len()).sum();
         let peer = peers.entry(addr).or_default();
-        if peer.idle.len() < self.config.max_idle_per_peer {
+        if peer.idle.len() < self.config.max_idle_per_peer
+            && idle_total < self.config.max_idle_total
+        {
             peer.idle.push(conn);
         }
         Ok(reply)
@@ -594,6 +615,35 @@ mod tests {
         assert_eq!(stats.connects, 1, "one connect serves all three requests");
         assert_eq!(stats.reuses, 2);
         assert_eq!(pool.idle_count(addr), 1);
+    }
+
+    #[test]
+    fn global_idle_cap_bounds_total_warm_connections() {
+        let servers: Vec<_> = (0..4).map(|_| ack_server(None)).collect();
+        let pool = ConnectionPool::new(PoolConfig {
+            max_idle_per_peer: 4,
+            max_idle_total: 2,
+            ..quick_config()
+        });
+        // Touch every remote twice: well under the per-peer cap, but the
+        // pool as a whole may only park two sockets.
+        for _ in 0..2 {
+            for (addr, _) in &servers {
+                pool.request(*addr, RequestOptions::origin(), &Message::Ack)
+                    .expect("ack");
+            }
+        }
+        assert_eq!(
+            pool.total_idle_connections(),
+            2,
+            "global cap bounds warm sockets across all remotes"
+        );
+        // The capped remotes still work — their requests re-dial.
+        for (addr, _) in &servers {
+            pool.request(*addr, RequestOptions::origin(), &Message::Ack)
+                .expect("ack after cap");
+        }
+        assert!(pool.total_idle_connections() <= 2);
     }
 
     #[test]

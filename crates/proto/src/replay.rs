@@ -12,6 +12,7 @@ use crate::client::{Connection, Source};
 use crate::wire::MachineId;
 use bh_simcore::stats::LatencyStats;
 use bh_trace::TraceRecord;
+use bytes::Bytes;
 use std::collections::BTreeMap;
 use std::io;
 use std::net::SocketAddr;
@@ -29,6 +30,10 @@ pub struct ReplayConfig {
     /// Whether client IDs encode their group modularly (Prodigy-style
     /// dynamic IDs) instead of in blocks.
     pub dynamic_client_ids: bool,
+    /// The origin server clients fall back to when a node's admission
+    /// control answers `Redirect`. `None` counts a redirect as an error
+    /// (the workload was not expected to saturate anything).
+    pub origin: Option<SocketAddr>,
 }
 
 impl ReplayConfig {
@@ -40,7 +45,14 @@ impl ReplayConfig {
             speedup: None,
             clients_per_l1: 256,
             dynamic_client_ids: false,
+            origin: None,
         }
+    }
+
+    /// Sets the origin fallback for redirect replies.
+    pub fn with_origin(mut self, origin: SocketAddr) -> Self {
+        self.origin = Some(origin);
+        self
     }
 
     fn node_for(&self, client: bh_trace::ClientId) -> SocketAddr {
@@ -64,6 +76,11 @@ pub struct ReplayReport {
     pub peer_hits: u64,
     /// Served by the origin.
     pub origin_fetches: u64,
+    /// Requests a saturated node turned away with a redirect reply; each
+    /// then completed (or failed) against the origin directly, so this is
+    /// *not* part of the requests = local + peer + origin + errors
+    /// conservation sum.
+    pub redirects: u64,
     /// Requests that failed outright (origin unreachable etc.).
     pub errors: u64,
     /// Bytes delivered to clients.
@@ -89,6 +106,7 @@ impl ReplayReport {
         self.local_hits += other.local_hits;
         self.peer_hits += other.peer_hits;
         self.origin_fetches += other.origin_fetches;
+        self.redirects += other.redirects;
         self.errors += other.errors;
         self.bytes += other.bytes;
         for (peer, n) in &other.per_peer {
@@ -117,6 +135,63 @@ impl ConcurrentReplayReport {
         } else {
             0.0
         }
+    }
+}
+
+/// Fetches `url` from `addr` through the per-thread connection pool,
+/// reconnecting on the next request if this one broke the connection.
+fn fetch_pooled(
+    conns: &mut BTreeMap<SocketAddr, Connection>,
+    addr: SocketAddr,
+    url: &str,
+) -> io::Result<(Source, Bytes)> {
+    match conns.entry(addr) {
+        std::collections::btree_map::Entry::Occupied(mut e) => {
+            let res = e.get_mut().fetch(url);
+            if res.is_err() {
+                // Drop the broken connection; the next request to this
+                // node reconnects.
+                e.remove();
+            }
+            res
+        }
+        std::collections::btree_map::Entry::Vacant(e) => match Connection::open(addr) {
+            Ok(conn) => e.insert(conn).fetch(url),
+            Err(err) => Err(err),
+        },
+    }
+}
+
+/// Completes a redirected request against the origin directly, or fails
+/// it when the replay has no origin configured.
+fn follow_redirect(
+    config: &ReplayConfig,
+    conns: &mut BTreeMap<SocketAddr, Connection>,
+    url: &str,
+) -> io::Result<(Source, Bytes)> {
+    match config.origin {
+        Some(origin) => fetch_pooled(conns, origin, url),
+        None => Err(io::Error::other(
+            "node redirected to origin but the replay has no origin configured",
+        )),
+    }
+}
+
+/// Counts one successful fetch outcome into `report`.
+fn count_outcome(report: &mut ReplayReport, source: Source, body: &Bytes) {
+    report.bytes += body.len() as u64;
+    match source {
+        Source::Local => report.local_hits += 1,
+        Source::Peer(MachineId(m)) => {
+            report.peer_hits += 1;
+            *report.per_peer.entry(m).or_insert(0) += 1;
+        }
+        // A direct origin fetch after a redirect lands here too (the
+        // origin answers `served_by: Origin`); the Redirected arm only
+        // fires if the redirect target itself redirected, which the
+        // origin never does — counted as an origin fetch to keep the
+        // conservation sum intact.
+        Source::Origin | Source::Redirected => report.origin_fetches += 1,
     }
 }
 
@@ -156,23 +231,19 @@ pub fn replay(
         last_time = Some(r.time);
 
         let addr = config.node_for(r.client);
+        let url = r.object.synthetic_url();
         let conn = match conns.entry(addr) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::btree_map::Entry::Vacant(e) => e.insert(Connection::open(addr)?),
         };
         report.requests += 1;
-        match conn.fetch(&r.object.synthetic_url()) {
-            Ok((source, body)) => {
-                report.bytes += body.len() as u64;
-                match source {
-                    Source::Local => report.local_hits += 1,
-                    Source::Peer(MachineId(m)) => {
-                        report.peer_hits += 1;
-                        *report.per_peer.entry(m).or_insert(0) += 1;
-                    }
-                    Source::Origin => report.origin_fetches += 1,
-                }
-            }
+        let mut outcome = conn.fetch(&url);
+        if matches!(outcome, Ok((Source::Redirected, _))) {
+            report.redirects += 1;
+            outcome = follow_redirect(config, &mut conns, &url);
+        }
+        match outcome {
+            Ok((source, body)) => count_outcome(&mut report, source, &body),
             Err(_) => report.errors += 1,
         }
     }
@@ -226,40 +297,21 @@ pub fn replay_concurrent(
                             continue;
                         }
                         let addr = config.node_for(r.client);
+                        let url = r.object.synthetic_url();
                         report.requests += 1;
                         let begin = std::time::Instant::now();
-                        let outcome = match conns.entry(addr) {
-                            std::collections::btree_map::Entry::Occupied(mut e) => {
-                                let res = e.get_mut().fetch(&r.object.synthetic_url());
-                                if res.is_err() {
-                                    // Drop the broken connection; the next
-                                    // request to this node reconnects.
-                                    e.remove();
-                                }
-                                res
-                            }
-                            std::collections::btree_map::Entry::Vacant(e) => {
-                                match Connection::open(addr) {
-                                    Ok(conn) => {
-                                        let conn = e.insert(conn);
-                                        conn.fetch(&r.object.synthetic_url())
-                                    }
-                                    Err(err) => Err(err),
-                                }
-                            }
-                        };
+                        let mut outcome = fetch_pooled(&mut conns, addr, &url);
+                        if matches!(outcome, Ok((Source::Redirected, _))) {
+                            // Admission control turned us away; the
+                            // latency sample covers the full client
+                            // experience, redirect hop included.
+                            report.redirects += 1;
+                            outcome = follow_redirect(config, &mut conns, &url);
+                        }
                         match outcome {
                             Ok((source, body)) => {
                                 latency.record(begin.elapsed().as_secs_f64());
-                                report.bytes += body.len() as u64;
-                                match source {
-                                    Source::Local => report.local_hits += 1,
-                                    Source::Peer(MachineId(m)) => {
-                                        report.peer_hits += 1;
-                                        *report.per_peer.entry(m).or_insert(0) += 1;
-                                    }
-                                    Source::Origin => report.origin_fetches += 1,
-                                }
+                                count_outcome(&mut report, source, &body);
                             }
                             Err(_) => report.errors += 1,
                         }
@@ -366,6 +418,40 @@ mod tests {
         assert!(out.latency.p99() >= out.latency.p50());
         assert!(out.requests_per_second() > 0.0);
         assert_eq!(origin.request_count(), out.report.origin_fetches);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn saturated_node_redirects_to_origin() {
+        // A zero high-water mark rejects every Get that would queue, so
+        // each miss comes back `Redirect` and the client completes it
+        // against the origin directly — no errors, conservation intact.
+        let origin = OriginServer::spawn("127.0.0.1:0").expect("origin");
+        let node = CacheNode::spawn(
+            NodeConfig::new("127.0.0.1:0", origin.addr()).with_admission_high_water(0),
+        )
+        .expect("node");
+        let spec = WorkloadSpec::small().with_requests(200).with_clients(64);
+        let records: Vec<TraceRecord> = TraceGenerator::new(&spec, 35).collect();
+        let cacheable = records.iter().filter(|r| r.is_cacheable()).count() as u64;
+
+        let config = ReplayConfig::flat_out(vec![node.addr()]).with_origin(origin.addr());
+        let report = replay(&config, records).expect("replay");
+
+        assert_eq!(report.requests, cacheable);
+        assert_eq!(report.errors, 0, "redirects must not surface as errors");
+        assert!(
+            report.redirects > 0,
+            "zero high-water must reject: {report:?}"
+        );
+        assert_eq!(
+            report.local_hits + report.peer_hits + report.origin_fetches,
+            report.requests,
+            "every redirected request completes at the origin"
+        );
+        let stats = node.stats();
+        assert_eq!(stats.admission_rejects, report.redirects);
+        assert!(stats.queue_saturation_events >= 1);
     }
 
     #[test]

@@ -119,6 +119,10 @@ pub enum Status {
     NotFound,
     /// Server-side error.
     Error,
+    /// Admission control turned the request away: the node's worker queue
+    /// is past its high-water mark and the client should fetch from the
+    /// origin directly instead of waiting in an unbounded queue.
+    Redirect,
 }
 
 /// Where a `Get` was ultimately served from (diagnostic, carried in the
@@ -256,7 +260,7 @@ fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut impl Buf) -> io::Result<String> {
+fn get_string(buf: &mut Bytes) -> io::Result<String> {
     if buf.remaining() < 4 {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
@@ -270,8 +274,14 @@ fn get_string(buf: &mut impl Buf) -> io::Result<String> {
             "short string body",
         ));
     }
+    // Validate UTF-8 against the shared slice, then make the one copy an
+    // owned `String` requires (the legacy path copied twice: once into a
+    // `Vec` and once through `String::from_utf8`).
     let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    match std::str::from_utf8(&bytes) {
+        Ok(s) => Ok(s.to_string()),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+    }
 }
 
 fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
@@ -279,7 +289,7 @@ fn put_bytes(buf: &mut BytesMut, b: &Bytes) {
     buf.put_slice(b);
 }
 
-fn get_bytes(buf: &mut impl Buf) -> io::Result<Bytes> {
+fn get_bytes(buf: &mut Bytes) -> io::Result<Bytes> {
     if buf.remaining() < 4 {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
@@ -297,16 +307,28 @@ fn get_bytes(buf: &mut impl Buf) -> io::Result<Bytes> {
 }
 
 impl Message {
-    /// Encodes the message into a framed byte buffer ready to write.
-    pub fn encode(&self) -> Bytes {
-        let mut payload = BytesMut::new();
+    /// Encodes the full frame (`u32 len | u8 ty | payload`) into `out`,
+    /// replacing its contents but keeping its allocation.
+    ///
+    /// This is the hot encode path: callers on the data path hold one
+    /// scratch `BytesMut` per connection (or per worker) and reuse it for
+    /// every reply, so a warm connection encodes with zero allocations.
+    /// The payload is written once, directly after a placeholder header
+    /// that is patched in place — no intermediate payload buffer and no
+    /// frame-assembly copy. Use [`Message::encoded`] when an owned
+    /// [`Bytes`] frame is more convenient than a borrowed slice.
+    pub fn encode(&self, out: &mut BytesMut) {
+        out.clear();
+        // Placeholder header, patched once the payload length is known.
+        out.put_u32_le(0);
+        out.put_u8(0);
         let ty = match self {
             Message::Get { url } => {
-                put_string(&mut payload, url);
+                put_string(out, url);
                 T_GET
             }
             Message::PeerGet { url } => {
-                put_string(&mut payload, url);
+                put_string(out, url);
                 T_PEER_GET
             }
             Message::GetReply {
@@ -315,62 +337,63 @@ impl Message {
                 served_by,
                 body,
             } => {
-                payload.put_u8(match status {
+                out.put_u8(match status {
                     Status::Ok => 0,
                     Status::NotFound => 1,
                     Status::Error => 2,
+                    Status::Redirect => 3,
                 });
-                payload.put_u32_le(*version);
+                out.put_u32_le(*version);
                 match served_by {
-                    ServedBy::Local => payload.put_u8(0),
+                    ServedBy::Local => out.put_u8(0),
                     ServedBy::Peer(m) => {
-                        payload.put_u8(1);
-                        payload.put_u64_le(m.0);
+                        out.put_u8(1);
+                        out.put_u64_le(m.0);
                     }
-                    ServedBy::Origin => payload.put_u8(2),
+                    ServedBy::Origin => out.put_u8(2),
                 }
-                put_bytes(&mut payload, body);
+                put_bytes(out, body);
                 T_GET_REPLY
             }
             Message::UpdateBatch(updates) => {
-                payload.put_u32_le(updates.len() as u32);
+                out.put_u32_le(updates.len() as u32);
                 for u in updates {
-                    u.encode(&mut payload);
+                    u.encode(out);
                 }
                 T_UPDATE_BATCH
             }
             Message::HintBatch(updates) => {
-                payload.put_u8(HINT_BATCH_VERSION);
-                payload.put_u32_le(updates.len() as u32);
+                out.put_u8(HINT_BATCH_VERSION);
+                out.put_u32_le(updates.len() as u32);
                 for u in updates {
-                    u.encode(&mut payload);
+                    u.encode(out);
                 }
                 T_HINT_BATCH
             }
             Message::Push { url, version, body } => {
-                put_string(&mut payload, url);
-                payload.put_u32_le(*version);
-                put_bytes(&mut payload, body);
+                put_string(out, url);
+                out.put_u32_le(*version);
+                put_bytes(out, body);
                 T_PUSH
             }
             Message::FindNearest { key } => {
-                payload.put_u64_le(*key);
+                out.put_u64_le(*key);
                 T_FIND_NEAREST
             }
             Message::FindNearestReply { location } => {
                 match location {
                     Some(m) => {
-                        payload.put_u8(1);
-                        payload.put_u64_le(m.0);
+                        out.put_u8(1);
+                        out.put_u64_le(m.0);
                     }
-                    None => payload.put_u8(0),
+                    None => out.put_u8(0),
                 }
                 T_FIND_NEAREST_REPLY
             }
             Message::OriginPut { url, version, body } => {
-                put_string(&mut payload, url);
-                payload.put_u32_le(*version);
-                put_bytes(&mut payload, body);
+                put_string(out, url);
+                out.put_u32_le(*version);
+                put_bytes(out, body);
                 T_ORIGIN_PUT
             }
             Message::Ack => T_ACK,
@@ -378,30 +401,39 @@ impl Message {
             Message::Resync => T_RESYNC,
             Message::StatsRequest => T_STATS_REQUEST,
             Message::StatsReply(entries) => {
-                payload.put_u32_le(entries.len() as u32);
+                out.put_u32_le(entries.len() as u32);
                 for e in entries {
-                    put_string(&mut payload, &e.name);
-                    payload.put_u64_le(e.value);
+                    put_string(out, &e.name);
+                    out.put_u64_le(e.value);
                 }
                 T_STATS_REPLY
             }
             Message::TraceRequest => T_TRACE_REQUEST,
             Message::TraceReply(events) => {
-                payload.put_u32_le(events.len() as u32);
+                out.put_u32_le(events.len() as u32);
                 for ev in events {
-                    payload.put_u64_le(ev.ts_micros);
-                    payload.put_u16_le(ev.kind);
-                    payload.put_u64_le(ev.a);
-                    payload.put_u64_le(ev.b);
+                    out.put_u64_le(ev.ts_micros);
+                    out.put_u16_le(ev.kind);
+                    out.put_u64_le(ev.a);
+                    out.put_u64_le(ev.b);
                 }
                 T_TRACE_REPLY
             }
         };
-        let mut frame = BytesMut::with_capacity(payload.len() + 5);
-        frame.put_u32_le(payload.len() as u32);
-        frame.put_u8(ty);
-        frame.put_slice(&payload);
-        frame.freeze()
+        let payload_len = (out.len() - 5) as u32;
+        out[0..4].copy_from_slice(&payload_len.to_le_bytes());
+        out[4] = ty;
+    }
+
+    /// Encodes into a freshly allocated, framed [`Bytes`] buffer.
+    ///
+    /// Convenience wrapper over [`Message::encode`] for cold paths
+    /// (tests, one-shot control messages): one allocation, zero copies
+    /// (the scratch vector is moved, not duplicated, by `freeze`).
+    pub fn encoded(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(64);
+        self.encode(&mut out);
+        out.freeze()
     }
 
     /// Decodes one message from `(type, payload)`.
@@ -426,6 +458,7 @@ impl Message {
                     0 => Status::Ok,
                     1 => Status::NotFound,
                     2 => Status::Error,
+                    3 => Status::Redirect,
                     s => {
                         return Err(io::Error::new(
                             io::ErrorKind::InvalidData,
@@ -640,13 +673,283 @@ impl Message {
     }
 }
 
+/// The pre-zero-copy decoder, retained verbatim as a differential-testing
+/// witness: it copies every string and body out of the payload the way the
+/// original decode path did, so the wire proptests can assert the zero-copy
+/// [`Message::decode`] produces identical values (and identical error
+/// outcomes) over the malformed-frame corpus. Not on any request path.
+pub fn decode_message_legacy(ty: u8, payload: &[u8]) -> io::Result<Message> {
+    fn legacy_string(buf: &mut &[u8]) -> io::Result<String> {
+        if buf.remaining() < 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short string length",
+            ));
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short string body",
+            ));
+        }
+        let bytes = buf.copy_to_bytes(len);
+        // bh-lint: allow(no-hot-alloc, reason = "legacy copying decoder kept only as a differential-test witness")
+        String::from_utf8(bytes.to_vec()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+    fn legacy_bytes(buf: &mut &[u8]) -> io::Result<Bytes> {
+        if buf.remaining() < 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short bytes length",
+            ));
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short bytes body",
+            ));
+        }
+        Ok(buf.copy_to_bytes(len))
+    }
+    let buf = &mut &payload[..];
+    let msg = match ty {
+        T_GET => Message::Get {
+            url: legacy_string(buf)?,
+        },
+        T_PEER_GET => Message::PeerGet {
+            url: legacy_string(buf)?,
+        },
+        T_GET_REPLY => {
+            if buf.remaining() < 6 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short reply"));
+            }
+            let status = match buf.get_u8() {
+                0 => Status::Ok,
+                1 => Status::NotFound,
+                2 => Status::Error,
+                3 => Status::Redirect,
+                s => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown status {s}"),
+                    ))
+                }
+            };
+            let version = buf.get_u32_le();
+            let served_by = match buf.get_u8() {
+                0 => ServedBy::Local,
+                1 => {
+                    if buf.remaining() < 8 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "short peer id",
+                        ));
+                    }
+                    ServedBy::Peer(MachineId(buf.get_u64_le()))
+                }
+                2 => ServedBy::Origin,
+                s => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown served-by {s}"),
+                    ))
+                }
+            };
+            Message::GetReply {
+                status,
+                version,
+                served_by,
+                body: legacy_bytes(buf)?,
+            }
+        }
+        T_UPDATE_BATCH => {
+            if buf.remaining() < 4 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short batch"));
+            }
+            let n = buf.get_u32_le() as usize;
+            if n > (MAX_FRAME as usize) / HINT_UPDATE_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "oversized batch",
+                ));
+            }
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                updates.push(HintUpdate::decode(buf)?);
+            }
+            Message::UpdateBatch(updates)
+        }
+        T_HINT_BATCH => {
+            if buf.remaining() < 5 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short hint batch",
+                ));
+            }
+            let version = buf.get_u8();
+            if version != HINT_BATCH_VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported hint batch version {version}"),
+                ));
+            }
+            let n = buf.get_u32_le() as usize;
+            if n > (MAX_FRAME as usize) / HINT_UPDATE_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "oversized batch",
+                ));
+            }
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                updates.push(HintUpdate::decode(buf)?);
+            }
+            Message::HintBatch(updates)
+        }
+        T_PUSH => {
+            let url = legacy_string(buf)?;
+            if buf.remaining() < 4 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short push"));
+            }
+            let version = buf.get_u32_le();
+            Message::Push {
+                url,
+                version,
+                body: legacy_bytes(buf)?,
+            }
+        }
+        T_FIND_NEAREST => {
+            if buf.remaining() < 8 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short find"));
+            }
+            Message::FindNearest {
+                key: buf.get_u64_le(),
+            }
+        }
+        T_FIND_NEAREST_REPLY => {
+            if buf.remaining() < 1 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short find reply",
+                ));
+            }
+            let location = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    if buf.remaining() < 8 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "short location",
+                        ));
+                    }
+                    Some(MachineId(buf.get_u64_le()))
+                }
+                s => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown option tag {s}"),
+                    ))
+                }
+            };
+            Message::FindNearestReply { location }
+        }
+        T_ORIGIN_PUT => {
+            let url = legacy_string(buf)?;
+            if buf.remaining() < 4 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short put"));
+            }
+            let version = buf.get_u32_le();
+            Message::OriginPut {
+                url,
+                version,
+                body: legacy_bytes(buf)?,
+            }
+        }
+        T_ACK => Message::Ack,
+        T_PING => Message::Ping,
+        T_RESYNC => Message::Resync,
+        T_STATS_REQUEST => Message::StatsRequest,
+        T_STATS_REPLY => {
+            if buf.remaining() < 4 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short stats reply",
+                ));
+            }
+            let n = buf.get_u32_le() as usize;
+            if n > (MAX_FRAME as usize) / METRIC_ENTRY_MIN_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "oversized stats reply",
+                ));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = legacy_string(buf)?;
+                if buf.remaining() < 8 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "short metric value",
+                    ));
+                }
+                entries.push(MetricEntry {
+                    name,
+                    value: buf.get_u64_le(),
+                });
+            }
+            Message::StatsReply(entries)
+        }
+        T_TRACE_REQUEST => Message::TraceRequest,
+        T_TRACE_REPLY => {
+            if buf.remaining() < 4 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short trace reply",
+                ));
+            }
+            let n = buf.get_u32_le() as usize;
+            if n > (MAX_FRAME as usize) / TRACE_EVENT_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "oversized trace reply",
+                ));
+            }
+            if buf.remaining() < n * TRACE_EVENT_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short trace records",
+                ));
+            }
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(TraceEvent {
+                    ts_micros: buf.get_u64_le(),
+                    kind: buf.get_u16_le(),
+                    a: buf.get_u64_le(),
+                    b: buf.get_u64_le(),
+                });
+            }
+            Message::TraceReply(events)
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown message type {other}"),
+            ))
+        }
+    };
+    Ok(msg)
+}
+
 /// Writes one framed message to `w`.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
-    w.write_all(&msg.encode())?;
+    w.write_all(&msg.encoded())?;
     w.flush()
 }
 
@@ -679,9 +982,30 @@ pub fn coalesce(updates: Vec<HintUpdate>) -> Vec<HintUpdate> {
 /// available. The length prefix is validated against [`MAX_FRAME`] as soon
 /// as the 5-byte header is buffered, so a corrupt prefix can never cause an
 /// over-allocation or an over-read.
+///
+/// ## Buffer lifecycle (zero-copy)
+///
+/// Incoming bytes accumulate in a plain `staging` vector (one memcpy off
+/// the socket buffer — unavoidable, the kernel hands us borrowed slices).
+/// Once at least one *complete* frame is staged, the whole staging vector
+/// is frozen into a refcounted [`Bytes`] `window` **without copying** (the
+/// vector moves behind an `Arc`), and every complete frame in the window
+/// is yielded as a refcounted sub-slice: payloads, and the bodies
+/// [`Message::decode`] slices out of them, share the window's allocation
+/// until the last reference drops. There is no per-frame payload copy and
+/// no `drain`-style memmove of the remaining buffer. A partial frame left
+/// at the window's tail is folded back into staging on the next `extend`
+/// (one copy of at most that fragment); incomplete frames are never
+/// frozen, so feeding a large frame chunk-by-chunk stays linear.
 #[derive(Debug, Default)]
 pub struct FrameAssembler {
-    buf: Vec<u8>,
+    /// Unfrozen tail of the stream: bytes still being accumulated.
+    staging: Vec<u8>,
+    /// Frozen, unparsed front of the stream. Invariant: outside of
+    /// `extend`, at most one of `staging`/`window` is non-empty, and the
+    /// window only ever holds bytes that were part of a freeze containing
+    /// at least one complete frame.
+    window: Bytes,
 }
 
 impl FrameAssembler {
@@ -692,12 +1016,37 @@ impl FrameAssembler {
 
     /// Appends raw bytes read off the socket.
     pub fn extend(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data);
+        if !self.window.is_empty() {
+            // A parse pass left a partial frame in the frozen window; fold
+            // it back in front of the new bytes. The fragment is smaller
+            // than one frame's worth of the last read, so this stays
+            // cheaper than the per-frame drain it replaces.
+            let mut v = Vec::with_capacity(self.window.len() + self.staging.len() + data.len());
+            v.extend_from_slice(&self.window);
+            v.extend_from_slice(&self.staging);
+            self.window = Bytes::new();
+            self.staging = v;
+        }
+        self.staging.extend_from_slice(data);
     }
 
     /// Number of bytes buffered but not yet consumed as messages.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.window.len() + self.staging.len()
+    }
+
+    /// Parses `buf[..5]` as a frame header, validating the length prefix.
+    fn header(buf: &[u8]) -> io::Result<usize> {
+        let mut len = [0u8; 4];
+        len.copy_from_slice(&buf[..4]);
+        let len = u32::from_le_bytes(len);
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame too large: {len}"),
+            ));
+        }
+        Ok(5 + len as usize)
     }
 
     /// Pops the next complete message, `Ok(None)` if more bytes are needed.
@@ -707,23 +1056,28 @@ impl FrameAssembler {
     /// Fails on an oversized length prefix or a malformed payload; the
     /// connection should be dropped, as the stream can no longer be framed.
     pub fn next_message(&mut self) -> io::Result<Option<Message>> {
-        if self.buf.len() < 5 {
+        if self.window.is_empty() {
+            // Freeze staging only once it holds a complete frame: freezing
+            // partial data would re-copy it on every subsequent extend.
+            if self.staging.len() < 5 {
+                return Ok(None);
+            }
+            let total = Self::header(&self.staging)?;
+            if self.staging.len() < total {
+                return Ok(None);
+            }
+            self.window = Bytes::from(std::mem::take(&mut self.staging));
+        }
+        if self.window.len() < 5 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
-        if len > MAX_FRAME {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("frame too large: {len}"),
-            ));
-        }
-        let total = 5 + len as usize;
-        if self.buf.len() < total {
+        let total = Self::header(&self.window)?;
+        if self.window.len() < total {
             return Ok(None);
         }
-        let ty = self.buf[4];
-        let payload = Bytes::from(self.buf[5..total].to_vec());
-        self.buf.drain(..total);
+        let frame = self.window.copy_to_bytes(total); // refcounted sub-slice
+        let ty = frame[4];
+        let payload = frame.slice(5..total);
         Message::decode(ty, payload).map(Some)
     }
 }
@@ -754,7 +1108,7 @@ mod tests {
     use super::*;
 
     fn round_trip(msg: Message) -> Message {
-        let framed = msg.encode();
+        let framed = msg.encoded();
         let mut cursor = std::io::Cursor::new(framed.to_vec());
         read_message(&mut cursor).expect("decode")
     }
@@ -855,8 +1209,8 @@ mod tests {
     fn ping_and_resync_are_payloadless() {
         // Heartbeats ride the hot path; they must stay at the 5-byte frame
         // minimum.
-        assert_eq!(Message::Ping.encode().len(), 5);
-        assert_eq!(Message::Resync.encode().len(), 5);
+        assert_eq!(Message::Ping.encoded().len(), 5);
+        assert_eq!(Message::Resync.encoded().len(), 5);
     }
 
     #[test]
@@ -873,7 +1227,7 @@ mod tests {
                 })
                 .collect(),
         );
-        assert_eq!(batch.encode().len(), 5 + 4 + 20 * n as usize);
+        assert_eq!(batch.encoded().len(), 5 + 4 + 20 * n as usize);
     }
 
     #[test]
@@ -885,7 +1239,7 @@ mod tests {
         }];
         // 5 (frame) + 1 (version) + 4 (count) + 20N.
         let batch = Message::HintBatch(updates.clone());
-        let encoded = batch.encode();
+        let encoded = batch.encoded();
         assert_eq!(encoded.len(), 5 + 1 + 4 + 20);
         assert_eq!(encoded[5], HINT_BATCH_VERSION);
 
@@ -971,7 +1325,7 @@ mod tests {
         ];
         let mut stream = Vec::new();
         for m in &messages {
-            stream.extend_from_slice(&m.encode());
+            stream.extend_from_slice(&m.encoded());
         }
         // Feed one byte at a time; every complete frame must pop out exactly
         // once, in order.
@@ -1033,7 +1387,7 @@ mod tests {
 
     #[test]
     fn truncated_stream_is_clean_eof() {
-        let framed = Message::Ack.encode();
+        let framed = Message::Ack.encoded();
         let mut cursor = std::io::Cursor::new(framed[..3].to_vec());
         let err = read_message(&mut cursor).expect_err("short read");
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);

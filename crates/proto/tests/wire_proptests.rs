@@ -3,8 +3,8 @@
 //! corrupted, oversized) is rejected with an error — never a panic.
 
 use bh_proto::wire::{
-    read_message, write_message, FrameAssembler, HintAction, HintUpdate, MachineId, Message,
-    MetricEntry, ServedBy, Status, TraceEvent, MAX_FRAME,
+    decode_message_legacy, read_message, write_message, FrameAssembler, HintAction, HintUpdate,
+    MachineId, Message, MetricEntry, ServedBy, Status, TraceEvent, MAX_FRAME,
 };
 use bytes::Bytes;
 use proptest::prelude::*;
@@ -51,7 +51,8 @@ fn arb_status() -> BoxedStrategy<Status> {
     prop_oneof![
         Just(Status::Ok),
         Just(Status::NotFound),
-        Just(Status::Error)
+        Just(Status::Error),
+        Just(Status::Redirect),
     ]
     .boxed()
 }
@@ -147,7 +148,7 @@ proptest! {
     #[test]
     fn round_trips_through_assembler(msg in arb_message()) {
         let mut assembler = FrameAssembler::new();
-        assembler.extend(&msg.encode());
+        assembler.extend(&msg.encoded());
         let decoded = assembler.next_message();
         prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded);
         prop_assert_eq!(decoded.unwrap(), Some(msg));
@@ -169,7 +170,7 @@ proptest! {
     /// arbitrary chunks yields the same message.
     #[test]
     fn round_trips_split_delivery(msg in arb_message(), cut in any::<u64>()) {
-        let frame = msg.encode();
+        let frame = msg.encoded();
         let cut = 1 + (cut as usize) % frame.len().max(1);
         let mut assembler = FrameAssembler::new();
         assembler.extend(&frame[..cut.min(frame.len())]);
@@ -188,7 +189,7 @@ proptest! {
     /// truncation can never produce a bogus message or a panic.
     #[test]
     fn truncated_payloads_error(msg in arb_message()) {
-        let (ty, payload) = frame_parts(&msg.encode());
+        let (ty, payload) = frame_parts(&msg.encoded());
         for cut in 0..payload.len() {
             let truncated = payload.slice(0..cut);
             let result = Message::decode(ty, truncated);
@@ -204,7 +205,7 @@ proptest! {
         pos in any::<u64>(),
         xor in 1u8..=255,
     ) {
-        let (ty, payload) = frame_parts(&msg.encode());
+        let (ty, payload) = frame_parts(&msg.encoded());
         let mut bytes = payload.to_vec();
         if !bytes.is_empty() {
             let pos = (pos as usize) % bytes.len();
@@ -226,6 +227,64 @@ proptest! {
     #[test]
     fn unknown_frame_types_error(ty in 17u8..=255, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
         prop_assert!(Message::decode(ty, Bytes::from(payload)).is_err());
+    }
+
+    /// The zero-copy decoder is value-identical to the retained legacy
+    /// (copy-everything) decoder on every valid frame.
+    #[test]
+    fn zero_copy_decode_matches_legacy_on_valid_frames(msg in arb_message()) {
+        let (ty, payload) = frame_parts(&msg.encoded());
+        let legacy = decode_message_legacy(ty, &payload).expect("legacy rejects valid frame");
+        let zero_copy = Message::decode(ty, payload).expect("zero-copy rejects valid frame");
+        prop_assert_eq!(&zero_copy, &legacy);
+        prop_assert_eq!(zero_copy, msg);
+    }
+
+    /// ...and outcome-identical over the malformed-frame corpus: for every
+    /// strict prefix and every single-byte corruption of a valid payload,
+    /// either both decoders error or both produce the same message.
+    #[test]
+    fn zero_copy_decode_matches_legacy_on_malformed_frames(
+        msg in arb_message(),
+        pos in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let (ty, payload) = frame_parts(&msg.encoded());
+        for cut in 0..payload.len() {
+            let truncated = payload.slice(0..cut);
+            let legacy = decode_message_legacy(ty, &truncated);
+            let zero_copy = Message::decode(ty, truncated);
+            prop_assert!(legacy.is_err() && zero_copy.is_err(),
+                "prefix {}/{}: legacy {:?} vs zero-copy {:?}", cut, payload.len(), legacy, zero_copy);
+        }
+        let mut corrupted = payload.to_vec();
+        if !corrupted.is_empty() {
+            let pos = (pos as usize) % corrupted.len();
+            corrupted[pos] ^= xor;
+        }
+        let legacy = decode_message_legacy(ty, &corrupted);
+        let zero_copy = Message::decode(ty, Bytes::from(corrupted));
+        match (legacy, zero_copy) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "decoders diverged: legacy {:?} vs zero-copy {:?}", a, b),
+        }
+    }
+
+    /// Fully random payloads: the two decoders agree on accept/reject and
+    /// on the decoded value when both accept.
+    #[test]
+    fn zero_copy_decode_matches_legacy_on_garbage(
+        ty in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let legacy = decode_message_legacy(ty, &payload);
+        let zero_copy = Message::decode(ty, Bytes::from(payload));
+        match (legacy, zero_copy) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "decoders diverged: legacy {:?} vs zero-copy {:?}", a, b),
+        }
     }
 }
 
@@ -277,7 +336,7 @@ fn hint_batch_future_version_rejected() {
         object: 7,
         machine: MachineId(3),
     };
-    let (ty, payload) = frame_parts(&Message::HintBatch(vec![update]).encode());
+    let (ty, payload) = frame_parts(&Message::HintBatch(vec![update]).encoded());
     let mut bytes = payload.to_vec();
     bytes[0] = bh_proto::wire::HINT_BATCH_VERSION + 1;
     assert!(Message::decode(ty, Bytes::from(bytes)).is_err());

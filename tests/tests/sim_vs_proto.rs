@@ -39,6 +39,9 @@ fn classify_proto(source: Source) -> PathClass {
         Source::Local => PathClass::Local,
         Source::Peer(_) => PathClass::Peer,
         Source::Origin => PathClass::Origin,
+        Source::Redirected => {
+            panic!("admission control must not trigger at comparison load")
+        }
     }
 }
 

@@ -6,16 +6,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::ops::Deref;
+use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, contiguous slice of bytes.
 ///
 /// Cloning and sub-slicing (`copy_to_bytes`) share the underlying
-/// allocation instead of copying.
+/// allocation instead of copying. The storage is an `Arc<Vec<u8>>`, so
+/// converting an owned `Vec<u8>` (or freezing a [`BytesMut`]) moves the
+/// buffer behind the `Arc` without copying its contents.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -24,7 +26,7 @@ impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from([] as [u8; 0]),
+            data: Arc::new(Vec::new()),
             start: 0,
             end: 0,
         }
@@ -104,10 +106,11 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: the vector is moved behind the `Arc`, not copied.
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -213,7 +216,8 @@ impl BytesMut {
         self.buf.clear();
     }
 
-    /// Converts into an immutable [`Bytes`].
+    /// Converts into an immutable [`Bytes`] without copying: the backing
+    /// vector is moved behind the `Bytes` refcount.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
     }
@@ -222,12 +226,29 @@ impl BytesMut {
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.buf.extend_from_slice(src);
     }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { buf: v }
     }
 }
 
