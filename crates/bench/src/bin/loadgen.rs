@@ -55,8 +55,16 @@
 //! byte-identical across runs of the same seed) and `BENCH_mesh.json`
 //! (measured req/s, latency percentiles, and the per-node
 //! admission/writev/wakeup counters).
+//!
+//! `--recovery` runs the warm-restart comparison
+//! ([`bh_bench::recovery`]): the same seeded warm-up, crash, and
+//! restart executed twice — once with the durable hint log
+//! (`BENCH_recovery_plan.json` / `BENCH_recovery.json`) and once with
+//! the resync baseline — and exits nonzero unless the log replay
+//! recovered hints without a network resync.
 
 use bh_bench::chaos::{run_chaos, ChaosOptions};
+use bh_bench::recovery::{run_recovery, RecoveryOptions};
 use bh_bench::report::{metric_values, MetricValue};
 use bh_bench::scenario::{run_scenario, Scenario};
 use bh_bench::Args;
@@ -83,6 +91,7 @@ struct LoadgenArgs {
     chaos: Option<String>,
     scenario: Option<String>,
     mesh_sweep: Option<Vec<usize>>,
+    recovery: bool,
     data_cap_mb: u64,
     origin_delay_ms: u64,
     obs: bool,
@@ -103,6 +112,7 @@ impl LoadgenArgs {
             chaos: None,
             scenario: None,
             mesh_sweep: None,
+            recovery: false,
             data_cap_mb: 8,
             origin_delay_ms: 2,
             obs: false,
@@ -160,6 +170,7 @@ impl LoadgenArgs {
                     );
                     args.mesh_sweep = Some(points);
                 }
+                "--recovery" => args.recovery = true,
                 "--data-cap-mb" => {
                     args.data_cap_mb = value("megabytes")
                         .parse()
@@ -178,7 +189,7 @@ impl LoadgenArgs {
                         "usage: loadgen [--nodes n] [--clients m] [--requests r] \
                          [--mode sharded|legacy|both] [--chaos smoke|<plan.json>] \
                          [--scenario flash-crowd|diurnal-churn|<scenario.json>] \
-                         [--mesh-sweep n1,n2,...] [--data-cap-mb mb] \
+                         [--mesh-sweep n1,n2,...] [--recovery] [--data-cap-mb mb] \
                          [--origin-delay-ms ms] \
                          [--shards s] [--workers w] [--obs] \
                          [--p-new f] [--seed n] [--out dir]"
@@ -643,6 +654,20 @@ fn main() {
             "--mesh-sweep is mutually exclusive with --chaos and --scenario"
         );
         let ok = run_mesh_sweep(&harness, &args, &points);
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+    if args.recovery {
+        assert!(
+            args.chaos.is_none() && args.scenario.is_none(),
+            "--recovery is mutually exclusive with --chaos and --scenario"
+        );
+        let opts = RecoveryOptions {
+            nodes: args.nodes.max(2),
+            requests: args.requests.min(5_000),
+            crash_node: 1,
+            clients: args.clients,
+        };
+        let ok = run_recovery(&harness, &opts);
         std::process::exit(if ok { 0 } else { 1 });
     }
     if let Some(plan_arg) = args.chaos.clone() {

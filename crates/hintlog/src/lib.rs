@@ -1,0 +1,594 @@
+//! Crash-safe persistent backend for the hint cache (§3.2).
+//!
+//! The hint table is soft state — the paper's contract is that a stale
+//! hint costs one wasted probe, never a failed request — so losing it on
+//! a crash is *correct* but expensive: the restarted node must
+//! re-advertise the world over `Resync`. This crate makes warm restart
+//! mean "open file, replay tail" instead:
+//!
+//! * `log.bh` — an append-only sequence of CRC-framed segments, each a
+//!   batch of fixed-width 16-byte [`LogRecord`]s (8-byte key + 8-byte
+//!   location word). Appends are buffered-write cheap; the caller
+//!   batches [`HintLog::sync`] off the hot path (the node fsyncs at its
+//!   flush cadence).
+//! * `snapshot.bh` — a periodically compacted materialization of the
+//!   live table, records **sorted by key**, CRC-covered, written
+//!   tmp-then-rename so a crash never leaves a half snapshot in place.
+//!
+//! Replay is total: a torn or corrupt log tail is truncated at the last
+//! good segment boundary (never a panic, never garbage records), and a
+//! corrupt snapshot degrades to a cold start. Because a segment's CRC
+//! covers its whole body, a torn final record can only lose the one
+//! unsynced batch the crash interrupted — exactly the window the fsync
+//! cadence budgets.
+//!
+//! The location word reuses the prototype's `MachineId` packing
+//! (`ip << 32 | port << 16`): the low 16 bits are zero by construction,
+//! which frees bit 0 as the remove flag so a mutation still fits the
+//! paper's 16-byte record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Size of one log record on disk: 8-byte key + 8-byte location word.
+pub const LOG_RECORD_BYTES: usize = 16;
+
+/// Bit 0 of the location word: set = "remove this key", clear = "add".
+/// Real machine words always have it clear (`MachineId` packs
+/// `ip << 32 | port << 16`).
+pub const OP_REMOVE: u64 = 1;
+
+/// Snapshot file magic + format version.
+const SNAP_MAGIC: [u8; 8] = *b"BHSNAP01";
+/// Per-segment magic in the log file ("BHLG", little-endian).
+const SEG_MAGIC: u32 = u32::from_le_bytes(*b"BHLG");
+/// Segment header: magic + record count + body CRC, 4 bytes each.
+const SEG_HEADER_BYTES: usize = 12;
+
+const SNAPSHOT_FILE: &str = "snapshot.bh";
+const LOG_FILE: &str = "log.bh";
+
+/// One persisted hint mutation, fixed-width by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogRecord {
+    /// 64-bit URL-hash key (never 0; 0 marks an empty hint slot).
+    pub key: u64,
+    /// Location word: machine id with [`OP_REMOVE`] in bit 0.
+    pub location: u64,
+}
+
+impl LogRecord {
+    /// An "insert hint" record. `machine`'s low bit must be clear (it is
+    /// for every real `MachineId`).
+    pub fn add(key: u64, machine: u64) -> LogRecord {
+        debug_assert_eq!(machine & OP_REMOVE, 0, "machine word uses the op bit");
+        LogRecord {
+            key,
+            location: machine,
+        }
+    }
+
+    /// A "remove this key" record. Removal is unconditional by key: the
+    /// node only logs a remove after its in-memory conditional remove
+    /// already succeeded, so replay needs no compare-location step.
+    pub fn remove(key: u64) -> LogRecord {
+        LogRecord {
+            key,
+            location: OP_REMOVE,
+        }
+    }
+
+    /// Whether this record removes its key.
+    pub fn is_remove(&self) -> bool {
+        self.location & OP_REMOVE != 0
+    }
+
+    /// The machine word with the op bit stripped (0 for removes).
+    pub fn machine(&self) -> u64 {
+        self.location & !OP_REMOVE
+    }
+
+    /// Serializes to the on-disk 16-byte layout (both words LE).
+    pub fn to_bytes(self) -> [u8; LOG_RECORD_BYTES] {
+        let mut out = [0u8; LOG_RECORD_BYTES];
+        out[..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..].copy_from_slice(&self.location.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from the on-disk layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than [`LOG_RECORD_BYTES`] (callers
+    /// slice exact record frames out of CRC-validated segments).
+    pub fn from_bytes(bytes: &[u8]) -> LogRecord {
+        LogRecord {
+            key: u64::from_le_bytes(bytes[..8].try_into().expect("8 key bytes")),
+            location: u64::from_le_bytes(bytes[8..16].try_into().expect("8 location bytes")),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data` — the checksum framing every segment and the
+/// snapshot body.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// What replay found on open: how much state came back and what had to
+/// be discarded to get there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Records recovered from the snapshot.
+    pub snapshot_records: usize,
+    /// Records recovered from the log tail.
+    pub log_records: usize,
+    /// Bytes truncated off the log's torn/corrupt tail.
+    pub truncated_bytes: u64,
+    /// True when a snapshot file existed but failed validation (magic,
+    /// CRC, sortedness, or framing) and was ignored.
+    pub corrupt_snapshot: bool,
+}
+
+/// The result of [`HintLog::open`]: the writable log plus everything
+/// replay recovered, in apply order (snapshot first, then the tail).
+#[derive(Debug)]
+pub struct Recovered {
+    /// The opened log, positioned for appends.
+    pub log: HintLog,
+    /// Recovered mutations in apply order.
+    pub records: Vec<LogRecord>,
+    /// Replay accounting.
+    pub stats: ReplayStats,
+}
+
+/// The durable hint store: one directory holding `snapshot.bh` and
+/// `log.bh`. See the [module docs](self) for the format.
+#[derive(Debug)]
+pub struct HintLog {
+    dir: PathBuf,
+    log: File,
+    log_len: u64,
+}
+
+/// True when `records` are in nondecreasing key order — the snapshot
+/// invariant the `fixed-width-records` lint pins on the write side and
+/// replay re-checks on the read side.
+fn records_sorted(records: &[LogRecord]) -> bool {
+    records.windows(2).all(|w| w[0].key <= w[1].key)
+}
+
+/// Parses and validates a snapshot image. Any framing, CRC, order, or
+/// zero-key violation rejects the whole file (the caller degrades to a
+/// cold start) — a half-trusted snapshot is worse than none.
+fn read_snapshot(bytes: &[u8]) -> Option<Vec<LogRecord>> {
+    if bytes.len() < SNAP_MAGIC.len() + 8 || bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return None;
+    }
+    let head = SNAP_MAGIC.len();
+    let count = u32::from_le_bytes(bytes[head..head + 4].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(bytes[head + 4..head + 8].try_into().ok()?);
+    let body = &bytes[head + 8..];
+    if body.len() != count * LOG_RECORD_BYTES || crc32(body) != crc {
+        return None;
+    }
+    let records: Vec<LogRecord> = body
+        .chunks_exact(LOG_RECORD_BYTES)
+        .map(LogRecord::from_bytes)
+        .collect();
+    if !records_sorted(&records) || records.iter().any(|r| r.key == 0 || r.is_remove()) {
+        return None;
+    }
+    Some(records)
+}
+
+/// Walks the log image segment by segment, collecting records until the
+/// first torn or corrupt segment. Returns the records and the byte
+/// offset of the last good segment boundary — everything past it is the
+/// tail a crash tore, and the opener truncates it.
+fn replay_log(bytes: &[u8]) -> (Vec<LogRecord>, u64) {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= SEG_HEADER_BYTES {
+        let magic = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+        if magic != SEG_MAGIC {
+            break;
+        }
+        let count =
+            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 8..offset + 12].try_into().expect("4 bytes"));
+        let body_len = match count.checked_mul(LOG_RECORD_BYTES) {
+            Some(n) => n,
+            None => break,
+        };
+        let body_start = offset + SEG_HEADER_BYTES;
+        if bytes.len() - body_start < body_len {
+            break; // torn mid-segment: the final append never completed
+        }
+        let body = &bytes[body_start..body_start + body_len];
+        if crc32(body) != crc {
+            break; // torn mid-record or bit rot: nothing past here is trusted
+        }
+        // Key 0 marks an empty hint slot and is never logged by this
+        // crate; a CRC-valid segment carrying one is foreign data, and
+        // dropping the record (not the segment) is the safe reading.
+        records.extend(
+            body.chunks_exact(LOG_RECORD_BYTES)
+                .map(LogRecord::from_bytes)
+                .filter(|r| r.key != 0),
+        );
+        offset = body_start + body_len;
+    }
+    (records, offset as u64)
+}
+
+impl HintLog {
+    /// Opens (creating if absent) the durable store in `dir` and replays
+    /// it: snapshot records first, then the surviving log tail, with any
+    /// torn tail truncated off the file before the log accepts appends.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directory creation or file I/O errors. Corrupt
+    /// *contents* are never an error — they are recovery input
+    /// (truncated tail, ignored snapshot) reported in [`ReplayStats`].
+    pub fn open(dir: &Path) -> io::Result<Recovered> {
+        std::fs::create_dir_all(dir)?;
+        let mut stats = ReplayStats::default();
+
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let mut records = match std::fs::read(&snap_path) {
+            Ok(bytes) => match read_snapshot(&bytes) {
+                Some(snap) => {
+                    stats.snapshot_records = snap.len();
+                    snap
+                }
+                None => {
+                    stats.corrupt_snapshot = true;
+                    Vec::new()
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+
+        let mut log = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join(LOG_FILE))?;
+        let mut bytes = Vec::new();
+        log.read_to_end(&mut bytes)?;
+        let (tail, good_len) = replay_log(&bytes);
+        stats.log_records = tail.len();
+        stats.truncated_bytes = bytes.len() as u64 - good_len;
+        if stats.truncated_bytes > 0 {
+            log.set_len(good_len)?;
+            log.sync_data()?;
+        }
+        log.seek(SeekFrom::Start(good_len))?;
+        records.extend(tail);
+
+        Ok(Recovered {
+            log: HintLog {
+                dir: dir.to_path_buf(),
+                log,
+                log_len: good_len,
+            },
+            records,
+            stats,
+        })
+    }
+
+    /// Appends one CRC-framed segment holding `records`. Buffered write
+    /// only — durability waits for the next [`HintLog::sync`], which the
+    /// node batches at its flush cadence to keep fsync off the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors; on failure the next open truncates any
+    /// partial segment.
+    pub fn append(&mut self, records: &[LogRecord]) -> io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut body = Vec::with_capacity(records.len() * LOG_RECORD_BYTES);
+        for r in records {
+            body.extend_from_slice(&r.to_bytes());
+        }
+        let mut frame = Vec::with_capacity(SEG_HEADER_BYTES + body.len());
+        frame.extend_from_slice(&SEG_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.log.write_all(&frame)?;
+        self.log_len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes appended segments to stable storage (fsync).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync error.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.log.sync_data()
+    }
+
+    /// Rewrites the snapshot from the live table (`entries` as
+    /// `(key, machine)` pairs, any order — compaction sorts them by key,
+    /// the on-disk invariant) and truncates the log. Written
+    /// tmp-then-rename with fsyncs so a crash at any point leaves either
+    /// the old snapshot + full log or the new snapshot (+ an already
+    /// re-applied log tail, which replay converges over).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors; the store stays usable (the old
+    /// snapshot and log remain authoritative).
+    pub fn compact(&mut self, entries: &[(u64, u64)]) -> io::Result<()> {
+        let mut sorted: Vec<(u64, u64)> = entries.to_vec();
+        sorted.sort_unstable_by_key(|&(key, _)| key);
+
+        let mut image = Vec::with_capacity(SNAP_MAGIC.len() + 8 + sorted.len() * LOG_RECORD_BYTES);
+        image.extend_from_slice(&SNAP_MAGIC);
+        image.extend_from_slice(&(sorted.len() as u32).to_le_bytes());
+        let body_at = image.len() + 4;
+        image.extend_from_slice(&[0u8; 4]); // CRC back-patched below
+        for &(key, machine) in &sorted {
+            image.extend_from_slice(&LogRecord::add(key, machine).to_bytes());
+        }
+        let crc = crc32(&image[body_at..]);
+        image[body_at - 4..body_at].copy_from_slice(&crc.to_le_bytes());
+
+        let tmp_path = self.dir.join("snapshot.tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(&image)?;
+        tmp.sync_data()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, self.dir.join(SNAPSHOT_FILE))?;
+        // Make the rename itself durable before dropping the log that
+        // the old snapshot depended on.
+        File::open(&self.dir)?.sync_all()?;
+
+        self.log.set_len(0)?;
+        self.log.seek(SeekFrom::Start(0))?;
+        self.log.sync_data()?;
+        self.log_len = 0;
+        Ok(())
+    }
+
+    /// Current byte length of the live log (compaction resets it to 0).
+    pub fn log_bytes(&self) -> u64 {
+        self.log_len
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bh-hintlog-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_check_value() {
+        // The CRC-32/IEEE check value from the catalogue of parametrised
+        // CRC algorithms.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn record_layout_is_sixteen_bytes_and_round_trips() {
+        let add = LogRecord::add(0xDEAD_BEEF, 0x7F00_0001_4650_0000);
+        assert_eq!(add.to_bytes().len(), LOG_RECORD_BYTES);
+        assert_eq!(LogRecord::from_bytes(&add.to_bytes()), add);
+        assert!(!add.is_remove());
+        assert_eq!(add.machine(), 0x7F00_0001_4650_0000);
+
+        let rm = LogRecord::remove(42);
+        assert!(rm.is_remove());
+        assert_eq!(rm.machine(), 0);
+        assert_eq!(LogRecord::from_bytes(&rm.to_bytes()), rm);
+    }
+
+    #[test]
+    fn append_sync_reopen_replays_everything() {
+        let dir = tmpdir("roundtrip");
+        let batch1 = vec![LogRecord::add(1, 1 << 16), LogRecord::add(2, 2 << 16)];
+        let batch2 = vec![LogRecord::remove(1), LogRecord::add(3, 3 << 16)];
+        {
+            let mut rec = HintLog::open(&dir).expect("open fresh");
+            assert!(rec.records.is_empty());
+            rec.log.append(&batch1).expect("append");
+            rec.log.append(&batch2).expect("append");
+            rec.log.sync().expect("sync");
+        }
+        let rec = HintLog::open(&dir).expect("reopen");
+        let mut expected = batch1;
+        expected.extend(batch2);
+        assert_eq!(rec.records, expected);
+        assert_eq!(rec.stats.log_records, 4);
+        assert_eq!(rec.stats.snapshot_records, 0);
+        assert_eq!(rec.stats.truncated_bytes, 0);
+        assert!(!rec.stats.corrupt_snapshot);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmpdir("torn");
+        {
+            let mut rec = HintLog::open(&dir).expect("open");
+            rec.log
+                .append(&[LogRecord::add(7, 7 << 16)])
+                .expect("append");
+            rec.log.sync().expect("sync");
+        }
+        // Simulate a crash mid-append: a valid header promising more
+        // bytes than were written.
+        let path = dir.join(LOG_FILE);
+        let mut bytes = std::fs::read(&path).expect("read log");
+        let good = bytes.len() as u64;
+        bytes.extend_from_slice(&SEG_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xAB; 7]); // torn final record
+        std::fs::write(&path, &bytes).expect("write torn log");
+
+        let rec = HintLog::open(&dir).expect("reopen over torn tail");
+        assert_eq!(rec.records, vec![LogRecord::add(7, 7 << 16)]);
+        assert_eq!(rec.stats.truncated_bytes, bytes.len() as u64 - good);
+        assert_eq!(
+            std::fs::metadata(&path).expect("stat").len(),
+            good,
+            "torn tail must be truncated off the file"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_crc_stops_replay_at_boundary() {
+        let dir = tmpdir("crc");
+        {
+            let mut rec = HintLog::open(&dir).expect("open");
+            rec.log.append(&[LogRecord::add(1, 1 << 16)]).expect("a");
+            rec.log.append(&[LogRecord::add(2, 2 << 16)]).expect("b");
+            rec.log.sync().expect("sync");
+        }
+        let path = dir.join(LOG_FILE);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let seg = SEG_HEADER_BYTES + LOG_RECORD_BYTES;
+        bytes[seg + SEG_HEADER_BYTES] ^= 0xFF; // flip a body byte of segment 2
+        std::fs::write(&path, &bytes).expect("write");
+
+        let rec = HintLog::open(&dir).expect("reopen");
+        assert_eq!(rec.records, vec![LogRecord::add(1, 1 << 16)]);
+        assert_eq!(rec.stats.truncated_bytes, seg as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_then_tail_compose_on_replay() {
+        let dir = tmpdir("compose");
+        {
+            let mut rec = HintLog::open(&dir).expect("open");
+            rec.log
+                .compact(&[(5, 5 << 16), (2, 2 << 16), (9, 9 << 16)])
+                .expect("compact");
+            assert_eq!(rec.log.log_bytes(), 0);
+            rec.log
+                .append(&[LogRecord::remove(5), LogRecord::add(4, 4 << 16)])
+                .expect("append tail");
+            rec.log.sync().expect("sync");
+        }
+        let rec = HintLog::open(&dir).expect("reopen");
+        assert_eq!(rec.stats.snapshot_records, 3);
+        assert_eq!(rec.stats.log_records, 2);
+        // Snapshot records come back sorted by key, then the tail.
+        assert_eq!(
+            rec.records,
+            vec![
+                LogRecord::add(2, 2 << 16),
+                LogRecord::add(5, 5 << 16),
+                LogRecord::add(9, 9 << 16),
+                LogRecord::remove(5),
+                LogRecord::add(4, 4 << 16),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_degrades_to_cold_start() {
+        let dir = tmpdir("badsnap");
+        {
+            let mut rec = HintLog::open(&dir).expect("open");
+            rec.log.compact(&[(1, 1 << 16)]).expect("compact");
+            rec.log
+                .append(&[LogRecord::add(2, 2 << 16)])
+                .expect("append");
+            rec.log.sync().expect("sync");
+        }
+        let snap = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&snap).expect("read snapshot");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&snap, &bytes).expect("write corrupt snapshot");
+
+        let rec = HintLog::open(&dir).expect("reopen");
+        assert!(rec.stats.corrupt_snapshot);
+        assert_eq!(rec.stats.snapshot_records, 0);
+        assert_eq!(rec.records, vec![LogRecord::add(2, 2 << 16)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsorted_snapshot_is_rejected() {
+        // Hand-build a CRC-valid snapshot whose records are out of key
+        // order: replay must refuse it (the sortedness invariant is part
+        // of the format, not a stylistic preference).
+        let mut body = Vec::new();
+        body.extend_from_slice(&LogRecord::add(9, 1 << 16).to_bytes());
+        body.extend_from_slice(&LogRecord::add(3, 1 << 16).to_bytes());
+        let mut image = Vec::new();
+        image.extend_from_slice(&SNAP_MAGIC);
+        image.extend_from_slice(&2u32.to_le_bytes());
+        image.extend_from_slice(&crc32(&body).to_le_bytes());
+        image.extend_from_slice(&body);
+        assert!(read_snapshot(&image).is_none());
+    }
+
+    #[test]
+    fn empty_append_is_a_no_op() {
+        let dir = tmpdir("empty");
+        let mut rec = HintLog::open(&dir).expect("open");
+        rec.log.append(&[]).expect("append nothing");
+        assert_eq!(rec.log.log_bytes(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,55 @@
+//! Fixture: durable-storage violations in the hint-log crate (must be
+//! flagged), with a fixed-width record, a sorting compactor, a reasoned
+//! allow, and a `#[cfg(test)]` module as negative controls.
+
+/// Flagged twice: a growable container and a platform-width integer
+/// have no stable on-disk byte layout.
+pub struct BadRecord {
+    pub url: String,
+    pub offset: usize,
+    pub crc: u32,
+}
+
+/// Negative control: fixed-width primitives and arrays of them.
+pub struct GoodRecord {
+    pub key: u64,
+    pub digest: [u8; 16],
+    pub live: bool,
+}
+
+pub struct Cursor {
+    // Negative control: not a `*Record` struct, layout is in-memory only.
+    pub records: Vec<GoodRecord>,
+}
+
+/// Negative control: a reasoned allow waives the finding below it.
+pub struct SparseRecord {
+    // bh-lint: allow(fixed-width-records, reason = "fixture: demonstrates a waived layout field")
+    pub slots: Vec<u64>,
+    pub count: u32,
+}
+
+/// Flagged: rewrites the snapshot without ever sorting the records.
+pub fn write_snapshot(records: &[GoodRecord], out: &mut Vec<u8>) {
+    for r in records {
+        out.extend_from_slice(&r.key.to_le_bytes());
+    }
+}
+
+/// Negative control: the compactor sorts before it writes.
+pub fn compact_live(records: &mut Vec<GoodRecord>) {
+    records.sort_unstable_by_key(|r| r.key);
+    records.dedup_by_key(|r| r.key);
+}
+
+#[cfg(test)]
+mod tests {
+    // Negative control: test scaffolding may hold any shape.
+    pub struct ScratchRecord {
+        pub name: String,
+    }
+
+    pub fn snapshot_for_test(r: &ScratchRecord) -> usize {
+        r.name.len()
+    }
+}

@@ -1,0 +1,12 @@
+//! Negative control: the same shapes outside `crates/hintlog/src/` are
+//! in-memory staging types, not on-disk layouts, and must not be
+//! flagged.
+
+pub struct StagedRecord {
+    pub url: String,
+    pub bytes: usize,
+}
+
+pub fn snapshot_counters(staged: &[StagedRecord]) -> usize {
+    staged.iter().map(|s| s.bytes).sum()
+}

@@ -1,7 +1,7 @@
 //! `bh-lint`: a repo-specific static analysis pass enforcing the
 //! determinism and resilience invariants this reproduction rests on.
 //!
-//! Seven rules (see `LINTS.md` at the repo root):
+//! Eight rules (see `LINTS.md` at the repo root):
 //!
 //! 1. `no-wall-clock` — `Instant::now`/`SystemTime::now` only in real
 //!    I/O modules; simulation and bench code must be replayable.
@@ -18,6 +18,10 @@
 //! 7. `no-hot-alloc` — no `.to_vec()` / `Vec::new()` / `BytesMut::new()`
 //!    in the wire-speed data-path hot set; reuse scratch buffers and
 //!    refcounted `Bytes` slices instead.
+//! 8. `fixed-width-records` — on-disk `*Record` structs in the durable
+//!    hint-log crate hold only fixed-width primitives/arrays, and
+//!    snapshot/compaction functions visibly maintain the sorted-records
+//!    invariant.
 //!
 //! Findings can be waived per line with
 //! `// bh-lint: allow(<rule>, reason = "...")`, which covers its own
@@ -137,6 +141,7 @@ pub fn check_root(root: &Path) -> io::Result<Report> {
         rules::ordered_iteration(rel, lx, &mut raw);
         rules::no_panic_hot_path(rel, lx, &mut raw);
         rules::no_hot_alloc(rel, lx, &mut raw);
+        rules::fixed_width_records(rel, lx, &mut raw);
     }
     rules::wire_exhaustiveness(&lexed, &mut raw);
     rules::stats_registry(&lexed, &mut raw);

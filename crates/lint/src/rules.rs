@@ -1,16 +1,16 @@
-//! The seven bh-lint rules. Each rule pushes [`Diagnostic`]s; allow
+//! The eight bh-lint rules. Each rule pushes [`Diagnostic`]s; allow
 //! resolution and rendering happen in the engine (`lib.rs`).
 //!
-//! Rules 1–4 and 7 are per-file token scans gated on repo-relative
+//! Rules 1–4, 7, and 8 are per-file token scans gated on repo-relative
 //! paths. Rules 5–6 are cross-file consistency checks over specific
 //! files.
 
-use crate::lexer::{item_body, test_mod_spans, Lexed, Tok, Token};
+use crate::lexer::{brace_match, item_body, test_mod_spans, Lexed, Tok, Token};
 use crate::Diagnostic;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Rule names, in the order they are documented in LINTS.md.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "no-wall-clock",
     "no-ambient-rng",
     "ordered-iteration",
@@ -18,6 +18,7 @@ pub const RULES: [&str; 7] = [
     "wire-exhaustiveness",
     "stats-registry",
     "no-hot-alloc",
+    "fixed-width-records",
 ];
 
 /// Modules allowed to read the wall clock: the real-I/O edge of the
@@ -235,6 +236,157 @@ pub fn no_hot_alloc(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
                     format!(
                         "`{ty}::new()` in the proto hot set grows from capacity zero; \
                          preallocate with `with_capacity` or reuse a scratch buffer"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The durable-storage crate: everything that writes bytes the next
+/// process must be able to replay.
+const FIXED_WIDTH_PREFIX: &str = "crates/hintlog/src/";
+
+/// Primitive types with a platform-independent byte width. `usize` /
+/// `isize` are deliberately absent: their width follows the platform,
+/// so a record containing one deserializes differently across hosts.
+const FIXED_WIDTH: [&str; 13] = [
+    "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32", "f64", "bool",
+];
+
+/// Fields of `struct <name>` with the token span of each field's type
+/// (`start..end`, exclusive of the separating comma).
+fn struct_field_types(tokens: &[Token], name: &str) -> Vec<(String, u32, (usize, usize))> {
+    let Some((start, end)) = item_body(tokens, "struct", name) else {
+        return Vec::new();
+    };
+    let mut fields = Vec::new();
+    let mut i = start + 1;
+    while i < end {
+        match &tokens[i].tok {
+            Tok::Punct('#') => {
+                // Skip field attributes.
+                i += 1;
+                if i < end && tokens[i].tok == Tok::Punct('[') {
+                    let mut depth = 1i64;
+                    i += 1;
+                    while i < end && depth > 0 {
+                        match tokens[i].tok {
+                            Tok::Punct('[') => depth += 1,
+                            Tok::Punct(']') => depth -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            Tok::Ident(s) if s == "pub" => i += 1,
+            Tok::Ident(s)
+                if tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+                    && tokens.get(i + 2).map(|t| &t.tok) != Some(&Tok::Punct(':')) =>
+            {
+                let (fname, fline) = (s.clone(), tokens[i].line);
+                let ty_start = i + 2;
+                let mut depth = 0i64;
+                i = ty_start;
+                while i < end {
+                    match tokens[i].tok {
+                        Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                        Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                        Tok::Punct('<') => depth += 1,
+                        Tok::Punct('>') => depth -= 1,
+                        Tok::Punct(',') if depth == 0 => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                fields.push((fname, fline, (ty_start, i)));
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+/// True when the type at `tokens[span]` is a fixed-width primitive or a
+/// `[primitive; N]` array of one.
+fn type_is_fixed_width(tokens: &[Token], span: (usize, usize)) -> bool {
+    let ty = &tokens[span.0..span.1];
+    match ty.first().map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => ty.len() == 1 && FIXED_WIDTH.contains(&s.as_str()),
+        Some(Tok::Punct('[')) => {
+            matches!(ty.get(1).map(|t| &t.tok), Some(Tok::Ident(s)) if FIXED_WIDTH.contains(&s.as_str()))
+        }
+        _ => false,
+    }
+}
+
+/// Rule 8: durable-storage invariants in the hint-log crate. Structs
+/// named `*Record` are on-disk layouts and may hold only fixed-width
+/// primitives or arrays of them (no `usize`, no pointers, no growable
+/// containers — the byte layout is the compatibility contract), and any
+/// function on the snapshot/compaction path (name contains `snapshot`
+/// or `compact`) must visibly maintain the sorted-records invariant by
+/// mentioning a `sort` identifier. `#[cfg(test)] mod` blocks are
+/// exempt.
+pub fn fixed_width_records(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !rel.starts_with(FIXED_WIDTH_PREFIX) {
+        return;
+    }
+    let tokens = &lx.tokens;
+    let spans = test_mod_spans(tokens);
+    let in_tests = |line: u32| spans.iter().any(|&(a, b)| line >= a && line <= b);
+    for i in 0..tokens.len().saturating_sub(1) {
+        let (Tok::Ident(kw), Tok::Ident(name)) = (&tokens[i].tok, &tokens[i + 1].tok) else {
+            continue;
+        };
+        if in_tests(tokens[i].line) {
+            continue;
+        }
+        if kw == "struct" && name.ends_with("Record") {
+            for (field, fline, ty_span) in struct_field_types(tokens, name) {
+                if !type_is_fixed_width(tokens, ty_span) {
+                    push(
+                        out,
+                        rel,
+                        fline,
+                        "fixed-width-records",
+                        format!(
+                            "`{name}` field `{field}` is not a fixed-width primitive or \
+                             array; on-disk record layouts must be stable across hosts \
+                             and versions"
+                        ),
+                    );
+                }
+            }
+        }
+        if kw == "fn" && (name.contains("snapshot") || name.contains("compact")) {
+            // Find the body: the first `{` after the signature (a `;`
+            // first means a bodyless declaration — nothing to check).
+            let mut k = i + 2;
+            while k < tokens.len()
+                && tokens[k].tok != Tok::Punct('{')
+                && tokens[k].tok != Tok::Punct(';')
+            {
+                k += 1;
+            }
+            let Some(close) = brace_match(tokens, k) else {
+                continue;
+            };
+            let sorts = tokens[k..=close]
+                .iter()
+                .any(|t| matches!(&t.tok, Tok::Ident(s) if s.contains("sort")));
+            if !sorts {
+                push(
+                    out,
+                    rel,
+                    tokens[i + 1].line,
+                    "fixed-width-records",
+                    format!(
+                        "`{name}` is on the snapshot/compaction path but never sorts; \
+                         snapshots must keep records sorted by key for replay to \
+                         verify them"
                     ),
                 );
             }
@@ -552,6 +704,27 @@ mod tests {
         let vars = enum_variants(&lex(src).tokens, "Message");
         let names: Vec<&str> = vars.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["Get", "Ping", "Reply"]);
+    }
+
+    #[test]
+    fn field_types_classify_fixed_width() {
+        let src = "struct LogRecord {\n  pub key: u64,\n  pub digest: [u8; 16],\n  pub url: String,\n  pub slots: Vec<u64>,\n  pub off: usize,\n}\n";
+        let lx = lex(src);
+        let fields = struct_field_types(&lx.tokens, "LogRecord");
+        let verdicts: Vec<(&str, bool)> = fields
+            .iter()
+            .map(|(n, _, span)| (n.as_str(), type_is_fixed_width(&lx.tokens, *span)))
+            .collect();
+        assert_eq!(
+            verdicts,
+            [
+                ("key", true),
+                ("digest", true),
+                ("url", false),
+                ("slots", false),
+                ("off", false),
+            ]
+        );
     }
 
     #[test]

@@ -87,6 +87,18 @@ fn no_hot_alloc_fixture_matches_golden() {
 }
 
 #[test]
+fn fixed_width_records_fixture_matches_golden() {
+    let report = check_fixture("fixed-width-records");
+    // The allowed Vec field is honored; the out-of-crate file, the
+    // sorting compactor, and the #[cfg(test)] module contribute nothing.
+    assert_eq!(report.allows_honored, 1);
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.file == "crates/hintlog/src/lib.rs"));
+}
+
+#[test]
 fn allow_hygiene_fixture_matches_golden() {
     let report = check_fixture("allow-hygiene");
     // The one well-formed directive in the fixture is honored.

@@ -210,6 +210,31 @@ impl Context {
         Digest(out)
     }
 
+    /// Creates a context pre-seeded with `key` — the prefix half of the
+    /// envelope authenticator `MD5(key ‖ data ‖ key)`. Pair with
+    /// [`Context::finalize_keyed`], which absorbs the trailer copy.
+    ///
+    /// ```
+    /// use bh_md5::{keyed_md5, Context};
+    ///
+    /// let mut ctx = Context::keyed(b"k");
+    /// ctx.consume(b"payload");
+    /// assert_eq!(ctx.finalize_keyed(b"k"), keyed_md5(b"k", b"payload"));
+    /// ```
+    pub fn keyed(key: &[u8]) -> Context {
+        let mut ctx = Context::new();
+        ctx.consume(key);
+        ctx
+    }
+
+    /// Completes an envelope authenticator started with
+    /// [`Context::keyed`]: absorbs `key` again as the trailer, then
+    /// finalizes.
+    pub fn finalize_keyed(mut self, key: &[u8]) -> Digest {
+        self.consume(key);
+        self.finalize()
+    }
+
     fn process_block(&mut self, block: &[u8; 64]) {
         let mut m = [0u32; 16];
         for (i, w) in m.iter_mut().enumerate() {
@@ -255,6 +280,27 @@ pub fn md5(data: impl AsRef<[u8]>) -> Digest {
     let mut ctx = Context::new();
     ctx.consume(data);
     ctx.finalize()
+}
+
+/// Keyed digest in envelope construction: `MD5(key ‖ data ‖ key)`.
+///
+/// Used as the per-peer hint-batch authenticator. Like everything else
+/// in this crate it is an *integrity* primitive, not a cryptographic
+/// MAC: it detects corrupted and byzantine-buggy senders, and its
+/// strength is exactly the secrecy of `key` (a real deployment would
+/// provision a shared secret; the prototype derives per-sender keys
+/// from a public scheme, which catches corruption but not a determined
+/// forger).
+///
+/// ```
+/// let a = bh_md5::keyed_md5(b"k1", b"batch");
+/// let b = bh_md5::keyed_md5(b"k2", b"batch");
+/// assert_ne!(a, b, "different keys, different tags");
+/// ```
+pub fn keyed_md5(key: &[u8], data: &[u8]) -> Digest {
+    let mut ctx = Context::keyed(key);
+    ctx.consume(data);
+    ctx.finalize_keyed(key)
 }
 
 /// Convenience: the 64-bit key for a URL, as used by hint records (§3.2.1).
@@ -327,6 +373,21 @@ mod tests {
             ctx.consume([*b]);
         }
         assert_eq!(ctx.finalize(), md5(data));
+    }
+
+    #[test]
+    fn keyed_digest_is_the_envelope_construction() {
+        assert_eq!(
+            keyed_md5(b"key", b"data"),
+            md5(b"keydatakey"),
+            "keyed_md5 must equal MD5(key ‖ data ‖ key)"
+        );
+        let mut ctx = Context::keyed(b"key");
+        ctx.consume(b"da");
+        ctx.consume(b"ta");
+        assert_eq!(ctx.finalize_keyed(b"key"), keyed_md5(b"key", b"data"));
+        assert_ne!(keyed_md5(b"a", b"x"), keyed_md5(b"b", b"x"));
+        assert_ne!(keyed_md5(b"a", b"x"), md5(b"x"));
     }
 
     #[test]

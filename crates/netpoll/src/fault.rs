@@ -23,7 +23,7 @@
 //! here: they are address-directed, so they live in the pool's block
 //! list where the remote address is known.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// Denominator for [`FaultSwitch::set_drop_per_million`]: a rate of
 /// `PER_MILLION` drops every send.
@@ -42,6 +42,10 @@ pub struct FaultSwitch {
     drop_per_million: AtomicU32,
     /// LCG state for the drop decision stream.
     drop_rng: AtomicU64,
+    /// When set, outbound hint batches are sent with a deliberately
+    /// wrong authenticator tag — a byzantine peer whose frames parse but
+    /// fail verification at every receiver.
+    corrupt_hint_tags: AtomicBool,
 }
 
 impl Default for FaultSwitch {
@@ -61,6 +65,7 @@ impl FaultSwitch {
             // splitmix-style scramble so seed 0 and seed 1 diverge
             // immediately.
             drop_rng: AtomicU64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+            corrupt_hint_tags: AtomicBool::new(false),
         }
     }
 
@@ -80,11 +85,23 @@ impl FaultSwitch {
         self.drop_per_million.store(rate, Ordering::Relaxed);
     }
 
+    /// Arms or disarms hint-batch tag corruption (byzantine-sender
+    /// fault).
+    pub fn set_corrupt_hint_tags(&self, on: bool) {
+        self.corrupt_hint_tags.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether outbound hint batches should carry a corrupted tag.
+    pub fn corrupt_hint_tags(&self) -> bool {
+        self.corrupt_hint_tags.load(Ordering::Relaxed)
+    }
+
     /// Clears every fault at once (end of a chaos window).
     pub fn clear(&self) {
         self.set_rx_latency_micros(0);
         self.set_tx_latency_micros(0);
         self.set_drop_per_million(0);
+        self.set_corrupt_hint_tags(false);
     }
 
     /// Current inbound delay, if any.
@@ -155,11 +172,14 @@ mod tests {
         let f = FaultSwitch::new(7);
         f.set_rx_latency_micros(1500);
         f.set_tx_latency_micros(250);
+        f.set_corrupt_hint_tags(true);
         assert_eq!(f.rx_latency(), Some(Duration::from_micros(1500)));
         assert_eq!(f.tx_latency(), Some(Duration::from_micros(250)));
+        assert!(f.corrupt_hint_tags());
         f.clear();
         assert_eq!(f.rx_latency(), None);
         assert_eq!(f.tx_latency(), None);
+        assert!(!f.corrupt_hint_tags());
     }
 
     #[test]

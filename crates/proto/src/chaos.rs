@@ -79,6 +79,16 @@ pub enum FaultKind {
         /// Hierarchy depth of the targeted parent (0 = the top level).
         level: usize,
     },
+    /// Turn `peer` byzantine: its outbound hint batches carry corrupted
+    /// authenticator tags. Honest receivers must reject every batch,
+    /// quarantine the peer once its failure streak crosses the
+    /// threshold, and purge the hints it planted — with zero client
+    /// errors, since hints are advisory. Lifting the window restores
+    /// valid tags; the peer's next good batch heals the quarantine.
+    CorruptHints {
+        /// Index of the byzantine node.
+        peer: usize,
+    },
 }
 
 impl FaultKind {
@@ -95,6 +105,7 @@ impl FaultKind {
                 format!("drop node={node} per_million={per_million}")
             }
             FaultKind::CrashParent { level } => format!("crash_parent level={level}"),
+            FaultKind::CorruptHints { peer } => format!("corrupt_hints peer={peer}"),
         }
     }
 
@@ -106,6 +117,7 @@ impl FaultKind {
             FaultKind::Crash { node }
             | FaultKind::Latency { node, .. }
             | FaultKind::Drop { node, .. } => node,
+            FaultKind::CorruptHints { peer } => peer,
             FaultKind::Partition { a, b } => a.max(b),
             FaultKind::PartitionOneWay { from, to } => from.max(to),
             FaultKind::CrashParent { .. } => 0,
@@ -430,21 +442,35 @@ impl ChaosMesh {
         topology: Topology,
         tune: impl Fn(NodeConfig) -> NodeConfig,
     ) -> io::Result<ChaosMesh> {
+        Self::spawn_indexed(topology, |_, config| tune(config))
+    }
+
+    /// Like [`ChaosMesh::spawn_topology`], but the tuner also receives
+    /// the node's spawn index — needed for per-node state such as a
+    /// [`NodeConfig::durability_dir`], which must be unique per node.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid topologies; propagates origin/node spawn failures.
+    pub fn spawn_indexed(
+        topology: Topology,
+        tune: impl Fn(usize, NodeConfig) -> NodeConfig,
+    ) -> io::Result<ChaosMesh> {
         topology
             .validate()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let origin = OriginServer::spawn("127.0.0.1:0")?;
         let n = topology.size();
         let mut nodes = Vec::with_capacity(n);
-        for _ in 0..n {
-            let config = tune(NodeConfig::new("127.0.0.1:0", origin.addr()));
+        for i in 0..n {
+            let config = tune(i, NodeConfig::new("127.0.0.1:0", origin.addr()));
             nodes.push(CacheNode::spawn(config)?);
         }
         let addrs: Vec<SocketAddr> = nodes.iter().map(|node| node.addr()).collect();
         let mut configs = Vec::with_capacity(n);
         for i in 0..n {
             let (neighbors, parent, children, _) = wiring_for(&topology, &addrs, i);
-            let mut config = tune(NodeConfig::new(addrs[i].to_string(), origin.addr()));
+            let mut config = tune(i, NodeConfig::new(addrs[i].to_string(), origin.addr()));
             config.neighbors = neighbors;
             config.parent = parent;
             config.children = children;
@@ -580,8 +606,11 @@ impl ChaosMesh {
     }
 
     /// Restarts a crashed node on its original port, rewires it into the
-    /// mesh, and rebuilds its hint table via anti-entropy resync. Returns
-    /// the number of hint records recovered.
+    /// mesh, and rebuilds its hint table: a node with a durable hint log
+    /// ([`NodeConfig::durability_dir`]) recovers by replaying it at
+    /// spawn — no network traffic — and falls back to the anti-entropy
+    /// [`CacheNode::resync`] only when the replay recovered nothing.
+    /// Returns the number of hint records recovered either way.
     ///
     /// # Errors
     ///
@@ -592,7 +621,10 @@ impl ChaosMesh {
         }
         let node = CacheNode::spawn(self.configs[index].clone())?;
         self.wire(index, &node);
-        let recovered = node.resync();
+        let recovered = match node.stats().hints_recovered_from_log {
+            0 => node.resync(),
+            replayed => replayed as usize,
+        };
         self.nodes[index] = Some(node);
         Ok(recovered)
     }
@@ -634,6 +666,11 @@ impl ChaosMesh {
                     node.pool().fault_switch().set_drop_per_million(per_million);
                 }
             }
+            FaultKind::CorruptHints { peer } => {
+                if let Some(node) = self.node(peer) {
+                    node.pool().fault_switch().set_corrupt_hint_tags(true);
+                }
+            }
             // `resolve` maps CrashParent to Crash on hierarchical meshes;
             // on a flat mesh (rejected at validation) it is a no-op.
             FaultKind::CrashParent { .. } => {}
@@ -673,6 +710,25 @@ impl ChaosMesh {
             FaultKind::Latency { node, .. } | FaultKind::Drop { node, .. } => {
                 if let Some(node) = self.node(node) {
                     node.pool().fault_switch().clear();
+                }
+            }
+            FaultKind::CorruptHints { peer } => {
+                // Stop corrupting; the receivers' quarantines lift on the
+                // peer's next valid batch (the protocol-level heal), but
+                // the mesh-level lift also unblocks it everywhere so the
+                // post segment starts from restored wiring either way.
+                if let Some(node) = self.node(peer) {
+                    node.pool().fault_switch().clear();
+                }
+                let addr = self.addrs[peer];
+                for (i, node) in self.nodes.iter().enumerate() {
+                    if i == peer {
+                        continue;
+                    }
+                    if let Some(node) = node {
+                        node.pool().unblock(addr);
+                        node.pool().forgive(addr);
+                    }
                 }
             }
             FaultKind::CrashParent { .. } => {}
@@ -791,6 +847,12 @@ mod tests {
                     pre: 5,
                     hold: 5,
                     post: 5,
+                },
+                FaultWindow {
+                    fault: FaultKind::CorruptHints { peer: 2 },
+                    pre: 4,
+                    hold: 8,
+                    post: 4,
                 },
             ],
         };

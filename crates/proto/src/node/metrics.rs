@@ -75,6 +75,16 @@ pub struct NodeStats {
     /// Vectored flushes that drained more than one reply frame in a
     /// single `writev` syscall.
     pub writev_batches: u64,
+    /// Microseconds spent replaying the durable hint log at spawn
+    /// (0 when the node runs without durability).
+    pub hint_log_replay_micros: u64,
+    /// Hint records live in the store after the spawn-time log replay —
+    /// the warm-restart recovery a network resync would otherwise pay
+    /// for.
+    pub hints_recovered_from_log: u64,
+    /// Received hint batches whose authenticator failed verification
+    /// (byzantine or corrupted sender).
+    pub hint_auth_failures: u64,
 }
 
 impl NodeStats {
@@ -108,6 +118,9 @@ impl NodeStats {
                 "hint_batch_overflow" => &mut out.hint_batch_overflow,
                 "wakeups_coalesced" => &mut out.wakeups_coalesced,
                 "writev_batches" => &mut out.writev_batches,
+                "hint_log_replay_micros" => &mut out.hint_log_replay_micros,
+                "hints_recovered_from_log" => &mut out.hints_recovered_from_log,
+                "hint_auth_failures" => &mut out.hint_auth_failures,
                 _ => continue,
             };
             *slot = e.value;
@@ -144,6 +157,9 @@ pub(crate) struct NodeMetrics {
     pub hint_batch_overflow: Counter,
     pub wakeups_coalesced: Counter,
     pub writev_batches: Counter,
+    pub hint_log_replay_micros: Counter,
+    pub hints_recovered_from_log: Counter,
+    pub hint_auth_failures: Counter,
     /// Peers currently under quarantine (refreshed at snapshot time).
     pool_quarantined_peers: Gauge,
     /// Warm pooled connections currently idle (refreshed at snapshot time).
@@ -212,6 +228,20 @@ impl NodeMetrics {
             writev_batches: c(
                 "writev_batches",
                 "vectored flushes draining >1 reply frame per syscall",
+            ),
+            hint_log_replay_micros: r.counter(
+                "hint_log_replay_micros",
+                Unit::Micros,
+                "time spent replaying the durable hint log at spawn",
+                Determinism::Measured,
+            ),
+            hints_recovered_from_log: c(
+                "hints_recovered_from_log",
+                "hint records recovered by the spawn-time log replay",
+            ),
+            hint_auth_failures: c(
+                "hint_auth_failures",
+                "received hint batches whose authenticator failed",
             ),
             pool_quarantined_peers: r.gauge(
                 "pool_quarantined_peers",
@@ -290,6 +320,9 @@ mod tests {
         m.hint_batch_overflow.add(20);
         m.wakeups_coalesced.add(21);
         m.writev_batches.add(22);
+        m.hint_log_replay_micros.add(23);
+        m.hints_recovered_from_log.add(24);
+        m.hint_auth_failures.add(25);
         let snap = m.registry.snapshot();
         let stats = NodeStats::from_snapshot(&snap);
         assert_eq!(
@@ -317,6 +350,9 @@ mod tests {
                 hint_batch_overflow: 20,
                 wakeups_coalesced: 21,
                 writev_batches: 22,
+                hint_log_replay_micros: 23,
+                hints_recovered_from_log: 24,
+                hint_auth_failures: 25,
             }
         );
     }
@@ -360,6 +396,9 @@ mod tests {
             "hint_batch_overflow",
             "wakeups_coalesced",
             "writev_batches",
+            "hint_log_replay_micros",
+            "hints_recovered_from_log",
+            "hint_auth_failures",
             "pool_quarantined_peers",
             "pool_live_connections",
             "pool_reconnect_attempts",

@@ -30,10 +30,11 @@ pub use metrics::{NodeStats, NODE_TRACE_CAPACITY};
 use crate::liveness::{LivenessConfig, LivenessTracker, PeerHealth, Transition};
 use crate::pool::{ConnectionPool, PoolConfig, RequestOptions};
 use crate::wire::{
-    coalesce, read_message, write_message, HintAction, HintUpdate, MachineId, Message, ServedBy,
-    Status,
+    coalesce, hint_batch_tag, read_message, write_message, HintAction, HintUpdate, MachineId,
+    Message, ServedBy, Status,
 };
 use bh_cache::{HintCache, LruCache};
+use bh_hintlog::{HintLog, LogRecord};
 use bh_obs::{span, MetricEntry, MetricInfo, TraceEvent, TraceRing};
 use bh_plaxton::{NodeSpec, PlaxtonTree};
 use bh_simcore::ByteSize;
@@ -43,6 +44,7 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -129,6 +131,12 @@ pub struct NodeConfig {
     /// Upper bound on how long `shutdown`/drop waits for node threads to
     /// unwind before detaching the stragglers.
     pub shutdown_deadline: Duration,
+    /// When set, hint-store mutations are mirrored to a crash-safe
+    /// append-only log in this directory ([`bh_hintlog::HintLog`]) and a
+    /// warm restart replays it at spawn — recovering the hint table
+    /// without a network-wide [`CacheNode::resync`]. `None` (the
+    /// default) keeps the hint store purely in-memory.
+    pub durability_dir: Option<PathBuf>,
 }
 
 impl NodeConfig {
@@ -156,6 +164,7 @@ impl NodeConfig {
             suspicion_threshold: 3,
             confirm_death_after: Duration::from_secs(30),
             shutdown_deadline: Duration::from_secs(5),
+            durability_dir: None,
         }
     }
 
@@ -247,6 +256,12 @@ impl NodeConfig {
     /// Sets the shutdown join deadline.
     pub fn with_shutdown_deadline(mut self, d: Duration) -> Self {
         self.shutdown_deadline = d;
+        self
+    }
+
+    /// Enables the durable hint log in `dir` (created if missing).
+    pub fn with_durability_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability_dir = Some(dir.into());
         self
     }
 }
@@ -387,6 +402,21 @@ struct Inner {
     /// Live Plaxton tree repaired on confirmed churn (`None` until
     /// [`CacheNode::set_mesh`]).
     mesh: Mutex<Option<MeshState>>,
+    /// Durable hint log (`None` unless [`NodeConfig::durability_dir`] is
+    /// set). Locked only by the flush thread; request paths stage
+    /// records in `log_pending` instead.
+    hintlog: Option<Mutex<HintLog>>,
+    /// Hint-store mutations awaiting their fsync-batched append — the
+    /// durable mirror of the in-memory insert/remove stream.
+    log_pending: Mutex<Vec<LogRecord>>,
+    /// Set by bulk hint drops (dead-peer purge, byzantine quarantine):
+    /// the next flush rewrites the snapshot from live state instead of
+    /// logging every purged key.
+    log_compact_due: AtomicBool,
+    /// Consecutive hint-batch authentication failures per sender
+    /// (keyed by `MachineId.0`); crossing
+    /// [`HINT_AUTH_QUARANTINE_AFTER`] quarantines the sender.
+    hint_auth: Mutex<HashMap<u64, u32>>,
 }
 
 /// Handle to a running cache node; dropping it shuts the node down.
@@ -432,13 +462,40 @@ impl CacheNode {
             jitter_seed: machine.0,
             ..PoolConfig::default()
         });
+        let metrics = NodeMetrics::register();
+        let hints = HintShards::with_capacity(config.hint_capacity, config.hint_shards);
+        let mut hintlog = None;
+        if let Some(dir) = &config.durability_dir {
+            // Warm restart: open the durable log and replay snapshot +
+            // tail into the hint store before serving a single request.
+            // A failed-open falls back to a cold store rather than
+            // failing the spawn — durability is best-effort by design.
+            let t0 = Instant::now();
+            if let Ok(recovered) = HintLog::open(dir) {
+                for r in &recovered.records {
+                    let mut shard = hints.lock_shard(hints.shard_index(r.key));
+                    if r.is_remove() {
+                        shard.remove(r.key);
+                    } else {
+                        shard.insert(r.key, r.machine());
+                    }
+                }
+                metrics
+                    .hint_log_replay_micros
+                    .add(t0.elapsed().as_micros() as u64);
+                metrics
+                    .hints_recovered_from_log
+                    .add(hints.entries().len() as u64);
+                hintlog = Some(Mutex::new(recovered.log));
+            }
+        }
         let inner = Arc::new(Inner {
             machine,
             store: Mutex::new(Store {
                 meta: LruCache::new(config.data_capacity),
                 bodies: HashMap::new(),
             }),
-            hints: HintShards::with_capacity(config.hint_capacity, config.hint_shards),
+            hints,
             pending: Mutex::new(VecDeque::new()),
             neighbors: Mutex::new(config.neighbors.clone()),
             parent: Mutex::new(config.parent),
@@ -446,7 +503,7 @@ impl CacheNode {
             // bh-lint: allow(no-hot-alloc, reason = "node spawn runs once, not per request")
             fallback_parents: Mutex::new(Vec::new()),
             liveness_peers: Mutex::new(None),
-            metrics: NodeMetrics::register(),
+            metrics,
             trace: Mutex::new(TraceRing::new(NODE_TRACE_CAPACITY)),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
@@ -456,6 +513,11 @@ impl CacheNode {
                 confirm_death_after: config.confirm_death_after,
             })),
             mesh: Mutex::new(None),
+            hintlog,
+            // bh-lint: allow(no-hot-alloc, reason = "node spawn runs once, not per request")
+            log_pending: Mutex::new(Vec::new()),
+            log_compact_due: AtomicBool::new(false),
+            hint_auth: Mutex::new(HashMap::new()),
             config,
         });
 
@@ -681,19 +743,30 @@ impl CacheNode {
                 quarantine_on_failure: false,
                 respect_quarantine: false,
             };
-            if let Ok(Message::HintBatch(updates)) =
-                exchange(&self.inner, addr, opts, &Message::Resync)
+            if let Ok(Message::HintBatch {
+                sender,
+                updates,
+                tag,
+            }) = exchange(&self.inner, addr, opts, &Message::Resync)
             {
-                learned += updates.len();
-                apply_updates(&self.inner, updates);
+                // Resync replies are authenticated like any other batch:
+                // a byzantine peer cannot seed a restarting node's hint
+                // table with forged locations.
+                if verify_hint_batch(&self.inner, sender, &updates, &tag) {
+                    learned += updates.len();
+                    apply_updates(&self.inner, updates);
+                }
             }
         }
         learned
     }
 
     /// Stops the node gracefully and joins its threads (bounded by
-    /// [`NodeConfig::shutdown_deadline`]).
+    /// [`NodeConfig::shutdown_deadline`]). Staged durable-log records
+    /// reach the disk first — only a crash ([`CacheNode::kill`]) loses
+    /// them.
     pub fn shutdown(mut self) {
+        persist_hint_log(&self.inner);
         self.stop();
     }
 
@@ -703,6 +776,9 @@ impl CacheNode {
     /// disappearance and recovers via quarantine, suspicion, and resync.
     pub fn kill(mut self) {
         self.inner.pending.lock().clear();
+        // A crash loses everything not yet fsynced: staged log records
+        // die with the process, exactly like the pending hint updates.
+        self.inner.log_pending.lock().clear();
         self.stop();
     }
 
@@ -873,7 +949,103 @@ fn flush_loop(inner: Arc<Inner>) {
     }
 }
 
+/// Consecutive hint-batch authentication failures a sender is allowed
+/// before it is quarantined (pool-blocked, hints purged like a dead
+/// peer's). The first valid batch afterwards heals it.
+const HINT_AUTH_QUARANTINE_AFTER: u32 = 3;
+
+/// Log bytes past which the flush thread compacts the durable log into
+/// a fresh snapshot even without a bulk-purge trigger.
+const LOG_COMPACT_BYTES: u64 = 1 << 20;
+
+/// Stages one hint-store mutation for the durable log (no-op when the
+/// node runs without durability). The actual write and fsync happen on
+/// the flush thread ([`persist_hint_log`]), never on a request path.
+fn log_mutation(inner: &Inner, record: LogRecord) {
+    if inner.hintlog.is_some() {
+        inner.log_pending.lock().push(record);
+    }
+}
+
+/// Drains staged log records into one CRC-framed, fsynced append, and
+/// compacts the log into a snapshot when a bulk purge flagged it or the
+/// tail has grown past [`LOG_COMPACT_BYTES`]. Write errors are dropped:
+/// the in-memory store stays authoritative and the §3.2 invariant makes
+/// a lost hint cost at most one wasted probe after the next restart.
+fn persist_hint_log(inner: &Inner) {
+    let Some(hintlog) = &inner.hintlog else {
+        return;
+    };
+    let staged: Vec<LogRecord> = std::mem::take(&mut *inner.log_pending.lock());
+    let compact_due = inner.log_compact_due.swap(false, Ordering::Relaxed);
+    let mut log = hintlog.lock();
+    if !staged.is_empty() {
+        let _ = log.append(&staged).and_then(|()| log.sync());
+    }
+    if compact_due || log.log_bytes() > LOG_COMPACT_BYTES {
+        let _ = log.compact(&inner.hints.entries());
+    }
+}
+
+/// Builds this node's authenticated outbound [`Message::HintBatch`].
+/// When the chaos harness arms `corrupt_hint_tags` on the fault switch,
+/// the tag's first byte is flipped — the frame still parses everywhere,
+/// but verification fails at every honest receiver (the byzantine-sender
+/// fault).
+fn outbound_hint_batch(inner: &Inner, updates: Vec<HintUpdate>) -> Message {
+    let mut msg = Message::hint_batch(inner.machine, updates);
+    if inner.pool.fault_switch().corrupt_hint_tags() {
+        if let Message::HintBatch { tag, .. } = &mut msg {
+            tag[0] ^= 0xFF;
+        }
+    }
+    msg
+}
+
+/// Checks a received batch's authenticator against the tag this node
+/// computes for `(sender, updates)`. A mismatch counts
+/// `hint_auth_failures` and advances the sender's failure streak;
+/// crossing [`HINT_AUTH_QUARANTINE_AFTER`] quarantines the sender —
+/// outbound path blocked, every hint it planted purged (the same repair
+/// a confirmed death gets). A valid batch from a quarantined sender
+/// heals it: streak cleared, block lifted.
+fn verify_hint_batch(
+    inner: &Inner,
+    sender: MachineId,
+    updates: &[HintUpdate],
+    tag: &[u8; 16],
+) -> bool {
+    if hint_batch_tag(sender, updates) == *tag {
+        let was_quarantined = inner
+            .hint_auth
+            .lock()
+            .remove(&sender.0)
+            .is_some_and(|streak| streak >= HINT_AUTH_QUARANTINE_AFTER);
+        if was_quarantined {
+            let addr = sender.to_addr();
+            inner.pool.unblock(addr);
+            inner.pool.forgive(addr);
+        }
+        return true;
+    }
+    inner.metrics.hint_auth_failures.inc();
+    let streak = {
+        let mut auth = inner.hint_auth.lock();
+        let streak = auth.entry(sender.0).or_insert(0);
+        *streak += 1;
+        *streak
+    };
+    if streak == HINT_AUTH_QUARANTINE_AFTER {
+        inner.pool.block(sender.to_addr());
+        let purged = inner.hints.purge_location(sender.0);
+        inner.metrics.stale_hints_gc.add(purged as u64);
+        inner.log_compact_due.store(true, Ordering::Relaxed);
+    }
+    false
+}
+
 fn flush_once(inner: &Inner) {
+    persist_hint_log(inner);
     let batch: Vec<HintUpdate> = std::mem::take(&mut *inner.pending.lock()).into();
     if batch.is_empty() {
         return;
@@ -891,7 +1063,7 @@ fn flush_once(inner: &Inner) {
             // probe and is quarantined; the flush never wedges on it.
             let batch = coalesce(batch);
             let targets_n = targets.len() as u64;
-            let msg = Message::HintBatch(batch.clone());
+            let msg = outbound_hint_batch(inner, batch.clone());
             for neighbor in targets {
                 if let Ok(Message::Ack) =
                     inner
@@ -1000,6 +1172,11 @@ fn on_peer_died(inner: &Inner, addr: SocketAddr) {
     if let Some(machine) = MachineId::from_addr(addr) {
         let purged = inner.hints.purge_location(machine.0);
         inner.metrics.stale_hints_gc.add(purged as u64);
+        if purged > 0 {
+            // Bulk drop: the next flush rewrites the durable snapshot
+            // from live state instead of logging each purged key.
+            inner.log_compact_due.store(true, Ordering::Relaxed);
+        }
     }
     if let Some(mesh) = inner.mesh.lock().as_mut() {
         if let Some(&idx) = mesh.index.get(&addr) {
@@ -1196,6 +1373,7 @@ fn service_get(inner: &Inner, url: &str, key: u64) -> Message {
                     inner.metrics.false_positives.inc();
                     trace_event(inner, span::PEER_PROBE, key, 1);
                     inner.hints.remove(key);
+                    log_mutation(inner, LogRecord::remove(key));
                 }
                 Err(_) => {
                     // Dead or unreachable peer: same one-wasted-probe
@@ -1206,6 +1384,7 @@ fn service_get(inner: &Inner, url: &str, key: u64) -> Message {
                     inner.metrics.degraded_to_origin.inc();
                     trace_event(inner, span::PEER_PROBE, key, 2);
                     inner.hints.remove(key);
+                    log_mutation(inner, LogRecord::remove(key));
                 }
             }
         }
@@ -1269,6 +1448,7 @@ fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
                     // copy this subtree learns of.
                     let first = hints.peek(u.object).is_none();
                     hints.insert(u.object, u.machine.0);
+                    log_mutation(inner, LogRecord::add(u.object, u.machine.0));
                     if first {
                         keep[i] = true;
                     } else {
@@ -1280,6 +1460,7 @@ fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
                     // named the departing machine.
                     if hints.peek(u.object) == Some(u.machine.0) {
                         hints.remove(u.object);
+                        log_mutation(inner, LogRecord::remove(u.object));
                         keep[i] = true;
                     } else {
                         inner.metrics.updates_filtered.inc();
@@ -1337,8 +1518,22 @@ fn local_response(inner: &Inner, msg: Message) -> Message {
                 }
             }
         }
-        Message::UpdateBatch(updates) | Message::HintBatch(updates) => {
+        Message::UpdateBatch(updates) => {
             apply_updates(inner, updates);
+            Message::Ack
+        }
+        Message::HintBatch {
+            sender,
+            updates,
+            tag,
+        } => {
+            // Authenticated batch: a bad tag is dropped (and counted
+            // toward the sender's quarantine streak) but still Acked —
+            // hints are advisory, so a byzantine sender learns nothing
+            // from the reply and an honest one never sees an error.
+            if verify_hint_batch(inner, sender, &updates, &tag) {
+                apply_updates(inner, updates);
+            }
             Message::Ack
         }
         Message::Push { url, version, body } => {
@@ -1372,7 +1567,7 @@ fn local_response(inner: &Inner, msg: Message) -> Message {
                 })
                 .collect();
             inner.metrics.resyncs_served.inc();
-            Message::HintBatch(updates)
+            outbound_hint_batch(inner, updates)
         }
         Message::StatsRequest => {
             // Operator scrape: the full registry snapshot, pool gauges

@@ -168,10 +168,22 @@ pub enum Message {
     /// A coalesced multi-record hint flush: like [`Message::UpdateBatch`]
     /// but carrying a leading version byte so the batching format can
     /// evolve without burning a frame type. Version
-    /// [`HINT_BATCH_VERSION`] payloads are `u8 version | u32 count |
-    /// count × 20-byte records`. Receivers keep decoding `UpdateBatch`
-    /// forever, so old senders interoperate with new nodes.
-    HintBatch(Vec<HintUpdate>),
+    /// [`HINT_BATCH_VERSION`] payloads are `u8 version | u64 sender |
+    /// u32 count | count × 20-byte records | 16-byte tag`, where `tag`
+    /// is the sender's keyed-MD5 authenticator over the batch
+    /// ([`hint_batch_tag`]) — receivers verify it before applying and
+    /// quarantine peers whose batches keep failing. Receivers keep
+    /// decoding `UpdateBatch` forever, so old senders interoperate with
+    /// new nodes. Build with [`Message::hint_batch`], which computes the
+    /// tag.
+    HintBatch {
+        /// Who flushed the batch (the authenticator key is per-sender).
+        sender: MachineId,
+        /// The coalesced updates.
+        updates: Vec<HintUpdate>,
+        /// Keyed-MD5 authenticator over `(version, sender, updates)`.
+        tag: [u8; 16],
+    },
     /// Push a copy of an object to the receiving cache (§4).
     Push {
         /// Full URL.
@@ -252,8 +264,49 @@ const METRIC_ENTRY_MIN_BYTES: usize = 12;
 
 /// Current version byte written at the head of a [`Message::HintBatch`]
 /// payload. Decoders accept exactly this version and reject anything newer
-/// with `InvalidData` rather than misparsing it.
-pub const HINT_BATCH_VERSION: u8 = 1;
+/// (or older) with `InvalidData` rather than misparsing it. Version 2
+/// added the sender id and the trailing keyed-MD5 authenticator.
+pub const HINT_BATCH_VERSION: u8 = 2;
+
+/// Bytes of a [`Message::HintBatch`] authenticator tag (one MD5 digest).
+pub const HINT_TAG_BYTES: usize = 16;
+
+/// Derives the per-sender key for [`hint_batch_tag`].
+///
+/// The derivation is a *public* scheme (MD5 over a domain label and the
+/// sender id), which authenticates against corruption and byzantine-buggy
+/// peers — the failure modes the chaos harness injects — but not against
+/// an adversary who knows the scheme. A hardened deployment would swap
+/// this one function for provisioned shared secrets; everything else
+/// (tag chaining, verification, quarantine) is key-source agnostic.
+pub fn hint_batch_key(sender: MachineId) -> [u8; 16] {
+    let mut ctx = bh_md5::Context::new();
+    ctx.consume(b"bh-hint-batch-auth-v2");
+    ctx.consume(sender.0.to_le_bytes());
+    ctx.finalize().0
+}
+
+/// The keyed-MD5 authenticator a [`Message::HintBatch`] carries:
+/// `MD5(key ‖ version ‖ sender ‖ count ‖ records ‖ key)` with the
+/// per-sender [`hint_batch_key`], streamed record by record (no batch
+/// copy).
+pub fn hint_batch_tag(sender: MachineId, updates: &[HintUpdate]) -> [u8; 16] {
+    let key = hint_batch_key(sender);
+    let mut ctx = bh_md5::Context::keyed(&key);
+    ctx.consume([HINT_BATCH_VERSION]);
+    ctx.consume(sender.0.to_le_bytes());
+    ctx.consume((updates.len() as u32).to_le_bytes());
+    for u in updates {
+        let action: u32 = match u.action {
+            HintAction::Add => 1,
+            HintAction::Remove => 2,
+        };
+        ctx.consume(action.to_le_bytes());
+        ctx.consume(u.object.to_le_bytes());
+        ctx.consume(u.machine.0.to_le_bytes());
+    }
+    ctx.finalize_keyed(&key).0
+}
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -307,6 +360,18 @@ fn get_bytes(buf: &mut Bytes) -> io::Result<Bytes> {
 }
 
 impl Message {
+    /// Builds an authenticated [`Message::HintBatch`]: computes the
+    /// sender's keyed tag over the updates. The only way honest code
+    /// should construct the variant.
+    pub fn hint_batch(sender: MachineId, updates: Vec<HintUpdate>) -> Message {
+        let tag = hint_batch_tag(sender, &updates);
+        Message::HintBatch {
+            sender,
+            updates,
+            tag,
+        }
+    }
+
     /// Encodes the full frame (`u32 len | u8 ty | payload`) into `out`,
     /// replacing its contents but keeping its allocation.
     ///
@@ -362,12 +427,18 @@ impl Message {
                 }
                 T_UPDATE_BATCH
             }
-            Message::HintBatch(updates) => {
+            Message::HintBatch {
+                sender,
+                updates,
+                tag,
+            } => {
                 out.put_u8(HINT_BATCH_VERSION);
+                out.put_u64_le(sender.0);
                 out.put_u32_le(updates.len() as u32);
                 for u in updates {
                     u.encode(out);
                 }
+                out.put_slice(tag);
                 T_HINT_BATCH
             }
             Message::Push { url, version, body } => {
@@ -511,7 +582,7 @@ impl Message {
                 Message::UpdateBatch(updates)
             }
             T_HINT_BATCH => {
-                if buf.remaining() < 5 {
+                if buf.remaining() < 13 + HINT_TAG_BYTES {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         "short hint batch",
@@ -524,6 +595,7 @@ impl Message {
                         format!("unsupported hint batch version {version}"),
                     ));
                 }
+                let sender = MachineId(buf.get_u64_le());
                 let n = buf.get_u32_le() as usize;
                 if n > (MAX_FRAME as usize) / HINT_UPDATE_BYTES {
                     return Err(io::Error::new(
@@ -535,7 +607,19 @@ impl Message {
                 for _ in 0..n {
                     updates.push(HintUpdate::decode(buf)?);
                 }
-                Message::HintBatch(updates)
+                if buf.remaining() < HINT_TAG_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "short hint batch tag",
+                    ));
+                }
+                let mut tag = [0u8; HINT_TAG_BYTES];
+                buf.copy_to_slice(&mut tag);
+                Message::HintBatch {
+                    sender,
+                    updates,
+                    tag,
+                }
             }
             T_PUSH => {
                 let url = get_string(buf)?;
@@ -782,7 +866,7 @@ pub fn decode_message_legacy(ty: u8, payload: &[u8]) -> io::Result<Message> {
             Message::UpdateBatch(updates)
         }
         T_HINT_BATCH => {
-            if buf.remaining() < 5 {
+            if buf.remaining() < 13 + HINT_TAG_BYTES {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "short hint batch",
@@ -795,6 +879,7 @@ pub fn decode_message_legacy(ty: u8, payload: &[u8]) -> io::Result<Message> {
                     format!("unsupported hint batch version {version}"),
                 ));
             }
+            let sender = MachineId(buf.get_u64_le());
             let n = buf.get_u32_le() as usize;
             if n > (MAX_FRAME as usize) / HINT_UPDATE_BYTES {
                 return Err(io::Error::new(
@@ -806,7 +891,19 @@ pub fn decode_message_legacy(ty: u8, payload: &[u8]) -> io::Result<Message> {
             for _ in 0..n {
                 updates.push(HintUpdate::decode(buf)?);
             }
-            Message::HintBatch(updates)
+            if buf.remaining() < HINT_TAG_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short hint batch tag",
+                ));
+            }
+            let mut tag = [0u8; HINT_TAG_BYTES];
+            buf.copy_to_slice(&mut tag);
+            Message::HintBatch {
+                sender,
+                updates,
+                tag,
+            }
         }
         T_PUSH => {
             let url = legacy_string(buf)?;
@@ -1168,19 +1265,22 @@ mod tests {
                 },
             ]),
             Message::UpdateBatch(vec![]),
-            Message::HintBatch(vec![
-                HintUpdate {
-                    action: HintAction::Add,
-                    object: 9,
-                    machine: MachineId(8),
-                },
-                HintUpdate {
-                    action: HintAction::Remove,
-                    object: 7,
-                    machine: MachineId(6),
-                },
-            ]),
-            Message::HintBatch(vec![]),
+            Message::hint_batch(
+                MachineId(11),
+                vec![
+                    HintUpdate {
+                        action: HintAction::Add,
+                        object: 9,
+                        machine: MachineId(8),
+                    },
+                    HintUpdate {
+                        action: HintAction::Remove,
+                        object: 7,
+                        machine: MachineId(6),
+                    },
+                ],
+            ),
+            Message::hint_batch(MachineId(12), vec![]),
             Message::Push {
                 url: "http://x.test/p".into(),
                 version: 3,
@@ -1237,16 +1337,19 @@ mod tests {
             object: 1,
             machine: MachineId(2),
         }];
-        // 5 (frame) + 1 (version) + 4 (count) + 20N.
-        let batch = Message::HintBatch(updates.clone());
+        // 5 (frame) + 1 (version) + 8 (sender) + 4 (count) + 20N +
+        // 16 (tag).
+        let batch = Message::hint_batch(MachineId(3), updates.clone());
         let encoded = batch.encoded();
-        assert_eq!(encoded.len(), 5 + 1 + 4 + 20);
+        assert_eq!(encoded.len(), 5 + 1 + 8 + 4 + 20 + 16);
         assert_eq!(encoded[5], HINT_BATCH_VERSION);
 
         // A future version byte must be rejected, not misparsed.
         let mut payload = BytesMut::new();
         payload.put_u8(HINT_BATCH_VERSION + 1);
+        payload.put_u64_le(3);
         payload.put_u32_le(0);
+        payload.put_slice(&[0u8; HINT_TAG_BYTES]);
         let err = Message::decode(T_HINT_BATCH, payload.freeze()).expect_err("future version");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
 
@@ -1255,6 +1358,40 @@ mod tests {
             round_trip(Message::UpdateBatch(updates.clone())),
             Message::UpdateBatch(updates)
         );
+    }
+
+    #[test]
+    fn hint_batch_tags_bind_sender_and_contents() {
+        let updates = vec![HintUpdate {
+            action: HintAction::Add,
+            object: 5,
+            machine: MachineId(6),
+        }];
+        let tag = hint_batch_tag(MachineId(1), &updates);
+        // Same inputs, same tag (stateless authenticator).
+        assert_eq!(tag, hint_batch_tag(MachineId(1), &updates));
+        // A different sender keys differently.
+        assert_ne!(tag, hint_batch_tag(MachineId(2), &updates));
+        // Any record mutation changes the tag.
+        let mut flipped = updates.clone();
+        flipped[0].object ^= 1;
+        assert_ne!(tag, hint_batch_tag(MachineId(1), &flipped));
+        let mut removed = updates.clone();
+        removed[0].action = HintAction::Remove;
+        assert_ne!(tag, hint_batch_tag(MachineId(1), &removed));
+        // The constructor embeds exactly this tag.
+        match Message::hint_batch(MachineId(1), updates.clone()) {
+            Message::HintBatch {
+                sender,
+                updates: got,
+                tag: got_tag,
+            } => {
+                assert_eq!(sender, MachineId(1));
+                assert_eq!(got, updates);
+                assert_eq!(got_tag, tag);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
     }
 
     #[test]
@@ -1316,11 +1453,14 @@ mod tests {
             Message::Get {
                 url: "http://x.test/a".into(),
             },
-            Message::HintBatch(vec![HintUpdate {
-                action: HintAction::Add,
-                object: 5,
-                machine: MachineId(6),
-            }]),
+            Message::hint_batch(
+                MachineId(7),
+                vec![HintUpdate {
+                    action: HintAction::Add,
+                    object: 5,
+                    machine: MachineId(6),
+                }],
+            ),
             Message::Ack,
         ];
         let mut stream = Vec::new();

@@ -103,7 +103,11 @@ fn arb_message() -> BoxedStrategy<Message> {
             }
         ),
         proptest::collection::vec(arb_hint_update(), 0..64).prop_map(Message::UpdateBatch),
-        proptest::collection::vec(arb_hint_update(), 0..64).prop_map(Message::HintBatch),
+        (
+            any::<u64>(),
+            proptest::collection::vec(arb_hint_update(), 0..64)
+        )
+            .prop_map(|(sender, updates)| Message::hint_batch(MachineId(sender), updates)),
         (arb_url(), any::<u32>(), arb_body()).prop_map(|(url, version, body)| Message::Push {
             url,
             version,
@@ -318,7 +322,8 @@ fn oversized_batch_counts_rejected() {
         // T_UPDATE_BATCH, T_HINT_BATCH
         let mut payload = Vec::new();
         if ty == 10 {
-            payload.push(1); // HINT_BATCH_VERSION
+            payload.push(bh_proto::wire::HINT_BATCH_VERSION);
+            payload.extend_from_slice(&7u64.to_le_bytes()); // sender
         }
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         payload.extend_from_slice(&[0u8; 40]);
@@ -336,8 +341,45 @@ fn hint_batch_future_version_rejected() {
         object: 7,
         machine: MachineId(3),
     };
-    let (ty, payload) = frame_parts(&Message::HintBatch(vec![update]).encoded());
+    let (ty, payload) = frame_parts(&Message::hint_batch(MachineId(1), vec![update]).encoded());
     let mut bytes = payload.to_vec();
     bytes[0] = bh_proto::wire::HINT_BATCH_VERSION + 1;
     assert!(Message::decode(ty, Bytes::from(bytes)).is_err());
+}
+
+/// A corrupted batch still *decodes* (authentication is the node's job,
+/// not the codec's) but its embedded tag no longer verifies — for any
+/// single-byte corruption of the records region.
+#[test]
+fn corrupted_hint_batch_fails_tag_verification() {
+    let updates: Vec<HintUpdate> = (1..=4)
+        .map(|i| HintUpdate {
+            action: HintAction::Add,
+            object: i,
+            machine: MachineId(i << 16),
+        })
+        .collect();
+    let sender = MachineId(9 << 16);
+    let (ty, payload) = frame_parts(&Message::hint_batch(sender, updates).encoded());
+    // Records region: after version(1) + sender(8) + count(4), before the
+    // 16-byte trailing tag.
+    for pos in 13..payload.len() - 16 {
+        let mut bytes = payload.to_vec();
+        bytes[pos] ^= 0x01;
+        match Message::decode(ty, Bytes::from(bytes)) {
+            Ok(Message::HintBatch {
+                sender: s,
+                updates: u,
+                tag,
+            }) => {
+                assert_ne!(
+                    bh_proto::wire::hint_batch_tag(s, &u),
+                    tag,
+                    "corruption at byte {pos} went undetected"
+                );
+            }
+            Ok(other) => panic!("decoded to a different frame: {other:?}"),
+            Err(_) => {} // rejected outright is fine too (bad action code)
+        }
+    }
 }
