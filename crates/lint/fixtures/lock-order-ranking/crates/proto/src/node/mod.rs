@@ -1,0 +1,13 @@
+//! Seeded ranking inversion: acquires `state` with `shards` held, but
+//! the fixture LINTS.md ranks `state` first. The graph is a single
+//! edge — no cycle — so only the inversion check fires.
+
+pub struct Inner;
+
+/// Demotes a shard: takes the shard guard, then flips global state —
+/// backwards relative to the declared ranking.
+pub fn demote_shard(inner: &Inner, idx: usize) {
+    let shard = inner.shards.lock();
+    inner.state.lock().bump_epoch();
+    shard.mark_cold(idx);
+}

@@ -1,0 +1,9 @@
+//! Cross-file helper: acquires the peers lock. Callers holding `store`
+//! close the seeded cycle in engine.rs.
+
+use super::engine::Inner;
+
+/// Refreshes peer liveness under the peers lock.
+pub fn refresh_peers(inner: &Inner) {
+    inner.peers.lock().refresh_all();
+}

@@ -1,0 +1,7 @@
+//! Reply framing: copies the body — fine for cold callers, flagged
+//! when reached from the request loop.
+
+/// Builds the reply frame by copying the body.
+pub fn encode_reply(body: &[u8]) -> Vec<u8> {
+    body.to_vec()
+}

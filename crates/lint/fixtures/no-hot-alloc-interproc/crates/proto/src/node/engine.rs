@@ -1,0 +1,9 @@
+//! Interprocedural allocation fixture: the per-request copy hides in a
+//! cross-file framing helper the file-scoped token rule cannot see.
+
+use crate::framing::encode_reply;
+
+/// Request loop: reaches `encode_reply`'s `to_vec` one call away.
+pub fn handle_request(body: &[u8]) {
+    encode_reply(body);
+}

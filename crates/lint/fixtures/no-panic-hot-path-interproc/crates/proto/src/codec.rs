@@ -1,0 +1,13 @@
+//! Frame codec helpers: `read_len` unwraps — fine for cold callers,
+//! flagged when reached from the hot set.
+
+/// Decodes one frame header.
+pub fn decode_frame(buf: &[u8]) -> u32 {
+    read_len(buf)
+}
+
+/// Panics on a short buffer; hot-path callers must not reach this.
+pub fn read_len(buf: &[u8]) -> u32 {
+    let head: [u8; 4] = buf[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}

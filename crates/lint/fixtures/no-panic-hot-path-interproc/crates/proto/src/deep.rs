@@ -1,0 +1,23 @@
+//! A helper chain one hop past the panic pass's depth cap: `hop5`'s
+//! unwrap is five calls from the engine entry and must not be flagged.
+
+pub fn hop1(buf: &[u8]) {
+    hop2(buf);
+}
+
+pub fn hop2(buf: &[u8]) {
+    hop3(buf);
+}
+
+pub fn hop3(buf: &[u8]) {
+    hop4(buf);
+}
+
+pub fn hop4(buf: &[u8]) {
+    hop5(buf);
+}
+
+/// Five calls deep — past the bound.
+pub fn hop5(buf: &[u8]) {
+    let _ = buf.first().unwrap();
+}

@@ -1,0 +1,20 @@
+//! Epoch bookkeeping: both helpers panic by design. One is waived at
+//! its call site in engine.rs, the other at the panic itself.
+
+/// Rotates the epoch counter; panics if time runs backwards. The allow
+/// lives at the engine.rs call site.
+pub fn rotate_epoch(now: u64) {
+    if now < last_seen(now) {
+        panic!("epoch clock ran backwards");
+    }
+}
+
+/// Advances the epoch; the expect is waived here at the leaf.
+pub fn advance_epoch(now: u64) -> u64 {
+    // bh-lint: allow(no-panic-hot-path, reason = "checked arithmetic on a monotonic counter; overflow means the host clock is broken")
+    now.checked_add(1).expect("epoch overflow")
+}
+
+fn last_seen(now: u64) -> u64 {
+    now
+}

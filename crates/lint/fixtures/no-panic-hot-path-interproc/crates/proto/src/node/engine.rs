@@ -1,0 +1,30 @@
+//! Interprocedural panic-reachability fixture: the entry points are
+//! clean under the file-scoped token rule — every panic hides in a
+//! cross-file helper.
+
+use crate::codec::decode_frame;
+use crate::deep::hop1;
+use crate::epoch::{advance_epoch, rotate_epoch};
+
+/// Reaches `read_len`'s unwrap two calls away — flagged with the chain.
+pub fn worker_loop(buf: &[u8]) {
+    decode_frame(buf);
+}
+
+/// Waived at the call site: the allow rides the chain's first hop and
+/// covers the finding reported at the leaf.
+pub fn flush_tick(now: u64) {
+    // bh-lint: allow(no-panic-hot-path, reason = "epoch rotation panics on a backwards clock by design; the supervisor restarts the tick thread")
+    rotate_epoch(now);
+}
+
+/// Waived at the leaf: the helper carries its own allow.
+pub fn rebalance(now: u64) {
+    advance_epoch(now);
+}
+
+/// Depth-bound negative: the unwrap at the end of this chain is five
+/// calls away, past the pass's depth cap — out of scope by contract.
+pub fn audit_pass(buf: &[u8]) {
+    hop1(buf);
+}

@@ -1,0 +1,271 @@
+//! Small deterministic directed-graph utilities shared by the
+//! `lock-order` rule and the `graph` CLI subcommand: adjacency with
+//! per-edge provenance, strongly-connected components, representative
+//! cycle extraction, and DOT rendering.
+//!
+//! Everything iterates `BTreeMap`/`BTreeSet`, so diagnostics and dumps
+//! are byte-stable across runs — the same property the fixture goldens
+//! and CI byte-identity checks rely on elsewhere in the repo.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where (and through what call chain) an edge was observed. Only the
+/// first observation is kept; since edges are inserted in sorted file /
+/// source order, the provenance is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeInfo {
+    /// Repo-relative file of the acquisition/call that created the edge.
+    pub file: String,
+    /// 1-based line of that site.
+    pub line: u32,
+    /// Human-readable provenance (`in \`f\``, or a call chain).
+    pub detail: String,
+}
+
+/// A directed graph over string node ids with per-edge provenance.
+#[derive(Debug, Default)]
+pub struct DiGraph {
+    /// `(from, to)` → provenance of the first time the edge was seen.
+    pub edges: BTreeMap<(String, String), EdgeInfo>,
+}
+
+impl DiGraph {
+    /// Records `from -> to`; keeps the first provenance for an edge.
+    pub fn add_edge(&mut self, from: &str, to: &str, info: EdgeInfo) {
+        self.edges
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(info);
+    }
+
+    /// All node ids, sorted.
+    pub fn nodes(&self) -> BTreeSet<String> {
+        let mut n = BTreeSet::new();
+        for (a, b) in self.edges.keys() {
+            n.insert(a.clone());
+            n.insert(b.clone());
+        }
+        n
+    }
+
+    /// Sorted successor map.
+    fn succ(&self) -> BTreeMap<&str, Vec<&str>> {
+        let mut m: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in self.edges.keys() {
+            m.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        m
+    }
+
+    /// Strongly-connected components that can deadlock: every SCC with
+    /// more than one node, plus single nodes with a self-loop. Each
+    /// component is sorted; components are sorted by first node.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let nodes: Vec<String> = self.nodes().into_iter().collect();
+        let index: BTreeMap<&str, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let succ = self.succ();
+        // Iterative Tarjan. The graphs here are tiny (tens of nodes),
+        // but fixture trees should never be able to overflow the stack.
+        let n = nodes.len();
+        let mut idx = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Vec<String>> = Vec::new();
+        for start in 0..n {
+            if idx[start] != usize::MAX {
+                continue;
+            }
+            // (node, next-successor position) call frames.
+            let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if *pos == 0 {
+                    idx[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let succs = succ.get(nodes[v].as_str()).map_or(&[][..], |s| &s[..]);
+                if *pos < succs.len() {
+                    let w = index[succs[*pos]];
+                    *pos += 1;
+                    if idx[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(idx[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (p, _)) = frames.last_mut() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == idx[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(nodes[w].clone());
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        let cyclic = comp.len() > 1
+                            || self.edges.contains_key(&(comp[0].clone(), comp[0].clone()));
+                        if cyclic {
+                            sccs.push(comp);
+                        }
+                    }
+                }
+            }
+        }
+        sccs.sort();
+        sccs
+    }
+
+    /// A representative simple cycle through `comp` (a cyclic SCC from
+    /// [`DiGraph::cycles`]): starts at the smallest node, always walks
+    /// the smallest in-component successor, and ends back at the start.
+    /// Returns the edge list of the cycle.
+    pub fn cycle_edges(&self, comp: &[String]) -> Vec<(String, String)> {
+        let set: BTreeSet<&str> = comp.iter().map(String::as_str).collect();
+        let start = comp[0].as_str();
+        let mut path: Vec<&str> = vec![start];
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        seen.insert(start);
+        let mut cur = start;
+        loop {
+            let next = self
+                .edges
+                .keys()
+                .filter(|(a, b)| a == cur && set.contains(b.as_str()))
+                .map(|(_, b)| b.as_str())
+                .find(|b| *b == start || !seen.contains(b));
+            let Some(next) = next else {
+                break;
+            };
+            if next == start {
+                path.push(start);
+                break;
+            }
+            path.push(next);
+            seen.insert(next);
+            cur = next;
+        }
+        path.windows(2)
+            .map(|w| (w[0].to_string(), w[1].to_string()))
+            .collect()
+    }
+
+    /// Renders the graph as a DOT digraph named `name`, one edge per
+    /// line with the provenance site as the edge label.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut s = format!("digraph {name} {{\n");
+        for node in self.nodes() {
+            s.push_str(&format!("  \"{node}\";\n"));
+        }
+        for ((a, b), info) in &self.edges {
+            s.push_str(&format!(
+                "  \"{a}\" -> \"{b}\" [label=\"{}:{}\"];\n",
+                info.file, info.line
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(file: &str, line: u32) -> EdgeInfo {
+        EdgeInfo {
+            file: file.into(),
+            line,
+            detail: String::new(),
+        }
+    }
+
+    fn graph(edges: &[(&str, &str)]) -> DiGraph {
+        let mut g = DiGraph::default();
+        for (i, (a, b)) in edges.iter().enumerate() {
+            g.add_edge(a, b, info("synthetic.rs", i as u32 + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let g = graph(&[("a", "b"), ("b", "c"), ("a", "c")]);
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn two_node_inversion_is_a_cycle() {
+        let g = graph(&[("a", "b"), ("b", "a"), ("b", "c")]);
+        assert_eq!(g.cycles(), vec![vec!["a".to_string(), "b".to_string()]]);
+        let edges = g.cycle_edges(&["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            edges,
+            vec![
+                ("a".to_string(), "b".to_string()),
+                ("b".to_string(), "a".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = graph(&[("a", "a"), ("a", "b")]);
+        assert_eq!(g.cycles(), vec![vec!["a".to_string()]]);
+        assert_eq!(
+            g.cycle_edges(&["a".to_string()]),
+            vec![("a".to_string(), "a".to_string())]
+        );
+    }
+
+    #[test]
+    fn three_node_rotation_is_one_component() {
+        let g = graph(&[("a", "b"), ("b", "c"), ("c", "a"), ("d", "a")]);
+        assert_eq!(
+            g.cycles(),
+            vec![vec!["a".to_string(), "b".to_string(), "c".to_string()]]
+        );
+        let comp = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        assert_eq!(g.cycle_edges(&comp).len(), 3);
+    }
+
+    #[test]
+    fn disjoint_cycles_are_separate_components() {
+        let g = graph(&[("a", "b"), ("b", "a"), ("x", "y"), ("y", "x")]);
+        assert_eq!(
+            g.cycles(),
+            vec![
+                vec!["a".to_string(), "b".to_string()],
+                vec!["x".to_string(), "y".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn first_edge_provenance_wins() {
+        let mut g = DiGraph::default();
+        g.add_edge("a", "b", info("one.rs", 1));
+        g.add_edge("a", "b", info("two.rs", 2));
+        let e = &g.edges[&("a".to_string(), "b".to_string())];
+        assert_eq!((e.file.as_str(), e.line), ("one.rs", 1));
+    }
+
+    #[test]
+    fn dot_output_lists_nodes_and_labeled_edges() {
+        let g = graph(&[("a", "b")]);
+        let dot = g.to_dot("locks");
+        assert!(dot.starts_with("digraph locks {"));
+        assert!(dot.contains("\"a\" -> \"b\" [label=\"synthetic.rs:1\"];"));
+    }
+}

@@ -1,27 +1,201 @@
-//! CLI for `bh-lint`: `cargo run -p bh-lint -- check [--root DIR]`.
+//! CLI for `bh-lint`:
 //!
-//! Exits 0 when the tree is clean, 1 when any unallowed diagnostic
-//! survives, 2 on usage or I/O errors.
+//! ```text
+//! bh-lint check [--root DIR] [--emit-json]   # run the rules
+//! bh-lint graph [--root DIR] [--dot] [--out DIR]   # dump the graphs
+//! ```
+//!
+//! `check` exits 0 when the tree is clean, 1 when any unallowed
+//! diagnostic survives, 2 on usage or I/O errors. With `--emit-json`
+//! the findings go to stdout as a versioned Report envelope (the same
+//! `schema_version`/`artifact`/`payload` head every harness artifact
+//! ships, so `obs validate` covers it) and the human summary moves to
+//! stderr.
+//!
+//! `graph` prints the approximate call graph and the global lock-order
+//! graph as edge lists (or DOT files with `--dot`), for operators
+//! auditing what the lock-order rule sees.
 
 #![forbid(unsafe_code)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: bh-lint check [--root DIR]";
+const USAGE: &str = "usage: bh-lint check [--root DIR] [--emit-json]\n       \
+                     bh-lint graph [--root DIR] [--dot] [--out DIR]";
+
+/// Escapes a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as a versioned Report envelope.
+fn report_json(report: &bh_lint::Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema_version\": 1,\n  \"artifact\": \"bh_lint_report\",\n");
+    s.push_str("  \"payload\": {\n");
+    s.push_str(&format!(
+        "    \"files_scanned\": {},\n    \"allows_honored\": {},\n    \"clean\": {},\n",
+        report.files_scanned,
+        report.allows_honored,
+        report.is_clean()
+    ));
+    s.push_str("    \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n      {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.rule),
+            json_escape(&d.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        s.push_str("\n    ");
+    }
+    s.push_str("]\n  }\n}\n");
+    s
+}
+
+fn check(root: &Path, emit_json: bool) -> ExitCode {
+    let report = match bh_lint::check_root(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bh-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if emit_json {
+        print!("{}", report_json(&report));
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+    }
+    if report.is_clean() {
+        let summary = format!(
+            "bh-lint: clean ({} files scanned, {} allows honored)",
+            report.files_scanned, report.allows_honored
+        );
+        if emit_json {
+            eprintln!("{summary}");
+        } else {
+            println!("{summary}");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bh-lint: {} unallowed diagnostic(s) across {} files",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn graph(root: &Path, dot: bool, out_dir: Option<PathBuf>) -> ExitCode {
+    let graphs = match bh_lint::graph_root(root) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("bh-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if dot {
+        let call = graphs.call_graph.to_dot("bh_lint_callgraph");
+        let lock = graphs.lock_graph.to_dot("bh_lint_lockgraph");
+        match out_dir {
+            Some(dir) => {
+                if let Err(e) = std::fs::create_dir_all(&dir)
+                    .and_then(|()| std::fs::write(dir.join("bh-lint-callgraph.dot"), call))
+                    .and_then(|()| std::fs::write(dir.join("bh-lint-lockgraph.dot"), lock))
+                {
+                    eprintln!("bh-lint: cannot write dot files to {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+                println!(
+                    "bh-lint: wrote bh-lint-callgraph.dot and bh-lint-lockgraph.dot to {}",
+                    dir.display()
+                );
+            }
+            None => {
+                print!("{call}");
+                print!("{lock}");
+            }
+        }
+    } else {
+        println!(
+            "# call graph: {} fns across {} files, {} edges",
+            graphs.fns,
+            graphs.files_scanned,
+            graphs.call_graph.edges.len()
+        );
+        for ((a, b), info) in &graphs.call_graph.edges {
+            println!("{a} -> {b}  ({}:{})", info.file, info.line);
+        }
+        println!(
+            "# lock-order graph: {} locks, {} edges, {} cycle(s)",
+            graphs.lock_graph.nodes().len(),
+            graphs.lock_graph.edges.len(),
+            graphs.lock_graph.cycles().len()
+        );
+        for ((a, b), info) in &graphs.lock_graph.edges {
+            println!("{a} -> {b}  ({}:{} {})", info.file, info.line, info.detail);
+        }
+    }
+    // A cyclic lock graph is an error even when only dumping: operators
+    // (and CI's artifact step) should not need to eyeball the dot file.
+    let cycles = graphs.lock_graph.cycles();
+    if cycles.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for comp in &cycles {
+            eprintln!("bh-lint: lock-order cycle through {}", comp.join(", "));
+        }
+        ExitCode::FAILURE
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root = PathBuf::from(".");
-    let mut cmd = None;
+    let mut cmd: Option<&str> = None;
+    let mut emit_json = false;
+    let mut dot = false;
+    let mut out_dir: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "check" if cmd.is_none() => cmd = Some("check"),
+            "graph" if cmd.is_none() => cmd = Some("graph"),
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
                     eprintln!("--root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--emit-json" if cmd == Some("check") => emit_json = true,
+            "--dot" if cmd == Some("graph") => dot = true,
+            "--out" if cmd == Some("graph") => match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out needs a directory\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -31,33 +205,12 @@ fn main() -> ExitCode {
             }
         }
     }
-    if cmd != Some("check") {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
-    }
-
-    let report = match bh_lint::check_root(&root) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("bh-lint: cannot scan {}: {e}", root.display());
-            return ExitCode::from(2);
+    match cmd {
+        Some("check") => check(&root, emit_json),
+        Some("graph") => graph(&root, dot, out_dir),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
         }
-    };
-    for d in &report.diagnostics {
-        println!("{}", d.render());
-    }
-    if report.is_clean() {
-        println!(
-            "bh-lint: clean ({} files scanned, {} allows honored)",
-            report.files_scanned, report.allows_honored
-        );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "bh-lint: {} unallowed diagnostic(s) across {} files",
-            report.diagnostics.len(),
-            report.files_scanned
-        );
-        ExitCode::FAILURE
     }
 }

@@ -1,16 +1,20 @@
-//! The eight bh-lint rules. Each rule pushes [`Diagnostic`]s; allow
+//! The nine bh-lint rules. Each rule pushes [`Diagnostic`]s; allow
 //! resolution and rendering happen in the engine (`lib.rs`).
 //!
-//! Rules 1–4, 7, and 8 are per-file token scans gated on repo-relative
-//! paths. Rules 5–6 are cross-file consistency checks over specific
-//! files.
+//! Rules 1–4, 7, and 8 are per-file token scans gated on the shared
+//! scope table (`crate::scope`). Rules 5–6 are cross-file consistency
+//! checks over specific files. The interprocedural passes
+//! ([`no_panic_reachable`], [`no_alloc_reachable`], [`lock_order`])
+//! run over the [`Model`] symbol table and report full call chains.
 
+use crate::graph::{DiGraph, EdgeInfo};
 use crate::lexer::{brace_match, item_body, test_mod_spans, Lexed, Tok, Token};
-use crate::Diagnostic;
-use std::collections::{BTreeMap, BTreeSet};
+use crate::model::{FnInfo, HeldLock, Model, PANIC_IDENTS};
+use crate::{scope, Diagnostic};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Rule names, in the order they are documented in LINTS.md.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 9] = [
     "no-wall-clock",
     "no-ambient-rng",
     "ordered-iteration",
@@ -19,21 +23,7 @@ pub const RULES: [&str; 8] = [
     "stats-registry",
     "no-hot-alloc",
     "fixed-width-records",
-];
-
-/// Modules allowed to read the wall clock: the real-I/O edge of the
-/// system (epoll shards, connection pool timeouts, heartbeat pacing,
-/// live-mesh drivers). Everything else must take time as a parameter
-/// or use the simulated clock.
-const WALL_CLOCK_ALLOWED: [&str; 8] = [
-    "crates/netpoll/src/",
-    "crates/proto/src/pool.rs",
-    "crates/proto/src/node/",
-    "crates/proto/src/origin.rs",
-    "crates/proto/src/client.rs",
-    "crates/proto/src/replay.rs",
-    "crates/proto/src/bin/",
-    "crates/proto/tests/",
+    "lock-order",
 ];
 
 /// Identifiers that construct or feed an RNG from ambient state rather
@@ -47,35 +37,6 @@ const AMBIENT_RNG: [&str; 6] = [
     "RandomState",
 ];
 
-/// Artifact-writing paths where iteration order reaches JSON files,
-/// stdout tables, or event logs.
-const ORDERED_ITER_FILES: [&str; 4] = [
-    "crates/bench/src/",
-    "crates/proto/src/chaos.rs",
-    "crates/proto/src/replay.rs",
-    "crates/trace/src/scenario.rs",
-];
-
-/// Hot-path files where a panic wedges a shard/worker thread the chaos
-/// layer cannot deterministically recover.
-const PANIC_HOT_FILES: [&str; 4] = [
-    "crates/proto/src/node/engine.rs",
-    "crates/proto/src/node/metrics.rs",
-    "crates/proto/src/node/mod.rs",
-    "crates/proto/src/pool.rs",
-];
-
-/// Idents banned in hot paths. Exact matches only, so `unwrap_or_else`
-/// and `unwrap_or_default` stay legal.
-const PANIC_IDENTS: [&str; 6] = [
-    "unwrap",
-    "expect",
-    "panic",
-    "unreachable",
-    "todo",
-    "unimplemented",
-];
-
 fn push(out: &mut Vec<Diagnostic>, file: &str, line: u32, rule: &'static str, message: String) {
     out.push(Diagnostic {
         file: file.to_string(),
@@ -83,6 +44,7 @@ fn push(out: &mut Vec<Diagnostic>, file: &str, line: u32, rule: &'static str, me
         rule: rule.to_string(),
         message,
         allowable: true,
+        also: Vec::new(),
     });
 }
 
@@ -96,7 +58,7 @@ fn path_seq(tokens: &[Token], i: usize, first: &str, last: &str) -> bool {
 
 /// Rule 1: `Instant::now` / `SystemTime::now` outside the I/O allowlist.
 pub fn no_wall_clock(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
-    if WALL_CLOCK_ALLOWED.iter().any(|p| rel.starts_with(p)) {
+    if scope::WALL_CLOCK_IO.iter().any(|p| rel.starts_with(p)) {
         return;
     }
     for i in 0..lx.tokens.len() {
@@ -140,7 +102,7 @@ pub fn no_ambient_rng(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
 /// can reach a JSON artifact, stdout table, or event log must iterate
 /// in a defined order.
 pub fn ordered_iteration(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
-    if !ORDERED_ITER_FILES
+    if !scope::ARTIFACT_PATHS
         .iter()
         .any(|p| rel.starts_with(p) || rel == *p)
     {
@@ -167,7 +129,7 @@ pub fn ordered_iteration(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
 /// Rule 4: `unwrap`/`expect`/`panic!`-family idents in shard, worker,
 /// and pool code. `#[cfg(test)] mod` blocks are exempt.
 pub fn no_panic_hot_path(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
-    if !PANIC_HOT_FILES.contains(&rel) {
+    if !scope::PANIC_HOT.contains(&rel) {
         return;
     }
     let spans = test_mod_spans(&lx.tokens);
@@ -191,22 +153,13 @@ pub fn no_panic_hot_path(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// The wire-speed data-path hot set: files whose per-request
-/// allocations show up directly in the req/s ceiling. Kept in lockstep
-/// with the DESIGN.md data-path section.
-const HOT_ALLOC_FILES: [&str; 3] = [
-    "crates/proto/src/node/engine.rs",
-    "crates/proto/src/node/mod.rs",
-    "crates/proto/src/wire.rs",
-];
-
 /// Rule 7: per-request allocation idioms in the proto hot set.
 /// `.to_vec()` copies a buffer the zero-copy frame path already
 /// refcounts; `Vec::new`/`BytesMut::new` start at capacity zero and
 /// grow inside the request loop. `#[cfg(test)] mod` blocks are exempt;
 /// the `vec![...]` macro and `with_capacity` are deliberately legal.
 pub fn no_hot_alloc(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
-    if !HOT_ALLOC_FILES.contains(&rel) {
+    if !scope::ALLOC_HOT.contains(&rel) {
         return;
     }
     let spans = test_mod_spans(&lx.tokens);
@@ -242,10 +195,6 @@ pub fn no_hot_alloc(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
         }
     }
 }
-
-/// The durable-storage crate: everything that writes bytes the next
-/// process must be able to replay.
-const FIXED_WIDTH_PREFIX: &str = "crates/hintlog/src/";
 
 /// Primitive types with a platform-independent byte width. `usize` /
 /// `isize` are deliberately absent: their width follows the platform,
@@ -331,7 +280,7 @@ fn type_is_fixed_width(tokens: &[Token], span: (usize, usize)) -> bool {
 /// mentioning a `sort` identifier. `#[cfg(test)] mod` blocks are
 /// exempt.
 pub fn fixed_width_records(rel: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
-    if !rel.starts_with(FIXED_WIDTH_PREFIX) {
+    if !rel.starts_with(scope::DURABLE_STORE) {
         return;
     }
     let tokens = &lx.tokens;
@@ -686,10 +635,512 @@ pub fn stats_registry(files: &BTreeMap<String, Lexed>, out: &mut Vec<Diagnostic>
     }
 }
 
+// ---------------------------------------------------------------------------
+// Interprocedural passes over the symbol-table model.
+// ---------------------------------------------------------------------------
+
+/// Bounded call depth for the interprocedural `no-panic-hot-path`
+/// pass: a panic more than this many calls away from a hot entry point
+/// is out of scope (and out of the approximate graph's precision).
+const PANIC_CALL_DEPTH: usize = 4;
+
+/// Bounded call depth for the interprocedural `no-hot-alloc` pass.
+/// Shallower than the panic pass: allocation helpers deliberately live
+/// close to the request loop.
+const ALLOC_CALL_DEPTH: usize = 3;
+
+/// How deep `lock-order` summarizes the locks a callee acquires when a
+/// caller invokes it with locks held.
+const LOCK_SUMMARY_DEPTH: usize = 3;
+
+/// How deep `lock-order` chases a call before deciding whether it
+/// reaches blocking I/O.
+const IO_CALL_DEPTH: usize = 3;
+
+/// Method/function names that block on the network or disk. Holding a
+/// lock across any of these in the hot set serializes unrelated
+/// requests behind I/O latency.
+const IO_CALLS: [&str; 14] = [
+    "connect",
+    "connect_timeout",
+    "flush",
+    "read_exact",
+    "read_message",
+    "read_to_end",
+    "recv_from",
+    "send_to",
+    "sync_all",
+    "sync_data",
+    "write",
+    "write_all",
+    "write_message",
+    "write_vectored",
+];
+
+/// Breadth-first reachability from `entry` through the call graph, up
+/// to `depth_cap` edges. Returns fn index → (parent fn, call line,
+/// depth); the BFS order (source order of calls, index order of
+/// candidates) makes the recorded chain for each fn deterministic and
+/// shortest-first.
+fn reach(model: &Model, entry: usize, depth_cap: usize) -> BTreeMap<usize, (usize, u32, usize)> {
+    let mut parents: BTreeMap<usize, (usize, u32, usize)> = BTreeMap::new();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    seen.insert(entry);
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    queue.push_back((entry, 0));
+    while let Some((at, d)) = queue.pop_front() {
+        if d == depth_cap {
+            continue;
+        }
+        for c in &model.fns[at].calls {
+            for &t in model.resolve(&c.name) {
+                if seen.insert(t) {
+                    parents.insert(t, (at, c.line, d + 1));
+                    queue.push_back((t, d + 1));
+                }
+            }
+        }
+    }
+    parents
+}
+
+/// Shared shape of the two reachability rules: for every non-test entry
+/// fn whose file is in `hot`, find every workspace fn reachable within
+/// `depth_cap` calls whose file is *outside* `hot` (the depth-0 token
+/// rule already covers in-set files) and which contains sites of
+/// interest. Each offending site keeps its single best chain (shortest,
+/// then lexicographically first) and is reported at the site itself,
+/// with the chain's call sites as alternate allow locations.
+fn reachability_rule(
+    model: &Model,
+    hot: &[&str],
+    depth_cap: usize,
+    rule: &'static str,
+    sites: impl Fn(&FnInfo) -> Vec<(String, u32)>,
+    message: impl Fn(&FnInfo, &FnInfo, &str, &str) -> String,
+    out: &mut Vec<Diagnostic>,
+) {
+    // (leaf file, line, ident) → (depth, chain, entry idx, leaf idx,
+    // chain call sites).
+    type Best = (usize, String, usize, usize, Vec<(String, u32)>);
+    let mut best: BTreeMap<(String, u32, String), Best> = BTreeMap::new();
+    for (ei, ef) in model.fns.iter().enumerate() {
+        if ef.in_test || !hot.contains(&ef.file.as_str()) {
+            continue;
+        }
+        let parents = reach(model, ei, depth_cap);
+        for (&li, &(_, _, d)) in &parents {
+            let lf = &model.fns[li];
+            if hot.contains(&lf.file.as_str()) {
+                continue;
+            }
+            let leaf_sites = sites(lf);
+            if leaf_sites.is_empty() {
+                continue;
+            }
+            // Reconstruct the entry → leaf chain.
+            let mut names = vec![lf.name.clone()];
+            let mut call_sites: Vec<(String, u32)> = Vec::new();
+            let mut cur = li;
+            while cur != ei {
+                let (p, line, _) = parents[&cur];
+                call_sites.push((model.fns[p].file.clone(), line));
+                names.push(model.fns[p].name.clone());
+                cur = p;
+            }
+            names.reverse();
+            call_sites.reverse();
+            let chain = names.join("` -> `");
+            for (ident, line) in leaf_sites {
+                let key = (lf.file.clone(), line, ident);
+                let better = match best.get(&key) {
+                    Some((bd, bc, ..)) => (d, &chain) < (*bd, bc),
+                    None => true,
+                };
+                if better {
+                    best.insert(key, (d, chain.clone(), ei, li, call_sites.clone()));
+                }
+            }
+        }
+    }
+    for ((file, line, ident), (_, chain, ei, li, call_sites)) in best {
+        out.push(Diagnostic {
+            file,
+            line,
+            rule: rule.to_string(),
+            message: message(&model.fns[ei], &model.fns[li], &ident, &chain),
+            allowable: true,
+            also: call_sites,
+        });
+    }
+}
+
+/// Interprocedural half of rule 4: a hot-path entry point must not
+/// reach a panic-family ident through any workspace helper within
+/// [`PANIC_CALL_DEPTH`] calls.
+pub fn no_panic_reachable(model: &Model, out: &mut Vec<Diagnostic>) {
+    reachability_rule(
+        model,
+        &scope::PANIC_HOT,
+        PANIC_CALL_DEPTH,
+        "no-panic-hot-path",
+        |f| f.panics.clone(),
+        |entry, leaf, ident, chain| {
+            format!(
+                "`{ident}` in `{}` is reachable from hot-path `{}` ({}) via `{chain}`; \
+                 return an error along the chain instead of panicking a shard/worker thread",
+                leaf.name, entry.name, entry.file
+            )
+        },
+        out,
+    );
+}
+
+/// Interprocedural half of rule 7: a hot-path entry point must not
+/// reach a per-request allocation idiom through any workspace helper
+/// within [`ALLOC_CALL_DEPTH`] calls.
+pub fn no_alloc_reachable(model: &Model, out: &mut Vec<Diagnostic>) {
+    reachability_rule(
+        model,
+        &scope::ALLOC_HOT,
+        ALLOC_CALL_DEPTH,
+        "no-hot-alloc",
+        |f| f.allocs.clone(),
+        |entry, leaf, what, chain| {
+            format!(
+                "`{what}` in `{}` allocates per-request, reachable from hot-path `{}` \
+                 ({}) via `{chain}`; preallocate, reuse a scratch buffer, or slice a \
+                 refcounted `Bytes`",
+                leaf.name, entry.name, entry.file
+            )
+        },
+        out,
+    );
+}
+
+/// Resolves the `call:` pseudo-locks the model records for let-bound
+/// calls: when every candidate for the callee name is a guard-returning
+/// fn, the binding holds the callee's own locks; otherwise (plain value
+/// result, or unresolvable name) the pseudo-entry is dropped. Real lock
+/// ids pass through. Deduplicated and sorted.
+fn real_held(model: &Model, held: &[HeldLock]) -> Vec<HeldLock> {
+    let mut out: Vec<HeldLock> = Vec::new();
+    for h in held {
+        if let Some(name) = h.lock.strip_prefix("call:") {
+            let targets = model.resolve(name);
+            if !targets.is_empty() && targets.iter().all(|&t| model.fns[t].returns_guard) {
+                for &t in targets {
+                    for a in &model.fns[t].acquires {
+                        out.push(HeldLock {
+                            lock: a.lock.clone(),
+                            line: h.line,
+                        });
+                    }
+                }
+            }
+        } else {
+            out.push(h.clone());
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Locks `start` (and everything it calls, to `depth_cap`) acquires,
+/// each with the call chain (starting at `start`) that first reaches
+/// it. Used to summarize a callee for a caller that invokes it with
+/// locks held.
+fn transitive_acquires(model: &Model, start: usize, depth_cap: usize) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    let mut seen_locks: BTreeSet<String> = BTreeSet::new();
+    let mut seen_fns: BTreeSet<usize> = BTreeSet::new();
+    seen_fns.insert(start);
+    let mut queue: VecDeque<(usize, usize, String)> = VecDeque::new();
+    queue.push_back((start, 0, format!("`{}`", model.fns[start].name)));
+    while let Some((at, d, chain)) = queue.pop_front() {
+        for a in &model.fns[at].acquires {
+            if seen_locks.insert(a.lock.clone()) {
+                out.push((a.lock.clone(), chain.clone()));
+            }
+        }
+        if d == depth_cap {
+            continue;
+        }
+        for c in &model.fns[at].calls {
+            for &t in model.resolve(&c.name) {
+                if seen_fns.insert(t) {
+                    queue.push_back((t, d + 1, format!("{chain} -> `{}`", model.fns[t].name)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The global lock-order graph: an edge `A -> B` whenever some fn
+/// acquires `B` with `A` held — directly, or through a call whose
+/// callee (summarized to [`LOCK_SUMMARY_DEPTH`]) acquires `B`.
+pub fn lock_graph(model: &Model) -> DiGraph {
+    let mut g = DiGraph::default();
+    for (fi, f) in model.fns.iter().enumerate().filter(|(_, f)| !f.in_test) {
+        for a in &f.acquires {
+            for h in real_held(model, &a.held) {
+                g.add_edge(
+                    &h.lock,
+                    &a.lock,
+                    EdgeInfo {
+                        file: f.file.clone(),
+                        line: a.line,
+                        detail: format!("in `{}`", f.name),
+                    },
+                );
+            }
+        }
+        for c in &f.calls {
+            let held = real_held(model, &c.held);
+            if held.is_empty() {
+                continue;
+            }
+            for &t in model.resolve(&c.name) {
+                // A fn invoking its own name on another receiver is a
+                // delegating wrapper (`HintShards::purge_location` →
+                // `HintCache::purge_location`), not recursion; counting
+                // it would forge a self-edge for every such wrapper.
+                if t == fi {
+                    continue;
+                }
+                for (lock, chain) in transitive_acquires(model, t, LOCK_SUMMARY_DEPTH) {
+                    for h in &held {
+                        g.add_edge(
+                            &h.lock,
+                            &lock,
+                            EdgeInfo {
+                                file: f.file.clone(),
+                                line: c.line,
+                                detail: format!("via `{}` -> {chain}", f.name),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// For each fn, the first blocking-I/O callee name it reaches within
+/// [`IO_CALL_DEPTH`] calls (directly or through workspace helpers).
+fn io_reach(model: &Model) -> BTreeMap<usize, String> {
+    let mut out = BTreeMap::new();
+    for i in 0..model.fns.len() {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        seen.insert(i);
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+        queue.push_back((i, 0));
+        'bfs: while let Some((at, d)) = queue.pop_front() {
+            for c in &model.fns[at].calls {
+                if IO_CALLS.contains(&c.name.as_str()) {
+                    out.insert(i, c.name.clone());
+                    break 'bfs;
+                }
+                if d == IO_CALL_DEPTH {
+                    continue;
+                }
+                for &t in model.resolve(&c.name) {
+                    if seen.insert(t) {
+                        queue.push_back((t, d + 1));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rule 9, `lock-order`: builds the global lock-order graph, flags
+/// every cycle (a potential deadlock) with a representative acquisition
+/// chain, flags edges that invert the canonical ranking declared in
+/// LINTS.md, and flags hot-path code holding a lock across blocking
+/// I/O.
+pub fn lock_order(model: &Model, ranking: Option<&[String]>, out: &mut Vec<Diagnostic>) {
+    let g = lock_graph(model);
+
+    // Potential deadlocks: cycles in the lock-order graph. Each gets
+    // one diagnostic, anchored at the cycle's first acquisition site,
+    // with the other edges' sites as alternate allow locations.
+    for comp in g.cycles() {
+        let edges = g.cycle_edges(&comp);
+        let sites: Vec<(String, u32, String)> = edges
+            .iter()
+            .map(|(a, b)| {
+                let info = &g.edges[&(a.clone(), b.clone())];
+                (
+                    info.file.clone(),
+                    info.line,
+                    format!(
+                        "`{a}` -> `{b}` at {}:{} ({})",
+                        info.file, info.line, info.detail
+                    ),
+                )
+            })
+            .collect();
+        let anchor = sites
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| (s.0.clone(), s.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut path: Vec<String> = edges.iter().map(|(a, _)| format!("`{a}`")).collect();
+        if let Some((_, last)) = edges.last() {
+            path.push(format!("`{last}`"));
+        }
+        let segments: Vec<String> = sites.iter().map(|s| s.2.clone()).collect();
+        out.push(Diagnostic {
+            file: sites[anchor].0.clone(),
+            line: sites[anchor].1,
+            rule: "lock-order".to_string(),
+            message: format!(
+                "lock-order cycle {}: {}; establish one global acquisition order",
+                path.join(" -> "),
+                segments.join(", ")
+            ),
+            allowable: true,
+            also: sites
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != anchor)
+                .map(|(_, s)| (s.0.clone(), s.1))
+                .collect(),
+        });
+    }
+
+    // Ranking inversions: an edge A -> B where LINTS.md ranks B before
+    // A. Cycle-free trees can still violate the declared order.
+    if let Some(ranking) = ranking {
+        let rank: BTreeMap<&str, usize> = ranking
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        for ((a, b), info) in &g.edges {
+            if a == b {
+                continue;
+            }
+            let (Some(&ra), Some(&rb)) = (rank.get(a.as_str()), rank.get(b.as_str())) else {
+                continue;
+            };
+            if ra > rb {
+                push(
+                    out,
+                    &info.file,
+                    info.line,
+                    "lock-order",
+                    format!(
+                        "`{b}` acquired while `{a}` is held inverts the canonical lock \
+                         ranking in LINTS.md (`{b}` ranks before `{a}`); acquire in \
+                         ranking order or narrow the held scope"
+                    ),
+                );
+            }
+        }
+    }
+
+    // Locks held across blocking I/O in the hot set: every request on
+    // the same lock waits out the disk/network behind it.
+    let io = io_reach(model);
+    let mut seen: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    for f in model.fns.iter().filter(|f| !f.in_test) {
+        if !scope::HOT_PATH.contains(&f.file.as_str()) {
+            continue;
+        }
+        for c in &f.calls {
+            let held = real_held(model, &c.held);
+            if held.is_empty() {
+                continue;
+            }
+            if IO_CALLS.contains(&c.name.as_str()) {
+                for h in &held {
+                    if seen.insert((f.file.clone(), c.line, h.lock.clone())) {
+                        out.push(Diagnostic {
+                            file: f.file.clone(),
+                            line: c.line,
+                            rule: "lock-order".to_string(),
+                            message: format!(
+                                "blocking I/O `{}` called while `{}` is held (acquired \
+                                 line {}); shrink the lock scope so requests never wait \
+                                 on I/O behind a lock",
+                                c.name, h.lock, h.line
+                            ),
+                            allowable: true,
+                            also: vec![(f.file.clone(), h.line)],
+                        });
+                    }
+                }
+                continue;
+            }
+            for &t in model.resolve(&c.name) {
+                let Some(io_name) = io.get(&t) else { continue };
+                for h in &held {
+                    if seen.insert((f.file.clone(), c.line, h.lock.clone())) {
+                        out.push(Diagnostic {
+                            file: f.file.clone(),
+                            line: c.line,
+                            rule: "lock-order".to_string(),
+                            message: format!(
+                                "`{}` reaches blocking I/O (`{io_name}`) while `{}` is \
+                                 held (acquired line {}); shrink the lock scope so \
+                                 requests never wait on I/O behind a lock",
+                                c.name, h.lock, h.line
+                            ),
+                            allowable: true,
+                            also: vec![(f.file.clone(), h.line)],
+                        });
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lexer::lex;
+
+    fn model_of(files: &[(&str, &str)]) -> Model {
+        let lexed: BTreeMap<String, crate::lexer::Lexed> = files
+            .iter()
+            .map(|(rel, src)| (rel.to_string(), lex(src)))
+            .collect();
+        Model::build(&lexed)
+    }
+
+    #[test]
+    fn delegating_wrapper_is_not_a_lock_cycle() {
+        // `Shards::purge_location` holds the shard guard while calling
+        // `Cache::purge_location`; name-based resolution offers the
+        // wrapper itself as a candidate, which must be skipped or every
+        // such wrapper forges a `shards -> shards` deadlock cycle.
+        let m = model_of(&[
+            (
+                "crates/proto/src/node/mod.rs",
+                "impl Shards {\n  fn purge_location(&self, loc: u64) -> usize {\n    self.shards.iter().map(|s| s.lock().purge_location(loc)).sum()\n  }\n}\n",
+            ),
+            (
+                "crates/proto/src/node/cache.rs",
+                "impl Cache {\n  pub fn purge_location(&mut self, loc: u64) -> usize { 0 }\n}\n",
+            ),
+        ]);
+        let g = lock_graph(&m);
+        assert!(
+            !g.edges
+                .contains_key(&("proto/shards".to_string(), "proto/shards".to_string())),
+            "self-call through a delegating wrapper must not become a self-edge"
+        );
+        assert!(g.cycles().is_empty());
+    }
 
     #[test]
     fn camel_to_screaming_handles_runs() {

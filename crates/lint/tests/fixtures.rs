@@ -99,6 +99,66 @@ fn fixed_width_records_fixture_matches_golden() {
 }
 
 #[test]
+fn lock_order_fixture_matches_golden() {
+    let report = check_fixture("lock-order");
+    // The seeded cycle is reported once with both acquisition sites —
+    // the direct edge and the cross-file helper chain — and the
+    // group-commit fsync is waived by its allow.
+    assert_eq!(report.allows_honored, 1);
+    let cycle = report
+        .diagnostics
+        .iter()
+        .find(|d| d.message.contains("lock-order cycle"))
+        .expect("cycle diagnostic");
+    assert!(cycle
+        .message
+        .contains("via `flush_backlog` -> `refresh_peers`"));
+}
+
+#[test]
+fn lock_order_ranking_fixture_matches_golden() {
+    let report = check_fixture("lock-order-ranking");
+    // A single-edge graph has no cycle; only the declared-ranking
+    // inversion fires.
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| !d.message.contains("cycle")));
+}
+
+#[test]
+fn no_panic_hot_path_interproc_fixture_matches_golden() {
+    let report = check_fixture("no-panic-hot-path-interproc");
+    // The cross-file unwrap the file-scoped rule cannot see is the only
+    // survivor, reported at the leaf with the full chain. The two
+    // seeded allows — one at a chain call site in engine.rs, one at
+    // the leaf itself — are both honored, and the depth-5 chain stays
+    // below the pass's horizon.
+    assert_eq!(report.allows_honored, 2);
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.file != "crates/proto/src/deep.rs"));
+}
+
+#[test]
+fn no_hot_alloc_interproc_fixture_matches_golden() {
+    let report = check_fixture("no-hot-alloc-interproc");
+    // The cold-path Vec::new in the bench crate is unreachable from the
+    // hot set and contributes nothing.
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.file == "crates/proto/src/framing.rs"));
+}
+
+#[test]
+fn lock_order_fixture_graph_has_the_seeded_cycle() {
+    let graphs = bh_lint::graph_root(&fixture_root("lock-order")).expect("graph fixture tree");
+    assert_eq!(graphs.lock_graph.cycles().len(), 1);
+}
+
+#[test]
 fn allow_hygiene_fixture_matches_golden() {
     let report = check_fixture("allow-hygiene");
     // The one well-formed directive in the fixture is honored.
@@ -121,5 +181,12 @@ fn repo_tree_is_clean() {
     assert!(
         report.files_scanned > 50,
         "repo scan looks implausibly small"
+    );
+    // The acceptance bar for the lock-order pass: the real tree's
+    // global lock graph is cycle-free, not merely allowed.
+    let graphs = bh_lint::graph_root(&root).expect("graph repo tree");
+    assert!(
+        graphs.lock_graph.cycles().is_empty(),
+        "the repo's global lock-order graph has a cycle"
     );
 }

@@ -49,13 +49,17 @@ impl Digest {
     /// This is the "8-byte object identifier (part of the MD5 signature of
     /// the object's URL)" that hint records carry on the wire (§3.2).
     pub fn low64(&self) -> u64 {
-        u64::from_le_bytes(self.0[..8].try_into().expect("8 bytes"))
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&self.0[..8]);
+        u64::from_le_bytes(word)
     }
 
     /// Returns the high-order 64 bits of the digest (bytes 8..16),
     /// interpreted little-endian.
     pub fn high64(&self) -> u64 {
-        u64::from_le_bytes(self.0[8..].try_into().expect("8 bytes"))
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&self.0[8..]);
+        u64::from_le_bytes(word)
     }
 
     /// Returns the raw digest bytes.
@@ -181,8 +185,10 @@ impl Context {
         }
 
         let mut chunks = data.chunks_exact(64);
-        for block in &mut chunks {
-            self.process_block(block.try_into().expect("64-byte chunk"));
+        let mut block = [0u8; 64];
+        for chunk in &mut chunks {
+            block.copy_from_slice(chunk);
+            self.process_block(&block);
         }
         let rest = chunks.remainder();
         self.buffer[..rest.len()].copy_from_slice(rest);

@@ -395,6 +395,7 @@ impl PlaxtonTree {
         self.nodes.push(Node {
             spec,
             alive: true,
+            // bh-lint: allow(no-hot-alloc, reason = "capacity-0 placeholder, replaced wholesale by compute_table before any push; churn repair runs per membership event, not per request")
             table: Vec::new(),
         });
         self.alive += 1;

@@ -291,6 +291,7 @@ fn worker_loop(
         }
         let reply = handle_get(&inner, &job.url);
         let wants_write = {
+            // bh-lint: allow(lock-order, reason = "the per-connection state lock IS the frame-write serializer; the socket is nonblocking, so writes under it only fill the kernel buffer and queue the rest")
             let mut state = job.conn.state.lock();
             let was_closed = state.closed;
             reply.encode(&mut scratch);
@@ -565,6 +566,7 @@ impl Shard {
             return false;
         };
         let shared = Arc::clone(&conn.shared);
+        // bh-lint: allow(lock-order, reason = "the per-connection state lock IS the frame-write serializer; the socket is nonblocking, so writes under it only fill the kernel buffer and queue the rest")
         let mut state = shared.state.lock();
         if state.closed {
             return false;
@@ -620,6 +622,7 @@ impl Shard {
             return;
         };
         let want = {
+            // bh-lint: allow(lock-order, reason = "draining queued bytes to the nonblocking socket is exactly what this lock serializes; write_some returns WouldBlock instead of waiting")
             let mut state = conn.shared.state.lock();
             if write_some(&conn.shared.stream, &mut state, &self.inner).is_err() {
                 drop(state);

@@ -978,6 +978,7 @@ fn persist_hint_log(inner: &Inner) {
     };
     let staged: Vec<LogRecord> = std::mem::take(&mut *inner.log_pending.lock());
     let compact_due = inner.log_compact_due.swap(false, Ordering::Relaxed);
+    // bh-lint: allow(lock-order, reason = "group commit: only flush ticks take the hintlog lock, request threads stage into log_pending and never touch it")
     let mut log = hintlog.lock();
     if !staged.is_empty() {
         let _ = log.append(&staged).and_then(|()| log.sync());

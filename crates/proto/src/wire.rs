@@ -1187,7 +1187,7 @@ impl FrameAssembler {
 pub fn read_message<R: Read>(r: &mut R) -> io::Result<Message> {
     let mut header = [0u8; 5];
     r.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
