@@ -64,12 +64,12 @@
 //! recovered hints without a network resync.
 
 use bh_bench::chaos::{run_chaos, ChaosOptions};
+use bh_bench::meshapi::{metric_values_from_meta, pick, MeshClient};
 use bh_bench::recovery::{run_recovery, RecoveryOptions};
-use bh_bench::report::{metric_values, MetricValue};
+use bh_bench::report::MetricValue;
 use bh_bench::scenario::{run_scenario, Scenario};
 use bh_bench::Args;
 use bh_proto::chaos::FaultPlan;
-use bh_proto::client::Connection;
 use bh_proto::node::{CacheNode, NodeConfig, ThreadingMode};
 use bh_proto::origin::OriginServer;
 use bh_proto::replay::{replay_concurrent, ReplayConfig};
@@ -263,25 +263,20 @@ struct ObsNode {
     metrics: Vec<MetricValue>,
 }
 
-/// Scrapes every node through a fresh client connection — the same
-/// operator path `obs scrape` uses — and prints a per-node summary.
+/// Scrapes every node through the mesh API namespace
+/// (`Get mesh/nodes/self/metrics` per node — the same operator path
+/// `obs get`/`obs scrape` use) and prints a per-node summary.
 fn scrape_nodes(mode: ThreadingMode, nodes: &[CacheNode]) -> Vec<ObsNode> {
-    let pick = |metrics: &[MetricValue], name: &str| {
-        metrics
-            .iter()
-            .find(|m| m.name == name)
-            .map_or(0, |m| m.value)
-    };
-    nodes
-        .iter()
-        .map(|node| {
-            let mut conn = Connection::open(node.addr()).expect("open obs connection");
-            let entries = conn.scrape_stats().expect("scrape node stats");
-            let metrics = metric_values(&entries);
+    let mesh = MeshClient::new(nodes.iter().map(CacheNode::addr).collect());
+    mesh.get_all("mesh/nodes/self/metrics")
+        .expect("scrape node metrics")
+        .into_iter()
+        .map(|reply| {
+            let metrics = metric_values_from_meta(&reply.entries);
             println!(
                 "obs {:>21}  local {:>6}  peer {:>5}  origin {:>6}  fp {:>4}  \
                  served {:>7}  live-conns {:>3}",
-                node.addr(),
+                reply.addr,
                 pick(&metrics, "local_hits"),
                 pick(&metrics, "peer_hits"),
                 pick(&metrics, "origin_fetches"),
@@ -291,7 +286,7 @@ fn scrape_nodes(mode: ThreadingMode, nodes: &[CacheNode]) -> Vec<ObsNode> {
             );
             ObsNode {
                 mode: format!("{mode:?}").to_lowercase(),
-                addr: node.addr().to_string(),
+                addr: reply.addr.to_string(),
                 metrics,
             }
         })

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod meshapi;
 pub mod recovery;
 pub mod report;
 pub mod runners;

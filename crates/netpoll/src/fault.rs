@@ -120,6 +120,22 @@ impl FaultSwitch {
         }
     }
 
+    /// Current inbound delay in raw microseconds (0 = off); the meta
+    /// namespace reads knobs back in the same unit they are set in.
+    pub fn rx_latency_micros(&self) -> u32 {
+        self.rx_latency_micros.load(Ordering::Relaxed)
+    }
+
+    /// Current outbound delay in raw microseconds (0 = off).
+    pub fn tx_latency_micros(&self) -> u32 {
+        self.tx_latency_micros.load(Ordering::Relaxed)
+    }
+
+    /// Current outbound drop rate in parts per million (0 = off).
+    pub fn drop_per_million(&self) -> u32 {
+        self.drop_per_million.load(Ordering::Relaxed)
+    }
+
     /// Decides whether the next outbound send is dropped. Advances the
     /// seeded drop stream only while a drop rate is armed, so runs with
     /// faults off leave the stream untouched.

@@ -11,21 +11,29 @@
 //! every run, which is what makes chaos regressions diffable in CI.
 //!
 //! [`ChaosMesh`] owns a running origin + node mesh and knows how to apply
-//! and lift each [`FaultKind`]:
+//! and lift each [`FaultKind`]. Every live control travels through the
+//! mesh API namespace as a wire-level `Set` (the same remotely
+//! addressable path `obs set` uses), so a chaos window exercises exactly
+//! what an operator could do to a production mesh — nothing here reaches
+//! into process-local pool or fault-switch handles:
 //!
 //! * **Crash** — the node is torn down with [`CacheNode::kill`]
 //!   (pending hint updates discarded, no goodbye); lifting the window
 //!   restarts it on the *same* port (so surviving hints stay addressable)
-//!   and rebuilds its hint table with an anti-entropy
-//!   [`CacheNode::resync`].
-//! * **Partition** — both directions of a pair are blocked in the
-//!   respective connection pools; the origin is never blocked, so
-//!   partitioned nodes degrade to origin fetches rather than failing.
-//! * **Latency** — inbound and outbound injected delay on one node's
-//!   [`bh_netpoll::fault::FaultSwitch`].
-//! * **Drop** — probabilistic outbound send drops on one node, from the
-//!   switch's seeded drop stream.
+//!   and rebuilds its hint table by scheduling an anti-entropy resync
+//!   via `Set control/resync`, polling `control/resync/runs` for
+//!   completion. (The crash itself is process-local by nature.)
+//! * **Partition** — both directions of a pair are severed with
+//!   `Set pool/blocked/<addr> = true` on each side; the origin is never
+//!   blocked, so partitioned nodes degrade to origin fetches rather
+//!   than failing. Lifting writes `false`, which also forgives any
+//!   quarantine the window accrued.
+//! * **Latency** — `Set pool/fault/rx_latency_micros` / `..._tx_...` on
+//!   one node's [`bh_netpoll::fault::FaultSwitch`].
+//! * **Drop** — `Set pool/fault/drop_per_million`: probabilistic
+//!   outbound send drops from the switch's seeded drop stream.
 
+use crate::client::Connection;
 use crate::node::{mesh_tree_for, CacheNode, NodeConfig, NodeStats};
 use crate::origin::OriginServer;
 use std::io;
@@ -608,13 +616,15 @@ impl ChaosMesh {
     /// Restarts a crashed node on its original port, rewires it into the
     /// mesh, and rebuilds its hint table: a node with a durable hint log
     /// ([`NodeConfig::durability_dir`]) recovers by replaying it at
-    /// spawn — no network traffic — and falls back to the anti-entropy
-    /// [`CacheNode::resync`] only when the replay recovered nothing.
-    /// Returns the number of hint records recovered either way.
+    /// spawn — no network traffic — and falls back to an anti-entropy
+    /// resync driven through the mesh API control plane only when the
+    /// replay recovered nothing. Returns the number of hint records
+    /// recovered either way.
     ///
     /// # Errors
     ///
-    /// Fails if the original port cannot be rebound.
+    /// Fails if the original port cannot be rebound or the scheduled
+    /// resync never completes.
     pub fn restart(&mut self, index: usize) -> io::Result<usize> {
         if self.nodes[index].is_some() {
             return Ok(0);
@@ -622,54 +632,83 @@ impl ChaosMesh {
         let node = CacheNode::spawn(self.configs[index].clone())?;
         self.wire(index, &node);
         let recovered = match node.stats().hints_recovered_from_log {
-            0 => node.resync(),
+            0 => resync_over_wire(node.addr())?,
             replayed => replayed as usize,
         };
         self.nodes[index] = Some(node);
         Ok(recovered)
     }
 
-    /// Applies `fault` to the running mesh.
+    /// Sends one control-plane write to the node at `index` over the
+    /// wire. Crashed slots are skipped (there is nothing to configure
+    /// and nothing listening).
+    fn control_set(&self, index: usize, path: &str, value: &str) -> io::Result<()> {
+        if self.nodes[index].is_none() {
+            return Ok(());
+        }
+        Connection::open(self.addrs[index])?.meta_set(path, value)?;
+        Ok(())
+    }
+
+    /// Writes every fault-switch knob on `index` back to its off value
+    /// (the namespace spelling of `FaultSwitch::clear`).
+    fn clear_faults(&self, index: usize) -> io::Result<()> {
+        for knob in ["rx_latency_micros", "tx_latency_micros", "drop_per_million"] {
+            self.control_set(index, &format!("mesh/nodes/self/pool/fault/{knob}"), "0")?;
+        }
+        self.control_set(
+            index,
+            "mesh/nodes/self/pool/fault/corrupt_hint_tags",
+            "false",
+        )
+    }
+
+    /// Applies `fault` to the running mesh. Everything except the crash
+    /// itself is a wire-level namespace write.
     ///
     /// # Errors
     ///
-    /// Currently infallible; kept fallible for symmetry with [`Self::lift`].
+    /// Propagates control-plane write failures.
     pub fn inject(&mut self, fault: FaultKind) -> io::Result<()> {
         match self.resolve(fault) {
             FaultKind::Crash { node } => self.crash(node),
             FaultKind::Partition { a, b } => {
                 let (addr_a, addr_b) = (self.addrs[a], self.addrs[b]);
-                if let Some(node) = self.node(a) {
-                    node.pool().block(addr_b);
-                }
-                if let Some(node) = self.node(b) {
-                    node.pool().block(addr_a);
-                }
+                self.control_set(a, &format!("mesh/nodes/self/pool/blocked/{addr_b}"), "true")?;
+                self.control_set(b, &format!("mesh/nodes/self/pool/blocked/{addr_a}"), "true")?;
             }
             FaultKind::PartitionOneWay { from, to } => {
                 // Asymmetric: only `from`'s outbound path to `to` is cut;
                 // the reverse direction stays healthy.
                 let addr_to = self.addrs[to];
-                if let Some(node) = self.node(from) {
-                    node.pool().block(addr_to);
-                }
+                self.control_set(
+                    from,
+                    &format!("mesh/nodes/self/pool/blocked/{addr_to}"),
+                    "true",
+                )?;
             }
             FaultKind::Latency { node, micros } => {
-                if let Some(node) = self.node(node) {
-                    let switch = node.pool().fault_switch();
-                    switch.set_rx_latency_micros(micros);
-                    switch.set_tx_latency_micros(micros);
-                }
+                let micros = micros.to_string();
+                self.control_set(
+                    node,
+                    "mesh/nodes/self/pool/fault/rx_latency_micros",
+                    &micros,
+                )?;
+                self.control_set(
+                    node,
+                    "mesh/nodes/self/pool/fault/tx_latency_micros",
+                    &micros,
+                )?;
             }
             FaultKind::Drop { node, per_million } => {
-                if let Some(node) = self.node(node) {
-                    node.pool().fault_switch().set_drop_per_million(per_million);
-                }
+                self.control_set(
+                    node,
+                    "mesh/nodes/self/pool/fault/drop_per_million",
+                    &per_million.to_string(),
+                )?;
             }
             FaultKind::CorruptHints { peer } => {
-                if let Some(node) = self.node(peer) {
-                    node.pool().fault_switch().set_corrupt_hint_tags(true);
-                }
+                self.control_set(peer, "mesh/nodes/self/pool/fault/corrupt_hint_tags", "true")?;
             }
             // `resolve` maps CrashParent to Crash on hierarchical meshes;
             // on a flat mesh (rejected at validation) it is a no-op.
@@ -690,44 +729,45 @@ impl ChaosMesh {
                 self.restart(node)?;
             }
             FaultKind::Partition { a, b } => {
+                // `Set blocked = false` also forgives: the next probe
+                // must get through instead of waiting out quarantine.
                 let (addr_a, addr_b) = (self.addrs[a], self.addrs[b]);
-                if let Some(node) = self.node(a) {
-                    node.pool().unblock(addr_b);
-                    node.pool().forgive(addr_b);
-                }
-                if let Some(node) = self.node(b) {
-                    node.pool().unblock(addr_a);
-                    node.pool().forgive(addr_a);
-                }
+                self.control_set(
+                    a,
+                    &format!("mesh/nodes/self/pool/blocked/{addr_b}"),
+                    "false",
+                )?;
+                self.control_set(
+                    b,
+                    &format!("mesh/nodes/self/pool/blocked/{addr_a}"),
+                    "false",
+                )?;
             }
             FaultKind::PartitionOneWay { from, to } => {
                 let addr_to = self.addrs[to];
-                if let Some(node) = self.node(from) {
-                    node.pool().unblock(addr_to);
-                    node.pool().forgive(addr_to);
-                }
+                self.control_set(
+                    from,
+                    &format!("mesh/nodes/self/pool/blocked/{addr_to}"),
+                    "false",
+                )?;
             }
             FaultKind::Latency { node, .. } | FaultKind::Drop { node, .. } => {
-                if let Some(node) = self.node(node) {
-                    node.pool().fault_switch().clear();
-                }
+                self.clear_faults(node)?;
             }
             FaultKind::CorruptHints { peer } => {
                 // Stop corrupting; the receivers' quarantines lift on the
                 // peer's next valid batch (the protocol-level heal), but
                 // the mesh-level lift also unblocks it everywhere so the
                 // post segment starts from restored wiring either way.
-                if let Some(node) = self.node(peer) {
-                    node.pool().fault_switch().clear();
-                }
+                self.clear_faults(peer)?;
                 let addr = self.addrs[peer];
-                for (i, node) in self.nodes.iter().enumerate() {
-                    if i == peer {
-                        continue;
-                    }
-                    if let Some(node) = node {
-                        node.pool().unblock(addr);
-                        node.pool().forgive(addr);
+                for i in 0..self.nodes.len() {
+                    if i != peer {
+                        self.control_set(
+                            i,
+                            &format!("mesh/nodes/self/pool/blocked/{addr}"),
+                            "false",
+                        )?;
                     }
                 }
             }
@@ -744,6 +784,37 @@ impl ChaosMesh {
             }
         }
     }
+}
+
+/// Drives a freshly restarted node's anti-entropy resync through the
+/// mesh API control plane: `Set control/resync` schedules the pull on a
+/// detached node thread, then the namespace counters are polled until
+/// the run completes and report how many hint records it learned.
+fn resync_over_wire(addr: SocketAddr) -> io::Result<usize> {
+    let mut conn = Connection::open(addr)?;
+    let before = read_counter(&mut conn, "mesh/nodes/self/control/resync/runs")?;
+    conn.meta_set("mesh/nodes/self/control/resync", "1")?;
+    // Bounded poll: a resync against a small mesh completes in
+    // milliseconds; the cap (~10 s) only bounds a wedged run.
+    for _ in 0..5000 {
+        if read_counter(&mut conn, "mesh/nodes/self/control/resync/runs")? > before {
+            let learned = read_counter(&mut conn, "mesh/nodes/self/control/resync/learned")?;
+            return Ok(learned as usize);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    Err(io::Error::other(format!(
+        "scheduled resync on {addr} did not complete"
+    )))
+}
+
+/// Reads one numeric namespace leaf.
+fn read_counter(conn: &mut Connection, path: &str) -> io::Result<u64> {
+    let entries = conn.meta_get(path)?;
+    entries
+        .first()
+        .and_then(|e| e.value.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("non-numeric value at {path}")))
 }
 
 impl std::fmt::Debug for ChaosMesh {

@@ -1,7 +1,8 @@
 //! Blocking client helpers for talking to cache nodes.
 
 use crate::wire::{
-    read_message, write_message, MachineId, Message, MetricEntry, ServedBy, Status, TraceEvent,
+    read_message, write_message, MachineId, Message, MetaEntry, MetaOp, MetaStatus, MetricEntry,
+    ServedBy, Status, TraceEvent,
 };
 use bytes::Bytes;
 use std::io;
@@ -171,6 +172,65 @@ impl Connection {
         }
     }
 
+    /// One raw mesh-API exchange: status and entries exactly as the node
+    /// answered them (no status-to-error mapping).
+    ///
+    /// # Errors
+    ///
+    /// Fails on connection/protocol errors only.
+    pub fn meta(
+        &mut self,
+        op: MetaOp,
+        path: &str,
+        value: &str,
+    ) -> io::Result<(MetaStatus, Vec<MetaEntry>)> {
+        write_message(
+            &mut self.stream,
+            &Message::MetaRequest {
+                op,
+                path: path.to_string(),
+                value: value.to_string(),
+            },
+        )?;
+        match read_message(&mut self.reader)? {
+            Message::MetaReply { status, entries } => Ok((status, entries)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Reads one namespace leaf or dumps one branch (`Get`), mapping any
+    /// non-`Ok` status to an error.
+    ///
+    /// # Errors
+    ///
+    /// Fails on protocol errors or a non-`Ok` reply status.
+    pub fn meta_get(&mut self, path: &str) -> io::Result<Vec<MetaEntry>> {
+        meta_ok(path, self.meta(MetaOp::Get, path, "")?)
+    }
+
+    /// Enumerates one namespace branch (`List`), sorted, mapping any
+    /// non-`Ok` status to an error.
+    ///
+    /// # Errors
+    ///
+    /// Fails on protocol errors or a non-`Ok` reply status.
+    pub fn meta_list(&mut self, path: &str) -> io::Result<Vec<MetaEntry>> {
+        meta_ok(path, self.meta(MetaOp::List, path, "")?)
+    }
+
+    /// Control-plane write (`Set`), mapping any non-`Ok` status to an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Fails on protocol errors or a non-`Ok` reply status.
+    pub fn meta_set(&mut self, path: &str, value: &str) -> io::Result<Vec<MetaEntry>> {
+        meta_ok(path, self.meta(MetaOp::Set, path, value)?)
+    }
+
     /// Installs an object at an **origin server** (test/control path).
     ///
     /// # Errors
@@ -197,6 +257,15 @@ impl Connection {
                 format!("unexpected reply {other:?}"),
             )),
         }
+    }
+}
+
+/// Maps a mesh-API reply to `entries` on `Ok` and an error naming the
+/// path and status otherwise.
+fn meta_ok(path: &str, reply: (MetaStatus, Vec<MetaEntry>)) -> io::Result<Vec<MetaEntry>> {
+    match reply {
+        (MetaStatus::Ok, entries) => Ok(entries),
+        (status, _) => Err(io::Error::other(format!("meta {path}: {status:?}"))),
     }
 }
 

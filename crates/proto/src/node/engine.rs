@@ -328,7 +328,7 @@ fn worker_loop(
 fn replay_backlog(
     conn: &Arc<SharedConn>,
     state: &mut ConnState,
-    inner: &Inner,
+    inner: &Arc<Inner>,
     jobs: &JobQueue,
     scratch: &mut BytesMut,
     shard: usize,
@@ -340,7 +340,9 @@ fn replay_backlog(
         };
         match msg {
             Message::Get { url } => {
-                if let Some(reply) = local_hit(inner, &url) {
+                if inner.drained() {
+                    reject_get(inner, &conn.stream, state, scratch, &url, 0);
+                } else if let Some(reply) = local_hit(inner, &url) {
                     reply.encode(scratch);
                     send_frame(&conn.stream, state, scratch);
                 } else if let Err(depth) = jobs.admit(inner) {
@@ -577,9 +579,18 @@ impl Shard {
         }
         match msg {
             Message::Get { url } => {
-                // Fast path: a local hit is pure in-memory work, so answer
-                // it here and skip the worker-pool round trip.
-                if let Some(reply) = local_hit(&self.inner, &url) {
+                // Drain (mesh API) outranks the local-hit fast path: a
+                // drained node turns every client `Get` away.
+                if self.inner.drained() {
+                    reject_get(
+                        &self.inner,
+                        &shared.stream,
+                        &mut state,
+                        &mut self.scratch,
+                        &url,
+                        0,
+                    );
+                } else if let Some(reply) = local_hit(&self.inner, &url) {
                     reply.encode(&mut self.scratch);
                     send_frame(&shared.stream, &mut state, &self.scratch);
                 } else if let Err(depth) = self.jobs.admit(&self.inner) {

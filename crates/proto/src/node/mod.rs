@@ -23,6 +23,7 @@
 //!   unavailable.
 
 mod engine;
+mod meta;
 mod metrics;
 
 pub use metrics::{NodeStats, NODE_TRACE_CAPACITY};
@@ -45,7 +46,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -417,6 +418,24 @@ struct Inner {
     /// (keyed by `MachineId.0`); crossing
     /// [`HINT_AUTH_QUARANTINE_AFTER`] quarantines the sender.
     hint_auth: Mutex<HashMap<u64, u32>>,
+    /// Drain switch (mesh API `Set .../control/drain`): while set, every
+    /// client `Get` is turned away with a `Redirect` so the node can be
+    /// taken out of rotation without killing in-flight hint traffic.
+    drained: AtomicBool,
+    /// Completed namespace-triggered resyncs (`Set .../control/resync`
+    /// is asynchronous; callers poll `.../control/resync/runs` to see
+    /// the run land).
+    resync_runs: AtomicU64,
+    /// Total hint records learned across those resyncs.
+    resync_learned: AtomicU64,
+}
+
+impl Inner {
+    /// Whether the drain switch is set (checked on every `Get` fast
+    /// path; one relaxed load).
+    fn drained(&self) -> bool {
+        self.drained.load(Ordering::Relaxed)
+    }
 }
 
 /// Handle to a running cache node; dropping it shuts the node down.
@@ -518,6 +537,9 @@ impl CacheNode {
             log_pending: Mutex::new(Vec::new()),
             log_compact_due: AtomicBool::new(false),
             hint_auth: Mutex::new(HashMap::new()),
+            drained: AtomicBool::new(false),
+            resync_runs: AtomicU64::new(0),
+            resync_learned: AtomicU64::new(0),
             config,
         });
 
@@ -725,40 +747,7 @@ impl CacheNode {
     /// waiting for organic update traffic. Returns the number of hint
     /// records received.
     pub fn resync(&self) -> usize {
-        // Pull from the same peers a flush would reach: neighbors plus
-        // the tree edges, so a restarted leaf recovers through its
-        // parent even with an empty neighbor set.
-        let mut peers: Vec<SocketAddr> = self.inner.neighbors.lock().clone();
-        if let Some(p) = *self.inner.parent.lock() {
-            peers.push(p);
-        }
-        peers.extend(self.inner.children.lock().iter().copied());
-        let mut learned = 0;
-        for addr in peers {
-            // Two attempts, no quarantine interaction either way: resync
-            // runs right after restart, when this node has no basis for
-            // judging its peers yet.
-            let opts = RequestOptions {
-                max_attempts: 2,
-                quarantine_on_failure: false,
-                respect_quarantine: false,
-            };
-            if let Ok(Message::HintBatch {
-                sender,
-                updates,
-                tag,
-            }) = exchange(&self.inner, addr, opts, &Message::Resync)
-            {
-                // Resync replies are authenticated like any other batch:
-                // a byzantine peer cannot seed a restarting node's hint
-                // table with forged locations.
-                if verify_hint_batch(&self.inner, sender, &updates, &tag) {
-                    learned += updates.len();
-                    apply_updates(&self.inner, updates);
-                }
-            }
-        }
-        learned
+        resync_now(&self.inner)
     }
 
     /// Stops the node gracefully and joins its threads (bounded by
@@ -1241,6 +1230,54 @@ fn on_peer_revived(inner: &Inner, addr: SocketAddr) {
     }
 }
 
+/// Anti-entropy pull ([`CacheNode::resync`] and the mesh API's
+/// `Set .../control/resync`): asks every flush target for the objects it
+/// holds and applies the authenticated answers to the hint store.
+/// Returns the number of hint records learned and advances the
+/// namespace-visible `resync_runs`/`resync_learned` counters.
+fn resync_now(inner: &Inner) -> usize {
+    // Pull from the same peers a flush would reach: neighbors plus
+    // the tree edges, so a restarted leaf recovers through its
+    // parent even with an empty neighbor set.
+    let mut peers: Vec<SocketAddr> = inner.neighbors.lock().clone();
+    if let Some(p) = *inner.parent.lock() {
+        peers.push(p);
+    }
+    peers.extend(inner.children.lock().iter().copied());
+    let mut learned = 0;
+    for addr in peers {
+        // Two attempts, no quarantine interaction either way: resync
+        // runs right after restart, when this node has no basis for
+        // judging its peers yet.
+        let opts = RequestOptions {
+            max_attempts: 2,
+            quarantine_on_failure: false,
+            respect_quarantine: false,
+        };
+        if let Ok(Message::HintBatch {
+            sender,
+            updates,
+            tag,
+        }) = exchange(inner, addr, opts, &Message::Resync)
+        {
+            // Resync replies are authenticated like any other batch:
+            // a byzantine peer cannot seed a restarting node's hint
+            // table with forged locations.
+            if verify_hint_batch(inner, sender, &updates, &tag) {
+                learned += updates.len();
+                apply_updates(inner, updates);
+            }
+        }
+    }
+    inner
+        .resync_learned
+        .fetch_add(learned as u64, Ordering::Relaxed);
+    // Release pairs with the Acquire read in the meta namespace: a poller
+    // that observes the run count also observes its learned total.
+    inner.resync_runs.fetch_add(1, Ordering::Release);
+    learned
+}
+
 /// One raw framed request/reply. The legacy engine opens a fresh
 /// connection per call (the seed behavior); the sharded engine goes
 /// through the pool with the caller's retry/quarantine policy.
@@ -1323,6 +1360,19 @@ fn served_by_code(reply: &Message) -> u64 {
 /// (recv → hint-lookup → probe/origin-fetch → reply) and timed into the
 /// `request_service_micros` histogram.
 fn handle_get(inner: &Inner, url: &str) -> Message {
+    if inner.drained() {
+        // Drained (mesh API): turn the client away exactly like admission
+        // control does, so existing clients already know to fall back to
+        // the origin. Hint traffic keeps flowing; only `Get`s drain.
+        inner.metrics.admission_rejects.inc();
+        trace_event(inner, span::ADMISSION_REJECT, bh_md5::url_key(url), 0);
+        return Message::GetReply {
+            status: Status::Redirect,
+            version: 0,
+            served_by: ServedBy::Origin,
+            body: Bytes::new(),
+        };
+    }
     let t0 = Instant::now();
     let key = bh_md5::url_key(url);
     trace_event(inner, span::RECV, key, 0);
@@ -1485,11 +1535,15 @@ fn apply_updates(inner: &Inner, updates: Vec<HintUpdate>) {
 }
 
 /// Answers every frame that can be served from purely local state — the
-/// hint-module commands and pushes. `Get` is *not* local (it may probe a
-/// peer or the origin) and is answered with an error here; both engines
-/// route it to [`handle_get`] before calling this.
-fn local_response(inner: &Inner, msg: Message) -> Message {
+/// hint-module commands, pushes, and the meta namespace. `Get` is *not*
+/// local (it may probe a peer or the origin) and is answered with an
+/// error here; both engines route it to [`handle_get`] before calling
+/// this. Takes the `Arc` (not `&Inner`) because meta control writes that
+/// imply outbound I/O (`control/resync`, `control/flush`) must detach
+/// onto their own thread — shard threads never perform outbound I/O.
+fn local_response(inner: &Arc<Inner>, msg: Message) -> Message {
     match msg {
+        Message::MetaRequest { op, path, value } => meta::handle(inner, op, &path, &value),
         Message::PeerGet { url } => {
             // Serve only from the local cache; never forward.
             let key = bh_md5::url_key(&url);
@@ -1570,11 +1624,12 @@ fn local_response(inner: &Inner, msg: Message) -> Message {
             inner.metrics.resyncs_served.inc();
             outbound_hint_batch(inner, updates)
         }
-        Message::StatsRequest => {
-            // Operator scrape: the full registry snapshot, pool gauges
-            // refreshed now.
-            Message::StatsReply(inner.metrics.snapshot_with_pool(&inner.pool))
-        }
+        // Legacy operator scrape frames, kept for wire compatibility.
+        // Each is a fixed spelling of one namespace read over the same
+        // data: `StatsRequest` ≡ `Get mesh/nodes/self/metrics`,
+        // `TraceRequest` ≡ `List mesh/nodes/self/trace` (numeric rather
+        // than rendered). New clients use `MetaRequest`.
+        Message::StatsRequest => Message::StatsReply(inner.metrics.snapshot_with_pool(&inner.pool)),
         Message::TraceRequest => Message::TraceReply(inner.trace.lock().snapshot()),
         _ => Message::GetReply {
             status: Status::Error,

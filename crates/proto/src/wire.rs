@@ -137,6 +137,47 @@ pub enum ServedBy {
     Origin,
 }
 
+/// Operation selector for a [`Message::MetaRequest`] against the mesh
+/// meta namespace (`mesh/...`, `meta/...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaOp {
+    /// Read one leaf (`mesh/nodes/self/metrics/local_hits`) or dump a
+    /// branch (`Get mesh/nodes/self/metrics` returns every metric with
+    /// its value — the scrape path).
+    Get,
+    /// Enumerate a branch's children, sorted, names only where values
+    /// are non-deterministic (so listings are byte-identical across
+    /// seeded runs).
+    List,
+    /// Control-plane write: the request's `value` is the new state
+    /// (`Set .../control/drain true`).
+    Set,
+}
+
+/// Outcome of a [`Message::MetaRequest`], carried in the reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaStatus {
+    /// The operation succeeded; `entries` carries the result.
+    Ok,
+    /// The path does not name a known branch or leaf.
+    NotFound,
+    /// The path exists but does not support the requested op (e.g. `Set`
+    /// on a read-only metric).
+    Denied,
+    /// The path or value is malformed (bad node id, non-boolean for a
+    /// flag, non-numeric for a knob).
+    Invalid,
+}
+
+/// One `path = value` pair in a [`Message::MetaReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaEntry {
+    /// Namespace path, relative to the serving node's root.
+    pub path: String,
+    /// Rendered value (empty for pure listings).
+    pub value: String,
+}
+
 /// Protocol messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -236,6 +277,28 @@ pub enum Message {
     /// Reply to [`Message::TraceRequest`]: retained trace records, oldest
     /// first. Fixed 26-byte encode per record.
     TraceReply(Vec<TraceEvent>),
+    /// Path-addressed read or control write against the node's meta
+    /// namespace (the mesh API). Payload leads with
+    /// [`META_API_VERSION`] so the namespace can evolve without burning
+    /// a frame type; decoders reject any other version. Reply is
+    /// [`Message::MetaReply`].
+    MetaRequest {
+        /// What to do at the path.
+        op: MetaOp,
+        /// Namespace path (`mesh/nodes/self/metrics/local_hits`).
+        path: String,
+        /// New state for `Set`; empty for `Get`/`List`.
+        value: String,
+    },
+    /// Reply to [`Message::MetaRequest`]: a status plus zero or more
+    /// `path = value` entries (one for `Get`/`Set` echoes, n sorted
+    /// entries for `List`, none on error).
+    MetaReply {
+        /// Outcome.
+        status: MetaStatus,
+        /// Result rows.
+        entries: Vec<MetaEntry>,
+    },
 }
 
 const T_GET: u8 = 1;
@@ -254,6 +317,8 @@ const T_STATS_REQUEST: u8 = 13;
 const T_STATS_REPLY: u8 = 14;
 const T_TRACE_REQUEST: u8 = 15;
 const T_TRACE_REPLY: u8 = 16;
+const T_META_REQUEST: u8 = 17;
+const T_META_REPLY: u8 = 18;
 
 /// Bytes of one encoded [`TraceEvent`]: `u64 ts | u16 kind | u64 a | u64 b`.
 const TRACE_EVENT_BYTES: usize = 26;
@@ -261,6 +326,16 @@ const TRACE_EVENT_BYTES: usize = 26;
 /// Minimum bytes of one encoded [`MetricEntry`]: `u32 len | name | u64 value`
 /// with an empty name.
 const METRIC_ENTRY_MIN_BYTES: usize = 12;
+
+/// Minimum bytes of one encoded [`MetaEntry`]: two length-prefixed strings,
+/// both empty (`u32 len | path | u32 len | value`).
+const META_ENTRY_MIN_BYTES: usize = 8;
+
+/// Current version byte at the head of [`Message::MetaRequest`] and
+/// [`Message::MetaReply`] payloads. Decoders accept exactly this version
+/// and reject anything else with `InvalidData`, so the namespace contract
+/// can change shape without reusing stale frame semantics.
+pub const META_API_VERSION: u8 = 1;
 
 /// Current version byte written at the head of a [`Message::HintBatch`]
 /// payload. Decoders accept exactly this version and reject anything newer
@@ -489,6 +564,32 @@ impl Message {
                     out.put_u64_le(ev.b);
                 }
                 T_TRACE_REPLY
+            }
+            Message::MetaRequest { op, path, value } => {
+                out.put_u8(META_API_VERSION);
+                out.put_u8(match op {
+                    MetaOp::Get => 0,
+                    MetaOp::List => 1,
+                    MetaOp::Set => 2,
+                });
+                put_string(out, path);
+                put_string(out, value);
+                T_META_REQUEST
+            }
+            Message::MetaReply { status, entries } => {
+                out.put_u8(META_API_VERSION);
+                out.put_u8(match status {
+                    MetaStatus::Ok => 0,
+                    MetaStatus::NotFound => 1,
+                    MetaStatus::Denied => 2,
+                    MetaStatus::Invalid => 3,
+                });
+                out.put_u32_le(entries.len() as u32);
+                for e in entries {
+                    put_string(out, &e.path);
+                    put_string(out, &e.value);
+                }
+                T_META_REPLY
             }
         };
         let payload_len = (out.len() - 5) as u32;
@@ -745,6 +846,76 @@ impl Message {
                     });
                 }
                 Message::TraceReply(events)
+            }
+            T_META_REQUEST => {
+                if buf.remaining() < 2 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "short meta request",
+                    ));
+                }
+                let version = buf.get_u8();
+                if version != META_API_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unsupported meta api version {version}"),
+                    ));
+                }
+                let op = match buf.get_u8() {
+                    0 => MetaOp::Get,
+                    1 => MetaOp::List,
+                    2 => MetaOp::Set,
+                    s => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unknown meta op {s}"),
+                        ))
+                    }
+                };
+                let path = get_string(buf)?;
+                let value = get_string(buf)?;
+                Message::MetaRequest { op, path, value }
+            }
+            T_META_REPLY => {
+                if buf.remaining() < 6 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "short meta reply",
+                    ));
+                }
+                let version = buf.get_u8();
+                if version != META_API_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unsupported meta api version {version}"),
+                    ));
+                }
+                let status = match buf.get_u8() {
+                    0 => MetaStatus::Ok,
+                    1 => MetaStatus::NotFound,
+                    2 => MetaStatus::Denied,
+                    3 => MetaStatus::Invalid,
+                    s => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unknown meta status {s}"),
+                        ))
+                    }
+                };
+                let n = buf.get_u32_le() as usize;
+                if n > (MAX_FRAME as usize) / META_ENTRY_MIN_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "oversized meta reply",
+                    ));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let path = get_string(buf)?;
+                    let value = get_string(buf)?;
+                    entries.push(MetaEntry { path, value });
+                }
+                Message::MetaReply { status, entries }
             }
             other => {
                 return Err(io::Error::new(
@@ -1030,6 +1201,76 @@ pub fn decode_message_legacy(ty: u8, payload: &[u8]) -> io::Result<Message> {
             }
             Message::TraceReply(events)
         }
+        T_META_REQUEST => {
+            if buf.remaining() < 2 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short meta request",
+                ));
+            }
+            let version = buf.get_u8();
+            if version != META_API_VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported meta api version {version}"),
+                ));
+            }
+            let op = match buf.get_u8() {
+                0 => MetaOp::Get,
+                1 => MetaOp::List,
+                2 => MetaOp::Set,
+                s => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown meta op {s}"),
+                    ))
+                }
+            };
+            let path = legacy_string(buf)?;
+            let value = legacy_string(buf)?;
+            Message::MetaRequest { op, path, value }
+        }
+        T_META_REPLY => {
+            if buf.remaining() < 6 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short meta reply",
+                ));
+            }
+            let version = buf.get_u8();
+            if version != META_API_VERSION {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unsupported meta api version {version}"),
+                ));
+            }
+            let status = match buf.get_u8() {
+                0 => MetaStatus::Ok,
+                1 => MetaStatus::NotFound,
+                2 => MetaStatus::Denied,
+                3 => MetaStatus::Invalid,
+                s => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown meta status {s}"),
+                    ))
+                }
+            };
+            let n = buf.get_u32_le() as usize;
+            if n > (MAX_FRAME as usize) / META_ENTRY_MIN_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "oversized meta reply",
+                ));
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let path = legacy_string(buf)?;
+                let value = legacy_string(buf)?;
+                entries.push(MetaEntry { path, value });
+            }
+            Message::MetaReply { status, entries }
+        }
         other => {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -1299,10 +1540,89 @@ mod tests {
             Message::Ack,
             Message::Ping,
             Message::Resync,
+            Message::MetaRequest {
+                op: MetaOp::Get,
+                path: "mesh/nodes/self/metrics/local_hits".into(),
+                value: String::new(),
+            },
+            Message::MetaRequest {
+                op: MetaOp::List,
+                path: "meta/mesh/nodes".into(),
+                value: String::new(),
+            },
+            Message::MetaRequest {
+                op: MetaOp::Set,
+                path: "mesh/nodes/self/control/drain".into(),
+                value: "true".into(),
+            },
+            Message::MetaReply {
+                status: MetaStatus::Ok,
+                entries: vec![
+                    MetaEntry {
+                        path: "mesh/nodes/self/metrics/local_hits".into(),
+                        value: "7".into(),
+                    },
+                    MetaEntry {
+                        path: "mesh/nodes/self/metrics/peer_hits".into(),
+                        value: "ü".into(),
+                    },
+                ],
+            },
+            Message::MetaReply {
+                status: MetaStatus::NotFound,
+                entries: vec![],
+            },
         ];
         for msg in messages {
             assert_eq!(round_trip(msg.clone()), msg);
         }
+    }
+
+    #[test]
+    fn meta_frames_are_versioned() {
+        // A future version byte must be rejected, not misparsed — in both
+        // directions of the exchange.
+        let mut payload = BytesMut::new();
+        payload.put_u8(META_API_VERSION + 1);
+        payload.put_u8(0); // op: Get
+        payload.put_u32_le(0); // empty path
+        payload.put_u32_le(0); // empty value
+        let err = Message::decode(T_META_REQUEST, payload.freeze()).expect_err("future version");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut payload = BytesMut::new();
+        payload.put_u8(META_API_VERSION + 1);
+        payload.put_u8(0); // status: Ok
+        payload.put_u32_le(0); // no entries
+        let err = Message::decode(T_META_REPLY, payload.freeze()).expect_err("future version");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // The current version leads both payloads.
+        let req = Message::MetaRequest {
+            op: MetaOp::Get,
+            path: "meta".into(),
+            value: String::new(),
+        }
+        .encoded();
+        assert_eq!(req[5], META_API_VERSION);
+        let reply = Message::MetaReply {
+            status: MetaStatus::Ok,
+            entries: vec![],
+        }
+        .encoded();
+        assert_eq!(reply[5], META_API_VERSION);
+    }
+
+    #[test]
+    fn oversized_meta_reply_count_rejected() {
+        // A corrupt count must fail fast on the length arithmetic, not
+        // attempt a giant allocation.
+        let mut payload = BytesMut::new();
+        payload.put_u8(META_API_VERSION);
+        payload.put_u8(0); // status: Ok
+        payload.put_u32_le(u32::MAX);
+        let err = Message::decode(T_META_REPLY, payload.freeze()).expect_err("oversized");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 
 use bh_proto::wire::{
     decode_message_legacy, read_message, write_message, FrameAssembler, HintAction, HintUpdate,
-    MachineId, Message, MetricEntry, ServedBy, Status, TraceEvent, MAX_FRAME,
+    MachineId, Message, MetaEntry, MetaOp, MetaStatus, MetricEntry, ServedBy, Status, TraceEvent,
+    MAX_FRAME,
 };
 use bytes::Bytes;
 use proptest::prelude::*;
@@ -89,6 +90,50 @@ fn arb_trace_event() -> BoxedStrategy<TraceEvent> {
         .boxed()
 }
 
+fn arb_meta_op() -> BoxedStrategy<MetaOp> {
+    prop_oneof![Just(MetaOp::Get), Just(MetaOp::List), Just(MetaOp::Set),].boxed()
+}
+
+fn arb_meta_status() -> BoxedStrategy<MetaStatus> {
+    prop_oneof![
+        Just(MetaStatus::Ok),
+        Just(MetaStatus::NotFound),
+        Just(MetaStatus::Denied),
+        Just(MetaStatus::Invalid),
+    ]
+    .boxed()
+}
+
+fn arb_meta_path() -> BoxedStrategy<String> {
+    // Mostly namespace-shaped paths, with arbitrary unicode mixed in: the
+    // codec carries any UTF-8 string; path validation is the resolver's job.
+    prop_oneof![
+        (any::<u64>(), 0usize..4).prop_map(|(id, depth)| {
+            let mut path = format!("mesh/nodes/{}", id % 9);
+            for seg in ["metrics", "hints", "pool", "control"].iter().take(depth) {
+                path.push('/');
+                path.push_str(seg);
+            }
+            path
+        }),
+        proptest::collection::vec(any::<char>(), 0..24)
+            .prop_map(|chars| chars.into_iter().collect::<String>()),
+    ]
+    .boxed()
+}
+
+fn arb_meta_entry() -> BoxedStrategy<MetaEntry> {
+    (
+        arb_meta_path(),
+        proptest::collection::vec(any::<char>(), 0..16),
+    )
+        .prop_map(|(path, chars)| MetaEntry {
+            path,
+            value: chars.into_iter().collect(),
+        })
+        .boxed()
+}
+
 /// Every frame type in the protocol, including `HintBatch`.
 fn arb_message() -> BoxedStrategy<Message> {
     prop_oneof![
@@ -132,6 +177,21 @@ fn arb_message() -> BoxedStrategy<Message> {
         proptest::collection::vec(arb_metric_entry(), 0..32).prop_map(Message::StatsReply),
         Just(Message::TraceRequest),
         proptest::collection::vec(arb_trace_event(), 0..64).prop_map(Message::TraceReply),
+        (
+            arb_meta_op(),
+            arb_meta_path(),
+            proptest::collection::vec(any::<char>(), 0..16)
+        )
+            .prop_map(|(op, path, value)| Message::MetaRequest {
+                op,
+                path,
+                value: value.into_iter().collect(),
+            }),
+        (
+            arb_meta_status(),
+            proptest::collection::vec(arb_meta_entry(), 0..32)
+        )
+            .prop_map(|(status, entries)| Message::MetaReply { status, entries }),
     ]
     .boxed()
 }
@@ -229,7 +289,7 @@ proptest! {
 
     /// Unknown frame types are always rejected.
     #[test]
-    fn unknown_frame_types_error(ty in 17u8..=255, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn unknown_frame_types_error(ty in 19u8..=255, payload in proptest::collection::vec(any::<u8>(), 0..64)) {
         prop_assert!(Message::decode(ty, Bytes::from(payload)).is_err());
     }
 
